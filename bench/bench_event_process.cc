@@ -1,0 +1,153 @@
+// Event-process microbenchmarks (paper §6): creation and context switching
+// cost versus full processes, kernel-state footprint (44 vs 320 bytes), and
+// COW page behaviour — the mechanisms behind Figure 6.
+#include <benchmark/benchmark.h>
+
+#include "src/kernel/kernel.h"
+
+namespace asbestos {
+namespace {
+
+class Sink : public ProcessCode {
+ public:
+  void HandleMessage(ProcessContext&, const Message&) override {}
+};
+
+class RealmSink : public ProcessCode {
+ public:
+  explicit RealmSink(Handle* port_out) : port_out_(port_out) {}
+  void Start(ProcessContext& ctx) override {
+    *port_out_ = ctx.NewPort(Label::Top());
+    ASB_ASSERT(ctx.SetPortLabel(*port_out_, Label::Top()) == Status::kOk);
+    ctx.EnterEventRealm();
+  }
+  void HandleMessage(ProcessContext& ctx, const Message&) override {
+    // Touch one page of state, like a minimal session, then exit so the
+    // benchmark measures pure create/destroy cost.
+    const uint64_t one = 1;
+    ctx.WriteMem(0x40000, &one, sizeof(one));
+    ctx.EpExit();
+  }
+
+ private:
+  Handle* port_out_;
+};
+
+void BM_EventProcessCreateDestroy(benchmark::State& state) {
+  Kernel kernel(7);
+  Handle service;
+  SpawnArgs wargs;
+  wargs.name = "worker";
+  kernel.CreateProcess(std::make_unique<RealmSink>(&service), wargs);
+  SpawnArgs sargs;
+  sargs.name = "driver";
+  const ProcessId driver = kernel.CreateProcess(std::make_unique<Sink>(), sargs);
+  for (auto _ : state) {
+    kernel.WithProcessContext(driver, [&](ProcessContext& ctx) {
+      ASB_ASSERT(ctx.Send(service, Message()) == Status::kOk);
+    });
+    kernel.RunUntilIdle();
+  }
+  state.counters["eps_created"] =
+      static_cast<double>(kernel.stats().eps_created);
+}
+BENCHMARK(BM_EventProcessCreateDestroy);
+
+void BM_ProcessCreateDestroy(benchmark::State& state) {
+  // The forked-server alternative the paper argues against.
+  Kernel kernel(7);
+  for (auto _ : state) {
+    SpawnArgs args;
+    args.name = "ephemeral";
+    const ProcessId pid = kernel.CreateProcess(std::make_unique<Sink>(), args);
+    kernel.WithProcessContext(pid, [](ProcessContext& ctx) {
+      const uint64_t one = 1;
+      ctx.WriteMem(ctx.AllocPages(1), &one, sizeof(one));
+      ctx.Exit();
+    });
+  }
+}
+BENCHMARK(BM_ProcessCreateDestroy);
+
+void BM_KernelStateFootprint(benchmark::State& state) {
+  // Reports the paper's §6.1 kernel-state numbers as counters.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kEpKernelBytes);
+  }
+  state.counters["ep_kernel_bytes"] = static_cast<double>(kEpKernelBytes);          // 44
+  state.counters["process_kernel_bytes"] = static_cast<double>(kProcessKernelBytes);  // 320
+  state.counters["vnode_bytes"] = static_cast<double>(kVnodeBytes);                 // 64
+}
+BENCHMARK(BM_KernelStateFootprint);
+
+void BM_CowWriteFirstTouch(benchmark::State& state) {
+  // First write to a page in an event process copies it (COW fault).
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  as.Write(nullptr, addr, "base", 4);
+  for (auto _ : state) {
+    PageOverlay overlay;
+    benchmark::DoNotOptimize(as.Write(&overlay, addr, "x", 1));
+  }
+}
+BENCHMARK(BM_CowWriteFirstTouch);
+
+void BM_CowWriteWarm(benchmark::State& state) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  PageOverlay overlay;
+  as.Write(&overlay, addr, "x", 1);  // page already private
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(as.Write(&overlay, addr, "y", 1));
+  }
+}
+BENCHMARK(BM_CowWriteWarm);
+
+void BM_ThousandsOfCachedSessions(benchmark::State& state) {
+  // §6.2's claim: "many thousands of them can theoretically coexist without
+  // resource strain" — create N event processes, each holding one private
+  // page, and report kernel bytes per session.
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Kernel kernel(7);
+    Handle service;
+    SpawnArgs wargs;
+    wargs.name = "worker";
+    class KeepAlive : public ProcessCode {
+     public:
+      explicit KeepAlive(Handle* port_out) : port_out_(port_out) {}
+      void Start(ProcessContext& ctx) override {
+        *port_out_ = ctx.NewPort(Label::Top());
+        ASB_ASSERT(ctx.SetPortLabel(*port_out_, Label::Top()) == Status::kOk);
+        ctx.EnterEventRealm();
+      }
+      void HandleMessage(ProcessContext& ctx, const Message&) override {
+        const uint64_t one = 1;
+        ctx.WriteMem(0x40000, &one, sizeof(one));  // one private page, then yield
+      }
+
+     private:
+      Handle* port_out_;
+    };
+    kernel.CreateProcess(std::make_unique<KeepAlive>(&service), wargs);
+    SpawnArgs dargs;
+    dargs.name = "driver";
+    const ProcessId driver = kernel.CreateProcess(std::make_unique<Sink>(), dargs);
+    const uint64_t before = kernel.MemReport().total_bytes();
+    for (uint64_t i = 0; i < n; ++i) {
+      kernel.WithProcessContext(driver, [&](ProcessContext& ctx) {
+        ASB_ASSERT(ctx.Send(service, Message()) == Status::kOk);
+      });
+    }
+    kernel.RunUntilIdle();
+    const uint64_t after = kernel.MemReport().total_bytes();
+    state.counters["bytes_per_session"] =
+        static_cast<double>(after - before) / static_cast<double>(n);
+  }
+}
+BENCHMARK(BM_ThousandsOfCachedSessions)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace asbestos
+
+BENCHMARK_MAIN();

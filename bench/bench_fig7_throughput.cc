@@ -1,0 +1,77 @@
+// Reproduces paper Figure 7: "Throughput for various numbers of cached
+// sessions in OKWS, compared with Apache and Mod-Apache."
+//
+// Paper result: Mod-Apache ≈ 2,800 conn/s and Apache ≈ 1,050 conn/s
+// (flat: neither knows about sessions or isolation); OKWS starts near
+// 1,500 conn/s with one session, outperforms Apache until somewhere over
+// 1,000 cached sessions, and degrades roughly linearly (label sizes grow
+// with sessions) to about half of Apache's throughput at 10,000 sessions.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/okws_bench_harness.h"
+#include "src/baseline/unix_sim.h"
+#include "src/sim/costs.h"
+
+namespace {
+
+using namespace asbestos;        // NOLINT
+using namespace asbestos::bench;  // NOLINT
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("ASBESTOS_BENCH_QUICK") != nullptr;
+
+  // Baselines (paper: 400-way concurrency maximizes Apache, 16 Mod-Apache).
+  ApacheConfig cgi;
+  cgi.mode = ApacheMode::kCgi;
+  const double apache =
+      UnixApacheSim(cgi).Run(quick ? 2000 : 20000, 400).throughput_per_sec(costs::kCpuHz);
+  ApacheConfig mod;
+  mod.mode = ApacheMode::kModule;
+  mod.pool_size = 16;
+  const double mod_apache =
+      UnixApacheSim(mod).Run(quick ? 2000 : 20000, 16).throughput_per_sec(costs::kCpuHz);
+
+  std::printf("=== Figure 7: throughput vs cached OKWS sessions ===\n");
+  std::printf("(144-byte responses; OKWS concurrency 16; 4 connections/session)\n\n");
+  std::printf("%16s  %18s\n", "config", "connections/sec");
+  std::printf("%16s  %18.0f\n", "Apache", apache);
+  std::printf("%16s  %18.0f\n", "Mod-Apache", mod_apache);
+
+  const uint64_t full[] = {1, 100, 1000, 3000, 5000, 7500, 10000};
+  const uint64_t fast[] = {1, 100, 1000};
+  const auto* counts = quick ? fast : full;
+  const size_t n = quick ? 3 : 7;
+
+  double okws_first = 0;
+  double okws_last = 0;
+  for (size_t i = 0; i < n; ++i) {
+    OkwsRunConfig config;
+    config.sessions = counts[i];
+    config.service = "echo";
+    config.concurrency = 16;
+    config.min_connections = 2000;
+    const OkwsRunResult r = RunOkwsWorkload(config);
+    std::printf("%11s %4llu  %18.0f\n", "OKWS", static_cast<unsigned long long>(counts[i]),
+                r.throughput_conn_per_sec);
+    std::fflush(stdout);
+    if (i == 0) {
+      okws_first = r.throughput_conn_per_sec;
+    }
+    okws_last = r.throughput_conn_per_sec;
+  }
+
+  std::printf("\nshape checks (paper):\n");
+  std::printf("  OKWS@1 between Apache and Mod-Apache: %s (%.0f in [%.0f, %.0f])\n",
+              okws_first > apache && okws_first < mod_apache ? "yes" : "NO", okws_first,
+              apache, mod_apache);
+  std::printf("  OKWS throughput declines with sessions: %s (%.0f -> %.0f)\n",
+              okws_last < okws_first ? "yes" : "NO", okws_first, okws_last);
+  if (!quick) {
+    std::printf("  OKWS@10000 roughly half of Apache: measured ratio %.2f (paper ~0.5)\n",
+                okws_last / apache);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces paper Figure 8: "The median and 90th percentile latencies of
+// requests to various server configurations" at a concurrency of four.
+//
+//   Paper (µs):      median   90th
+//   Mod-Apache          999   1,015
+//   Apache            3,374   5,262
+//   OKWS, 1 session   1,875   2,384
+//   OKWS, 1000 sess.  3,414   6,767
+//
+// Shape: Mod-Apache fastest with a flat tail; OKWS-1 beats Apache with a
+// smaller variance; OKWS-1000 degrades to roughly Apache's median with a
+// wider tail.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/okws_bench_harness.h"
+#include "src/baseline/unix_sim.h"
+#include "src/sim/costs.h"
+
+namespace {
+
+using namespace asbestos;        // NOLINT
+using namespace asbestos::bench;  // NOLINT
+
+uint64_t ToUs(uint64_t cycles) {
+  return static_cast<uint64_t>(static_cast<double>(cycles) * 1e6 / costs::kCpuHz);
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("ASBESTOS_BENCH_QUICK") != nullptr;
+  const uint64_t n_requests = quick ? 2000 : 10000;
+
+  std::printf("=== Figure 8: request latency at concurrency 4 ===\n\n");
+  std::printf("%22s  %12s  %12s\n", "server", "median (us)", "90th pct (us)");
+
+  ApacheConfig mod;
+  mod.mode = ApacheMode::kModule;
+  mod.pool_size = 16;
+  const auto mod_stats = UnixApacheSim(mod).Run(n_requests, 4);
+  std::printf("%22s  %12llu  %12llu\n", "Mod-Apache",
+              (unsigned long long)ToUs(mod_stats.latency_percentile_cycles(50)),
+              (unsigned long long)ToUs(mod_stats.latency_percentile_cycles(90)));
+
+  ApacheConfig cgi;
+  cgi.mode = ApacheMode::kCgi;
+  const auto cgi_stats = UnixApacheSim(cgi).Run(n_requests, 4);
+  const uint64_t apache_p50 = ToUs(cgi_stats.latency_percentile_cycles(50));
+  std::printf("%22s  %12llu  %12llu\n", "Apache", (unsigned long long)apache_p50,
+              (unsigned long long)ToUs(cgi_stats.latency_percentile_cycles(90)));
+
+  OkwsRunConfig one;
+  one.sessions = 1;
+  one.concurrency = 4;
+  one.min_connections = quick ? 1000 : 4000;
+  const OkwsRunResult r1 = RunOkwsWorkload(one);
+  std::printf("%22s  %12llu  %12llu\n", "OKWS, 1 session",
+              (unsigned long long)r1.latency_p50_us, (unsigned long long)r1.latency_p90_us);
+
+  OkwsRunConfig thousand;
+  thousand.sessions = quick ? 200 : 1000;
+  thousand.concurrency = 4;
+  thousand.total_connections = 4 * thousand.sessions;
+  thousand.min_connections = 0;
+  const OkwsRunResult r1000 = RunOkwsWorkload(thousand);
+  std::printf("%18s %4llu  %12llu  %12llu\n", "OKWS,",
+              (unsigned long long)thousand.sessions,
+              (unsigned long long)r1000.latency_p50_us,
+              (unsigned long long)r1000.latency_p90_us);
+
+  std::printf("\nshape checks (paper):\n");
+  std::printf("  Mod-Apache < OKWS-1 < Apache (medians): %s\n",
+              ToUs(mod_stats.latency_percentile_cycles(50)) < r1.latency_p50_us &&
+                      r1.latency_p50_us < apache_p50
+                  ? "yes"
+                  : "NO");
+  std::printf("  OKWS-many approaches Apache median: %s (%llu vs %llu)\n",
+              4 * r1000.latency_p50_us > 3 * apache_p50 ? "yes" : "NO",
+              (unsigned long long)r1000.latency_p50_us, (unsigned long long)apache_p50);
+  std::printf("  OKWS-many tail wider than OKWS-1 tail: %s\n",
+              (r1000.latency_p90_us - r1000.latency_p50_us) >
+                      (r1.latency_p90_us - r1.latency_p50_us)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// IPC microbenchmarks: message round-trips through the kernel's Figure-4
+// checks, as a function of receiver label size — the per-message mechanism
+// behind Figure 9's "Kernel IPC" line.
+#include <benchmark/benchmark.h>
+
+#include "src/kernel/kernel.h"
+#include "src/sim/cycles.h"
+
+namespace asbestos {
+namespace {
+
+class Sink : public ProcessCode {
+ public:
+  void HandleMessage(ProcessContext&, const Message&) override {}
+};
+
+struct PingPongWorld {
+  explicit PingPongWorld(size_t receiver_label_entries) : kernel(42) {
+    SpawnArgs rargs;
+    rargs.name = "receiver";
+    // Give the receiver a wide receive label, like netd's after N users.
+    Label recv(kDefaultReceiveLevel);
+    for (size_t i = 0; i < receiver_label_entries; ++i) {
+      recv.Set(Handle::FromValue(1000 + i * 3), Level::kL3);
+    }
+    rargs.recv_label = recv;
+    rx = kernel.CreateProcess(std::make_unique<Sink>(), rargs);
+    kernel.WithProcessContext(rx, [&](ProcessContext& ctx) {
+      port = ctx.NewPort(Label::Top());
+      ASB_ASSERT(ctx.SetPortLabel(port, Label::Top()) == Status::kOk);
+    });
+    SpawnArgs sargs;
+    sargs.name = "sender";
+    tx = kernel.CreateProcess(std::make_unique<Sink>(), sargs);
+    kernel.WithProcessContext(tx, [&](ProcessContext& ctx) {
+      taint = ctx.NewHandle();
+    });
+  }
+
+  Kernel kernel;
+  ProcessId rx = kNoProcess;
+  ProcessId tx = kNoProcess;
+  Handle port;
+  Handle taint;
+};
+
+void BM_SendDeliverPlain(benchmark::State& state) {
+  PingPongWorld world(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    world.kernel.WithProcessContext(world.tx, [&](ProcessContext& ctx) {
+      Message m;
+      m.type = 1;
+      ASB_ASSERT(ctx.Send(world.port, std::move(m)) == Status::kOk);
+    });
+    world.kernel.RunUntilIdle();
+  }
+  state.counters["virtual_cycles_per_msg"] = benchmark::Counter(
+      static_cast<double>(GetCycleAccounting().total(Component::kKernelIpc)),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SendDeliverPlain)->Range(1, 1 << 13);
+
+void BM_SendDeliverContaminating(benchmark::State& state) {
+  // Contaminating sends force a real ES materialization and a merge against
+  // the receiver's wide label — the slow path netd/idd exercise per message.
+  PingPongWorld world(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    world.kernel.WithProcessContext(world.tx, [&](ProcessContext& ctx) {
+      Message m;
+      m.type = 1;
+      SendArgs args;
+      args.contaminate = Label({{world.taint, Level::kL2}}, Level::kStar);
+      ASB_ASSERT(ctx.Send(world.port, std::move(m), args) == Status::kOk);
+    });
+    world.kernel.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_SendDeliverContaminating)->Range(1, 1 << 13);
+
+void BM_SendDeliverWithPayload(benchmark::State& state) {
+  PingPongWorld world(0);
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    world.kernel.WithProcessContext(world.tx, [&](ProcessContext& ctx) {
+      Message m;
+      m.type = 1;
+      m.data = payload;
+      ASB_ASSERT(ctx.Send(world.port, std::move(m)) == Status::kOk);
+    });
+    world.kernel.RunUntilIdle();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SendDeliverWithPayload)->Range(16, 1 << 16);
+
+}  // namespace
+}  // namespace asbestos
+
+BENCHMARK_MAIN();

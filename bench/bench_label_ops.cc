@@ -1,0 +1,124 @@
+// Microbenchmarks for the label algebra (paper §5.6): ⊑/⊔/⊓ cost versus
+// label size. The paper: "In the worst case, of course, operations like ⊑,
+// ⊓, and ⊔ are linear in the size of their input labels" — and the min/max
+// caching fast path resolves favourable comparisons in O(1). The smallest
+// label is about 300 bytes.
+#include <benchmark/benchmark.h>
+
+#include "src/labels/label.h"
+
+namespace asbestos {
+namespace {
+
+Label MakeLabel(size_t entries, Level level, Level def, uint64_t base = 1) {
+  Label l(def);
+  for (size_t i = 0; i < entries; ++i) {
+    l.Set(Handle::FromValue(base + i * 7), level);
+  }
+  return l;
+}
+
+void BM_LeqScan(benchmark::State& state) {
+  // Worst case: receiver label has N entries at 3 (like netd's receive
+  // label with N user taints), sender label is small and overlapping.
+  const auto n = static_cast<size_t>(state.range(0));
+  const Label big = MakeLabel(n, Level::kL3, Level::kL2);
+  const Label small({{Handle::FromValue(8), Level::kL3}}, Level::kL1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.Leq(big));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LeqScan)->Range(1, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_LeqFastPath(benchmark::State& state) {
+  // The min/max cache: {1}-ish send labels against {2}-ish receive labels
+  // resolve without touching a single entry, regardless of size.
+  const auto n = static_cast<size_t>(state.range(0));
+  const Label big = MakeLabel(n, Level::kL3, Level::kL3);  // min level 3
+  const Label small = MakeLabel(4, Level::kL1, Level::kL1);  // max level 1
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.Leq(big));
+  }
+}
+BENCHMARK(BM_LeqFastPath)->Range(1, 1 << 14);
+
+void BM_Lub(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const Label a = MakeLabel(n, Level::kL3, Level::kL1, 1);
+  const Label b = MakeLabel(n, Level::kL2, Level::kL1, 4);  // interleaved handles
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Label::Lub(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Lub)->Range(1, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_LubSharedFastPath(benchmark::State& state) {
+  // ⊔ with the bottom label {⋆} returns the other label's representation
+  // without copying (reference-counted sharing, §5.6).
+  const Label a = MakeLabel(static_cast<size_t>(state.range(0)), Level::kL3, Level::kL1);
+  const Label bottom = Label::Bottom();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Label::Lub(a, bottom));
+  }
+}
+BENCHMARK(BM_LubSharedFastPath)->Range(1, 1 << 14);
+
+void BM_Glb(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const Label a = MakeLabel(n, Level::kL3, Level::kL2, 1);
+  const Label b = MakeLabel(n, Level::kL0, Level::kL2, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Label::Glb(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Glb)->Range(1, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_StarsOnly(benchmark::State& state) {
+  const Label a = MakeLabel(static_cast<size_t>(state.range(0)), Level::kStar, Level::kL1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.StarsOnly());
+  }
+}
+BENCHMARK(BM_StarsOnly)->Range(1, 1 << 12);
+
+void BM_SetInsert(benchmark::State& state) {
+  // Copy-on-write insertion into a label of N entries (chunk search + shift).
+  const auto n = static_cast<size_t>(state.range(0));
+  const Label base = MakeLabel(n, Level::kL3, Level::kL1);
+  uint64_t v = 3;
+  for (auto _ : state) {
+    Label copy = base;  // shares the rep; Set unshares
+    copy.Set(Handle::FromValue(v), Level::kL2);
+    v += 7;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_SetInsert)->Range(1, 1 << 12);
+
+void BM_CopySharing(benchmark::State& state) {
+  // Label copies are O(1): they share the representation.
+  const Label a = MakeLabel(static_cast<size_t>(state.range(0)), Level::kL3, Level::kL1);
+  for (auto _ : state) {
+    Label copy = a;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_CopySharing)->Range(1, 1 << 14);
+
+void BM_SmallestLabelBytes(benchmark::State& state) {
+  for (auto _ : state) {
+    const Label l({{Handle::FromValue(42), Level::kL3}}, Level::kL1);
+    benchmark::DoNotOptimize(l.heap_bytes());
+  }
+  const Label probe({{Handle::FromValue(42), Level::kL3}}, Level::kL1);
+  state.counters["smallest_label_bytes"] = static_cast<double>(probe.heap_bytes());
+}
+BENCHMARK(BM_SmallestLabelBytes);
+
+}  // namespace
+}  // namespace asbestos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Shared harness for the paper-evaluation benchmarks (Figures 6-9): boots a
+// fresh OKWS world with N user accounts, drives the paper's workloads
+// through the simulated wire, and reports throughput, latency percentiles,
+// per-component cycle attribution, and memory.
+#ifndef BENCH_OKWS_BENCH_HARNESS_H_
+#define BENCH_OKWS_BENCH_HARNESS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/sim/cycles.h"
+
+namespace asbestos::bench {
+
+struct OkwsRunConfig {
+  uint64_t sessions = 1;            // distinct users (= cached sessions)
+  uint64_t total_connections = 0;   // 0 → max(4 × sessions, min_connections)
+  uint64_t min_connections = 2000;  // floor for small session counts
+  int concurrency = 16;             // paper: 16 maximizes OKWS/LWIP throughput
+  std::string service = "echo";     // "echo" (Fig. 7-9) or "store" (Fig. 6)
+  bool active_memory_mode = false;  // workers skip ep_clean (Fig. 6 "active")
+};
+
+struct OkwsRunResult {
+  uint64_t sessions = 0;
+  uint64_t connections_completed = 0;
+  uint64_t failures = 0;
+
+  // Virtual-time performance.
+  double elapsed_cycles = 0;
+  double throughput_conn_per_sec = 0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p90_us = 0;
+
+  // Figure-9 attribution (cycles over the whole run).
+  std::array<uint64_t, kComponentCount> component_cycles{};
+  double KcyclesPerConn(Component c) const {
+    if (connections_completed == 0) {
+      return 0;
+    }
+    return static_cast<double>(component_cycles[static_cast<size_t>(c)]) / 1000.0 /
+           static_cast<double>(connections_completed);
+  }
+  double TotalKcyclesPerConn() const {
+    double sum = 0;
+    for (int c = 0; c < kComponentCount; ++c) {
+      sum += KcyclesPerConn(static_cast<Component>(c));
+    }
+    return sum;
+  }
+
+  // Figure-6 memory accounting (bytes).
+  uint64_t mem_before_bytes = 0;
+  uint64_t mem_after_bytes = 0;
+  uint64_t mem_peak_bytes = 0;
+  double PagesPerSession() const;
+  double PeakPagesPerSession() const;
+
+  // Label-work telemetry (for calibration notes in EXPERIMENTS.md).
+  uint64_t label_entries_visited = 0;
+};
+
+// Boots, primes nothing, runs the workload, reports. Deterministic.
+OkwsRunResult RunOkwsWorkload(const OkwsRunConfig& config);
+
+}  // namespace asbestos::bench
+
+#endif  // BENCH_OKWS_BENCH_HARNESS_H_

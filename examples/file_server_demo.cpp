@@ -1,0 +1,172 @@
+// The multi-user file server of paper §5.2, end to end.
+//
+// Users u and v store private files on a shared, trusted file server. The
+// compartments are decentralized: each user mints their own taint and grant
+// handles and teaches the server about them on CREATE. User u's terminal can
+// read u's files; v's data can never reach it.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/fs/file_server.h"
+#include "src/kernel/kernel.h"
+
+namespace {
+
+using namespace asbestos;  // NOLINT: example brevity
+
+class Shell : public ProcessCode {
+ public:
+  explicit Shell(const char* who) : who_(who) {}
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override {
+    (void)ctx;
+    if (msg.type == fs_proto::kReadR) {
+      std::printf("  [%s] read reply (status %lld): \"%s\"\n", who_,
+                  -static_cast<long long>(msg.words[1]), msg.data.c_str());
+    } else {
+      std::printf("  [%s] reply type %llu status %lld\n", who_,
+                  (unsigned long long)msg.type, -static_cast<long long>(msg.words[1]));
+    }
+  }
+
+ private:
+  const char* who_;
+};
+
+struct User {
+  ProcessId shell;
+  Handle port;
+  Handle taint;   // uT: secrecy compartment
+  Handle grant;   // uG: speaks-for handle
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Labeled file server (paper §5.2) ==\n\n");
+  Kernel kernel(42);
+
+  auto fs_code = std::make_unique<FileServerProcess>();
+  FileServerProcess* fs = fs_code.get();
+  SpawnArgs fs_args;
+  fs_args.name = "fileserver";
+  kernel.CreateProcess(std::move(fs_code), fs_args);
+  const Handle fs_port = fs->service_port();
+
+  // Two users with their own compartments.
+  auto make_user = [&](const char* name) {
+    User u;
+    SpawnArgs args;
+    args.name = name;
+    u.shell = kernel.CreateProcess(std::make_unique<Shell>(name), args);
+    kernel.WithProcessContext(u.shell, [&](ProcessContext& ctx) {
+      u.port = ctx.NewPort(Label::Top());
+      ctx.SetPortLabel(u.port, Label::Top());
+      u.taint = ctx.NewHandle();
+      u.grant = ctx.NewHandle();
+      // Accept your own compartment's taint (you hold ⋆, so this is free).
+      ctx.SetReceiveLevel(u.taint, Level::kL3);
+    });
+    return u;
+  };
+  User u = make_user("shell-u");
+  User v = make_user("shell-v");
+
+  // Each user creates a private file, granting the server declassification
+  // privilege and clearance for their compartment (the decentralized §5.3
+  // pattern: no administrator involved).
+  auto create_file = [&](User& usr, const char* path) {
+    kernel.WithProcessContext(usr.shell, [&](ProcessContext& ctx) {
+      Message m;
+      m.type = fs_proto::kCreate;
+      m.data = path;
+      m.words = {1, usr.taint.value(), LevelOrdinal(Level::kL3), usr.grant.value(),
+                 LevelOrdinal(Level::kL0)};
+      m.reply_port = usr.port;
+      SendArgs args;
+      args.decont_send = Label({{usr.taint, Level::kStar}}, Level::kL3);
+      args.decont_receive = Label({{usr.taint, Level::kL3}}, Level::kStar);
+      ctx.Send(fs_port, std::move(m), args);
+    });
+  };
+  std::printf("1. creating /home/u/diary and /home/v/diary...\n");
+  create_file(u, "/home/u/diary");
+  create_file(v, "/home/v/diary");
+  kernel.RunUntilIdle();
+
+  auto write_file = [&](User& usr, const char* path, const char* contents) {
+    kernel.WithProcessContext(usr.shell, [&](ProcessContext& ctx) {
+      Message m;
+      m.type = fs_proto::kWrite;
+      m.data = std::string(path) + "\n" + contents;
+      m.words = {2};
+      m.reply_port = usr.port;
+      SendArgs args;
+      args.verify = Label({{usr.grant, Level::kL0}}, Level::kL3);  // prove speaks-for
+      ctx.Send(fs_port, std::move(m), args);
+    });
+  };
+  std::printf("2. each user writes their diary (verify label proves uG at 0)...\n");
+  write_file(u, "/home/u/diary", "dear diary, u was here");
+  write_file(v, "/home/v/diary", "v's innermost secrets");
+  kernel.RunUntilIdle();
+
+  // u's terminal: cleared for u's compartment, like UT in paper Figure 2.
+  SpawnArgs term_args;
+  term_args.name = "terminal-u";
+  term_args.recv_label = Label({{u.taint, Level::kL3}}, Level::kL2);
+  const ProcessId terminal =
+      kernel.CreateProcess(std::make_unique<Shell>("terminal-u"), term_args);
+  Handle term_port;
+  kernel.WithProcessContext(terminal, [&](ProcessContext& ctx) {
+    term_port = ctx.NewPort(Label::Top());
+    ctx.SetPortLabel(term_port, Label::Top());
+  });
+
+  std::printf("3. u asks the server to send /home/u/diary to u's terminal...\n");
+  kernel.WithProcessContext(u.shell, [&](ProcessContext& ctx) {
+    Message m;
+    m.type = fs_proto::kRead;
+    m.data = "/home/u/diary";
+    m.words = {3};
+    m.reply_port = term_port;
+    ctx.Send(fs_port, std::move(m));
+  });
+  kernel.RunUntilIdle();
+
+  std::printf("4. v (maliciously) asks the server to send v's diary to u's terminal...\n");
+  kernel.WithProcessContext(v.shell, [&](ProcessContext& ctx) {
+    Message m;
+    m.type = fs_proto::kRead;
+    m.data = "/home/v/diary";
+    m.words = {4};
+    m.reply_port = term_port;
+    ctx.Send(fs_port, std::move(m));
+  });
+  kernel.RunUntilIdle();
+  std::printf("   ...nothing printed: the reply carried vT 3 and u's terminal\n"
+              "   only accepts uT. Label-check drops so far: %llu\n",
+              (unsigned long long)kernel.stats().drops_label_check);
+
+  std::printf("\n5. mallory (no speaks-for grant) tries to overwrite u's diary...\n");
+  SpawnArgs mal_args;
+  mal_args.name = "mallory";
+  const ProcessId mallory =
+      kernel.CreateProcess(std::make_unique<Shell>("mallory"), mal_args);
+  Handle mal_port;
+  kernel.WithProcessContext(mallory, [&](ProcessContext& ctx) {
+    mal_port = ctx.NewPort(Label::Top());
+    ctx.SetPortLabel(mal_port, Label::Top());
+    Message m;
+    m.type = fs_proto::kWrite;
+    m.data = "/home/u/diary\nhacked!";
+    m.words = {5};
+    m.reply_port = mal_port;
+    ctx.Send(fs_port, std::move(m));
+  });
+  kernel.RunUntilIdle();
+
+  std::printf("\nFiles on the server: %zu. The -4 status above is ACCESS_DENIED.\n",
+              fs->file_count());
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Quickstart: Asbestos labels in five minutes.
+//
+// Creates a tiny world — a data owner, a reader, and an outsider — and walks
+// through the core label mechanisms of the paper: compartment creation,
+// contamination, the ⋆ declassification privilege, receive-label clearance,
+// and unreliable sends silently dropping disallowed messages.
+//
+//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace {
+
+using namespace asbestos;  // NOLINT: example brevity
+
+// A process that prints everything it receives.
+class Printer : public ProcessCode {
+ public:
+  explicit Printer(const char* who) : who_(who) {}
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override {
+    std::printf("  [%s] received: \"%s\"  (my send label is now %s)\n", who_,
+                msg.data.c_str(), ctx.send_label().ToString().c_str());
+  }
+
+ private:
+  const char* who_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Asbestos labels quickstart ==\n\n");
+  Kernel kernel(/*boot_key=*/2005);
+
+  // --- Three processes -------------------------------------------------------
+  SpawnArgs owner_args;
+  owner_args.name = "owner";
+  const ProcessId owner = kernel.CreateProcess(std::make_unique<Printer>("owner"), owner_args);
+  SpawnArgs reader_args;
+  reader_args.name = "reader";
+  const ProcessId reader =
+      kernel.CreateProcess(std::make_unique<Printer>("reader"), reader_args);
+  SpawnArgs outsider_args;
+  outsider_args.name = "outsider";
+  const ProcessId outsider =
+      kernel.CreateProcess(std::make_unique<Printer>("outsider"), outsider_args);
+
+  // Everyone opens a mailbox port.
+  Handle reader_port;
+  Handle outsider_port;
+  kernel.WithProcessContext(reader, [&](ProcessContext& ctx) {
+    reader_port = ctx.NewPort(Label::Top());
+    ctx.SetPortLabel(reader_port, Label::Top());  // open to all
+  });
+  kernel.WithProcessContext(outsider, [&](ProcessContext& ctx) {
+    outsider_port = ctx.NewPort(Label::Top());
+    ctx.SetPortLabel(outsider_port, Label::Top());
+  });
+
+  // --- 1. The owner mints a compartment --------------------------------------
+  Handle secret;
+  kernel.WithProcessContext(owner, [&](ProcessContext& ctx) {
+    secret = ctx.NewHandle();
+    std::printf("1. owner created compartment %llu and holds it at ⋆: %s\n",
+                (unsigned long long)secret.value(), ctx.send_label().ToString().c_str());
+  });
+
+  // --- 2. Clearing the reader -------------------------------------------------
+  // Raising someone's receive label is decontamination: it needs ⋆, which the
+  // owner has. The grant rides on a message (D_R).
+  kernel.WithProcessContext(owner, [&](ProcessContext& ctx) {
+    Message m;
+    m.data = "you are cleared for the secret compartment";
+    SendArgs args;
+    args.decont_receive = Label({{secret, Level::kL3}}, Level::kStar);
+    ctx.Send(reader_port, std::move(m), args);
+  });
+  kernel.RunUntilIdle();
+  std::printf("2. reader's receive label: %s\n",
+              kernel.RecvLabelOf(reader).ToString().c_str());
+
+  // --- 3. Sending tainted data -----------------------------------------------
+  // The contamination label C_S taints the message; receivers get tainted.
+  std::printf("3. owner sends the secret to both mailboxes, tainted at level 3...\n");
+  kernel.WithProcessContext(owner, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.contaminate = Label({{secret, Level::kL3}}, Level::kStar);
+    Message to_reader;
+    to_reader.data = "the launch code is 0451";
+    ctx.Send(reader_port, std::move(to_reader), args);
+    Message to_outsider;
+    to_outsider.data = "the launch code is 0451";
+    ctx.Send(outsider_port, std::move(to_outsider), args);
+  });
+  kernel.RunUntilIdle();
+  std::printf("   ...the outsider's copy was silently dropped (drops so far: %llu)\n",
+              (unsigned long long)kernel.stats().drops_label_check);
+  std::printf("   reader's send label is now tainted: %s\n",
+              kernel.SendLabelOf(reader).ToString().c_str());
+
+  // --- 4. Taint is transitive --------------------------------------------------
+  std::printf("4. the tainted reader tries to forward the secret to the outsider...\n");
+  kernel.WithProcessContext(reader, [&](ProcessContext& ctx) {
+    Message leak;
+    leak.data = "psst: 0451";
+    ctx.Send(outsider_port, std::move(leak));  // reports success regardless
+  });
+  kernel.RunUntilIdle();
+  std::printf("   ...also dropped (drops: %llu). Send still returned OK — messaging is\n",
+              (unsigned long long)kernel.stats().drops_label_check);
+  std::printf("   deliberately unreliable so delivery cannot be used as a covert channel.\n");
+
+  // --- 5. Declassification ------------------------------------------------------
+  std::printf("5. the owner (⋆) is immune to its own taint and may declassify:\n");
+  kernel.WithProcessContext(owner, [&](ProcessContext& ctx) {
+    std::printf("   owner's send label after all of this: %s\n",
+                ctx.send_label().ToString().c_str());
+    Message pub;
+    pub.data = "declassified: the launch code was a test pattern";
+    ctx.Send(outsider_port, std::move(pub));  // no contamination: plain send
+  });
+  kernel.RunUntilIdle();
+
+  std::printf("\nDone. Deliveries: %llu, label-check drops: %llu.\n",
+              (unsigned long long)kernel.stats().deliveries,
+              (unsigned long long)kernel.stats().drops_label_check);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fatal assertions. The simulator treats internal inconsistency as fatal:
+// a corrupted kernel invariant must stop the run, never limp on.
+#ifndef SRC_BASE_PANIC_H_
+#define SRC_BASE_PANIC_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asbestos {
+
+[[noreturn]] inline void PanicAt(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "asbestos: panic at %s:%d: %s\n", file, line, what);
+  std::abort();
+}
+
+}  // namespace asbestos
+
+#define ASB_PANIC(what) ::asbestos::PanicAt(__FILE__, __LINE__, (what))
+
+#define ASB_ASSERT(cond)                                 \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      ::asbestos::PanicAt(__FILE__, __LINE__, #cond);    \
+    }                                                    \
+  } while (0)
+
+#endif  // SRC_BASE_PANIC_H_

@@ -1,0 +1,51 @@
+// Result<T>: a value or a Status, for call sites that need both.
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/base/panic.h"
+#include "src/base/status.h"
+
+namespace asbestos {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value (success) or a Status (failure) keeps
+  // return statements terse: `return Status::kNotFound;` / `return value;`.
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(status) {                            // NOLINT
+    ASB_ASSERT(status != Status::kOk && "error Result requires a non-OK status");
+  }
+
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+
+  const T& value() const& {
+    ASB_ASSERT(ok() && "Result::value() on error");
+    return *value_;
+  }
+  T& value() & {
+    ASB_ASSERT(ok() && "Result::value() on error");
+    return *value_;
+  }
+  T&& take() {
+    ASB_ASSERT(ok() && "Result::take() on error");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_BASE_RESULT_H_

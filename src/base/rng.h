@@ -1,0 +1,31 @@
+// Deterministic pseudo-random number generation. Every stochastic choice in
+// the simulator draws from a seeded Rng so that runs are exactly repeatable.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace asbestos {
+
+// xoshiro256** seeded via SplitMix64. Not cryptographic; the handle cipher in
+// src/crypto provides the unpredictability the paper requires of handles.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+  // Uniform value in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  bool NextBool() { return (Next() & 1) != 0; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_BASE_RNG_H_

@@ -1,0 +1,35 @@
+#include "src/base/status.h"
+
+namespace asbestos {
+
+const char* StatusString(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kInvalidArgs:
+      return "INVALID_ARGS";
+    case Status::kNoMemory:
+      return "NO_MEMORY";
+    case Status::kNotFound:
+      return "NOT_FOUND";
+    case Status::kAccessDenied:
+      return "ACCESS_DENIED";
+    case Status::kBadState:
+      return "BAD_STATE";
+    case Status::kWouldBlock:
+      return "WOULD_BLOCK";
+    case Status::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::kUnsupported:
+      return "UNSUPPORTED";
+    case Status::kPeerClosed:
+      return "PEER_CLOSED";
+    case Status::kBufferTooSmall:
+      return "BUFFER_TOO_SMALL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace asbestos

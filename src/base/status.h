@@ -1,0 +1,30 @@
+// Status codes used across the Asbestos simulator. Modeled on kernel-style
+// status returns (cf. zx_status_t): cheap to copy, no allocation, no exceptions.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+namespace asbestos {
+
+enum class Status : int {
+  kOk = 0,
+  kInvalidArgs = -1,    // malformed syscall or protocol arguments
+  kNoMemory = -2,       // simulated resource exhaustion
+  kNotFound = -3,       // unknown handle, port, file, row, ...
+  kAccessDenied = -4,   // label check or privilege check failed
+  kBadState = -5,       // operation illegal in the current state
+  kWouldBlock = -6,     // nothing to receive / buffer full
+  kAlreadyExists = -7,  // duplicate name
+  kOutOfRange = -8,     // address or index outside a valid region
+  kUnsupported = -9,    // operation not implemented for this object
+  kPeerClosed = -10,    // connection or port torn down
+  kBufferTooSmall = -11,
+};
+
+// Human-readable name, e.g. "ACCESS_DENIED". Never returns null.
+const char* StatusString(Status s);
+
+constexpr bool IsOk(Status s) { return s == Status::kOk; }
+
+}  // namespace asbestos
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string helpers (gcc 12 lacks std::format; keep to printf-style).
+#ifndef SRC_BASE_STRINGS_H_
+#define SRC_BASE_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asbestos {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Strip ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+// ASCII case-insensitive equality (HTTP header names etc.).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// overflow. Used by protocol parsers that must reject malformed input.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+}  // namespace asbestos
+
+#endif  // SRC_BASE_STRINGS_H_

@@ -1,0 +1,97 @@
+#include "src/crypto/feistel61.h"
+
+#include "src/base/panic.h"
+
+namespace asbestos {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Feistel61::Feistel61(uint64_t key) {
+  // Blowfish fills its S-boxes with digits of pi keyed by XOR; we fill them
+  // from a keyed SplitMix64 stream, which gives the same structural property
+  // (key-dependent, dense, fixed tables).
+  uint64_t state = key ^ 0xa5b35705ULL;  // domain-separate from other users of the key
+  for (auto& k : round_keys_) {
+    k = static_cast<uint32_t>(SplitMix64(&state));
+  }
+  for (auto& box : sbox_) {
+    for (auto& entry : box) {
+      entry = static_cast<uint32_t>(SplitMix64(&state));
+    }
+  }
+}
+
+uint32_t Feistel61::RoundF(uint32_t half, uint32_t round_key) const {
+  // Blowfish-style F: key-mix then four byte-indexed S-box lookups combined
+  // with add/xor/add.
+  const uint32_t x = half ^ round_key;
+  const uint32_t a = (x >> 24) & 0xff;
+  const uint32_t b = (x >> 16) & 0xff;
+  const uint32_t c = (x >> 8) & 0xff;
+  const uint32_t d = x & 0xff;
+  return ((sbox_[0][a] + sbox_[1][b]) ^ sbox_[2][c]) + sbox_[3][d];
+}
+
+uint64_t Feistel61::EncryptOnce62(uint64_t x) const {
+  uint32_t left = static_cast<uint32_t>((x >> 31) & kHalfMask);
+  uint32_t right = static_cast<uint32_t>(x & kHalfMask);
+  for (int r = 0; r < kRounds; ++r) {
+    const uint32_t next_left = right;
+    right = (left ^ RoundF(right, round_keys_[r])) & kHalfMask;
+    left = next_left;
+  }
+  return (static_cast<uint64_t>(left) << 31) | right;
+}
+
+uint64_t Feistel61::DecryptOnce62(uint64_t y) const {
+  uint32_t left = static_cast<uint32_t>((y >> 31) & kHalfMask);
+  uint32_t right = static_cast<uint32_t>(y & kHalfMask);
+  for (int r = kRounds - 1; r >= 0; --r) {
+    const uint32_t next_right = left;
+    left = (right ^ RoundF(left, round_keys_[r])) & kHalfMask;
+    right = next_right;
+  }
+  return (static_cast<uint64_t>(left) << 31) | right;
+}
+
+uint64_t Feistel61::Encrypt(uint64_t x) const {
+  ASB_ASSERT(x < kDomain);
+  // Cycle walking: the 62-bit permutation restricted to [0, 2^61) is still a
+  // permutation of that set if we keep applying it until we land inside.
+  uint64_t y = EncryptOnce62(x);
+  while (y >= kDomain) {
+    y = EncryptOnce62(y);
+  }
+  return y;
+}
+
+uint64_t Feistel61::Decrypt(uint64_t y) const {
+  ASB_ASSERT(y < kDomain);
+  uint64_t x = DecryptOnce62(y);
+  while (x >= kDomain) {
+    x = DecryptOnce62(x);
+  }
+  return x;
+}
+
+uint64_t HandleSequence::Next() {
+  // Handle value 0 is reserved as "invalid"; since the cipher is a bijection,
+  // at most one counter value maps to 0 and we simply skip it.
+  for (;;) {
+    ASB_ASSERT(counter_ < Feistel61::kDomain && "61-bit handle space exhausted");
+    const uint64_t h = cipher_.Encrypt(counter_++);
+    if (h != 0) {
+      return h;
+    }
+  }
+}
+
+}  // namespace asbestos

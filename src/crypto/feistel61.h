@@ -1,0 +1,57 @@
+// A 61-bit block cipher for handle generation.
+//
+// Asbestos names compartments and ports with 61-bit handles. The kernel
+// generates them by encrypting an incrementing counter, so the sequence is
+// non-repeating (bijection) yet unpredictable, which closes the covert
+// channel that a visible allocation counter would open (paper Sections 4, 8).
+// The paper derives its cipher from Blowfish; we use a balanced 62-bit
+// Feistel network with a Blowfish-style S-box round function and restrict it
+// to the 61-bit domain by cycle walking (re-encrypting until the value falls
+// inside the domain), which preserves the bijection exactly.
+#ifndef SRC_CRYPTO_FEISTEL61_H_
+#define SRC_CRYPTO_FEISTEL61_H_
+
+#include <cstdint>
+
+namespace asbestos {
+
+class Feistel61 {
+ public:
+  static constexpr int kBits = 61;
+  static constexpr uint64_t kDomain = 1ULL << kBits;  // values in [0, kDomain)
+
+  explicit Feistel61(uint64_t key);
+
+  // Bijective map on [0, kDomain). Input must be inside the domain.
+  uint64_t Encrypt(uint64_t x) const;
+  uint64_t Decrypt(uint64_t y) const;
+
+ private:
+  static constexpr int kRounds = 16;
+  static constexpr uint64_t kHalfMask = (1ULL << 31) - 1;  // 31-bit halves
+
+  uint32_t RoundF(uint32_t half, uint32_t round_key) const;
+  uint64_t EncryptOnce62(uint64_t x) const;
+  uint64_t DecryptOnce62(uint64_t y) const;
+
+  uint32_t round_keys_[kRounds];
+  uint32_t sbox_[4][256];
+};
+
+// Generates the kernel's handle-value sequence: encrypted counter, skipping
+// the reserved value 0. Deterministic for a given key.
+class HandleSequence {
+ public:
+  explicit HandleSequence(uint64_t key) : cipher_(key) {}
+
+  uint64_t Next();
+  uint64_t generated_count() const { return counter_; }
+
+ private:
+  Feistel61 cipher_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_CRYPTO_FEISTEL61_H_

@@ -1,0 +1,374 @@
+#include "src/db/dbproxy.h"
+
+#include "src/base/strings.h"
+#include "src/kernel/bootstrap.h"
+#include "src/sim/costs.h"
+
+namespace asbestos {
+
+using dbproxy_proto::MessageType;
+
+namespace {
+
+constexpr char kUserIdColumn[] = "USER_ID";
+constexpr char kUserTable[] = "OKWS_USERS";
+
+}  // namespace
+
+std::string EncodeDbRow(const std::vector<SqlValue>& row) {
+  std::string out;
+  for (const SqlValue& v : row) {
+    if (v.is_null()) {
+      out += "n:0:";
+    } else if (v.is_int()) {
+      const std::string text = v.AsText();
+      out += StrFormat("i:%zu:%s", text.size(), text.c_str());
+    } else {
+      const std::string text = v.AsText();
+      out += StrFormat("t:%zu:%s", text.size(), text.c_str());
+    }
+  }
+  return out;
+}
+
+bool DecodeDbRow(std::string_view data, std::vector<SqlValue>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < data.size()) {
+    if (i + 2 > data.size() || data[i + 1] != ':') {
+      return false;
+    }
+    const char type = data[i];
+    i += 2;
+    const size_t colon = data.find(':', i);
+    if (colon == std::string_view::npos) {
+      return false;
+    }
+    uint64_t len = 0;
+    if (!ParseUint64(data.substr(i, colon - i), &len)) {
+      return false;
+    }
+    i = colon + 1;
+    if (i + len > data.size()) {
+      return false;
+    }
+    const std::string bytes(data.substr(i, len));
+    i += len;
+    if (type == 'n') {
+      out->emplace_back();
+    } else if (type == 'i') {
+      uint64_t magnitude = 0;
+      const bool negative = !bytes.empty() && bytes[0] == '-';
+      if (!ParseUint64(negative ? std::string_view(bytes).substr(1) : bytes, &magnitude)) {
+        return false;
+      }
+      const auto v = static_cast<int64_t>(magnitude);
+      out->emplace_back(SqlValue(negative ? -v : v));
+    } else if (type == 't') {
+      out->emplace_back(SqlValue(bytes));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DbproxyProcess::Start(ProcessContext& ctx) {
+  query_port_ = ctx.NewPort(Label::Top());
+  ASB_ASSERT(ctx.SetPortLabel(query_port_, Label::Top()) == Status::kOk);
+  // The privileged port stays closed: new_port left it at {priv 0, 3}, so
+  // only ⋆-holders (idd, via the launcher's capability grant) can reach it.
+  priv_port_ = ctx.NewPort(Label::Top());
+
+  // When a launcher started us, identify ourselves once (§7.1) and grant it
+  // the privileged-port capability to pass on to idd.
+  if (ctx.HasEnv("launcher_port")) {
+    Message reg;
+    reg.type = boot_proto::kRegister;
+    reg.data = "dbproxy";
+    reg.words = {query_port_.value(), priv_port_.value()};
+    SendArgs args;
+    args.verify =
+        Label({{Handle::FromValue(ctx.GetEnv("self_verify")), Level::kL0}}, Level::kL3);
+    args.decont_send = Label({{priv_port_, Level::kStar}}, Level::kL3);
+    ctx.Send(Handle::FromValue(ctx.GetEnv("launcher_port")), std::move(reg), args);
+  }
+}
+
+void DbproxyProcess::ChargeQuery(ProcessContext& ctx, const QueryResult& r) {
+  ctx.ChargeCycles(costs::kDbQueryBaseCycles + r.rows_visited * costs::kDbRowVisitCycles +
+                   r.index_probes * costs::kDbIndexProbeCycles);
+}
+
+void DbproxyProcess::ReplyDone(ProcessContext& ctx, Handle reply, uint64_t cookie, Status status,
+                               uint64_t rows_affected) {
+  if (!reply.valid()) {
+    return;
+  }
+  Message m;
+  m.type = MessageType::kDone;
+  m.words = {cookie, static_cast<uint64_t>(-static_cast<int>(status)), rows_affected};
+  ctx.Send(reply, std::move(m));
+}
+
+void DbproxyProcess::HandleBind(ProcessContext& ctx, const Message& msg) {
+  if (msg.words.size() < 3 || msg.data.empty()) {
+    return;
+  }
+  Binding b;
+  b.taint = Handle::FromValue(msg.words[0]);
+  b.grant = Handle::FromValue(msg.words[1]);
+  b.user_id = static_cast<int64_t>(msg.words[2]);
+  // The kBind message's D_S granted us uT ⋆ and its D_R raised our receive
+  // label — verify we really hold the privilege before trusting the binding.
+  if (ctx.send_label().Get(b.taint) != Level::kStar) {
+    return;
+  }
+  ctx.ModelHeapBytes(64);  // binding cache entry
+  bindings_[msg.data] = b;
+  bindings_by_id_[b.user_id] = b;
+  if (msg.reply_port.valid()) {
+    Message r;
+    r.type = MessageType::kBindR;
+    r.words = {0};
+    ctx.Send(msg.reply_port, std::move(r));
+  }
+}
+
+bool DbproxyProcess::StatementTouchesUserId(const SqlStatement& stmt) const {
+  const auto touches = [](const std::vector<SqlPredicate>& where) {
+    for (const SqlPredicate& p : where) {
+      if (p.column == kUserIdColumn) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (const auto* s = std::get_if<SelectStmt>(&stmt)) {
+    if (touches(s->where) || s->order_by == kUserIdColumn) {
+      return true;
+    }
+    for (const std::string& c : s->columns) {
+      if (c == kUserIdColumn) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (const auto* s = std::get_if<InsertStmt>(&stmt)) {
+    for (const std::string& c : s->columns) {
+      if (c == kUserIdColumn) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) {
+    for (const auto& [c, v] : s->sets) {
+      if (c == kUserIdColumn) {
+        return true;
+      }
+    }
+    return touches(s->where);
+  }
+  if (const auto* s = std::get_if<DeleteStmt>(&stmt)) {
+    return touches(s->where);
+  }
+  return false;
+}
+
+void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool privileged) {
+  ctx.ChargeCycles(costs::kDbProxyMessageCycles);
+  const uint64_t cookie = msg.words.empty() ? 0 : msg.words[0];
+  const uint64_t flags = msg.words.size() > 1 ? msg.words[1] : 0;
+  const size_t nl = msg.data.find('\n');
+  if (nl == std::string::npos) {
+    ReplyDone(ctx, msg.reply_port, cookie, Status::kInvalidArgs, 0);
+    return;
+  }
+  const std::string username = msg.data.substr(0, nl);
+  const std::string sql = msg.data.substr(nl + 1);
+
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) {
+    ReplyDone(ctx, msg.reply_port, cookie, parsed.status(), 0);
+    return;
+  }
+  SqlStatement stmt = parsed.take();
+
+  if (privileged) {
+    // idd's channel: execute verbatim, but still auto-add the hidden column
+    // to newly created worker tables.
+    if (auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+      if (create->table != kUserTable) {
+        SqlColumnDef uid;
+        uid.name = kUserIdColumn;
+        uid.type = SqlType::kInteger;
+        create->columns.push_back(std::move(uid));
+      }
+    }
+    auto result = db_.ExecuteStmt(stmt);
+    if (!result.ok()) {
+      ReplyDone(ctx, msg.reply_port, cookie, result.status(), 0);
+      return;
+    }
+    ChargeQuery(ctx, result.value());
+    for (const auto& row : result.value().rows) {
+      Message r;
+      r.type = MessageType::kRow;
+      r.words = {cookie};
+      r.data = EncodeDbRow(row);
+      ctx.Send(msg.reply_port, std::move(r));
+    }
+    ReplyDone(ctx, msg.reply_port, cookie, Status::kOk, result.value().rows_affected);
+    return;
+  }
+
+  // --- Worker path ------------------------------------------------------------
+  auto bit = bindings_.find(username);
+  if (bit == bindings_.end()) {
+    ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
+    return;
+  }
+  const Binding& binding = bit->second;
+
+  // Workers may neither name nor see the hidden column, nor touch the
+  // password table, nor define schema.
+  if (StatementTouchesUserId(stmt) ||
+      std::holds_alternative<CreateTableStmt>(stmt) ||
+      std::holds_alternative<CreateIndexStmt>(stmt)) {
+    ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
+    return;
+  }
+  const auto table_of = [](const SqlStatement& s) -> std::string {
+    if (const auto* sel = std::get_if<SelectStmt>(&s)) {
+      return sel->table;
+    }
+    if (const auto* ins = std::get_if<InsertStmt>(&s)) {
+      return ins->table;
+    }
+    if (const auto* upd = std::get_if<UpdateStmt>(&s)) {
+      return upd->table;
+    }
+    return std::get<DeleteStmt>(s).table;
+  };
+  if (table_of(stmt) == kUserTable) {
+    ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
+    return;
+  }
+
+  const bool is_write = !std::holds_alternative<SelectStmt>(stmt);
+  const bool declassify = (flags & dbproxy_proto::kFlagDeclassify) != 0;
+  if (is_write) {
+    // §7.5: the verify label must be bounded by {uT 3, uG 0, 2} — the sender
+    // is tainted by nothing except its own user's data and speaks for the
+    // user. The kernel already guaranteed ES ⊑ V.
+    const Label bound({{binding.taint, Level::kL3}, {binding.grant, Level::kL0}}, Level::kL2);
+    if (!msg.verify.Leq(bound) || !LevelLeq(msg.verify.Get(binding.grant), Level::kL0)) {
+      ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
+      return;
+    }
+  }
+  if (declassify) {
+    // §7.6: declassified writes require declassification privilege, proven
+    // by a verify label holding uT at ⋆.
+    if (msg.verify.Get(binding.taint) != Level::kStar) {
+      ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
+      return;
+    }
+  }
+  const int64_t stamp_id = declassify ? 0 : binding.user_id;
+
+  if (auto* ins = std::get_if<InsertStmt>(&stmt)) {
+    ins->columns.emplace_back(kUserIdColumn);
+    for (auto& row : ins->rows) {
+      row.emplace_back(SqlValue(stamp_id));
+    }
+  } else if (auto* upd = std::get_if<UpdateStmt>(&stmt)) {
+    // Workers modify only their own rows (declassify additionally flips the
+    // owner to "public").
+    SqlPredicate own;
+    own.column = kUserIdColumn;
+    own.op = SqlCompare::kEq;
+    own.literal = SqlValue(binding.user_id);
+    upd->where.push_back(std::move(own));
+    if (declassify) {
+      upd->sets.emplace_back(kUserIdColumn, SqlValue(int64_t{0}));
+    }
+  } else if (auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    SqlPredicate own;
+    own.column = kUserIdColumn;
+    own.op = SqlCompare::kEq;
+    own.literal = SqlValue(binding.user_id);
+    del->where.push_back(std::move(own));
+  } else if (auto* sel = std::get_if<SelectStmt>(&stmt)) {
+    // Fetch the hidden owner column alongside the request so each row can
+    // be tainted for its owner.
+    if (sel->star) {
+      SqlTable* t = db_.FindTable(sel->table);
+      if (t == nullptr) {
+        ReplyDone(ctx, msg.reply_port, cookie, Status::kNotFound, 0);
+        return;
+      }
+      sel->star = false;
+      for (const SqlColumnDef& c : t->columns()) {
+        if (c.name != kUserIdColumn) {
+          sel->columns.push_back(c.name);
+        }
+      }
+    }
+    sel->columns.emplace_back(kUserIdColumn);
+  }
+
+  auto result = db_.ExecuteStmt(stmt);
+  if (!result.ok()) {
+    ReplyDone(ctx, msg.reply_port, cookie, result.status(), 0);
+    return;
+  }
+  ChargeQuery(ctx, result.value());
+
+  if (const auto* sel = std::get_if<SelectStmt>(&stmt)) {
+    (void)sel;
+    for (auto row : result.value().rows) {
+      const int64_t owner = row.back().AsInt();
+      row.pop_back();  // strip the hidden column
+      SendArgs args;
+      if (owner != 0) {
+        auto oit = bindings_by_id_.find(owner);
+        if (oit == bindings_by_id_.end()) {
+          continue;  // unknown owner: fail closed
+        }
+        // Each row is a separate message with the owner's taint (§7.5);
+        // the kernel drops rows the receiver may not see.
+        args.contaminate = Label({{oit->second.taint, Level::kL3}}, Level::kStar);
+      }
+      Message r;
+      r.type = MessageType::kRow;
+      r.words = {cookie};
+      r.data = EncodeDbRow(row);
+      ctx.Send(msg.reply_port, std::move(r), args);
+    }
+  }
+  // Untainted completion marker: "all data has been returned".
+  ReplyDone(ctx, msg.reply_port, cookie, Status::kOk, result.value().rows_affected);
+
+  const auto current_bytes = static_cast<int64_t>(db_.approx_bytes());
+  ctx.ModelHeapBytes(current_bytes - modeled_db_bytes_);
+  modeled_db_bytes_ = current_bytes;
+}
+
+void DbproxyProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (msg.port == priv_port_) {
+    if (msg.type == MessageType::kBind) {
+      HandleBind(ctx, msg);
+    } else if (msg.type == MessageType::kQuery) {
+      HandleQuery(ctx, msg, /*privileged=*/true);
+    }
+    return;
+  }
+  if (msg.port == query_port_ && msg.type == MessageType::kQuery) {
+    HandleQuery(ctx, msg, /*privileged=*/false);
+  }
+}
+
+}  // namespace asbestos

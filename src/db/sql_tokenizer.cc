@@ -1,0 +1,97 @@
+#include "src/db/sql_tokenizer.h"
+
+#include <cctype>
+
+namespace asbestos {
+
+Result<std::vector<SqlToken>> TokenizeSql(std::string_view sql) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) != 0 || sql[j] == '_')) {
+        ++j;
+      }
+      SqlToken t;
+      t.kind = SqlToken::Kind::kIdent;
+      t.text.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        t.text.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(sql[k]))));
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])) != 0)) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j])) != 0) {
+        ++j;
+      }
+      SqlToken t;
+      t.kind = SqlToken::Kind::kNumber;
+      t.text = std::string(sql.substr(i, j - i));
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      SqlToken t;
+      t.kind = SqlToken::Kind::kString;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // doubled quote escape
+            t.text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        t.text.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::kInvalidArgs;
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Symbols, including the two-char comparators.
+    SqlToken t;
+    t.kind = SqlToken::Kind::kSymbol;
+    if (i + 1 < n) {
+      const std::string_view two = sql.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+        t.text = two == "<>" ? "!=" : std::string(two);
+        tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+    }
+    static constexpr std::string_view kSingles = "(),=<>*;";
+    if (kSingles.find(c) == std::string_view::npos) {
+      return Status::kInvalidArgs;
+    }
+    t.text = std::string(1, c);
+    tokens.push_back(std::move(t));
+    ++i;
+  }
+  SqlToken end;
+  end.kind = SqlToken::Kind::kEnd;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace asbestos

@@ -1,0 +1,28 @@
+// SQL tokenizer.
+#ifndef SRC_DB_SQL_TOKENIZER_H_
+#define SRC_DB_SQL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace asbestos {
+
+struct SqlToken {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;  // idents uppercased for keyword matching; strings decoded
+
+  bool IsSymbol(std::string_view s) const { return kind == Kind::kSymbol && text == s; }
+  bool IsKeyword(std::string_view upper) const { return kind == Kind::kIdent && text == upper; }
+};
+
+// Splits SQL into tokens. Identifiers are uppercased (the engine treats
+// identifiers case-insensitively); string literals keep their exact bytes.
+Result<std::vector<SqlToken>> TokenizeSql(std::string_view sql);
+
+}  // namespace asbestos
+
+#endif  // SRC_DB_SQL_TOKENIZER_H_

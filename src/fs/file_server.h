@@ -1,0 +1,68 @@
+// A labeled file server: the multi-user file server of paper §5.2/§5.4.
+//
+// Files carry a secrecy compartment (read replies are contaminated with it)
+// and an integrity requirement (writes must prove, via the verification
+// label V, that the writer's send label is low enough). Compartments are
+// decentralized: whoever creates a file grants the file server ⋆ for the
+// secrecy handle (D_S) and raises the server's receive label for it (D_R),
+// both on the CREATE message itself — so the server serves any compartment
+// without a central administrator, exactly the §5.3 pattern.
+//
+// Protocol (all to the server's public port; replies to msg.reply_port):
+//   kCreate: data: path; words: [cookie, secrecy_h, secrecy_level,
+//            integrity_h, integrity_level] (handle 0 = none)
+//   kRead:   data: path; words: [cookie]
+//   kWrite:  data: path '\n' contents; words: [cookie]; V checked
+//   kUnlink: data: path; words: [cookie]; V checked like a write
+#ifndef SRC_FS_FILE_SERVER_H_
+#define SRC_FS_FILE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/kernel/kernel.h"
+
+namespace asbestos {
+
+namespace fs_proto {
+enum MessageType : uint64_t {
+  kCreate = 1,
+  kCreateR = 2,  // words: [cookie, status]
+  kRead = 3,
+  kReadR = 4,    // words: [cookie, status]; data: contents; C_S: file secrecy
+  kWrite = 5,
+  kWriteR = 6,   // words: [cookie, status]
+  kUnlink = 7,
+  kUnlinkR = 8,  // words: [cookie, status]
+};
+}  // namespace fs_proto
+
+class FileServerProcess : public ProcessCode {
+ public:
+  void Start(ProcessContext& ctx) override;
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+
+  Handle service_port() const { return port_; }
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  struct File {
+    std::string contents;
+    Handle secrecy;            // invalid = public
+    Level secrecy_level = Level::kL3;
+    Handle integrity;          // invalid = anyone may write
+    Level integrity_level = Level::kL0;
+  };
+
+  void Reply(ProcessContext& ctx, const Message& msg, uint64_t type, uint64_t cookie,
+             Status status, std::string data = "", const SendArgs& args = SendArgs());
+  bool WriteAllowed(const File& f, const Message& msg) const;
+
+  Handle port_;
+  std::map<std::string, File> files_;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_FS_FILE_SERVER_H_

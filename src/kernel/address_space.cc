@@ -1,0 +1,183 @@
+#include "src/kernel/address_space.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace asbestos {
+namespace {
+
+SimPageStats g_page_stats;
+
+}  // namespace
+
+const SimPageStats& GetSimPageStats() { return g_page_stats; }
+
+namespace internal {
+
+SimPage::SimPage() { g_page_stats.live_pages += 1; }
+SimPage::~SimPage() { g_page_stats.live_pages -= 1; }
+
+PageRef::PageRef(const PageRef& other) : page_(other.page_) {
+  if (page_ != nullptr) {
+    ++page_->refcount;
+  }
+}
+
+PageRef& PageRef::operator=(const PageRef& other) {
+  if (this == &other) {
+    return *this;
+  }
+  SimPage* old = page_;
+  page_ = other.page_;
+  if (page_ != nullptr) {
+    ++page_->refcount;
+  }
+  if (old != nullptr && --old->refcount == 0) {
+    delete old;
+  }
+  return *this;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  SimPage* old = page_;
+  page_ = other.page_;
+  other.page_ = nullptr;
+  if (old != nullptr && --old->refcount == 0) {
+    delete old;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() {
+  if (page_ != nullptr && --page_->refcount == 0) {
+    delete page_;
+  }
+}
+
+}  // namespace internal
+
+uint64_t AddressSpace::AllocPages(uint64_t n) {
+  ASB_ASSERT(n > 0);
+  const uint64_t first = bump_;
+  bump_ += n;
+  return first * kPageSize;
+}
+
+void AddressSpace::FreePages(uint64_t addr, uint64_t n) {
+  ASB_ASSERT(addr % kPageSize == 0);
+  const uint64_t first = addr / kPageSize;
+  for (uint64_t p = first; p < first + n; ++p) {
+    pages_.erase(p);
+  }
+}
+
+void AddressSpace::Read(const PageOverlay* overlay, uint64_t addr, void* out, uint64_t n) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (n > 0) {
+    const uint64_t page = addr / kPageSize;
+    const uint64_t offset = addr % kPageSize;
+    const uint64_t chunk = std::min<uint64_t>(n, kPageSize - offset);
+
+    const internal::SimPage* src = nullptr;
+    if (overlay != nullptr) {
+      auto it = overlay->find(page);
+      if (it != overlay->end()) {
+        src = it->second.get();
+      }
+    }
+    if (src == nullptr) {
+      auto it = pages_.find(page);
+      if (it != pages_.end()) {
+        src = it->second.get();
+      }
+    }
+    if (src != nullptr) {
+      std::memcpy(dst, src->bytes + offset, chunk);
+    } else {
+      std::memset(dst, 0, chunk);  // zero-fill-on-demand: untouched pages read as zeros
+    }
+    dst += chunk;
+    addr += chunk;
+    n -= chunk;
+  }
+}
+
+uint64_t AddressSpace::Write(PageOverlay* overlay, uint64_t addr, const void* data, uint64_t n) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  uint64_t cow_pages = 0;
+  while (n > 0) {
+    const uint64_t page = addr / kPageSize;
+    const uint64_t offset = addr % kPageSize;
+    const uint64_t chunk = std::min<uint64_t>(n, kPageSize - offset);
+
+    internal::SimPage* dst_page = nullptr;
+    if (overlay == nullptr) {
+      // Base-process write. Unshare if an overlay still references the page.
+      auto it = pages_.find(page);
+      if (it == pages_.end()) {
+        auto* fresh = new internal::SimPage();
+        pages_.emplace(page, internal::PageRef(fresh));
+        dst_page = fresh;
+      } else if (it->second.get()->refcount > 1) {
+        auto* copy = new internal::SimPage();
+        std::memcpy(copy->bytes, it->second.get()->bytes, kPageSize);
+        it->second = internal::PageRef(copy);
+        dst_page = copy;
+      } else {
+        dst_page = it->second.get();
+      }
+    } else {
+      auto it = overlay->find(page);
+      if (it != overlay->end()) {
+        dst_page = it->second.get();
+        ASB_ASSERT(dst_page->refcount == 1 && "overlay pages are private");
+      } else {
+        // Copy-on-write: materialize a private copy of the base page (or a
+        // zero page if the base never touched this address).
+        auto* copy = new internal::SimPage();
+        auto base_it = pages_.find(page);
+        if (base_it != pages_.end()) {
+          std::memcpy(copy->bytes, base_it->second.get()->bytes, kPageSize);
+        }
+        overlay->emplace(page, internal::PageRef(copy));
+        dst_page = copy;
+        ++cow_pages;
+      }
+    }
+    std::memcpy(dst_page->bytes + offset, src, chunk);
+    src += chunk;
+    addr += chunk;
+    n -= chunk;
+  }
+  return cow_pages;
+}
+
+uint64_t OverlayClean(PageOverlay* overlay, uint64_t addr, uint64_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  // Only pages fully contained in the range revert; partial pages keep their
+  // private copy (the kernel cannot merge half a page).
+  uint64_t first = addr / kPageSize;
+  if (addr % kPageSize != 0) {
+    ++first;
+  }
+  const uint64_t end = (addr + n) / kPageSize;  // exclusive page bound
+  uint64_t dropped = 0;
+  for (uint64_t p = first; p < end;) {
+    auto it = overlay->lower_bound(p);
+    if (it == overlay->end() || it->first >= end) {
+      break;
+    }
+    p = it->first + 1;
+    overlay->erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+}  // namespace asbestos

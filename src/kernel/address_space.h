@@ -1,0 +1,102 @@
+// Simulated virtual memory with copy-on-write page overlays (paper §6.2).
+//
+// A base process owns an AddressSpace: a sparse map from page number to
+// reference-counted 4 KB pages, with zero-fill-on-demand (pages materialize
+// on first write; reads of untouched pages return zeros). An event process
+// does not get its own page table — it keeps only a PageOverlay, "a list of
+// modified pages and the modified pages themselves". A running event process
+// reads through to the base space and copies pages into its overlay on first
+// write. ep_clean reverts address ranges by dropping overlay pages.
+//
+// Live page counts are tracked globally so Figure-6 memory measurements see
+// real, COW-shared page populations.
+#ifndef SRC_KERNEL_ADDRESS_SPACE_H_
+#define SRC_KERNEL_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/base/status.h"
+#include "src/kernel/memstats.h"
+
+namespace asbestos {
+
+struct SimPageStats {
+  int64_t live_pages = 0;
+};
+
+const SimPageStats& GetSimPageStats();
+
+namespace internal {
+
+struct SimPage {
+  SimPage();
+  ~SimPage();
+  SimPage(const SimPage&) = delete;
+  SimPage& operator=(const SimPage&) = delete;
+
+  int32_t refcount = 1;
+  uint8_t bytes[kPageSize] = {};
+};
+
+class PageRef {
+ public:
+  PageRef() : page_(nullptr) {}
+  explicit PageRef(SimPage* adopted) : page_(adopted) {}
+  PageRef(const PageRef& other);
+  PageRef(PageRef&& other) noexcept : page_(other.page_) { other.page_ = nullptr; }
+  PageRef& operator=(const PageRef& other);
+  PageRef& operator=(PageRef&& other) noexcept;
+  ~PageRef();
+
+  SimPage* get() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+ private:
+  SimPage* page_;
+};
+
+}  // namespace internal
+
+// An event process's private memory: page number -> private page copy.
+// std::map keeps iteration deterministic.
+using PageOverlay = std::map<uint64_t, internal::PageRef>;
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Reserves a contiguous range of n pages; returns its first virtual
+  // address. Pages are zero-fill-on-demand.
+  uint64_t AllocPages(uint64_t n);
+  // Releases the pages covering [addr, addr + n*kPageSize).
+  void FreePages(uint64_t addr, uint64_t n);
+
+  // Reads through the optional overlay: overlay page, else base page, else
+  // zeros. May cross page boundaries.
+  void Read(const PageOverlay* overlay, uint64_t addr, void* out, uint64_t n) const;
+
+  // Writes to the base space (overlay == nullptr) or copy-on-write into the
+  // overlay. Returns the number of pages newly copied/created in the overlay
+  // (0 for base writes), so callers can charge COW cycles.
+  uint64_t Write(PageOverlay* overlay, uint64_t addr, const void* data, uint64_t n);
+
+  // Number of live pages materialized in the base space.
+  uint64_t base_page_count() const { return pages_.size(); }
+
+ private:
+  std::map<uint64_t, internal::PageRef> pages_;  // page number -> page
+  uint64_t bump_ = 0x10;                         // next free page number
+};
+
+// Drops all overlay pages fully contained in [addr, addr + n bytes),
+// reverting that range to the base process's contents (ep_clean). Returns
+// pages dropped.
+uint64_t OverlayClean(PageOverlay* overlay, uint64_t addr, uint64_t n);
+
+}  // namespace asbestos
+
+#endif  // SRC_KERNEL_ADDRESS_SPACE_H_

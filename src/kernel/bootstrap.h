@@ -1,0 +1,26 @@
+// Generic launcher/boot protocol (paper §7.1).
+//
+// A launcher spawns system components, giving each a verification handle at
+// level 0 in its send label. Components prove their identity exactly once,
+// in Start() (before any receive destroys the level-0 entry — mandatory
+// integrity, §5.4), by registering with a verification label. Ongoing trust
+// then flows through port capabilities granted on the registration message.
+#ifndef SRC_KERNEL_BOOTSTRAP_H_
+#define SRC_KERNEL_BOOTSTRAP_H_
+
+#include <cstdint>
+
+namespace asbestos::boot_proto {
+
+enum MessageType : uint64_t {
+  kRegister = 90,  // component → launcher; data: component name; words:
+                   // component-specific port values; V: {vX 0}; D_S grants
+                   // the launcher the component's wire-port capability
+  kReady = 91,     // component → launcher; data: component name
+  kWire = 92,      // launcher → component wire port; data: wire name;
+                   // words: [port/handle value]; D_S may grant capabilities
+};
+
+}  // namespace asbestos::boot_proto
+
+#endif  // SRC_KERNEL_BOOTSTRAP_H_

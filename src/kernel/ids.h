@@ -1,0 +1,18 @@
+// Identifier types for the kernel simulator.
+#ifndef SRC_KERNEL_IDS_H_
+#define SRC_KERNEL_IDS_H_
+
+#include <cstdint>
+
+namespace asbestos {
+
+using ProcessId = uint32_t;
+using EpId = uint32_t;
+
+constexpr ProcessId kNoProcess = 0;
+// Event-process id 0 denotes the base process context.
+constexpr EpId kBaseContext = 0;
+
+}  // namespace asbestos
+
+#endif  // SRC_KERNEL_IDS_H_

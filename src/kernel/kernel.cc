@@ -1,0 +1,978 @@
+#include "src/kernel/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/kernel/label_checks.h"
+
+#include "src/base/panic.h"
+#include "src/sim/costs.h"
+
+namespace asbestos {
+
+namespace {
+
+// True for the identity decontaminate-send label {3}: meets with it are
+// no-ops, which is the common case on the hot path.
+bool IsTopLabel(const Label& l) {
+  return l.default_level() == Level::kL3 && l.entry_count() == 0;
+}
+
+bool IsBottomLabel(const Label& l) {
+  return l.default_level() == Level::kStar && l.entry_count() == 0;
+}
+
+// Locates the mapping containing `addr` in an event process, if any.
+const MappedRegion* FindMapping(const EventProcess* ep, uint64_t addr) {
+  if (ep == nullptr) {
+    return nullptr;
+  }
+  for (const MappedRegion& m : ep->mappings) {
+    if (addr >= m.base_addr && addr < m.base_addr + m.page_count * kPageSize) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// --- ProcessContext forwarding -------------------------------------------------
+
+ProcessId ProcessContext::pid() const { return proc_->id; }
+EpId ProcessContext::ep_id() const { return ep_ != nullptr ? ep_->id : kBaseContext; }
+bool ProcessContext::in_new_ep() const { return new_ep_; }
+const std::string& ProcessContext::name() const { return proc_->name; }
+
+bool ProcessContext::HasEnv(const std::string& key) const {
+  return proc_->env.count(key) != 0;
+}
+
+uint64_t ProcessContext::GetEnv(const std::string& key) const {
+  auto it = proc_->env.find(key);
+  return it == proc_->env.end() ? 0 : it->second;
+}
+
+const Label& ProcessContext::send_label() const {
+  return ep_ != nullptr ? ep_->send_label : proc_->send_label;
+}
+
+const Label& ProcessContext::recv_label() const {
+  return ep_ != nullptr ? ep_->recv_label : proc_->recv_label;
+}
+
+Handle ProcessContext::NewHandle() { return kernel_->SysNewHandle(*proc_, ep_); }
+
+Handle ProcessContext::NewPort(const Label& port_label) {
+  return kernel_->SysNewPort(*proc_, ep_, port_label);
+}
+
+Status ProcessContext::SetPortLabel(Handle port, const Label& label) {
+  return kernel_->SysSetPortLabel(*proc_, ep_, port, label);
+}
+
+Result<Label> ProcessContext::GetPortLabel(Handle port) const {
+  Kernel::Vnode* v = kernel_->FindLivePort(port);
+  if (v == nullptr || !kernel_->ContextOwnsPort(*proc_, ep_, *v)) {
+    return Status::kNotFound;
+  }
+  return v->port_label;
+}
+
+Status ProcessContext::TransferPort(Handle port, ProcessId new_owner) {
+  Kernel::Vnode* v = kernel_->FindLivePort(port);
+  if (v == nullptr || !kernel_->ContextOwnsPort(*proc_, ep_, *v)) {
+    return Status::kNotFound;
+  }
+  Process* dest = kernel_->FindProcess(new_owner);
+  if (dest == nullptr || dest->exited) {
+    return Status::kNotFound;
+  }
+  auto& src_ports = ep_ != nullptr ? ep_->owned_ports : proc_->owned_ports;
+  src_ports.erase(std::remove(src_ports.begin(), src_ports.end(), port), src_ports.end());
+  v->owner = new_owner;
+  v->owner_ep = kBaseContext;
+  dest->owned_ports.push_back(port);
+  if (!v->queue.empty()) {
+    kernel_->EnqueuePendingPort(*dest, port);
+  }
+  return Status::kOk;
+}
+
+Status ProcessContext::ClosePort(Handle port) {
+  Kernel::Vnode* v = kernel_->FindLivePort(port);
+  if (v == nullptr || !kernel_->ContextOwnsPort(*proc_, ep_, *v)) {
+    return Status::kNotFound;
+  }
+  auto& ports = ep_ != nullptr ? ep_->owned_ports : proc_->owned_ports;
+  ports.erase(std::remove(ports.begin(), ports.end(), port), ports.end());
+  kernel_->DissociatePort(*v);
+  return Status::kOk;
+}
+
+Status ProcessContext::Send(Handle port, Message msg, const SendArgs& args) {
+  return kernel_->SysSend(*proc_, ep_, port, std::move(msg), args);
+}
+
+Status ProcessContext::SetSendLevel(Handle h, Level level) {
+  return kernel_->SysSetSendLevel(*proc_, ep_, h, level);
+}
+
+Status ProcessContext::SetReceiveLevel(Handle h, Level level) {
+  return kernel_->SysSetReceiveLevel(*proc_, ep_, h, level);
+}
+
+void ProcessContext::SelfContaminate(const Label& add) {
+  Label& qs = kernel_->ContextSendLabel(*proc_, ep_);
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  // QS ← QS ⊔ (add ⊓ QS⋆): contamination cannot strip the caller's ⋆ levels;
+  // those are dropped only through SetSendLevel.
+  Label capped = Label::Glb(add, qs.StarsOnly());
+  qs.JoinInPlace(capped);
+  kernel_->ChargeLabelWorkSince(baseline);
+}
+
+Result<ProcessId> ProcessContext::Spawn(std::unique_ptr<ProcessCode> code, SpawnArgs args) {
+  return kernel_->SysSpawn(*proc_, ep_, std::move(code), std::move(args));
+}
+
+void ProcessContext::Exit() { proc_->exited = true; }
+
+void ProcessContext::EnterEventRealm() { proc_->in_event_realm = true; }
+
+Status ProcessContext::EpClean(uint64_t addr, uint64_t len) {
+  if (ep_ == nullptr) {
+    return Status::kBadState;
+  }
+  const uint64_t dropped = OverlayClean(&ep_->private_pages, addr, len);
+  kernel_->mem_.overlay_page_slots -= dropped;
+  ep_->ever_cleaned = true;
+  return Status::kOk;
+}
+
+void ProcessContext::EpExit() {
+  if (ep_ != nullptr) {
+    ep_->exited = true;
+  } else {
+    // ep_exit from the base context is meaningless; treat as process exit.
+    proc_->exited = true;
+  }
+}
+
+uint64_t ProcessContext::AllocPages(uint64_t n) { return proc_->memory.AllocPages(n); }
+
+void ProcessContext::FreePages(uint64_t addr, uint64_t n) { proc_->memory.FreePages(addr, n); }
+
+void ProcessContext::ReadMem(uint64_t addr, void* out, uint64_t n) const {
+  if (const MappedRegion* m = FindMapping(ep_, addr)) {
+    const SharedRegion& region = proc_->shared_regions.at(m->region.value());
+    uint64_t offset = addr - m->base_addr;
+    ASB_ASSERT(offset + n <= m->page_count * kPageSize && "access crosses the mapping");
+    uint8_t* dst = static_cast<uint8_t*>(out);
+    while (n > 0) {
+      const uint64_t page = offset / kPageSize;
+      const uint64_t in_page = offset % kPageSize;
+      const uint64_t chunk = std::min<uint64_t>(n, kPageSize - in_page);
+      std::memcpy(dst, region.pages[page].get()->bytes + in_page, chunk);
+      dst += chunk;
+      offset += chunk;
+      n -= chunk;
+    }
+    return;
+  }
+  proc_->memory.Read(ep_ != nullptr ? &ep_->private_pages : nullptr, addr, out, n);
+}
+
+void ProcessContext::WriteMem(uint64_t addr, const void* data, uint64_t n) {
+  if (const MappedRegion* m = FindMapping(ep_, addr)) {
+    SharedRegion& region = proc_->shared_regions.at(m->region.value());
+    // Write-time check: the writer's taint must still fit under the region
+    // label, or other mappers (contaminated only to the region label) would
+    // observe higher-taint data. Failing writes vanish silently, like
+    // undeliverable sends.
+    const LabelWorkStats baseline = GetLabelWorkStats();
+    const bool allowed = ep_->send_label.Leq(region.label);
+    kernel_->ChargeLabelWorkSince(baseline);
+    if (!allowed) {
+      kernel_->stats_.shared_writes_dropped += 1;
+      return;
+    }
+    uint64_t offset = addr - m->base_addr;
+    ASB_ASSERT(offset + n <= m->page_count * kPageSize && "access crosses the mapping");
+    const uint8_t* src = static_cast<const uint8_t*>(data);
+    while (n > 0) {
+      const uint64_t page = offset / kPageSize;
+      const uint64_t in_page = offset % kPageSize;
+      const uint64_t chunk = std::min<uint64_t>(n, kPageSize - in_page);
+      std::memcpy(region.pages[page].get()->bytes + in_page, src, chunk);
+      src += chunk;
+      offset += chunk;
+      n -= chunk;
+    }
+    return;
+  }
+  const uint64_t cow =
+      proc_->memory.Write(ep_ != nullptr ? &ep_->private_pages : nullptr, addr, data, n);
+  if (cow > 0) {
+    kernel_->stats_.cow_pages_copied += cow;
+    kernel_->mem_.overlay_page_slots += cow;
+    ChargeTo(Component::kKernelIpc, cow * costs::kEpPageCowCycles);
+    kernel_->UpdatePeak();
+  }
+}
+
+Result<Handle> ProcessContext::ShareRegion(uint64_t addr, uint64_t n_pages,
+                                           const Label& region_label) {
+  if (ep_ == nullptr) {
+    return Status::kBadState;  // shared regions exist between event processes
+  }
+  if (n_pages == 0 || addr % kPageSize != 0) {
+    return Status::kInvalidArgs;
+  }
+  // Publishing data at region_label requires the data's taint to fit under
+  // it — the exact condition a send's ES ⊑ V check would impose.
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  const bool allowed = ep_->send_label.Leq(region_label);
+  kernel_->ChargeLabelWorkSince(baseline);
+  if (!allowed) {
+    return Status::kAccessDenied;
+  }
+  const Handle h = kernel_->SysNewHandle(*proc_, ep_);
+  SharedRegion region;
+  region.handle = h;
+  region.label = region_label;
+  region.pages.reserve(n_pages);
+  // Snapshot the creator's current view (overlay over base over zeros).
+  for (uint64_t p = 0; p < n_pages; ++p) {
+    auto* page = new internal::SimPage();
+    proc_->memory.Read(&ep_->private_pages, addr + p * kPageSize, page->bytes, kPageSize);
+    region.pages.emplace_back(page);
+    ChargeTo(Component::kKernelIpc, costs::kEpPageCowCycles);
+  }
+  proc_->shared_regions.emplace(h.value(), std::move(region));
+  kernel_->stats_.shared_regions_created += 1;
+  kernel_->UpdatePeak();
+  return h;
+}
+
+Status ProcessContext::MapSharedRegion(Handle region, uint64_t at_addr) {
+  if (ep_ == nullptr) {
+    return Status::kBadState;
+  }
+  auto it = proc_->shared_regions.find(region.value());
+  if (it == proc_->shared_regions.end()) {
+    return Status::kNotFound;
+  }
+  if (at_addr % kPageSize != 0) {
+    return Status::kInvalidArgs;
+  }
+  if (FindMapping(ep_, at_addr) != nullptr) {
+    return Status::kAlreadyExists;
+  }
+  // Mapping is receiving: the region's label must fit under this event
+  // process's receive label, and contaminates its send label (Eq. 5 with the
+  // region label as ES).
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  const bool allowed = it->second.label.Leq(ep_->recv_label);
+  if (!allowed) {
+    kernel_->ChargeLabelWorkSince(baseline);
+    return Status::kAccessDenied;
+  }
+  Label contam = Label::Glb(it->second.label, ep_->send_label.StarsOnly());
+  ep_->send_label.JoinInPlace(contam);
+  kernel_->ChargeLabelWorkSince(baseline);
+
+  MappedRegion m;
+  m.base_addr = at_addr;
+  m.page_count = it->second.pages.size();
+  m.region = region;
+  ep_->mappings.push_back(m);
+  ChargeTo(Component::kKernelIpc, costs::kEpSwitchCycles);
+  return Status::kOk;
+}
+
+Status ProcessContext::UnmapSharedRegion(Handle region) {
+  if (ep_ == nullptr) {
+    return Status::kBadState;
+  }
+  for (auto it = ep_->mappings.begin(); it != ep_->mappings.end(); ++it) {
+    if (it->region == region) {
+      ep_->mappings.erase(it);
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
+void ProcessContext::ModelHeapBytes(int64_t delta) {
+  proc_->modeled_heap_bytes += delta;
+  ASB_ASSERT(proc_->modeled_heap_bytes >= 0);
+  if (delta > 0) {
+    kernel_->mem_.modeled_user_heap_bytes += static_cast<uint64_t>(delta);
+  } else {
+    kernel_->mem_.modeled_user_heap_bytes -= static_cast<uint64_t>(-delta);
+  }
+  kernel_->UpdatePeak();
+}
+
+void ProcessContext::ChargeCycles(uint64_t cycles) { ChargeTo(proc_->component, cycles); }
+
+// --- Kernel ---------------------------------------------------------------------
+
+Kernel::Kernel(uint64_t boot_key) : handles_(boot_key) {}
+
+Kernel::~Kernel() = default;
+
+uint64_t Kernel::now_cycles() const { return GetCycleAccounting().now(); }
+
+void Kernel::ChargeLabelWorkSince(const LabelWorkStats& baseline) {
+  const LabelWorkStats& now = GetLabelWorkStats();
+  const uint64_t ops = now.ops - baseline.ops;
+  const uint64_t entries = now.entries_visited - baseline.entries_visited;
+  ChargeTo(Component::kKernelIpc,
+           ops * costs::kLabelOpBaseCycles + entries * costs::kLabelEntryCycles);
+}
+
+Label& Kernel::ContextSendLabel(Process& proc, EventProcess* ep) {
+  return ep != nullptr ? ep->send_label : proc.send_label;
+}
+
+Label& Kernel::ContextRecvLabel(Process& proc, EventProcess* ep) {
+  return ep != nullptr ? ep->recv_label : proc.recv_label;
+}
+
+Kernel::Vnode* Kernel::FindVnode(Handle h) {
+  auto it = vnodes_.find(h.value());
+  return it == vnodes_.end() ? nullptr : &it->second;
+}
+
+const Kernel::Vnode* Kernel::FindVnode(Handle h) const {
+  auto it = vnodes_.find(h.value());
+  return it == vnodes_.end() ? nullptr : &it->second;
+}
+
+Kernel::Vnode* Kernel::FindLivePort(Handle h) {
+  Vnode* v = FindVnode(h);
+  return (v != nullptr && v->is_port && v->port_alive) ? v : nullptr;
+}
+
+bool Kernel::ContextOwnsPort(const Process& proc, const EventProcess* ep,
+                             const Vnode& v) const {
+  return v.owner == proc.id && v.owner_ep == (ep != nullptr ? ep->id : kBaseContext);
+}
+
+Handle Kernel::SysNewHandle(Process& proc, EventProcess* ep) {
+  ChargeTo(Component::kKernelIpc, costs::kVnodeLookupCycles);
+  const Handle h = Handle::FromValue(handles_.Next());
+  Vnode v;
+  v.handle = h;
+  vnodes_.emplace(h.value(), std::move(v));
+  mem_.vnodes += 1;
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  ContextSendLabel(proc, ep).Set(h, Level::kStar);
+  ChargeLabelWorkSince(baseline);
+  UpdatePeak();
+  return h;
+}
+
+Handle Kernel::SysNewPort(Process& proc, EventProcess* ep, const Label& port_label) {
+  ChargeTo(Component::kKernelIpc, costs::kVnodeLookupCycles);
+  const Handle p = Handle::FromValue(handles_.Next());
+  Vnode v;
+  v.handle = p;
+  v.is_port = true;
+  v.port_alive = true;
+  v.port_label = port_label;
+  // The kernel closes the new port by default: pR(p) ← 0 means no process
+  // with the default send level 1 can reach it until the owner says so.
+  v.port_label.Set(p, Level::kL0);
+  v.owner = proc.id;
+  v.owner_ep = ep != nullptr ? ep->id : kBaseContext;
+  vnodes_.emplace(p.value(), std::move(v));
+  mem_.vnodes += 1;
+  auto& ports = ep != nullptr ? ep->owned_ports : proc.owned_ports;
+  ports.push_back(p);
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  ContextSendLabel(proc, ep).Set(p, Level::kStar);
+  ChargeLabelWorkSince(baseline);
+  UpdatePeak();
+  return p;
+}
+
+Status Kernel::SysSetPortLabel(Process& proc, EventProcess* ep, Handle port,
+                               const Label& label) {
+  ChargeTo(Component::kKernelIpc, costs::kVnodeLookupCycles);
+  Vnode* v = FindLivePort(port);
+  if (v == nullptr || !ContextOwnsPort(proc, ep, *v)) {
+    return Status::kNotFound;
+  }
+  // set_port_label applies the label verbatim: no implicit pR(p) ← 0, which
+  // is how an owner opens a port to the world (paper §5.5).
+  v->port_label = label;
+  return Status::kOk;
+}
+
+Status Kernel::SysSetSendLevel(Process& proc, EventProcess* ep, Handle h, Level level) {
+  Label& qs = ContextSendLabel(proc, ep);
+  const Level current = qs.Get(h);
+  if (!LevelLeq(current, level) && current != Level::kStar) {
+    // Lowering without holding ⋆ would be self-declassification.
+    return Status::kAccessDenied;
+  }
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  qs.Set(h, level);
+  ChargeLabelWorkSince(baseline);
+  return Status::kOk;
+}
+
+Status Kernel::SysSetReceiveLevel(Process& proc, EventProcess* ep, Handle h, Level level) {
+  Label& qr = ContextRecvLabel(proc, ep);
+  const Level current = qr.Get(h);
+  if (!LevelLeq(level, current)) {
+    // Raising a receive level makes the process contaminable: requires ⋆.
+    if (ContextSendLabel(proc, ep).Get(h) != Level::kStar) {
+      return Status::kAccessDenied;
+    }
+  }
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  qr.Set(h, level);
+  ChargeLabelWorkSince(baseline);
+  return Status::kOk;
+}
+
+Status Kernel::SysSend(Process& proc, EventProcess* ep, Handle port, Message msg,
+                       const SendArgs& args) {
+  stats_.sends += 1;
+  const uint64_t payload = MessagePayloadBytes(msg);
+  ChargeTo(Component::kKernelIpc,
+           costs::kSendBaseCycles + payload * costs::kMessageByteCycles +
+               costs::kVnodeLookupCycles);
+
+  Vnode* v = FindLivePort(port);
+  if (v == nullptr) {
+    // Unreliable messaging: the sender cannot distinguish a dead port from a
+    // label failure; both report success.
+    stats_.drops_no_port += 1;
+    return Status::kOk;
+  }
+
+  const Label& ps = ContextSendLabel(proc, ep);
+  const LabelWorkStats baseline = GetLabelWorkStats();
+
+  // Requirements (2) and (3): decontamination needs ⋆ on every affected
+  // handle, evaluated against the sender's labels at send time.
+  bool privileged = true;
+  if (args.decont_send.default_level() != Level::kL3 &&
+      ps.default_level() != Level::kStar) {
+    privileged = false;
+  }
+  if (privileged) {
+    for (Label::EntryIter it = args.decont_send.IterateEntries(); !it.done(); it.Advance()) {
+      if (it.level() != Level::kL3 && ps.Get(it.handle()) != Level::kStar) {
+        privileged = false;
+        break;
+      }
+    }
+  }
+  if (privileged && args.decont_receive.default_level() != Level::kStar &&
+      ps.default_level() != Level::kStar) {
+    privileged = false;
+  }
+  if (privileged) {
+    for (Label::EntryIter it = args.decont_receive.IterateEntries(); !it.done();
+         it.Advance()) {
+      if (it.level() != Level::kStar && ps.Get(it.handle()) != Level::kStar) {
+        privileged = false;
+        break;
+      }
+    }
+  }
+  if (!privileged) {
+    ChargeLabelWorkSince(baseline);
+    stats_.drops_privilege += 1;
+    return Status::kOk;  // silently dropped
+  }
+
+  QueuedMessage qm;
+  qm.msg = std::move(msg);
+  qm.msg.port = port;
+  qm.msg.verify = args.verify;
+  // ES = PS ⊔ CS, snapshotted now: later sender label changes must not
+  // retroactively change what this message carries.
+  qm.effective_send = Label::Lub(ps, args.contaminate);
+  qm.decont_send = args.decont_send;
+  qm.decont_receive = args.decont_receive;
+  qm.payload_bytes = payload;
+  ChargeLabelWorkSince(baseline);
+
+  mem_.queued_message_bytes += payload + kQueuedMessageOverheadBytes;
+  v->queue.push_back(std::move(qm));
+  Process* owner = FindProcess(v->owner);
+  ASB_ASSERT(owner != nullptr);
+  EnqueuePendingPort(*owner, port);
+  UpdatePeak();
+  return Status::kOk;
+}
+
+Result<ProcessId> Kernel::SysSpawn(Process& parent, EventProcess* ep,
+                                   std::unique_ptr<ProcessCode> code, SpawnArgs args) {
+  // Spawning transmits the parent's entire state to the child, so the
+  // child's send label may sit below the parent's only where the parent
+  // holds ⋆ (this is how privilege is distributed by forking, §5.3), and the
+  // child's receive label may exceed the system default only where the
+  // parent holds ⋆ (it is a decontamination).
+  const Label& ps = ContextSendLabel(parent, ep);
+  const LabelWorkStats baseline = GetLabelWorkStats();
+  bool allowed = true;
+  if (!LevelLeq(ps.default_level(), args.send_label.default_level()) &&
+      ps.default_level() != Level::kStar) {
+    allowed = false;
+  }
+  if (allowed) {
+    // Check every handle where either label is explicit.
+    for (const auto& [h, child_level] : args.send_label.Entries()) {
+      const Level pl = ps.Get(h);
+      if (!LevelLeq(pl, child_level) && pl != Level::kStar) {
+        allowed = false;
+        break;
+      }
+    }
+  }
+  if (allowed) {
+    for (const auto& [h, pl] : ps.Entries()) {
+      const Level child_level = args.send_label.Get(h);
+      if (!LevelLeq(pl, child_level) && pl != Level::kStar) {
+        allowed = false;
+        break;
+      }
+    }
+  }
+  if (allowed) {
+    if (!LevelLeq(args.recv_label.default_level(), kDefaultReceiveLevel) &&
+        ps.default_level() != Level::kStar) {
+      allowed = false;
+    }
+  }
+  if (allowed) {
+    for (const auto& [h, child_level] : args.recv_label.Entries()) {
+      if (!LevelLeq(child_level, kDefaultReceiveLevel) && ps.Get(h) != Level::kStar) {
+        allowed = false;
+        break;
+      }
+    }
+  }
+  ChargeLabelWorkSince(baseline);
+  if (!allowed) {
+    return Status::kAccessDenied;
+  }
+  return CreateProcess(std::move(code), std::move(args));
+}
+
+ProcessId Kernel::CreateProcess(std::unique_ptr<ProcessCode> code, SpawnArgs args) {
+  ChargeTo(Component::kOther, costs::kProcessSwitchCycles);
+  const ProcessId pid = next_pid_++;
+  auto proc = std::make_unique<Process>();
+  proc->id = pid;
+  proc->name = args.name;
+  proc->component = args.component;
+  proc->code = std::move(code);
+  proc->send_label = args.send_label;
+  proc->recv_label = args.recv_label;
+  proc->env = std::move(args.env);
+  Process* raw = proc.get();
+  processes_.emplace(pid, std::move(proc));
+  stats_.processes_created += 1;
+  mem_.processes += 1;
+  UpdatePeak();
+  {
+    ScopedComponent scope(raw->component);
+    ProcessContext ctx(this, raw, nullptr, false);
+    raw->code->Start(ctx);
+  }
+  if (raw->exited) {
+    DestroyProcess(*raw);
+  }
+  return pid;
+}
+
+void Kernel::WithProcessContext(ProcessId pid, const std::function<void(ProcessContext&)>& fn) {
+  Process* proc = FindProcess(pid);
+  ASB_ASSERT(proc != nullptr && !proc->exited);
+  ScopedComponent scope(proc->component);
+  ProcessContext ctx(this, proc, nullptr, false);
+  fn(ctx);
+  if (proc->exited) {
+    DestroyProcess(*proc);
+  }
+}
+
+void Kernel::EnqueuePendingPort(Process& owner, Handle port) {
+  if (owner.pending_port_set.insert(port.value()).second) {
+    owner.pending_ports.push_back(port);
+  }
+  ScheduleProcess(owner);
+}
+
+void Kernel::ScheduleProcess(Process& proc) {
+  if (!proc.in_run_queue && !proc.exited) {
+    proc.in_run_queue = true;
+    run_queue_.push_back(proc.id);
+  }
+}
+
+bool Kernel::Step() {
+  while (!run_queue_.empty()) {
+    const ProcessId pid = run_queue_.front();
+    run_queue_.pop_front();
+    Process* proc = FindProcess(pid);
+    if (proc == nullptr) {
+      continue;
+    }
+    proc->in_run_queue = false;
+    if (proc->exited) {
+      continue;
+    }
+    ChargeTo(Component::kOther, costs::kSchedulerTickCycles);
+
+    bool delivered = false;
+    while (!proc->pending_ports.empty() && !delivered) {
+      const Handle port = proc->pending_ports.front();
+      proc->pending_ports.pop_front();
+      proc->pending_port_set.erase(port.value());
+      Vnode* v = FindLivePort(port);
+      if (v == nullptr || v->owner != pid) {
+        continue;  // dissociated or transferred while pending
+      }
+      delivered = DeliverFromPort(*v);
+      // Re-queue the port if it still has traffic. (DeliverFromPort may have
+      // destroyed the process; re-find defensively.)
+      proc = FindProcess(pid);
+      if (proc == nullptr) {
+        break;
+      }
+      v = FindLivePort(port);
+      if (v != nullptr && v->owner == pid && !v->queue.empty()) {
+        EnqueuePendingPort(*proc, port);
+      }
+    }
+    if (proc != nullptr && !proc->pending_ports.empty()) {
+      ScheduleProcess(*proc);
+    }
+    if (delivered) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Kernel::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+bool Kernel::DeliverFromPort(Vnode& port) {
+  Process* proc = FindProcess(port.owner);
+  ASB_ASSERT(proc != nullptr);
+
+  while (!port.queue.empty()) {
+    QueuedMessage qm = std::move(port.queue.front());
+    port.queue.pop_front();
+    mem_.queued_message_bytes -= qm.payload_bytes + kQueuedMessageOverheadBytes;
+
+    // Identify the receiving context. A message on an event-process-owned
+    // port resumes that event process; a message on a base-owned port of a
+    // process in the event realm forks a fresh event process — but only
+    // after the checks pass, so a dropped message costs nothing.
+    EventProcess* ep = nullptr;
+    bool would_create_ep = false;
+    if (port.owner_ep != kBaseContext) {
+      auto it = proc->eps.find(port.owner_ep);
+      ASB_ASSERT(it != proc->eps.end());
+      ep = it->second.get();
+    } else if (proc->in_event_realm) {
+      would_create_ep = true;
+    }
+
+    const Label& qr = ep != nullptr ? ep->recv_label : proc->recv_label;
+    Label& qs_ref = ep != nullptr ? ep->send_label : proc->send_label;
+
+    ChargeTo(Component::kKernelIpc,
+             costs::kRecvBaseCycles + qm.payload_bytes * costs::kMessageByteCycles);
+    const LabelWorkStats baseline = GetLabelWorkStats();
+    uint64_t fused_work = 0;
+
+    // Requirement (4): DR ⊑ pR — the port label bounds decontamination.
+    bool ok = IsBottomLabel(qm.decont_receive) || qm.decont_receive.Leq(port.port_label);
+    if (!ok) {
+      ChargeLabelWorkSince(baseline);
+      stats_.drops_dr_port += 1;
+      continue;
+    }
+    // Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR, with labels as they are at
+    // this instant (delivery time), not as they were at send time.
+    ok = CheckDeliveryAllowed(qm.effective_send, qr, qm.decont_receive, qm.msg.verify,
+                              port.port_label, &fused_work);
+    ChargeTo(Component::kKernelIpc, fused_work * costs::kLabelEntryCycles +
+                                        costs::kLabelOpBaseCycles);
+    if (!ok) {
+      ChargeLabelWorkSince(baseline);
+      stats_.drops_label_check += 1;
+      continue;
+    }
+
+    bool created_ep = false;
+    if (would_create_ep) {
+      const EpId id = proc->next_ep_id++;
+      auto fresh = std::make_unique<EventProcess>();
+      fresh->id = id;
+      // Labels copied from the base process (cheap: COW label reps).
+      fresh->send_label = proc->send_label;
+      fresh->recv_label = proc->recv_label;
+      ep = fresh.get();
+      proc->eps.emplace(id, std::move(fresh));
+      stats_.eps_created += 1;
+      mem_.event_processes += 1;
+      ChargeTo(Component::kKernelIpc, costs::kEpCreateCycles);
+      created_ep = true;
+    } else if (ep != nullptr) {
+      ChargeTo(Component::kKernelIpc, costs::kEpSwitchCycles);
+    }
+    if (ep != nullptr && !ep->has_queue_arena) {
+      ep->has_queue_arena = true;
+      mem_.ep_queue_arena_bytes += kPageSize;
+    }
+    if (proc->last_ran_ep != (ep != nullptr ? ep->id : kBaseContext)) {
+      proc->last_ran_ep = ep != nullptr ? ep->id : kBaseContext;
+    }
+
+    // Label effects (Eq. 7). QS⋆ is evaluated on the pre-state, so a grant
+    // and a contamination of the same handle in one message resolve in favor
+    // of the contamination, as the paper's equation does.
+    Label& qs = ep != nullptr ? ep->send_label : qs_ref;
+    Label& qr_mut = ep != nullptr ? ep->recv_label : proc->recv_label;
+    const LabelWorkStats fx_baseline = GetLabelWorkStats();
+    uint64_t contam_work = 0;
+    bool contaminates = NeedsContamination(qm.effective_send, qs, &contam_work);
+    ChargeTo(Component::kKernelIpc, contam_work * costs::kLabelEntryCycles);
+    if (IsTopLabel(qm.decont_send)) {
+      if (contaminates) {
+        Label contam = Label::Glb(qm.effective_send, qs.StarsOnly());
+        qs.JoinInPlace(contam);
+      }
+    } else {
+      // D_S may lower QS below ES at handles it names; re-examine just those
+      // (Eq. 7's join term uses the *pre-meet* QS⋆). A D_S default below 3
+      // lowers unboundedly many handles; take the literal path for that.
+      if (!contaminates) {
+        if (qm.decont_send.default_level() != Level::kL3) {
+          contaminates = true;
+        } else {
+          for (Label::EntryIter it = qm.decont_send.IterateEntries(); !it.done();
+               it.Advance()) {
+            const Level qs_h = qs.Get(it.handle());
+            if (LevelLeq(qs_h, it.level())) {
+              continue;  // the meet does not lower this handle
+            }
+            const Level contam_h =
+                qs_h == Level::kStar ? Level::kStar : qm.effective_send.Get(it.handle());
+            if (!LevelLeq(contam_h, it.level())) {
+              contaminates = true;
+              break;
+            }
+          }
+        }
+      }
+      if (contaminates) {
+        Label contam = Label::Glb(qm.effective_send, qs.StarsOnly());
+        qs.MeetInPlace(qm.decont_send);
+        qs.JoinInPlace(contam);
+      } else {
+        qs.MeetInPlace(qm.decont_send);
+      }
+    }
+    if (!IsBottomLabel(qm.decont_receive)) {
+      qr_mut.JoinInPlace(qm.decont_receive);
+    }
+    ChargeLabelWorkSince(fx_baseline);
+
+    stats_.deliveries += 1;
+    UpdatePeak();
+
+    {
+      ScopedComponent scope(proc->component);
+      ProcessContext ctx(this, proc, ep, created_ep);
+      proc->code->HandleMessage(ctx, qm.msg);
+    }
+
+    // Post-handler lifecycle.
+    if (proc->exited) {
+      DestroyProcess(*proc);
+      return true;
+    }
+    if (ep != nullptr) {
+      if (ep->exited) {
+        DestroyEventProcess(*proc, ep->id);
+      } else {
+        ReleaseQueueArenaIfIdle(*proc, *ep);
+      }
+    }
+    UpdatePeak();
+    return true;
+  }
+  return false;
+}
+
+void Kernel::ReleaseQueueArenaIfIdle(Process& proc, EventProcess& ep) {
+  if (!ep.has_queue_arena) {
+    return;
+  }
+  // An event process that follows the ep_clean discipline releases its
+  // queue arena between requests; one that never cleans (the paper's
+  // worst-case "active session") keeps it, matching §9.1's extra
+  // message-queue page per active session.
+  if (!ep.ever_cleaned && !ep.private_pages.empty()) {
+    return;
+  }
+  for (Handle h : ep.owned_ports) {
+    const Vnode* v = FindVnode(h);
+    if (v != nullptr && v->port_alive && !v->queue.empty()) {
+      return;  // still has traffic; keep the arena
+    }
+  }
+  ep.has_queue_arena = false;
+  mem_.ep_queue_arena_bytes -= kPageSize;
+  (void)proc;
+}
+
+void Kernel::DissociatePort(Vnode& v) {
+  ASB_ASSERT(v.is_port);
+  for (const QueuedMessage& qm : v.queue) {
+    mem_.queued_message_bytes -= qm.payload_bytes + kQueuedMessageOverheadBytes;
+    stats_.drops_no_port += 1;
+  }
+  v.queue.clear();
+  v.port_alive = false;
+  v.owner = kNoProcess;
+  v.owner_ep = kBaseContext;
+  // The vnode's memory becomes reclaimable once no kernel references remain;
+  // our labels hold handle values rather than vnode pointers, so reclaim now.
+  mem_.vnodes -= 1;
+  v.port_label = Label::Top();
+  vnodes_.erase(v.handle.value());  // `v` is dangling after this line
+}
+
+void Kernel::DestroyEventProcess(Process& proc, EpId ep_id) {
+  auto it = proc.eps.find(ep_id);
+  ASB_ASSERT(it != proc.eps.end());
+  EventProcess& ep = *it->second;
+  // Dissociating while iterating would invalidate ep.owned_ports; copy.
+  const std::vector<Handle> ports = ep.owned_ports;
+  for (Handle h : ports) {
+    Vnode* v = FindLivePort(h);
+    if (v != nullptr) {
+      DissociatePort(*v);
+    }
+  }
+  mem_.overlay_page_slots -= ep.private_pages.size();
+  if (ep.has_queue_arena) {
+    mem_.ep_queue_arena_bytes -= kPageSize;
+  }
+  proc.eps.erase(it);
+  stats_.eps_destroyed += 1;
+  mem_.event_processes -= 1;
+}
+
+void Kernel::DestroyProcess(Process& proc) {
+  const std::vector<EpId> ep_ids = [&] {
+    std::vector<EpId> ids;
+    ids.reserve(proc.eps.size());
+    for (const auto& [id, ep] : proc.eps) {
+      ids.push_back(id);
+    }
+    return ids;
+  }();
+  for (EpId id : ep_ids) {
+    DestroyEventProcess(proc, id);
+  }
+  const std::vector<Handle> ports = proc.owned_ports;
+  for (Handle h : ports) {
+    Vnode* v = FindLivePort(h);
+    if (v != nullptr) {
+      DissociatePort(*v);
+    }
+  }
+  mem_.modeled_user_heap_bytes -= static_cast<uint64_t>(proc.modeled_heap_bytes);
+  mem_.processes -= 1;
+  processes_.erase(proc.id);  // `proc` is dangling after this line
+}
+
+Process* Kernel::FindProcess(ProcessId pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+Process* Kernel::FindProcessByName(const std::string& name) {
+  for (auto& [pid, proc] : processes_) {
+    if (proc->name == name) {
+      return proc.get();
+    }
+  }
+  return nullptr;
+}
+
+const Label& Kernel::SendLabelOf(ProcessId pid, EpId ep) {
+  Process* proc = FindProcess(pid);
+  ASB_ASSERT(proc != nullptr);
+  if (ep == kBaseContext) {
+    return proc->send_label;
+  }
+  auto it = proc->eps.find(ep);
+  ASB_ASSERT(it != proc->eps.end());
+  return it->second->send_label;
+}
+
+const Label& Kernel::RecvLabelOf(ProcessId pid, EpId ep) {
+  Process* proc = FindProcess(pid);
+  ASB_ASSERT(proc != nullptr);
+  if (ep == kBaseContext) {
+    return proc->recv_label;
+  }
+  auto it = proc->eps.find(ep);
+  ASB_ASSERT(it != proc->eps.end());
+  return it->second->recv_label;
+}
+
+bool Kernel::PortAlive(Handle port) const {
+  const Vnode* v = FindVnode(port);
+  return v != nullptr && v->is_port && v->port_alive;
+}
+
+size_t Kernel::QueuedMessageCount(Handle port) const {
+  const Vnode* v = FindVnode(port);
+  return (v != nullptr && v->is_port) ? v->queue.size() : 0;
+}
+
+KernelMemReport Kernel::MemReport() const {
+  KernelMemReport r;
+  r.vnode_bytes = mem_.vnodes * kVnodeBytes;
+  r.process_bytes = mem_.processes * kProcessKernelBytes;
+  r.ep_bytes = mem_.event_processes * kEpKernelBytes;
+  r.label_bytes = static_cast<uint64_t>(GetLabelMemStats().live_bytes);
+  r.page_bytes = static_cast<uint64_t>(GetSimPageStats().live_pages) * kPageSize;
+  r.overlay_slot_bytes = mem_.overlay_page_slots * kOverlayPageSlotBytes;
+  r.queue_bytes = mem_.queued_message_bytes;
+  r.queue_arena_bytes = mem_.ep_queue_arena_bytes;
+  r.modeled_heap_bytes = mem_.modeled_user_heap_bytes;
+  return r;
+}
+
+void Kernel::UpdatePeak() {
+  const uint64_t total = MemReport().total_bytes();
+  if (total > peak_total_bytes_) {
+    peak_total_bytes_ = total;
+  }
+}
+
+void Kernel::ResetPeakTotalBytes() { peak_total_bytes_ = MemReport().total_bytes(); }
+
+}  // namespace asbestos

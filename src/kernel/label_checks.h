@@ -1,0 +1,36 @@
+// Fused evaluation of the Figure-4 label rules for the kernel hot path.
+//
+// Requirement (1) of send — ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR — and the contamination
+// predicate of Eq. (5) are evaluated without materializing intermediate
+// labels. Each function reports the *entry visits a linear merge would have
+// performed* through `work`, which the kernel charges as cycles: the paper's
+// implementation is linear in label size (§5.6, §9.3) and the cost model
+// stays faithful to it even where we compute the same answer faster
+// (asymmetric small-versus-huge shapes resolved via level histograms and
+// point lookups).
+//
+// The *Naive variants materialize the label algebra literally and exist as
+// the reference semantics for property tests.
+#ifndef SRC_KERNEL_LABEL_CHECKS_H_
+#define SRC_KERNEL_LABEL_CHECKS_H_
+
+#include <cstdint>
+
+#include "src/labels/label.h"
+
+namespace asbestos {
+
+// True iff ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR.
+bool CheckDeliveryAllowed(const Label& es, const Label& qr, const Label& dr, const Label& v,
+                          const Label& pr, uint64_t* work);
+bool CheckDeliveryAllowedNaive(const Label& es, const Label& qr, const Label& dr,
+                               const Label& v, const Label& pr);
+
+// True iff QS ⊔ (ES ⊓ QS⋆) differs from QS: some handle has QS(h) ≠ ⋆ and
+// ES(h) > QS(h).
+bool NeedsContamination(const Label& es, const Label& qs, uint64_t* work);
+bool NeedsContaminationNaive(const Label& es, const Label& qs);
+
+}  // namespace asbestos
+
+#endif  // SRC_KERNEL_LABEL_CHECKS_H_

@@ -1,0 +1,971 @@
+#include "src/labels/label.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "src/base/panic.h"
+#include "src/base/strings.h"
+
+namespace asbestos {
+
+namespace {
+
+LabelWorkStats g_work;
+LabelMemStats g_mem;
+
+// Packed entry: 61-bit handle in the upper bits, level ordinal in the low 3.
+// Handles are unique, so sorting by packed value sorts by handle.
+uint64_t PackEntry(Handle h, Level l) { return (h.value() << 3) | LevelOrdinal(l); }
+Handle EntryHandle(uint64_t e) { return Handle::FromValue(e >> 3); }
+Level EntryLevel(uint64_t e) { return static_cast<Level>(e & 0x7); }
+
+}  // namespace
+
+namespace internal {
+
+// A chunk: sorted array of up to kChunkMaxEntries packed entries, reference
+// counted for copy-on-write sharing between labels.
+struct Chunk {
+  int32_t refcount = 1;
+  uint16_t size = 0;
+  uint16_t capacity = 0;
+  Level min_level = Level::kL3;  // over entries only; meaningless when empty
+  Level max_level = Level::kStar;
+  std::unique_ptr<uint64_t[]> entries;
+};
+
+namespace {
+
+constexpr uint16_t kChunkMaxEntries = 64;
+constexpr uint16_t kChunkMinCapacity = 32;
+
+uint64_t ChunkBytes(uint16_t capacity) {
+  // Struct + entry storage + the label's pointer slot referencing it.
+  return sizeof(Chunk) + static_cast<uint64_t>(capacity) * sizeof(uint64_t) + sizeof(void*);
+}
+
+Chunk* NewChunk(uint16_t capacity) {
+  auto* c = new Chunk();
+  c->capacity = capacity;
+  c->entries = std::make_unique<uint64_t[]>(capacity);
+  g_mem.live_bytes += static_cast<int64_t>(ChunkBytes(capacity));
+  g_mem.live_chunks += 1;
+  return c;
+}
+
+void UnrefChunk(Chunk* c) {
+  if (--c->refcount == 0) {
+    g_mem.live_bytes -= static_cast<int64_t>(ChunkBytes(c->capacity));
+    g_mem.live_chunks -= 1;
+    delete c;
+  }
+}
+
+Chunk* RefChunk(Chunk* c) {
+  ++c->refcount;
+  return c;
+}
+
+void RecomputeChunkExtrema(Chunk* c) {
+  Level lo = Level::kL3;
+  Level hi = Level::kStar;
+  for (uint16_t i = 0; i < c->size; ++i) {
+    const Level l = EntryLevel(c->entries[i]);
+    lo = LevelMin(lo, l);
+    hi = LevelMax(hi, l);
+  }
+  c->min_level = lo;
+  c->max_level = hi;
+}
+
+Handle ChunkFirstHandle(const Chunk* c) { return EntryHandle(c->entries[0]); }
+
+}  // namespace
+
+struct LabelRep {
+  int32_t refcount = 1;
+  Level default_level = Level::kL3;
+  Level min_level = Level::kL3;  // over default and all entries
+  Level max_level = Level::kL3;
+  uint64_t level_counts[5] = {};  // explicit entries per level
+  std::vector<Chunk*> chunks;
+
+  ~LabelRep() {
+    for (Chunk* c : chunks) {
+      UnrefChunk(c);
+    }
+  }
+};
+
+namespace {
+
+constexpr uint64_t kRepBytes = sizeof(LabelRep);
+
+LabelRep* NewRep(Level default_level) {
+  auto* rep = new LabelRep();
+  rep->default_level = default_level;
+  rep->min_level = default_level;
+  rep->max_level = default_level;
+  g_mem.live_bytes += static_cast<int64_t>(kRepBytes);
+  g_mem.live_reps += 1;
+  return rep;
+}
+
+void FreeRep(LabelRep* rep) {
+  g_mem.live_bytes -= static_cast<int64_t>(kRepBytes);
+  g_mem.live_reps -= 1;
+  delete rep;
+}
+
+void RecomputeRepExtrema(LabelRep* rep) {
+  Level lo = rep->default_level;
+  Level hi = rep->default_level;
+  for (const Chunk* c : rep->chunks) {
+    lo = LevelMin(lo, c->min_level);
+    hi = LevelMax(hi, c->max_level);
+  }
+  rep->min_level = lo;
+  rep->max_level = hi;
+}
+
+// Shallow rep clone: shares chunks, used to unshare before mutation.
+LabelRep* CloneRep(const LabelRep* rep) {
+  LabelRep* copy = NewRep(rep->default_level);
+  copy->min_level = rep->min_level;
+  copy->max_level = rep->max_level;
+  for (int i = 0; i < 5; ++i) {
+    copy->level_counts[i] = rep->level_counts[i];
+  }
+  copy->chunks.reserve(rep->chunks.size());
+  for (Chunk* c : rep->chunks) {
+    copy->chunks.push_back(RefChunk(c));
+  }
+  return copy;
+}
+
+Chunk* CloneChunkWithCapacity(const Chunk* c, uint16_t capacity) {
+  ASB_ASSERT(capacity >= c->size);
+  Chunk* copy = NewChunk(capacity);
+  copy->size = c->size;
+  copy->min_level = c->min_level;
+  copy->max_level = c->max_level;
+  std::memcpy(copy->entries.get(), c->entries.get(), c->size * sizeof(uint64_t));
+  return copy;
+}
+
+// Sequential reader over a rep's entries in increasing handle order.
+class Cursor {
+ public:
+  explicit Cursor(const LabelRep* rep) : rep_(rep) { SkipToValid(); }
+
+  bool done() const { return chunk_ >= rep_->chunks.size(); }
+  uint64_t entry() const { return rep_->chunks[chunk_]->entries[index_]; }
+  void Advance() {
+    ++index_;
+    SkipToValid();
+  }
+
+ private:
+  void SkipToValid() {
+    while (chunk_ < rep_->chunks.size() && index_ >= rep_->chunks[chunk_]->size) {
+      ++chunk_;
+      index_ = 0;
+    }
+  }
+
+  const LabelRep* rep_;
+  size_t chunk_ = 0;
+  uint16_t index_ = 0;
+};
+
+// Accumulates sorted packed entries and packs them into chunks.
+class RepBuilder {
+ public:
+  explicit RepBuilder(Level default_level) : default_level_(default_level) {}
+
+  void Append(Handle h, Level l) {
+    if (l == default_level_) {
+      return;  // entries never duplicate the default
+    }
+    level_counts_[LevelOrdinal(l)] += 1;
+    entries_.push_back(PackEntry(h, l));
+  }
+
+  LabelRepRef Finish() {
+    LabelRep* rep = NewRep(default_level_);
+    size_t i = 0;
+    while (i < entries_.size()) {
+      const size_t n = std::min<size_t>(kChunkMaxEntries, entries_.size() - i);
+      const uint16_t capacity =
+          n <= kChunkMinCapacity ? kChunkMinCapacity : kChunkMaxEntries;
+      Chunk* c = NewChunk(capacity);
+      c->size = static_cast<uint16_t>(n);
+      std::memcpy(c->entries.get(), entries_.data() + i, n * sizeof(uint64_t));
+      RecomputeChunkExtrema(c);
+      rep->chunks.push_back(c);
+      i += n;
+    }
+    RecomputeRepExtrema(rep);
+    for (int i = 0; i < 5; ++i) {
+      rep->level_counts[i] = level_counts_[i];
+    }
+    return LabelRepRef(rep);
+  }
+
+ private:
+  Level default_level_;
+  uint64_t level_counts_[5] = {};
+  std::vector<uint64_t> entries_;
+};
+
+}  // namespace
+
+LabelRepRef::LabelRepRef(const LabelRepRef& other) : rep_(other.rep_) {
+  if (rep_ != nullptr) {
+    ++rep_->refcount;
+  }
+}
+
+LabelRepRef& LabelRepRef::operator=(const LabelRepRef& other) {
+  if (this == &other) {
+    return *this;
+  }
+  LabelRep* old = rep_;
+  rep_ = other.rep_;
+  if (rep_ != nullptr) {
+    ++rep_->refcount;
+  }
+  if (old != nullptr && --old->refcount == 0) {
+    FreeRep(old);
+  }
+  return *this;
+}
+
+LabelRepRef& LabelRepRef::operator=(LabelRepRef&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  LabelRep* old = rep_;
+  rep_ = other.rep_;
+  other.rep_ = nullptr;
+  if (old != nullptr && --old->refcount == 0) {
+    FreeRep(old);
+  }
+  return *this;
+}
+
+LabelRepRef::~LabelRepRef() {
+  if (rep_ != nullptr && --rep_->refcount == 0) {
+    FreeRep(rep_);
+  }
+}
+
+}  // namespace internal
+
+using internal::Chunk;
+using internal::LabelRep;
+using internal::LabelRepRef;
+
+LabelWorkStats& GetLabelWorkStats() { return g_work; }
+void ResetLabelWorkStats() { g_work = LabelWorkStats(); }
+const LabelMemStats& GetLabelMemStats() { return g_mem; }
+
+namespace {
+
+// Entry-less default labels ({⋆}, {1}, {2}, {3}) are ubiquitous — every
+// SendArgs default, every fresh vnode — so they share one immutable
+// representation per level. Copy-on-write unshares on first mutation.
+internal::LabelRepRef SharedDefaultRep(Level default_level) {
+  static internal::LabelRep* cache[5] = {};
+  internal::LabelRep*& slot = cache[LevelOrdinal(default_level)];
+  if (slot == nullptr) {
+    slot = internal::NewRep(default_level);  // one live ref owned by the cache
+  }
+  ++slot->refcount;
+  return internal::LabelRepRef(slot);
+}
+
+}  // namespace
+
+Label::Label() : rep_(SharedDefaultRep(Level::kL3)) {}
+
+Label::Label(Level default_level) : rep_(SharedDefaultRep(default_level)) {}
+
+Label::Label(std::initializer_list<std::pair<Handle, Level>> entries, Level default_level)
+    : Label(default_level) {
+  for (const auto& [h, l] : entries) {
+    Set(h, l);
+  }
+}
+
+Level Label::default_level() const { return rep_->default_level; }
+size_t Label::entry_count() const {
+  size_t n = 0;
+  for (const Chunk* c : rep_->chunks) {
+    n += c->size;
+  }
+  return n;
+}
+Level Label::min_level() const { return rep_->min_level; }
+Level Label::max_level() const { return rep_->max_level; }
+
+uint64_t Label::CountEntriesAtLevel(Level l) const {
+  return rep_->level_counts[LevelOrdinal(l)];
+}
+
+uint64_t Label::CountEntriesAbove(Level l) const {
+  uint64_t n = 0;
+  for (int i = LevelOrdinal(l) + 1; i < 5; ++i) {
+    n += rep_->level_counts[i];
+  }
+  return n;
+}
+
+Level Label::EntryMinLevel() const {
+  for (int i = 0; i < 5; ++i) {
+    if (rep_->level_counts[i] != 0) {
+      return static_cast<Level>(i);
+    }
+  }
+  return Level::kL3;
+}
+
+Level Label::EntryMaxLevel() const {
+  for (int i = 4; i >= 0; --i) {
+    if (rep_->level_counts[i] != 0) {
+      return static_cast<Level>(i);
+    }
+  }
+  return Level::kStar;
+}
+
+Level Label::MinNonStarEntryLevel() const {
+  for (int i = 1; i < 5; ++i) {
+    if (rep_->level_counts[i] != 0) {
+      return static_cast<Level>(i);
+    }
+  }
+  return Level::kL3;
+}
+
+namespace {
+
+// Index of the chunk that could contain h: the last chunk whose first handle
+// is <= h. Returns SIZE_MAX when h precedes every chunk.
+size_t FindChunkIndex(const LabelRep* rep, Handle h) {
+  size_t lo = 0;
+  size_t hi = rep->chunks.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (internal::ChunkFirstHandle(rep->chunks[mid]) <= h) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? SIZE_MAX : lo - 1;
+}
+
+// Index of the first entry in c with handle >= h.
+uint16_t LowerBoundInChunk(const Chunk* c, Handle h) {
+  const uint64_t key = h.value() << 3;
+  const uint64_t* begin = c->entries.get();
+  const uint64_t* end = begin + c->size;
+  // Levels occupy the low 3 bits, so compare on the handle part only.
+  const uint64_t* it = std::lower_bound(begin, end, key,
+                                        [](uint64_t e, uint64_t k) { return (e >> 3) < (k >> 3); });
+  return static_cast<uint16_t>(it - begin);
+}
+
+}  // namespace
+
+Level Label::Get(Handle h) const {
+  g_work.entries_visited += 1;
+  const LabelRep* rep = rep_.get();
+  const size_t ci = FindChunkIndex(rep, h);
+  if (ci == SIZE_MAX) {
+    return rep->default_level;
+  }
+  const Chunk* c = rep->chunks[ci];
+  const uint16_t i = LowerBoundInChunk(c, h);
+  if (i < c->size && EntryHandle(c->entries[i]) == h) {
+    return EntryLevel(c->entries[i]);
+  }
+  return rep->default_level;
+}
+
+bool Label::HasExplicit(Handle h) const {
+  const LabelRep* rep = rep_.get();
+  const size_t ci = FindChunkIndex(rep, h);
+  if (ci == SIZE_MAX) {
+    return false;
+  }
+  const Chunk* c = rep->chunks[ci];
+  const uint16_t i = LowerBoundInChunk(c, h);
+  return i < c->size && EntryHandle(c->entries[i]) == h;
+}
+
+LabelRep* Label::MutableRep() {
+  LabelRep* rep = rep_.get();
+  if (rep->refcount > 1) {
+    rep_ = LabelRepRef(internal::CloneRep(rep));
+    rep = rep_.get();
+  }
+  return rep;
+}
+
+void Label::Set(Handle h, Level l) {
+  ASB_ASSERT(h.valid());
+  LabelRep* rep = rep_.get();
+  size_t ci = FindChunkIndex(rep, h);
+
+  // Locate an existing entry without unsharing yet.
+  bool exists = false;
+  uint16_t pos = 0;
+  if (ci != SIZE_MAX) {
+    const Chunk* c = rep->chunks[ci];
+    pos = LowerBoundInChunk(c, h);
+    exists = pos < c->size && EntryHandle(c->entries[pos]) == h;
+    if (exists && EntryLevel(c->entries[pos]) == l) {
+      return;  // no change
+    }
+  }
+  if (!exists && l == rep->default_level) {
+    return;  // absent and equal to default: nothing to record
+  }
+
+  rep = MutableRep();
+  g_work.entries_visited += 1;
+
+  if (exists) {
+    // Unshare the chunk, then overwrite or remove in place.
+    Chunk*& slot = rep->chunks[ci];
+    if (slot->refcount > 1) {
+      Chunk* copy = internal::CloneChunkWithCapacity(slot, slot->capacity);
+      internal::UnrefChunk(slot);
+      slot = copy;
+    }
+    Chunk* c = slot;
+    g_work.entries_visited += c->size;
+    rep->level_counts[LevelOrdinal(EntryLevel(c->entries[pos]))] -= 1;
+    if (l == rep->default_level) {
+      std::memmove(&c->entries[pos], &c->entries[pos + 1],
+                   (c->size - pos - 1) * sizeof(uint64_t));
+      --c->size;
+      if (c->size == 0) {
+        internal::UnrefChunk(c);
+        rep->chunks.erase(rep->chunks.begin() + static_cast<ptrdiff_t>(ci));
+      } else {
+        internal::RecomputeChunkExtrema(c);
+      }
+    } else {
+      rep->level_counts[LevelOrdinal(l)] += 1;
+      c->entries[pos] = PackEntry(h, l);
+      internal::RecomputeChunkExtrema(c);
+    }
+    internal::RecomputeRepExtrema(rep);
+    return;
+  }
+
+  // Insertion path.
+  rep->level_counts[LevelOrdinal(l)] += 1;
+  if (rep->chunks.empty()) {
+    Chunk* c = internal::NewChunk(internal::kChunkMinCapacity);
+    c->entries[0] = PackEntry(h, l);
+    c->size = 1;
+    internal::RecomputeChunkExtrema(c);
+    rep->chunks.push_back(c);
+    internal::RecomputeRepExtrema(rep);
+    return;
+  }
+  if (ci == SIZE_MAX) {
+    ci = 0;  // h precedes every chunk; insert at the front of the first one
+  }
+
+  Chunk*& slot = rep->chunks[ci];
+  // Grow or split a full chunk before inserting.
+  if (slot->size == slot->capacity) {
+    if (slot->capacity < internal::kChunkMaxEntries) {
+      Chunk* bigger = internal::CloneChunkWithCapacity(slot, internal::kChunkMaxEntries);
+      internal::UnrefChunk(slot);
+      slot = bigger;
+    } else {
+      // Split 64 entries into two chunks of 32.
+      Chunk* left = internal::NewChunk(internal::kChunkMaxEntries);
+      Chunk* right = internal::NewChunk(internal::kChunkMaxEntries);
+      const uint16_t half = slot->size / 2;
+      left->size = half;
+      right->size = static_cast<uint16_t>(slot->size - half);
+      std::memcpy(left->entries.get(), slot->entries.get(), half * sizeof(uint64_t));
+      std::memcpy(right->entries.get(), slot->entries.get() + half,
+                  right->size * sizeof(uint64_t));
+      internal::RecomputeChunkExtrema(left);
+      internal::RecomputeChunkExtrema(right);
+      internal::UnrefChunk(slot);
+      rep->chunks[ci] = left;
+      rep->chunks.insert(rep->chunks.begin() + static_cast<ptrdiff_t>(ci) + 1, right);
+      if (h >= internal::ChunkFirstHandle(right)) {
+        ++ci;
+      }
+    }
+  }
+
+  Chunk*& target = rep->chunks[ci];
+  if (target->refcount > 1) {
+    Chunk* copy = internal::CloneChunkWithCapacity(target, target->capacity);
+    internal::UnrefChunk(target);
+    target = copy;
+  }
+  Chunk* c = target;
+  const uint16_t ins = LowerBoundInChunk(c, h);
+  g_work.entries_visited += c->size;
+  std::memmove(&c->entries[ins + 1], &c->entries[ins], (c->size - ins) * sizeof(uint64_t));
+  c->entries[ins] = PackEntry(h, l);
+  ++c->size;
+  internal::RecomputeChunkExtrema(c);
+  internal::RecomputeRepExtrema(rep);
+}
+
+namespace {
+
+// The asymmetric fast paths engage when one side is a handful of entries and
+// the other is huge (netd/idd/ok-dbproxy labels grow with the user count).
+// The real merge would be linear in the huge side; these compute the same
+// result via chunk sharing and point lookups, while callers keep *charging*
+// the linear cost (the paper's implementation is linear, §5.6/§9.3; our
+// cycle accounting must stay faithful to it).
+constexpr size_t kAsymmetricSmallLimit = 24;
+constexpr size_t kAsymmetricBigFactor = 8;
+
+bool AsymmetricShapes(size_t small_count, size_t big_count) {
+  return small_count <= kAsymmetricSmallLimit &&
+         big_count >= kAsymmetricBigFactor * (small_count + 8);
+}
+
+}  // namespace
+
+bool Label::Leq(const Label& other) const {
+  g_work.ops += 1;
+  const LabelRep* a = rep_.get();
+  const LabelRep* b = other.rep_.get();
+  if (a == b) {
+    g_work.fast_path_hits += 1;
+    return true;
+  }
+  // Min/max pruning (§5.6): if every level in A is below every level in B,
+  // no entry scan is needed.
+  if (LevelLeq(a->max_level, b->min_level)) {
+    g_work.fast_path_hits += 1;
+    return true;
+  }
+  // Handles mentioned in neither label compare default-to-default, and there
+  // are unboundedly many of them, so this check is decisive.
+  if (!LevelLeq(a->default_level, b->default_level)) {
+    return false;
+  }
+  // Asymmetric small ⊑ big: if our default is below every entry of the big
+  // side, only our explicit entries need point checks. (Charged as a scan.)
+  if (AsymmetricShapes(entry_count(), other.entry_count()) &&
+      LevelLeq(a->default_level, other.EntryMinLevel())) {
+    g_work.entries_visited += entry_count() + other.entry_count();
+    for (EntryIter it = IterateEntries(); !it.done(); it.Advance()) {
+      if (!LevelLeq(it.level(), other.Get(it.handle()))) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Asymmetric big ⊑ small: valid wholesale when every big entry is below
+  // the small side's default; the small side's entries get point checks.
+  if (AsymmetricShapes(other.entry_count(), entry_count()) &&
+      LevelLeq(EntryMaxLevel(), b->default_level)) {
+    g_work.entries_visited += entry_count() + other.entry_count();
+    for (EntryIter it = other.IterateEntries(); !it.done(); it.Advance()) {
+      if (!LevelLeq(Get(it.handle()), it.level())) {
+        return false;
+      }
+    }
+    return true;
+  }
+  internal::Cursor ca(a);
+  internal::Cursor cb(b);
+  while (!ca.done() || !cb.done()) {
+    g_work.entries_visited += 1;
+    if (cb.done() || (!ca.done() && EntryHandle(ca.entry()) < EntryHandle(cb.entry()))) {
+      // Handle only in A: compare against B's default.
+      if (!LevelLeq(EntryLevel(ca.entry()), b->default_level)) {
+        return false;
+      }
+      ca.Advance();
+    } else if (ca.done() || EntryHandle(cb.entry()) < EntryHandle(ca.entry())) {
+      // Handle only in B: A's default applies.
+      if (!LevelLeq(a->default_level, EntryLevel(cb.entry()))) {
+        return false;
+      }
+      cb.Advance();
+    } else {
+      if (!LevelLeq(EntryLevel(ca.entry()), EntryLevel(cb.entry()))) {
+        return false;
+      }
+      ca.Advance();
+      cb.Advance();
+    }
+  }
+  return true;
+}
+
+Label Label::Lub(const Label& a, const Label& b) {
+  g_work.ops += 1;
+  const LabelRep* ra = a.rep_.get();
+  const LabelRep* rb = b.rep_.get();
+  // Fast paths: if one label dominates the other everywhere (by extrema),
+  // the result is the dominating label, shared without copying.
+  if (ra == rb || LevelLeq(rb->max_level, ra->min_level)) {
+    g_work.fast_path_hits += 1;
+    return a;
+  }
+  if (LevelLeq(ra->max_level, rb->min_level)) {
+    g_work.fast_path_hits += 1;
+    return b;
+  }
+  // Asymmetric small ⊔ big: when the small side's default is below
+  // everything in the big side, big-only entries and the default are
+  // unchanged, so the result is the big label with the small side's entries
+  // folded in pointwise. Account the work as if the big side were scanned.
+  {
+    const Label& small = a.entry_count() <= b.entry_count() ? a : b;
+    const Label& big = a.entry_count() <= b.entry_count() ? b : a;
+    if (AsymmetricShapes(small.entry_count(), big.entry_count()) &&
+        LevelLeq(small.default_level(), big.min_level())) {
+      g_work.entries_visited += big.entry_count() + small.entry_count();
+      Label result = big;
+      for (Label::EntryIter it = small.IterateEntries(); !it.done(); it.Advance()) {
+        result.Set(it.handle(), LevelMax(big.Get(it.handle()), it.level()));
+      }
+      return result;
+    }
+  }
+  const Level def = LevelMax(ra->default_level, rb->default_level);
+  internal::RepBuilder out(def);
+  internal::Cursor ca(ra);
+  internal::Cursor cb(rb);
+  while (!ca.done() || !cb.done()) {
+    g_work.entries_visited += 1;
+    if (cb.done() || (!ca.done() && EntryHandle(ca.entry()) < EntryHandle(cb.entry()))) {
+      out.Append(EntryHandle(ca.entry()), LevelMax(EntryLevel(ca.entry()), rb->default_level));
+      ca.Advance();
+    } else if (ca.done() || EntryHandle(cb.entry()) < EntryHandle(ca.entry())) {
+      out.Append(EntryHandle(cb.entry()), LevelMax(EntryLevel(cb.entry()), ra->default_level));
+      cb.Advance();
+    } else {
+      out.Append(EntryHandle(ca.entry()),
+                 LevelMax(EntryLevel(ca.entry()), EntryLevel(cb.entry())));
+      ca.Advance();
+      cb.Advance();
+    }
+  }
+  return Label(out.Finish());
+}
+
+Label Label::Glb(const Label& a, const Label& b) {
+  g_work.ops += 1;
+  const LabelRep* ra = a.rep_.get();
+  const LabelRep* rb = b.rep_.get();
+  if (ra == rb || LevelLeq(ra->max_level, rb->min_level)) {
+    g_work.fast_path_hits += 1;
+    return a;
+  }
+  if (LevelLeq(rb->max_level, ra->min_level)) {
+    g_work.fast_path_hits += 1;
+    return b;
+  }
+  // Asymmetric small ⊓ big (dual of the ⊔ fast path): valid when the small
+  // default sits above everything in the big label.
+  {
+    const Label& small = a.entry_count() <= b.entry_count() ? a : b;
+    const Label& big = a.entry_count() <= b.entry_count() ? b : a;
+    if (AsymmetricShapes(small.entry_count(), big.entry_count()) &&
+        LevelLeq(big.max_level(), small.default_level())) {
+      g_work.entries_visited += big.entry_count() + small.entry_count();
+      Label result = big;
+      for (Label::EntryIter it = small.IterateEntries(); !it.done(); it.Advance()) {
+        result.Set(it.handle(), LevelMin(big.Get(it.handle()), it.level()));
+      }
+      return result;
+    }
+  }
+  const Level def = LevelMin(ra->default_level, rb->default_level);
+  internal::RepBuilder out(def);
+  internal::Cursor ca(ra);
+  internal::Cursor cb(rb);
+  while (!ca.done() || !cb.done()) {
+    g_work.entries_visited += 1;
+    if (cb.done() || (!ca.done() && EntryHandle(ca.entry()) < EntryHandle(cb.entry()))) {
+      out.Append(EntryHandle(ca.entry()), LevelMin(EntryLevel(ca.entry()), rb->default_level));
+      ca.Advance();
+    } else if (ca.done() || EntryHandle(cb.entry()) < EntryHandle(ca.entry())) {
+      out.Append(EntryHandle(cb.entry()), LevelMin(EntryLevel(cb.entry()), ra->default_level));
+      cb.Advance();
+    } else {
+      out.Append(EntryHandle(ca.entry()),
+                 LevelMin(EntryLevel(ca.entry()), EntryLevel(cb.entry())));
+      ca.Advance();
+      cb.Advance();
+    }
+  }
+  return Label(out.Finish());
+}
+
+Label Label::StarsOnly() const {
+  g_work.ops += 1;
+  const LabelRep* rep = rep_.get();
+  const bool default_is_star = rep->default_level == Level::kStar;
+  const Level def = default_is_star ? Level::kStar : Level::kL3;
+  if (rep->chunks.empty()) {
+    g_work.fast_path_hits += 1;
+    return Label(def);
+  }
+  internal::RepBuilder out(def);
+  internal::Cursor c(rep);
+  while (!c.done()) {
+    g_work.entries_visited += 1;
+    const Level l = EntryLevel(c.entry());
+    if (default_is_star) {
+      // Unmentioned handles are ⋆; explicit non-star entries become 3.
+      if (l != Level::kStar) {
+        out.Append(EntryHandle(c.entry()), Level::kL3);
+      }
+    } else {
+      if (l == Level::kStar) {
+        out.Append(EntryHandle(c.entry()), Level::kStar);
+      }
+    }
+    c.Advance();
+  }
+  return Label(out.Finish());
+}
+
+bool Label::Equals(const Label& other) const {
+  const LabelRep* a = rep_.get();
+  const LabelRep* b = other.rep_.get();
+  if (a == b) {
+    return true;
+  }
+  if (a->default_level != b->default_level || a->min_level != b->min_level ||
+      a->max_level != b->max_level) {
+    return false;
+  }
+  internal::Cursor ca(a);
+  internal::Cursor cb(b);
+  while (!ca.done() && !cb.done()) {
+    if (ca.entry() != cb.entry()) {
+      return false;
+    }
+    ca.Advance();
+    cb.Advance();
+  }
+  return ca.done() && cb.done();
+}
+
+void Label::JoinInPlace(const Label& other) {
+  // Fast no-op: everything in `other` is already below everything here.
+  if (LevelLeq(other.rep_->max_level, rep_->min_level)) {
+    g_work.ops += 1;
+    g_work.fast_path_hits += 1;
+    return;
+  }
+  if (other.Leq(*this)) {
+    return;  // accurate containment check avoids allocating a new rep
+  }
+  *this = Lub(*this, other);
+}
+
+void Label::MeetInPlace(const Label& other) {
+  if (LevelLeq(rep_->max_level, other.rep_->min_level)) {
+    g_work.ops += 1;
+    g_work.fast_path_hits += 1;
+    return;
+  }
+  if (Leq(other)) {
+    return;
+  }
+  *this = Glb(*this, other);
+}
+
+Label::EntryIter::EntryIter(const internal::LabelRep* rep) : rep_(rep) { SkipToValid(); }
+
+void Label::EntryIter::SkipToValid() {
+  while (chunk_ < rep_->chunks.size() && index_ >= rep_->chunks[chunk_]->size) {
+    ++chunk_;
+    index_ = 0;
+  }
+}
+
+bool Label::EntryIter::done() const { return chunk_ >= rep_->chunks.size(); }
+
+Handle Label::EntryIter::handle() const {
+  return EntryHandle(rep_->chunks[chunk_]->entries[index_]);
+}
+
+Level Label::EntryIter::level() const {
+  return EntryLevel(rep_->chunks[chunk_]->entries[index_]);
+}
+
+void Label::EntryIter::Advance() {
+  ++index_;
+  SkipToValid();
+}
+
+Label::EntryIter Label::IterateEntries() const { return EntryIter(rep_.get()); }
+
+Label::NonStarIter::NonStarIter(const internal::LabelRep* rep) : rep_(rep) { SkipToValid(); }
+
+void Label::NonStarIter::SkipToValid() {
+  while (chunk_ < rep_->chunks.size()) {
+    const Chunk* c = rep_->chunks[chunk_];
+    // Whole-chunk skip: the cached extrema say every entry here is ⋆.
+    if (index_ == 0 && c->max_level == Level::kStar) {
+      ++chunk_;
+      continue;
+    }
+    while (index_ < c->size && EntryLevel(c->entries[index_]) == Level::kStar) {
+      ++index_;
+    }
+    if (index_ < c->size) {
+      return;
+    }
+    ++chunk_;
+    index_ = 0;
+  }
+}
+
+bool Label::NonStarIter::done() const { return chunk_ >= rep_->chunks.size(); }
+
+Handle Label::NonStarIter::handle() const {
+  return EntryHandle(rep_->chunks[chunk_]->entries[index_]);
+}
+
+Level Label::NonStarIter::level() const {
+  return EntryLevel(rep_->chunks[chunk_]->entries[index_]);
+}
+
+void Label::NonStarIter::Advance() {
+  ++index_;
+  SkipToValid();
+}
+
+Label::NonStarIter Label::IterateNonStarEntries() const { return NonStarIter(rep_.get()); }
+
+std::vector<std::pair<Handle, Level>> Label::Entries() const {
+  std::vector<std::pair<Handle, Level>> out;
+  out.reserve(entry_count());
+  internal::Cursor c(rep_.get());
+  while (!c.done()) {
+    out.emplace_back(EntryHandle(c.entry()), EntryLevel(c.entry()));
+    c.Advance();
+  }
+  return out;
+}
+
+uint64_t Label::heap_bytes() const {
+  uint64_t bytes = internal::kRepBytes;
+  for (const Chunk* c : rep_->chunks) {
+    bytes += internal::ChunkBytes(c->capacity);
+  }
+  return bytes;
+}
+
+std::string Label::ToString() const {
+  std::string out = "{";
+  internal::Cursor c(rep_.get());
+  while (!c.done()) {
+    out += StrFormat("%llu %s, ", static_cast<unsigned long long>(EntryHandle(c.entry()).value()),
+                     LevelName(EntryLevel(c.entry())));
+    c.Advance();
+  }
+  out += LevelName(rep_->default_level);
+  out += "}";
+  return out;
+}
+
+bool Label::Parse(std::string_view text, Label* out) {
+  std::string_view s = Trim(text);
+  if (s.size() < 3 || s.front() != '{' || s.back() != '}') {
+    return false;
+  }
+  s = s.substr(1, s.size() - 2);
+  const std::vector<std::string> parts = Split(s, ',');
+  if (parts.empty()) {
+    return false;
+  }
+  const std::string_view def_part = Trim(parts.back());
+  Level def;
+  if (def_part.size() != 1 || !LevelFromName(def_part[0], &def)) {
+    return false;
+  }
+  Label result(def);
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    const std::string_view entry = Trim(parts[i]);
+    const size_t space = entry.rfind(' ');
+    if (space == std::string_view::npos) {
+      return false;
+    }
+    uint64_t handle_value = 0;
+    if (!ParseUint64(Trim(entry.substr(0, space)), &handle_value) ||
+        handle_value == 0 || handle_value > Handle::kMaxValue) {
+      return false;
+    }
+    const std::string_view level_part = Trim(entry.substr(space + 1));
+    Level l;
+    if (level_part.size() != 1 || !LevelFromName(level_part[0], &l)) {
+      return false;
+    }
+    result.Set(Handle::FromValue(handle_value), l);
+  }
+  *out = result;
+  return true;
+}
+
+void Label::CheckRep() const {
+  const LabelRep* rep = rep_.get();
+  ASB_ASSERT(rep != nullptr);
+  ASB_ASSERT(rep->refcount >= 1);
+  Level lo = rep->default_level;
+  Level hi = rep->default_level;
+  Handle prev = Handle::Invalid();
+  for (const Chunk* c : rep->chunks) {
+    ASB_ASSERT(c->refcount >= 1);
+    ASB_ASSERT(c->size >= 1);
+    ASB_ASSERT(c->size <= c->capacity);
+    Level clo = Level::kL3;
+    Level chi = Level::kStar;
+    for (uint16_t i = 0; i < c->size; ++i) {
+      const Handle h = EntryHandle(c->entries[i]);
+      const Level l = EntryLevel(c->entries[i]);
+      ASB_ASSERT(h.valid());
+      ASB_ASSERT(prev < h && "entries must be strictly increasing");
+      ASB_ASSERT(l != rep->default_level && "entries must differ from the default");
+      prev = h;
+      clo = LevelMin(clo, l);
+      chi = LevelMax(chi, l);
+    }
+    ASB_ASSERT(c->min_level == clo);
+    ASB_ASSERT(c->max_level == chi);
+    lo = LevelMin(lo, clo);
+    hi = LevelMax(hi, chi);
+  }
+  ASB_ASSERT(rep->min_level == lo);
+  ASB_ASSERT(rep->max_level == hi);
+  uint64_t counts[5] = {};
+  for (const Chunk* c : rep->chunks) {
+    for (uint16_t i = 0; i < c->size; ++i) {
+      counts[LevelOrdinal(EntryLevel(c->entries[i]))] += 1;
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASB_ASSERT(rep->level_counts[i] == counts[i]);
+  }
+}
+
+}  // namespace asbestos

@@ -1,0 +1,221 @@
+// Asbestos labels (paper Section 5).
+//
+// A label is a total function from 61-bit handles to levels [⋆,0,1,2,3],
+// represented sparsely: an explicit sorted entry list plus a default level
+// that applies to every handle not mentioned. The partial order, join and
+// meet are pointwise:
+//
+//   L1 ⊑ L2  iff  L1(h) ≤ L2(h) for all h
+//   (L1 ⊔ L2)(h) = max(L1(h), L2(h))      (least upper bound, "Lub")
+//   (L1 ⊓ L2)(h) = min(L1(h), L2(h))      (greatest lower bound, "Glb")
+//   L⋆(h) = ⋆ if L(h) = ⋆, else 3         (stars-only label, "StarsOnly")
+//
+// Representation follows the paper's kernel implementation (Section 5.6):
+// a label points to a sorted array of chunks, each a sorted array of up to
+// 64 packed 8-byte entries (61-bit handle in the upper bits, level in the
+// low 3 bits). Labels and chunks are reference counted and updated
+// copy-on-write, so entities can share label memory; each chunk and each
+// label caches the minimum and maximum of its levels, which makes common
+// comparisons O(1). Worst-case ⊑/⊔/⊓ is linear in the entry count — this
+// linearity is what produces the performance shape of paper Figure 9.
+//
+// All operations update global work counters (entries visited, fast-path
+// hits) that the simulator's cycle accounting consumes, and global memory
+// counters that the Figure-6 memory accounting consumes.
+#ifndef SRC_LABELS_LABEL_H_
+#define SRC_LABELS_LABEL_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/labels/handle.h"
+#include "src/labels/level.h"
+
+namespace asbestos {
+
+namespace internal {
+struct LabelRep;
+
+// Intrusive reference-counted pointer to a label representation.
+class LabelRepRef {
+ public:
+  LabelRepRef() : rep_(nullptr) {}
+  explicit LabelRepRef(LabelRep* rep) : rep_(rep) {}  // adopts one reference
+  LabelRepRef(const LabelRepRef& other);
+  LabelRepRef(LabelRepRef&& other) noexcept : rep_(other.rep_) { other.rep_ = nullptr; }
+  LabelRepRef& operator=(const LabelRepRef& other);
+  LabelRepRef& operator=(LabelRepRef&& other) noexcept;
+  ~LabelRepRef();
+
+  LabelRep* get() const { return rep_; }
+  LabelRep* operator->() const { return rep_; }
+
+ private:
+  LabelRep* rep_;
+};
+}  // namespace internal
+
+// Cumulative counters of label-algebra work, used by cycle accounting.
+struct LabelWorkStats {
+  uint64_t ops = 0;              // algebra operations performed
+  uint64_t entries_visited = 0;  // label entries touched across all ops
+  uint64_t fast_path_hits = 0;   // ops resolved by min/max caching alone
+};
+
+LabelWorkStats& GetLabelWorkStats();
+void ResetLabelWorkStats();
+
+// Live label memory, maintained by rep/chunk constructors and destructors.
+// Shared chunks are counted once, so this is true live heap usage.
+struct LabelMemStats {
+  int64_t live_bytes = 0;
+  int64_t live_reps = 0;
+  int64_t live_chunks = 0;
+};
+
+const LabelMemStats& GetLabelMemStats();
+
+class Label {
+ public:
+  // Default-constructed label is {3} (top: no restriction as a bound, full
+  // taint as a contamination source). Prefer the named factories below.
+  Label();
+  explicit Label(Level default_level);
+  Label(std::initializer_list<std::pair<Handle, Level>> entries, Level default_level);
+
+  static Label Top() { return Label(Level::kL3); }     // {3}
+  static Label Bottom() { return Label(Level::kStar); }  // {⋆}
+  static Label DefaultSend() { return Label(kDefaultSendLevel); }        // {1}
+  static Label DefaultReceive() { return Label(kDefaultReceiveLevel); }  // {2}
+
+  Label(const Label&) = default;
+  Label(Label&&) noexcept = default;
+  Label& operator=(const Label&) = default;
+  Label& operator=(Label&&) noexcept = default;
+
+  // --- Point queries -------------------------------------------------------
+  Level default_level() const;
+  Level Get(Handle h) const;      // L(h), falling back to the default
+  bool HasExplicit(Handle h) const;
+  size_t entry_count() const;
+  // Cached extrema over the default level and all explicit entries.
+  Level min_level() const;
+  Level max_level() const;
+  // Histogram of explicit entries by level (O(1); maintained incrementally).
+  // These power the asymmetric fast paths: operations between a huge label
+  // and a small one can often be decided wholesale from the histogram plus
+  // point lookups, without scanning the huge side.
+  uint64_t CountEntriesAtLevel(Level l) const;
+  uint64_t CountEntriesAbove(Level l) const;  // strictly above
+  // Lowest level among explicit entries / among non-⋆ explicit entries;
+  // Level::kL3 when there are none (harmless for ≤ comparisons).
+  Level EntryMinLevel() const;
+  Level EntryMaxLevel() const;  // kStar when no entries
+  Level MinNonStarEntryLevel() const;
+
+  // --- Mutation (copy-on-write; O(chunk) + O(#chunks)) ---------------------
+  // Sets L(h) = l. Setting a handle to the default level removes its entry.
+  void Set(Handle h, Level l);
+
+  // --- Algebra -------------------------------------------------------------
+  bool Leq(const Label& other) const;                   // this ⊑ other
+  static Label Lub(const Label& a, const Label& b);     // a ⊔ b
+  static Label Glb(const Label& a, const Label& b);     // a ⊓ b
+  Label StarsOnly() const;                              // L⋆
+  bool Equals(const Label& other) const;                // extensional equality
+
+  // this ← this ⊔ other / this ⊓ other, sharing representation when one
+  // side already dominates. These are the kernel's contamination hot path.
+  void JoinInPlace(const Label& other);
+  void MeetInPlace(const Label& other);
+
+  friend bool operator==(const Label& a, const Label& b) { return a.Equals(b); }
+  friend bool operator!=(const Label& a, const Label& b) { return !a.Equals(b); }
+
+  // --- Introspection -------------------------------------------------------
+  // Explicit entries in increasing handle order (never contains the default).
+  std::vector<std::pair<Handle, Level>> Entries() const;
+
+  // Lightweight in-order reader over explicit entries. Valid only while the
+  // label it came from is alive and unmodified. Used by the kernel to fuse
+  // multi-label checks (e.g. the full Figure-4 delivery rule) into a single
+  // k-way merge without materializing intermediate labels.
+  class EntryIter {
+   public:
+    bool done() const;
+    Handle handle() const;
+    Level level() const;
+    void Advance();
+
+   private:
+    friend class Label;
+    explicit EntryIter(const internal::LabelRep* rep);
+    void SkipToValid();
+
+    const internal::LabelRep* rep_;
+    size_t chunk_ = 0;
+    uint16_t index_ = 0;
+  };
+
+  EntryIter IterateEntries() const;
+
+  // Reader over explicit entries with level ≠ ⋆, skipping all-⋆ chunks via
+  // their cached extrema. A huge ⋆-rich label (netd's or idd's send label)
+  // with a handful of non-⋆ entries iterates in O(#non-⋆ + #chunks): ⋆
+  // entries are below everything and can never violate a ≤-check, so most
+  // kernel predicates only need the non-⋆ ones.
+  class NonStarIter {
+   public:
+    bool done() const;
+    Handle handle() const;
+    Level level() const;
+    void Advance();
+
+   private:
+    friend class Label;
+    explicit NonStarIter(const internal::LabelRep* rep);
+    void SkipToValid();
+
+    const internal::LabelRep* rep_;
+    size_t chunk_ = 0;
+    uint16_t index_ = 0;
+  };
+
+  NonStarIter IterateNonStarEntries() const;
+
+  // Visits explicit entries in increasing handle order.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [h, l] : Entries()) {
+      fn(h, l);
+    }
+  }
+
+  // Heap bytes attributable to this label (rep + chunks, shared chunks
+  // counted in full). The smallest label is roughly 300 bytes (§5.6).
+  uint64_t heap_bytes() const;
+
+  // "{5 *, 9 3, 1}": entries as "<handle-decimal> <level>", then the default.
+  std::string ToString() const;
+  // Parses ToString()'s format. Returns false on malformed input.
+  static bool Parse(std::string_view text, Label* out);
+
+  // Checks representation invariants (sorted, deduped, no default-valued
+  // entries, correct cached extrema). Test-only; panics on violation.
+  void CheckRep() const;
+
+ private:
+  explicit Label(internal::LabelRepRef rep) : rep_(std::move(rep)) {}
+
+  internal::LabelRep* MutableRep();
+
+  internal::LabelRepRef rep_;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_LABELS_LABEL_H_

@@ -1,0 +1,43 @@
+#include "src/labels/level.h"
+
+namespace asbestos {
+
+const char* LevelName(Level l) {
+  switch (l) {
+    case Level::kStar:
+      return "*";
+    case Level::kL0:
+      return "0";
+    case Level::kL1:
+      return "1";
+    case Level::kL2:
+      return "2";
+    case Level::kL3:
+      return "3";
+  }
+  return "?";
+}
+
+bool LevelFromName(char c, Level* out) {
+  switch (c) {
+    case '*':
+      *out = Level::kStar;
+      return true;
+    case '0':
+      *out = Level::kL0;
+      return true;
+    case '1':
+      *out = Level::kL1;
+      return true;
+    case '2':
+      *out = Level::kL2;
+      return true;
+    case '3':
+      *out = Level::kL3;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace asbestos

@@ -1,0 +1,50 @@
+// Label levels: the ordered set [⋆, 0, 1, 2, 3] (paper Section 5.1).
+//
+// ⋆ ("star") is the lowest, most privileged level: a process with PS(h) = ⋆
+// holds declassification privilege for compartment h. 3 is the highest, least
+// privileged level. Defaults differ between label kinds: send labels default
+// to 1 and receive labels to 2, which is what lets Asbestos express both
+// "deny by default" (taint at 3) and "allow by default" (taint at 2) policies
+// without rewriting every label in the system.
+#ifndef SRC_LABELS_LEVEL_H_
+#define SRC_LABELS_LEVEL_H_
+
+#include <cstdint>
+
+namespace asbestos {
+
+enum class Level : uint8_t {
+  kStar = 0,  // ⋆: declassification privilege
+  kL0 = 1,    // integrity / capability level
+  kL1 = 2,    // default send level (absence of taint)
+  kL2 = 3,    // default receive level / "partial taint"
+  kL3 = 4,    // full taint / right to be tainted arbitrarily
+};
+
+constexpr Level kLevelStar = Level::kStar;
+constexpr Level kLevel0 = Level::kL0;
+constexpr Level kLevel1 = Level::kL1;
+constexpr Level kLevel2 = Level::kL2;
+constexpr Level kLevel3 = Level::kL3;
+
+// Paper defaults: send labels default to 1, receive labels to 2.
+constexpr Level kDefaultSendLevel = Level::kL1;
+constexpr Level kDefaultReceiveLevel = Level::kL2;
+
+constexpr uint8_t LevelOrdinal(Level l) { return static_cast<uint8_t>(l); }
+
+constexpr bool LevelLeq(Level a, Level b) { return LevelOrdinal(a) <= LevelOrdinal(b); }
+
+constexpr Level LevelMax(Level a, Level b) { return LevelLeq(a, b) ? b : a; }
+
+constexpr Level LevelMin(Level a, Level b) { return LevelLeq(a, b) ? a : b; }
+
+// "*", "0", "1", "2" or "3".
+const char* LevelName(Level l);
+
+// Parses one of the five level names; returns false on anything else.
+bool LevelFromName(char c, Level* out);
+
+}  // namespace asbestos
+
+#endif  // SRC_LABELS_LEVEL_H_

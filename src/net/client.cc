@@ -1,0 +1,55 @@
+#include "src/net/client.h"
+
+#include "src/sim/cycles.h"
+
+namespace asbestos {
+
+bool HttpLoadClient::Step() {
+  // Open new connections up to the concurrency limit.
+  while (static_cast<int>(active_.size()) < concurrency_ && !queue_.empty()) {
+    auto [request, tag] = std::move(queue_.front());
+    queue_.pop_front();
+    Active a;
+    a.conn = net_->ClientConnect(port_);
+    a.tag = tag;
+    a.start_cycles = GetCycleAccounting().now();
+    if (a.conn == kNoConn) {
+      ++failures_;
+      continue;
+    }
+    net_->ClientSend(a.conn, request);
+    active_.push_back(std::move(a));
+  }
+
+  // Collect responses.
+  for (size_t i = 0; i < active_.size();) {
+    Active& a = active_[i];
+    const std::string bytes = net_->ClientTakeReceived(a.conn);
+    if (!bytes.empty()) {
+      a.reader.Feed(bytes);
+    }
+    if (a.reader.state() == HttpResponseReader::State::kComplete) {
+      Result r;
+      r.tag = a.tag;
+      r.status = a.reader.status();
+      r.body = a.reader.body();
+      r.start_cycles = a.start_cycles;
+      r.end_cycles = GetCycleAccounting().now();
+      results_.push_back(std::move(r));
+      net_->ClientClose(a.conn);
+      active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    if (a.reader.state() == HttpResponseReader::State::kError ||
+        (net_->ClientSeesClosed(a.conn) && bytes.empty())) {
+      ++failures_;
+      net_->ClientClose(a.conn);
+      active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+  return !idle();
+}
+
+}  // namespace asbestos

@@ -1,0 +1,59 @@
+// HTTP load generator: drives N concurrent client connections over SimNet,
+// recording per-request latency on the virtual cycle timeline. Plays the
+// role of the paper's Linux HTTP client machine.
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/http/http.h"
+#include "src/net/simnet.h"
+
+namespace asbestos {
+
+class HttpLoadClient {
+ public:
+  struct Result {
+    uint64_t tag = 0;
+    int status = 0;
+    std::string body;
+    uint64_t start_cycles = 0;
+    uint64_t end_cycles = 0;
+  };
+
+  HttpLoadClient(SimNet* net, uint16_t port, int concurrency)
+      : net_(net), port_(port), concurrency_(concurrency) {}
+
+  void Enqueue(std::string request, uint64_t tag) { queue_.emplace_back(std::move(request), tag); }
+
+  // Opens connections up to the concurrency limit, pushes requests, reads
+  // responses. Returns true while any request is queued or in flight.
+  bool Step();
+
+  bool idle() const { return queue_.empty() && active_.empty(); }
+  std::vector<Result>& results() { return results_; }
+  uint64_t failures() const { return failures_; }
+
+ private:
+  struct Active {
+    ConnId conn = kNoConn;
+    HttpResponseReader reader;
+    uint64_t tag = 0;
+    uint64_t start_cycles = 0;
+  };
+
+  SimNet* net_;
+  uint16_t port_;
+  int concurrency_;
+  std::deque<std::pair<std::string, uint64_t>> queue_;
+  std::vector<Active> active_;
+  std::vector<Result> results_;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_NET_CLIENT_H_

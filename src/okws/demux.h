@@ -1,0 +1,93 @@
+// ok-demux: accepts connections from netd, authenticates users against idd,
+// and hands connections to service workers (paper §7.2-7.3, Figure 5).
+//
+// Per connection: netd grants uC ⋆ (step 2); demux peeks at the request
+// until it can parse the service name and credentials (step 3); idd grants
+// uT ⋆ / uG ⋆ on success (step 4); demux grants netd uT ⋆ so the connection
+// may carry u-tainted data (step 5); demux forwards uC to the worker —
+// contaminating it with uT 3, or granting uT ⋆ when the worker is a
+// declassifier (steps 6 and §7.6).
+//
+// The session table (§7.3) maps (user, service) to the event process port
+// uW registered by the worker; follow-up connections skip idd entirely and
+// go straight to the existing event process.
+#ifndef SRC_OKWS_DEMUX_H_
+#define SRC_OKWS_DEMUX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/http/http.h"
+#include "src/kernel/kernel.h"
+#include "src/okws/protocol.h"
+
+namespace asbestos {
+
+class DemuxProcess : public ProcessCode {
+ public:
+  void Start(ProcessContext& ctx) override;
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+
+  Handle register_port() const { return register_port_; }
+  Handle session_port() const { return session_port_; }
+  size_t session_count() const { return sessions_.size(); }
+  uint64_t rejected_connections() const { return rejected_; }
+
+ private:
+  struct WorkerInfo {
+    std::string service;
+    uint64_t verify_value = 0;
+    bool declassifier = false;
+    Handle service_port;  // invalid until the worker registers
+  };
+
+  struct Session {
+    Handle uw;        // the worker event process's port
+    Handle taint;     // uT
+    Handle grant;     // uG
+    std::string password;  // credential the session was opened with
+  };
+
+  struct ConnState {
+    Handle uc;
+    uint64_t bytes_seen = 0;
+    HttpRequestParser parser;
+    std::string username;
+    std::string password;
+    std::string service;
+    Handle taint;
+    Handle grant;
+    bool awaiting_login = false;
+  };
+
+  void SendPeekRead(ProcessContext& ctx, uint64_t cookie, ConnState& conn);
+  void OnRequestParsed(ProcessContext& ctx, uint64_t cookie, ConnState& conn);
+  void OnLoginResult(ProcessContext& ctx, uint64_t cookie, const Message& msg);
+  // Steps 5-6: taint netd for this connection and hand it to the worker.
+  void ForwardToWorker(ProcessContext& ctx, uint64_t cookie, ConnState& conn);
+  void RejectConnection(ProcessContext& ctx, ConnState& conn, int status,
+                        const std::string& reason);
+  void CheckAllWorkersRegistered(ProcessContext& ctx);
+
+  Handle register_port_;  // public: worker registration
+  Handle notify_port_;    // capability-held by netd: conn notifications + read replies
+  Handle session_port_;   // capability-held by idd and workers
+  Handle wire_port_;      // capability-held by the launcher
+  Handle launcher_port_;
+  Handle netd_ctl_;
+  Handle idd_login_;
+  uint64_t self_verify_ = 0;
+
+  std::map<std::string, WorkerInfo> workers_;          // by service name
+  std::map<uint64_t, ConnState> conns_;                // by cookie
+  std::map<std::string, Session> sessions_;            // by user + "\x1f" + service
+  uint64_t next_cookie_ = 1;
+  uint64_t rejected_ = 0;
+  bool expectations_complete_ = false;
+  bool ready_sent_ = false;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_OKWS_DEMUX_H_

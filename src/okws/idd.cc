@@ -1,0 +1,285 @@
+#include "src/okws/idd.h"
+
+#include "src/base/strings.h"
+#include "src/db/dbproxy.h"
+#include "src/sim/costs.h"
+
+namespace asbestos {
+
+using okws_proto::MessageType;
+
+namespace {
+
+std::string SqlQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+void IddProcess::Start(ProcessContext& ctx) {
+  login_port_ = ctx.NewPort(Label::Top());
+  ASB_ASSERT(ctx.SetPortLabel(login_port_, Label::Top()) == Status::kOk);
+  wire_port_ = ctx.NewPort(Label::Top());  // stays closed: launcher only
+  launcher_port_ = Handle::FromValue(ctx.GetEnv("launcher_port"));
+  ASB_ASSERT(launcher_port_.valid());
+
+  // One-shot identification to the launcher (verification handle still at 0
+  // because nothing has been received yet), granting the launcher our wire
+  // port as a capability for everything that follows.
+  Message reg;
+  reg.type = boot_proto::kRegister;
+  reg.data = "idd";
+  reg.words = {login_port_.value(), wire_port_.value()};
+  SendArgs args;
+  args.verify = Label({{Handle::FromValue(ctx.GetEnv("self_verify")), Level::kL0}}, Level::kL3);
+  args.decont_send = Label({{wire_port_, Level::kStar}}, Level::kL3);
+  ctx.Send(launcher_port_, std::move(reg), args);
+}
+
+void IddProcess::SendPrivQuery(ProcessContext& ctx, uint64_t qid, const std::string& sql) {
+  Message q;
+  q.type = dbproxy_proto::kQuery;
+  q.words = {qid, 0};
+  q.data = "\n" + sql;  // privileged path ignores the username line
+  q.reply_port = login_port_;
+  ctx.Send(dbpriv_port_, std::move(q));
+}
+
+void IddProcess::BeginSeeding(ProcessContext& ctx) {
+  // The password table deliberately has no index on USERNAME: first-time
+  // logins pay a scan, reproducing the paper's growing OKDB cost
+  // (Figure 9; see EXPERIMENTS.md).
+  SendPrivQuery(ctx, next_qid_++,
+                "CREATE TABLE okws_users (username TEXT, password TEXT, userid INTEGER)");
+  ++seed_outstanding_;
+  for (const std::string& sql : extra_tables_) {
+    SendPrivQuery(ctx, next_qid_++, sql);
+    ++seed_outstanding_;
+  }
+  std::string values;
+  size_t batched = 0;
+  for (size_t i = 0; i < users_.size(); ++i) {
+    const int64_t uid = static_cast<int64_t>(i) + 1;
+    user_ids_[users_[i].username] = uid;
+    if (!values.empty()) {
+      values += ", ";
+    }
+    values += StrFormat("(%s, %s, %lld)", SqlQuote(users_[i].username).c_str(),
+                        SqlQuote(users_[i].password).c_str(), static_cast<long long>(uid));
+    if (++batched == 500 || i + 1 == users_.size()) {
+      SendPrivQuery(ctx, next_qid_++,
+                    "INSERT INTO okws_users (username, password, userid) VALUES " + values);
+      ++seed_outstanding_;
+      values.clear();
+      batched = 0;
+    }
+  }
+}
+
+void IddProcess::GrantIdentity(ProcessContext& ctx, const CachedId& id, Handle reply,
+                               uint64_t cookie) {
+  // Paper Fig. 5 step 4: grant uT ⋆ and uG ⋆; also raise the caller's
+  // receive label so user-tainted traffic (session registrations, tainted
+  // rows) can reach it.
+  Message r;
+  r.type = MessageType::kLoginR;
+  r.words = {cookie, 0, id.taint.value(), id.grant.value(),
+             static_cast<uint64_t>(id.user_id)};
+  SendArgs args;
+  args.decont_send = Label({{id.taint, Level::kStar}, {id.grant, Level::kStar}}, Level::kL3);
+  args.decont_receive = Label({{id.taint, Level::kL3}}, Level::kStar);
+  ctx.Send(reply, std::move(r), args);
+}
+
+void IddProcess::ReplyLoginFailed(ProcessContext& ctx, Handle reply, uint64_t cookie) {
+  Message r;
+  r.type = MessageType::kLoginR;
+  r.words = {cookie, static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied)), 0, 0, 0};
+  ctx.Send(reply, std::move(r));
+}
+
+void IddProcess::HandleLogin(ProcessContext& ctx, const Message& msg) {
+  ctx.ChargeCycles(costs::kIddLoginCycles);
+  if (!msg.reply_port.valid()) {
+    return;
+  }
+  // Remember where ok-demux listens so password changes can invalidate its
+  // cached sessions (the kLogin's D_S granted us the capability).
+  demux_session_port_ = msg.reply_port;
+  const uint64_t cookie = msg.words.empty() ? 0 : msg.words[0];
+  const size_t nl = msg.data.find('\n');
+  if (nl == std::string::npos) {
+    ReplyLoginFailed(ctx, msg.reply_port, cookie);
+    return;
+  }
+  const std::string username = msg.data.substr(0, nl);
+  const std::string password = msg.data.substr(nl + 1);
+
+  auto cit = cache_.find(username);
+  if (cit != cache_.end()) {
+    // Handles are cached, but the password must still match. idd verified
+    // this user against the database at first login and tracks password
+    // changes itself, so the check is local.
+    auto pit = passwords_.find(username);
+    if (pit != passwords_.end() && pit->second == password) {
+      GrantIdentity(ctx, cit->second, msg.reply_port, cookie);
+    } else {
+      ReplyLoginFailed(ctx, msg.reply_port, cookie);
+    }
+    return;
+  }
+
+  // First-time login: one database query (paper §7.4).
+  const uint64_t qid = next_qid_++;
+  PendingLogin p;
+  p.username = username;
+  p.password = password;
+  p.reply = msg.reply_port;
+  p.caller_cookie = cookie;
+  pending_.emplace(qid, std::move(p));
+  SendPrivQuery(ctx, qid,
+                "SELECT password, userid FROM okws_users WHERE username = " + SqlQuote(username));
+}
+
+void IddProcess::FinishLogin(ProcessContext& ctx, uint64_t qid, PendingLogin& p) {
+  if (!p.row_seen || p.db_password != p.password) {
+    ReplyLoginFailed(ctx, p.reply, p.caller_cookie);
+    pending_.erase(qid);
+    return;
+  }
+  // A concurrent login for the same user may have populated the cache while
+  // our database query was in flight; reuse its handles.
+  auto existing = cache_.find(p.username);
+  if (existing != cache_.end()) {
+    GrantIdentity(ctx, existing->second, p.reply, p.caller_cookie);
+    pending_.erase(qid);
+    return;
+  }
+  CachedId id;
+  id.taint = ctx.NewHandle();
+  id.grant = ctx.NewHandle();
+  id.user_id = p.db_user_id;
+  cache_.emplace(p.username, id);
+  passwords_[p.username] = p.password;
+  ctx.ModelHeapBytes(96);  // cache entry (paper: idd never cleans its cache)
+  // idd must remain reachable from uT-tainted processes (e.g. the password
+  // worker proves uG over a tainted channel), so accept this user's taint.
+  // It cannot stick: we hold uT at ⋆.
+  ASB_ASSERT(ctx.SetReceiveLevel(id.taint, Level::kL3) == Status::kOk);
+
+  // Teach ok-dbproxy the binding, handing it uT ⋆ (it is privileged with
+  // respect to every user taint, §7.5) and the ability to receive
+  // uT-tainted queries.
+  Message bind;
+  bind.type = dbproxy_proto::kBind;
+  bind.data = p.username;
+  bind.words = {id.taint.value(), id.grant.value(), static_cast<uint64_t>(id.user_id)};
+  SendArgs bind_args;
+  bind_args.decont_send = Label({{id.taint, Level::kStar}, {id.grant, Level::kStar}}, Level::kL3);
+  bind_args.decont_receive = Label({{id.taint, Level::kL3}}, Level::kStar);
+  ctx.Send(dbpriv_port_, std::move(bind), bind_args);
+
+  GrantIdentity(ctx, id, p.reply, p.caller_cookie);
+  pending_.erase(qid);
+}
+
+void IddProcess::HandleChangePw(ProcessContext& ctx, const Message& msg) {
+  ctx.ChargeCycles(costs::kIddLoginCycles);
+  const uint64_t cookie = msg.words.empty() ? 0 : msg.words[0];
+  const std::vector<std::string> parts = Split(msg.data, '\n');
+  Message r;
+  r.type = MessageType::kChangePwR;
+  r.words = {cookie, static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied))};
+  if (parts.size() == 3 && msg.reply_port.valid()) {
+    const std::string& username = parts[0];
+    const std::string& old_pw = parts[1];
+    const std::string& new_pw = parts[2];
+    auto cit = cache_.find(username);
+    auto pit = passwords_.find(username);
+    // The caller must prove it speaks for the user: V(uG) ≤ 0 (§5.4). The
+    // kernel already verified ES ⊑ V.
+    if (cit != cache_.end() && pit != passwords_.end() && pit->second == old_pw &&
+        LevelLeq(msg.verify.Get(cit->second.grant), Level::kL0)) {
+      pit->second = new_pw;
+      SendPrivQuery(ctx, next_qid_++,
+                    "UPDATE okws_users SET password = " + SqlQuote(new_pw) +
+                        " WHERE username = " + SqlQuote(username));
+      ++seed_outstanding_;  // swallow the kDone like a seeding reply
+      r.words[1] = 0;
+      // Sessions opened under the old password must not keep working.
+      if (demux_session_port_.valid()) {
+        Message inval;
+        inval.type = MessageType::kSessionInvalidate;
+        inval.data = username;
+        ctx.Send(demux_session_port_, std::move(inval));
+      }
+    }
+  }
+  if (msg.reply_port.valid()) {
+    ctx.Send(msg.reply_port, std::move(r));
+  }
+}
+
+void IddProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (msg.port == wire_port_) {
+    if (msg.type == boot_proto::kWire && msg.data == "dbpriv" && !msg.words.empty()) {
+      dbpriv_port_ = Handle::FromValue(msg.words[0]);
+      BeginSeeding(ctx);
+    }
+    return;
+  }
+  if (msg.port != login_port_) {
+    return;
+  }
+  switch (msg.type) {
+    case MessageType::kLogin:
+      HandleLogin(ctx, msg);
+      return;
+    case MessageType::kChangePw:
+      HandleChangePw(ctx, msg);
+      return;
+    case dbproxy_proto::kRow: {
+      const uint64_t qid = msg.words.empty() ? 0 : msg.words[0];
+      auto it = pending_.find(qid);
+      if (it == pending_.end()) {
+        return;
+      }
+      std::vector<SqlValue> row;
+      if (DecodeDbRow(msg.data, &row) && row.size() == 2) {
+        it->second.row_seen = true;
+        it->second.db_password = row[0].AsText();
+        it->second.db_user_id = row[1].AsInt();
+      }
+      return;
+    }
+    case dbproxy_proto::kDone: {
+      const uint64_t qid = msg.words.empty() ? 0 : msg.words[0];
+      auto it = pending_.find(qid);
+      if (it != pending_.end()) {
+        FinishLogin(ctx, qid, it->second);
+        return;
+      }
+      if (seed_outstanding_ > 0 && --seed_outstanding_ == 0 && !seeded_) {
+        seeded_ = true;
+        Message ready;
+        ready.type = boot_proto::kReady;
+        ready.data = "idd";
+        ctx.Send(launcher_port_, std::move(ready));
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace asbestos

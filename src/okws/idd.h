@@ -1,0 +1,80 @@
+// idd: the OKWS identity server (paper §7.4).
+//
+// Associates persistent user identification (username, password, user ID,
+// stored in the password table through ok-dbproxy's privileged port) with
+// the per-boot taint and grant handles uT and uG. On a successful login it
+// grants the caller both handles at ⋆ and raises the caller's receive label
+// for uT (D_R), and teaches ok-dbproxy the binding (kBind). Handles are
+// cached forever ("never cleans its cache"); only first-time logins touch
+// the database.
+#ifndef SRC_OKWS_IDD_H_
+#define SRC_OKWS_IDD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/okws/protocol.h"
+
+namespace asbestos {
+
+class IddProcess : public ProcessCode {
+ public:
+  // `extra_tables` are privileged CREATE TABLE statements run at seeding
+  // time (worker tables gain their hidden USER_ID column in ok-dbproxy).
+  explicit IddProcess(std::vector<UserCred> users, std::vector<std::string> extra_tables = {})
+      : users_(std::move(users)), extra_tables_(std::move(extra_tables)) {}
+
+  void Start(ProcessContext& ctx) override;
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+
+  Handle login_port() const { return login_port_; }
+  size_t cached_identities() const { return cache_.size(); }
+
+ private:
+  struct CachedId {
+    Handle taint;
+    Handle grant;
+    int64_t user_id = 0;
+  };
+
+  struct PendingLogin {
+    std::string username;
+    std::string password;
+    Handle reply;
+    uint64_t caller_cookie = 0;
+    // Accumulated DB reply: (password, user_id) when the row arrived.
+    bool row_seen = false;
+    std::string db_password;
+    int64_t db_user_id = 0;
+  };
+
+  void BeginSeeding(ProcessContext& ctx);
+  void HandleLogin(ProcessContext& ctx, const Message& msg);
+  void HandleChangePw(ProcessContext& ctx, const Message& msg);
+  void FinishLogin(ProcessContext& ctx, uint64_t qid, PendingLogin& p);
+  void GrantIdentity(ProcessContext& ctx, const CachedId& id, Handle reply, uint64_t cookie);
+  void ReplyLoginFailed(ProcessContext& ctx, Handle reply, uint64_t cookie);
+  void SendPrivQuery(ProcessContext& ctx, uint64_t qid, const std::string& sql);
+
+  std::vector<UserCred> users_;
+  std::vector<std::string> extra_tables_;
+  Handle login_port_;
+  Handle wire_port_;
+  Handle launcher_port_;
+  Handle dbpriv_port_;
+  Handle demux_session_port_;  // learned from login replies; for invalidations
+  std::map<std::string, CachedId> cache_;
+  std::map<std::string, std::string> passwords_;  // verified copies, kept current
+  std::map<std::string, int64_t> user_ids_;    // assigned at seeding time
+  std::map<uint64_t, PendingLogin> pending_;   // by private query cookie
+  uint64_t next_qid_ = 1;
+  uint64_t seed_outstanding_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_OKWS_IDD_H_

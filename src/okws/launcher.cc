@@ -1,0 +1,158 @@
+#include "src/okws/launcher.h"
+
+#include "src/okws/demux.h"
+#include "src/okws/idd.h"
+#include "src/db/dbproxy.h"
+
+namespace asbestos {
+
+using okws_proto::MessageType;
+
+void LauncherProcess::Start(ProcessContext& ctx) {
+  port_ = ctx.NewPort(Label::Top());
+  ASB_ASSERT(ctx.SetPortLabel(port_, Label::Top()) == Status::kOk);
+
+  // One verification handle per child (paper §7.1). Creating them makes the
+  // launcher the ⋆-holder, entitled to spawn children carrying them at 0.
+  verify_["dbproxy"] = ctx.NewHandle();
+  verify_["idd"] = ctx.NewHandle();
+  verify_["demux"] = ctx.NewHandle();
+  for (const OkwsServiceSpec& svc : config_.services) {
+    verify_["worker:" + svc.name] = ctx.NewHandle();
+  }
+
+  const auto spawn_child = [&](const std::string& name, Component component,
+                               std::unique_ptr<ProcessCode> code,
+                               std::map<std::string, uint64_t> extra_env) {
+    SpawnArgs args;
+    args.name = name;
+    args.component = component;
+    args.send_label = Label({{verify_.at(name), Level::kL0}}, Level::kL1);
+    args.env = std::move(extra_env);
+    args.env["launcher_port"] = port_.value();
+    args.env["self_verify"] = verify_.at(name).value();
+    auto result = ctx.Spawn(std::move(code), std::move(args));
+    ASB_ASSERT(result.ok());
+  };
+
+  spawn_child("dbproxy", Component::kOkdb, std::make_unique<DbproxyProcess>(), {});
+  spawn_child("idd", Component::kOkws,
+              std::make_unique<IddProcess>(config_.users, config_.extra_tables), {});
+}
+
+bool LauncherProcess::CheckRegistration(const Message& msg, const std::string& name) const {
+  auto it = verify_.find(name);
+  if (it == verify_.end()) {
+    return false;
+  }
+  // §7.1: the component proves it is the process we spawned by presenting
+  // its verification handle at level 0 in V.
+  return LevelLeq(msg.verify.Get(it->second), Level::kL0);
+}
+
+void LauncherProcess::MaybeWireIdd(ProcessContext& ctx) {
+  if (idd_wired_ || !dbproxy_priv_.valid() || !idd_wire_.valid()) {
+    return;
+  }
+  idd_wired_ = true;
+  // Hand idd the capability to ok-dbproxy's privileged port.
+  Message wire;
+  wire.type = boot_proto::kWire;
+  wire.data = "dbpriv";
+  wire.words = {dbproxy_priv_.value()};
+  SendArgs args;
+  args.decont_send = Label({{dbproxy_priv_, Level::kStar}}, Level::kL3);
+  ctx.Send(idd_wire_, std::move(wire), args);
+}
+
+void LauncherProcess::MaybeSpawnDemux(ProcessContext& ctx) {
+  if (demux_spawned_ || !idd_ready_ || !netd_ctl_.valid()) {
+    return;
+  }
+  demux_spawned_ = true;
+  SpawnArgs args;
+  args.name = "demux";
+  args.component = Component::kOkws;
+  args.send_label = Label({{verify_.at("demux"), Level::kL0}}, Level::kL1);
+  args.env = {{"launcher_port", port_.value()},
+              {"self_verify", verify_.at("demux").value()},
+              {"netd_ctl", netd_ctl_.value()},
+              {"idd_login", idd_login_.value()},
+              {"tcp_port", config_.tcp_port}};
+  auto result = ctx.Spawn(std::make_unique<DemuxProcess>(), std::move(args));
+  ASB_ASSERT(result.ok());
+}
+
+void LauncherProcess::OnDemuxRegistered(ProcessContext& ctx) {
+  // Tell ok-demux which workers to expect, then start them.
+  for (const OkwsServiceSpec& svc : config_.services) {
+    Message expect;
+    expect.type = MessageType::kExpectWorker;
+    expect.data = svc.name;
+    expect.words = {verify_.at("worker:" + svc.name).value(), svc.declassifier ? 1ULL : 0ULL};
+    ctx.Send(demux_wire_, std::move(expect));
+  }
+  Message done;
+  done.type = boot_proto::kWire;
+  done.data = "expectations-complete";
+  ctx.Send(demux_wire_, std::move(done));
+
+  workers_spawned_ = true;
+  for (const OkwsServiceSpec& svc : config_.services) {
+    const std::string vname = "worker:" + svc.name;
+    SpawnArgs args;
+    args.name = "worker-" + svc.name;
+    args.component = Component::kOkws;
+    args.send_label = Label({{verify_.at(vname), Level::kL0}}, Level::kL1);
+    args.env = {{"launcher_port", port_.value()},
+                {"self_verify", verify_.at(vname).value()},
+                {"demux_register", demux_register_.value()},
+                {"demux_session", demux_session_.value()},
+                {"dbproxy_query", dbproxy_query_.value()},
+                {"idd_login", idd_login_.value()}};
+    auto result =
+        ctx.Spawn(std::make_unique<WorkerProcess>(svc.name, svc.factory(), svc.worker_options),
+                  std::move(args));
+    ASB_ASSERT(result.ok());
+  }
+}
+
+void LauncherProcess::ProvideNetd(ProcessContext& ctx, uint64_t netd_ctl_value) {
+  netd_ctl_ = Handle::FromValue(netd_ctl_value);
+  MaybeSpawnDemux(ctx);
+}
+
+void LauncherProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (msg.port != port_) {
+    return;
+  }
+  if (msg.type == boot_proto::kRegister) {
+    if (msg.data == "dbproxy" && CheckRegistration(msg, "dbproxy") && msg.words.size() >= 2) {
+      dbproxy_query_ = Handle::FromValue(msg.words[0]);
+      dbproxy_priv_ = Handle::FromValue(msg.words[1]);
+      MaybeWireIdd(ctx);
+    } else if (msg.data == "idd" && CheckRegistration(msg, "idd") && msg.words.size() >= 2) {
+      idd_login_ = Handle::FromValue(msg.words[0]);
+      idd_wire_ = Handle::FromValue(msg.words[1]);
+      MaybeWireIdd(ctx);
+    } else if (msg.data == "demux" && CheckRegistration(msg, "demux") &&
+               msg.words.size() >= 3) {
+      demux_register_ = Handle::FromValue(msg.words[0]);
+      demux_session_ = Handle::FromValue(msg.words[1]);
+      demux_wire_ = Handle::FromValue(msg.words[2]);
+      OnDemuxRegistered(ctx);
+    }
+    return;
+  }
+  if (msg.type == boot_proto::kReady) {
+    if (msg.data == "idd") {
+      idd_ready_ = true;
+      MaybeSpawnDemux(ctx);
+    } else if (msg.data == "demux") {
+      ready_ = true;
+    }
+    return;
+  }
+}
+
+}  // namespace asbestos

@@ -1,0 +1,85 @@
+// The OKWS launcher (paper §7.1).
+//
+// Spawns ok-dbproxy, idd, ok-demux, and the site's workers, giving each a
+// process-specific verification handle at level 0 in its send label. It
+// collects the children's registrations (verifying each V), wires services
+// to one another (idd ↔ ok-dbproxy's privileged port, ok-demux ↔ idd/netd),
+// tells ok-demux which workers to expect (name, verification handle,
+// declassifier status), and reports readiness.
+//
+// netd is a system component created by the boot loader (the world), not by
+// the launcher; the boot loader tells the launcher where netd's control
+// port lives via ProvideNetd().
+#ifndef SRC_OKWS_LAUNCHER_H_
+#define SRC_OKWS_LAUNCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/okws/protocol.h"
+#include "src/okws/worker.h"
+
+namespace asbestos {
+
+struct OkwsServiceSpec {
+  std::string name;  // URL path component, e.g. "store"
+  std::function<std::unique_ptr<Service>()> factory;
+  bool declassifier = false;
+  WorkerOptions worker_options;
+};
+
+struct OkwsLauncherConfig {
+  uint16_t tcp_port = 80;
+  std::vector<OkwsServiceSpec> services;
+  std::vector<UserCred> users;
+  std::vector<std::string> extra_tables;  // CREATE TABLE statements for worker data
+};
+
+class LauncherProcess : public ProcessCode {
+ public:
+  explicit LauncherProcess(OkwsLauncherConfig config) : config_(std::move(config)) {}
+
+  void Start(ProcessContext& ctx) override;
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+
+  // Boot-loader call: netd's control port, once the world has created netd.
+  void ProvideNetd(ProcessContext& ctx, uint64_t netd_ctl_value);
+
+  bool ready() const { return ready_; }
+  uint64_t demux_verify_value() const { return verify_.at("demux").value(); }
+
+ private:
+  void MaybeWireIdd(ProcessContext& ctx);
+  void MaybeSpawnDemux(ProcessContext& ctx);
+  void OnDemuxRegistered(ProcessContext& ctx);
+  bool CheckRegistration(const Message& msg, const std::string& name) const;
+
+  OkwsLauncherConfig config_;
+  Handle port_;
+  std::map<std::string, Handle> verify_;  // component name → verification handle
+
+  // Discovered component ports.
+  Handle dbproxy_query_;
+  Handle dbproxy_priv_;
+  Handle idd_login_;
+  Handle idd_wire_;
+  Handle demux_register_;
+  Handle demux_session_;
+  Handle demux_wire_;
+  Handle netd_ctl_;
+
+  bool idd_wired_ = false;
+  bool idd_ready_ = false;
+  bool demux_spawned_ = false;
+  bool workers_spawned_ = false;
+  bool ready_ = false;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_OKWS_LAUNCHER_H_

@@ -1,0 +1,76 @@
+#include "src/okws/okws_world.h"
+
+#include "src/base/strings.h"
+
+namespace asbestos {
+
+OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
+  // Boot the launcher first: it mints the verification handles, including
+  // the one netd uses to authenticate LISTEN requests from ok-demux.
+  OkwsLauncherConfig launcher_config;
+  launcher_config.tcp_port = config.tcp_port;
+  launcher_config.services = std::move(config.services);
+  launcher_config.users = std::move(config.users);
+  launcher_config.extra_tables = std::move(config.extra_tables);
+  auto launcher_code = std::make_unique<LauncherProcess>(std::move(launcher_config));
+  launcher_ = launcher_code.get();
+  SpawnArgs largs;
+  largs.name = "launcher";
+  largs.component = Component::kOther;
+  launcher_pid_ = kernel_.CreateProcess(std::move(launcher_code), std::move(largs));
+
+  // netd is a system component created by the boot loader (paper Fig. 1),
+  // told which process may attach listeners.
+  auto netd_code = std::make_unique<NetdProcess>(&net_);
+  netd_ = netd_code.get();
+  SpawnArgs nargs;
+  nargs.name = "netd";
+  nargs.component = Component::kNetwork;
+  nargs.env = {{"demux_verify", launcher_->demux_verify_value()}};
+  netd_pid_ = kernel_.CreateProcess(std::move(netd_code), std::move(nargs));
+
+  // Tell the launcher where netd's control port is.
+  kernel_.WithProcessContext(launcher_pid_, [&](ProcessContext& ctx) {
+    launcher_->ProvideNetd(ctx, netd_->control_port().value());
+  });
+}
+
+void OkwsWorld::Pump() {
+  kernel_.WithProcessContext(netd_pid_, [&](ProcessContext& ctx) { netd_->PollNetwork(ctx); });
+  kernel_.RunUntilIdle();
+}
+
+void OkwsWorld::PumpUntilReady() {
+  for (int i = 0; i < 10000 && !launcher_->ready(); ++i) {
+    Pump();
+  }
+  ASB_ASSERT(launcher_->ready() && "OKWS failed to boot");
+}
+
+void OkwsWorld::RunClient(HttpLoadClient* client) {
+  uint64_t last_progress = ~0ULL;
+  int stagnant = 0;
+  while (!client->idle()) {
+    client->Step();
+    Pump();
+    const uint64_t progress =
+        kernel_.stats().deliveries + client->results().size() + client->failures();
+    if (progress == last_progress) {
+      if (++stagnant > 1000) {
+        break;  // wedged: let the caller's assertions report what is missing
+      }
+    } else {
+      stagnant = 0;
+      last_progress = progress;
+    }
+  }
+}
+
+std::string OkwsWorld::MakeRequest(const std::string& target, const std::string& user,
+                                   const std::string& pass) {
+  return StrFormat(
+      "GET %s HTTP/1.0\r\nAuthorization: %s:%s\r\nUser-Agent: loadgen\r\n\r\n",
+      target.c_str(), user.c_str(), pass.c_str());
+}
+
+}  // namespace asbestos

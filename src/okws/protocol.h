@@ -1,0 +1,59 @@
+// Message types and shared structures for the OKWS process suite (paper §7).
+//
+// Trust bootstrapping follows §7.1: the launcher creates one verification
+// handle per child and spawns the child with that handle at level 0 in its
+// send label. A child proves its identity exactly once, in its Start()
+// routine, *before receiving any message* (receipt of any low-integrity
+// message raises the handle to 1 — mandatory integrity, §5.4). All ongoing
+// trust relationships use port capabilities instead: closed ports whose
+// send-rights (⋆) are granted over the registration/wire messages.
+#ifndef SRC_OKWS_PROTOCOL_H_
+#define SRC_OKWS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/kernel/bootstrap.h"
+
+namespace asbestos {
+
+namespace okws_proto {
+enum MessageType : uint64_t {
+  // (kRegister/kReady/kWire live in src/kernel/bootstrap.h — boot_proto.)
+  kExpectWorker = 103,  // launcher → demux wire port; data: service name;
+                        // words: [verify value, is_declassifier]
+
+  // --- idd -------------------------------------------------------------------
+  kLogin = 110,   // data: "user\npass"; words: [cookie]; D_S grants the
+                  // caller's reply-port capability
+  kLoginR = 111,  // words: [cookie, status, uT, uG, user_id];
+                  // D_S = {uT ⋆, uG ⋆}; D_R = {uT 3}   (paper Fig. 5 step 4)
+  kChangePw = 112,   // data: "user\nold\nnew"; words: [cookie]; V proves uG ≤ 0
+  kChangePwR = 113,  // words: [cookie, status]
+
+  // --- ok-demux ----------------------------------------------------------------
+  kWorkerRegister = 120,  // worker → demux register port; data: service name;
+                          // words: [service port]; V: {vW 0}; D_S grants the
+                          // service-port capability
+  kConnForUser = 121,     // demux → worker (service port for a fresh session,
+                          // uW for an existing one); data: username;
+                          // words: [cookie, uC, uT, uG];
+                          // D_S = {uC ⋆, uG ⋆, session-port ⋆} (+ uT ⋆ for
+                          // declassifiers); C_S = {uT 3} (except declassifiers);
+                          // D_R = {uT 3}    (paper Fig. 5 step 6)
+  kSessionReg = 122,      // worker EP → demux session port; words: [cookie, uW];
+                          // D_S grants uW ⋆  (paper §7.3)
+  kSessionInvalidate = 123,  // idd → demux session port; data: username; drops
+                             // every cached session of that user (password change)
+};
+}  // namespace okws_proto
+
+// A user account preloaded into the identity database.
+struct UserCred {
+  std::string username;
+  std::string password;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_OKWS_PROTOCOL_H_

@@ -1,0 +1,172 @@
+#include "src/okws/services.h"
+
+#include "src/base/strings.h"
+#include "src/db/dbproxy.h"
+
+namespace asbestos {
+
+namespace {
+
+std::string SqlQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+// --- EchoService -----------------------------------------------------------------
+
+void EchoService::OnRequest(ServiceContext& sc) {
+  uint64_t n = 11;  // paper default: 144-byte responses, 133 bytes of headers
+  const std::string param = sc.request().Query("n");
+  if (!param.empty()) {
+    ParseUint64(param, &n);
+    n = std::min<uint64_t>(n, 1 << 20);
+  }
+  sc.Respond(200, std::string(n, 'x'));
+}
+
+// --- StorageService --------------------------------------------------------------
+
+void StorageService::OnRequest(ServiceContext& sc) {
+  // Return what the previous request stored, then store this request's data
+  // (the paper's toy session workload).
+  std::string previous = sc.session_data();
+  const std::string incoming = sc.request().Query("d");
+  if (!incoming.empty()) {
+    sc.set_session_data(incoming);
+  }
+  if (previous.size() < kResponseSize) {
+    previous.resize(kResponseSize, '.');
+  }
+  sc.Respond(200, previous);
+}
+
+// --- NotesService ----------------------------------------------------------------
+
+constexpr char NotesService::kTableSql[];
+
+void NotesService::OnRequest(ServiceContext& sc) {
+  const std::string op = sc.request().Query("op");
+  if (op == "add") {
+    const std::string text = sc.request().Query("text");
+    sc.DbQuery("INSERT INTO notes (text) VALUES (" + SqlQuote(text) + ")");
+    return;  // respond on completion
+  }
+  if (op == "list") {
+    sc.scratch().clear();
+    sc.DbQuery("SELECT text FROM notes");
+    return;
+  }
+  sc.Respond(400, "unknown op");
+}
+
+void NotesService::OnDbRow(ServiceContext& sc, uint64_t qid, const std::vector<SqlValue>& row) {
+  (void)qid;
+  // Only this user's rows ever arrive: other users' rows were dropped by
+  // the kernel's label check on their taints.
+  if (!row.empty()) {
+    sc.scratch() += row[0].AsText();
+    sc.scratch() += "\n";
+  }
+}
+
+void NotesService::OnDbDone(ServiceContext& sc, uint64_t qid, Status status,
+                            uint64_t rows_affected) {
+  (void)qid;
+  if (status != Status::kOk) {
+    sc.Respond(500, StrFormat("db error: %s", StatusString(status)));
+    return;
+  }
+  if (sc.request().Query("op") == "add") {
+    sc.Respond(200, StrFormat("added %llu", static_cast<unsigned long long>(rows_affected)));
+  } else {
+    sc.Respond(200, sc.scratch());
+  }
+}
+
+// --- ProfileService (declassifier) --------------------------------------------------
+
+constexpr char ProfileService::kTableSql[];
+
+void ProfileService::OnRequest(ServiceContext& sc) {
+  const std::string op = sc.request().Query("op");
+  if (op == "set") {
+    if (!sc.is_declassifier()) {
+      sc.Respond(403, "not a declassifier");
+      return;
+    }
+    // Publish: the declassify flag makes ok-dbproxy stamp USER_ID = 0, so
+    // the row comes back untainted for everyone (§7.6).
+    const std::string text = sc.request().Query("text");
+    sc.DbQuery("INSERT INTO profiles (username, text) VALUES (" + SqlQuote(sc.username()) +
+                   ", " + SqlQuote(text) + ")",
+               dbproxy_proto::kFlagDeclassify);
+    return;
+  }
+  if (op == "get") {
+    std::string who = sc.request().Query("who");
+    if (who.empty()) {
+      who = sc.username();
+    }
+    sc.scratch().clear();
+    sc.DbQuery("SELECT text FROM profiles WHERE username = " + SqlQuote(who));
+    return;
+  }
+  sc.Respond(400, "unknown op");
+}
+
+void ProfileService::OnDbRow(ServiceContext& sc, uint64_t qid, const std::vector<SqlValue>& row) {
+  (void)qid;
+  if (!row.empty()) {
+    // Later rows overwrite earlier ones: the newest published profile wins.
+    sc.scratch() = row[0].AsText();
+  }
+}
+
+void ProfileService::OnDbDone(ServiceContext& sc, uint64_t qid, Status status,
+                              uint64_t rows_affected) {
+  (void)qid;
+  (void)rows_affected;
+  if (status != Status::kOk) {
+    sc.Respond(500, StrFormat("db error: %s", StatusString(status)));
+    return;
+  }
+  if (sc.request().Query("op") == "set") {
+    sc.Respond(200, "published");
+  } else if (sc.scratch().empty()) {
+    sc.Respond(404, "no profile");
+  } else {
+    sc.Respond(200, sc.scratch());
+  }
+}
+
+// --- PasswdService ----------------------------------------------------------------
+
+void PasswdService::OnRequest(ServiceContext& sc) {
+  const std::string old_pw = sc.request().Query("old");
+  const std::string new_pw = sc.request().Query("new");
+  if (new_pw.empty()) {
+    sc.Respond(400, "new password required");
+    return;
+  }
+  sc.ChangePassword(old_pw, new_pw);
+}
+
+void PasswdService::OnPasswordChanged(ServiceContext& sc, Status status) {
+  if (status == Status::kOk) {
+    sc.Respond(200, "password changed");
+  } else {
+    sc.Respond(403, "password change refused");
+  }
+}
+
+}  // namespace asbestos

@@ -1,0 +1,59 @@
+// Concrete OKWS services.
+//
+//  * EchoService    — the paper's §9.2 performance workload: a response whose
+//                     length depends on a client parameter.
+//  * StorageService — the paper's §9.1 memory workload: stores data from the
+//                     user's request in session state and returns it on the
+//                     subsequent request (~1 KB responses).
+//  * NotesService   — database-backed per-user notes; exercises the full
+//                     §7.5 ok-dbproxy write/read path with verify labels.
+//  * ProfileService — the §7.6 declassifier: publishes a user's profile as
+//                     declassified (public) rows that any user may read.
+//  * PasswdService  — the password-change worker of §2, through idd.
+#ifndef SRC_OKWS_SERVICES_H_
+#define SRC_OKWS_SERVICES_H_
+
+#include <memory>
+#include <string>
+
+#include "src/okws/worker.h"
+
+namespace asbestos {
+
+class EchoService : public Service {
+ public:
+  void OnRequest(ServiceContext& sc) override;
+};
+
+class StorageService : public Service {
+ public:
+  // Pads responses to this size (the paper's ~1K responses).
+  static constexpr size_t kResponseSize = 1024;
+  void OnRequest(ServiceContext& sc) override;
+};
+
+class NotesService : public Service {
+ public:
+  static constexpr char kTableSql[] = "CREATE TABLE notes (text TEXT)";
+  void OnRequest(ServiceContext& sc) override;
+  void OnDbRow(ServiceContext& sc, uint64_t qid, const std::vector<SqlValue>& row) override;
+  void OnDbDone(ServiceContext& sc, uint64_t qid, Status status, uint64_t rows_affected) override;
+};
+
+class ProfileService : public Service {
+ public:
+  static constexpr char kTableSql[] = "CREATE TABLE profiles (username TEXT, text TEXT)";
+  void OnRequest(ServiceContext& sc) override;
+  void OnDbRow(ServiceContext& sc, uint64_t qid, const std::vector<SqlValue>& row) override;
+  void OnDbDone(ServiceContext& sc, uint64_t qid, Status status, uint64_t rows_affected) override;
+};
+
+class PasswdService : public Service {
+ public:
+  void OnRequest(ServiceContext& sc) override;
+  void OnPasswordChanged(ServiceContext& sc, Status status) override;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_OKWS_SERVICES_H_

@@ -1,0 +1,160 @@
+// OKWS workers (paper §7.2-7.3): untrusted, service-specific processes that
+// enter the event realm at startup so that each user's session lives in its
+// own event process.
+//
+// The framework handles the per-request protocol — reading the request from
+// netd, database round-trips through ok-dbproxy (with the right V labels),
+// responding, closing the connection, registering sessions with ok-demux —
+// while a Service supplies the application logic. Session data lives in the
+// event process's *simulated memory* state page (so the Figure 6 memory
+// numbers are real COW pages), and per-request scratch is written to a
+// scratch region that is ep_clean()ed before yielding, exactly the §7.3
+// discipline. Setting clean_after_request = false reproduces the paper's
+// worst-case "active session" measurement.
+#ifndef SRC_OKWS_WORKER_H_
+#define SRC_OKWS_WORKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/sql_value.h"
+#include "src/http/http.h"
+#include "src/kernel/kernel.h"
+#include "src/okws/protocol.h"
+
+namespace asbestos {
+
+class WorkerProcess;
+
+// Per-request interface handed to services.
+class ServiceContext {
+ public:
+  const std::string& username() const;
+  const HttpRequest& request() const;
+  bool is_declassifier() const;
+
+  // Session state: persisted in the event process's private state page and
+  // restored on the next request of the same session.
+  const std::string& session_data() const;
+  void set_session_data(std::string data);
+
+  // Per-request scratch the service may accumulate into (e.g. SELECT rows).
+  std::string& scratch();
+
+  // Issues a query through ok-dbproxy; rows/completion arrive via
+  // Service::OnDbRow / OnDbDone with the returned id. `flags` are
+  // dbproxy_proto flags (kFlagDeclassify requires declassifier privilege).
+  uint64_t DbQuery(const std::string& sql, uint64_t flags = 0);
+
+  // Asks idd to change the user's password (proves uG via V).
+  void ChangePassword(const std::string& old_pw, const std::string& new_pw);
+
+  // Completes the request. Exactly one Respond per request.
+  void Respond(int status, std::string_view body);
+
+  // --- Compromise modelling ---------------------------------------------------
+  // A compromised worker runs arbitrary code with the worker's kernel
+  // context; isolation tests model that by reaching past the framework.
+  // The kernel's label checks — not this interface — are the security
+  // boundary (§7.8: workers are untrusted).
+  ProcessContext& kernel_context() { return *ctx_; }
+  // The current request's connection port value (uC).
+  uint64_t connection_port_value() const;
+
+ private:
+  friend class WorkerProcess;
+  ServiceContext(WorkerProcess* worker, ProcessContext* ctx, EpId ep)
+      : worker_(worker), ctx_(ctx), ep_(ep) {}
+
+  WorkerProcess* worker_;
+  ProcessContext* ctx_;
+  EpId ep_;
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual void OnRequest(ServiceContext& sc) = 0;
+  virtual void OnDbRow(ServiceContext& sc, uint64_t qid, const std::vector<SqlValue>& row) {
+    (void)sc;
+    (void)qid;
+    (void)row;
+  }
+  virtual void OnDbDone(ServiceContext& sc, uint64_t qid, Status status, uint64_t rows_affected) {
+    (void)sc;
+    (void)qid;
+    (void)status;
+    (void)rows_affected;
+  }
+  // Result of a ChangePassword call.
+  virtual void OnPasswordChanged(ServiceContext& sc, Status status) {
+    (void)sc;
+    (void)status;
+  }
+};
+
+struct WorkerOptions {
+  bool clean_after_request = true;  // false reproduces Fig. 6 "active sessions"
+};
+
+class WorkerProcess : public ProcessCode {
+ public:
+  WorkerProcess(std::string service_name, std::unique_ptr<Service> service,
+                WorkerOptions options = WorkerOptions());
+
+  void Start(ProcessContext& ctx) override;
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+
+ private:
+  friend class ServiceContext;
+
+  struct InFlight {
+    uint64_t demux_cookie = 0;
+    Handle uc;
+    Handle taint;   // uT (value only; privilege is in the EP's labels)
+    Handle grant;   // uG
+    Handle uw;
+    std::string username;
+    HttpRequestParser parser;
+    std::string session_blob;
+    std::string scratch_text;
+    uint64_t request_bytes = 0;
+    uint64_t next_qid = 1;
+    bool responded = false;
+    bool declassifier = false;
+  };
+
+  void OnConnForUser(ProcessContext& ctx, const Message& msg);
+  void OnReadReply(ProcessContext& ctx, const Message& msg);
+  void SendRead(ProcessContext& ctx, InFlight& rq);
+  void FinishRequest(ProcessContext& ctx, InFlight& rq, int status, std::string_view body);
+  void SaveStatePage(ProcessContext& ctx, const InFlight& rq);
+  bool LoadStatePage(ProcessContext& ctx, Handle* uw, std::string* username,
+                     std::string* blob);
+
+  InFlight* Current(EpId ep);
+
+  std::string service_name_;
+  std::unique_ptr<Service> service_;
+  WorkerOptions options_;
+
+  Handle session_port_;  // demux's, from env (capability granted per conn)
+  Handle dbproxy_port_;
+  Handle idd_login_;
+
+  uint64_t state_addr_ = 0;
+  uint64_t scratch_addr_ = 0;
+  uint64_t stats_addr_ = 0;  // per-request counters ("modified globals")
+  static constexpr uint64_t kScratchPages = 8;
+
+  std::map<EpId, InFlight> in_flight_;
+  // Connections that arrived for a session while it was mid-request.
+  std::map<EpId, std::deque<Message>> pending_conns_;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_OKWS_WORKER_H_

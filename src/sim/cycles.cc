@@ -1,0 +1,37 @@
+#include "src/sim/cycles.h"
+
+namespace asbestos {
+namespace {
+
+CycleAccounting g_accounting;
+Component g_current = Component::kOther;
+
+}  // namespace
+
+const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kOkws:
+      return "OKWS";
+    case Component::kNetwork:
+      return "Network";
+    case Component::kKernelIpc:
+      return "Kernel IPC";
+    case Component::kOkdb:
+      return "OKDB";
+    case Component::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+CycleAccounting& GetCycleAccounting() { return g_accounting; }
+
+Component CurrentComponent() { return g_current; }
+
+ScopedComponent::ScopedComponent(Component c) : prev_(g_current) { g_current = c; }
+ScopedComponent::~ScopedComponent() { g_current = prev_; }
+
+void Charge(uint64_t cycles) { g_accounting.Charge(g_current, cycles); }
+void ChargeTo(Component c, uint64_t cycles) { g_accounting.Charge(c, cycles); }
+
+}  // namespace asbestos

@@ -1,0 +1,89 @@
+// Deterministic cycle accounting.
+//
+// The paper measures CPU cycles per connection attributed to system
+// components (Figure 9: OKWS, Network, Kernel IPC, OKDB, Other). Our
+// simulator reproduces that attribution deterministically: every component
+// charges cycles proportional to the *work it actually performs* (label
+// entries traversed, messages processed, bytes copied, database rows
+// touched), scaled by constants in src/sim/costs.h that are calibrated once
+// against the paper's one-session measurements. A single virtual CPU
+// executes all charges serially, so the global cycle clock also provides the
+// virtual timeline used for latency and throughput measurements.
+#ifndef SRC_SIM_CYCLES_H_
+#define SRC_SIM_CYCLES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace asbestos {
+
+// The accounting categories of paper Figure 9.
+enum class Component : uint8_t {
+  kOkws = 0,     // ok-demux, idd, workers, declassifiers (user code)
+  kNetwork = 1,  // netd and the TCP substrate
+  kKernelIpc = 2,  // send/recv processing, including label operations
+  kOkdb = 3,     // SQL engine and ok-dbproxy
+  kOther = 4,    // everything else (scheduling, boot, client glue)
+};
+
+constexpr int kComponentCount = 5;
+
+const char* ComponentName(Component c);
+
+// Global virtual clock + per-component cycle accumulator. Single-threaded.
+class CycleAccounting {
+ public:
+  // Advances the virtual clock and attributes the cycles to `c`.
+  void Charge(Component c, uint64_t cycles) {
+    now_ += cycles;
+    totals_[static_cast<size_t>(c)] += cycles;
+  }
+
+  uint64_t now() const { return now_; }
+  uint64_t total(Component c) const { return totals_[static_cast<size_t>(c)]; }
+  uint64_t grand_total() const {
+    uint64_t sum = 0;
+    for (uint64_t t : totals_) {
+      sum += t;
+    }
+    return sum;
+  }
+
+  void Reset() {
+    now_ = 0;
+    totals_.fill(0);
+  }
+
+ private:
+  uint64_t now_ = 0;
+  std::array<uint64_t, kComponentCount> totals_{};
+};
+
+CycleAccounting& GetCycleAccounting();
+
+// The component whose code is "currently executing" in the simulation. The
+// scheduler scopes this to the owning process of each handler invocation, so
+// generic helpers can charge the right account without plumbing.
+Component CurrentComponent();
+
+class ScopedComponent {
+ public:
+  explicit ScopedComponent(Component c);
+  ~ScopedComponent();
+
+  ScopedComponent(const ScopedComponent&) = delete;
+  ScopedComponent& operator=(const ScopedComponent&) = delete;
+
+ private:
+  Component prev_;
+};
+
+// Charges to the current component.
+void Charge(uint64_t cycles);
+// Charges to an explicit component regardless of scope.
+void ChargeTo(Component c, uint64_t cycles);
+
+}  // namespace asbestos
+
+#endif  // SRC_SIM_CYCLES_H_

@@ -1,0 +1,148 @@
+#include "src/kernel/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace asbestos {
+namespace {
+
+std::string ReadString(const AddressSpace& as, const PageOverlay* ov, uint64_t addr, size_t n) {
+  std::string out(n, '\0');
+  as.Read(ov, addr, out.data(), n);
+  return out;
+}
+
+TEST(AddressSpaceTest, ZeroFillOnDemand) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(2);
+  EXPECT_EQ(as.base_page_count(), 0u) << "allocation must not materialize pages";
+  EXPECT_EQ(ReadString(as, nullptr, addr, 8), std::string(8, '\0'));
+}
+
+TEST(AddressSpaceTest, BaseWriteReadBack) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  as.Write(nullptr, addr + 100, "hello", 5);
+  EXPECT_EQ(ReadString(as, nullptr, addr + 100, 5), "hello");
+  EXPECT_EQ(as.base_page_count(), 1u);
+}
+
+TEST(AddressSpaceTest, CrossPageWrite) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(2);
+  const std::string data(kPageSize + 100, 'x');
+  as.Write(nullptr, addr + kPageSize - 50, data.data(), data.size());
+  EXPECT_EQ(ReadString(as, nullptr, addr + kPageSize - 50, data.size()), data);
+  EXPECT_EQ(as.base_page_count(), 3u);  // touches pages 0, 1, 2 of the region
+}
+
+TEST(AddressSpaceTest, OverlayCopyOnWrite) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  as.Write(nullptr, addr, "base", 4);
+
+  PageOverlay overlay;
+  const uint64_t cow = as.Write(&overlay, addr, "EP", 2);
+  EXPECT_EQ(cow, 1u);
+  // The overlay sees its own write plus the copied base remainder.
+  EXPECT_EQ(ReadString(as, &overlay, addr, 4), "EPse");
+  // The base is untouched.
+  EXPECT_EQ(ReadString(as, nullptr, addr, 4), "base");
+}
+
+TEST(AddressSpaceTest, SecondOverlayWriteIsNotCow) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  PageOverlay overlay;
+  EXPECT_EQ(as.Write(&overlay, addr, "a", 1), 1u);
+  EXPECT_EQ(as.Write(&overlay, addr + 1, "b", 1), 0u) << "page already private";
+}
+
+TEST(AddressSpaceTest, OverlaysAreIndependent) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  PageOverlay ep1;
+  PageOverlay ep2;
+  as.Write(&ep1, addr, "one", 3);
+  as.Write(&ep2, addr, "two", 3);
+  EXPECT_EQ(ReadString(as, &ep1, addr, 3), "one");
+  EXPECT_EQ(ReadString(as, &ep2, addr, 3), "two");
+  EXPECT_EQ(ReadString(as, nullptr, addr, 3), std::string(3, '\0'));
+}
+
+TEST(AddressSpaceTest, OverlayReadsThroughToBase) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(2);
+  as.Write(nullptr, addr, "base0", 5);
+  as.Write(nullptr, addr + kPageSize, "base1", 5);
+  PageOverlay overlay;
+  as.Write(&overlay, addr, "EP", 2);  // private copy of page 0 only
+  EXPECT_EQ(ReadString(as, &overlay, addr + kPageSize, 5), "base1");
+}
+
+TEST(AddressSpaceTest, BaseWriteAfterCowDoesNotLeakIntoOverlay) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  as.Write(nullptr, addr, "AAAA", 4);
+  PageOverlay overlay;
+  as.Write(&overlay, addr + 8, "ep", 2);  // copies the page with "AAAA"
+  as.Write(nullptr, addr, "BBBB", 4);     // base moves on
+  EXPECT_EQ(ReadString(as, &overlay, addr, 4), "AAAA");
+  EXPECT_EQ(ReadString(as, nullptr, addr, 4), "BBBB");
+}
+
+TEST(AddressSpaceTest, OverlayCleanRevertsWholePages) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(3);
+  as.Write(nullptr, addr, "base", 4);
+  PageOverlay overlay;
+  as.Write(&overlay, addr, "EPEP", 4);
+  as.Write(&overlay, addr + kPageSize, "ep1", 3);
+  as.Write(&overlay, addr + 2 * kPageSize, "ep2", 3);
+  EXPECT_EQ(overlay.size(), 3u);
+
+  // Clean the middle page only.
+  EXPECT_EQ(OverlayClean(&overlay, addr + kPageSize, kPageSize), 1u);
+  EXPECT_EQ(overlay.size(), 2u);
+  EXPECT_EQ(ReadString(as, &overlay, addr + kPageSize, 3), std::string(3, '\0'));
+  EXPECT_EQ(ReadString(as, &overlay, addr, 4), "EPEP");
+}
+
+TEST(AddressSpaceTest, OverlayCleanIgnoresPartialPages) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(1);
+  PageOverlay overlay;
+  as.Write(&overlay, addr, "x", 1);
+  // Range covers only half the page: nothing reverts.
+  EXPECT_EQ(OverlayClean(&overlay, addr, kPageSize / 2), 0u);
+  EXPECT_EQ(overlay.size(), 1u);
+}
+
+TEST(AddressSpaceTest, LivePageAccounting) {
+  const int64_t before = GetSimPageStats().live_pages;
+  {
+    AddressSpace as;
+    const uint64_t addr = as.AllocPages(4);
+    as.Write(nullptr, addr, "a", 1);
+    as.Write(nullptr, addr + kPageSize, "b", 1);
+    EXPECT_EQ(GetSimPageStats().live_pages, before + 2);
+    PageOverlay overlay;
+    as.Write(&overlay, addr, "c", 1);
+    EXPECT_EQ(GetSimPageStats().live_pages, before + 3);
+  }
+  EXPECT_EQ(GetSimPageStats().live_pages, before);
+}
+
+TEST(AddressSpaceTest, FreePagesDropsThem) {
+  AddressSpace as;
+  const uint64_t addr = as.AllocPages(2);
+  as.Write(nullptr, addr, "data", 4);
+  as.FreePages(addr, 2);
+  EXPECT_EQ(as.base_page_count(), 0u);
+  EXPECT_EQ(ReadString(as, nullptr, addr, 4), std::string(4, '\0'));
+}
+
+}  // namespace
+}  // namespace asbestos

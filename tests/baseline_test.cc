@@ -1,0 +1,80 @@
+#include "src/baseline/unix_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/costs.h"
+
+namespace asbestos {
+namespace {
+
+TEST(BaselineTest, ModuleFasterThanCgi) {
+  ApacheConfig cgi;
+  cgi.mode = ApacheMode::kCgi;
+  ApacheConfig mod;
+  mod.mode = ApacheMode::kModule;
+  mod.pool_size = 16;
+  const auto cgi_stats = UnixApacheSim(cgi).Run(2000, 400);
+  const auto mod_stats = UnixApacheSim(mod).Run(2000, 16);
+  const double cgi_tput = cgi_stats.throughput_per_sec(costs::kCpuHz);
+  const double mod_tput = mod_stats.throughput_per_sec(costs::kCpuHz);
+  EXPECT_GT(mod_tput, 2.0 * cgi_tput) << "module avoids fork/exec per request";
+}
+
+TEST(BaselineTest, ThroughputNearPaperValues) {
+  // Paper Fig. 7: Apache ≈ 1,050 conn/s, Mod-Apache ≈ 2,800 conn/s.
+  ApacheConfig cgi;
+  cgi.mode = ApacheMode::kCgi;
+  const double apache = UnixApacheSim(cgi).Run(5000, 400).throughput_per_sec(costs::kCpuHz);
+  EXPECT_GT(apache, 800);
+  EXPECT_LT(apache, 1400);
+
+  ApacheConfig mod;
+  mod.mode = ApacheMode::kModule;
+  mod.pool_size = 16;
+  const double modv = UnixApacheSim(mod).Run(5000, 16).throughput_per_sec(costs::kCpuHz);
+  EXPECT_GT(modv, 2200);
+  EXPECT_LT(modv, 3400);
+}
+
+TEST(BaselineTest, LatencyTailShape) {
+  // Paper Fig. 8: Mod-Apache p90 ≈ p50; Apache p90 ≈ 1.5× p50.
+  ApacheConfig mod;
+  mod.mode = ApacheMode::kModule;
+  mod.pool_size = 16;
+  const auto mod_stats = UnixApacheSim(mod).Run(5000, 4);
+  const double mod_ratio =
+      static_cast<double>(mod_stats.latency_percentile_cycles(90)) /
+      static_cast<double>(mod_stats.latency_percentile_cycles(50));
+  EXPECT_LT(mod_ratio, 1.15);
+
+  ApacheConfig cgi;
+  cgi.mode = ApacheMode::kCgi;
+  const auto cgi_stats = UnixApacheSim(cgi).Run(5000, 4);
+  const double cgi_ratio =
+      static_cast<double>(cgi_stats.latency_percentile_cycles(90)) /
+      static_cast<double>(cgi_stats.latency_percentile_cycles(50));
+  EXPECT_GT(cgi_ratio, 1.15);
+  EXPECT_LT(cgi_ratio, 2.2);
+}
+
+TEST(BaselineTest, DeterministicAcrossRuns) {
+  ApacheConfig cgi;
+  cgi.mode = ApacheMode::kCgi;
+  const auto a = UnixApacheSim(cgi).Run(500, 4);
+  const auto b = UnixApacheSim(cgi).Run(500, 4);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.latency_percentile_cycles(50), b.latency_percentile_cycles(50));
+}
+
+TEST(BaselineTest, ClosedLoopLatencyScalesWithConcurrency) {
+  ApacheConfig mod;
+  mod.mode = ApacheMode::kModule;
+  const auto c1 = UnixApacheSim(mod).Run(2000, 1);
+  const auto c8 = UnixApacheSim(mod).Run(2000, 8);
+  EXPECT_GT(c8.latency_percentile_cycles(50), 4 * c1.latency_percentile_cycles(50))
+      << "queueing on one CPU stretches latency with concurrency";
+}
+
+}  // namespace
+}  // namespace asbestos

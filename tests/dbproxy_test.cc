@@ -1,0 +1,332 @@
+// ok-dbproxy in isolation (paper §7.5-7.6): privileged-port capability,
+// hidden USER_ID column, verify-label enforcement on writes, per-row taints
+// on reads, and declassified rows.
+#include <gtest/gtest.h>
+
+#include "src/db/dbproxy.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+using dbproxy_proto::MessageType;
+using testing::RecorderProcess;
+using testing::ScriptedProcess;
+
+class DbproxyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto code = std::make_unique<DbproxyProcess>();
+    proxy_ = code.get();
+    SpawnArgs args;
+    args.name = "dbproxy";
+    args.component = Component::kOkdb;
+    kernel_.CreateProcess(std::move(code), args);
+
+    // A stand-in idd: owns the user compartments and the privileged-port
+    // capability (granted here directly; the launcher does this in vivo).
+    SpawnArgs iargs;
+    iargs.name = "idd";
+    idd_ = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), iargs);
+    kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+      idd_port_ = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(idd_port_, Label::Top()), Status::kOk);
+    });
+    GrantPrivPortTo(idd_);
+
+    // Create a worker table (gains the hidden USER_ID column) and bind two
+    // users.
+    PrivExec("CREATE TABLE notes (text TEXT)");
+    alice_ = BindUser("alice", 1);
+    bob_ = BindUser("bob", 2);
+  }
+
+  struct UserHandles {
+    Handle taint;
+    Handle grant;
+  };
+
+  void GrantPrivPortTo(ProcessId pid) {
+    // Boot-loader shortcut: the launcher normally relays this capability.
+    Process* proxy_proc = kernel_.FindProcessByName("dbproxy");
+    ASSERT_NE(proxy_proc, nullptr);
+    kernel_.WithProcessContext(proxy_proc->id, [&](ProcessContext& ctx) {
+      SendArgs args;
+      args.decont_send = Label({{proxy_->priv_port(), Level::kStar}}, Level::kL3);
+      Message m;
+      m.type = 999;  // any message; only the grant matters
+      EXPECT_EQ(ctx.Send(PortOf(pid), std::move(m), args), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+    received_.clear();
+  }
+
+  Handle PortOf(ProcessId pid) { return pid == idd_ ? idd_port_ : worker_port_; }
+
+  void PrivExec(const std::string& sql) {
+    kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+      Message q;
+      q.type = MessageType::kQuery;
+      q.words = {1, 0};
+      q.data = "\n" + sql;
+      q.reply_port = idd_port_;
+      EXPECT_EQ(ctx.Send(proxy_->priv_port(), std::move(q)), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+    ASSERT_FALSE(received_.empty());
+    EXPECT_EQ(received_.back().msg.words[1], 0u) << sql;
+    received_.clear();
+  }
+
+  UserHandles BindUser(const std::string& username, int64_t uid) {
+    UserHandles u;
+    kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+      u.taint = ctx.NewHandle();
+      u.grant = ctx.NewHandle();
+      Message bind;
+      bind.type = MessageType::kBind;
+      bind.data = username;
+      bind.words = {u.taint.value(), u.grant.value(), static_cast<uint64_t>(uid)};
+      SendArgs args;
+      args.decont_send = Label({{u.taint, Level::kStar}}, Level::kL3);
+      args.decont_receive = Label({{u.taint, Level::kL3}}, Level::kStar);
+      EXPECT_EQ(ctx.Send(proxy_->priv_port(), std::move(bind), args), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+    received_.clear();
+    return u;
+  }
+
+  // Creates a worker-like process acting for `user`: tainted uT 3, holding
+  // uG ⋆, cleared to receive its user's rows.
+  ProcessId MakeWorker(const std::string& name, const UserHandles& u) {
+    SpawnArgs args;
+    args.name = name;
+    const ProcessId pid =
+        kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), args);
+    kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+      worker_port_ = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(worker_port_, Label::Top()), Status::kOk);
+    });
+    kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+      Message m;
+      m.type = 998;
+      SendArgs args2;
+      args2.contaminate = Label({{u.taint, Level::kL3}}, Level::kStar);
+      args2.decont_send = Label({{u.grant, Level::kStar}}, Level::kL3);
+      args2.decont_receive = Label({{u.taint, Level::kL3}}, Level::kStar);
+      EXPECT_EQ(ctx.Send(worker_port_, std::move(m), args2), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+    received_.clear();
+    return pid;
+  }
+
+  // Sends a query as `user` with the standard worker verify label.
+  void WorkerQuery(ProcessId worker, const UserHandles& u, const std::string& username,
+                   const std::string& sql, uint64_t flags = 0) {
+    kernel_.WithProcessContext(worker, [&](ProcessContext& ctx) {
+      Message q;
+      q.type = MessageType::kQuery;
+      q.words = {1, flags};
+      q.data = username + "\n" + sql;
+      q.reply_port = worker_port_;
+      SendArgs args;
+      const Level taint_level =
+          ctx.send_label().Get(u.taint) == Level::kStar ? Level::kStar : Level::kL3;
+      args.verify = Label({{u.taint, taint_level}, {u.grant, Level::kL0}}, Level::kL2);
+      EXPECT_EQ(ctx.Send(proxy_->query_port(), std::move(q), args), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+  }
+
+  Kernel kernel_{0xdbdbULL};
+  DbproxyProcess* proxy_ = nullptr;
+  ProcessId idd_ = kNoProcess;
+  Handle idd_port_;
+  Handle worker_port_;
+  UserHandles alice_;
+  UserHandles bob_;
+  std::vector<RecorderProcess::Received> received_;
+};
+
+TEST_F(DbproxyTest, PrivPortClosedToStrangers) {
+  SpawnArgs args;
+  args.name = "stranger";
+  const ProcessId stranger = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  const uint64_t drops = kernel_.stats().drops_label_check;
+  kernel_.WithProcessContext(stranger, [&](ProcessContext& ctx) {
+    Message q;
+    q.type = MessageType::kQuery;
+    q.words = {1, 0};
+    q.data = "\nDELETE FROM okws_users";
+    EXPECT_EQ(ctx.Send(proxy_->priv_port(), std::move(q)), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_EQ(kernel_.stats().drops_label_check, drops + 1);
+}
+
+TEST_F(DbproxyTest, WriteStampsHiddenUserIdColumn) {
+  const ProcessId w = MakeWorker("worker-alice", alice_);
+  WorkerQuery(w, alice_, "alice", "INSERT INTO notes (text) VALUES ('hi')");
+  ASSERT_FALSE(received_.empty());
+  EXPECT_EQ(received_.back().msg.type, MessageType::kDone);
+  EXPECT_EQ(received_.back().msg.words[1], 0u);
+  received_.clear();
+
+  // Privileged read shows the stamped column.
+  kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+    Message q;
+    q.type = MessageType::kQuery;
+    q.words = {2, 0};
+    q.data = "\nSELECT text, user_id FROM notes";
+    q.reply_port = idd_port_;
+    EXPECT_EQ(ctx.Send(proxy_->priv_port(), std::move(q)), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 2u);  // one row + done
+  std::vector<SqlValue> row;
+  ASSERT_TRUE(DecodeDbRow(received_[0].msg.data, &row));
+  EXPECT_EQ(row[0].AsText(), "hi");
+  EXPECT_EQ(row[1].AsInt(), 1) << "alice's user id";
+}
+
+TEST_F(DbproxyTest, WorkerCannotNameUserIdColumn) {
+  const ProcessId w = MakeWorker("worker-alice", alice_);
+  WorkerQuery(w, alice_, "alice", "SELECT text FROM notes WHERE user_id = 2");
+  ASSERT_FALSE(received_.empty());
+  EXPECT_EQ(received_.back().msg.words[1],
+            static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied)));
+}
+
+TEST_F(DbproxyTest, WorkerCannotTouchPasswordTableOrSchema) {
+  const ProcessId w = MakeWorker("worker-alice", alice_);
+  WorkerQuery(w, alice_, "alice", "SELECT * FROM okws_users");
+  EXPECT_EQ(received_.back().msg.words[1],
+            static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied)));
+  received_.clear();
+  WorkerQuery(w, alice_, "alice", "CREATE TABLE evil (x TEXT)");
+  EXPECT_EQ(received_.back().msg.words[1],
+            static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied)));
+}
+
+TEST_F(DbproxyTest, RowsReturnTaintedPerOwner) {
+  const ProcessId wa = MakeWorker("worker-alice", alice_);
+  WorkerQuery(wa, alice_, "alice", "INSERT INTO notes (text) VALUES ('alice-note')");
+  received_.clear();
+  const Handle alice_worker_port = worker_port_;
+  (void)alice_worker_port;
+
+  const ProcessId wb = MakeWorker("worker-bob", bob_);
+  WorkerQuery(wb, bob_, "bob", "INSERT INTO notes (text) VALUES ('bob-note')");
+  received_.clear();
+
+  // Bob's worker selects the whole table: alice's row is sent but dropped by
+  // the kernel; only bob's row and the untainted completion arrive.
+  const uint64_t drops = kernel_.stats().drops_label_check;
+  WorkerQuery(wb, bob_, "bob", "SELECT text FROM notes");
+  ASSERT_EQ(received_.size(), 2u);
+  std::vector<SqlValue> row;
+  ASSERT_TRUE(DecodeDbRow(received_[0].msg.data, &row));
+  EXPECT_EQ(row[0].AsText(), "bob-note");
+  EXPECT_EQ(received_[1].msg.type, MessageType::kDone);
+  EXPECT_GT(kernel_.stats().drops_label_check, drops)
+      << "alice's row was emitted and dropped by labels, not filtered by SQL";
+}
+
+TEST_F(DbproxyTest, UpdatesAndDeletesScopedToOwnRows) {
+  const ProcessId wa = MakeWorker("worker-alice", alice_);
+  WorkerQuery(wa, alice_, "alice", "INSERT INTO notes (text) VALUES ('mine')");
+  received_.clear();
+  const ProcessId wb = MakeWorker("worker-bob", bob_);
+  WorkerQuery(wb, bob_, "bob", "UPDATE notes SET text = 'defaced'");
+  EXPECT_EQ(received_.back().msg.words[2], 0u) << "0 rows affected: alice's row untouchable";
+  received_.clear();
+  WorkerQuery(wb, bob_, "bob", "DELETE FROM notes");
+  EXPECT_EQ(received_.back().msg.words[2], 0u);
+}
+
+TEST_F(DbproxyTest, ForgedUsernameRejectedByVerifyBound) {
+  // Bob's worker claims to be alice: its V necessarily carries bob's taint
+  // at 3 (the kernel enforces ES ⊑ V), which exceeds {aliceT 3, aliceG 0, 2}.
+  const ProcessId wb = MakeWorker("worker-bob", bob_);
+  kernel_.WithProcessContext(wb, [&](ProcessContext& ctx) {
+    Message q;
+    q.type = MessageType::kQuery;
+    q.words = {1, 0};
+    q.data = "alice\nINSERT INTO notes (text) VALUES ('forged')";
+    q.reply_port = worker_port_;
+    SendArgs args;
+    args.verify = Label({{bob_.taint, Level::kL3}, {bob_.grant, Level::kL0}}, Level::kL2);
+    EXPECT_EQ(ctx.Send(proxy_->query_port(), std::move(q), args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_FALSE(received_.empty());
+  EXPECT_EQ(received_.back().msg.words[1],
+            static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied)));
+}
+
+TEST_F(DbproxyTest, DeclassifyRequiresStarInVerify) {
+  // A worker holding uT at 3 cannot write public rows...
+  const ProcessId wa = MakeWorker("worker-alice", alice_);
+  WorkerQuery(wa, alice_, "alice", "INSERT INTO notes (text) VALUES ('pub')",
+              dbproxy_proto::kFlagDeclassify);
+  EXPECT_EQ(received_.back().msg.words[1],
+            static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied)));
+  received_.clear();
+
+  // ...but a declassifier (uT at ⋆, granted by idd) can; the row comes back
+  // untainted to anyone.
+  SpawnArgs dargs;
+  dargs.name = "declassifier-alice";
+  const ProcessId d =
+      kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), dargs);
+  kernel_.WithProcessContext(d, [&](ProcessContext& ctx) {
+    worker_port_ = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(worker_port_, Label::Top()), Status::kOk);
+  });
+  kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+    Message m;
+    m.type = 998;
+    SendArgs args;
+    args.decont_send =
+        Label({{alice_.taint, Level::kStar}, {alice_.grant, Level::kStar}}, Level::kL3);
+    EXPECT_EQ(ctx.Send(worker_port_, std::move(m), args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  received_.clear();
+  WorkerQuery(d, alice_, "alice", "INSERT INTO notes (text) VALUES ('public-profile')",
+              dbproxy_proto::kFlagDeclassify);
+  EXPECT_EQ(received_.back().msg.words[1], 0u);
+  received_.clear();
+
+  // Bob's plain worker can now read the declassified row untainted.
+  const ProcessId wb = MakeWorker("worker-bob", bob_);
+  WorkerQuery(wb, bob_, "bob", "SELECT text FROM notes");
+  ASSERT_EQ(received_.size(), 2u);
+  std::vector<SqlValue> row;
+  ASSERT_TRUE(DecodeDbRow(received_[0].msg.data, &row));
+  EXPECT_EQ(row[0].AsText(), "public-profile");
+}
+
+TEST_F(DbproxyTest, RowCodecRoundTrip) {
+  std::vector<SqlValue> row;
+  row.emplace_back(SqlValue(int64_t{-42}));
+  row.emplace_back(SqlValue(std::string("text with : colons and \n newlines")));
+  row.emplace_back(SqlValue());
+  row.emplace_back(SqlValue(std::string("")));
+  std::vector<SqlValue> decoded;
+  ASSERT_TRUE(DecodeDbRow(EncodeDbRow(row), &decoded));
+  ASSERT_EQ(decoded.size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(decoded[i].Compare(row[i]), 0);
+  }
+  // Malformed inputs are rejected, not crashed on.
+  EXPECT_FALSE(DecodeDbRow("x:3:abc", &decoded));
+  EXPECT_FALSE(DecodeDbRow("t:999:short", &decoded));
+  EXPECT_FALSE(DecodeDbRow("t:abc:x", &decoded));
+  EXPECT_FALSE(DecodeDbRow("garbage", &decoded));
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,378 @@
+// Event processes (paper Section 6): per-user isolated contexts inside one
+// process — label isolation, COW memory isolation, ep_clean / ep_exit, and
+// memory accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/labels/label.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+using testing::ScriptedProcess;
+
+// A worker-shaped process: enters the event realm at startup and runs the
+// supplied handler per event process.
+class RealmProcess : public ProcessCode {
+ public:
+  using Handler = std::function<void(ProcessContext&, const Message&)>;
+
+  RealmProcess(Handle* service_port_out, Handler handler)
+      : service_port_out_(service_port_out), handler_(std::move(handler)) {}
+
+  void Start(ProcessContext& ctx) override {
+    *service_port_out_ = ctx.NewPort(Label::Top());
+    ASB_ASSERT(ctx.SetPortLabel(*service_port_out_, Label::Top()) == Status::kOk);
+    ctx.EnterEventRealm();
+  }
+
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override { handler_(ctx, msg); }
+
+ private:
+  Handle* service_port_out_;
+  Handler handler_;
+};
+
+class EventProcessTest : public ::testing::Test {
+ protected:
+  Kernel kernel_{0xabcdULL};
+
+  ProcessId MakeSender(const std::string& name = "sender") {
+    SpawnArgs args;
+    args.name = name;
+    return kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  }
+
+  void SendTo(ProcessId sender, Handle port, Message msg = Message(),
+              const SendArgs& args = SendArgs()) {
+    kernel_.WithProcessContext(sender, [&](ProcessContext& ctx) {
+      EXPECT_EQ(ctx.Send(port, std::move(msg), args), Status::kOk);
+    });
+  }
+};
+
+TEST_F(EventProcessTest, EachBasePortMessageForksFreshEp) {
+  Handle service;
+  std::vector<EpId> eps;
+  std::vector<bool> fresh;
+  SpawnArgs args;
+  args.name = "worker";
+  kernel_.CreateProcess(std::make_unique<RealmProcess>(&service,
+                                                       [&](ProcessContext& ctx, const Message&) {
+                                                         eps.push_back(ctx.ep_id());
+                                                         fresh.push_back(ctx.in_new_ep());
+                                                       }),
+                        args);
+  const ProcessId sender = MakeSender();
+  SendTo(sender, service);
+  SendTo(sender, service);
+  SendTo(sender, service);
+  kernel_.RunUntilIdle();
+
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_NE(eps[0], eps[1]);
+  EXPECT_NE(eps[1], eps[2]);
+  EXPECT_TRUE(fresh[0] && fresh[1] && fresh[2]);
+  EXPECT_EQ(kernel_.stats().eps_created, 3u);
+}
+
+TEST_F(EventProcessTest, EpOwnedPortResumesSameEp) {
+  Handle service;
+  std::map<EpId, Handle> ep_ports;
+  std::vector<std::pair<EpId, bool>> activations;  // (ep, was_new)
+  SpawnArgs args;
+  args.name = "worker";
+  kernel_.CreateProcess(
+      std::make_unique<RealmProcess>(&service,
+                                     [&](ProcessContext& ctx, const Message& msg) {
+                                       activations.emplace_back(ctx.ep_id(), ctx.in_new_ep());
+                                       if (ctx.in_new_ep()) {
+                                         Handle mine = ctx.NewPort(Label::Top());
+                                         ASB_ASSERT(ctx.SetPortLabel(mine, Label::Top()) ==
+                                                    Status::kOk);
+                                         ep_ports[ctx.ep_id()] = mine;
+                                       }
+                                       (void)msg;
+                                     }),
+      args);
+  const ProcessId sender = MakeSender();
+  SendTo(sender, service);  // creates EP 1 and its private port
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(activations.size(), 1u);
+  const EpId first = activations[0].first;
+
+  SendTo(sender, ep_ports[first]);  // resumes the same EP
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(activations.size(), 2u);
+  EXPECT_EQ(activations[1].first, first);
+  EXPECT_FALSE(activations[1].second) << "resumption is not a fresh event process";
+  EXPECT_EQ(kernel_.stats().eps_created, 1u);
+}
+
+TEST_F(EventProcessTest, LabelsAreIsolatedPerEp) {
+  // Contaminating one event process must not taint its siblings or the base.
+  Handle service;
+  Handle taint;
+  std::vector<EpId> eps;
+  SpawnArgs args;
+  args.name = "worker";
+  const ProcessId worker = kernel_.CreateProcess(
+      std::make_unique<RealmProcess>(
+          &service, [&](ProcessContext& ctx, const Message&) { eps.push_back(ctx.ep_id()); }),
+      args);
+
+  const ProcessId sender = MakeSender();
+  kernel_.WithProcessContext(sender, [&](ProcessContext& ctx) { taint = ctx.NewHandle(); });
+
+  SendArgs tainted;
+  tainted.contaminate = Label({{taint, Level::kL2}}, Level::kStar);
+  SendTo(sender, service, Message(), tainted);
+  SendTo(sender, service);  // untainted sibling
+  kernel_.RunUntilIdle();
+
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(kernel_.SendLabelOf(worker, eps[0]).Get(taint), Level::kL2);
+  EXPECT_EQ(kernel_.SendLabelOf(worker, eps[1]).Get(taint), Level::kL1);
+  EXPECT_EQ(kernel_.SendLabelOf(worker).Get(taint), Level::kL1) << "base is untouched";
+}
+
+TEST_F(EventProcessTest, MemoryIsIsolatedPerEpViaCow) {
+  Handle service;
+  uint64_t state_addr = 0;
+  std::vector<std::string> observed;
+  SpawnArgs args;
+  args.name = "worker";
+
+  // The worker writes its message's data to a fixed address and reports what
+  // it read there beforehand — EPs must never see each other's writes.
+  auto code = std::make_unique<ScriptedProcess>(
+      [&](ProcessContext& ctx) {
+        state_addr = ctx.AllocPages(1);
+        Handle port = ctx.NewPort(Label::Top());
+        ASB_ASSERT(ctx.SetPortLabel(port, Label::Top()) == Status::kOk);
+        service = port;
+        ctx.EnterEventRealm();
+      },
+      [&](ProcessContext& ctx, const Message& msg) {
+        char buf[16] = {};
+        ctx.ReadMem(state_addr, buf, sizeof(buf) - 1);
+        observed.emplace_back(buf);
+        ctx.WriteMem(state_addr, msg.data.data(), msg.data.size() + 1);
+      });
+  kernel_.CreateProcess(std::move(code), args);
+
+  const ProcessId sender = MakeSender();
+  Message m1;
+  m1.data = "alpha";
+  Message m2;
+  m2.data = "beta";
+  SendTo(sender, service, std::move(m1));
+  SendTo(sender, service, std::move(m2));
+  kernel_.RunUntilIdle();
+
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], "") << "fresh EP reads base zeros (the newness idiom)";
+  EXPECT_EQ(observed[1], "") << "second EP must not see the first EP's write";
+  EXPECT_EQ(kernel_.stats().cow_pages_copied, 2u);
+}
+
+TEST_F(EventProcessTest, BaseMemoryVisibleToAllEps) {
+  Handle service;
+  uint64_t globals = 0;
+  std::vector<std::string> observed;
+  SpawnArgs args;
+  args.name = "worker";
+  auto code = std::make_unique<ScriptedProcess>(
+      [&](ProcessContext& ctx) {
+        globals = ctx.AllocPages(1);
+        ctx.WriteMem(globals, "config", 7);  // base write before entering the realm
+        service = ctx.NewPort(Label::Top());
+        ASB_ASSERT(ctx.SetPortLabel(service, Label::Top()) == Status::kOk);
+        ctx.EnterEventRealm();
+      },
+      [&](ProcessContext& ctx, const Message&) {
+        char buf[8] = {};
+        ctx.ReadMem(globals, buf, 7);
+        observed.emplace_back(buf);
+      });
+  kernel_.CreateProcess(std::move(code), args);
+  const ProcessId sender = MakeSender();
+  SendTo(sender, service);
+  SendTo(sender, service);
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], "config");
+  EXPECT_EQ(observed[1], "config");
+}
+
+TEST_F(EventProcessTest, EpCleanRevertsScratchKeepsState) {
+  Handle service;
+  uint64_t state_addr = 0;
+  uint64_t scratch_addr = 0;
+  std::vector<std::pair<std::string, std::string>> observed;  // (state, scratch)
+  SpawnArgs args;
+  args.name = "worker";
+  std::map<EpId, Handle> ep_ports;
+  auto code = std::make_unique<ScriptedProcess>(
+      [&](ProcessContext& ctx) {
+        state_addr = ctx.AllocPages(1);
+        scratch_addr = ctx.AllocPages(4);
+        service = ctx.NewPort(Label::Top());
+        ASB_ASSERT(ctx.SetPortLabel(service, Label::Top()) == Status::kOk);
+        ctx.EnterEventRealm();
+      },
+      [&](ProcessContext& ctx, const Message&) {
+        char state[8] = {};
+        char scratch[8] = {};
+        ctx.ReadMem(state_addr, state, 7);
+        ctx.ReadMem(scratch_addr, scratch, 7);
+        observed.emplace_back(state, scratch);
+        ctx.WriteMem(state_addr, "session", 8);
+        ctx.WriteMem(scratch_addr, "tempbuf", 8);
+        if (ctx.in_new_ep()) {
+          Handle mine = ctx.NewPort(Label::Top());
+          ASB_ASSERT(ctx.SetPortLabel(mine, Label::Top()) == Status::kOk);
+          ep_ports[ctx.ep_id()] = mine;
+        }
+        // Paper §7.3: discard pages that do not hold session data.
+        ASB_ASSERT(ctx.EpClean(scratch_addr, 4 * kPageSize) == Status::kOk);
+      });
+  kernel_.CreateProcess(std::move(code), args);
+
+  const ProcessId sender = MakeSender();
+  SendTo(sender, service);
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(ep_ports.size(), 1u);
+  SendTo(sender, ep_ports.begin()->second);  // resume the same EP
+  kernel_.RunUntilIdle();
+
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[1].first, "session") << "state page persists across yields";
+  EXPECT_EQ(observed[1].second, "") << "scratch was reverted by ep_clean";
+}
+
+TEST_F(EventProcessTest, EpExitFreesEverything) {
+  Handle service;
+  std::map<EpId, Handle> ep_ports;
+  SpawnArgs args;
+  args.name = "worker";
+  kernel_.CreateProcess(
+      std::make_unique<RealmProcess>(&service,
+                                     [&](ProcessContext& ctx, const Message& msg) {
+                                       if (msg.type == 1) {
+                                         ctx.EpExit();
+                                         return;
+                                       }
+                                       Handle mine = ctx.NewPort(Label::Top());
+                                       ASB_ASSERT(ctx.SetPortLabel(mine, Label::Top()) ==
+                                                  Status::kOk);
+                                       ep_ports[ctx.ep_id()] = mine;
+                                       ctx.WriteMem(ctx.AllocPages(1), "x", 1);
+                                     }),
+      args);
+  const ProcessId sender = MakeSender();
+  SendTo(sender, service);
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(ep_ports.size(), 1u);
+  const Handle ep_port = ep_ports.begin()->second;
+  EXPECT_TRUE(kernel_.PortAlive(ep_port));
+
+  Message die;
+  die.type = 1;
+  SendTo(sender, ep_ports.begin()->second, std::move(die));
+  kernel_.RunUntilIdle();
+  EXPECT_EQ(kernel_.stats().eps_destroyed, 1u);
+  EXPECT_FALSE(kernel_.PortAlive(ep_port)) << "the dead EP's ports are dissociated";
+
+  // Messages to the dead EP's port vanish silently.
+  SendTo(sender, ep_port);
+  EXPECT_GE(kernel_.stats().drops_no_port, 1u);
+}
+
+TEST_F(EventProcessTest, NewnessDetectedViaZeroedMemory) {
+  // The paper's idiom: the base process leaves a flag at zero; each fresh EP
+  // inherits the zero, a resumed EP sees its own earlier non-zero write.
+  Handle service;
+  uint64_t flag_addr = 0;
+  std::vector<uint8_t> flags_seen;
+  std::map<EpId, Handle> ep_ports;
+  SpawnArgs args;
+  args.name = "worker";
+  auto code = std::make_unique<ScriptedProcess>(
+      [&](ProcessContext& ctx) {
+        flag_addr = ctx.AllocPages(1);
+        service = ctx.NewPort(Label::Top());
+        ASB_ASSERT(ctx.SetPortLabel(service, Label::Top()) == Status::kOk);
+        ctx.EnterEventRealm();
+      },
+      [&](ProcessContext& ctx, const Message&) {
+        uint8_t flag = 0;
+        ctx.ReadMem(flag_addr, &flag, 1);
+        flags_seen.push_back(flag);
+        if (flag == 0) {
+          const uint8_t one = 1;
+          ctx.WriteMem(flag_addr, &one, 1);
+          Handle mine = ctx.NewPort(Label::Top());
+          ASB_ASSERT(ctx.SetPortLabel(mine, Label::Top()) == Status::kOk);
+          ep_ports[ctx.ep_id()] = mine;
+        }
+      });
+  kernel_.CreateProcess(std::move(code), args);
+  const ProcessId sender = MakeSender();
+  SendTo(sender, service);
+  kernel_.RunUntilIdle();
+  SendTo(sender, ep_ports.begin()->second);
+  SendTo(sender, service);
+  kernel_.RunUntilIdle();
+
+  ASSERT_EQ(flags_seen.size(), 3u);
+  EXPECT_EQ(flags_seen[0], 0) << "first EP is new";
+  EXPECT_EQ(flags_seen[1], 1) << "resumed EP sees its own write";
+  EXPECT_EQ(flags_seen[2], 0) << "second EP inherits the base zero";
+}
+
+TEST_F(EventProcessTest, EpKernelStateIsSmall) {
+  // §6.1: event-process kernel state is 44 bytes vs. 320 for a process.
+  Handle service;
+  SpawnArgs args;
+  args.name = "worker";
+  kernel_.CreateProcess(
+      std::make_unique<RealmProcess>(&service, [](ProcessContext&, const Message&) {}), args);
+  const ProcessId sender = MakeSender();
+
+  const uint64_t before = kernel_.MemReport().ep_bytes;
+  for (int i = 0; i < 10; ++i) {
+    SendTo(sender, service);
+  }
+  kernel_.RunUntilIdle();
+  const uint64_t after = kernel_.MemReport().ep_bytes;
+  EXPECT_EQ(after - before, 10 * kEpKernelBytes);
+  EXPECT_EQ(kEpKernelBytes, 44u);
+  EXPECT_EQ(kProcessKernelBytes, 320u);
+  EXPECT_EQ(kVnodeBytes, 64u);
+}
+
+TEST_F(EventProcessTest, ProcessExitFromEpKillsWholeProcess) {
+  // §6.1: execution states are not isolated; an EP may exit the whole
+  // process via the process-wide exit call.
+  Handle service;
+  SpawnArgs args;
+  args.name = "worker";
+  const ProcessId worker = kernel_.CreateProcess(
+      std::make_unique<RealmProcess>(&service,
+                                     [](ProcessContext& ctx, const Message&) { ctx.Exit(); }),
+      args);
+  const ProcessId sender = MakeSender();
+  SendTo(sender, service);
+  kernel_.RunUntilIdle();
+  EXPECT_EQ(kernel_.FindProcess(worker), nullptr);
+  EXPECT_FALSE(kernel_.PortAlive(service));
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,119 @@
+#include "src/crypto/feistel61.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace asbestos {
+namespace {
+
+TEST(FeistelTest, EncryptDecryptRoundTrip) {
+  Feistel61 cipher(0xdeadbeefULL);
+  for (uint64_t x : {uint64_t{0}, uint64_t{1}, uint64_t{42}, uint64_t{0xffff},
+                     Feistel61::kDomain - 1}) {
+    const uint64_t y = cipher.Encrypt(x);
+    EXPECT_LT(y, Feistel61::kDomain);
+    EXPECT_EQ(cipher.Decrypt(y), x);
+  }
+}
+
+TEST(FeistelTest, Deterministic) {
+  Feistel61 a(123);
+  Feistel61 b(123);
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(a.Encrypt(x), b.Encrypt(x));
+  }
+}
+
+TEST(FeistelTest, KeysProduceDifferentPermutations) {
+  Feistel61 a(1);
+  Feistel61 b(2);
+  int differ = 0;
+  for (uint64_t x = 0; x < 256; ++x) {
+    if (a.Encrypt(x) != b.Encrypt(x)) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 250);
+}
+
+// Bijectivity over a dense prefix: encrypting [0, N) yields N distinct
+// values, all inside the 61-bit domain.
+class FeistelBijectionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FeistelBijectionTest, PrefixIsInjective) {
+  Feistel61 cipher(GetParam());
+  std::set<uint64_t> outputs;
+  constexpr uint64_t kN = 20000;
+  for (uint64_t x = 0; x < kN; ++x) {
+    const uint64_t y = cipher.Encrypt(x);
+    EXPECT_LT(y, Feistel61::kDomain);
+    outputs.insert(y);
+  }
+  EXPECT_EQ(outputs.size(), kN);
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, FeistelBijectionTest,
+                         ::testing::Values(0ULL, 1ULL, 0x12345678ULL, ~0ULL, 0xc0ffeeULL));
+
+TEST(FeistelTest, OutputLooksUnpredictable) {
+  // The encrypted counter sequence must not expose the counter: successive
+  // outputs should differ in roughly half their bits on average.
+  Feistel61 cipher(99);
+  uint64_t prev = cipher.Encrypt(0);
+  double total_flips = 0;
+  constexpr int kN = 1000;
+  for (uint64_t x = 1; x <= kN; ++x) {
+    const uint64_t y = cipher.Encrypt(x);
+    total_flips += __builtin_popcountll(prev ^ y);
+    prev = y;
+  }
+  const double avg = total_flips / kN;
+  EXPECT_GT(avg, 20.0);
+  EXPECT_LT(avg, 41.0);
+}
+
+TEST(FeistelTest, HighBitsAreUsed) {
+  Feistel61 cipher(7);
+  int high_set = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    if ((cipher.Encrypt(x) >> 60) & 1) {
+      ++high_set;
+    }
+  }
+  // Roughly half the outputs should have the top domain bit set.
+  EXPECT_GT(high_set, 400);
+  EXPECT_LT(high_set, 600);
+}
+
+TEST(HandleSequenceTest, NeverReturnsZeroOrRepeats) {
+  HandleSequence seq(0xabcdULL);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t h = seq.Next();
+    EXPECT_NE(h, 0u);
+    EXPECT_LT(h, Feistel61::kDomain);
+    EXPECT_TRUE(seen.insert(h).second) << "handle repeated at step " << i;
+  }
+}
+
+TEST(HandleSequenceTest, NotMonotonic) {
+  // A visible allocation counter would be a covert channel; the sequence
+  // must not be ordered.
+  HandleSequence seq(5);
+  int increases = 0;
+  uint64_t prev = seq.Next();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t h = seq.Next();
+    if (h > prev) {
+      ++increases;
+    }
+    prev = h;
+  }
+  EXPECT_GT(increases, 300);
+  EXPECT_LT(increases, 700);
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,114 @@
+#include "src/http/http.h"
+
+#include <gtest/gtest.h>
+
+namespace asbestos {
+namespace {
+
+TEST(HttpRequestParserTest, SimpleGet) {
+  HttpRequestParser p;
+  EXPECT_EQ(p.Feed("GET /store?op=get&k=a%20b HTTP/1.0\r\nHost: x\r\n\r\n"),
+            HttpRequestParser::State::kComplete);
+  const HttpRequest& r = p.request();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.path, "/store");
+  EXPECT_EQ(r.version, "HTTP/1.0");
+  EXPECT_EQ(r.Query("op"), "get");
+  EXPECT_EQ(r.Query("k"), "a b");
+  EXPECT_EQ(r.Header("host"), "x");
+  EXPECT_EQ(r.Header("HOST"), "x") << "header names are case-insensitive";
+}
+
+TEST(HttpRequestParserTest, IncrementalFeed) {
+  HttpRequestParser p;
+  EXPECT_EQ(p.Feed("GET / HT"), HttpRequestParser::State::kIncomplete);
+  EXPECT_EQ(p.Feed("TP/1.0\r\nA: b"), HttpRequestParser::State::kIncomplete);
+  EXPECT_EQ(p.Feed("\r\n\r\n"), HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().Header("a"), "b");
+}
+
+TEST(HttpRequestParserTest, BodyViaContentLength) {
+  HttpRequestParser p;
+  EXPECT_EQ(p.Feed("POST /x HTTP/1.0\r\nContent-Length: 5\r\n\r\nhel"),
+            HttpRequestParser::State::kIncomplete);
+  EXPECT_EQ(p.Feed("lo"), HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().body, "hello");
+  EXPECT_EQ(p.consumed_bytes(), std::string("POST /x HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello").size());
+}
+
+TEST(HttpRequestParserTest, MalformedRequestLine) {
+  HttpRequestParser p;
+  EXPECT_EQ(p.Feed("GARBAGE\r\n\r\n"), HttpRequestParser::State::kError);
+}
+
+TEST(HttpRequestParserTest, MalformedHeader) {
+  HttpRequestParser p;
+  EXPECT_EQ(p.Feed("GET / HTTP/1.0\r\nnocolonhere\r\n\r\n"), HttpRequestParser::State::kError);
+}
+
+TEST(HttpRequestParserTest, BadContentLength) {
+  HttpRequestParser p;
+  EXPECT_EQ(p.Feed("GET / HTTP/1.0\r\nContent-Length: xyz\r\n\r\n"),
+            HttpRequestParser::State::kError);
+}
+
+TEST(HttpRequestParserTest, OversizedHeadersRejected) {
+  HttpRequestParser p;
+  std::string big = "GET / HTTP/1.0\r\nA: ";
+  big.append(100 * 1024, 'x');
+  EXPECT_EQ(p.Feed(big), HttpRequestParser::State::kError);
+}
+
+TEST(UrlDecodeTest, Basics) {
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("a%2Fb"), "a/b");
+  EXPECT_EQ(UrlDecode("a%2fb"), "a/b");
+  EXPECT_EQ(UrlDecode("%"), "%");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz") << "invalid escapes pass through";
+}
+
+TEST(ParseQueryStringTest, Basics) {
+  const auto q = ParseQueryString("a=1&b=&c&d=x%20y");
+  EXPECT_EQ(q.at("a"), "1");
+  EXPECT_EQ(q.at("b"), "");
+  EXPECT_EQ(q.at("c"), "");
+  EXPECT_EQ(q.at("d"), "x y");
+}
+
+TEST(BuildHttpResponseTest, IncludesContentLength) {
+  const std::string r = BuildHttpResponse(200, "OK", {{"X-A", "b"}}, "hello");
+  EXPECT_NE(r.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(r.find("X-A: b\r\n"), std::string::npos);
+  EXPECT_NE(r.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(HttpResponseReaderTest, ReadsChunkedArrivals) {
+  const std::string resp = BuildHttpResponse(200, "OK", {}, "abcdef");
+  HttpResponseReader reader;
+  for (size_t i = 0; i < resp.size(); i += 7) {
+    reader.Feed(resp.substr(i, 7));
+  }
+  ASSERT_EQ(reader.state(), HttpResponseReader::State::kComplete);
+  EXPECT_EQ(reader.status(), 200);
+  EXPECT_EQ(reader.body(), "abcdef");
+}
+
+TEST(HttpResponseReaderTest, ErrorOnGarbage) {
+  HttpResponseReader reader;
+  reader.Feed("NOT HTTP AT ALL\r\n\r\n");
+  EXPECT_EQ(reader.state(), HttpResponseReader::State::kError);
+}
+
+TEST(HttpResponseReaderTest, PaperSizedResponse) {
+  // Paper §9.2.1: 144 bytes of HTTP data, 133 bytes of headers.
+  const std::string r = BuildHttpResponse(200, "OK", {{"Server", "okws-asbestos"}},
+                                          std::string(11, 'x'));
+  HttpResponseReader reader;
+  reader.Feed(r);
+  EXPECT_EQ(reader.state(), HttpResponseReader::State::kComplete);
+  EXPECT_EQ(reader.body().size(), 11u);
+}
+
+}  // namespace
+}  // namespace asbestos

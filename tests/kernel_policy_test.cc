@@ -1,0 +1,386 @@
+// Policy-level behaviours built from label primitives: spawn label
+// justification, the §5.2 privacy example, §5.4 integrity, MLS emulation,
+// and the capability idiom of §5.5.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/labels/label.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+using testing::RecorderProcess;
+using testing::ScriptedProcess;
+
+class KernelPolicyTest : public ::testing::Test {
+ protected:
+  Kernel kernel_{0xfeedULL};
+  std::vector<RecorderProcess::Received> received_;
+
+  ProcessId MakeProcess(const std::string& name, const Label& send = Label::DefaultSend(),
+                        const Label& recv = Label::DefaultReceive()) {
+    SpawnArgs args;
+    args.name = name;
+    args.send_label = send;
+    args.recv_label = recv;
+    return kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  }
+
+  // Creates a recorder process with the given labels and one open port.
+  std::pair<ProcessId, Handle> MakeRecorder(const std::string& name,
+                                            const Label& send = Label::DefaultSend(),
+                                            const Label& recv = Label::DefaultReceive(),
+                                            const Label& port_label = Label::Top()) {
+    SpawnArgs args;
+    args.name = name;
+    args.send_label = send;
+    args.recv_label = recv;
+    const ProcessId pid =
+        kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), args);
+    Handle port;
+    kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+      port = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(port, port_label), Status::kOk);
+    });
+    return {pid, port};
+  }
+};
+
+// --- Spawn label justification -------------------------------------------------
+
+TEST_F(KernelPolicyTest, SpawnCannotLowerSendLabelWithoutStar) {
+  const ProcessId parent = MakeProcess("parent");
+  kernel_.WithProcessContext(parent, [&](ProcessContext& ctx) {
+    // Parent self-taints, then tries to launder the taint away via spawn.
+    const Handle t = Handle::FromValue(0x999);
+    EXPECT_EQ(ctx.SetSendLevel(t, Level::kL3), Status::kOk);
+    SpawnArgs args;
+    args.name = "child";
+    args.send_label = Label::DefaultSend();  // lacks the taint
+    auto result = ctx.Spawn(std::make_unique<ScriptedProcess>(), std::move(args));
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status(), Status::kAccessDenied);
+  });
+}
+
+TEST_F(KernelPolicyTest, SpawnDistributesPrivilegeWithStar) {
+  const ProcessId parent = MakeProcess("parent");
+  ProcessId child = kNoProcess;
+  Handle h;
+  kernel_.WithProcessContext(parent, [&](ProcessContext& ctx) {
+    h = ctx.NewHandle();
+    SpawnArgs args;
+    args.name = "child";
+    args.send_label = Label({{h, Level::kStar}}, Level::kL1);  // passes ⋆ down
+    auto result = ctx.Spawn(std::make_unique<ScriptedProcess>(), std::move(args));
+    ASSERT_TRUE(result.ok());
+    child = result.value();
+  });
+  EXPECT_EQ(kernel_.SendLabelOf(child).Get(h), Level::kStar);
+}
+
+TEST_F(KernelPolicyTest, SpawnCannotForgeIntegrityLevel) {
+  // Level 0 on a handle the parent does not control cannot be minted.
+  const ProcessId parent = MakeProcess("parent");
+  kernel_.WithProcessContext(parent, [&](ProcessContext& ctx) {
+    SpawnArgs args;
+    args.name = "child";
+    args.send_label = Label({{Handle::FromValue(0x31337), Level::kL0}}, Level::kL1);
+    EXPECT_EQ(ctx.Spawn(std::make_unique<ScriptedProcess>(), std::move(args)).status(),
+              Status::kAccessDenied);
+  });
+}
+
+TEST_F(KernelPolicyTest, SpawnCanRestrictChildFreely) {
+  // Tainting the child more, or lowering its receive label, needs no
+  // privilege ("restricting their labels so that they can reveal data only
+  // to processes in the compartment").
+  const ProcessId parent = MakeProcess("parent");
+  kernel_.WithProcessContext(parent, [&](ProcessContext& ctx) {
+    SpawnArgs args;
+    args.name = "child";
+    args.send_label = Label({{Handle::FromValue(0x5), Level::kL3}}, Level::kL1);
+    args.recv_label = Label({{Handle::FromValue(0x6), Level::kL1}}, Level::kL2);
+    EXPECT_TRUE(ctx.Spawn(std::make_unique<ScriptedProcess>(), std::move(args)).ok());
+  });
+}
+
+TEST_F(KernelPolicyTest, SpawnCannotRaiseChildReceiveWithoutStar) {
+  const ProcessId parent = MakeProcess("parent");
+  kernel_.WithProcessContext(parent, [&](ProcessContext& ctx) {
+    SpawnArgs args;
+    args.name = "child";
+    args.recv_label = Label({{Handle::FromValue(0x7), Level::kL3}}, Level::kL2);
+    EXPECT_EQ(ctx.Spawn(std::make_unique<ScriptedProcess>(), std::move(args)).status(),
+              Status::kAccessDenied);
+  });
+}
+
+// --- The §5.2 privacy example -----------------------------------------------
+
+TEST_F(KernelPolicyTest, Figure2PrivacyExample) {
+  // U (user u's shell, tainted uT 3) may send to u's terminal UT; V (user
+  // v's shell, tainted vT 3) may not.
+  Kernel& k = kernel_;
+  const ProcessId fs = MakeProcess("fs");
+  Handle ut;
+  Handle vt;
+  k.WithProcessContext(fs, [&](ProcessContext& ctx) {
+    ut = ctx.NewHandle();
+    vt = ctx.NewHandle();
+  });
+
+  const Label u_send({{ut, Level::kL3}}, Level::kL1);
+  const Label u_recv({{ut, Level::kL3}}, Level::kL2);
+  const Label v_send({{vt, Level::kL3}}, Level::kL1);
+
+  auto [terminal, term_port] = MakeRecorder("terminal", u_send, u_recv);
+  (void)terminal;
+  const ProcessId u_shell = MakeProcess("U", u_send, u_recv);
+  const ProcessId v_shell = MakeProcess("V", v_send, Label({{vt, Level::kL3}}, Level::kL2));
+
+  k.WithProcessContext(u_shell, [&](ProcessContext& ctx) {
+    Message m;
+    m.data = "u's private data";
+    EXPECT_EQ(ctx.Send(term_port, std::move(m)), Status::kOk);
+  });
+  k.WithProcessContext(v_shell, [&](ProcessContext& ctx) {
+    Message m;
+    m.data = "v's private data";
+    EXPECT_EQ(ctx.Send(term_port, std::move(m)), Status::kOk);
+  });
+  k.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u) << "only u's message reaches u's terminal";
+  EXPECT_EQ(received_[0].msg.data, "u's private data");
+  EXPECT_EQ(k.stats().drops_label_check, 1u);
+}
+
+TEST_F(KernelPolicyTest, Level2TaintAllowsPeerTalkButNotTerminal) {
+  // The "partial taint" variant (§5.2 "The four levels"): with taint at 2,
+  // shells talk to each other, but a terminal with a lowered receive label
+  // still refuses the other user's data.
+  const ProcessId fs = MakeProcess("fs");
+  Handle ut;
+  Handle vt;
+  kernel_.WithProcessContext(fs, [&](ProcessContext& ctx) {
+    ut = ctx.NewHandle();
+    vt = ctx.NewHandle();
+  });
+
+  const Label u_send({{ut, Level::kL2}}, Level::kL1);
+  const Label v_send({{vt, Level::kL2}}, Level::kL1);
+  // Terminal accepts u's taint (default 2 suffices) but excludes v: vT 1.
+  const Label term_recv({{vt, Level::kL1}}, Level::kL2);
+
+  auto [term, term_port] = MakeRecorder("terminal", u_send, term_recv);
+  (void)term;
+  auto [u_shell, u_port] = MakeRecorder("U", u_send, Label::DefaultReceive());
+  (void)u_shell;
+  const ProcessId v_shell = MakeProcess("V", v_send, Label::DefaultReceive());
+
+  // V can reach U (both default-receive 2 accommodates taint at 2)...
+  kernel_.WithProcessContext(v_shell, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(u_port, Message{}), Status::kOk);
+    // ...but not the terminal, whose receive label says vT 1 < 2.
+    EXPECT_EQ(ctx.Send(term_port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(kernel_.stats().drops_label_check, 1u);
+}
+
+TEST_F(KernelPolicyTest, DynamicTaintThenLockout) {
+  // Continuing the previous policy: once U reads v's data, U's send label
+  // rises to vT 2 and the terminal refuses U too.
+  const ProcessId fs = MakeProcess("fs");
+  Handle ut;
+  Handle vt;
+  kernel_.WithProcessContext(fs, [&](ProcessContext& ctx) {
+    ut = ctx.NewHandle();
+    vt = ctx.NewHandle();
+  });
+  const Label u_send({{ut, Level::kL2}}, Level::kL1);
+  const Label v_send({{vt, Level::kL2}}, Level::kL1);
+  const Label term_recv({{vt, Level::kL1}}, Level::kL2);
+
+  auto [term, term_port] = MakeRecorder("terminal", u_send, term_recv);
+  (void)term;
+  auto [u_shell, u_port] = MakeRecorder("U", u_send, Label::DefaultReceive());
+  const ProcessId v_shell = MakeProcess("V", v_send, Label::DefaultReceive());
+
+  kernel_.WithProcessContext(v_shell, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(u_port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(kernel_.SendLabelOf(u_shell).Get(vt), Level::kL2) << "U picked up v's taint";
+
+  received_.clear();
+  kernel_.WithProcessContext(u_shell, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(term_port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty()) << "tainted U may no longer reach the terminal";
+}
+
+// --- Integrity (§5.4) -------------------------------------------------------
+
+TEST_F(KernelPolicyTest, MandatoryIntegrityLostOnLowIntegrityReceipt) {
+  // P speaks for u (uG at 0). The moment P receives a message from a process
+  // that does not speak for u, PS(uG) rises to 1 and the privilege is gone.
+  const ProcessId idp = MakeProcess("identity");
+  Handle ug;
+  kernel_.WithProcessContext(idp, [&](ProcessContext& ctx) { ug = ctx.NewHandle(); });
+
+  auto [p, p_port] = MakeRecorder("P", Label({{ug, Level::kL0}}, Level::kL1));
+  const ProcessId q = MakeProcess("Q");
+  EXPECT_EQ(kernel_.SendLabelOf(p).Get(ug), Level::kL0);
+
+  kernel_.WithProcessContext(q, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(p_port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(kernel_.SendLabelOf(p).Get(ug), Level::kL1)
+      << "low-integrity input must destroy the speaks-for level";
+}
+
+TEST_F(KernelPolicyTest, NetworkCannotCorruptSystemFiles) {
+  // §5.4: the file server requires V(s) ≤ 1 for system-file writes; the
+  // network daemon's send label {s 2, 1} can never satisfy it.
+  const ProcessId fsp = MakeProcess("fs-owner");
+  Handle s;
+  kernel_.WithProcessContext(fsp, [&](ProcessContext& ctx) { s = ctx.NewHandle(); });
+
+  auto [fs, fs_port] = MakeRecorder("fileserver");
+  (void)fs;
+  const ProcessId netd = MakeProcess("netd", Label({{s, Level::kL2}}, Level::kL1));
+  const ProcessId sysd = MakeProcess("sysd", Label({{s, Level::kL1}}, Level::kL1));
+
+  const Label v_required({{s, Level::kL1}}, Level::kL3);
+  kernel_.WithProcessContext(netd, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.verify = v_required;  // claims s ≤ 1, but PS(s) = 2
+    EXPECT_EQ(ctx.Send(fs_port, Message{}, args), Status::kOk);
+  });
+  kernel_.WithProcessContext(sysd, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.verify = v_required;
+    EXPECT_EQ(ctx.Send(fs_port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u) << "only the high-integrity writer gets through";
+  EXPECT_EQ(received_[0].msg.verify.Get(s), Level::kL1);
+}
+
+// --- MLS emulation (§5.2 "Multi-level policies") ----------------------------------
+
+TEST_F(KernelPolicyTest, MultiLevelSecurityEmulation) {
+  // Two compartments s (secret) and t (top-secret). Receive labels encode
+  // clearance; send labels encode the highest data actually seen.
+  const ProcessId admin = MakeProcess("admin");
+  Handle s;
+  Handle t;
+  kernel_.WithProcessContext(admin, [&](ProcessContext& ctx) {
+    s = ctx.NewHandle();
+    t = ctx.NewHandle();
+  });
+  const Label unclassified_send = Label::DefaultSend();
+  const Label secret_send({{s, Level::kL3}}, Level::kL1);
+  const Label topsecret_send({{s, Level::kL3}, {t, Level::kL3}}, Level::kL1);
+  const Label secret_recv({{s, Level::kL3}}, Level::kL2);
+  const Label topsecret_recv({{s, Level::kL3}, {t, Level::kL3}}, Level::kL2);
+
+  // ⊑ encodes "may flow to".
+  EXPECT_TRUE(unclassified_send.Leq(secret_recv));
+  EXPECT_TRUE(unclassified_send.Leq(topsecret_recv));
+  EXPECT_TRUE(secret_send.Leq(secret_recv));
+  EXPECT_TRUE(secret_send.Leq(topsecret_recv));
+  EXPECT_TRUE(topsecret_send.Leq(topsecret_recv));
+  // No read-up / no write-down.
+  EXPECT_FALSE(topsecret_send.Leq(secret_recv));
+  EXPECT_FALSE(secret_send.Leq(Label::DefaultReceive()));
+
+  // End to end: a top-secret process cannot reach a secret-cleared one.
+  auto [sec, sec_port] = MakeRecorder("secret-analyst", secret_send, secret_recv);
+  (void)sec;
+  const ProcessId ts = MakeProcess("ts-analyst", topsecret_send, topsecret_recv);
+  kernel_.WithProcessContext(ts, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(sec_port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+
+  // The odd label {t 3, 1} can still flow to top-secret clearance (§5.2).
+  const Label odd({{t, Level::kL3}}, Level::kL1);
+  EXPECT_TRUE(odd.Leq(topsecret_recv));
+  EXPECT_FALSE(odd.Leq(secret_recv));
+}
+
+// --- Capabilities (§5.5) -------------------------------------------------------
+
+TEST_F(KernelPolicyTest, PortSendRightsAreCapabilities) {
+  // P creates p; nobody can send to p until P grants p ⋆, and the grantee
+  // can re-delegate the right.
+  auto [owner, p] = MakeRecorder("owner");
+  // MakeRecorder opened the port; restore the closed default form {p 0, 3}.
+  kernel_.WithProcessContext(owner, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.SetPortLabel(p, Label({{p, Level::kL0}}, Level::kL3)), Status::kOk);
+  });
+
+  auto [friend_pid, friend_port] = MakeRecorder("friend");
+  auto [stranger_pid, stranger_port] = MakeRecorder("stranger");
+  (void)friend_port;
+  (void)stranger_port;
+
+  // Neither can send yet.
+  for (ProcessId pid : {friend_pid, stranger_pid}) {
+    kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+      EXPECT_EQ(ctx.Send(p, Message{}), Status::kOk);
+    });
+  }
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(kernel_.stats().drops_label_check, 2u);
+
+  // Owner grants the friend p ⋆ (via a message through the friend's port).
+  kernel_.WithProcessContext(owner, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.decont_send = Label({{p, Level::kStar}}, Level::kL3);
+    EXPECT_EQ(ctx.Send(friend_port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  received_.clear();
+
+  // Friend can now send to p; the stranger still cannot.
+  kernel_.WithProcessContext(friend_pid, [&](ProcessContext& ctx) {
+    Message m;
+    m.data = "capability exercised";
+    EXPECT_EQ(ctx.Send(p, std::move(m)), Status::kOk);
+  });
+  kernel_.WithProcessContext(stranger_pid, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(p, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].msg.data, "capability exercised");
+
+  // Re-delegation: friend passes the right on to the stranger.
+  received_.clear();
+  kernel_.WithProcessContext(friend_pid, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.decont_send = Label({{p, Level::kStar}}, Level::kL3);
+    EXPECT_EQ(ctx.Send(stranger_port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  received_.clear();
+  kernel_.WithProcessContext(stranger_pid, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(p, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_EQ(received_.size(), 1u) << "capabilities are transferable";
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,547 @@
+// Kernel IPC mechanics: ports, unreliable send, delivery-time checks, and
+// the Figure-4 label operations.
+#include "src/kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/labels/label.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+using testing::RecorderProcess;
+using testing::ScriptedProcess;
+
+class KernelTest : public ::testing::Test {
+ protected:
+  Kernel kernel_{/*boot_key=*/0x5eedULL};
+  std::vector<RecorderProcess::Received> received_;
+};
+
+TEST_F(KernelTest, BasicSendDeliver) {
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  auto recorder = std::make_unique<RecorderProcess>(&received_);
+  RecorderProcess* rec = recorder.get();
+  const ProcessId rx = kernel_.CreateProcess(std::move(recorder), rargs);
+  (void)rec;
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    Message m;
+    m.type = 77;
+    m.data = "hi";
+    EXPECT_EQ(ctx.Send(port, std::move(m)), Status::kOk);
+  });
+
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].msg.type, 77u);
+  EXPECT_EQ(received_[0].msg.data, "hi");
+  EXPECT_EQ(received_[0].msg.port, port);
+  EXPECT_EQ(kernel_.stats().deliveries, 1u);
+}
+
+TEST_F(KernelTest, NewPortIsClosedByDefault) {
+  // new_port sets pR(p) ← 0: a sender with the default send level 1 cannot
+  // reach the port until the owner grants access (paper §5.5).
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) { port = ctx.NewPort(Label::Top()); });
+
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk) << "send never reports label failure";
+  });
+
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(kernel_.stats().drops_label_check, 1u);
+}
+
+TEST_F(KernelTest, OwnerCanSendToItsOwnNewPort) {
+  // The creator holds PS(p) = ⋆, which passes the pR(p) = 0 gate.
+  std::vector<RecorderProcess::Received> got;
+  SpawnArgs args;
+  args.name = "self";
+  Handle port;
+  const ProcessId pid = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&got), args);
+  kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.send_label().Get(port), Level::kStar);
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST_F(KernelTest, SetPortLabelOpensPort) {
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    // Resetting the label to {3} (no p→0 exception) opens the port to all.
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(KernelTest, SendToUnknownHandleSilentlySucceeds) {
+  SpawnArgs args;
+  args.name = "p";
+  const ProcessId pid = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(Handle::FromValue(0x123456), Message{}), Status::kOk);
+  });
+  EXPECT_EQ(kernel_.stats().drops_no_port, 1u);
+}
+
+TEST_F(KernelTest, ContaminationRaisesReceiverSendLabel) {
+  Handle taint;
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  // Receiver's default receive label is {2}: taint at level 2 is acceptable.
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    taint = ctx.NewHandle();
+    SendArgs args;
+    args.contaminate = Label({{taint, Level::kL2}}, Level::kStar);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(kernel_.SendLabelOf(rx).Get(taint), Level::kL2);
+}
+
+TEST_F(KernelTest, TaintAtLevel3BlockedByDefaultReceiveLabel) {
+  // Default QR is {2}: contamination at 3 exceeds it and the message drops.
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  Process* rx = kernel_.FindProcessByName("recv");
+  kernel_.WithProcessContext(rx->id, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    const Handle taint = ctx.NewHandle();
+    SendArgs args;
+    args.contaminate = Label({{taint, Level::kL3}}, Level::kStar);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(kernel_.stats().drops_label_check, 1u);
+}
+
+TEST_F(KernelTest, StarPreservedUnderContamination) {
+  // A process with PS(h) = ⋆ cannot be contaminated with respect to h
+  // (paper §5.3): receiving h-tainted data leaves its ⋆ intact.
+  Handle taint;
+  Handle port;
+  std::vector<RecorderProcess::Received> got;
+  SpawnArgs fs_args;
+  fs_args.name = "fileserver";
+  const ProcessId fs = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&got), fs_args);
+  kernel_.WithProcessContext(fs, [&](ProcessContext& ctx) {
+    taint = ctx.NewHandle();  // fs controls the compartment
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+    // Allow arbitrarily tainted senders.
+    EXPECT_EQ(ctx.SetReceiveLevel(taint, Level::kL3), Status::kOk);
+  });
+
+  SpawnArgs sargs;
+  sargs.name = "client";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.contaminate = Label({{taint, Level::kL3}}, Level::kStar);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(kernel_.SendLabelOf(fs).Get(taint), Level::kStar)
+      << "⋆ must take precedence over contamination";
+}
+
+TEST_F(KernelTest, DecontSendGrantsPrivilege) {
+  // Creator of a handle can hand out ⋆ for it with D_S (capability grant).
+  Handle h;
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "grantee";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs gargs;
+  gargs.name = "granter";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), gargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    h = ctx.NewHandle();
+    SendArgs args;
+    args.decont_send = Label({{h, Level::kStar}}, Level::kL3);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(kernel_.SendLabelOf(rx).Get(h), Level::kStar);
+}
+
+TEST_F(KernelTest, DecontSendWithoutStarIsDropped) {
+  // Requirement (2): D_S(h) < 3 requires PS(h) = ⋆.
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "imposter";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.decont_send = Label({{Handle::FromValue(0x777), Level::kStar}}, Level::kL3);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk) << "silent drop, not an error";
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(kernel_.stats().drops_privilege, 1u);
+}
+
+TEST_F(KernelTest, DecontReceiveRaisesReceiverAndRequiresStar) {
+  Handle taint;
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "owner";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    taint = ctx.NewHandle();
+    SendArgs args;
+    args.decont_receive = Label({{taint, Level::kL3}}, Level::kStar);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(kernel_.RecvLabelOf(rx).Get(taint), Level::kL3);
+
+  // A process without ⋆ for the handle cannot use the same D_R.
+  SpawnArgs iargs;
+  iargs.name = "imposter";
+  const ProcessId imp = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), iargs);
+  kernel_.WithProcessContext(imp, [&](ProcessContext& ctx) {
+    SendArgs args;
+    args.decont_receive = Label({{taint, Level::kL3}}, Level::kStar);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_EQ(kernel_.stats().drops_privilege, 1u);
+}
+
+TEST_F(KernelTest, DecontReceiveBoundedByPortLabel) {
+  // Requirement (4): D_R ⊑ pR. A low port label lets a process refuse
+  // decontamination entirely (the mail-reader idiom of §5.5).
+  Handle taint;
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label(Level::kL2)), Status::kOk);  // pR = {2}
+  });
+  SpawnArgs sargs;
+  sargs.name = "owner";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    taint = ctx.NewHandle();
+    SendArgs args;
+    args.decont_receive = Label({{taint, Level::kL3}}, Level::kStar);  // 3 > pR's 2
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(kernel_.stats().drops_dr_port, 1u);
+  EXPECT_EQ(kernel_.RecvLabelOf(rx).Get(taint), Level::kL2) << "no decontamination happened";
+}
+
+TEST_F(KernelTest, VerificationLabelDeliveredToReceiver) {
+  Handle g;
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "speaker";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    g = ctx.NewHandle();
+    // Hold the grant handle at 0 ("speaks for") and prove it via V.
+    EXPECT_EQ(ctx.SetSendLevel(g, Level::kL0), Status::kOk);
+    SendArgs args;
+    args.verify = Label({{g, Level::kL0}}, Level::kL3);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].msg.verify.Get(g), Level::kL0)
+      << "receiver can check the credential in V";
+}
+
+TEST_F(KernelTest, VerificationLabelMustBoundSenderLabel) {
+  // V is an upper bound on ES; claiming a credential you lack drops the
+  // message (the confused-deputy defence of §5.4).
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "liar";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    SendArgs args;
+    // Claims g at 0 without holding it: PS(g) = 1 > V(g) = 0.
+    args.verify = Label({{Handle::FromValue(0x888), Level::kL0}}, Level::kL3);
+    EXPECT_EQ(ctx.Send(port, Message{}, args), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(kernel_.stats().drops_label_check, 1u);
+}
+
+TEST_F(KernelTest, ChecksHappenAtDeliveryTime) {
+  // A message that was deliverable when sent is dropped if the receiver's
+  // labels changed before it tried to receive (paper §4).
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk);  // deliverable right now
+  });
+  // Before the kernel runs, the receiver closes itself off: QR(default) is
+  // out of reach, so lower the port label below the sender's level.
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.SetPortLabel(port, Label(Level::kL0)), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(kernel_.stats().drops_label_check, 1u);
+}
+
+TEST_F(KernelTest, EffectiveSendLabelSnapshottedAtSendTime) {
+  // Taint acquired after sending must not ride along with an earlier message.
+  Handle port;
+  Handle taint;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    taint = ctx.NewHandle();
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk);
+    // Sender self-contaminates *after* the send.
+    EXPECT_EQ(ctx.SetSendLevel(taint, Level::kL3), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(kernel_.SendLabelOf(rx).Get(taint), kDefaultSendLevel)
+      << "receiver must not inherit post-send taint";
+}
+
+TEST_F(KernelTest, TransferPortMovesReceiveRights) {
+  Handle port;
+  SpawnArgs aargs;
+  aargs.name = "alice";
+  const ProcessId alice = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), aargs);
+  SpawnArgs bargs;
+  bargs.name = "bob";
+  const ProcessId bob = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), bargs);
+
+  kernel_.WithProcessContext(alice, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+    EXPECT_EQ(ctx.TransferPort(port, bob), Status::kOk);
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  ASSERT_EQ(received_.size(), 1u) << "bob now receives on the transferred port";
+
+  // Alice no longer owns it.
+  kernel_.WithProcessContext(alice, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kNotFound);
+  });
+}
+
+TEST_F(KernelTest, ClosePortDropsQueuedAndFutureMessages) {
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "recv";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "send";
+  const ProcessId tx = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk);
+  });
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.ClosePort(port), Status::kOk);
+  });
+  kernel_.RunUntilIdle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_FALSE(kernel_.PortAlive(port));
+  // Future sends are silently dropped too.
+  kernel_.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    EXPECT_EQ(ctx.Send(port, Message{}), Status::kOk);
+  });
+  EXPECT_GE(kernel_.stats().drops_no_port, 2u);
+}
+
+TEST_F(KernelTest, ExitDissociatesEverything) {
+  Handle port;
+  SpawnArgs rargs;
+  rargs.name = "doomed";
+  const ProcessId rx = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), rargs);
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    EXPECT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  kernel_.WithProcessContext(rx, [&](ProcessContext& ctx) { ctx.Exit(); });
+  EXPECT_EQ(kernel_.FindProcess(rx), nullptr);
+  EXPECT_FALSE(kernel_.PortAlive(port));
+}
+
+TEST_F(KernelTest, HandleValuesAreUniqueAndUnordered) {
+  SpawnArgs args;
+  args.name = "p";
+  const ProcessId pid = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  std::vector<uint64_t> values;
+  kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    for (int i = 0; i < 200; ++i) {
+      values.push_back(ctx.NewHandle().value());
+    }
+  });
+  std::set<uint64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), values.size());
+  int ascending = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[i - 1]) {
+      ++ascending;
+    }
+  }
+  EXPECT_GT(ascending, 40);
+  EXPECT_LT(ascending, 160) << "handles must not expose the allocation counter";
+}
+
+TEST_F(KernelTest, SelfLabelOperations) {
+  SpawnArgs args;
+  args.name = "p";
+  const ProcessId pid = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    const Handle mine = ctx.NewHandle();
+    const Handle other = Handle::FromValue(0x4242);
+
+    // Raising own send level (self-taint) is free.
+    EXPECT_EQ(ctx.SetSendLevel(other, Level::kL3), Status::kOk);
+    // Lowering it back without ⋆ is declassification: denied.
+    EXPECT_EQ(ctx.SetSendLevel(other, Level::kL1), Status::kAccessDenied);
+    // Dropping one's own ⋆ is always permitted.
+    EXPECT_EQ(ctx.SetSendLevel(mine, Level::kL1), Status::kOk);
+    // ...and is irreversible.
+    EXPECT_EQ(ctx.SetSendLevel(mine, Level::kStar), Status::kAccessDenied);
+
+    // Lowering the receive label (more restrictive) is free.
+    EXPECT_EQ(ctx.SetReceiveLevel(other, Level::kL1), Status::kOk);
+    // Raising it requires ⋆.
+    EXPECT_EQ(ctx.SetReceiveLevel(other, Level::kL3), Status::kAccessDenied);
+  });
+}
+
+TEST_F(KernelTest, SelfContaminatePreservesStars) {
+  SpawnArgs args;
+  args.name = "p";
+  const ProcessId pid = kernel_.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    const Handle mine = ctx.NewHandle();
+    const Handle other = Handle::FromValue(0x4242);
+    Label add({{mine, Level::kL3}, {other, Level::kL3}}, Level::kStar);
+    ctx.SelfContaminate(add);
+    EXPECT_EQ(ctx.send_label().Get(mine), Level::kStar);
+    EXPECT_EQ(ctx.send_label().Get(other), Level::kL3);
+  });
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,177 @@
+// Property tests for the kernel's fused label-rule evaluation: the fast
+// paths (extrema pruning, histogram wholesale tests, asymmetric
+// small-vs-huge shapes) must agree exactly with the naive materialized
+// algebra on every input, including adversarially shaped ones.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/kernel/label_checks.h"
+
+namespace asbestos {
+namespace {
+
+class LabelChecksPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override { rng_ = std::make_unique<Rng>(GetParam()); }
+
+  Level RandomLevel() { return static_cast<Level>(rng_->NextBelow(5)); }
+
+  // Labels draw handles from a shared pool so overlaps are common.
+  Label RandomLabel(uint64_t max_entries, uint64_t pool = 60) {
+    Label l(RandomLevel());
+    const uint64_t n = rng_->NextBelow(max_entries + 1);
+    for (uint64_t i = 0; i < n; ++i) {
+      l.Set(Handle::FromValue(rng_->NextInRange(1, pool)), RandomLevel());
+    }
+    return l;
+  }
+
+  // A huge label shaped like the OKWS system labels: mostly one level, a few
+  // exceptions, drawn from a disjoint high handle range plus the shared pool.
+  Label HugeLabel(Level bulk_level) {
+    Label l(RandomLevel());
+    const uint64_t n = 400 + rng_->NextBelow(600);
+    for (uint64_t i = 0; i < n; ++i) {
+      l.Set(Handle::FromValue(1000 + i * 3), bulk_level);
+    }
+    // A few overlapping and off-level entries.
+    for (int i = 0; i < 6; ++i) {
+      l.Set(Handle::FromValue(rng_->NextInRange(1, 60)), RandomLevel());
+    }
+    for (int i = 0; i < 3; ++i) {
+      l.Set(Handle::FromValue(1000 + rng_->NextBelow(600) * 3), RandomLevel());
+    }
+    return l;
+  }
+
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(LabelChecksPropertyTest, DeliveryCheckMatchesNaiveSmall) {
+  for (int t = 0; t < 150; ++t) {
+    const Label es = RandomLabel(10);
+    const Label qr = RandomLabel(10);
+    const Label dr = RandomLabel(6);
+    const Label v = RandomLabel(6);
+    const Label pr = RandomLabel(6);
+    uint64_t work = 0;
+    EXPECT_EQ(CheckDeliveryAllowed(es, qr, dr, v, pr, &work),
+              CheckDeliveryAllowedNaive(es, qr, dr, v, pr))
+        << "ES=" << es.ToString() << " QR=" << qr.ToString() << " DR=" << dr.ToString()
+        << " V=" << v.ToString() << " pR=" << pr.ToString();
+  }
+}
+
+TEST_P(LabelChecksPropertyTest, DeliveryCheckMatchesNaiveHugeReceiver) {
+  uint64_t total_work = 0;
+  for (int t = 0; t < 40; ++t) {
+    const Label es = RandomLabel(8);
+    const Label qr = HugeLabel(Level::kL3);  // netd-shaped receive label
+    const Label dr = RandomLabel(4);
+    const Label v = RandomLabel(4);
+    const Label pr = RandomLabel(4);
+    uint64_t work = 0;
+    EXPECT_EQ(CheckDeliveryAllowed(es, qr, dr, v, pr, &work),
+              CheckDeliveryAllowedNaive(es, qr, dr, v, pr))
+        << "ES=" << es.ToString();
+    total_work += work;
+  }
+  // The O(1) extrema/default fast paths legitimately charge nothing, but
+  // across many random shapes the linear-as-charged paths must show up.
+  EXPECT_GT(total_work, 0u) << "big-label checks must charge linear work";
+}
+
+TEST_P(LabelChecksPropertyTest, DeliveryCheckMatchesNaiveHugeSender) {
+  for (int t = 0; t < 40; ++t) {
+    const Label es = HugeLabel(Level::kStar);  // netd-shaped send label
+    const Label qr = RandomLabel(8);
+    const Label dr = RandomLabel(4);
+    const Label v = RandomLabel(4);
+    const Label pr = RandomLabel(4);
+    uint64_t work = 0;
+    EXPECT_EQ(CheckDeliveryAllowed(es, qr, dr, v, pr, &work),
+              CheckDeliveryAllowedNaive(es, qr, dr, v, pr));
+  }
+}
+
+TEST_P(LabelChecksPropertyTest, DeliveryCheckMatchesNaiveHugeSenderWithTaint) {
+  // The exact OKWS hot shape: a huge ⋆-rich sender label with a few level-3
+  // taints that may or may not be covered by the receiver's clearances.
+  for (int t = 0; t < 40; ++t) {
+    Label es = HugeLabel(Level::kStar);
+    es.Set(Handle::FromValue(rng_->NextInRange(1, 60)), Level::kL3);
+    Label qr = RandomLabel(8);
+    if (rng_->NextBool()) {
+      qr.Set(Handle::FromValue(rng_->NextInRange(1, 60)), Level::kL3);
+    }
+    const Label dr = RandomLabel(4);
+    const Label v = RandomLabel(4);
+    const Label pr = RandomLabel(4);
+    uint64_t work = 0;
+    EXPECT_EQ(CheckDeliveryAllowed(es, qr, dr, v, pr, &work),
+              CheckDeliveryAllowedNaive(es, qr, dr, v, pr));
+  }
+}
+
+TEST_P(LabelChecksPropertyTest, ContaminationMatchesNaiveSmall) {
+  for (int t = 0; t < 200; ++t) {
+    const Label es = RandomLabel(12);
+    const Label qs = RandomLabel(12);
+    uint64_t work = 0;
+    EXPECT_EQ(NeedsContamination(es, qs, &work), NeedsContaminationNaive(es, qs))
+        << "ES=" << es.ToString() << " QS=" << qs.ToString();
+  }
+}
+
+TEST_P(LabelChecksPropertyTest, ContaminationMatchesNaiveHugeReceiver) {
+  for (int t = 0; t < 40; ++t) {
+    const Label es = RandomLabel(8);
+    const Label qs = HugeLabel(Level::kStar);  // netd's send label shape
+    uint64_t work = 0;
+    EXPECT_EQ(NeedsContamination(es, qs, &work), NeedsContaminationNaive(es, qs));
+  }
+}
+
+TEST_P(LabelChecksPropertyTest, ContaminationMatchesNaiveHugeSender) {
+  for (int t = 0; t < 40; ++t) {
+    Label es = HugeLabel(Level::kStar);
+    es.Set(Handle::FromValue(rng_->NextInRange(1, 60)), Level::kL3);
+    const Label qs = RandomLabel(8);
+    uint64_t work = 0;
+    EXPECT_EQ(NeedsContamination(es, qs, &work), NeedsContaminationNaive(es, qs))
+        << "ES(high)=" << es.CountEntriesAbove(qs.default_level())
+        << " QS=" << qs.ToString();
+  }
+}
+
+TEST_P(LabelChecksPropertyTest, AsymmetricAlgebraMatchesPointwise) {
+  // Lub/Glb/Leq over small-vs-huge shapes agree with pointwise evaluation at
+  // every probed handle (the asymmetric fast paths must be exact).
+  for (int t = 0; t < 30; ++t) {
+    const Label small = RandomLabel(6);
+    const Label huge = HugeLabel(static_cast<Level>(rng_->NextBelow(5)));
+    const Label join = Label::Lub(small, huge);
+    const Label meet = Label::Glb(small, huge);
+    for (uint64_t probe = 0; probe < 80; ++probe) {
+      const Handle h = probe < 60 ? Handle::FromValue(probe + 1)
+                                  : Handle::FromValue(1000 + (probe - 60) * 3);
+      EXPECT_EQ(join.Get(h), LevelMax(small.Get(h), huge.Get(h)));
+      EXPECT_EQ(meet.Get(h), LevelMin(small.Get(h), huge.Get(h)));
+    }
+    join.CheckRep();
+    meet.CheckRep();
+    EXPECT_TRUE(small.Leq(join));
+    EXPECT_TRUE(huge.Leq(join));
+    EXPECT_TRUE(meet.Leq(small));
+    EXPECT_TRUE(meet.Leq(huge));
+    // Leq both directions agrees with the join/meet characterization.
+    EXPECT_EQ(small.Leq(huge), Label::Lub(small, huge).Equals(huge));
+    EXPECT_EQ(huge.Leq(small), Label::Lub(huge, small).Equals(small));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelChecksPropertyTest,
+                         ::testing::Values(3ULL, 17ULL, 99ULL, 2024ULL, 31337ULL));
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,243 @@
+// Property tests for the label lattice (paper §5.1): labels under ⊑ form a
+// lattice with ⊔ as least upper bound and ⊓ as greatest lower bound. Each
+// property is checked over randomized labels drawn from a shared handle pool
+// (so labels overlap), across several seeds via TEST_P.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/labels/label.h"
+
+namespace asbestos {
+namespace {
+
+constexpr int kTrialsPerSeed = 60;
+
+class LabelPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override { rng_ = std::make_unique<Rng>(GetParam()); }
+
+  Level RandomLevel() { return static_cast<Level>(rng_->NextBelow(5)); }
+
+  Handle RandomPoolHandle() {
+    // Small pool: distinct labels frequently mention the same handles.
+    return Handle::FromValue(rng_->NextInRange(1, 40));
+  }
+
+  Label RandomLabel() {
+    Label l(RandomLevel());
+    const uint64_t n = rng_->NextBelow(25);
+    for (uint64_t i = 0; i < n; ++i) {
+      l.Set(RandomPoolHandle(), RandomLevel());
+    }
+    l.CheckRep();
+    return l;
+  }
+
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(LabelPropertyTest, LeqReflexive) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    EXPECT_TRUE(a.Leq(a));
+  }
+}
+
+TEST_P(LabelPropertyTest, LeqAntisymmetric) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    if (a.Leq(b) && b.Leq(a)) {
+      EXPECT_TRUE(a.Equals(b));
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, LeqTransitive) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    const Label c = RandomLabel();
+    if (a.Leq(b) && b.Leq(c)) {
+      EXPECT_TRUE(a.Leq(c));
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, LeqAgreesWithPointwiseGet) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    bool pointwise = LevelLeq(a.default_level(), b.default_level());
+    for (uint64_t h = 1; h <= 40 && pointwise; ++h) {
+      pointwise = LevelLeq(a.Get(Handle::FromValue(h)), b.Get(Handle::FromValue(h)));
+    }
+    EXPECT_EQ(a.Leq(b), pointwise);
+  }
+}
+
+TEST_P(LabelPropertyTest, LubIsUpperBound) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    const Label j = Label::Lub(a, b);
+    EXPECT_TRUE(a.Leq(j));
+    EXPECT_TRUE(b.Leq(j));
+    j.CheckRep();
+  }
+}
+
+TEST_P(LabelPropertyTest, LubIsLeastUpperBound) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    const Label c = RandomLabel();
+    if (a.Leq(c) && b.Leq(c)) {
+      EXPECT_TRUE(Label::Lub(a, b).Leq(c));
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, GlbIsLowerBound) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    const Label m = Label::Glb(a, b);
+    EXPECT_TRUE(m.Leq(a));
+    EXPECT_TRUE(m.Leq(b));
+    m.CheckRep();
+  }
+}
+
+TEST_P(LabelPropertyTest, GlbIsGreatestLowerBound) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    const Label c = RandomLabel();
+    if (c.Leq(a) && c.Leq(b)) {
+      EXPECT_TRUE(c.Leq(Label::Glb(a, b)));
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, LubGlbPointwise) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    const Label j = Label::Lub(a, b);
+    const Label m = Label::Glb(a, b);
+    for (uint64_t h = 0; h <= 41; ++h) {
+      const Handle hh = Handle::FromValue(h == 0 ? 9999 : h);  // include a non-pool handle
+      EXPECT_EQ(j.Get(hh), LevelMax(a.Get(hh), b.Get(hh)));
+      EXPECT_EQ(m.Get(hh), LevelMin(a.Get(hh), b.Get(hh)));
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, LatticeAlgebraLaws) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    const Label c = RandomLabel();
+    // Commutativity.
+    EXPECT_TRUE(Label::Lub(a, b).Equals(Label::Lub(b, a)));
+    EXPECT_TRUE(Label::Glb(a, b).Equals(Label::Glb(b, a)));
+    // Associativity.
+    EXPECT_TRUE(Label::Lub(Label::Lub(a, b), c).Equals(Label::Lub(a, Label::Lub(b, c))));
+    EXPECT_TRUE(Label::Glb(Label::Glb(a, b), c).Equals(Label::Glb(a, Label::Glb(b, c))));
+    // Idempotence.
+    EXPECT_TRUE(Label::Lub(a, a).Equals(a));
+    EXPECT_TRUE(Label::Glb(a, a).Equals(a));
+    // Absorption.
+    EXPECT_TRUE(Label::Lub(a, Label::Glb(a, b)).Equals(a));
+    EXPECT_TRUE(Label::Glb(a, Label::Lub(a, b)).Equals(a));
+  }
+}
+
+TEST_P(LabelPropertyTest, LeqIffLubEqualsUpper) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    EXPECT_EQ(a.Leq(b), Label::Lub(a, b).Equals(b));
+    EXPECT_EQ(a.Leq(b), Label::Glb(a, b).Equals(a));
+  }
+}
+
+TEST_P(LabelPropertyTest, StarsOnlyDefinition) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label s = a.StarsOnly();
+    for (uint64_t h = 1; h <= 41; ++h) {
+      const Handle hh = Handle::FromValue(h);
+      const Level expected = a.Get(hh) == Level::kStar ? Level::kStar : Level::kL3;
+      EXPECT_EQ(s.Get(hh), expected);
+    }
+    s.CheckRep();
+  }
+}
+
+TEST_P(LabelPropertyTest, ContaminationPreservesStars) {
+  // QS ← QS ⊔ (ES ⊓ QS⋆) never removes a ⋆ from QS (paper Eq. 5).
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    Label qs = RandomLabel();
+    const Label es = RandomLabel();
+    const Label before = qs;
+    Label contam = Label::Glb(es, qs.StarsOnly());
+    qs.JoinInPlace(contam);
+    for (uint64_t h = 1; h <= 41; ++h) {
+      const Handle hh = Handle::FromValue(h);
+      if (before.Get(hh) == Level::kStar) {
+        EXPECT_EQ(qs.Get(hh), Level::kStar);
+      } else {
+        EXPECT_EQ(qs.Get(hh), LevelMax(before.Get(hh), es.Get(hh)));
+      }
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, ParseToStringRoundTrip) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    Label parsed;
+    ASSERT_TRUE(Label::Parse(a.ToString(), &parsed)) << a.ToString();
+    EXPECT_TRUE(parsed.Equals(a));
+  }
+}
+
+TEST_P(LabelPropertyTest, InPlaceMatchesFunctional) {
+  for (int t = 0; t < kTrialsPerSeed; ++t) {
+    const Label a = RandomLabel();
+    const Label b = RandomLabel();
+    Label join_in_place = a;
+    join_in_place.JoinInPlace(b);
+    EXPECT_TRUE(join_in_place.Equals(Label::Lub(a, b)));
+    Label meet_in_place = a;
+    meet_in_place.MeetInPlace(b);
+    EXPECT_TRUE(meet_in_place.Equals(Label::Glb(a, b)));
+  }
+}
+
+TEST_P(LabelPropertyTest, LargeLabelStress) {
+  // Wide labels with interleaved inserts and removals keep their invariants.
+  Label l(Level::kL1);
+  Rng& rng = *rng_;
+  for (int i = 0; i < 3000; ++i) {
+    const Handle h = Handle::FromValue(rng.NextInRange(1, 700));
+    l.Set(h, static_cast<Level>(rng.NextBelow(5)));
+  }
+  l.CheckRep();
+  const Label copy = l;
+  for (int i = 0; i < 500; ++i) {
+    l.Set(Handle::FromValue(rng.NextInRange(1, 700)), Level::kL1);  // removals
+  }
+  l.CheckRep();
+  copy.CheckRep();  // the shared-then-unshared copy must be unaffected
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelPropertyTest,
+                         ::testing::Values(1ULL, 7ULL, 42ULL, 1234ULL, 987654321ULL));
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,353 @@
+#include "src/labels/label.h"
+
+#include <gtest/gtest.h>
+
+#include "src/labels/handle.h"
+#include "src/labels/level.h"
+
+namespace asbestos {
+namespace {
+
+Handle H(uint64_t v) { return Handle::FromValue(v); }
+
+TEST(LabelTest, FactoriesAndDefaults) {
+  EXPECT_EQ(Label::Top().default_level(), Level::kL3);
+  EXPECT_EQ(Label::Bottom().default_level(), Level::kStar);
+  EXPECT_EQ(Label::DefaultSend().default_level(), Level::kL1);
+  EXPECT_EQ(Label::DefaultReceive().default_level(), Level::kL2);
+  EXPECT_EQ(Label().default_level(), Level::kL3);
+  EXPECT_EQ(Label::Top().entry_count(), 0u);
+}
+
+TEST(LabelTest, GetFallsBackToDefault) {
+  const Label l({{H(5), Level::kL3}}, Level::kL1);
+  EXPECT_EQ(l.Get(H(5)), Level::kL3);
+  EXPECT_EQ(l.Get(H(6)), Level::kL1);
+  EXPECT_TRUE(l.HasExplicit(H(5)));
+  EXPECT_FALSE(l.HasExplicit(H(6)));
+}
+
+TEST(LabelTest, SetAndRemove) {
+  Label l(Level::kL1);
+  l.Set(H(10), Level::kL3);
+  EXPECT_EQ(l.entry_count(), 1u);
+  EXPECT_EQ(l.Get(H(10)), Level::kL3);
+  l.Set(H(10), Level::kL1);  // back to default removes the entry
+  EXPECT_EQ(l.entry_count(), 0u);
+  EXPECT_FALSE(l.HasExplicit(H(10)));
+  l.CheckRep();
+}
+
+TEST(LabelTest, SetOverwrites) {
+  Label l(Level::kL1);
+  l.Set(H(10), Level::kL3);
+  l.Set(H(10), Level::kStar);
+  EXPECT_EQ(l.Get(H(10)), Level::kStar);
+  EXPECT_EQ(l.entry_count(), 1u);
+  l.CheckRep();
+}
+
+TEST(LabelTest, MinMaxCaching) {
+  Label l(Level::kL1);
+  EXPECT_EQ(l.min_level(), Level::kL1);
+  EXPECT_EQ(l.max_level(), Level::kL1);
+  l.Set(H(1), Level::kL3);
+  EXPECT_EQ(l.max_level(), Level::kL3);
+  l.Set(H(2), Level::kStar);
+  EXPECT_EQ(l.min_level(), Level::kStar);
+  l.Set(H(2), Level::kL1);  // removal restores extrema
+  EXPECT_EQ(l.min_level(), Level::kL1);
+  l.CheckRep();
+}
+
+TEST(LabelTest, LeqDefaultDecides) {
+  // Unmentioned handles compare default-to-default: {1} ⊑ {2} but not {2} ⊑ {1}.
+  EXPECT_TRUE(Label::DefaultSend().Leq(Label::DefaultReceive()));
+  EXPECT_FALSE(Label::DefaultReceive().Leq(Label::DefaultSend()));
+}
+
+TEST(LabelTest, LeqWithEntries) {
+  // Paper Figure 2: VS = {vT 3, 1} is not ⊑ UTR = {uT 3, 2} because
+  // VS(vT) = 3 > UTR(vT) = 2; US = {uT 3, 1} ⊑ UTR.
+  const Handle ut = H(100);
+  const Handle vt = H(200);
+  const Label us({{ut, Level::kL3}}, Level::kL1);
+  const Label vs({{vt, Level::kL3}}, Level::kL1);
+  const Label utr({{ut, Level::kL3}}, Level::kL2);
+  EXPECT_TRUE(us.Leq(utr));
+  EXPECT_FALSE(vs.Leq(utr));
+}
+
+TEST(LabelTest, LeqStarBelowEverything) {
+  const Label starry({{H(1), Level::kStar}}, Level::kL1);
+  const Label zero({{H(1), Level::kL0}}, Level::kL1);
+  EXPECT_TRUE(starry.Leq(zero));
+  EXPECT_FALSE(zero.Leq(starry));
+}
+
+TEST(LabelTest, LubPointwiseMax) {
+  const Label a({{H(1), Level::kL3}, {H(2), Level::kL0}}, Level::kL1);
+  const Label b({{H(2), Level::kL2}, {H(3), Level::kStar}}, Level::kL1);
+  const Label j = Label::Lub(a, b);
+  EXPECT_EQ(j.default_level(), Level::kL1);
+  EXPECT_EQ(j.Get(H(1)), Level::kL3);
+  EXPECT_EQ(j.Get(H(2)), Level::kL2);
+  EXPECT_EQ(j.Get(H(3)), Level::kL1);  // max(⋆, default 1) = 1 → folded into default
+  EXPECT_EQ(j.entry_count(), 2u);
+  j.CheckRep();
+}
+
+TEST(LabelTest, GlbPointwiseMin) {
+  const Label a({{H(1), Level::kL3}, {H(2), Level::kL0}}, Level::kL2);
+  const Label b({{H(2), Level::kL2}, {H(3), Level::kStar}}, Level::kL1);
+  const Label m = Label::Glb(a, b);
+  EXPECT_EQ(m.default_level(), Level::kL1);
+  EXPECT_EQ(m.Get(H(1)), Level::kL1);  // min(3, default 1)
+  EXPECT_EQ(m.Get(H(2)), Level::kL0);
+  EXPECT_EQ(m.Get(H(3)), Level::kStar);
+  m.CheckRep();
+}
+
+TEST(LabelTest, LubWithBottomIsIdentity) {
+  const Label a({{H(9), Level::kL3}}, Level::kL1);
+  EXPECT_TRUE(Label::Lub(a, Label::Bottom()).Equals(a));
+  EXPECT_TRUE(Label::Lub(Label::Bottom(), a).Equals(a));
+}
+
+TEST(LabelTest, GlbWithTopIsIdentity) {
+  const Label a({{H(9), Level::kL0}}, Level::kL1);
+  EXPECT_TRUE(Label::Glb(a, Label::Top()).Equals(a));
+  EXPECT_TRUE(Label::Glb(Label::Top(), a).Equals(a));
+}
+
+TEST(LabelTest, StarsOnlyDefaultNonStar) {
+  // L⋆(h) = ⋆ where L(h) = ⋆, else 3.
+  const Label l({{H(1), Level::kStar}, {H(2), Level::kL0}, {H(3), Level::kL3}}, Level::kL1);
+  const Label s = l.StarsOnly();
+  EXPECT_EQ(s.default_level(), Level::kL3);
+  EXPECT_EQ(s.Get(H(1)), Level::kStar);
+  EXPECT_EQ(s.Get(H(2)), Level::kL3);
+  EXPECT_EQ(s.Get(H(3)), Level::kL3);
+  EXPECT_EQ(s.entry_count(), 1u);
+  s.CheckRep();
+}
+
+TEST(LabelTest, StarsOnlyDefaultStar) {
+  const Label l({{H(1), Level::kL2}}, Level::kStar);
+  const Label s = l.StarsOnly();
+  EXPECT_EQ(s.default_level(), Level::kStar);
+  EXPECT_EQ(s.Get(H(1)), Level::kL3);
+  EXPECT_EQ(s.Get(H(2)), Level::kStar);
+  s.CheckRep();
+}
+
+TEST(LabelTest, JoinInPlaceNoChangeWhenDominated) {
+  Label a({{H(1), Level::kL3}}, Level::kL1);
+  const Label b({{H(1), Level::kL2}}, Level::kL1);
+  a.JoinInPlace(b);
+  EXPECT_EQ(a.Get(H(1)), Level::kL3);
+  EXPECT_EQ(a.entry_count(), 1u);
+}
+
+TEST(LabelTest, JoinInPlaceRaises) {
+  Label a(Level::kL1);
+  const Label taint({{H(7), Level::kL3}}, Level::kStar);
+  a.JoinInPlace(taint);
+  EXPECT_EQ(a.Get(H(7)), Level::kL3);
+  EXPECT_EQ(a.default_level(), Level::kL1);
+}
+
+TEST(LabelTest, MeetInPlaceLowers) {
+  Label a({{H(7), Level::kL1}}, Level::kL1);
+  const Label grant({{H(7), Level::kStar}}, Level::kL3);
+  a.MeetInPlace(grant);
+  EXPECT_EQ(a.Get(H(7)), Level::kStar);
+  EXPECT_EQ(a.default_level(), Level::kL1);
+}
+
+TEST(LabelTest, CopyIsIndependentCow) {
+  Label a({{H(5), Level::kL3}}, Level::kL1);
+  Label b = a;
+  b.Set(H(5), Level::kL0);
+  EXPECT_EQ(a.Get(H(5)), Level::kL3) << "mutating a copy must not affect the original";
+  EXPECT_EQ(b.Get(H(5)), Level::kL0);
+  a.CheckRep();
+  b.CheckRep();
+}
+
+TEST(LabelTest, CopySharesMemoryUntilWrite) {
+  const int64_t before = GetLabelMemStats().live_bytes;
+  Label a({{H(5), Level::kL3}}, Level::kL1);
+  const int64_t with_a = GetLabelMemStats().live_bytes;
+  Label b = a;  // shares the representation
+  EXPECT_EQ(GetLabelMemStats().live_bytes, with_a);
+  b.Set(H(6), Level::kL3);  // forces an unshare
+  EXPECT_GT(GetLabelMemStats().live_bytes, with_a);
+  (void)before;
+}
+
+TEST(LabelTest, MemStatsReturnToBaseline) {
+  const int64_t before = GetLabelMemStats().live_bytes;
+  {
+    Label a(Level::kL1);
+    for (uint64_t i = 1; i <= 500; ++i) {
+      a.Set(H(i), Level::kL3);
+    }
+    EXPECT_GT(GetLabelMemStats().live_bytes, before);
+  }
+  EXPECT_EQ(GetLabelMemStats().live_bytes, before);
+}
+
+TEST(LabelTest, SmallestLabelIsAboutThreeHundredBytes) {
+  // Paper §5.6: "The smallest label is about 300 bytes long, including space
+  // for one chunk."
+  const Label l({{H(1), Level::kL3}}, Level::kL1);
+  EXPECT_GE(l.heap_bytes(), 200u);
+  EXPECT_LE(l.heap_bytes(), 450u);
+}
+
+TEST(LabelTest, ManyEntriesChunkSplitting) {
+  Label l(Level::kL1);
+  // Insert out of order to exercise mid-chunk insertion and splitting.
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    const uint64_t h = (i * 2654435761u) % 100000 + 1;
+    l.Set(H(h), Level::kL3);
+    if (i % 100 == 0) {
+      l.CheckRep();
+    }
+  }
+  l.CheckRep();
+  // Every explicit entry reads back.
+  for (const auto& [h, level] : l.Entries()) {
+    EXPECT_EQ(l.Get(h), level);
+  }
+}
+
+TEST(LabelTest, EntriesSorted) {
+  Label l(Level::kL1);
+  for (uint64_t v : {900ULL, 1ULL, 44ULL, 500ULL, 7ULL}) {
+    l.Set(H(v), Level::kL3);
+  }
+  const auto entries = l.Entries();
+  ASSERT_EQ(entries.size(), 5u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].first, entries[i].first);
+  }
+}
+
+TEST(LabelTest, ToStringFormat) {
+  const Label l({{H(5), Level::kStar}, {H(9), Level::kL3}}, Level::kL1);
+  EXPECT_EQ(l.ToString(), "{5 *, 9 3, 1}");
+  EXPECT_EQ(Label::Top().ToString(), "{3}");
+}
+
+TEST(LabelTest, ParseRoundTrip) {
+  Label l({{H(5), Level::kStar}, {H(9), Level::kL3}, {H(77), Level::kL0}}, Level::kL2);
+  Label parsed;
+  ASSERT_TRUE(Label::Parse(l.ToString(), &parsed));
+  EXPECT_TRUE(parsed.Equals(l));
+}
+
+TEST(LabelTest, ParseRejectsMalformed) {
+  Label out;
+  EXPECT_FALSE(Label::Parse("", &out));
+  EXPECT_FALSE(Label::Parse("{", &out));
+  EXPECT_FALSE(Label::Parse("{4}", &out));       // invalid level
+  EXPECT_FALSE(Label::Parse("{x 3, 1}", &out));  // bad handle
+  EXPECT_FALSE(Label::Parse("{0 3, 1}", &out));  // handle 0 is reserved
+  EXPECT_FALSE(Label::Parse("5 3, 1", &out));    // missing braces
+}
+
+TEST(LabelTest, EqualsIsExtensional) {
+  Label a(Level::kL1);
+  a.Set(H(5), Level::kL3);
+  a.Set(H(5), Level::kL1);  // removed again
+  EXPECT_TRUE(a.Equals(Label(Level::kL1)));
+  EXPECT_FALSE(a.Equals(Label(Level::kL2)));
+}
+
+TEST(LabelTest, LevelHistogramTracksEntries) {
+  Label l(Level::kL1);
+  l.Set(H(1), Level::kStar);
+  l.Set(H(2), Level::kStar);
+  l.Set(H(3), Level::kL0);
+  l.Set(H(4), Level::kL3);
+  EXPECT_EQ(l.CountEntriesAtLevel(Level::kStar), 2u);
+  EXPECT_EQ(l.CountEntriesAtLevel(Level::kL0), 1u);
+  EXPECT_EQ(l.CountEntriesAtLevel(Level::kL1), 0u) << "default-valued entries don't exist";
+  EXPECT_EQ(l.CountEntriesAbove(Level::kStar), 2u);
+  EXPECT_EQ(l.CountEntriesAbove(Level::kL2), 1u);
+  EXPECT_EQ(l.EntryMinLevel(), Level::kStar);
+  EXPECT_EQ(l.EntryMaxLevel(), Level::kL3);
+  EXPECT_EQ(l.MinNonStarEntryLevel(), Level::kL0);
+
+  l.Set(H(3), Level::kL1);  // remove
+  EXPECT_EQ(l.CountEntriesAtLevel(Level::kL0), 0u);
+  EXPECT_EQ(l.MinNonStarEntryLevel(), Level::kL3);
+  l.Set(H(4), Level::kL2);  // overwrite
+  EXPECT_EQ(l.CountEntriesAtLevel(Level::kL3), 0u);
+  EXPECT_EQ(l.CountEntriesAtLevel(Level::kL2), 1u);
+  l.CheckRep();
+}
+
+TEST(LabelTest, HistogramOnEmptyLabel) {
+  const Label l(Level::kL1);
+  EXPECT_EQ(l.CountEntriesAbove(Level::kStar), 0u);
+  EXPECT_EQ(l.EntryMinLevel(), Level::kL3) << "neutral for ≤ comparisons";
+  EXPECT_EQ(l.EntryMaxLevel(), Level::kStar);
+  EXPECT_EQ(l.MinNonStarEntryLevel(), Level::kL3);
+}
+
+TEST(LabelTest, NonStarIterSkipsStarEntries) {
+  Label l(Level::kL1);
+  // Many ⋆ entries (whole chunks of them) with a few non-⋆ sprinkled in.
+  for (uint64_t i = 1; i <= 300; ++i) {
+    l.Set(H(i * 10), Level::kStar);
+  }
+  l.Set(H(5), Level::kL3);     // before all stars
+  l.Set(H(1505), Level::kL0);  // middle of a star run
+  l.Set(H(9999), Level::kL2);  // after
+  std::vector<std::pair<uint64_t, Level>> seen;
+  for (Label::NonStarIter it = l.IterateNonStarEntries(); !it.done(); it.Advance()) {
+    seen.emplace_back(it.handle().value(), it.level());
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<uint64_t, Level>{5, Level::kL3}));
+  EXPECT_EQ(seen[1], (std::pair<uint64_t, Level>{1505, Level::kL0}));
+  EXPECT_EQ(seen[2], (std::pair<uint64_t, Level>{9999, Level::kL2}));
+}
+
+TEST(LabelTest, NonStarIterOnAllStarAndEmptyLabels) {
+  Label all_star(Level::kL1);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    all_star.Set(H(i), Level::kStar);
+  }
+  EXPECT_TRUE(all_star.IterateNonStarEntries().done());
+  EXPECT_TRUE(Label(Level::kL2).IterateNonStarEntries().done());
+}
+
+TEST(LabelTest, WorkStatsCountOps) {
+  ResetLabelWorkStats();
+  Label big(Level::kL1);
+  for (uint64_t i = 1; i <= 200; ++i) {
+    big.Set(H(i * 10), Level::kL3);
+  }
+  const uint64_t before = GetLabelWorkStats().entries_visited;
+  const Label other({{H(15), Level::kL2}}, Level::kL1);
+  (void)big.Leq(other);
+  EXPECT_GT(GetLabelWorkStats().entries_visited, before)
+      << "a non-fast-path comparison must count entry visits";
+}
+
+TEST(LabelTest, FastPathSkipsEntryScan) {
+  ResetLabelWorkStats();
+  Label a(Level::kL1);  // max 1
+  Label b(Level::kL2);  // min 2
+  const uint64_t visits_before = GetLabelWorkStats().entries_visited;
+  EXPECT_TRUE(a.Leq(b));
+  EXPECT_EQ(GetLabelWorkStats().entries_visited, visits_before);
+  EXPECT_GT(GetLabelWorkStats().fast_path_hits, 0u);
+}
+
+}  // namespace
+}  // namespace asbestos

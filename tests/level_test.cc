@@ -1,0 +1,55 @@
+#include "src/labels/level.h"
+
+#include <gtest/gtest.h>
+
+namespace asbestos {
+namespace {
+
+TEST(LevelTest, OrderingStarIsLowest) {
+  EXPECT_TRUE(LevelLeq(Level::kStar, Level::kL0));
+  EXPECT_TRUE(LevelLeq(Level::kStar, Level::kL3));
+  EXPECT_FALSE(LevelLeq(Level::kL0, Level::kStar));
+}
+
+TEST(LevelTest, OrderingIsTotal) {
+  const Level order[] = {Level::kStar, Level::kL0, Level::kL1, Level::kL2, Level::kL3};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(LevelLeq(order[i], order[j]), i <= j)
+          << LevelName(order[i]) << " vs " << LevelName(order[j]);
+    }
+  }
+}
+
+TEST(LevelTest, MaxMin) {
+  EXPECT_EQ(LevelMax(Level::kStar, Level::kL2), Level::kL2);
+  EXPECT_EQ(LevelMin(Level::kStar, Level::kL2), Level::kStar);
+  EXPECT_EQ(LevelMax(Level::kL1, Level::kL1), Level::kL1);
+  EXPECT_EQ(LevelMin(Level::kL3, Level::kL0), Level::kL0);
+}
+
+TEST(LevelTest, Defaults) {
+  // Paper §5.1: send labels default to 1, receive labels to 2.
+  EXPECT_EQ(kDefaultSendLevel, Level::kL1);
+  EXPECT_EQ(kDefaultReceiveLevel, Level::kL2);
+}
+
+TEST(LevelTest, Names) {
+  EXPECT_STREQ(LevelName(Level::kStar), "*");
+  EXPECT_STREQ(LevelName(Level::kL0), "0");
+  EXPECT_STREQ(LevelName(Level::kL3), "3");
+}
+
+TEST(LevelTest, FromNameRoundTrip) {
+  for (Level l : {Level::kStar, Level::kL0, Level::kL1, Level::kL2, Level::kL3}) {
+    Level parsed;
+    ASSERT_TRUE(LevelFromName(LevelName(l)[0], &parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  Level ignored;
+  EXPECT_FALSE(LevelFromName('4', &ignored));
+  EXPECT_FALSE(LevelFromName('x', &ignored));
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,155 @@
+// Kernel memory accounting: the bookkeeping behind Figure 6. Object
+// lifecycles must balance — what a process/EP/port/label allocates must
+// disappear when it dies — and the report must attribute bytes to the right
+// category.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+using testing::ScriptedProcess;
+
+TEST(MemStatsTest, ProcessLifecycleBalances) {
+  Kernel kernel(11);
+  const uint64_t before = kernel.MemReport().total_bytes();
+  SpawnArgs args;
+  args.name = "ephemeral";
+  const ProcessId pid = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  kernel.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    ctx.NewHandle();
+    const Handle p = ctx.NewPort(Label::Top());
+    (void)p;
+    const uint64_t addr = ctx.AllocPages(2);
+    ctx.WriteMem(addr, "data", 4);
+    ctx.ModelHeapBytes(1000);
+  });
+  EXPECT_GT(kernel.MemReport().total_bytes(), before);
+  kernel.WithProcessContext(pid, [&](ProcessContext& ctx) { ctx.Exit(); });
+  const KernelMemReport after = kernel.MemReport();
+  EXPECT_EQ(after.process_bytes, 0u);
+  EXPECT_EQ(after.modeled_heap_bytes, 0u);
+  EXPECT_EQ(after.page_bytes, 0u) << "simulated pages die with the address space";
+  // The plain (non-port) handle's vnode survives: compartments outlive their
+  // creators (labels elsewhere may still reference the handle).
+  EXPECT_EQ(after.vnode_bytes, kVnodeBytes);
+}
+
+TEST(MemStatsTest, EventProcessLifecycleBalances) {
+  Kernel kernel(12);
+  Handle service;
+  SpawnArgs args;
+  args.name = "worker";
+  kernel.CreateProcess(
+      std::make_unique<ScriptedProcess>(
+          [&](ProcessContext& ctx) {
+            service = ctx.NewPort(Label::Top());
+            ASB_ASSERT(ctx.SetPortLabel(service, Label::Top()) == Status::kOk);
+            ctx.EnterEventRealm();
+          },
+          [&](ProcessContext& ctx, const Message& msg) {
+            if (msg.type == 1) {
+              ctx.EpExit();
+              return;
+            }
+            ctx.WriteMem(0x50000, "session", 7);  // one private page
+          }),
+      args);
+  SpawnArgs dargs;
+  dargs.name = "driver";
+  const ProcessId driver = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), dargs);
+
+  const uint64_t before = kernel.MemReport().total_bytes();
+  kernel.WithProcessContext(driver, [&](ProcessContext& ctx) {
+    ASSERT_EQ(ctx.Send(service, Message()), Status::kOk);
+  });
+  kernel.RunUntilIdle();
+  const KernelMemReport with_ep = kernel.MemReport();
+  EXPECT_EQ(with_ep.ep_bytes, kEpKernelBytes);
+  EXPECT_GE(with_ep.page_bytes, kPageSize) << "the EP's private page is real";
+  EXPECT_GT(with_ep.total_bytes(), before);
+
+  // Kill the EP via its own port.
+  Process* worker = kernel.FindProcessByName("worker");
+  ASSERT_NE(worker, nullptr);
+  ASSERT_EQ(worker->eps.size(), 1u);
+  // Address the EP through the service port again? The EP owns no port here;
+  // a second base-port message would fork a new EP. Send the exit request to
+  // the same EP is impossible without its port, so exit the whole process.
+  kernel.WithProcessContext(worker->id, [&](ProcessContext& ctx) { ctx.Exit(); });
+  const KernelMemReport after = kernel.MemReport();
+  EXPECT_EQ(after.ep_bytes, 0u);
+  EXPECT_EQ(after.page_bytes, 0u);
+  EXPECT_EQ(after.queue_arena_bytes, 0u);
+}
+
+TEST(MemStatsTest, QueueBytesTrackPendingMessages) {
+  Kernel kernel(13);
+  std::vector<testing::RecorderProcess::Received> got;
+  SpawnArgs rargs;
+  rargs.name = "rx";
+  const ProcessId rx = kernel.CreateProcess(
+      std::make_unique<testing::RecorderProcess>(&got), rargs);
+  Handle port;
+  kernel.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    port = ctx.NewPort(Label::Top());
+    ASSERT_EQ(ctx.SetPortLabel(port, Label::Top()), Status::kOk);
+  });
+  SpawnArgs sargs;
+  sargs.name = "tx";
+  const ProcessId tx = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  const uint64_t before = kernel.MemReport().queue_bytes;
+  kernel.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    Message m;
+    m.data = std::string(1000, 'x');
+    ASSERT_EQ(ctx.Send(port, std::move(m)), Status::kOk);
+  });
+  const uint64_t queued = kernel.MemReport().queue_bytes;
+  EXPECT_GE(queued - before, 1000u);
+  kernel.RunUntilIdle();
+  EXPECT_EQ(kernel.MemReport().queue_bytes, before) << "delivery drains the queue bytes";
+}
+
+TEST(MemStatsTest, PeakTracksHighWaterMark) {
+  Kernel kernel(14);
+  SpawnArgs args;
+  args.name = "spiky";
+  const ProcessId pid = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  kernel.ResetPeakTotalBytes();
+  const uint64_t baseline = kernel.peak_total_bytes();
+  kernel.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    const uint64_t addr = ctx.AllocPages(8);
+    for (int i = 0; i < 8; ++i) {
+      ctx.WriteMem(addr + static_cast<uint64_t>(i) * kPageSize, "x", 1);
+    }
+    ctx.ModelHeapBytes(50000);
+    ctx.ModelHeapBytes(-50000);
+    ctx.FreePages(addr, 8);
+  });
+  EXPECT_GE(kernel.peak_total_bytes(), baseline + 8 * kPageSize + 50000)
+      << "the peak must remember the spike after it subsides";
+  EXPECT_LT(kernel.MemReport().total_bytes(), kernel.peak_total_bytes());
+}
+
+TEST(MemStatsTest, LabelBytesAreLive) {
+  Kernel kernel(15);
+  const uint64_t before = kernel.MemReport().label_bytes;
+  SpawnArgs args;
+  args.name = "labeled";
+  const ProcessId pid = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  kernel.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    for (int i = 0; i < 200; ++i) {
+      ctx.NewHandle();  // each adds a ⋆ entry to the send label
+    }
+  });
+  EXPECT_GT(kernel.MemReport().label_bytes, before);
+  kernel.WithProcessContext(pid, [&](ProcessContext& ctx) { ctx.Exit(); });
+  // The process's labels are gone; factory-default labels may remain live
+  // elsewhere, so compare against the entry-laden level, not exact equality.
+  EXPECT_LT(kernel.MemReport().label_bytes, before + 400);
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,274 @@
+// The paper's security claims (§2, §7.8), tested adversarially: compromised
+// workers cannot violate user isolation; declassifiers are trusted only by
+// their own user; the kernel — not application code — is the boundary.
+#include <gtest/gtest.h>
+
+#include "src/okws/demux.h"
+#include "src/okws/okws_world.h"
+#include "src/okws/services.h"
+
+namespace asbestos {
+namespace {
+
+// A fully compromised worker: on every request it attempts to exfiltrate a
+// captured secret to another user's connection and to forge database writes
+// for another user, then answers innocently. Compromise is modelled by
+// reaching past the framework to the raw kernel context (arbitrary code in
+// the worker's protection domain).
+class EvilService : public Service {
+ public:
+  struct SharedLoot {
+    uint64_t victim_uc = 0;       // uC value captured from the victim's request
+    std::string victim_secret;    // data the worker saw while serving the victim
+    uint64_t leak_attempts = 0;
+    uint64_t forged_db_writes = 0;
+  };
+
+  explicit EvilService(SharedLoot* loot) : loot_(loot) {}
+
+  void OnRequest(ServiceContext& sc) override {
+    if (sc.username() == "alice") {
+      // Serving the victim: remember everything we can see.
+      loot_->victim_uc = sc.connection_port_value();
+      loot_->victim_secret = "alice's data: " + sc.request().Query("d");
+      sc.Respond(200, "ok");
+      return;
+    }
+    // Serving the attacker (bob): try to push the victim's secret out over
+    // the victim's connection...
+    ProcessContext& raw = sc.kernel_context();
+    {
+      Message w;
+      w.type = 6;  // netd_proto::kWrite
+      w.words = {0};
+      w.data = "INJECTED:" + loot_->victim_secret;
+      (void)raw.Send(Handle::FromValue(loot_->victim_uc), std::move(w));
+      ++loot_->leak_attempts;
+    }
+    // ...and to write the database as the victim (forged username line).
+    {
+      Message q;
+      q.type = 1;  // dbproxy_proto::kQuery
+      q.words = {99, 0};
+      q.data = "alice\nINSERT INTO notes (text) VALUES ('forged by bob worker')";
+      // The best V a bob-tainted process can offer still carries bob's taint.
+      (void)raw.Send(Handle::FromValue(raw.GetEnv("dbproxy_query")), std::move(q));
+      ++loot_->forged_db_writes;
+    }
+    sc.Respond(200, "innocent looking response");
+  }
+
+ private:
+  SharedLoot* loot_;
+};
+
+class OkwsIsolationTest : public ::testing::Test {
+ protected:
+  void Boot(OkwsWorldConfig config) {
+    world_ = std::make_unique<OkwsWorld>(std::move(config));
+    world_->PumpUntilReady();
+  }
+
+  HttpLoadClient::Result Fetch(const std::string& target, const std::string& user,
+                               const std::string& pass) {
+    HttpLoadClient client(&world_->net(), 80, 4);
+    client.Enqueue(OkwsWorld::MakeRequest(target, user, pass), 0);
+    world_->RunClient(&client);
+    return client.results().empty() ? HttpLoadClient::Result{} : client.results()[0];
+  }
+
+  std::unique_ptr<OkwsWorld> world_;
+};
+
+TEST_F(OkwsIsolationTest, UsersCannotReadEachOthersDatabaseRows) {
+  OkwsWorldConfig config;
+  config.users = {{"alice", "a"}, {"bob", "b"}};
+  config.services.push_back(
+      {"notes", [] { return std::make_unique<NotesService>(); }, false, {}});
+  config.extra_tables = {NotesService::kTableSql};
+  Boot(std::move(config));
+
+  EXPECT_EQ(Fetch("/notes?op=add&text=alice-secret", "alice", "a").status, 200);
+  EXPECT_EQ(Fetch("/notes?op=add&text=bob-note", "bob", "b").status, 200);
+
+  // Both users' workers SELECT the same table; ok-dbproxy sends *all* rows,
+  // each tainted for its owner, and the kernel delivers only the rows each
+  // event process may see (§7.5).
+  const auto alice_list = Fetch("/notes?op=list", "alice", "a");
+  EXPECT_EQ(alice_list.body, "alice-secret\n");
+  const auto bob_list = Fetch("/notes?op=list", "bob", "b");
+  EXPECT_EQ(bob_list.body, "bob-note\n");
+  EXPECT_EQ(bob_list.body.find("alice"), std::string::npos);
+  EXPECT_GE(world_->kernel().stats().drops_label_check, 2u)
+      << "the cross-user rows were dropped by the kernel, not by polite code";
+}
+
+TEST_F(OkwsIsolationTest, CompromisedWorkerCannotLeakAcrossUsers) {
+  EvilService::SharedLoot loot;
+  OkwsWorldConfig config;
+  config.users = {{"alice", "a"}, {"bob", "b"}};
+  config.services.push_back(
+      {"evil", [&loot] { return std::make_unique<EvilService>(&loot); }, false, {}});
+  config.services.push_back(
+      {"notes", [] { return std::make_unique<NotesService>(); }, false, {}});
+  config.extra_tables = {NotesService::kTableSql};
+  Boot(std::move(config));
+
+  // Alice uses the (compromised) service and hands it a secret.
+  const auto alice_r = Fetch("/evil?d=launch-codes", "alice", "a");
+  EXPECT_EQ(alice_r.status, 200);
+  ASSERT_NE(loot.victim_uc, 0u) << "the worker did capture alice's connection port";
+
+  // Keep alice's NEXT connection open while bob attacks: enqueue both
+  // concurrently so alice's uC is live when the attack runs.
+  HttpLoadClient client(&world_->net(), 80, 2);
+  client.Enqueue(OkwsWorld::MakeRequest("/evil?d=more-secrets", "alice", "a"), 1);
+  client.Enqueue(OkwsWorld::MakeRequest("/evil", "bob", "b"), 2);
+  world_->RunClient(&client);
+  ASSERT_EQ(client.results().size(), 2u);
+  EXPECT_GE(loot.leak_attempts, 1u);
+
+  // Neither response contains the injected secret, and alice's connection
+  // never carried it: the kernel dropped the cross-user write.
+  for (const auto& r : client.results()) {
+    EXPECT_EQ(r.body.find("INJECTED"), std::string::npos);
+    EXPECT_EQ(r.body.find("launch-codes"), std::string::npos)
+        << "bob's response must not carry alice's secret";
+  }
+  EXPECT_GE(world_->kernel().stats().drops_label_check +
+                world_->kernel().stats().drops_no_port,
+            1u);
+
+  // The forged database write for alice was rejected: her notes are clean.
+  const auto alice_notes = Fetch("/notes?op=list", "alice", "a");
+  EXPECT_EQ(alice_notes.status, 200);
+  EXPECT_EQ(alice_notes.body.find("forged"), std::string::npos)
+      << "dbproxy must reject a bob-tainted verify label for alice's rows";
+}
+
+TEST_F(OkwsIsolationTest, DeclassifierPublishesOnlyItsOwnUsersData) {
+  OkwsWorldConfig config;
+  config.users = {{"alice", "a"}, {"bob", "b"}};
+  config.services.push_back(
+      {"profile", [] { return std::make_unique<ProfileService>(); }, true, {}});
+  config.services.push_back(
+      {"notes", [] { return std::make_unique<NotesService>(); }, false, {}});
+  config.extra_tables = {ProfileService::kTableSql, NotesService::kTableSql};
+  Boot(std::move(config));
+
+  // Alice stores a private note AND publishes a public profile.
+  EXPECT_EQ(Fetch("/notes?op=add&text=top-secret", "alice", "a").status, 200);
+  EXPECT_EQ(Fetch("/profile?op=set&text=hello+world", "alice", "a").status, 200);
+
+  // Bob can read alice's declassified profile (decentralized
+  // declassification, §7.6)...
+  const auto bob_view = Fetch("/profile?op=get&who=alice", "bob", "b");
+  EXPECT_EQ(bob_view.status, 200);
+  EXPECT_EQ(bob_view.body, "hello world");
+
+  // ...but alice's private note remains invisible to bob through any path.
+  const auto bob_notes = Fetch("/notes?op=list", "bob", "b");
+  EXPECT_EQ(bob_notes.body.find("top-secret"), std::string::npos);
+}
+
+TEST_F(OkwsIsolationTest, NonDeclassifierCannotPublish) {
+  OkwsWorldConfig config;
+  config.users = {{"alice", "a"}};
+  // Same service code, but NOT registered as a declassifier: ok-demux
+  // contaminates it with uT 3 instead of granting uT ⋆.
+  config.services.push_back(
+      {"profile", [] { return std::make_unique<ProfileService>(); }, false, {}});
+  config.extra_tables = {ProfileService::kTableSql};
+  Boot(std::move(config));
+
+  const auto r = Fetch("/profile?op=set&text=x", "alice", "a");
+  EXPECT_EQ(r.status, 403) << "the worker holds uT 3, not uT ⋆, and cannot declassify";
+}
+
+TEST_F(OkwsIsolationTest, SpoofedConnectionNotificationIgnored) {
+  OkwsWorldConfig config;
+  config.users = {{"alice", "a"}};
+  config.services.push_back(
+      {"echo", [] { return std::make_unique<EchoService>(); }, false, {}});
+  Boot(std::move(config));
+
+  // An arbitrary process tries to impersonate netd by sending kNotifyConn
+  // to demux's notification port. It holds no ⋆ for that port, so the
+  // kernel drops the message at the port label.
+  auto* demux = world_->kernel().FindProcessByName("demux");
+  ASSERT_NE(demux, nullptr);
+  auto* demux_code = dynamic_cast<DemuxProcess*>(demux->code.get());
+  ASSERT_NE(demux_code, nullptr);
+  const Handle notify = [&] {
+    // The notification port value is discoverable (values confer nothing);
+    // model an attacker that somehow learned it.
+    return demux_code->session_port();  // closed in exactly the same way
+  }();
+
+  SpawnArgs args;
+  args.name = "attacker";
+  class Attacker : public ProcessCode {
+   public:
+    void HandleMessage(ProcessContext&, const Message&) override {}
+  };
+  const ProcessId attacker =
+      world_->kernel().CreateProcess(std::make_unique<Attacker>(), args);
+  const uint64_t drops_before = world_->kernel().stats().drops_label_check;
+  world_->kernel().WithProcessContext(attacker, [&](ProcessContext& ctx) {
+    Message fake;
+    fake.type = 122;  // kSessionReg
+    fake.words = {1, 0xdead};
+    EXPECT_EQ(ctx.Send(notify, std::move(fake)), Status::kOk) << "send lies, as designed";
+  });
+  world_->kernel().RunUntilIdle();
+  EXPECT_EQ(world_->kernel().stats().drops_label_check, drops_before + 1);
+}
+
+TEST_F(OkwsIsolationTest, TaintedProcessIsTransitivelyConfined) {
+  // The §7.2 argument generalized: a process carrying a level-3 taint that a
+  // receiver was not explicitly cleared for cannot reach that receiver at
+  // all — even trusted system services like ok-demux — so tainted data
+  // cannot be laundered through ignorant processes (§2).
+  OkwsWorldConfig config;
+  config.users = {{"alice", "a"}};
+  config.services.push_back(
+      {"store", [] { return std::make_unique<StorageService>(); }, false, {}});
+  Boot(std::move(config));
+  (void)Fetch("/store?d=private", "alice", "a");
+
+  auto* demux = world_->kernel().FindProcessByName("demux");
+  ASSERT_NE(demux, nullptr);
+  ASSERT_FALSE(demux->owned_ports.empty());
+  const Handle demux_public_port = demux->owned_ports[0];  // worker-register port, label {3}
+
+  SpawnArgs args;
+  args.name = "tainted-attacker";
+  class Attacker : public ProcessCode {
+   public:
+    void HandleMessage(ProcessContext&, const Message&) override {}
+  };
+  const ProcessId attacker =
+      world_->kernel().CreateProcess(std::make_unique<Attacker>(), args);
+
+  const uint64_t drops_before = world_->kernel().stats().drops_label_check;
+  world_->kernel().WithProcessContext(attacker, [&](ProcessContext& ctx) {
+    // Self-taint with a compartment nobody cleared demux for.
+    const Handle foreign_taint = ctx.NewHandle();
+    EXPECT_EQ(ctx.SetSendLevel(foreign_taint, Level::kL3), Status::kOk);
+    Message w;
+    w.type = 120;  // kWorkerRegister — demux's public port accepts these...
+    w.data = "store";
+    w.words = {1};
+    EXPECT_EQ(ctx.Send(demux_public_port, std::move(w)), Status::kOk);
+  });
+  world_->kernel().RunUntilIdle();
+  // ...but the kernel dropped it: demux's receive label does not accept the
+  // foreign taint, even though the port label {3} would.
+  EXPECT_EQ(world_->kernel().stats().drops_label_check, drops_before + 1);
+
+  // The system remains fully functional for alice.
+  EXPECT_EQ(Fetch("/store", "alice", "a").status, 200);
+}
+
+}  // namespace
+}  // namespace asbestos

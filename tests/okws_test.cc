@@ -1,0 +1,230 @@
+// End-to-end OKWS on Asbestos: boot, request flow (paper Fig. 5 steps 1-9),
+// sessions (§7.3), database services (§7.5), and the password worker.
+#include <gtest/gtest.h>
+
+#include "src/okws/idd.h"
+#include "src/okws/okws_world.h"
+#include "src/okws/services.h"
+
+namespace asbestos {
+namespace {
+
+OkwsWorldConfig BasicConfig() {
+  OkwsWorldConfig config;
+  config.users = {{"alice", "pw-a"}, {"bob", "pw-b"}, {"carol", "pw-c"}};
+  config.services.push_back(
+      {"echo", [] { return std::make_unique<EchoService>(); }, false, {}});
+  config.services.push_back(
+      {"store", [] { return std::make_unique<StorageService>(); }, false, {}});
+  config.services.push_back(
+      {"notes", [] { return std::make_unique<NotesService>(); }, false, {}});
+  config.services.push_back(
+      {"profile", [] { return std::make_unique<ProfileService>(); }, true, {}});
+  config.services.push_back(
+      {"passwd", [] { return std::make_unique<PasswdService>(); }, false, {}});
+  config.extra_tables = {NotesService::kTableSql, ProfileService::kTableSql};
+  return config;
+}
+
+class OkwsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<OkwsWorld>(BasicConfig());
+    world_->PumpUntilReady();
+  }
+
+  HttpLoadClient::Result Fetch(const std::string& target, const std::string& user,
+                               const std::string& pass) {
+    HttpLoadClient client(&world_->net(), 80, 4);
+    client.Enqueue(OkwsWorld::MakeRequest(target, user, pass), 0);
+    world_->RunClient(&client);
+    EXPECT_EQ(client.results().size(), 1u) << target << " produced no response";
+    return client.results().empty() ? HttpLoadClient::Result{} : client.results()[0];
+  }
+
+  std::unique_ptr<OkwsWorld> world_;
+};
+
+TEST_F(OkwsTest, BootsAllProcesses) {
+  EXPECT_TRUE(world_->launcher()->ready());
+  EXPECT_NE(world_->kernel().FindProcessByName("netd"), nullptr);
+  EXPECT_NE(world_->kernel().FindProcessByName("demux"), nullptr);
+  EXPECT_NE(world_->kernel().FindProcessByName("idd"), nullptr);
+  EXPECT_NE(world_->kernel().FindProcessByName("dbproxy"), nullptr);
+  EXPECT_NE(world_->kernel().FindProcessByName("worker-echo"), nullptr);
+}
+
+TEST_F(OkwsTest, EchoRequest) {
+  const auto r = Fetch("/echo", "alice", "pw-a");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, std::string(11, 'x'));
+}
+
+TEST_F(OkwsTest, EchoSizeParameter) {
+  const auto r = Fetch("/echo?n=100", "alice", "pw-a");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body.size(), 100u);
+}
+
+TEST_F(OkwsTest, WrongPasswordRejected) {
+  const auto r = Fetch("/echo", "alice", "wrong");
+  EXPECT_EQ(r.status, 403);
+}
+
+TEST_F(OkwsTest, UnknownUserRejected) {
+  const auto r = Fetch("/echo", "nobody", "pw");
+  EXPECT_EQ(r.status, 403);
+}
+
+TEST_F(OkwsTest, UnknownServiceIs404) {
+  const auto r = Fetch("/missing", "alice", "pw-a");
+  EXPECT_EQ(r.status, 404);
+}
+
+TEST_F(OkwsTest, MissingCredentialsIs401) {
+  HttpLoadClient client(&world_->net(), 80, 1);
+  client.Enqueue("GET /echo HTTP/1.0\r\n\r\n", 0);
+  world_->RunClient(&client);
+  ASSERT_EQ(client.results().size(), 1u);
+  EXPECT_EQ(client.results()[0].status, 401);
+}
+
+TEST_F(OkwsTest, SessionStateSurvivesAcrossConnections) {
+  // The paper's toy workload: store on one connection, read on the next.
+  auto r1 = Fetch("/store?d=remember-me", "alice", "pw-a");
+  EXPECT_EQ(r1.status, 200);
+  EXPECT_EQ(r1.body, std::string(StorageService::kResponseSize, '.'))
+      << "first request returns the (empty) previous state, padded to ~1K";
+
+  auto r2 = Fetch("/store", "alice", "pw-a");
+  EXPECT_EQ(r2.status, 200);
+  EXPECT_EQ(r2.body.substr(0, 11), "remember-me");
+  EXPECT_EQ(r2.body.size(), StorageService::kResponseSize);
+}
+
+TEST_F(OkwsTest, SessionReusesEventProcessAndSkipsIdd) {
+  (void)Fetch("/store?d=x", "alice", "pw-a");
+  const uint64_t eps_after_first = world_->kernel().stats().eps_created;
+  (void)Fetch("/store", "alice", "pw-a");
+  (void)Fetch("/store", "alice", "pw-a");
+  EXPECT_EQ(world_->kernel().stats().eps_created, eps_after_first)
+      << "follow-up connections resume the existing event process (§7.3)";
+}
+
+TEST_F(OkwsTest, DistinctUsersGetDistinctEventProcesses) {
+  const uint64_t eps_before = world_->kernel().stats().eps_created;
+  (void)Fetch("/store?d=a", "alice", "pw-a");
+  (void)Fetch("/store?d=b", "bob", "pw-b");
+  EXPECT_EQ(world_->kernel().stats().eps_created - eps_before, 2u);
+
+  // And their session state never mixes.
+  auto ra = Fetch("/store", "alice", "pw-a");
+  auto rb = Fetch("/store", "bob", "pw-b");
+  EXPECT_EQ(ra.body.substr(0, 1), "a");
+  EXPECT_EQ(rb.body.substr(0, 1), "b");
+}
+
+TEST_F(OkwsTest, SameUserDifferentServicesAreSeparateSessions) {
+  const uint64_t eps_before = world_->kernel().stats().eps_created;
+  (void)Fetch("/store?d=x", "alice", "pw-a");
+  (void)Fetch("/echo", "alice", "pw-a");
+  EXPECT_EQ(world_->kernel().stats().eps_created - eps_before, 2u);
+}
+
+TEST_F(OkwsTest, NotesPersistInDatabase) {
+  auto add = Fetch("/notes?op=add&text=buy+milk", "alice", "pw-a");
+  EXPECT_EQ(add.status, 200);
+  auto add2 = Fetch("/notes?op=add&text=walk+dog", "alice", "pw-a");
+  EXPECT_EQ(add2.status, 200);
+  auto list = Fetch("/notes?op=list", "alice", "pw-a");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_EQ(list.body, "buy milk\nwalk dog\n");
+}
+
+TEST_F(OkwsTest, PasswordChangeThroughIdd) {
+  auto change = Fetch("/passwd?old=pw-a&new=pw-a2", "alice", "pw-a");
+  EXPECT_EQ(change.status, 200);
+  // Old password no longer works; new one does.
+  EXPECT_EQ(Fetch("/echo", "alice", "pw-a").status, 403);
+  EXPECT_EQ(Fetch("/echo", "alice", "pw-a2").status, 200);
+}
+
+TEST_F(OkwsTest, PasswordChangeInvalidatesCachedSessions) {
+  // A cached session keyed on the old password must die with it: idd tells
+  // demux to drop the user's sessions (kSessionInvalidate).
+  EXPECT_EQ(Fetch("/echo", "alice", "pw-a").status, 200);  // opens a session
+  EXPECT_EQ(Fetch("/passwd?old=pw-a&new=pw-x", "alice", "pw-a").status, 200);
+  EXPECT_EQ(Fetch("/echo", "alice", "pw-a").status, 403)
+      << "the cached echo session must not resurrect the old password";
+  EXPECT_EQ(Fetch("/echo", "alice", "pw-x").status, 200);
+}
+
+TEST_F(OkwsTest, PasswordChangeWithWrongOldPasswordFails) {
+  auto change = Fetch("/passwd?old=nope&new=hacked", "alice", "pw-a");
+  EXPECT_EQ(change.status, 403);
+  EXPECT_EQ(Fetch("/echo", "alice", "pw-a").status, 200) << "password unchanged";
+}
+
+TEST_F(OkwsTest, ManyConcurrentUsers) {
+  HttpLoadClient client(&world_->net(), 80, 8);
+  for (int i = 0; i < 3; ++i) {
+    client.Enqueue(OkwsWorld::MakeRequest("/echo", "alice", "pw-a"), 1);
+    client.Enqueue(OkwsWorld::MakeRequest("/echo", "bob", "pw-b"), 2);
+    client.Enqueue(OkwsWorld::MakeRequest("/echo", "carol", "pw-c"), 3);
+  }
+  world_->RunClient(&client);
+  ASSERT_EQ(client.results().size(), 9u);
+  for (const auto& r : client.results()) {
+    EXPECT_EQ(r.status, 200);
+  }
+  EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_F(OkwsTest, SqlInjectionThroughServiceParametersIsHarmless) {
+  // Hostile note text full of SQL metacharacters must be stored verbatim,
+  // not executed — and must not corrupt other rows.
+  const std::string evil = "x'); DELETE FROM notes; --";
+  auto add = Fetch("/notes?op=add&text=" + std::string("x%27%29%3B+DELETE+FROM+notes%3B+--"),
+                   "alice", "pw-a");
+  EXPECT_EQ(add.status, 200);
+  auto list = Fetch("/notes?op=list", "alice", "pw-a");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_EQ(list.body, evil + "\n") << "metacharacters stored as data";
+
+  // The injection-looking text did not nuke anything: add another and list.
+  EXPECT_EQ(Fetch("/notes?op=add&text=second", "alice", "pw-a").status, 200);
+  auto list2 = Fetch("/notes?op=list", "alice", "pw-a");
+  EXPECT_EQ(list2.body, evil + "\nsecond\n");
+}
+
+TEST_F(OkwsTest, LargeResponsesSpanMultipleSegments) {
+  // Bigger than the TCP MSS and the worker's per-page buffers.
+  const auto r = Fetch("/echo?n=20000", "alice", "pw-a");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body.size(), 20000u);
+  EXPECT_EQ(r.body.find_first_not_of('x'), std::string::npos);
+}
+
+TEST_F(OkwsTest, DeclassifierReadsOwnProfileByDefault) {
+  EXPECT_EQ(Fetch("/profile?op=set&text=me", "alice", "pw-a").status, 200);
+  auto r = Fetch("/profile?op=get", "alice", "pw-a");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "me");
+  EXPECT_EQ(Fetch("/profile?op=get&who=nobody", "alice", "pw-a").status, 404);
+}
+
+TEST_F(OkwsTest, PipelineDeliversExactlyOneIddLoginPerUser) {
+  auto* idd = world_->kernel().FindProcessByName("idd");
+  ASSERT_NE(idd, nullptr);
+  (void)Fetch("/echo", "alice", "pw-a");
+  (void)Fetch("/echo", "alice", "pw-a");
+  (void)Fetch("/store?d=1", "alice", "pw-a");  // second service, same user
+  (void)Fetch("/echo", "bob", "pw-b");
+  // idd caches identities; only two users ever logged in.
+  auto* idd_code = dynamic_cast<IddProcess*>(idd->code.get());
+  ASSERT_NE(idd_code, nullptr);
+  EXPECT_EQ(idd_code->cached_identities(), 2u);
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -1,0 +1,64 @@
+// Shared test scaffolding.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/message.h"
+#include "src/kernel/process.h"
+
+namespace asbestos::testing {
+
+// A process whose behaviour is supplied by lambdas, for scripting kernel
+// scenarios without writing a ProcessCode subclass per test.
+class ScriptedProcess : public ProcessCode {
+ public:
+  using Starter = std::function<void(ProcessContext&)>;
+  using Handler = std::function<void(ProcessContext&, const Message&)>;
+
+  explicit ScriptedProcess(Starter starter = nullptr, Handler handler = nullptr)
+      : starter_(std::move(starter)), handler_(std::move(handler)) {}
+
+  void Start(ProcessContext& ctx) override {
+    if (starter_) {
+      starter_(ctx);
+    }
+  }
+
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override {
+    if (handler_) {
+      handler_(ctx, msg);
+    }
+  }
+
+ private:
+  Starter starter_;
+  Handler handler_;
+};
+
+// A process that records every message it receives.
+class RecorderProcess : public ProcessCode {
+ public:
+  struct Received {
+    Message msg;
+    EpId ep_id;
+    bool new_ep;
+    Label send_label_after;
+  };
+
+  explicit RecorderProcess(std::vector<Received>* sink) : sink_(sink) {}
+
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override {
+    sink_->push_back(Received{msg, ctx.ep_id(), ctx.in_new_ep(), ctx.send_label()});
+  }
+
+ private:
+  std::vector<Received>* sink_;
+};
+
+}  // namespace asbestos::testing
+
+#endif  // TESTS_TEST_UTIL_H_
