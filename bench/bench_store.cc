@@ -1,0 +1,171 @@
+// Durable-store microbenchmarks: label pickle/unpickle throughput, WAL
+// append rate, and recovery time versus record count. These bound the cost
+// of the durability layer that backs the file server and idd — the paper's
+// performance story (Figures 7-9) assumes storage is not the bottleneck, and
+// this bench is where we check that assumption as the store grows features
+// (sharding and replication are ROADMAP follow-ons).
+#include <benchmark/benchmark.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/base/panic.h"
+#include "src/labels/label.h"
+#include "src/store/label_codec.h"
+#include "src/store/store.h"
+#include "src/store/wal.h"
+
+namespace asbestos {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/asbestos_bench.XXXXXX";
+  ASB_ASSERT(::mkdtemp(tmpl) != nullptr);
+  return tmpl;
+}
+
+void RemoveTree(const std::string& dir) {
+  // Stores are one level deep; remove files then the directories.
+  const std::string cmd = "rm -rf '" + dir + "'";
+  ASB_ASSERT(::system(cmd.c_str()) == 0);
+}
+
+Label MakeLabel(size_t entries, Level level, Level def) {
+  Label l(def);
+  for (size_t i = 0; i < entries; ++i) {
+    l.Set(Handle::FromValue(1 + i * 7), level);
+  }
+  return l;
+}
+
+// --- Label codec -----------------------------------------------------------
+
+void BM_PickleLabel(benchmark::State& state) {
+  const Label l = MakeLabel(static_cast<size_t>(state.range(0)), Level::kStar, Level::kL3);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    const std::string pickled = codec::PickleLabel(l);
+    bytes += pickled.size();
+    benchmark::DoNotOptimize(pickled);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.counters["entries"] = static_cast<double>(state.range(0));
+  state.counters["pickled_bytes"] =
+      static_cast<double>(codec::PickleLabel(l).size());
+}
+BENCHMARK(BM_PickleLabel)->Arg(0)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_UnpickleLabel(benchmark::State& state) {
+  const Label l = MakeLabel(static_cast<size_t>(state.range(0)), Level::kStar, Level::kL3);
+  const std::string pickled = codec::PickleLabel(l);
+  for (auto _ : state) {
+    Label out;
+    ASB_ASSERT(codec::UnpickleLabel(pickled, &out) == Status::kOk);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * pickled.size()));
+}
+BENCHMARK(BM_UnpickleLabel)->Arg(0)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+// --- WAL append rate -------------------------------------------------------
+
+void BM_WalAppend(benchmark::State& state) {
+  const std::string dir = MakeTempDir();
+  Wal wal;
+  ASB_ASSERT(wal.Open(dir + "/wal", [](std::string_view) {}) == Status::kOk);
+  const std::string record(static_cast<size_t>(state.range(0)), 'r');
+  for (auto _ : state) {
+    ASB_ASSERT(wal.Append(record) == Status::kOk);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * record.size()));
+  wal.Close();
+  RemoveTree(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(1024)->Arg(16384);
+
+// --- Store mutation (log + apply, no fsync) --------------------------------
+
+void BM_StorePut(benchmark::State& state) {
+  const std::string dir = MakeTempDir();
+  StoreOptions opts;
+  opts.dir = dir + "/store";
+  auto store = DurableStore::Open(std::move(opts));
+  ASB_ASSERT(store.ok());
+  const Label secrecy({{Handle::FromValue(42), Level::kL3}}, Level::kStar);
+  const Label integrity({{Handle::FromValue(43), Level::kL0}}, Level::kL3);
+  const std::string value(256, 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ASB_ASSERT(store.value()->Put("key" + std::to_string(i++ % 1000), value, secrecy,
+                                  integrity) == Status::kOk);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  store.value().reset();
+  RemoveTree(dir);
+}
+BENCHMARK(BM_StorePut);
+
+// --- Recovery time versus record count -------------------------------------
+
+void BM_Recovery(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const std::string dir = MakeTempDir();
+  {
+    StoreOptions opts;
+    opts.dir = dir + "/store";
+    opts.compact_min_log_records = ~0ULL;  // keep everything in the log
+    auto store = DurableStore::Open(std::move(opts));
+    ASB_ASSERT(store.ok());
+    const Label secrecy({{Handle::FromValue(7), Level::kL3}}, Level::kStar);
+    for (uint64_t i = 0; i < n; ++i) {
+      ASB_ASSERT(store.value()->Put("key" + std::to_string(i), std::string(128, 'v'), secrecy,
+                                    Label::Top()) == Status::kOk);
+    }
+  }
+  for (auto _ : state) {
+    StoreOptions opts;
+    opts.dir = dir + "/store";
+    auto store = DurableStore::Open(std::move(opts));
+    ASB_ASSERT(store.ok() && store.value()->size() == n);
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+  state.SetComplexityN(state.range(0));
+  RemoveTree(dir);
+}
+BENCHMARK(BM_Recovery)->Arg(100)->Arg(1000)->Arg(10000)->Complexity(benchmark::oN);
+
+// Recovery from a snapshot instead of a raw log (post-compaction shape).
+void BM_RecoveryFromSnapshot(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const std::string dir = MakeTempDir();
+  {
+    StoreOptions opts;
+    opts.dir = dir + "/store";
+    auto store = DurableStore::Open(std::move(opts));
+    ASB_ASSERT(store.ok());
+    const Label secrecy({{Handle::FromValue(7), Level::kL3}}, Level::kStar);
+    for (uint64_t i = 0; i < n; ++i) {
+      ASB_ASSERT(store.value()->Put("key" + std::to_string(i), std::string(128, 'v'), secrecy,
+                                    Label::Top()) == Status::kOk);
+    }
+    ASB_ASSERT(store.value()->Compact() == Status::kOk);
+  }
+  for (auto _ : state) {
+    StoreOptions opts;
+    opts.dir = dir + "/store";
+    auto store = DurableStore::Open(std::move(opts));
+    ASB_ASSERT(store.ok() && store.value()->size() == n);
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+  state.SetComplexityN(state.range(0));
+  RemoveTree(dir);
+}
+BENCHMARK(BM_RecoveryFromSnapshot)->Arg(100)->Arg(1000)->Arg(10000)->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace asbestos
+
+BENCHMARK_MAIN();

@@ -82,6 +82,14 @@ uint64_t Feistel61::Decrypt(uint64_t y) const {
   return x;
 }
 
+void HandleSequence::SkipPast(uint64_t handle_value) {
+  ASB_ASSERT(handle_value != 0 && handle_value < Feistel61::kDomain);
+  const uint64_t consumed = cipher_.Decrypt(handle_value);
+  if (consumed >= counter_) {
+    counter_ = consumed + 1;
+  }
+}
+
 uint64_t HandleSequence::Next() {
   // Handle value 0 is reserved as "invalid"; since the cipher is a bijection,
   // at most one counter value maps to 0 and we simply skip it.

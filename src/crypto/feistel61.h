@@ -47,6 +47,14 @@ class HandleSequence {
   uint64_t Next();
   uint64_t generated_count() const { return counter_; }
 
+  // Marks a handle value minted by a previous boot (same key) as consumed:
+  // decrypts it back to its counter position and advances past it, so the
+  // sequence can never re-issue a value that durable storage still names.
+  // Counter positions skipped over belonged to the old boot's other handles,
+  // which are dead and harmless to retire. This is what makes the handle
+  // space "boot-key-stable" for the durable stores in src/store.
+  void SkipPast(uint64_t handle_value);
+
  private:
   Feistel61 cipher_;
   uint64_t counter_ = 0;

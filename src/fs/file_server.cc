@@ -1,10 +1,91 @@
 #include "src/fs/file_server.h"
 
+#include "src/base/panic.h"
 #include "src/sim/costs.h"
 
 namespace asbestos {
 
 using fs_proto::MessageType;
+
+FileServerProcess::FileServerProcess(const FileServerOptions& options) {
+  if (options.data_dir.empty()) {
+    return;
+  }
+  StoreOptions sopts;
+  sopts.dir = options.data_dir;
+  sopts.sync_each_append = options.sync_each_append;
+  auto store = DurableStore::Open(std::move(sopts));
+  ASB_ASSERT(store.ok() && "file server store failed to open");
+  store_ = store.take();
+  RecoverFiles();
+}
+
+Label FileServerProcess::SecrecyLabelOf(const File& f) {
+  if (!f.secrecy.valid()) {
+    return Label::Bottom();
+  }
+  return Label({{f.secrecy, f.secrecy_level}}, Level::kStar);
+}
+
+Label FileServerProcess::IntegrityLabelOf(const File& f) {
+  if (!f.integrity.valid()) {
+    return Label::Top();
+  }
+  return Label({{f.integrity, f.integrity_level}}, Level::kL3);
+}
+
+void FileServerProcess::PersistFile(const std::string& path, const File& f) {
+  if (store_ == nullptr) {
+    return;
+  }
+  ASB_ASSERT(store_->Put(path, f.contents, SecrecyLabelOf(f), IntegrityLabelOf(f)) ==
+             Status::kOk);
+}
+
+void FileServerProcess::RecoverFiles() {
+  for (const auto& [path, record] : store_->records()) {
+    File f;
+    f.contents = record.value;
+    // The stored labels carry the compartments as their sole explicit entry.
+    // A level equal to the label's default (secrecy ⋆, integrity 3) encodes
+    // as no entry at all — and is exactly the case where the compartment is
+    // behaviorally vacuous (contaminating with {⋆} is a no-op; V(h) ≤ 3
+    // always holds), so recovering such a file as unrestricted is lossless.
+    Label::EntryIter s = record.secrecy.IterateEntries();
+    if (!s.done()) {
+      f.secrecy = s.handle();
+      f.secrecy_level = s.level();
+    }
+    Label::EntryIter v = record.integrity.IterateEntries();
+    if (!v.done()) {
+      f.integrity = v.handle();
+      f.integrity_level = v.level();
+    }
+    files_.emplace(path, std::move(f));
+  }
+}
+
+void FileServerProcess::ReserveRecoveredHandles(Kernel& kernel) const {
+  for (const auto& [path, f] : files_) {
+    kernel.ReserveRecoveredHandle(f.secrecy);
+    kernel.ReserveRecoveredHandle(f.integrity);
+  }
+}
+
+SpawnArgs FileServerProcess::RecoverySpawnArgs(std::string name) const {
+  SpawnArgs args;
+  args.name = std::move(name);
+  for (const auto& [path, f] : files_) {
+    if (!f.secrecy.valid()) {
+      continue;
+    }
+    args.send_label.Set(f.secrecy, Level::kStar);
+    if (LevelLeq(args.recv_label.Get(f.secrecy), f.secrecy_level)) {
+      args.recv_label.Set(f.secrecy, f.secrecy_level);
+    }
+  }
+  return args;
+}
 
 void FileServerProcess::Start(ProcessContext& ctx) {
   port_ = ctx.NewPort(Label::Top());
@@ -64,6 +145,7 @@ void FileServerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
           return;
         }
       }
+      PersistFile(msg.data, f);
       files_.emplace(msg.data, std::move(f));
       Reply(ctx, msg, MessageType::kCreateR, cookie, Status::kOk);
       return;
@@ -80,7 +162,7 @@ void FileServerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         // Contaminate the reply with the file's compartment: whoever reads
         // u's file becomes tainted with uT (§5.2, "Discretionary
         // contamination").
-        args.contaminate = Label({{f.secrecy, f.secrecy_level}}, Level::kStar);
+        args.contaminate = SecrecyLabelOf(f);
       }
       Reply(ctx, msg, MessageType::kReadR, cookie, Status::kOk, f.contents, args);
       return;
@@ -102,6 +184,7 @@ void FileServerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         return;
       }
       it->second.contents = msg.data.substr(nl + 1);
+      PersistFile(path, it->second);
       Reply(ctx, msg, MessageType::kWriteR, cookie, Status::kOk);
       return;
     }
@@ -114,6 +197,9 @@ void FileServerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
       if (!WriteAllowed(it->second, msg)) {
         Reply(ctx, msg, MessageType::kUnlinkR, cookie, Status::kAccessDenied);
         return;
+      }
+      if (store_ != nullptr) {
+        ASB_ASSERT(store_->Erase(msg.data) == Status::kOk);
       }
       files_.erase(it);
       Reply(ctx, msg, MessageType::kUnlinkR, cookie, Status::kOk);

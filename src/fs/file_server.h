@@ -14,14 +14,26 @@
 //   kRead:   data: path; words: [cookie]
 //   kWrite:  data: path '\n' contents; words: [cookie]; V checked
 //   kUnlink: data: path; words: [cookie]; V checked like a write
+//
+// Persistence (src/store): constructed with a data directory, the server
+// logs every create/write/unlink through a DurableStore — value = contents,
+// secrecy label = the exact contamination label applied to read replies,
+// integrity label = the exact bound checked against writers' V — and
+// recovers its whole file table, labels included, on restart. Privilege does
+// not recover by itself: the ⋆ and receive-label grants that arrived on
+// CREATE messages died with the old boot, so the boot loader must re-apply
+// them when re-creating the server (RecoverySpawnArgs), the durable
+// equivalent of the paper's trusted boot-time label assignment.
 #ifndef SRC_FS_FILE_SERVER_H_
 #define SRC_FS_FILE_SERVER_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/kernel/kernel.h"
+#include "src/store/store.h"
 
 namespace asbestos {
 
@@ -38,13 +50,38 @@ enum MessageType : uint64_t {
 };
 }  // namespace fs_proto
 
+struct FileServerOptions {
+  std::string data_dir;  // empty = volatile, in-memory only
+  bool sync_each_append = false;
+};
+
 class FileServerProcess : public ProcessCode {
  public:
+  FileServerProcess() = default;
+  // Opens (or creates) the durable store under options.data_dir and recovers
+  // the file table from it. Panics if the store cannot be opened — a file
+  // server booted against corrupt state must not limp on empty.
+  explicit FileServerProcess(const FileServerOptions& options);
+
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
 
+  // Boot-loader helper: spawn labels for a recovered server — ⋆ for every
+  // recovered secrecy compartment (so serving it does not taint the server)
+  // and a receive label raised to each file's secrecy level (so tainted
+  // writes reach it). These re-apply what the original CREATE messages
+  // granted via D_S/D_R; only the trusted boot path may do this.
+  SpawnArgs RecoverySpawnArgs(std::string name) const;
+
+  // Boot-loader helper: retire every recovered secrecy/integrity handle from
+  // the kernel's generator so no new compartment can collide with one a
+  // durable file still names.
+  void ReserveRecoveredHandles(Kernel& kernel) const;
+
   Handle service_port() const { return port_; }
   size_t file_count() const { return files_.size(); }
+  bool persistent() const { return store_ != nullptr; }
+  const DurableStore* store() const { return store_.get(); }
 
  private:
   struct File {
@@ -58,9 +95,16 @@ class FileServerProcess : public ProcessCode {
   void Reply(ProcessContext& ctx, const Message& msg, uint64_t type, uint64_t cookie,
              Status status, std::string data = "", const SendArgs& args = SendArgs());
   bool WriteAllowed(const File& f, const Message& msg) const;
+  // The contamination label read replies carry: {secrecy_h level, ⋆}.
+  static Label SecrecyLabelOf(const File& f);
+  // The verification bound writes must satisfy: {integrity_h level, 3}.
+  static Label IntegrityLabelOf(const File& f);
+  void PersistFile(const std::string& path, const File& f);
+  void RecoverFiles();
 
   Handle port_;
   std::map<std::string, File> files_;
+  std::unique_ptr<DurableStore> store_;
 };
 
 }  // namespace asbestos

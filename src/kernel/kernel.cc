@@ -7,6 +7,7 @@
 
 #include "src/base/panic.h"
 #include "src/sim/costs.h"
+#include "src/store/store.h"
 
 namespace asbestos {
 
@@ -320,6 +321,12 @@ void ProcessContext::ChargeCycles(uint64_t cycles) { ChargeTo(proc_->component, 
 // --- Kernel ---------------------------------------------------------------------
 
 Kernel::Kernel(uint64_t boot_key) : handles_(boot_key) {}
+
+void Kernel::ReserveRecoveredHandle(Handle h) {
+  if (h.valid()) {
+    handles_.SkipPast(h.value());
+  }
+}
 
 Kernel::~Kernel() = default;
 
@@ -963,6 +970,7 @@ KernelMemReport Kernel::MemReport() const {
   r.queue_bytes = mem_.queued_message_bytes;
   r.queue_arena_bytes = mem_.ep_queue_arena_bytes;
   r.modeled_heap_bytes = mem_.modeled_user_heap_bytes;
+  r.store_bytes = static_cast<uint64_t>(GetStoreMemStats().live_bytes);
   return r;
 }
 

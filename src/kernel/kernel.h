@@ -81,10 +81,17 @@ struct KernelMemReport {
   uint64_t queue_bytes = 0;        // queued message payloads + envelopes
   uint64_t queue_arena_bytes = 0;  // per-active-EP message queue arenas
   uint64_t modeled_heap_bytes = 0;
+  // Durable-store in-memory index (src/store): keys, values, per-record
+  // overhead. Label heap inside stored records is already in label_bytes.
+  // Like label_bytes and page_bytes, this reads a process-global counter:
+  // exact for the usual one-kernel-at-a-time simulations, attributed to
+  // every live kernel if several coexist in one process.
+  uint64_t store_bytes = 0;
 
   uint64_t total_bytes() const {
     return vnode_bytes + process_bytes + ep_bytes + label_bytes + page_bytes +
-           overlay_slot_bytes + queue_bytes + queue_arena_bytes + modeled_heap_bytes;
+           overlay_slot_bytes + queue_bytes + queue_arena_bytes + modeled_heap_bytes +
+           store_bytes;
   }
   double total_pages() const { return static_cast<double>(total_bytes()) / kPageSize; }
 };
@@ -203,6 +210,13 @@ class Kernel {
   // its component scope. Used by external drivers (e.g. the simulated NIC
   // poking netd); not a primitive a confined process could invoke.
   void WithProcessContext(ProcessId pid, const std::function<void(ProcessContext&)>& fn);
+
+  // Boot-loader facility (like WithProcessContext, not reachable from
+  // confined code): marks a handle value recovered from durable storage as
+  // consumed, so NewHandle/NewPort can never re-issue it this boot. Must be
+  // called before any process could observe the colliding mint; the natural
+  // place is right after reading a store, before creating processes.
+  void ReserveRecoveredHandle(Handle h);
 
   // --- Introspection (tests and benches) ------------------------------------
   const KernelStats& stats() const { return stats_; }

@@ -905,6 +905,7 @@ bool Label::Parse(std::string_view text, Label* out) {
     return false;
   }
   Label result(def);
+  uint64_t prev_handle = 0;
   for (size_t i = 0; i + 1 < parts.size(); ++i) {
     const std::string_view entry = Trim(parts[i]);
     const size_t space = entry.rfind(' ');
@@ -916,6 +917,13 @@ bool Label::Parse(std::string_view text, Label* out) {
         handle_value == 0 || handle_value > Handle::kMaxValue) {
       return false;
     }
+    // ToString emits strictly increasing handles; duplicated or reordered
+    // entries mark corrupt input (the binary codec in src/store rejects the
+    // same shapes), so refuse them rather than silently last-one-wins.
+    if (handle_value <= prev_handle) {
+      return false;
+    }
+    prev_handle = handle_value;
     const std::string_view level_part = Trim(entry.substr(space + 1));
     Level l;
     if (level_part.size() != 1 || !LevelFromName(level_part[0], &l)) {

@@ -1,14 +1,51 @@
 #include "src/okws/idd.h"
 
+#include "src/base/panic.h"
 #include "src/base/strings.h"
 #include "src/db/dbproxy.h"
 #include "src/sim/costs.h"
+#include "src/store/label_codec.h"
 
 namespace asbestos {
 
 using okws_proto::MessageType;
 
 namespace {
+
+// Durable identity record value: varint uT, varint uG, varint user id,
+// length-prefixed password. The record's secrecy label is {uT 3, ⋆} (it is
+// the user's private data) and its integrity label is {uG 0, 3} (only a
+// uG-speaker may rewrite it), so the store's labels carry the same meaning
+// the live binding does.
+std::string EncodeIdentityValue(Handle taint, Handle grant, int64_t user_id,
+                                const std::string& password) {
+  std::string out;
+  codec::AppendVarint(taint.value(), &out);
+  codec::AppendVarint(grant.value(), &out);
+  codec::AppendVarint(static_cast<uint64_t>(user_id), &out);
+  codec::AppendString(password, &out);
+  return out;
+}
+
+bool DecodeIdentityValue(std::string_view value, Handle* taint, Handle* grant, int64_t* user_id,
+                         std::string* password) {
+  size_t pos = 0;
+  uint64_t t = 0;
+  uint64_t g = 0;
+  uint64_t uid = 0;
+  std::string_view pw;
+  if (!IsOk(codec::ReadVarint(value, &pos, &t)) || !IsOk(codec::ReadVarint(value, &pos, &g)) ||
+      !IsOk(codec::ReadVarint(value, &pos, &uid)) ||
+      !IsOk(codec::ReadString(value, &pos, &pw)) || pos != value.size() ||
+      t == 0 || t > Handle::kMaxValue || g == 0 || g > Handle::kMaxValue) {
+    return false;
+  }
+  *taint = Handle::FromValue(t);
+  *grant = Handle::FromValue(g);
+  *user_id = static_cast<int64_t>(uid);
+  password->assign(pw);
+  return true;
+}
 
 std::string SqlQuote(const std::string& s) {
   std::string out = "'";
@@ -24,6 +61,100 @@ std::string SqlQuote(const std::string& s) {
 }
 
 }  // namespace
+
+IddProcess::IddProcess(std::vector<UserCred> users, std::vector<std::string> extra_tables,
+                       IddOptions options)
+    : users_(std::move(users)), extra_tables_(std::move(extra_tables)) {
+  if (options.store_dir.empty()) {
+    return;
+  }
+  StoreOptions sopts;
+  sopts.dir = options.store_dir;
+  sopts.sync_each_append = options.sync_each_append;
+  auto store = DurableStore::Open(std::move(sopts));
+  ASB_ASSERT(store.ok() && "idd store failed to open");
+  store_ = store.take();
+  RecoverCache();
+}
+
+void IddProcess::RecoverCache() {
+  for (const auto& [username, record] : store_->records()) {
+    CachedId id;
+    std::string password;
+    if (!DecodeIdentityValue(record.value, &id.taint, &id.grant, &id.user_id, &password)) {
+      continue;  // skip records this build cannot parse; never refuse to boot
+    }
+    cache_.emplace(username, id);
+    passwords_[username] = password;
+  }
+}
+
+void IddProcess::PersistIdentity(const std::string& username, const CachedId& id,
+                                 const std::string& password) {
+  if (store_ == nullptr) {
+    return;
+  }
+  const Label secrecy({{id.taint, Level::kL3}}, Level::kStar);
+  const Label integrity({{id.grant, Level::kL0}}, Level::kL3);
+  ASB_ASSERT(store_->Put(username, EncodeIdentityValue(id.taint, id.grant, id.user_id, password),
+                         secrecy, integrity) == Status::kOk);
+}
+
+Label IddProcess::recovered_stars() const {
+  Label stars = Label::Top();
+  for (const auto& [username, id] : cache_) {
+    stars.Set(id.taint, Level::kStar);
+    stars.Set(id.grant, Level::kStar);
+  }
+  return stars;
+}
+
+Label IddProcess::RecoveredStars(const std::string& store_dir) {
+  Label stars = Label::Top();
+  StoreOptions sopts;
+  sopts.dir = store_dir;
+  auto store = DurableStore::Open(std::move(sopts));
+  if (!store.ok()) {
+    return stars;
+  }
+  for (const auto& [username, record] : store.value()->records()) {
+    Handle taint;
+    Handle grant;
+    int64_t user_id = 0;
+    std::string password;
+    if (DecodeIdentityValue(record.value, &taint, &grant, &user_id, &password)) {
+      stars.Set(taint, Level::kStar);
+      stars.Set(grant, Level::kStar);
+    }
+  }
+  return stars;
+}
+
+bool IddProcess::LookupCachedIdentity(const std::string& username, Handle* taint, Handle* grant,
+                                      int64_t* user_id) const {
+  auto it = cache_.find(username);
+  if (it == cache_.end()) {
+    return false;
+  }
+  *taint = it->second.taint;
+  *grant = it->second.grant;
+  *user_id = it->second.user_id;
+  return true;
+}
+
+void IddProcess::SendBind(ProcessContext& ctx, const CachedId& id, const std::string& username) {
+  // Teach ok-dbproxy the binding, handing it uT ⋆ (it is privileged with
+  // respect to every user taint, §7.5) and the ability to receive
+  // uT-tainted queries.
+  Message bind;
+  bind.type = dbproxy_proto::kBind;
+  bind.data = username;
+  bind.words = {id.taint.value(), id.grant.value(), static_cast<uint64_t>(id.user_id)};
+  SendArgs bind_args;
+  bind_args.decont_send = Label({{id.taint, Level::kStar}, {id.grant, Level::kStar}}, Level::kL3);
+  bind_args.decont_receive = Label({{id.taint, Level::kL3}}, Level::kStar);
+  ctx.Send(dbpriv_port_, std::move(bind), bind_args);
+}
 
 void IddProcess::Start(ProcessContext& ctx) {
   login_port_ = ctx.NewPort(Label::Top());
@@ -43,6 +174,13 @@ void IddProcess::Start(ProcessContext& ctx) {
   args.verify = Label({{Handle::FromValue(ctx.GetEnv("self_verify")), Level::kL0}}, Level::kL3);
   args.decont_send = Label({{wire_port_, Level::kStar}}, Level::kL3);
   ctx.Send(launcher_port_, std::move(reg), args);
+
+  // Recovered identities: re-accept each user's taint, as the original
+  // FinishLogin did. Requires ⋆ on uT, which the launcher re-granted at
+  // spawn from the store's recovered privilege set.
+  for (const auto& [username, id] : cache_) {
+    ASB_ASSERT(ctx.SetReceiveLevel(id.taint, Level::kL3) == Status::kOk);
+  }
 }
 
 void IddProcess::SendPrivQuery(ProcessContext& ctx, uint64_t qid, const std::string& sql) {
@@ -170,23 +308,14 @@ void IddProcess::FinishLogin(ProcessContext& ctx, uint64_t qid, PendingLogin& p)
   id.user_id = p.db_user_id;
   cache_.emplace(p.username, id);
   passwords_[p.username] = p.password;
+  PersistIdentity(p.username, id, p.password);
   ctx.ModelHeapBytes(96);  // cache entry (paper: idd never cleans its cache)
   // idd must remain reachable from uT-tainted processes (e.g. the password
   // worker proves uG over a tainted channel), so accept this user's taint.
   // It cannot stick: we hold uT at ⋆.
   ASB_ASSERT(ctx.SetReceiveLevel(id.taint, Level::kL3) == Status::kOk);
 
-  // Teach ok-dbproxy the binding, handing it uT ⋆ (it is privileged with
-  // respect to every user taint, §7.5) and the ability to receive
-  // uT-tainted queries.
-  Message bind;
-  bind.type = dbproxy_proto::kBind;
-  bind.data = p.username;
-  bind.words = {id.taint.value(), id.grant.value(), static_cast<uint64_t>(id.user_id)};
-  SendArgs bind_args;
-  bind_args.decont_send = Label({{id.taint, Level::kStar}, {id.grant, Level::kStar}}, Level::kL3);
-  bind_args.decont_receive = Label({{id.taint, Level::kL3}}, Level::kStar);
-  ctx.Send(dbpriv_port_, std::move(bind), bind_args);
+  SendBind(ctx, id, p.username);
 
   GrantIdentity(ctx, id, p.reply, p.caller_cookie);
   pending_.erase(qid);
@@ -210,6 +339,7 @@ void IddProcess::HandleChangePw(ProcessContext& ctx, const Message& msg) {
     if (cit != cache_.end() && pit != passwords_.end() && pit->second == old_pw &&
         LevelLeq(msg.verify.Get(cit->second.grant), Level::kL0)) {
       pit->second = new_pw;
+      PersistIdentity(username, cit->second, new_pw);
       SendPrivQuery(ctx, next_qid_++,
                     "UPDATE okws_users SET password = " + SqlQuote(new_pw) +
                         " WHERE username = " + SqlQuote(username));
@@ -234,6 +364,11 @@ void IddProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
     if (msg.type == boot_proto::kWire && msg.data == "dbpriv" && !msg.words.empty()) {
       dbpriv_port_ = Handle::FromValue(msg.words[0]);
       BeginSeeding(ctx);
+      // Replay recovered bindings so ok-dbproxy regains uT ⋆ and the
+      // USER_ID associations it held before the reboot.
+      for (const auto& [username, id] : cache_) {
+        SendBind(ctx, id, username);
+      }
     }
     return;
   }

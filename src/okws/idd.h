@@ -7,31 +7,61 @@
 // for uT (D_R), and teaches ok-dbproxy the binding (kBind). Handles are
 // cached forever ("never cleans its cache"); only first-time logins touch
 // the database.
+//
+// Persistence (src/store): with a store directory configured, every
+// username → (uT, uG, user id, password) binding is logged durably and
+// recovered on restart, making uT/uG effectively boot-stable: the handle
+// values come from the kernel's Feistel-encrypted counter, so as long as the
+// machine reboots with the same boot key they remain unique and
+// unpredictable, and a recovered idd can keep honoring them without
+// re-minting. Privilege does not recover by itself — the ⋆ idd held for
+// each uT/uG died with the old boot — so the trusted boot chain re-grants
+// it: the boot loader reads the store (RecoveredStars), folds the ⋆ set
+// into the launcher's send label, and the launcher passes it down when
+// spawning idd (§5.3: privilege is distributed by forking).
 #ifndef SRC_OKWS_IDD_H_
 #define SRC_OKWS_IDD_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/kernel/kernel.h"
 #include "src/okws/protocol.h"
+#include "src/store/store.h"
 
 namespace asbestos {
+
+struct IddOptions {
+  std::string store_dir;  // empty = volatile cache, as in the seed
+  bool sync_each_append = false;
+};
 
 class IddProcess : public ProcessCode {
  public:
   // `extra_tables` are privileged CREATE TABLE statements run at seeding
   // time (worker tables gain their hidden USER_ID column in ok-dbproxy).
-  explicit IddProcess(std::vector<UserCred> users, std::vector<std::string> extra_tables = {})
-      : users_(std::move(users)), extra_tables_(std::move(extra_tables)) {}
+  explicit IddProcess(std::vector<UserCred> users, std::vector<std::string> extra_tables = {},
+                      IddOptions options = {});
 
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
 
+  // The ⋆ entries a recovered cache needs: {uT ⋆, uG ⋆, …} over every stored
+  // identity, default 3. The boot loader folds this into the launcher's send
+  // label so the launcher is entitled to grant it to idd at spawn.
+  static Label RecoveredStars(const std::string& store_dir);
+  // Same, computed from this instance's already-recovered cache.
+  Label recovered_stars() const;
+
   Handle login_port() const { return login_port_; }
   size_t cached_identities() const { return cache_.size(); }
+  // Test/observability accessor for a cached binding's handle values.
+  bool LookupCachedIdentity(const std::string& username, Handle* taint, Handle* grant,
+                            int64_t* user_id) const;
+  const DurableStore* store() const { return store_.get(); }
 
  private:
   struct CachedId {
@@ -58,6 +88,10 @@ class IddProcess : public ProcessCode {
   void GrantIdentity(ProcessContext& ctx, const CachedId& id, Handle reply, uint64_t cookie);
   void ReplyLoginFailed(ProcessContext& ctx, Handle reply, uint64_t cookie);
   void SendPrivQuery(ProcessContext& ctx, uint64_t qid, const std::string& sql);
+  void PersistIdentity(const std::string& username, const CachedId& id,
+                       const std::string& password);
+  void RecoverCache();
+  void SendBind(ProcessContext& ctx, const CachedId& id, const std::string& username);
 
   std::vector<UserCred> users_;
   std::vector<std::string> extra_tables_;
@@ -70,6 +104,7 @@ class IddProcess : public ProcessCode {
   std::map<std::string, std::string> passwords_;  // verified copies, kept current
   std::map<std::string, int64_t> user_ids_;    // assigned at seeding time
   std::map<uint64_t, PendingLogin> pending_;   // by private query cookie
+  std::unique_ptr<DurableStore> store_;
   uint64_t next_qid_ = 1;
   uint64_t seed_outstanding_ = 0;
   bool seeded_ = false;

@@ -23,11 +23,19 @@ void LauncherProcess::Start(ProcessContext& ctx) {
 
   const auto spawn_child = [&](const std::string& name, Component component,
                                std::unique_ptr<ProcessCode> code,
-                               std::map<std::string, uint64_t> extra_env) {
+                               std::map<std::string, uint64_t> extra_env,
+                               const Label& extra_stars = Label::Top()) {
     SpawnArgs args;
     args.name = name;
     args.component = component;
     args.send_label = Label({{verify_.at(name), Level::kL0}}, Level::kL1);
+    // Pass down recovered ⋆ privileges (the boot loader granted them to us;
+    // §5.3: privilege is distributed by forking).
+    for (Label::EntryIter it = extra_stars.IterateEntries(); !it.done(); it.Advance()) {
+      if (it.level() == Level::kStar) {
+        args.send_label.Set(it.handle(), Level::kStar);
+      }
+    }
     args.env = std::move(extra_env);
     args.env["launcher_port"] = port_.value();
     args.env["self_verify"] = verify_.at(name).value();
@@ -36,8 +44,10 @@ void LauncherProcess::Start(ProcessContext& ctx) {
   };
 
   spawn_child("dbproxy", Component::kOkdb, std::make_unique<DbproxyProcess>(), {});
-  spawn_child("idd", Component::kOkws,
-              std::make_unique<IddProcess>(config_.users, config_.extra_tables), {});
+  auto idd = std::make_unique<IddProcess>(config_.users, config_.extra_tables,
+                                          config_.idd_options);
+  const Label idd_stars = idd->recovered_stars();
+  spawn_child("idd", Component::kOkws, std::move(idd), {}, idd_stars);
 }
 
 bool LauncherProcess::CheckRegistration(const Message& msg, const std::string& name) const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/kernel/kernel.h"
+#include "src/okws/idd.h"
 #include "src/okws/protocol.h"
 #include "src/okws/worker.h"
 
@@ -38,6 +39,10 @@ struct OkwsLauncherConfig {
   std::vector<OkwsServiceSpec> services;
   std::vector<UserCred> users;
   std::vector<std::string> extra_tables;  // CREATE TABLE statements for worker data
+  // Durable identity cache (src/store). When set, the boot loader must have
+  // folded IddProcess::RecoveredStars(store_dir) into this launcher's send
+  // label, so it is entitled to re-grant the recovered uT/uG ⋆ set to idd.
+  IddOptions idd_options;
 };
 
 class LauncherProcess : public ProcessCode {

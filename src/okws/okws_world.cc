@@ -12,11 +12,28 @@ OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
   launcher_config.services = std::move(config.services);
   launcher_config.users = std::move(config.users);
   launcher_config.extra_tables = std::move(config.extra_tables);
+  launcher_config.idd_options = config.idd_options;
   auto launcher_code = std::make_unique<LauncherProcess>(std::move(launcher_config));
   launcher_ = launcher_code.get();
   SpawnArgs largs;
   largs.name = "launcher";
   largs.component = Component::kOther;
+  if (!config.idd_options.store_dir.empty()) {
+    // The boot loader seeds the launcher with ⋆ for every uT/uG recovered
+    // from idd's durable cache, making it entitled to re-grant them at
+    // spawn. This is the root of the durable trust chain: only the trusted
+    // boot path may resurrect privilege, exactly as it assigns labels
+    // verbatim at boot. (This transient open duplicates the recovery idd's
+    // own constructor performs; boot-time only, and bounded by compaction.)
+    const Label stars = IddProcess::RecoveredStars(config.idd_options.store_dir);
+    for (Label::EntryIter it = stars.IterateEntries(); !it.done(); it.Advance()) {
+      if (it.level() == Level::kStar) {
+        largs.send_label.Set(it.handle(), Level::kStar);
+        // The generator must never re-issue a recovered uT/uG this boot.
+        kernel_.ReserveRecoveredHandle(it.handle());
+      }
+    }
+  }
   launcher_pid_ = kernel_.CreateProcess(std::move(launcher_code), std::move(largs));
 
   // netd is a system component created by the boot loader (paper Fig. 1),

@@ -22,6 +22,9 @@ struct OkwsWorldConfig {
   std::vector<OkwsServiceSpec> services;
   std::vector<UserCred> users;
   std::vector<std::string> extra_tables;
+  // Durable identity cache: rebooting a world with the same boot key and the
+  // same store directory recovers every uT/uG binding idd had handed out.
+  IddOptions idd_options;
 };
 
 class OkwsWorld {

@@ -1,0 +1,337 @@
+#include "src/store/store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/store/label_codec.h"
+
+namespace asbestos {
+
+namespace {
+
+StoreMemStats g_store_mem;
+
+constexpr char kSnapshotMagic[8] = {'A', 'S', 'B', 'S', 'T', 'O', 'R', '1'};
+constexpr char kLogPut = 'P';
+constexpr char kLogErase = 'E';
+
+uint64_t RecordBytes(const std::string& key, const StoreRecord& r) {
+  return key.size() + r.value.size() + kStoreRecordOverheadBytes;
+}
+
+// Shared body encoding for log Put records and snapshot entries.
+void AppendRecordBody(std::string_view key, std::string_view value, const Label& secrecy,
+                      const Label& integrity, std::string* out) {
+  codec::AppendString(key, out);
+  codec::AppendString(value, out);
+  codec::AppendLabel(secrecy, out);
+  codec::AppendLabel(integrity, out);
+}
+
+Status ReadRecordBody(std::string_view data, size_t* pos, std::string* key, StoreRecord* record) {
+  std::string_view key_view;
+  std::string_view value_view;
+  Status s = codec::ReadString(data, pos, &key_view);
+  if (!IsOk(s)) {
+    return s;
+  }
+  s = codec::ReadString(data, pos, &value_view);
+  if (!IsOk(s)) {
+    return s;
+  }
+  s = codec::ReadLabel(data, pos, &record->secrecy);
+  if (!IsOk(s)) {
+    return s;
+  }
+  s = codec::ReadLabel(data, pos, &record->integrity);
+  if (!IsOk(s)) {
+    return s;
+  }
+  key->assign(key_view);
+  record->value.assign(value_view);
+  return Status::kOk;
+}
+
+Status WriteFileAtomically(const std::string& dir, const std::string& name,
+                           std::string_view contents) {
+  const std::string tmp_path = dir + "/." + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::kBadState;
+  }
+  const char* p = contents.data();
+  size_t n = contents.size();
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return Status::kBadState;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::kBadState;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::kBadState;
+  }
+  // The rename is only durable once the directory entry is; without this a
+  // crash after Compact() truncates the log could lose the whole store.
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::kBadState;
+  }
+  const bool dir_synced = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  return dir_synced ? Status::kOk : Status::kBadState;
+}
+
+// kNotFound: no such file (a legal empty base image). kBadState: the file
+// exists but could not be read — callers must NOT treat that as absence, or
+// an EMFILE/EIO at boot would silently discard the snapshot's contents.
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::kNotFound : Status::kBadState;
+  }
+  out->clear();
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return n == 0 ? Status::kOk : Status::kBadState;
+}
+
+}  // namespace
+
+const StoreMemStats& GetStoreMemStats() { return g_store_mem; }
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(StoreOptions opts) {
+  if (opts.dir.empty()) {
+    return Status::kInvalidArgs;
+  }
+  if (::mkdir(opts.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::kNotFound;
+  }
+  std::unique_ptr<DurableStore> store(new DurableStore(std::move(opts)));
+  const Status s = store->Recover();
+  if (!IsOk(s)) {
+    return s;
+  }
+  return store;
+}
+
+DurableStore::~DurableStore() {
+  for (const auto& [key, record] : records_) {
+    g_store_mem.live_bytes -= static_cast<int64_t>(RecordBytes(key, record));
+    g_store_mem.live_records -= 1;
+  }
+}
+
+void DurableStore::InsertRecord(std::string key, StoreRecord record) {
+  // Callers erase any existing record first so accounting stays exact.
+  const uint64_t bytes = RecordBytes(key, record);
+  const bool inserted = records_.emplace(std::move(key), std::move(record)).second;
+  ASB_ASSERT(inserted);
+  g_store_mem.live_records += 1;
+  g_store_mem.live_bytes += static_cast<int64_t>(bytes);
+}
+
+bool DurableStore::EraseRecord(const std::string& key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    return false;
+  }
+  g_store_mem.live_bytes -= static_cast<int64_t>(RecordBytes(it->first, it->second));
+  g_store_mem.live_records -= 1;
+  records_.erase(it);
+  return true;
+}
+
+void DurableStore::ApplyLogRecord(std::string_view payload) {
+  if (payload.empty()) {
+    return;  // unknown/corrupt record payloads are skipped, not fatal
+  }
+  size_t pos = 1;
+  switch (payload[0]) {
+    case kLogPut: {
+      std::string key;
+      StoreRecord record;
+      if (IsOk(ReadRecordBody(payload, &pos, &key, &record)) && pos == payload.size()) {
+        EraseRecord(key);  // refund old accounting before replacing
+        InsertRecord(std::move(key), std::move(record));
+      }
+      return;
+    }
+    case kLogErase: {
+      std::string_view key;
+      if (IsOk(codec::ReadString(payload, &pos, &key)) && pos == payload.size()) {
+        EraseRecord(std::string(key));
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+Status DurableStore::LoadSnapshot() {
+  std::string contents;
+  const Status read = ReadWholeFile(opts_.dir + "/snapshot", &contents);
+  if (read == Status::kNotFound) {
+    return Status::kOk;  // no snapshot yet: empty base image
+  }
+  if (!IsOk(read)) {
+    return read;  // exists but unreadable: refuse to boot without it
+  }
+  // Header: magic + u32 crc(body).
+  if (contents.size() < sizeof(kSnapshotMagic) + 4 ||
+      std::memcmp(contents.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::kInvalidArgs;
+  }
+  uint32_t crc;
+  std::memcpy(&crc, contents.data() + sizeof(kSnapshotMagic), sizeof(crc));
+  const std::string_view body(contents.data() + sizeof(kSnapshotMagic) + 4,
+                              contents.size() - sizeof(kSnapshotMagic) - 4);
+  if (Crc32(body) != crc) {
+    return Status::kInvalidArgs;
+  }
+  size_t pos = 0;
+  uint64_t count = 0;
+  Status s = codec::ReadVarint(body, &pos, &count);
+  if (!IsOk(s)) {
+    return s;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    StoreRecord record;
+    s = ReadRecordBody(body, &pos, &key, &record);
+    if (!IsOk(s)) {
+      return s;
+    }
+    InsertRecord(std::move(key), std::move(record));
+  }
+  snapshot_records_loaded_ = count;
+  return pos == body.size() ? Status::kOk : Status::kInvalidArgs;
+}
+
+Status DurableStore::Recover() {
+  const Status snap = LoadSnapshot();
+  if (!IsOk(snap)) {
+    return snap;
+  }
+  const Status s =
+      wal_.Open(opts_.dir + "/wal", [this](std::string_view payload) { ApplyLogRecord(payload); });
+  if (!IsOk(s)) {
+    return s;
+  }
+  log_records_replayed_ = wal_.recovered_records();
+  torn_tail_bytes_dropped_ = wal_.dropped_tail_bytes();
+  return Status::kOk;
+}
+
+Status DurableStore::Put(std::string_view key, std::string_view value, const Label& secrecy,
+                         const Label& integrity) {
+  std::string payload(1, kLogPut);
+  AppendRecordBody(key, value, secrecy, integrity, &payload);
+  Status s = wal_.Append(payload);
+  if (!IsOk(s)) {
+    return s;
+  }
+  if (opts_.sync_each_append) {
+    s = wal_.Sync();
+    if (!IsOk(s)) {
+      return s;
+    }
+  }
+  StoreRecord record;
+  record.value.assign(value);
+  record.secrecy = secrecy;
+  record.integrity = integrity;
+  EraseRecord(std::string(key));
+  InsertRecord(std::string(key), std::move(record));
+  MaybeAutoCompact();
+  return Status::kOk;
+}
+
+Status DurableStore::Erase(std::string_view key) {
+  const std::string k(key);
+  if (records_.find(k) == records_.end()) {
+    return Status::kNotFound;
+  }
+  std::string payload(1, kLogErase);
+  codec::AppendString(key, &payload);
+  Status s = wal_.Append(payload);
+  if (!IsOk(s)) {
+    return s;
+  }
+  if (opts_.sync_each_append) {
+    s = wal_.Sync();
+    if (!IsOk(s)) {
+      return s;
+    }
+  }
+  EraseRecord(k);
+  MaybeAutoCompact();
+  return Status::kOk;
+}
+
+const StoreRecord* DurableStore::Get(const std::string& key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+Status DurableStore::Compact() {
+  std::string body;
+  codec::AppendVarint(records_.size(), &body);
+  for (const auto& [key, record] : records_) {
+    AppendRecordBody(key, record.value, record.secrecy, record.integrity, &body);
+  }
+  std::string image(kSnapshotMagic, sizeof(kSnapshotMagic));
+  const uint32_t crc = Crc32(body);
+  image.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  image.append(body);
+  Status s = WriteFileAtomically(opts_.dir, "snapshot", image);
+  if (!IsOk(s)) {
+    return s;
+  }
+  // Only once the snapshot is durably in place may the log be dropped.
+  s = wal_.Reset();
+  if (!IsOk(s)) {
+    return s;
+  }
+  // The replayed prefix now lives in the snapshot; without this reset the
+  // auto-compaction threshold would stay permanently exceeded after a large
+  // recovery and every subsequent mutation would rewrite the snapshot.
+  log_records_replayed_ = 0;
+  ++compactions_;
+  return Status::kOk;
+}
+
+Status DurableStore::Sync() { return wal_.Sync(); }
+
+void DurableStore::MaybeAutoCompact() {
+  const uint64_t log_records = wal_.appended_records() + log_records_replayed_;
+  if (log_records >= opts_.compact_min_log_records &&
+      log_records >= opts_.compact_factor * (records_.size() + 1)) {
+    // Compaction failure is not fatal to the in-memory state; the log simply
+    // keeps growing until the next attempt.
+    (void)Compact();
+  }
+}
+
+}  // namespace asbestos

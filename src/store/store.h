@@ -1,0 +1,124 @@
+// DurableStore: a labeled key-value store that survives reboots.
+//
+// The paper's servers keep labeled state — file contents with secrecy and
+// integrity compartments (§5.2–5.4), identity bindings (§7.4) — that must
+// outlive a process or machine restart. DurableStore maps
+//
+//     key (string)  →  (value bytes, secrecy label, integrity label)
+//
+// and persists every mutation through a write-ahead log before applying it
+// in memory, with periodic snapshot + log-truncation compaction:
+//
+//   <dir>/wal        CRC-framed mutation records (src/store/wal.h framing)
+//   <dir>/snapshot   full image: "ASBSTOR1" magic, u32 crc, body
+//
+// Recovery loads the snapshot (if any), replays the log's valid prefix over
+// it, and repairs a torn tail. Labels are pickled with the binary codec
+// (src/store/label_codec.h), so secrecy and integrity survive bit-exactly —
+// the property the file server's restart path depends on.
+//
+// In-memory bytes are tracked globally (GetStoreMemStats) and surface in
+// KernelMemReport::store_bytes so Figure-6 style reporting covers the cost
+// of durability. Label heap inside stored records is intentionally excluded
+// here: src/labels already counts every live label rep and chunk, and the
+// kernel report must not count them twice.
+#ifndef SRC_STORE_STORE_H_
+#define SRC_STORE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/labels/label.h"
+#include "src/store/wal.h"
+
+namespace asbestos {
+
+// Live in-memory bytes across all open stores (keys, values, fixed
+// per-record overhead; label heap is counted by LabelMemStats).
+struct StoreMemStats {
+  int64_t live_bytes = 0;
+  int64_t live_records = 0;
+};
+
+const StoreMemStats& GetStoreMemStats();
+
+// Modeled per-record index overhead (map node, pointers, sizes).
+constexpr uint64_t kStoreRecordOverheadBytes = 64;
+
+struct StoreRecord {
+  std::string value;
+  Label secrecy = Label(Level::kStar);   // contamination applied to readers
+  Label integrity = Label(Level::kL3);   // bound writers must prove via V
+};
+
+struct StoreOptions {
+  std::string dir;
+  // fsync the log after every mutation (true durability per append) versus
+  // leaving syncs to the OS / explicit Sync() calls (faster, loses the
+  // unsynced suffix on a crash — still never corrupts).
+  bool sync_each_append = false;
+  // Auto-compaction: once the log holds at least this many records AND at
+  // least `compact_factor`× the live record count, fold it into a snapshot.
+  uint64_t compact_min_log_records = 1024;
+  uint64_t compact_factor = 4;
+};
+
+class DurableStore {
+ public:
+  // Opens the store rooted at opts.dir (created if missing) and recovers
+  // its contents from snapshot + log.
+  static Result<std::unique_ptr<DurableStore>> Open(StoreOptions opts);
+
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  // Logs then applies. Put overwrites; Erase of a missing key is kNotFound
+  // and writes nothing.
+  Status Put(std::string_view key, std::string_view value, const Label& secrecy,
+             const Label& integrity);
+  Status Erase(std::string_view key);
+
+  const StoreRecord* Get(const std::string& key) const;
+  const std::map<std::string, StoreRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  // Writes a fresh snapshot (atomically, via rename) and truncates the log.
+  Status Compact();
+  Status Sync();
+
+  // --- Recovery / durability observability ---------------------------------
+  uint64_t snapshot_records_loaded() const { return snapshot_records_loaded_; }
+  uint64_t log_records_replayed() const { return log_records_replayed_; }
+  uint64_t torn_tail_bytes_dropped() const { return torn_tail_bytes_dropped_; }
+  uint64_t wal_bytes() const { return wal_.size_bytes(); }
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  explicit DurableStore(StoreOptions opts) : opts_(std::move(opts)) {}
+
+  Status Recover();
+  Status LoadSnapshot();
+  void ApplyLogRecord(std::string_view payload);
+  void InsertRecord(std::string key, StoreRecord record);
+  bool EraseRecord(const std::string& key);
+  void MaybeAutoCompact();
+
+  StoreOptions opts_;
+  Wal wal_;
+  std::map<std::string, StoreRecord> records_;
+  uint64_t snapshot_records_loaded_ = 0;
+  uint64_t log_records_replayed_ = 0;
+  uint64_t torn_tail_bytes_dropped_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_STORE_STORE_H_

@@ -1,0 +1,176 @@
+#include "src/store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+namespace asbestos {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+uint32_t ReadU32Le(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));  // the simulator only targets little-endian hosts
+  return v;
+}
+
+void AppendU32Le(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      return Status::kBadState;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::kOk;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Wal::~Wal() { Close(); }
+
+void Wal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Wal::Open(const std::string& path,
+                 const std::function<void(std::string_view)>& on_record) {
+  if (fd_ >= 0) {
+    return Status::kBadState;
+  }
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::kNotFound;
+  }
+  path_ = path;
+  recovered_records_ = 0;
+  dropped_tail_bytes_ = 0;
+  appended_records_ = 0;
+
+  // Read the whole log; WALs are bounded by compaction, so this stays small.
+  std::string contents;
+  {
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd_, buf, sizeof(buf))) > 0) {
+      contents.append(buf, static_cast<size_t>(n));
+    }
+    if (n < 0) {
+      Close();
+      return Status::kBadState;
+    }
+  }
+
+  // Replay the valid prefix.
+  size_t pos = 0;
+  while (true) {
+    if (contents.size() - pos < kFrameHeaderBytes) {
+      break;  // clean EOF or torn header
+    }
+    const uint32_t len = ReadU32Le(contents.data() + pos);
+    const uint32_t crc = ReadU32Le(contents.data() + pos + 4);
+    if (contents.size() - pos - kFrameHeaderBytes < len) {
+      break;  // torn payload
+    }
+    const std::string_view payload(contents.data() + pos + kFrameHeaderBytes, len);
+    if (Crc32(payload) != crc) {
+      break;  // corrupt frame: stop here, drop it and everything after
+    }
+    on_record(payload);
+    ++recovered_records_;
+    pos += kFrameHeaderBytes + len;
+  }
+
+  dropped_tail_bytes_ = contents.size() - pos;
+  if (dropped_tail_bytes_ > 0 && ::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+    Close();
+    return Status::kBadState;
+  }
+  if (::lseek(fd_, static_cast<off_t>(pos), SEEK_SET) < 0) {
+    Close();
+    return Status::kBadState;
+  }
+  size_bytes_ = pos;
+  return Status::kOk;
+}
+
+Status Wal::Append(std::string_view record) {
+  if (fd_ < 0) {
+    return Status::kBadState;
+  }
+  if (record.size() > UINT32_MAX) {
+    return Status::kInvalidArgs;
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + record.size());
+  AppendU32Le(static_cast<uint32_t>(record.size()), &frame);
+  AppendU32Le(Crc32(record), &frame);
+  frame.append(record.data(), record.size());
+  const Status s = WriteAll(fd_, frame.data(), frame.size());
+  if (!IsOk(s)) {
+    // A partial write must not stay in the file: recovery stops at the first
+    // torn frame, so leaving these bytes would silently discard every record
+    // appended (and acknowledged) after the failure. Restore the last good
+    // frame boundary.
+    (void)::ftruncate(fd_, static_cast<off_t>(size_bytes_));
+    (void)::lseek(fd_, static_cast<off_t>(size_bytes_), SEEK_SET);
+    return s;
+  }
+  size_bytes_ += frame.size();
+  ++appended_records_;
+  return Status::kOk;
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) {
+    return Status::kBadState;
+  }
+  return ::fsync(fd_) == 0 ? Status::kOk : Status::kBadState;
+}
+
+Status Wal::Reset() {
+  if (fd_ < 0) {
+    return Status::kBadState;
+  }
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::kBadState;
+  }
+  size_bytes_ = 0;
+  appended_records_ = 0;
+  return Sync();
+}
+
+}  // namespace asbestos

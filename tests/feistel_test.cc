@@ -115,5 +115,27 @@ TEST(HandleSequenceTest, NotMonotonic) {
   EXPECT_LT(increases, 700);
 }
 
+TEST(HandleSequenceTest, SkipPastRetiresRecoveredValues) {
+  // Boot 1 mints some handles; boot 2 (same key) recovers a subset from
+  // durable storage and retires them — the fresh sequence must never
+  // re-issue a retired value, and continues past the retirement point.
+  std::vector<uint64_t> boot1;
+  {
+    HandleSequence seq(0xB007);
+    for (int i = 0; i < 100; ++i) {
+      boot1.push_back(seq.Next());
+    }
+  }
+  HandleSequence seq(0xB007);
+  seq.SkipPast(boot1[40]);
+  seq.SkipPast(boot1[7]);  // lower counter position: no-op after the first
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t h = seq.Next();
+    for (int j = 0; j <= 40; ++j) {
+      ASSERT_NE(h, boot1[j]) << "re-issued a retired handle";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace asbestos

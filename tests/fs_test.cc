@@ -276,6 +276,198 @@ TEST_F(FsTest, CreateInUncontrolledCompartmentRejected) {
   EXPECT_EQ(fs_code_->file_count(), 0u);
 }
 
+// --- Durable file server (src/store): the §5.2 server survives a reboot ----
+//
+// Boot 1 creates a private file (secrecy + integrity compartments) and a
+// public file against a store-backed server. Boot 2 re-creates the server
+// from its log, with the boot loader re-applying the privileges the CREATE
+// messages originally granted (RecoverySpawnArgs) and retiring the
+// recovered handles from the generator. Contents, the read-time
+// contamination label, and the write-time integrity bound must all come
+// back identical.
+TEST(FsPersistenceTest, RestartRecoversFilesAndLabels) {
+  testing::TempDir dir;
+  FileServerOptions fopts;
+  fopts.data_dir = dir.path() + "/fs";
+
+  uint64_t taint_value = 0;
+  uint64_t grant_value = 0;
+
+  {  // --- boot 1: create and populate --------------------------------------
+    Kernel kernel(0xf00dULL);
+    auto code = std::make_unique<FileServerProcess>(fopts);
+    SpawnArgs fargs;
+    fargs.name = "fs";
+    kernel.CreateProcess(std::move(code), fargs);
+    const Handle fs_port =
+        dynamic_cast<FileServerProcess*>(kernel.FindProcessByName("fs")->code.get())
+            ->service_port();
+
+    std::vector<RecorderProcess::Received> received;
+    SpawnArgs aargs;
+    aargs.name = "alice";
+    const ProcessId alice =
+        kernel.CreateProcess(std::make_unique<RecorderProcess>(&received), aargs);
+    kernel.WithProcessContext(alice, [&](ProcessContext& ctx) {
+      const Handle reply = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(reply, Label::Top()), Status::kOk);
+      const Handle taint = ctx.NewHandle();
+      const Handle grant = ctx.NewHandle();
+      taint_value = taint.value();
+      grant_value = grant.value();
+
+      Message c;
+      c.type = fs_proto::kCreate;
+      c.data = "/home/alice/secret";
+      c.words = {1, taint.value(), LevelOrdinal(Level::kL3), grant.value(),
+                 LevelOrdinal(Level::kL0)};
+      c.reply_port = reply;
+      SendArgs cargs;
+      cargs.decont_send = Label({{taint, Level::kStar}}, Level::kL3);
+      cargs.decont_receive = Label({{taint, Level::kL3}}, Level::kStar);
+      EXPECT_EQ(ctx.Send(fs_port, std::move(c), cargs), Status::kOk);
+
+      Message w;
+      w.type = fs_proto::kWrite;
+      w.data = "/home/alice/secret\ntop secret";
+      w.words = {2};
+      w.reply_port = reply;
+      SendArgs wargs;
+      wargs.verify = Label({{grant, Level::kL0}}, Level::kL3);
+      EXPECT_EQ(ctx.Send(fs_port, std::move(w), wargs), Status::kOk);
+
+      Message pub;
+      pub.type = fs_proto::kCreate;
+      pub.data = "/motd";
+      pub.words = {3, 0, 0, 0, 0};
+      pub.reply_port = reply;
+      EXPECT_EQ(ctx.Send(fs_port, std::move(pub), SendArgs()), Status::kOk);
+
+      Message pw;
+      pw.type = fs_proto::kWrite;
+      pw.data = "/motd\nwelcome";
+      pw.words = {4};
+      pw.reply_port = reply;
+      EXPECT_EQ(ctx.Send(fs_port, std::move(pw), SendArgs()), Status::kOk);
+    });
+    kernel.RunUntilIdle();
+    ASSERT_EQ(received.size(), 4u);
+    for (const auto& r : received) {
+      EXPECT_EQ(r.msg.words[1], 0u);
+    }
+  }
+
+  {  // --- boot 2: recover and exercise --------------------------------------
+    Kernel kernel(0xf00dULL);
+    auto code = std::make_unique<FileServerProcess>(fopts);
+    FileServerProcess* fs = code.get();
+    ASSERT_EQ(fs->file_count(), 2u);
+    fs->ReserveRecoveredHandles(kernel);
+    const SpawnArgs fargs = fs->RecoverySpawnArgs("fs");
+
+    const Handle taint = Handle::FromValue(taint_value);
+    const Handle grant = Handle::FromValue(grant_value);
+    EXPECT_EQ(fargs.send_label.Get(taint), Level::kStar)
+        << "recovered server must hold ⋆ for the file's compartment";
+    EXPECT_EQ(fargs.recv_label.Get(taint), Level::kL3)
+        << "recovered server must accept the compartment's taint";
+
+    // The store preserved the exact labels (acceptance criterion).
+    const StoreRecord* rec = fs->store()->Get("/home/alice/secret");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->secrecy.Equals(Label({{taint, Level::kL3}}, Level::kStar)));
+    EXPECT_TRUE(rec->integrity.Equals(Label({{grant, Level::kL0}}, Level::kL3)));
+
+    kernel.CreateProcess(std::move(code), fargs);
+    const Handle fs_port = fs->service_port();
+    EXPECT_GT(kernel.MemReport().store_bytes, 0u)
+        << "durable state must show up in Figure-6 accounting";
+
+    // A fresh compartment this boot must not collide with recovered ones.
+    std::vector<RecorderProcess::Received> received;
+    SpawnArgs bargs;
+    bargs.name = "bob";
+    bargs.recv_label = Label({{taint, Level::kL3}}, kDefaultReceiveLevel);  // cleared reader
+    const ProcessId bob =
+        kernel.CreateProcess(std::make_unique<RecorderProcess>(&received), bargs);
+    kernel.WithProcessContext(bob, [&](ProcessContext& ctx) {
+      const Handle fresh = ctx.NewHandle();
+      EXPECT_NE(fresh.value(), taint_value);
+      EXPECT_NE(fresh.value(), grant_value);
+
+      const Handle reply = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(reply, Label::Top()), Status::kOk);
+      Message r;
+      r.type = fs_proto::kRead;
+      r.data = "/home/alice/secret";
+      r.words = {1};
+      r.reply_port = reply;
+      EXPECT_EQ(ctx.Send(fs_port, std::move(r)), Status::kOk);
+    });
+    kernel.RunUntilIdle();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].msg.data, "top secret");
+    EXPECT_EQ(received[0].send_label_after.Get(taint), Level::kL3)
+        << "the recovered contamination label must taint readers exactly as before";
+    received.clear();
+
+    // Integrity survives: an unprivileged writer is still rejected…
+    SpawnArgs margs;
+    margs.name = "mallory";
+    const ProcessId mallory =
+        kernel.CreateProcess(std::make_unique<RecorderProcess>(&received), margs);
+    kernel.WithProcessContext(mallory, [&](ProcessContext& ctx) {
+      const Handle reply = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(reply, Label::Top()), Status::kOk);
+      Message w;
+      w.type = fs_proto::kWrite;
+      w.data = "/home/alice/secret\ncorrupted";
+      w.words = {1};
+      w.reply_port = reply;
+      EXPECT_EQ(ctx.Send(fs_port, std::move(w)), Status::kOk);
+    });
+    kernel.RunUntilIdle();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].msg.words[1],
+              static_cast<uint64_t>(-static_cast<int>(Status::kAccessDenied)));
+    received.clear();
+
+    // …while the boot loader can re-equip alice (it re-applies her labels
+    // verbatim, the same trust that re-equipped the server) and she writes.
+    SpawnArgs a2args;
+    a2args.name = "alice2";
+    a2args.send_label = Label({{taint, Level::kStar}, {grant, Level::kStar}}, kDefaultSendLevel);
+    a2args.recv_label = Label({{taint, Level::kL3}}, kDefaultReceiveLevel);
+    const ProcessId alice2 =
+        kernel.CreateProcess(std::make_unique<RecorderProcess>(&received), a2args);
+    kernel.WithProcessContext(alice2, [&](ProcessContext& ctx) {
+      const Handle reply = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(reply, Label::Top()), Status::kOk);
+      Message w;
+      w.type = fs_proto::kWrite;
+      w.data = "/home/alice/secret\nsecond boot";
+      w.words = {1};
+      w.reply_port = reply;
+      SendArgs wargs;
+      wargs.verify = Label({{grant, Level::kL0}}, Level::kL3);
+      EXPECT_EQ(ctx.Send(fs_port, std::move(w), wargs), Status::kOk);
+    });
+    kernel.RunUntilIdle();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].msg.words[1], 0u);
+  }
+
+  {  // --- boot 3: the second boot's write survived too ----------------------
+    Kernel kernel(0xf00dULL);
+    auto code = std::make_unique<FileServerProcess>(fopts);
+    ASSERT_EQ(code->file_count(), 2u);
+    const StoreRecord* rec = code->store()->Get("/home/alice/secret");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->value, "second boot");
+    EXPECT_EQ(code->store()->Get("/motd")->value, "welcome");
+  }
+}
+
 TEST_F(FsTest, PublicFileNeedsNothing) {
   auto [user, user_port] = MakeClient("user");
   kernel_.WithProcessContext(user, [&](ProcessContext& ctx) {

@@ -256,6 +256,32 @@ TEST(LabelTest, ParseRejectsMalformed) {
   EXPECT_FALSE(Label::Parse("{x 3, 1}", &out));  // bad handle
   EXPECT_FALSE(Label::Parse("{0 3, 1}", &out));  // handle 0 is reserved
   EXPECT_FALSE(Label::Parse("5 3, 1", &out));    // missing braces
+  EXPECT_FALSE(Label::Parse("{5 1, 5 2, 3}", &out));  // duplicate handle
+  EXPECT_FALSE(Label::Parse("{9 3, 5 2, 3}", &out));  // out of order
+  EXPECT_FALSE(Label::Parse("{5 4, 3}", &out));       // no such level name
+}
+
+TEST(LabelTest, ParseEdgeCases) {
+  Label out;
+  // ⋆ default.
+  ASSERT_TRUE(Label::Parse("{*}", &out));
+  EXPECT_TRUE(out.Equals(Label::Bottom()));
+  // Maximum 61-bit handle round-trips; one past it is rejected.
+  const Label max_label({{H(Handle::kMaxValue), Level::kL0}}, Level::kStar);
+  ASSERT_TRUE(Label::Parse(max_label.ToString(), &out));
+  EXPECT_TRUE(out.Equals(max_label));
+  out.CheckRep();
+  EXPECT_FALSE(Label::Parse("{2305843009213693952 *, 3}", &out));
+  EXPECT_FALSE(Label::Parse("{18446744073709551616 *, 3}", &out));
+  // Entries written at the default level are degenerate but parseable (they
+  // simply vanish, as Set() keeps the rep canonical).
+  ASSERT_TRUE(Label::Parse("{5 *, *}", &out));
+  EXPECT_TRUE(out.Equals(Label::Bottom()));
+  out.CheckRep();
+  // Whitespace is tolerated where ToString may not put it.
+  ASSERT_TRUE(Label::Parse("{ 5  * , 2 }", &out));
+  EXPECT_EQ(out.Get(H(5)), Level::kStar);
+  EXPECT_EQ(out.default_level(), Level::kL2);
 }
 
 TEST(LabelTest, EqualsIsExtensional) {

@@ -5,6 +5,7 @@
 #include "src/okws/idd.h"
 #include "src/okws/okws_world.h"
 #include "src/okws/services.h"
+#include "tests/test_util.h"
 
 namespace asbestos {
 namespace {
@@ -211,6 +212,93 @@ TEST_F(OkwsTest, DeclassifierReadsOwnProfileByDefault) {
   EXPECT_EQ(r.status, 200);
   EXPECT_EQ(r.body, "me");
   EXPECT_EQ(Fetch("/profile?op=get&who=nobody", "alice", "pw-a").status, 404);
+}
+
+// --- Durable identity cache (src/store): uT/uG bindings survive reboot -----
+
+IddProcess* FindIdd(OkwsWorld& world) {
+  Process* p = world.kernel().FindProcessByName("idd");
+  return p == nullptr ? nullptr : dynamic_cast<IddProcess*>(p->code.get());
+}
+
+HttpLoadClient::Result FetchFrom(OkwsWorld& world, const std::string& target,
+                                 const std::string& user, const std::string& pass) {
+  HttpLoadClient client(&world.net(), 80, 4);
+  client.Enqueue(OkwsWorld::MakeRequest(target, user, pass), 0);
+  world.RunClient(&client);
+  EXPECT_EQ(client.results().size(), 1u) << target << " produced no response";
+  return client.results().empty() ? HttpLoadClient::Result{} : client.results()[0];
+}
+
+TEST(OkwsPersistenceTest, IddIdentityCacheSurvivesReboot) {
+  asbestos::testing::TempDir dir;
+  OkwsWorldConfig config = BasicConfig();
+  config.idd_options.store_dir = dir.path() + "/idd";
+
+  uint64_t taint1 = 0;
+  uint64_t grant1 = 0;
+  int64_t uid1 = 0;
+
+  {  // --- boot 1: first-time login mints and persists uT/uG ----------------
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+    IddProcess* idd = FindIdd(world);
+    ASSERT_NE(idd, nullptr);
+    ASSERT_EQ(idd->cached_identities(), 1u);
+    Handle t;
+    Handle g;
+    ASSERT_TRUE(idd->LookupCachedIdentity("alice", &t, &g, &uid1));
+    taint1 = t.value();
+    grant1 = g.value();
+  }
+
+  {  // --- boot 2: same boot key, same store — the binding is already there --
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    IddProcess* idd = FindIdd(world);
+    ASSERT_NE(idd, nullptr);
+    EXPECT_EQ(idd->cached_identities(), 1u) << "cache must recover before any login";
+
+    Handle t;
+    Handle g;
+    int64_t uid = 0;
+    ASSERT_TRUE(idd->LookupCachedIdentity("alice", &t, &g, &uid));
+    EXPECT_EQ(t.value(), taint1) << "uT must be boot-stable";
+    EXPECT_EQ(g.value(), grant1) << "uG must be boot-stable";
+    EXPECT_EQ(uid, uid1);
+
+    // Logins keep working — served from the recovered cache, including the
+    // password check, and the whole taint plumbing (grants to demux,
+    // re-bound dbproxy) functions for the recovered handles.
+    EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+    EXPECT_EQ(FetchFrom(world, "/echo", "alice", "wrong").status, 403);
+    EXPECT_EQ(idd->cached_identities(), 1u) << "no re-mint for a recovered user";
+
+    // User-private state still works under the recovered compartments.
+    EXPECT_EQ(FetchFrom(world, "/notes?op=add&text=persisted", "alice", "pw-a").status, 200);
+    EXPECT_EQ(FetchFrom(world, "/notes?op=list", "alice", "pw-a").body, "persisted\n");
+
+    // A different user logging in this boot must get fresh, non-colliding
+    // handles (the generator skipped the recovered values).
+    EXPECT_EQ(FetchFrom(world, "/echo", "bob", "pw-b").status, 200);
+    Handle bt;
+    Handle bg;
+    int64_t buid = 0;
+    ASSERT_TRUE(idd->LookupCachedIdentity("bob", &bt, &bg, &buid));
+    EXPECT_NE(bt.value(), taint1);
+    EXPECT_NE(bg.value(), grant1);
+    EXPECT_NE(bt.value(), bg.value());
+  }
+
+  {  // --- boot 3: bob's binding persisted too -------------------------------
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    IddProcess* idd = FindIdd(world);
+    ASSERT_NE(idd, nullptr);
+    EXPECT_EQ(idd->cached_identities(), 2u);
+    EXPECT_EQ(FetchFrom(world, "/echo", "bob", "pw-b").status, 200);
+  }
 }
 
 TEST_F(OkwsTest, PipelineDeliversExactlyOneIddLoginPerUser) {

@@ -2,15 +2,58 @@
 #ifndef TESTS_TEST_UTIL_H_
 #define TESTS_TEST_UTIL_H_
 
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/base/panic.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/message.h"
 #include "src/kernel/process.h"
 
 namespace asbestos::testing {
+
+// A throwaway on-disk directory for store/WAL tests; removed recursively on
+// destruction (tests point stores at subdirectories of it).
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/asbestos_test.XXXXXX";
+    ASB_ASSERT(::mkdtemp(tmpl) != nullptr);
+    path_ = tmpl;
+  }
+
+  ~TempDir() { RemoveTree(path_); }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static void RemoveTree(const std::string& path) {
+    if (DIR* d = ::opendir(path.c_str())) {
+      while (struct dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name != "." && name != "..") {
+          const std::string child = path + "/" + name;
+          if (::unlink(child.c_str()) != 0) {
+            RemoveTree(child);  // a subdirectory (e.g. a store's data dir)
+          }
+        }
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path.c_str());
+  }
+
+  std::string path_;
+};
 
 // A process whose behaviour is supplied by lambdas, for scripting kernel
 // scenarios without writing a ProcessCode subclass per test.
