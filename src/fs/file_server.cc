@@ -13,7 +13,7 @@ FileServerProcess::FileServerProcess(const FileServerOptions& options) {
   }
   StoreOptions sopts;
   sopts.dir = options.data_dir;
-  sopts.sync_each_append = options.sync_each_append;
+  sopts.shards = options.shards;
   auto store = DurableStore::Open(std::move(sopts));
   ASB_ASSERT(store.ok() && "file server store failed to open");
   store_ = store.take();
@@ -43,7 +43,7 @@ void FileServerProcess::PersistFile(const std::string& path, const File& f) {
 }
 
 void FileServerProcess::RecoverFiles() {
-  for (const auto& [path, record] : store_->records()) {
+  store_->ForEach([this](const std::string& path, const StoreRecord& record) {
     File f;
     f.contents = record.value;
     // The stored labels carry the compartments as their sole explicit entry.
@@ -62,6 +62,15 @@ void FileServerProcess::RecoverFiles() {
       f.integrity_level = v.level();
     }
     files_.emplace(path, std::move(f));
+  });
+}
+
+void FileServerProcess::OnIdle(ProcessContext& ctx) {
+  (void)ctx;
+  if (store_ != nullptr) {
+    // The batch's appends are already ordered in each shard's log; this
+    // makes them crash-durable, one fsync per dirty shard.
+    ASB_ASSERT(store_->Sync() == Status::kOk);
   }
 }
 

@@ -19,11 +19,15 @@
 // logs every create/write/unlink through a DurableStore — value = contents,
 // secrecy label = the exact contamination label applied to read replies,
 // integrity label = the exact bound checked against writers' V — and
-// recovers its whole file table, labels included, on restart. Privilege does
-// not recover by itself: the ⋆ and receive-label grants that arrived on
-// CREATE messages died with the old boot, so the boot loader must re-apply
-// them when re-creating the server (RecoverySpawnArgs), the durable
-// equivalent of the paper's trusted boot-time label assignment.
+// recovers its whole file table, labels included, on restart. The store is
+// sharded (FileServerOptions::shards) so the file table spreads across
+// independent logs, and durability is group-committed: mutations append
+// without fsyncing, and the kernel's end-of-pump OnIdle hook flushes every
+// dirty shard once per pump iteration. Privilege does not recover by
+// itself: the ⋆ and receive-label grants that arrived on CREATE messages
+// died with the old boot, so the boot loader must re-apply them when
+// re-creating the server (RecoverySpawnArgs), the durable equivalent of the
+// paper's trusted boot-time label assignment.
 #ifndef SRC_FS_FILE_SERVER_H_
 #define SRC_FS_FILE_SERVER_H_
 
@@ -52,7 +56,9 @@ enum MessageType : uint64_t {
 
 struct FileServerOptions {
   std::string data_dir;  // empty = volatile, in-memory only
-  bool sync_each_append = false;
+  // Shard count for a store created at data_dir; existing stores keep the
+  // count stamped at creation (see StoreOptions::shards).
+  uint32_t shards = 4;
 };
 
 class FileServerProcess : public ProcessCode {
@@ -65,6 +71,9 @@ class FileServerProcess : public ProcessCode {
 
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+  // Group commit: fsyncs every store shard dirtied during this pump
+  // iteration, exactly once.
+  void OnIdle(ProcessContext& ctx) override;
 
   // Boot-loader helper: spawn labels for a recovered server — ⋆ for every
   // recovered secrecy compartment (so serving it does not taint the server)

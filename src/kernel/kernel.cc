@@ -602,15 +602,19 @@ ProcessId Kernel::CreateProcess(std::unique_ptr<ProcessCode> code, SpawnArgs arg
   return pid;
 }
 
+void Kernel::RunInBaseContext(Process& proc, const std::function<void(ProcessContext&)>& fn) {
+  ScopedComponent scope(proc.component);
+  ProcessContext ctx(this, &proc, nullptr, false);
+  fn(ctx);
+  if (proc.exited) {
+    DestroyProcess(proc);
+  }
+}
+
 void Kernel::WithProcessContext(ProcessId pid, const std::function<void(ProcessContext&)>& fn) {
   Process* proc = FindProcess(pid);
   ASB_ASSERT(proc != nullptr && !proc->exited);
-  ScopedComponent scope(proc->component);
-  ProcessContext ctx(this, proc, nullptr, false);
-  fn(ctx);
-  if (proc->exited) {
-    DestroyProcess(*proc);
-  }
+  RunInBaseContext(*proc, fn);
 }
 
 void Kernel::EnqueuePendingPort(Process& owner, Handle port) {
@@ -673,7 +677,30 @@ bool Kernel::Step() {
 }
 
 void Kernel::RunUntilIdle() {
-  while (Step()) {
+  while (true) {
+    while (Step()) {
+    }
+    // End of the pump iteration: give every live process its OnIdle hook
+    // (group commit of durable stores lives here). The pid snapshot keeps
+    // the walk safe against table mutation; hooks are not supposed to send,
+    // but if one does, the fresh work is drained by another round rather
+    // than left queued — and a hook that sends every round is the same
+    // livelock any self-rescheduling process could already cause.
+    std::vector<ProcessId> pids;
+    pids.reserve(processes_.size());
+    for (const auto& [pid, proc] : processes_) {
+      pids.push_back(pid);
+    }
+    for (const ProcessId pid : pids) {
+      Process* proc = FindProcess(pid);
+      if (proc == nullptr || proc->exited) {
+        continue;
+      }
+      RunInBaseContext(*proc, [proc](ProcessContext& ctx) { proc->code->OnIdle(ctx); });
+    }
+    if (run_queue_.empty()) {
+      return;
+    }
   }
 }
 

@@ -277,6 +277,10 @@ class Kernel {
   Vnode* FindLivePort(Handle h);
   bool ContextOwnsPort(const Process& proc, const EventProcess* ep, const Vnode& v) const;
 
+  // Shared context setup/teardown for base-identity dispatch
+  // (WithProcessContext and the end-of-pump OnIdle hooks).
+  void RunInBaseContext(Process& proc, const std::function<void(ProcessContext&)>& fn);
+
   void EnqueuePendingPort(Process& owner, Handle port);
   void ScheduleProcess(Process& proc);
   // Attempts to deliver the head message of `port` to its owner. Returns

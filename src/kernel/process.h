@@ -44,6 +44,16 @@ class ProcessCode {
   // Runs once per delivered message, in the base context or in an event
   // process's context (the kernel decides per the rules of §6.1).
   virtual void HandleMessage(ProcessContext& ctx, const Message& msg) = 0;
+
+  // Runs when the kernel's run loop drains to idle — the end of a pump
+  // iteration. This is where per-batch work belongs, most importantly the
+  // group commit of durable stores (one fsync per dirty shard per pump
+  // instead of one per mutation; see src/store). Like WithProcessContext,
+  // this is a simulator-driver facility, not a syscall confined code could
+  // schedule: the context is the base identity, and implementations must
+  // not send (a server that needed to speak at idle would livelock the
+  // pump). The kernel re-drains after the callbacks just in case.
+  virtual void OnIdle(ProcessContext& ctx) { (void)ctx; }
 };
 
 // A labeled memory region shareable between event processes — the §6.1

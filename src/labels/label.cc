@@ -179,6 +179,29 @@ class Cursor {
   uint16_t index_ = 0;
 };
 
+// Packs sorted entries into a fresh rep: chunked memcpy, one extrema pass.
+// Shared by the merge builders below and LabelBuilder's bulk path.
+LabelRepRef PackSortedEntries(Level default_level, const uint64_t* entries, size_t count,
+                              const uint64_t level_counts[5]) {
+  LabelRep* rep = NewRep(default_level);
+  size_t i = 0;
+  while (i < count) {
+    const size_t n = std::min<size_t>(kChunkMaxEntries, count - i);
+    const uint16_t capacity = n <= kChunkMinCapacity ? kChunkMinCapacity : kChunkMaxEntries;
+    Chunk* c = NewChunk(capacity);
+    c->size = static_cast<uint16_t>(n);
+    std::memcpy(c->entries.get(), entries + i, n * sizeof(uint64_t));
+    RecomputeChunkExtrema(c);
+    rep->chunks.push_back(c);
+    i += n;
+  }
+  RecomputeRepExtrema(rep);
+  for (int l = 0; l < 5; ++l) {
+    rep->level_counts[l] = level_counts[l];
+  }
+  return LabelRepRef(rep);
+}
+
 // Accumulates sorted packed entries and packs them into chunks.
 class RepBuilder {
  public:
@@ -193,24 +216,7 @@ class RepBuilder {
   }
 
   LabelRepRef Finish() {
-    LabelRep* rep = NewRep(default_level_);
-    size_t i = 0;
-    while (i < entries_.size()) {
-      const size_t n = std::min<size_t>(kChunkMaxEntries, entries_.size() - i);
-      const uint16_t capacity =
-          n <= kChunkMinCapacity ? kChunkMinCapacity : kChunkMaxEntries;
-      Chunk* c = NewChunk(capacity);
-      c->size = static_cast<uint16_t>(n);
-      std::memcpy(c->entries.get(), entries_.data() + i, n * sizeof(uint64_t));
-      RecomputeChunkExtrema(c);
-      rep->chunks.push_back(c);
-      i += n;
-    }
-    RecomputeRepExtrema(rep);
-    for (int i = 0; i < 5; ++i) {
-      rep->level_counts[i] = level_counts_[i];
-    }
-    return LabelRepRef(rep);
+    return PackSortedEntries(default_level_, entries_.data(), entries_.size(), level_counts_);
   }
 
  private:
@@ -933,6 +939,30 @@ bool Label::Parse(std::string_view text, Label* out) {
   }
   *out = result;
   return true;
+}
+
+void LabelBuilder::Append(Handle h, Level l) {
+  ASB_ASSERT(h.valid());
+  ASB_ASSERT(l != default_level_ && "builder entries must differ from the default");
+  const uint64_t packed = PackEntry(h, l);
+  // Levels live in the low 3 bits, so shifted comparison orders by handle;
+  // strict inequality also rejects duplicates.
+  ASB_ASSERT((entries_.empty() || (packed >> 3) > (last_packed_ >> 3)) &&
+             "builder entries must arrive in strictly increasing handle order");
+  last_packed_ = packed;
+  level_counts_[LevelOrdinal(l)] += 1;
+  entries_.push_back(packed);
+}
+
+Label LabelBuilder::Build() {
+  Label result(
+      internal::PackSortedEntries(default_level_, entries_.data(), entries_.size(), level_counts_));
+  entries_.clear();
+  last_packed_ = 0;
+  for (int l = 0; l < 5; ++l) {
+    level_counts_[l] = 0;
+  }
+  return result;
 }
 
 void Label::CheckRep() const {

@@ -70,7 +70,7 @@ IddProcess::IddProcess(std::vector<UserCred> users, std::vector<std::string> ext
   }
   StoreOptions sopts;
   sopts.dir = options.store_dir;
-  sopts.sync_each_append = options.sync_each_append;
+  sopts.shards = options.shards;
   auto store = DurableStore::Open(std::move(sopts));
   ASB_ASSERT(store.ok() && "idd store failed to open");
   store_ = store.take();
@@ -78,14 +78,21 @@ IddProcess::IddProcess(std::vector<UserCred> users, std::vector<std::string> ext
 }
 
 void IddProcess::RecoverCache() {
-  for (const auto& [username, record] : store_->records()) {
+  store_->ForEach([this](const std::string& username, const StoreRecord& record) {
     CachedId id;
     std::string password;
     if (!DecodeIdentityValue(record.value, &id.taint, &id.grant, &id.user_id, &password)) {
-      continue;  // skip records this build cannot parse; never refuse to boot
+      return;  // skip records this build cannot parse; never refuse to boot
     }
     cache_.emplace(username, id);
     passwords_[username] = password;
+  });
+}
+
+void IddProcess::OnIdle(ProcessContext& ctx) {
+  (void)ctx;
+  if (store_ != nullptr) {
+    ASB_ASSERT(store_->Sync() == Status::kOk);
   }
 }
 
@@ -109,15 +116,17 @@ Label IddProcess::recovered_stars() const {
   return stars;
 }
 
-Label IddProcess::RecoveredStars(const std::string& store_dir) {
+Label IddProcess::RecoveredStars(const IddOptions& options) {
   Label stars = Label::Top();
   StoreOptions sopts;
-  sopts.dir = store_dir;
+  sopts.dir = options.store_dir;
+  sopts.shards = options.shards;
   auto store = DurableStore::Open(std::move(sopts));
   if (!store.ok()) {
     return stars;
   }
-  for (const auto& [username, record] : store.value()->records()) {
+  store.value()->ForEach([&stars](const std::string& username, const StoreRecord& record) {
+    (void)username;
     Handle taint;
     Handle grant;
     int64_t user_id = 0;
@@ -126,7 +135,7 @@ Label IddProcess::RecoveredStars(const std::string& store_dir) {
       stars.Set(taint, Level::kStar);
       stars.Set(grant, Level::kStar);
     }
-  }
+  });
   return stars;
 }
 

@@ -36,7 +36,10 @@ namespace asbestos {
 
 struct IddOptions {
   std::string store_dir;  // empty = volatile cache, as in the seed
-  bool sync_each_append = false;
+  // Shard count for a store created at store_dir; existing stores keep the
+  // count stamped at creation (see StoreOptions::shards). Bindings append
+  // without fsyncing and are group-committed by the end-of-pump OnIdle hook.
+  uint32_t shards = 4;
 };
 
 class IddProcess : public ProcessCode {
@@ -48,11 +51,17 @@ class IddProcess : public ProcessCode {
 
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+  // Group commit: fsyncs every store shard dirtied during this pump
+  // iteration, exactly once.
+  void OnIdle(ProcessContext& ctx) override;
 
   // The ⋆ entries a recovered cache needs: {uT ⋆, uG ⋆, …} over every stored
   // identity, default 3. The boot loader folds this into the launcher's send
-  // label so the launcher is entitled to grant it to idd at spawn.
-  static Label RecoveredStars(const std::string& store_dir);
+  // label so the launcher is entitled to grant it to idd at spawn. Takes the
+  // full options (not just the dir) because this transient open is the FIRST
+  // open of a fresh boot: it must request the same shard count idd will, or
+  // it would stamp the store with the wrong layout.
+  static Label RecoveredStars(const IddOptions& options);
   // Same, computed from this instance's already-recovered cache.
   Label recovered_stars() const;
 

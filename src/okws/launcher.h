@@ -40,7 +40,7 @@ struct OkwsLauncherConfig {
   std::vector<UserCred> users;
   std::vector<std::string> extra_tables;  // CREATE TABLE statements for worker data
   // Durable identity cache (src/store). When set, the boot loader must have
-  // folded IddProcess::RecoveredStars(store_dir) into this launcher's send
+  // folded IddProcess::RecoveredStars(idd_options) into this launcher's send
   // label, so it is entitled to re-grant the recovered uT/uG ⋆ set to idd.
   IddOptions idd_options;
 };

@@ -25,7 +25,7 @@ OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
     // boot path may resurrect privilege, exactly as it assigns labels
     // verbatim at boot. (This transient open duplicates the recovery idd's
     // own constructor performs; boot-time only, and bounded by compaction.)
-    const Label stars = IddProcess::RecoveredStars(config.idd_options.store_dir);
+    const Label stars = IddProcess::RecoveredStars(config.idd_options);
     for (Label::EntryIter it = stars.IterateEntries(); !it.done(); it.Advance()) {
       if (it.level() == Level::kStar) {
         largs.send_label.Set(it.handle(), Level::kStar);

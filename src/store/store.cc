@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/base/panic.h"
 #include "src/store/label_codec.h"
@@ -19,9 +21,23 @@ StoreMemStats g_store_mem;
 constexpr char kSnapshotMagic[8] = {'A', 'S', 'B', 'S', 'T', 'O', 'R', '1'};
 constexpr char kLogPut = 'P';
 constexpr char kLogErase = 'E';
+// Stamps the shard count at creation; see ResolveShardCount.
+constexpr char kShardMetaName[] = "shards";
 
 uint64_t RecordBytes(const std::string& key, const StoreRecord& r) {
   return key.size() + r.value.size() + kStoreRecordOverheadBytes;
+}
+
+// FNV-1a. The key → shard mapping is part of the on-disk format (a record
+// must be found in the shard whose log holds it), so the hash must be stable
+// across runs and toolchains — std::hash guarantees neither.
+uint64_t StableHash(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 // Shared body encoding for log Put records and snapshot entries.
@@ -116,6 +132,71 @@ Status ReadWholeFile(const std::string& path, std::string* out) {
   return n == 0 ? Status::kOk : Status::kBadState;
 }
 
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// fsyncs a directory so entries created inside it (shard dirs, O_CREAT'd
+// logs) survive a power cut. fdatasync on a log fd persists the file's data
+// and inode but NOT the dentry naming it; without this, Sync() could report
+// records durable inside a file the reboot cannot find.
+Status SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::kBadState;
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  return synced ? Status::kOk : Status::kBadState;
+}
+
+// The shard count is part of the on-disk format: changing it would silently
+// strand every record in the shard its old hash chose. Creation stamps the
+// count into <dir>/shards; every later open re-adopts the stamp, so
+// opts.shards is only a request for *new* stores.
+//
+// Legacy stores (PR 1's flat <dir>/wal + <dir>/snapshot, no stamp) adopt
+// count 1 and keep their flat layout.
+Result<uint32_t> ResolveShardCount(const std::string& dir, uint32_t requested) {
+  const std::string meta_path = dir + "/" + kShardMetaName;
+  std::string contents;
+  const Status read = ReadWholeFile(meta_path, &contents);
+  if (IsOk(read)) {
+    uint64_t count = 0;
+    for (char c : contents) {
+      if (c == '\n') {
+        break;
+      }
+      if (c < '0' || c > '9' || count > kStoreMaxShards) {
+        return Status::kInvalidArgs;
+      }
+      count = count * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (count == 0 || count > kStoreMaxShards) {
+      return Status::kInvalidArgs;
+    }
+    return static_cast<uint32_t>(count);
+  }
+  if (read != Status::kNotFound) {
+    return read;  // stamp exists but is unreadable: refuse to guess
+  }
+  if (FileExists(dir + "/wal") || FileExists(dir + "/snapshot")) {
+    return 1u;  // pre-sharding store: flat layout, no stamp
+  }
+  if (requested == 0 || requested > kStoreMaxShards) {
+    return Status::kInvalidArgs;
+  }
+  if (requested > 1) {
+    const std::string stamp = std::to_string(requested) + "\n";
+    const Status s = WriteFileAtomically(dir, kShardMetaName, stamp);
+    if (!IsOk(s)) {
+      return s;
+    }
+  }
+  return requested;
+}
+
 }  // namespace
 
 const StoreMemStats& GetStoreMemStats() { return g_store_mem; }
@@ -127,42 +208,77 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(StoreOptions opts) {
   if (::mkdir(opts.dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::kNotFound;
   }
+  auto resolved = ResolveShardCount(opts.dir, opts.shards);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  const uint32_t shard_count = resolved.value();
   std::unique_ptr<DurableStore> store(new DurableStore(std::move(opts)));
-  const Status s = store->Recover();
-  if (!IsOk(s)) {
-    return s;
+  for (uint32_t k = 0; k < shard_count; ++k) {
+    auto shard = std::make_unique<Shard>();
+    if (shard_count == 1) {
+      shard->dir = store->opts_.dir;  // flat layout, PR-1 compatible
+    } else {
+      shard->dir = store->opts_.dir + "/shard-" + std::to_string(k);
+      if (::mkdir(shard->dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::kBadState;
+      }
+    }
+    const Status s = store->RecoverShard(*shard);
+    if (!IsOk(s)) {
+      return s;
+    }
+    // Persist the dentries this open may have created (the shard dir and
+    // its O_CREAT'd wal) before any append can be acknowledged as durable.
+    const Status dir_sync = SyncDir(shard->dir);
+    if (!IsOk(dir_sync)) {
+      return dir_sync;
+    }
+    store->shards_.push_back(std::move(shard));
+  }
+  if (shard_count > 1) {
+    const Status root_sync = SyncDir(store->opts_.dir);  // shard-<k> dentries
+    if (!IsOk(root_sync)) {
+      return root_sync;
+    }
   }
   return store;
 }
 
 DurableStore::~DurableStore() {
-  for (const auto& [key, record] : records_) {
-    g_store_mem.live_bytes -= static_cast<int64_t>(RecordBytes(key, record));
-    g_store_mem.live_records -= 1;
+  for (const auto& shard : shards_) {
+    for (const auto& [key, record] : shard->records) {
+      g_store_mem.live_bytes -= static_cast<int64_t>(RecordBytes(key, record));
+      g_store_mem.live_records -= 1;
+    }
   }
 }
 
-void DurableStore::InsertRecord(std::string key, StoreRecord record) {
+uint32_t DurableStore::ShardIndexOf(std::string_view key) const {
+  return static_cast<uint32_t>(StableHash(key) % shards_.size());
+}
+
+void DurableStore::InsertRecord(Shard& shard, std::string key, StoreRecord record) {
   // Callers erase any existing record first so accounting stays exact.
   const uint64_t bytes = RecordBytes(key, record);
-  const bool inserted = records_.emplace(std::move(key), std::move(record)).second;
+  const bool inserted = shard.records.emplace(std::move(key), std::move(record)).second;
   ASB_ASSERT(inserted);
   g_store_mem.live_records += 1;
   g_store_mem.live_bytes += static_cast<int64_t>(bytes);
 }
 
-bool DurableStore::EraseRecord(const std::string& key) {
-  auto it = records_.find(key);
-  if (it == records_.end()) {
+bool DurableStore::EraseRecord(Shard& shard, const std::string& key) {
+  auto it = shard.records.find(key);
+  if (it == shard.records.end()) {
     return false;
   }
   g_store_mem.live_bytes -= static_cast<int64_t>(RecordBytes(it->first, it->second));
   g_store_mem.live_records -= 1;
-  records_.erase(it);
+  shard.records.erase(it);
   return true;
 }
 
-void DurableStore::ApplyLogRecord(std::string_view payload) {
+void DurableStore::ApplyLogRecord(Shard& shard, std::string_view payload) {
   if (payload.empty()) {
     return;  // unknown/corrupt record payloads are skipped, not fatal
   }
@@ -172,15 +288,15 @@ void DurableStore::ApplyLogRecord(std::string_view payload) {
       std::string key;
       StoreRecord record;
       if (IsOk(ReadRecordBody(payload, &pos, &key, &record)) && pos == payload.size()) {
-        EraseRecord(key);  // refund old accounting before replacing
-        InsertRecord(std::move(key), std::move(record));
+        EraseRecord(shard, key);  // refund old accounting before replacing
+        InsertRecord(shard, std::move(key), std::move(record));
       }
       return;
     }
     case kLogErase: {
       std::string_view key;
       if (IsOk(codec::ReadString(payload, &pos, &key)) && pos == payload.size()) {
-        EraseRecord(std::string(key));
+        EraseRecord(shard, std::string(key));
       }
       return;
     }
@@ -189,9 +305,9 @@ void DurableStore::ApplyLogRecord(std::string_view payload) {
   }
 }
 
-Status DurableStore::LoadSnapshot() {
+Status DurableStore::LoadSnapshot(Shard& shard) {
   std::string contents;
-  const Status read = ReadWholeFile(opts_.dir + "/snapshot", &contents);
+  const Status read = ReadWholeFile(shard.dir + "/snapshot", &contents);
   if (read == Status::kNotFound) {
     return Status::kOk;  // no snapshot yet: empty base image
   }
@@ -223,114 +339,257 @@ Status DurableStore::LoadSnapshot() {
     if (!IsOk(s)) {
       return s;
     }
-    InsertRecord(std::move(key), std::move(record));
+    InsertRecord(shard, std::move(key), std::move(record));
   }
-  snapshot_records_loaded_ = count;
+  shard.snapshot_records_loaded = count;
   return pos == body.size() ? Status::kOk : Status::kInvalidArgs;
 }
 
-Status DurableStore::Recover() {
-  const Status snap = LoadSnapshot();
+Status DurableStore::RecoverShard(Shard& shard) {
+  const Status snap = LoadSnapshot(shard);
   if (!IsOk(snap)) {
     return snap;
   }
-  const Status s =
-      wal_.Open(opts_.dir + "/wal", [this](std::string_view payload) { ApplyLogRecord(payload); });
+  const Status s = shard.wal.Open(
+      shard.dir + "/wal", [this, &shard](std::string_view payload) { ApplyLogRecord(shard, payload); });
   if (!IsOk(s)) {
     return s;
   }
-  log_records_replayed_ = wal_.recovered_records();
-  torn_tail_bytes_dropped_ = wal_.dropped_tail_bytes();
+  shard.log_records_replayed = shard.wal.recovered_records();
+  shard.torn_tail_bytes_dropped = shard.wal.dropped_tail_bytes();
   return Status::kOk;
 }
 
 Status DurableStore::Put(std::string_view key, std::string_view value, const Label& secrecy,
                          const Label& integrity) {
+  Shard& shard = *shards_[ShardIndexOf(key)];
   std::string payload(1, kLogPut);
   AppendRecordBody(key, value, secrecy, integrity, &payload);
-  Status s = wal_.Append(payload);
+  const Status s = shard.wal.Append(payload);
   if (!IsOk(s)) {
     return s;
-  }
-  if (opts_.sync_each_append) {
-    s = wal_.Sync();
-    if (!IsOk(s)) {
-      return s;
-    }
   }
   StoreRecord record;
   record.value.assign(value);
   record.secrecy = secrecy;
   record.integrity = integrity;
-  EraseRecord(std::string(key));
-  InsertRecord(std::string(key), std::move(record));
-  MaybeAutoCompact();
+  EraseRecord(shard, std::string(key));
+  InsertRecord(shard, std::string(key), std::move(record));
+  MaybeAutoCompact(shard);
   return Status::kOk;
 }
 
 Status DurableStore::Erase(std::string_view key) {
+  Shard& shard = *shards_[ShardIndexOf(key)];
   const std::string k(key);
-  if (records_.find(k) == records_.end()) {
+  if (shard.records.find(k) == shard.records.end()) {
     return Status::kNotFound;
   }
   std::string payload(1, kLogErase);
   codec::AppendString(key, &payload);
-  Status s = wal_.Append(payload);
+  const Status s = shard.wal.Append(payload);
   if (!IsOk(s)) {
     return s;
   }
-  if (opts_.sync_each_append) {
-    s = wal_.Sync();
-    if (!IsOk(s)) {
-      return s;
-    }
-  }
-  EraseRecord(k);
-  MaybeAutoCompact();
+  EraseRecord(shard, k);
+  MaybeAutoCompact(shard);
   return Status::kOk;
 }
 
 const StoreRecord* DurableStore::Get(const std::string& key) const {
-  auto it = records_.find(key);
-  return it == records_.end() ? nullptr : &it->second;
+  const Shard& shard = *shards_[ShardIndexOf(key)];
+  auto it = shard.records.find(key);
+  return it == shard.records.end() ? nullptr : &it->second;
 }
 
-Status DurableStore::Compact() {
+void DurableStore::ForEach(
+    const std::function<void(const std::string&, const StoreRecord&)>& fn) const {
+  for (const auto& shard : shards_) {
+    for (const auto& [key, record] : shard->records) {
+      fn(key, record);
+    }
+  }
+}
+
+size_t DurableStore::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->records.size();
+  }
+  return n;
+}
+
+Status DurableStore::CompactShard(Shard& shard) {
   std::string body;
-  codec::AppendVarint(records_.size(), &body);
-  for (const auto& [key, record] : records_) {
+  codec::AppendVarint(shard.records.size(), &body);
+  for (const auto& [key, record] : shard.records) {
     AppendRecordBody(key, record.value, record.secrecy, record.integrity, &body);
   }
   std::string image(kSnapshotMagic, sizeof(kSnapshotMagic));
   const uint32_t crc = Crc32(body);
   image.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
   image.append(body);
-  Status s = WriteFileAtomically(opts_.dir, "snapshot", image);
+  Status s = WriteFileAtomically(shard.dir, "snapshot", image);
   if (!IsOk(s)) {
     return s;
   }
   // Only once the snapshot is durably in place may the log be dropped.
-  s = wal_.Reset();
+  s = shard.wal.Reset();
   if (!IsOk(s)) {
     return s;
   }
   // The replayed prefix now lives in the snapshot; without this reset the
   // auto-compaction threshold would stay permanently exceeded after a large
   // recovery and every subsequent mutation would rewrite the snapshot.
-  log_records_replayed_ = 0;
-  ++compactions_;
+  shard.log_records_replayed = 0;
+  ++shard.compactions;
   return Status::kOk;
 }
 
-Status DurableStore::Sync() { return wal_.Sync(); }
+Status DurableStore::Compact() {
+  for (const auto& shard : shards_) {
+    const Status s = CompactShard(*shard);
+    if (!IsOk(s)) {
+      return s;
+    }
+  }
+  return Status::kOk;
+}
 
-void DurableStore::MaybeAutoCompact() {
-  const uint64_t log_records = wal_.appended_records() + log_records_replayed_;
+Status DurableStore::Sync() {
+  // Group commit touches only shards with pending appends.
+  std::vector<Shard*> dirty;
+  for (const auto& shard : shards_) {
+    if (shard->wal.dirty()) {
+      dirty.push_back(shard.get());
+    }
+  }
+  if (dirty.empty()) {
+    return Status::kOk;
+  }
+  Status result = Status::kOk;
+  const auto start = std::chrono::steady_clock::now();
+  const bool concurrent =
+      dirty.size() > 1 && flush_cost_ns_ >= kConcurrentFlushThresholdNs;
+  if (!concurrent) {
+    // Cheap flushes (tmpfs, NVMe with a fast cache) or a single shard:
+    // thread create/join (~20µs each) would cost more than it hides.
+    for (Shard* shard : dirty) {
+      const Status s = shard->wal.Sync();
+      if (!IsOk(s)) {
+        result = s;
+      }
+    }
+  } else {
+    // Expensive flushes: each one waits on the storage device's cache
+    // flush (~hundreds of µs on virtualized disks), so issuing them
+    // serially multiplies that latency by the shard count while the device
+    // could have absorbed one combined flush. All threads join before
+    // returning, so the durability point — "everything appended before
+    // this Sync" — is exactly what the serial loop gives.
+    std::vector<Status> results(dirty.size(), Status::kOk);
+    std::vector<std::thread> flushers;
+    flushers.reserve(dirty.size() - 1);
+    for (size_t i = 1; i < dirty.size(); ++i) {
+      flushers.emplace_back(
+          [&results, &dirty, i]() { results[i] = dirty[i]->wal.Sync(); });
+    }
+    results[0] = dirty[0]->wal.Sync();
+    for (std::thread& t : flushers) {
+      t.join();
+    }
+    for (const Status s : results) {
+      if (!IsOk(s)) {
+        result = s;
+      }
+    }
+  }
+  // Track the observed per-shard flush cost (3/4-weighted moving average)
+  // to pick the dispatch mode next time. The first Sync after Open always
+  // runs serially (cost 0) and seeds the estimate with real hardware.
+  // Concurrent rounds overlap their flushes, so the whole elapsed wall time
+  // approximates ONE device flush — dividing it by the shard count there
+  // would understate the cost ~N× and flip the mode back to serial, making
+  // the dispatch oscillate between a fast and a stalling regime.
+  const uint64_t elapsed_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count());
+  const uint64_t per_shard_ns = concurrent ? elapsed_ns : elapsed_ns / dirty.size();
+  flush_cost_ns_ =
+      flush_cost_ns_ == 0 ? per_shard_ns : (flush_cost_ns_ * 3 + per_shard_ns) / 4;
+  return result;
+}
+
+uint32_t DurableStore::dirty_shard_count() const {
+  uint32_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->wal.dirty() ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t DurableStore::snapshot_records_loaded() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->snapshot_records_loaded;
+  }
+  return n;
+}
+
+uint64_t DurableStore::log_records_replayed() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->log_records_replayed;
+  }
+  return n;
+}
+
+uint64_t DurableStore::torn_tail_bytes_dropped() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->torn_tail_bytes_dropped;
+  }
+  return n;
+}
+
+uint64_t DurableStore::wal_bytes() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->wal.size_bytes();
+  }
+  return n;
+}
+
+uint64_t DurableStore::compactions() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->compactions;
+  }
+  return n;
+}
+
+DurableStore::ShardStats DurableStore::shard_stats(uint32_t shard_index) const {
+  ASB_ASSERT(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  ShardStats stats;
+  stats.records = shard.records.size();
+  stats.dirty = shard.wal.dirty();
+  stats.wal_bytes = shard.wal.size_bytes();
+  stats.snapshot_records_loaded = shard.snapshot_records_loaded;
+  stats.log_records_replayed = shard.log_records_replayed;
+  stats.torn_tail_bytes_dropped = shard.torn_tail_bytes_dropped;
+  stats.compactions = shard.compactions;
+  return stats;
+}
+
+void DurableStore::MaybeAutoCompact(Shard& shard) {
+  const uint64_t log_records = shard.wal.appended_records() + shard.log_records_replayed;
   if (log_records >= opts_.compact_min_log_records &&
-      log_records >= opts_.compact_factor * (records_.size() + 1)) {
+      log_records >= opts_.compact_factor * (shard.records.size() + 1)) {
     // Compaction failure is not fatal to the in-memory state; the log simply
     // keeps growing until the next attempt.
-    (void)Compact();
+    (void)CompactShard(shard);
   }
 }
 

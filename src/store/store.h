@@ -7,15 +7,36 @@
 //     key (string)  →  (value bytes, secrecy label, integrity label)
 //
 // and persists every mutation through a write-ahead log before applying it
-// in memory, with periodic snapshot + log-truncation compaction:
+// in memory, with periodic snapshot + log-truncation compaction.
 //
-//   <dir>/wal        CRC-framed mutation records (src/store/wal.h framing)
-//   <dir>/snapshot   full image: "ASBSTOR1" magic, u32 crc, body
+// The store is sharded: keys are spread by a stable hash over N independent
+// (WAL, snapshot, map) shards, each recovering, compacting, and fsyncing on
+// its own — a torn tail in one shard never blocks recovery of its siblings,
+// and durable state spreads across logs (and, eventually, disks/cores):
 //
-// Recovery loads the snapshot (if any), replays the log's valid prefix over
-// it, and repairs a torn tail. Labels are pickled with the binary codec
-// (src/store/label_codec.h), so secrecy and integrity survive bit-exactly —
-// the property the file server's restart path depends on.
+//   shards == 1 (flat, the original layout — old stores open unchanged):
+//     <dir>/wal        CRC-framed mutation records (src/store/wal.h framing)
+//     <dir>/snapshot   full image: "ASBSTOR1" magic, u32 crc, body
+//   shards == N > 1:
+//     <dir>/shards             decimal shard count, stamped at creation
+//     <dir>/shard-<k>/wal      shard k's log,      k in [0, N)
+//     <dir>/shard-<k>/snapshot shard k's snapshot
+//
+// The shard count is fixed at creation (<dir>/shards) and re-adopted on
+// every later open, so the key → shard mapping never shifts under existing
+// data regardless of what shard count callers pass later.
+//
+// Durability is group-committed: Put/Erase append to the shard's log and
+// mark it dirty, and Sync() fsyncs each dirty shard exactly once. Servers
+// call Sync() at the end of each kernel pump iteration (ProcessCode::OnIdle)
+// — one fsync per shard per batch instead of per mutation. A crash loses
+// only the suffix appended since the last Sync(); it never corrupts, and
+// recovery still replays each shard's valid log prefix and repairs its torn
+// tail independently.
+//
+// Labels are pickled with the binary codec (src/store/label_codec.h), so
+// secrecy and integrity survive bit-exactly — the property the file
+// server's restart path depends on.
 //
 // In-memory bytes are tracked globally (GetStoreMemStats) and surface in
 // KernelMemReport::store_bytes so Figure-6 style reporting covers the cost
@@ -26,10 +47,12 @@
 #define SRC_STORE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/base/result.h"
 #include "src/base/status.h"
@@ -50,6 +73,10 @@ const StoreMemStats& GetStoreMemStats();
 // Modeled per-record index overhead (map node, pointers, sizes).
 constexpr uint64_t kStoreRecordOverheadBytes = 64;
 
+// Shard counts beyond this are almost certainly a bug (the simulator's
+// servers hold thousands of records, not billions).
+constexpr uint32_t kStoreMaxShards = 256;
+
 struct StoreRecord {
   std::string value;
   Label secrecy = Label(Level::kStar);   // contamination applied to readers
@@ -58,12 +85,14 @@ struct StoreRecord {
 
 struct StoreOptions {
   std::string dir;
-  // fsync the log after every mutation (true durability per append) versus
-  // leaving syncs to the OS / explicit Sync() calls (faster, loses the
-  // unsynced suffix on a crash — still never corrupts).
-  bool sync_each_append = false;
-  // Auto-compaction: once the log holds at least this many records AND at
-  // least `compact_factor`× the live record count, fold it into a snapshot.
+  // Number of (WAL, snapshot, map) shards for a store created at this dir.
+  // Ignored when the directory already holds a store: the count stamped at
+  // creation wins, so the key → shard hash stays stable for the store's
+  // whole life. 1 keeps the flat single-log layout.
+  uint32_t shards = 1;
+  // Per-shard auto-compaction: once a shard's log holds at least this many
+  // records AND at least `compact_factor`× the shard's live record count,
+  // fold it into that shard's snapshot.
   uint64_t compact_min_log_records = 1024;
   uint64_t compact_factor = 4;
 };
@@ -71,7 +100,7 @@ struct StoreOptions {
 class DurableStore {
  public:
   // Opens the store rooted at opts.dir (created if missing) and recovers
-  // its contents from snapshot + log.
+  // its contents from the shards' snapshots + logs.
   static Result<std::unique_ptr<DurableStore>> Open(StoreOptions opts);
 
   ~DurableStore();
@@ -79,44 +108,85 @@ class DurableStore {
   DurableStore(const DurableStore&) = delete;
   DurableStore& operator=(const DurableStore&) = delete;
 
-  // Logs then applies. Put overwrites; Erase of a missing key is kNotFound
-  // and writes nothing.
+  // Logs then applies (to the key's shard). Put overwrites; Erase of a
+  // missing key is kNotFound and writes nothing. Neither fsyncs: durability
+  // of the append is pending until the next Sync().
   Status Put(std::string_view key, std::string_view value, const Label& secrecy,
              const Label& integrity);
   Status Erase(std::string_view key);
 
   const StoreRecord* Get(const std::string& key) const;
-  const std::map<std::string, StoreRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  // Visits every record, shard by shard (keys sorted within a shard, not
+  // globally). Replaces the old records() accessor, which pinned the store
+  // to a single map.
+  void ForEach(const std::function<void(const std::string&, const StoreRecord&)>& fn) const;
+  size_t size() const;
 
-  // Writes a fresh snapshot (atomically, via rename) and truncates the log.
+  // Writes a fresh snapshot per shard (atomically, via rename) and
+  // truncates each shard's log.
   Status Compact();
+  // Group commit: fsyncs every dirty shard's log exactly once and clears
+  // the dirty marks. A no-op (and no syscalls) when nothing is dirty.
+  // Multiple dirty shards flush concurrently when the observed per-shard
+  // flush cost is high enough (device cache flush dominated) to repay the
+  // thread churn; cheap flushes stay on a serial loop.
   Status Sync();
 
-  // --- Recovery / durability observability ---------------------------------
-  uint64_t snapshot_records_loaded() const { return snapshot_records_loaded_; }
-  uint64_t log_records_replayed() const { return log_records_replayed_; }
-  uint64_t torn_tail_bytes_dropped() const { return torn_tail_bytes_dropped_; }
-  uint64_t wal_bytes() const { return wal_.size_bytes(); }
-  uint64_t compactions() const { return compactions_; }
+  // --- Sharding / recovery / durability observability -----------------------
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  // The shard `key` routes to — stable across reboots (FNV-1a, not
+  // std::hash, which the standard lets vary between runs).
+  uint32_t ShardIndexOf(std::string_view key) const;
+  uint32_t dirty_shard_count() const;
+
+  uint64_t snapshot_records_loaded() const;  // summed across shards
+  uint64_t log_records_replayed() const;
+  uint64_t torn_tail_bytes_dropped() const;
+  uint64_t wal_bytes() const;
+  uint64_t compactions() const;
+
+  // Per-shard view of the same counters, for tests and rebalancing tools.
+  struct ShardStats {
+    size_t records = 0;
+    bool dirty = false;
+    uint64_t wal_bytes = 0;
+    uint64_t snapshot_records_loaded = 0;
+    uint64_t log_records_replayed = 0;
+    uint64_t torn_tail_bytes_dropped = 0;
+    uint64_t compactions = 0;
+  };
+  ShardStats shard_stats(uint32_t shard) const;
 
  private:
+  // One independent (WAL, snapshot, map) unit. All per-record state and
+  // recovery/compaction counters live here; DurableStore routes and sums.
+  struct Shard {
+    std::string dir;
+    Wal wal;
+    std::map<std::string, StoreRecord> records;
+    uint64_t snapshot_records_loaded = 0;
+    uint64_t log_records_replayed = 0;
+    uint64_t torn_tail_bytes_dropped = 0;
+    uint64_t compactions = 0;
+  };
+
   explicit DurableStore(StoreOptions opts) : opts_(std::move(opts)) {}
 
-  Status Recover();
-  Status LoadSnapshot();
-  void ApplyLogRecord(std::string_view payload);
-  void InsertRecord(std::string key, StoreRecord record);
-  bool EraseRecord(const std::string& key);
-  void MaybeAutoCompact();
+  Status RecoverShard(Shard& shard);
+  Status LoadSnapshot(Shard& shard);
+  void ApplyLogRecord(Shard& shard, std::string_view payload);
+  void InsertRecord(Shard& shard, std::string key, StoreRecord record);
+  bool EraseRecord(Shard& shard, const std::string& key);
+  Status CompactShard(Shard& shard);
+  void MaybeAutoCompact(Shard& shard);
+
+  // Concurrent flushes pay ~20µs of thread create/join per shard; below
+  // this observed per-shard flush cost the serial loop is cheaper.
+  static constexpr uint64_t kConcurrentFlushThresholdNs = 50'000;
 
   StoreOptions opts_;
-  Wal wal_;
-  std::map<std::string, StoreRecord> records_;
-  uint64_t snapshot_records_loaded_ = 0;
-  uint64_t log_records_replayed_ = 0;
-  uint64_t torn_tail_bytes_dropped_ = 0;
-  uint64_t compactions_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t flush_cost_ns_ = 0;  // moving average per-shard; 0 = unmeasured
 };
 
 }  // namespace asbestos

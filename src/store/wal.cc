@@ -76,6 +76,7 @@ Status Wal::Open(const std::string& path,
     return Status::kNotFound;
   }
   path_ = path;
+  dirty_ = false;
   recovered_records_ = 0;
   dropped_tail_bytes_ = 0;
   appended_records_ = 0;
@@ -151,6 +152,7 @@ Status Wal::Append(std::string_view record) {
   }
   size_bytes_ += frame.size();
   ++appended_records_;
+  dirty_ = true;
   return Status::kOk;
 }
 
@@ -158,7 +160,15 @@ Status Wal::Sync() {
   if (fd_ < 0) {
     return Status::kBadState;
   }
-  return ::fsync(fd_) == 0 ? Status::kOk : Status::kBadState;
+  // fdatasync, not fsync: it flushes the data and every piece of metadata
+  // needed to retrieve it (including the file size appends grow), skipping
+  // only timestamps — which recovery never reads. On journaling filesystems
+  // that regularly saves a journal commit per flush.
+  if (::fdatasync(fd_) != 0) {
+    return Status::kBadState;
+  }
+  dirty_ = false;
+  return Status::kOk;
 }
 
 Status Wal::Reset() {

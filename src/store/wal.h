@@ -42,12 +42,13 @@ class Wal {
   // positioned for appends. kBadState if already open.
   Status Open(const std::string& path, const std::function<void(std::string_view)>& on_record);
 
-  // Appends one framed record. When `sync_each_append` was requested by the
-  // caller via Sync() discipline, call Sync() after; Append itself only
-  // guarantees ordering within the file.
+  // Appends one framed record and marks the log dirty. Append itself only
+  // guarantees ordering within the file; durability requires Sync() — either
+  // immediately (per-append durability) or batched at the end of a pump
+  // iteration (group commit, the DurableStore default).
   Status Append(std::string_view record);
 
-  // fsyncs the log file.
+  // fsyncs the log file and clears the dirty flag.
   Status Sync();
 
   // Truncates the log to empty (after a snapshot made its contents
@@ -56,6 +57,10 @@ class Wal {
 
   void Close();
   bool is_open() const { return fd_ >= 0; }
+
+  // True when appends have landed since the last Sync()/Reset(): the group
+  // commit batcher fsyncs exactly the dirty logs, once each.
+  bool dirty() const { return dirty_; }
 
   uint64_t size_bytes() const { return size_bytes_; }
   uint64_t appended_records() const { return appended_records_; }
@@ -66,6 +71,7 @@ class Wal {
  private:
   int fd_ = -1;
   std::string path_;
+  bool dirty_ = false;
   uint64_t size_bytes_ = 0;
   uint64_t appended_records_ = 0;
   uint64_t recovered_records_ = 0;

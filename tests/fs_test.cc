@@ -355,6 +355,13 @@ TEST(FsPersistenceTest, RestartRecoversFilesAndLabels) {
     for (const auto& r : received) {
       EXPECT_EQ(r.msg.words[1], 0u);
     }
+    // Group commit ran at end-of-pump: the batch's appends spread across
+    // the store's shards and every dirty shard was fsynced by OnIdle.
+    const FileServerProcess* fs =
+        dynamic_cast<FileServerProcess*>(kernel.FindProcessByName("fs")->code.get());
+    EXPECT_EQ(fs->store()->shard_count(), 4u);
+    EXPECT_EQ(fs->store()->dirty_shard_count(), 0u)
+        << "RunUntilIdle must leave no shard with unsynced appends";
   }
 
   {  // --- boot 2: recover and exercise --------------------------------------

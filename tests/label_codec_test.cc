@@ -158,6 +158,49 @@ TEST(LabelCodecTest, RejectsCorruptStructure) {
     codec::AppendVarint(2, &buf);
     EXPECT_EQ(codec::UnpickleLabel(buf, &out), Status::kInvalidArgs);
   }
+  // A second run restarting below the first (zero delta at a run boundary):
+  // deltas accumulate across runs, so the stream cannot express unsorted or
+  // overlapping runs — the boundary delta of 0 is the only encoding of a
+  // repeat, and it must be rejected like any other duplicate.
+  {
+    std::string buf;
+    buf.push_back('\x04');                    // default 3
+    codec::AppendVarint(2, &buf);             // two runs
+    codec::AppendVarint((1 << 3) | 0, &buf);  // run 1: len 1, level ⋆
+    codec::AppendVarint(9, &buf);             // handle 9
+    codec::AppendVarint((1 << 3) | 1, &buf);  // run 2: len 1, level 0
+    codec::AppendVarint(0, &buf);             // "handle 9 again"
+    EXPECT_EQ(codec::UnpickleLabel(buf, &out), Status::kInvalidArgs);
+  }
+  // A run length exceeding the remaining buffer must fail fast as a
+  // truncation (each delta costs at least one byte), not be believed.
+  {
+    std::string buf;
+    buf.push_back('\x04');
+    codec::AppendVarint(1, &buf);
+    codec::AppendVarint((1000 << 3) | 0, &buf);  // run claims 1000 entries
+    codec::AppendVarint(1, &buf);                // ...but only one follows
+    EXPECT_EQ(codec::UnpickleLabel(buf, &out), Status::kBufferTooSmall);
+  }
+}
+
+// Decode failures must never leave a half-built label in *out: services
+// unpickling a label into a field they already hold (recovery paths) would
+// otherwise see corrupt state after a bad record.
+TEST(LabelCodecTest, FailedDecodeLeavesOutputUntouched) {
+  const Label sentinel({{H(77), Level::kL1}}, Level::kL2);
+  // Valid prefix (two good entries), then a zero delta.
+  std::string buf;
+  buf.push_back('\x04');
+  codec::AppendVarint(1, &buf);
+  codec::AppendVarint((3 << 3) | 0, &buf);
+  codec::AppendVarint(5, &buf);
+  codec::AppendVarint(3, &buf);
+  codec::AppendVarint(0, &buf);  // corrupt third entry
+  Label out = sentinel;
+  EXPECT_EQ(codec::UnpickleLabel(buf, &out), Status::kInvalidArgs);
+  EXPECT_TRUE(out.Equals(sentinel));
+  out.CheckRep();
 }
 
 TEST(LabelCodecTest, FuzzedGarbageNeverPanics) {
@@ -202,6 +245,37 @@ TEST(LabelCodecPropertyTest, RandomLabelsRoundTripBothCodecs) {
     // And the two decoded forms agree with each other bit-for-bit when
     // re-pickled: the codec is canonical.
     EXPECT_EQ(codec::PickleLabel(binary), codec::PickleLabel(text));
+  }
+}
+
+// Randomized round-trip over the shapes the bulk unpickle path was built
+// for — large ⋆-rich labels with scattered non-⋆ runs — checking rep
+// invariants after EVERY unpickle. The builder memcpys entries into chunks
+// without per-entry rebalancing, so CheckRep (sorted, deduped, extrema and
+// histogram caches correct) is the test that its chunks are real labels and
+// not just bags of bytes.
+TEST(LabelCodecPropertyTest, RandomStarRichLabelsRoundTripWithValidReps) {
+  Rng rng(0xB111D);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Level def = kAllLevels[rng.NextBelow(5)];
+    Label l(def);
+    // Mostly-⋆ entries over a dense handle range (long runs), sprinkled
+    // with other levels (run breaks), sized to cross many chunk boundaries.
+    const size_t entries = 1 + rng.NextBelow(2000);
+    uint64_t handle = 0;
+    for (size_t e = 0; e < entries; ++e) {
+      handle += 1 + rng.NextBelow(4);
+      const Level level = rng.NextBelow(8) != 0
+                              ? Level::kStar
+                              : kAllLevels[rng.NextBelow(5)];
+      l.Set(H(handle), level);
+    }
+    Label out;
+    ASSERT_EQ(codec::UnpickleLabel(codec::PickleLabel(l), &out), Status::kOk);
+    out.CheckRep();
+    ASSERT_TRUE(out.Equals(l));
+    // Canonical: re-pickling the decoded label reproduces the bytes.
+    ASSERT_EQ(codec::PickleLabel(out), codec::PickleLabel(l));
   }
 }
 

@@ -375,5 +375,69 @@ TEST(LabelTest, FastPathSkipsEntryScan) {
   EXPECT_GT(GetLabelWorkStats().fast_path_hits, 0u);
 }
 
+// --- LabelBuilder (the bulk unpickle path) ----------------------------------
+
+TEST(LabelBuilderTest, BuildsSameLabelAsSet) {
+  LabelBuilder builder(Level::kL1);
+  Label expected(Level::kL1);
+  // Enough entries to cross several 64-entry chunk boundaries, with level
+  // variety so extrema and histogram caches carry information.
+  const Level levels[] = {Level::kStar, Level::kL0, Level::kL2, Level::kL3};
+  for (uint64_t i = 1; i <= 500; ++i) {
+    const Level l = levels[i % 4];
+    builder.Append(H(i * 3), l);
+    expected.Set(H(i * 3), l);
+  }
+  EXPECT_EQ(builder.entry_count(), 500u);
+  const Label built = builder.Build();
+  built.CheckRep();
+  EXPECT_TRUE(built.Equals(expected));
+  EXPECT_EQ(built.entry_count(), 500u);
+  EXPECT_EQ(built.CountEntriesAtLevel(Level::kStar), 125u);
+  EXPECT_EQ(built.min_level(), Level::kStar);
+  EXPECT_EQ(built.max_level(), Level::kL3);
+}
+
+TEST(LabelBuilderTest, EmptyBuildIsDefaultLabel) {
+  LabelBuilder builder(Level::kStar);
+  const Label built = builder.Build();
+  built.CheckRep();
+  EXPECT_TRUE(built.Equals(Label::Bottom()));
+  EXPECT_EQ(built.entry_count(), 0u);
+}
+
+TEST(LabelBuilderTest, BuildResetsForReuse) {
+  LabelBuilder builder(Level::kL3);
+  builder.Append(H(10), Level::kStar);
+  const Label first = builder.Build();
+  EXPECT_EQ(builder.entry_count(), 0u);
+  // Reuse with a smaller handle than the first batch ever held: the reset
+  // must have cleared the monotonicity watermark too.
+  builder.Append(H(1), Level::kL0);
+  const Label second = builder.Build();
+  first.CheckRep();
+  second.CheckRep();
+  EXPECT_TRUE(first.Equals(Label({{H(10), Level::kStar}}, Level::kL3)));
+  EXPECT_TRUE(second.Equals(Label({{H(1), Level::kL0}}, Level::kL3)));
+}
+
+TEST(LabelBuilderTest, BuiltLabelsInteroperateWithAlgebra) {
+  LabelBuilder builder(Level::kStar);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    builder.Append(H(i), Level::kL3);
+  }
+  Label built = builder.Build();
+  const Label other({{H(50), Level::kL3}, {H(200), Level::kL2}}, Level::kStar);
+  EXPECT_TRUE(other.Leq(built) == false);
+  Label joined = Label::Lub(built, other);
+  joined.CheckRep();
+  EXPECT_EQ(joined.Get(H(200)), Level::kL2);
+  EXPECT_EQ(joined.Get(H(50)), Level::kL3);
+  // Mutation after bulk construction goes through the normal COW path.
+  built.Set(H(1000), Level::kL0);
+  built.CheckRep();
+  EXPECT_EQ(built.Get(H(1000)), Level::kL0);
+}
+
 }  // namespace
 }  // namespace asbestos

@@ -251,6 +251,11 @@ TEST(OkwsPersistenceTest, IddIdentityCacheSurvivesReboot) {
     ASSERT_TRUE(idd->LookupCachedIdentity("alice", &t, &g, &uid1));
     taint1 = t.value();
     grant1 = g.value();
+    // The binding's append was group-committed by the end-of-pump flush:
+    // nothing is left unsynced once the world is idle.
+    EXPECT_EQ(idd->store()->shard_count(), 4u);
+    EXPECT_EQ(idd->store()->dirty_shard_count(), 0u)
+        << "idd's OnIdle must fsync the login's shard before the pump returns";
   }
 
   {  // --- boot 2: same boot key, same store — the binding is already there --

@@ -255,6 +255,174 @@ TEST(DurableStoreTest, CorruptSnapshotRefusesToOpen) {
   EXPECT_FALSE(store.ok()) << "a corrupt snapshot must fail loudly, not load partially";
 }
 
+// --- Sharding ---------------------------------------------------------------
+
+StoreOptions ShardedOpts(const TempDir& dir, uint32_t shards) {
+  StoreOptions o = Opts(dir);
+  o.shards = shards;
+  return o;
+}
+
+// Writes keys until every shard of `store` holds at least one record,
+// returning the keys written. Routing is a stable hash, so a few dozen keys
+// cover four shards with overwhelming probability.
+std::vector<std::string> FillEveryShard(DurableStore* store) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 256; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(store->Put(key, "value" + std::to_string(i), Label::Bottom(), Label::Top()),
+              Status::kOk);
+    keys.push_back(key);
+    bool all_populated = true;
+    for (uint32_t k = 0; k < store->shard_count(); ++k) {
+      all_populated = all_populated && store->shard_stats(k).records > 0;
+    }
+    if (all_populated && keys.size() >= 16) {
+      return keys;
+    }
+  }
+  ADD_FAILURE() << "256 keys failed to cover every shard — routing is broken";
+  return keys;
+}
+
+TEST(ShardedStoreTest, SpreadsRecordsAndRoundTrips) {
+  TempDir dir;
+  const Label secrecy({{H(42), Level::kL3}}, Level::kStar);
+  std::vector<std::string> keys;
+  {
+    auto store = DurableStore::Open(ShardedOpts(dir, 4));
+    ASSERT_TRUE(store.ok());
+    ASSERT_EQ(store.value()->shard_count(), 4u);
+    keys = FillEveryShard(store.value().get());
+    ASSERT_EQ(store.value()->Put("labeled", "v", secrecy, Label::Top()), Status::kOk);
+  }
+  // The on-disk layout is the documented one: a stamp plus per-shard dirs.
+  EXPECT_EQ(::access((dir.path() + "/store/shards").c_str(), F_OK), 0);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(::access((dir.path() + "/store/shard-" + std::to_string(k) + "/wal").c_str(), F_OK),
+              0);
+  }
+  // Reopen requesting a DIFFERENT count: the creation stamp must win, or
+  // every key would rehash into the wrong shard.
+  auto store = DurableStore::Open(ShardedOpts(dir, 16));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->shard_count(), 4u);
+  ASSERT_EQ(store.value()->size(), keys.size() + 1);
+  for (const std::string& key : keys) {
+    ASSERT_NE(store.value()->Get(key), nullptr) << key;
+  }
+  const StoreRecord* r = store.value()->Get("labeled");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->secrecy.Equals(secrecy));
+  // ForEach visits everything exactly once.
+  size_t visited = 0;
+  store.value()->ForEach([&](const std::string&, const StoreRecord&) { ++visited; });
+  EXPECT_EQ(visited, keys.size() + 1);
+}
+
+TEST(ShardedStoreTest, LegacyFlatStoreAdoptsSingleShard) {
+  TempDir dir;
+  {  // A PR-1-era store: flat layout, no shard stamp.
+    auto store = DurableStore::Open(Opts(dir));
+    ASSERT_TRUE(store.ok());
+    ASSERT_EQ(store.value()->Put("old", "data", Label::Bottom(), Label::Top()), Status::kOk);
+  }
+  ASSERT_NE(::access((dir.path() + "/store/wal").c_str(), F_OK), -1);
+  // Opening with shards requested must not strand the flat-layout data.
+  auto store = DurableStore::Open(ShardedOpts(dir, 8));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->shard_count(), 1u);
+  ASSERT_NE(store.value()->Get("old"), nullptr);
+  EXPECT_EQ(store.value()->Get("old")->value, "data");
+}
+
+TEST(ShardedStoreTest, TornTailInOneShardDoesNotBlockSiblings) {
+  TempDir dir;
+  std::vector<std::string> keys;
+  uint32_t torn_shard = 0;
+  std::string torn_key;
+  {
+    auto store = DurableStore::Open(ShardedOpts(dir, 4));
+    ASSERT_TRUE(store.ok());
+    keys = FillEveryShard(store.value().get());
+    // Tear the shard holding the LAST key whose append is that shard's tail
+    // record — use the final key written and tear its shard's log.
+    torn_key = keys.back();
+    torn_shard = store.value()->ShardIndexOf(torn_key);
+  }
+  TruncateFileBy(dir.path() + "/store/shard-" + std::to_string(torn_shard) + "/wal", 3);
+  auto store = DurableStore::Open(ShardedOpts(dir, 4));
+  ASSERT_TRUE(store.ok()) << "a torn shard must not fail the whole open";
+  // Exactly the torn shard reports dropped bytes; every sibling recovers
+  // its full contents.
+  for (uint32_t k = 0; k < 4; ++k) {
+    const auto stats = store.value()->shard_stats(k);
+    if (k == torn_shard) {
+      EXPECT_GT(stats.torn_tail_bytes_dropped, 0u);
+    } else {
+      EXPECT_EQ(stats.torn_tail_bytes_dropped, 0u) << "sibling shard " << k;
+    }
+  }
+  // The torn shard lost exactly its tail record; every other key survives.
+  EXPECT_EQ(store.value()->Get(torn_key), nullptr);
+  for (const std::string& key : keys) {
+    if (key != torn_key && store.value()->ShardIndexOf(key) != torn_shard) {
+      EXPECT_NE(store.value()->Get(key), nullptr) << key;
+    }
+  }
+  // And the repaired shard accepts writes again.
+  ASSERT_EQ(store.value()->Put(torn_key, "again", Label::Bottom(), Label::Top()), Status::kOk);
+}
+
+TEST(ShardedStoreTest, CorruptShardStampRefusesToOpen) {
+  TempDir dir;
+  {
+    auto store = DurableStore::Open(ShardedOpts(dir, 4));
+    ASSERT_TRUE(store.ok());
+  }
+  FILE* f = ::fopen((dir.path() + "/store/shards").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  ::fputs("not-a-number", f);
+  ::fclose(f);
+  auto store = DurableStore::Open(ShardedOpts(dir, 4));
+  EXPECT_FALSE(store.ok()) << "an unreadable shard stamp must not be guessed around";
+}
+
+// --- Group commit -----------------------------------------------------------
+
+TEST(GroupCommitTest, SyncFlushesOnlyDirtyShards) {
+  TempDir dir;
+  auto store = DurableStore::Open(ShardedOpts(dir, 4));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->dirty_shard_count(), 0u);
+  // One key dirties exactly its own shard.
+  ASSERT_EQ(store.value()->Put("solo", "v", Label::Bottom(), Label::Top()), Status::kOk);
+  EXPECT_EQ(store.value()->dirty_shard_count(), 1u);
+  EXPECT_TRUE(store.value()->shard_stats(store.value()->ShardIndexOf("solo")).dirty);
+  // A batch across every shard dirties them all; one Sync clears them all.
+  FillEveryShard(store.value().get());
+  EXPECT_EQ(store.value()->dirty_shard_count(), 4u);
+  ASSERT_EQ(store.value()->Sync(), Status::kOk);
+  EXPECT_EQ(store.value()->dirty_shard_count(), 0u);
+  // Sync with nothing dirty stays a no-op (and keeps returning kOk).
+  ASSERT_EQ(store.value()->Sync(), Status::kOk);
+  // Erase dirties like Put does.
+  ASSERT_EQ(store.value()->Erase("solo"), Status::kOk);
+  EXPECT_EQ(store.value()->dirty_shard_count(), 1u);
+}
+
+TEST(GroupCommitTest, CompactionClearsDirtiness) {
+  TempDir dir;
+  auto store = DurableStore::Open(ShardedOpts(dir, 2));
+  ASSERT_TRUE(store.ok());
+  FillEveryShard(store.value().get());
+  ASSERT_GT(store.value()->dirty_shard_count(), 0u);
+  // Compact folds the log into the snapshot and resets (syncs) it: nothing
+  // is left pending.
+  ASSERT_EQ(store.value()->Compact(), Status::kOk);
+  EXPECT_EQ(store.value()->dirty_shard_count(), 0u);
+}
+
 TEST(DurableStoreTest, MemStatsTrackLiveBytes) {
   const int64_t base = GetStoreMemStats().live_bytes;
   const int64_t base_records = GetStoreMemStats().live_records;
