@@ -1,0 +1,54 @@
+// FNV-1a, 64-bit: the repo's one non-cryptographic hash.
+//
+// Two very different stability requirements share this function, which is
+// exactly why it lives in one place:
+//   * src/store routes keys to shards with it — there it is ON-DISK-FORMAT
+//     CRITICAL: a record must be found in the shard whose log holds it, so
+//     the constants and byte order below may never change (std::hash
+//     guarantees neither across runs/toolchains, which is why it is not
+//     used);
+//   * src/labels/intern.h buckets canonical label reps with it — in-memory
+//     only, but kept on the same implementation so nobody "cleans up" one
+//     copy assuming it is independent of the other.
+#ifndef SRC_BASE_HASH_H_
+#define SRC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace asbestos {
+
+constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+// Folds `n` raw bytes into `h`. Chainable: pass a previous result as `h`.
+inline uint64_t Fnv1aBytes(const void* data, size_t n, uint64_t h = kFnv1aOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a(std::string_view s, uint64_t h = kFnv1aOffsetBasis) {
+  return Fnv1aBytes(s.data(), s.size(), h);
+}
+
+// Word-at-a-time mixer for IN-MEMORY hashing of u64 sequences (label intern
+// hashing, check-cache set selection): one multiply-xorshift round per word
+// — an order of magnitude cheaper than byte-wise FNV on packed entries, with
+// the avalanche byte-FNV lacks (adjacent ids must not cluster cache sets).
+// Never use for anything persisted; the on-disk-stable hash is Fnv1a above.
+inline uint64_t HashMix64(uint64_t h, uint64_t v) {
+  h ^= v * 0x9e3779b97f4a7c15ULL;  // golden-ratio odd constant
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;  // splitmix64 finalizer round
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace asbestos
+
+#endif  // SRC_BASE_HASH_H_

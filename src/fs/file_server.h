@@ -71,9 +71,11 @@ class FileServerProcess : public ProcessCode {
 
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
-  // Group commit: fsyncs every store shard dirtied during this pump
-  // iteration, exactly once.
+  // Group commit, pipelined: hands every shard dirtied during this pump
+  // iteration to the background flusher (ack deferred one pump; see
+  // DurableStore::SyncPipelined for the two-batch crash window).
   void OnIdle(ProcessContext& ctx) override;
+  bool HasOnIdle() const override { return true; }
 
   // Boot-loader helper: spawn labels for a recovered server — ⋆ for every
   // recovered secrecy compartment (so serving it does not taint the server)

@@ -6,6 +6,7 @@
 #include "src/kernel/label_checks.h"
 
 #include "src/base/panic.h"
+#include "src/labels/intern.h"
 #include "src/sim/costs.h"
 #include "src/store/store.h"
 
@@ -588,6 +589,9 @@ ProcessId Kernel::CreateProcess(std::unique_ptr<ProcessCode> code, SpawnArgs arg
   proc->env = std::move(args.env);
   Process* raw = proc.get();
   processes_.emplace(pid, std::move(proc));
+  if (raw->code->HasOnIdle()) {
+    idle_hook_pids_.push_back(pid);
+  }
   stats_.processes_created += 1;
   mem_.processes += 1;
   UpdatePeak();
@@ -680,23 +684,23 @@ void Kernel::RunUntilIdle() {
   while (true) {
     while (Step()) {
     }
-    // End of the pump iteration: give every live process its OnIdle hook
-    // (group commit of durable stores lives here). The pid snapshot keeps
-    // the walk safe against table mutation; hooks are not supposed to send,
-    // but if one does, the fresh work is drained by another round rather
-    // than left queued — and a hook that sends every round is the same
-    // livelock any self-rescheduling process could already cause.
-    std::vector<ProcessId> pids;
-    pids.reserve(processes_.size());
-    for (const auto& [pid, proc] : processes_) {
-      pids.push_back(pid);
-    }
-    for (const ProcessId pid : pids) {
-      Process* proc = FindProcess(pid);
-      if (proc == nullptr || proc->exited) {
-        continue;
+    // End of the pump iteration: dispatch OnIdle to the processes that
+    // declared a hook at creation (group commit of durable stores lives
+    // here) — the common volatile world has none and skips this entirely.
+    // The pid snapshot keeps the walk safe against table mutation; hooks
+    // are not supposed to send, but if one does, the fresh work is drained
+    // by another round rather than left queued — and a hook that sends
+    // every round is the same livelock any self-rescheduling process could
+    // already cause.
+    if (!idle_hook_pids_.empty()) {
+      const std::vector<ProcessId> pids = idle_hook_pids_;
+      for (const ProcessId pid : pids) {
+        Process* proc = FindProcess(pid);
+        if (proc == nullptr || proc->exited) {
+          continue;
+        }
+        RunInBaseContext(*proc, [proc](ProcessContext& ctx) { proc->code->OnIdle(ctx); });
       }
-      RunInBaseContext(*proc, [proc](ProcessContext& ctx) { proc->code->OnIdle(ctx); });
     }
     if (run_queue_.empty()) {
       return;
@@ -937,6 +941,8 @@ void Kernel::DestroyProcess(Process& proc) {
   }
   mem_.modeled_user_heap_bytes -= static_cast<uint64_t>(proc.modeled_heap_bytes);
   mem_.processes -= 1;
+  idle_hook_pids_.erase(std::remove(idle_hook_pids_.begin(), idle_hook_pids_.end(), proc.id),
+                        idle_hook_pids_.end());
   processes_.erase(proc.id);  // `proc` is dangling after this line
 }
 
@@ -992,6 +998,10 @@ KernelMemReport Kernel::MemReport() const {
   r.process_bytes = mem_.processes * kProcessKernelBytes;
   r.ep_bytes = mem_.event_processes * kEpKernelBytes;
   r.label_bytes = static_cast<uint64_t>(GetLabelMemStats().live_bytes);
+  const LabelInternStats& intern = GetLabelInternStats();
+  r.label_intern_index_bytes =
+      static_cast<uint64_t>(intern.live_canonical) * kLabelInternEntryBytes;
+  r.label_dedup_saved_bytes = intern.bytes_saved;
   r.page_bytes = static_cast<uint64_t>(GetSimPageStats().live_pages) * kPageSize;
   r.overlay_slot_bytes = mem_.overlay_page_slots * kOverlayPageSlotBytes;
   r.queue_bytes = mem_.queued_message_bytes;

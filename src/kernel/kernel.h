@@ -76,6 +76,12 @@ struct KernelMemReport {
   uint64_t process_bytes = 0;
   uint64_t ep_bytes = 0;
   uint64_t label_bytes = 0;        // real live label heap (src/labels)
+  // Hash-consing (src/labels/intern.h): modeled index overhead of the intern
+  // table (counted in total_bytes — durability of dedup is not free), and the
+  // cumulative label heap dedup avoided allocating (informational; NOT in
+  // total_bytes, since those bytes were never live).
+  uint64_t label_intern_index_bytes = 0;
+  uint64_t label_dedup_saved_bytes = 0;
   uint64_t page_bytes = 0;         // real live simulated pages
   uint64_t overlay_slot_bytes = 0;
   uint64_t queue_bytes = 0;        // queued message payloads + envelopes
@@ -89,9 +95,9 @@ struct KernelMemReport {
   uint64_t store_bytes = 0;
 
   uint64_t total_bytes() const {
-    return vnode_bytes + process_bytes + ep_bytes + label_bytes + page_bytes +
-           overlay_slot_bytes + queue_bytes + queue_arena_bytes + modeled_heap_bytes +
-           store_bytes;
+    return vnode_bytes + process_bytes + ep_bytes + label_bytes + label_intern_index_bytes +
+           page_bytes + overlay_slot_bytes + queue_bytes + queue_arena_bytes +
+           modeled_heap_bytes + store_bytes;
   }
   double total_pages() const { return static_cast<double>(total_bytes()) / kPageSize; }
 };
@@ -300,6 +306,10 @@ class Kernel {
   std::map<ProcessId, std::unique_ptr<Process>> processes_;
   ProcessId next_pid_ = 1;
   std::deque<ProcessId> run_queue_;
+  // Processes whose code declared an idle hook (ProcessCode::HasOnIdle);
+  // RunUntilIdle dispatches OnIdle to exactly these, so worlds without
+  // durable stores pay nothing per pump iteration.
+  std::vector<ProcessId> idle_hook_pids_;
 
   KernelStats stats_;
   KernelMemCounters mem_;

@@ -1,6 +1,9 @@
 #include "src/kernel/label_checks.h"
 
+#include <array>
 #include <cstddef>
+
+#include "src/base/hash.h"
 
 namespace asbestos {
 
@@ -78,10 +81,174 @@ bool NeedsContaminationFullMerge(const Label& es, const Label& qs, uint64_t* wor
   return false;
 }
 
+// --- Flow-check verdict cache ------------------------------------------------
+//
+// Direct-mapped, fixed capacity. Keys are rep-id tuples: ids name one
+// extensional content forever (intern.h), so an entry is valid until
+// displaced — there is no invalidation path at all. Each entry records, in
+// addition to the verdict, the exact `work` and LabelWorkStats deltas the
+// uncached evaluation produced, replayed verbatim on every hit so cycle
+// accounting cannot tell the cache exists.
+
+struct CacheStatsDeltas {
+  uint64_t work = 0;            // the *work the evaluation added
+  uint64_t entries_visited = 0;  // g_work.entries_visited delta (Get probes)
+  uint64_t fast_path_hits = 0;   // g_work.fast_path_hits delta
+};
+
+// Two-way set-associative with MRU-at-way-0 ordering: a handful of hot
+// tuples that collide into one set (the 64-session working set) would
+// ping-pong a direct-mapped slot; two ways absorb that without the cost of
+// a real LRU structure.
+template <size_t KeyArity, size_t Slots>
+struct CheckCache {
+  static constexpr size_t kWays = 2;
+  static constexpr size_t kSets = Slots / kWays;
+  static_assert(Slots % kWays == 0, "slot count must split into sets");
+  // The set index is a bitmask of the hash; a non-power-of-two set count
+  // would silently make part of the cache unreachable.
+  static_assert(kSets != 0 && (kSets & (kSets - 1)) == 0,
+                "set count must be a power of two");
+
+  struct Entry {
+    std::array<uint64_t, KeyArity> key;
+    bool valid = false;
+    bool verdict = false;
+    CacheStatsDeltas deltas;
+  };
+
+  std::array<Entry, Slots>* slots = nullptr;  // allocated on first use
+
+  // First entry of the key's set; the set is kWays consecutive entries.
+  Entry* SetFor(const std::array<uint64_t, KeyArity>& key) {
+    if (slots == nullptr) {
+      slots = new std::array<Entry, Slots>();
+    }
+    uint64_t h = kFnv1aOffsetBasis;
+    for (uint64_t k : key) {
+      h = HashMix64(h, k);  // shared word mixer, src/base/hash.h
+    }
+    return &(*slots)[(h & (kSets - 1)) * kWays];
+  }
+
+  void Clear() {
+    if (slots != nullptr) {
+      for (Entry& e : *slots) {
+        e.valid = false;
+      }
+    }
+  }
+};
+
+LabelCheckCacheStats g_cache_stats;
+bool g_cache_enabled = true;
+CheckCache<5, kDeliveryCacheSlots> g_delivery_cache;
+CheckCache<2, kContaminationCacheSlots> g_contamination_cache;
+
+// Runs `eval` (the uncached check) while recording the LabelWorkStats and
+// *work deltas it produces, then installs the result in `entry`.
+template <typename Entry, typename EvalFn>
+bool EvaluateAndInsert(Entry& entry, const std::array<uint64_t, std::tuple_size<decltype(entry.key)>::value>& key,
+                       uint64_t* work, const EvalFn& eval) {
+  const LabelWorkStats before = GetLabelWorkStats();
+  uint64_t local_work = 0;
+  const bool verdict = eval(&local_work);
+  const LabelWorkStats& after = GetLabelWorkStats();
+  g_cache_stats.misses += 1;
+  if (entry.valid) {
+    g_cache_stats.evictions += 1;
+  }
+  entry.key = key;
+  entry.valid = true;
+  entry.verdict = verdict;
+  entry.deltas.work = local_work;
+  entry.deltas.entries_visited = after.entries_visited - before.entries_visited;
+  entry.deltas.fast_path_hits = after.fast_path_hits - before.fast_path_hits;
+  *work += local_work;
+  return verdict;
+}
+
+// Replays the recorded cost of the uncached evaluation (cycle-accounting
+// fidelity), then returns the memoized verdict.
+template <typename Entry>
+bool ReplayHit(const Entry& entry, uint64_t* work) {
+  g_cache_stats.hits += 1;
+  *work += entry.deltas.work;
+  LabelWorkStats& stats = GetLabelWorkStats();
+  stats.entries_visited += entry.deltas.entries_visited;
+  stats.fast_path_hits += entry.deltas.fast_path_hits;
+  return entry.verdict;
+}
+
+bool CheckDeliveryAllowedUncached(const Label& es, const Label& qr, const Label& dr,
+                                  const Label& v, const Label& pr, uint64_t* work);
+bool NeedsContaminationUncached(const Label& es, const Label& qs, uint64_t* work);
+
+}  // namespace
+
+const LabelCheckCacheStats& GetLabelCheckCacheStats() { return g_cache_stats; }
+
+void ResetLabelCheckCache() {
+  g_delivery_cache.Clear();
+  g_contamination_cache.Clear();
+  g_cache_stats = LabelCheckCacheStats();
+}
+
+void SetLabelCheckCacheEnabled(bool enabled) { g_cache_enabled = enabled; }
+bool LabelCheckCacheEnabled() { return g_cache_enabled; }
+
+namespace {
+
+// Probe-or-evaluate over one 2-way set: hits promote to way 0 (MRU), misses
+// evaluate uncached and install over an invalid way or the LRU way 1.
+template <typename Cache, size_t KeyArity, typename EvalFn>
+bool CachedCheck(Cache& cache, const std::array<uint64_t, KeyArity>& key, uint64_t* work,
+                 const EvalFn& eval) {
+  auto* set = cache.SetFor(key);
+  for (size_t way = 0; way < Cache::kWays; ++way) {
+    if (set[way].valid && set[way].key == key) {
+      if (way != 0) {
+        std::swap(set[0], set[way]);
+      }
+      return ReplayHit(set[0], work);
+    }
+  }
+  auto& victim = !set[0].valid ? set[0] : set[Cache::kWays - 1];
+  const bool verdict = EvaluateAndInsert(victim, key, work, eval);
+  if (&victim != &set[0]) {
+    std::swap(set[0], victim);  // freshly inserted = most recently used
+  }
+  return verdict;
+}
+
 }  // namespace
 
 bool CheckDeliveryAllowed(const Label& es, const Label& qr, const Label& dr, const Label& v,
                           const Label& pr, uint64_t* work) {
+  if (!g_cache_enabled) {
+    return CheckDeliveryAllowedUncached(es, qr, dr, v, pr, work);
+  }
+  const std::array<uint64_t, 5> key = {es.rep_id(), qr.rep_id(), dr.rep_id(), v.rep_id(),
+                                       pr.rep_id()};
+  return CachedCheck(g_delivery_cache, key, work, [&](uint64_t* w) {
+    return CheckDeliveryAllowedUncached(es, qr, dr, v, pr, w);
+  });
+}
+
+bool NeedsContamination(const Label& es, const Label& qs, uint64_t* work) {
+  if (!g_cache_enabled) {
+    return NeedsContaminationUncached(es, qs, work);
+  }
+  const std::array<uint64_t, 2> key = {es.rep_id(), qs.rep_id()};
+  return CachedCheck(g_contamination_cache, key, work, [&](uint64_t* w) {
+    return NeedsContaminationUncached(es, qs, w);
+  });
+}
+
+namespace {
+
+bool CheckDeliveryAllowedUncached(const Label& es, const Label& qr, const Label& dr,
+                                  const Label& v, const Label& pr, uint64_t* work) {
   const Level bound_default =
       BoundAt(qr.default_level(), dr.default_level(), v.default_level(), pr.default_level());
   if (!LevelLeq(es.default_level(), bound_default)) {
@@ -161,12 +328,16 @@ bool CheckDeliveryAllowed(const Label& es, const Label& qr, const Label& dr, con
   return CheckDeliveryFullMerge(es, qr, dr, v, pr, work);
 }
 
+}  // namespace
+
 bool CheckDeliveryAllowedNaive(const Label& es, const Label& qr, const Label& dr,
                                const Label& v, const Label& pr) {
   return es.Leq(Label::Glb(Label::Glb(Label::Lub(qr, dr), v), pr));
 }
 
-bool NeedsContamination(const Label& es, const Label& qs, uint64_t* work) {
+namespace {
+
+bool NeedsContaminationUncached(const Label& es, const Label& qs, uint64_t* work) {
   if (LevelLeq(es.max_level(), qs.min_level())) {
     GetLabelWorkStats().fast_path_hits += 1;
     return false;
@@ -207,6 +378,8 @@ bool NeedsContamination(const Label& es, const Label& qs, uint64_t* work) {
   }
   return NeedsContaminationFullMerge(es, qs, work);
 }
+
+}  // namespace
 
 bool NeedsContaminationNaive(const Label& es, const Label& qs) {
   Label after = qs;

@@ -9,6 +9,19 @@
 // (asymmetric small-versus-huge shapes resolved via level histograms and
 // point lookups).
 //
+// On top of the fused evaluation sits a bounded memo cache keyed on the
+// labels' rep ids (src/labels/intern.h). A rep id names one extensional
+// content forever — canonical reps are immutable and in-place mutations
+// re-key — so cached verdicts never need invalidation and are evicted only
+// by capacity. The million-user OKWS hot path re-checks the same
+// (ES, QR, DR, V, pR) tuple per request; with hash-consed labels those
+// tuples hit the cache and the check collapses to a table probe.
+//
+// Charged-cycles fidelity: a cache hit replays exactly the `work` and
+// LabelWorkStats deltas the uncached evaluation produced at insertion time
+// (which are deterministic per id tuple), so Figure-9 cost curves are
+// bit-identical with and without the cache; only wall-clock changes.
+//
 // The *Naive variants materialize the label algebra literally and exist as
 // the reference semantics for property tests.
 #ifndef SRC_KERNEL_LABEL_CHECKS_H_
@@ -30,6 +43,27 @@ bool CheckDeliveryAllowedNaive(const Label& es, const Label& qr, const Label& dr
 // ES(h) > QS(h).
 bool NeedsContamination(const Label& es, const Label& qs, uint64_t* work);
 bool NeedsContaminationNaive(const Label& es, const Label& qs);
+
+// --- Flow-check verdict cache ------------------------------------------------
+
+// Cumulative counters across both caches (delivery and contamination).
+struct LabelCheckCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;      // ran the uncached evaluation and inserted
+  uint64_t evictions = 0;   // insertions that displaced a live entry
+};
+
+const LabelCheckCacheStats& GetLabelCheckCacheStats();
+// Drops every cached verdict and zeroes the stats.
+void ResetLabelCheckCache();
+// Benchmarks and fidelity tests flip this to measure the uncached baseline;
+// the cache is enabled by default. Disabling does not drop entries.
+void SetLabelCheckCacheEnabled(bool enabled);
+bool LabelCheckCacheEnabled();
+
+// Fixed capacities (entries), exposed for the eviction tests.
+inline constexpr size_t kDeliveryCacheSlots = 4096;
+inline constexpr size_t kContaminationCacheSlots = 4096;
 
 }  // namespace asbestos
 

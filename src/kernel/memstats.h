@@ -22,6 +22,10 @@ constexpr uint64_t kProcessKernelBytes = 320;  // §6.1: minimal process structu
 constexpr uint64_t kEpKernelBytes = 44;     // §6.1: event-process kernel state
 constexpr uint64_t kQueuedMessageOverheadBytes = 64;  // kernel envelope per queued message
 constexpr uint64_t kOverlayPageSlotBytes = 16;  // EP modified-page list entry
+// Modeled per-entry overhead of the label intern table (src/labels/intern.h):
+// hash-bucket node, chain slot, and the canonical rep's back-pointer fields.
+// The reps themselves are real label heap, counted by LabelMemStats.
+constexpr uint64_t kLabelInternEntryBytes = 48;
 
 struct KernelMemCounters {
   uint64_t vnodes = 0;

@@ -53,7 +53,17 @@ class ProcessCode {
   // schedule: the context is the base identity, and implementations must
   // not send (a server that needed to speak at idle would livelock the
   // pump). The kernel re-drains after the callbacks just in case.
+  //
+  // IMPORTANT: an override of OnIdle MUST be paired with a HasOnIdle
+  // override returning true — the kernel dispatches idle hooks only to
+  // processes that declared one at creation, so the common volatile world
+  // (no durable stores) pays nothing per pump. An OnIdle without HasOnIdle
+  // is never called.
   virtual void OnIdle(ProcessContext& ctx) { (void)ctx; }
+
+  // Declares that OnIdle is overridden and must be dispatched each pump.
+  // Read once, at process creation.
+  virtual bool HasOnIdle() const { return false; }
 };
 
 // A labeled memory region shareable between event processes — the §6.1

@@ -6,6 +6,7 @@
 
 #include "src/base/panic.h"
 #include "src/base/strings.h"
+#include "src/labels/intern.h"
 
 namespace asbestos {
 
@@ -88,6 +89,15 @@ struct LabelRep {
   Level default_level = Level::kL3;
   Level min_level = Level::kL3;  // over default and all entries
   Level max_level = Level::kL3;
+  // Content-snapshot identity (see intern.h): assigned at creation, and
+  // re-assigned on every in-place mutation, so a given id value names one
+  // extensional content forever.
+  uint64_t id = 0;
+  uint64_t struct_hash = 0;  // valid only when in_table
+  // Canonical reps are immutable: MutableRep clones them even at refcount 1.
+  bool interned = false;
+  bool in_table = false;  // registered in the intern table (unlike the
+                          // per-level shared default singletons)
   uint64_t level_counts[5] = {};  // explicit entries per level
   std::vector<Chunk*> chunks;
 
@@ -107,15 +117,27 @@ LabelRep* NewRep(Level default_level) {
   rep->default_level = default_level;
   rep->min_level = default_level;
   rep->max_level = default_level;
+  rep->id = InternNextRepId();
   g_mem.live_bytes += static_cast<int64_t>(kRepBytes);
   g_mem.live_reps += 1;
   return rep;
 }
 
 void FreeRep(LabelRep* rep) {
+  if (rep->in_table) {
+    InternErase(rep->struct_hash, rep);
+  }
   g_mem.live_bytes -= static_cast<int64_t>(kRepBytes);
   g_mem.live_reps -= 1;
   delete rep;
+}
+
+uint64_t RepHeapBytes(const LabelRep* rep) {
+  uint64_t bytes = kRepBytes;
+  for (const Chunk* c : rep->chunks) {
+    bytes += ChunkBytes(c->capacity);
+  }
+  return bytes;
 }
 
 void RecomputeRepExtrema(LabelRep* rep) {
@@ -179,6 +201,23 @@ class Cursor {
   uint16_t index_ = 0;
 };
 
+// Entry-less default labels ({⋆}, {1}, {2}, {3}) are ubiquitous — every
+// SendArgs default, every fresh vnode — so they share one immutable
+// representation per level. Copy-on-write unshares on first mutation; the
+// `interned` mark makes the immutability explicit (MutableRep always clones
+// canonical reps), so these singletons behave exactly like table-interned
+// reps without occupying the table.
+LabelRepRef SharedDefaultRep(Level default_level) {
+  static LabelRep* cache[5] = {};
+  LabelRep*& slot = cache[LevelOrdinal(default_level)];
+  if (slot == nullptr) {
+    slot = NewRep(default_level);  // one live ref owned by the cache
+    slot->interned = true;
+  }
+  ++slot->refcount;
+  return LabelRepRef(slot);
+}
+
 // Packs sorted entries into a fresh rep: chunked memcpy, one extrema pass.
 // Shared by the merge builders below and LabelBuilder's bulk path.
 LabelRepRef PackSortedEntries(Level default_level, const uint64_t* entries, size_t count,
@@ -202,6 +241,60 @@ LabelRepRef PackSortedEntries(Level default_level, const uint64_t* entries, size
   return LabelRepRef(rep);
 }
 
+// Structural comparison of a canonical-rep candidate against a flat sorted
+// entry array — the intern probe's equality check.
+struct FlatMatchCtx {
+  Level default_level;
+  const uint64_t* entries;
+  size_t count;
+  const uint64_t* level_counts;
+};
+
+bool MatchRepAgainstFlat(const LabelRep* rep, const void* vctx) {
+  const auto* ctx = static_cast<const FlatMatchCtx*>(vctx);
+  if (rep->default_level != ctx->default_level) {
+    return false;
+  }
+  // Histogram mismatch (which implies count mismatch) rejects in O(1).
+  for (int i = 0; i < 5; ++i) {
+    if (rep->level_counts[i] != ctx->level_counts[i]) {
+      return false;
+    }
+  }
+  Cursor c(rep);
+  for (size_t i = 0; i < ctx->count; ++i, c.Advance()) {
+    if (c.done() || c.entry() != ctx->entries[i]) {
+      return false;
+    }
+  }
+  return c.done();
+}
+
+// The hash-consing funnel (see intern.h): every completed construction from
+// sorted entries lands here. A live canonical rep with the same content is
+// shared; otherwise the freshly packed rep is registered as canonical.
+// Deliberately invisible to LabelWorkStats — interning changes wall-clock
+// and memory, never the charged label-algebra cost.
+LabelRepRef InternSortedEntries(Level default_level, const uint64_t* entries, size_t count,
+                                const uint64_t level_counts[5]) {
+  if (count == 0) {
+    return SharedDefaultRep(default_level);  // per-level canonical singleton
+  }
+  const uint64_t hash = InternHashEntries(LevelOrdinal(default_level), entries, count);
+  const FlatMatchCtx ctx{default_level, entries, count, level_counts};
+  if (LabelRep* canonical = InternLookup(hash, MatchRepAgainstFlat, &ctx)) {
+    InternNoteDedup(RepHeapBytes(canonical));  // same layout a fresh pack would use
+    ++canonical->refcount;
+    return LabelRepRef(canonical);
+  }
+  LabelRepRef rep = PackSortedEntries(default_level, entries, count, level_counts);
+  rep.get()->struct_hash = hash;
+  rep.get()->interned = true;
+  rep.get()->in_table = true;
+  InternInsert(hash, rep.get());
+  return rep;
+}
+
 // Accumulates sorted packed entries and packs them into chunks.
 class RepBuilder {
  public:
@@ -216,7 +309,7 @@ class RepBuilder {
   }
 
   LabelRepRef Finish() {
-    return PackSortedEntries(default_level_, entries_.data(), entries_.size(), level_counts_);
+    return InternSortedEntries(default_level_, entries_.data(), entries_.size(), level_counts_);
   }
 
  private:
@@ -277,26 +370,9 @@ LabelWorkStats& GetLabelWorkStats() { return g_work; }
 void ResetLabelWorkStats() { g_work = LabelWorkStats(); }
 const LabelMemStats& GetLabelMemStats() { return g_mem; }
 
-namespace {
+Label::Label() : rep_(internal::SharedDefaultRep(Level::kL3)) {}
 
-// Entry-less default labels ({⋆}, {1}, {2}, {3}) are ubiquitous — every
-// SendArgs default, every fresh vnode — so they share one immutable
-// representation per level. Copy-on-write unshares on first mutation.
-internal::LabelRepRef SharedDefaultRep(Level default_level) {
-  static internal::LabelRep* cache[5] = {};
-  internal::LabelRep*& slot = cache[LevelOrdinal(default_level)];
-  if (slot == nullptr) {
-    slot = internal::NewRep(default_level);  // one live ref owned by the cache
-  }
-  ++slot->refcount;
-  return internal::LabelRepRef(slot);
-}
-
-}  // namespace
-
-Label::Label() : rep_(SharedDefaultRep(Level::kL3)) {}
-
-Label::Label(Level default_level) : rep_(SharedDefaultRep(default_level)) {}
+Label::Label(Level default_level) : rep_(internal::SharedDefaultRep(default_level)) {}
 
 Label::Label(std::initializer_list<std::pair<Handle, Level>> entries, Level default_level)
     : Label(default_level) {
@@ -412,9 +488,15 @@ bool Label::HasExplicit(Handle h) const {
   return i < c->size && EntryHandle(c->entries[i]) == h;
 }
 
+uint64_t Label::rep_id() const { return rep_->id; }
+bool Label::rep_canonical() const { return rep_->interned; }
+
 LabelRep* Label::MutableRep() {
   LabelRep* rep = rep_.get();
-  if (rep->refcount > 1) {
+  // Canonical reps are immutable even when this label is their only owner:
+  // the intern table and the check cache both key on their identity, so
+  // mutating one in place would corrupt every future lookup.
+  if (rep->refcount > 1 || rep->interned) {
     rep_ = LabelRepRef(internal::CloneRep(rep));
     rep = rep_.get();
   }
@@ -443,6 +525,10 @@ void Label::Set(Handle h, Level l) {
 
   rep = MutableRep();
   g_work.entries_visited += 1;
+  // The content is about to change in place: retire the old snapshot id so
+  // anything keyed on it (the kernel's check cache) can never match stale
+  // content. Cheap, and harmless when MutableRep just cloned.
+  rep->id = internal::InternNextRepId();
 
   if (exists) {
     // Unshare the chunk, then overwrite or remove in place.
@@ -755,23 +841,59 @@ Label Label::StarsOnly() const {
 bool Label::Equals(const Label& other) const {
   const LabelRep* a = rep_.get();
   const LabelRep* b = other.rep_.get();
+  // Shared-rep fast path: COW copies and hash-consed constructions compare
+  // in O(1), whatever their size.
   if (a == b) {
     return true;
+  }
+  // Two simultaneously-live canonical reps are structurally distinct by the
+  // intern invariant, so distinct pointers decide inequality in O(1) too.
+  if (a->interned && b->interned) {
+    return false;
   }
   if (a->default_level != b->default_level || a->min_level != b->min_level ||
       a->max_level != b->max_level) {
     return false;
   }
-  internal::Cursor ca(a);
-  internal::Cursor cb(b);
-  while (!ca.done() && !cb.done()) {
-    if (ca.entry() != cb.entry()) {
+  for (int i = 0; i < 5; ++i) {
+    if (a->level_counts[i] != b->level_counts[i]) {
       return false;
     }
-    ca.Advance();
-    cb.Advance();
   }
-  return ca.done() && cb.done();
+  // Entry walk with whole-chunk skipping: a COW clone that diverged in one
+  // chunk still shares the others, and pointer-identical chunks at a chunk
+  // boundary are equal without touching their entries.
+  size_t ai = 0;
+  size_t bi = 0;
+  uint16_t aj = 0;
+  uint16_t bj = 0;
+  const auto& achunks = a->chunks;
+  const auto& bchunks = b->chunks;
+  for (;;) {
+    while (ai < achunks.size() && aj >= achunks[ai]->size) {
+      ++ai;
+      aj = 0;
+    }
+    while (bi < bchunks.size() && bj >= bchunks[bi]->size) {
+      ++bi;
+      bj = 0;
+    }
+    const bool a_done = ai >= achunks.size();
+    const bool b_done = bi >= bchunks.size();
+    if (a_done || b_done) {
+      return a_done && b_done;
+    }
+    if (aj == 0 && bj == 0 && achunks[ai] == bchunks[bi]) {
+      ++ai;
+      ++bi;
+      continue;
+    }
+    if (achunks[ai]->entries[aj] != bchunks[bi]->entries[bj]) {
+      return false;
+    }
+    ++aj;
+    ++bj;
+  }
 }
 
 void Label::JoinInPlace(const Label& other) {
@@ -874,13 +996,7 @@ std::vector<std::pair<Handle, Level>> Label::Entries() const {
   return out;
 }
 
-uint64_t Label::heap_bytes() const {
-  uint64_t bytes = internal::kRepBytes;
-  for (const Chunk* c : rep_->chunks) {
-    bytes += internal::ChunkBytes(c->capacity);
-  }
-  return bytes;
-}
+uint64_t Label::heap_bytes() const { return internal::RepHeapBytes(rep_.get()); }
 
 std::string Label::ToString() const {
   std::string out = "{";
@@ -910,7 +1026,11 @@ bool Label::Parse(std::string_view text, Label* out) {
   if (def_part.size() != 1 || !LevelFromName(def_part[0], &def)) {
     return false;
   }
-  Label result(def);
+  // Build through LabelBuilder so parsed labels land on the hash-consing
+  // path: re-parsing a label the process already holds shares its canonical
+  // rep instead of allocating a twin. Validation happens before each Append
+  // (the builder asserts, it does not report).
+  LabelBuilder builder(def);
   uint64_t prev_handle = 0;
   for (size_t i = 0; i + 1 < parts.size(); ++i) {
     const std::string_view entry = Trim(parts[i]);
@@ -935,9 +1055,11 @@ bool Label::Parse(std::string_view text, Label* out) {
     if (level_part.size() != 1 || !LevelFromName(level_part[0], &l)) {
       return false;
     }
-    result.Set(Handle::FromValue(handle_value), l);
+    if (l != def) {  // a default-valued entry parses as a no-op, as Set did
+      builder.Append(Handle::FromValue(handle_value), l);
+    }
   }
-  *out = result;
+  *out = builder.Build();
   return true;
 }
 
@@ -955,8 +1077,8 @@ void LabelBuilder::Append(Handle h, Level l) {
 }
 
 Label LabelBuilder::Build() {
-  Label result(
-      internal::PackSortedEntries(default_level_, entries_.data(), entries_.size(), level_counts_));
+  Label result(internal::InternSortedEntries(default_level_, entries_.data(), entries_.size(),
+                                             level_counts_));
   entries_.clear();
   last_packed_ = 0;
   for (int l = 0; l < 5; ++l) {

@@ -19,6 +19,13 @@
 // comparisons O(1). Worst-case ⊑/⊔/⊓ is linear in the entry count — this
 // linearity is what produces the performance shape of paper Figure 9.
 //
+// On top of copy-on-write sharing, completed constructions are hash-consed
+// (src/labels/intern.h): extensionally equal labels built through
+// LabelBuilder::Build, Lub/Glb/StarsOnly merges, or Parse share one
+// immutable canonical rep with a stable 64-bit identity (rep_id), so
+// repeated recovery/derivation of the same label costs one allocation and
+// equality between canonical labels is a pointer comparison.
+//
 // All operations update global work counters (entries visited, fast-path
 // hits) that the simulator's cycle accounting consumes, and global memory
 // counters that the Figure-6 memory accounting consumes.
@@ -129,6 +136,16 @@ class Label {
   static Label Glb(const Label& a, const Label& b);     // a ⊓ b
   Label StarsOnly() const;                              // L⋆
   bool Equals(const Label& other) const;                // extensional equality
+
+  // --- Canonical identity (src/labels/intern.h) ----------------------------
+  // Stable 64-bit identity of this label's current content. Equal ids imply
+  // extensionally equal labels, forever: canonical (hash-consed) reps are
+  // immutable and share one id per content, and an in-place mutation of a
+  // private rep assigns a fresh id. The kernel's check cache keys on these.
+  uint64_t rep_id() const;
+  // True when this label shares the canonical (interned, immutable) rep for
+  // its content. Two canonical labels are equal iff their ids are equal.
+  bool rep_canonical() const;
 
   // this ← this ⊔ other / this ⊓ other, sharing representation when one
   // side already dominates. These are the kernel's contamination hot path.

@@ -3,6 +3,8 @@
 #include "src/base/strings.h"
 #include "src/net/netd.h"
 #include "src/sim/costs.h"
+#include "src/sim/cycles.h"
+#include "src/store/label_codec.h"
 
 namespace asbestos {
 
@@ -12,6 +14,40 @@ namespace {
 
 std::string SessionKey(const std::string& user, const std::string& service) {
   return user + "\x1f" + service;
+}
+
+// Durable session record value: varint uT, varint uG, varint expiry,
+// length-prefixed password. uW is deliberately NOT stored — the worker event
+// process it names dies with the boot, and a recovered session's first
+// connection forks a fresh one. Labels mirror idd's identity records: the
+// session is the user's private state ({uT 3, ⋆}) rewritable only by a
+// uG-speaker ({uG 0, 3}).
+std::string EncodeSessionValue(Handle taint, Handle grant, uint64_t expires_at,
+                               const std::string& password) {
+  std::string out;
+  codec::AppendVarint(taint.value(), &out);
+  codec::AppendVarint(grant.value(), &out);
+  codec::AppendVarint(expires_at, &out);
+  codec::AppendString(password, &out);
+  return out;
+}
+
+bool DecodeSessionValue(std::string_view value, Handle* taint, Handle* grant,
+                        uint64_t* expires_at, std::string* password) {
+  size_t pos = 0;
+  uint64_t t = 0;
+  uint64_t g = 0;
+  std::string_view pw;
+  if (!IsOk(codec::ReadVarint(value, &pos, &t)) || !IsOk(codec::ReadVarint(value, &pos, &g)) ||
+      !IsOk(codec::ReadVarint(value, &pos, expires_at)) ||
+      !IsOk(codec::ReadString(value, &pos, &pw)) || pos != value.size() ||
+      t == 0 || t > Handle::kMaxValue || g == 0 || g > Handle::kMaxValue) {
+    return false;
+  }
+  *taint = Handle::FromValue(t);
+  *grant = Handle::FromValue(g);
+  password->assign(pw);
+  return true;
 }
 
 // Pulls "user:pass" out of the Authorization header (or user=/pass= query
@@ -44,6 +80,98 @@ std::string ServiceName(const std::string& path) {
 
 }  // namespace
 
+DemuxProcess::DemuxProcess(DemuxOptions options) : options_(std::move(options)) {
+  if (options_.store_dir.empty()) {
+    return;
+  }
+  StoreOptions sopts;
+  sopts.dir = options_.store_dir;
+  sopts.shards = options_.shards;
+  auto store = DurableStore::Open(std::move(sopts));
+  ASB_ASSERT(store.ok() && "demux session store failed to open");
+  store_ = store.take();
+  RecoverSessions();
+}
+
+void DemuxProcess::RecoverSessions() {
+  const uint64_t now = GetCycleAccounting().now();
+  const uint64_t ttl = options_.session_ttl_cycles;
+  std::vector<std::string> expired;
+  store_->ForEach([this, now, ttl, &expired](const std::string& key, const StoreRecord& record) {
+    Session s;
+    if (!DecodeSessionValue(record.value, &s.taint, &s.grant, &s.expires_at_cycles,
+                            &s.password)) {
+      return;  // skip records this build cannot parse; never refuse to boot
+    }
+    // Expiry timestamps are absolute virtual time, and the virtual clock is
+    // process-local: a fresh OS process restarts it at 0, which would make
+    // every stale timestamp from a long-lived previous run look far in the
+    // future and resurrect long-expired sessions. Bound the other side too:
+    // a live session's expiry can never sit more than one TTL ahead of now
+    // (registration stamped now+ttl with registration ≤ now), so anything
+    // past that bound is a previous clock era and is equally expired.
+    if (s.expires_at_cycles != 0 &&
+        (s.expires_at_cycles <= now || (ttl != 0 && s.expires_at_cycles > now + ttl))) {
+      expired.push_back(key);  // died while the machine was down
+      return;
+    }
+    // uW is per-boot; the first connection of this session forks a fresh
+    // event process at the service port and re-registers it.
+    s.uw = Handle::Invalid();
+    sessions_.emplace(key, std::move(s));
+  });
+  for (const std::string& key : expired) {
+    (void)store_->Erase(key);
+  }
+}
+
+void DemuxProcess::OnIdle(ProcessContext& ctx) {
+  (void)ctx;
+  if (store_ != nullptr) {
+    ASB_ASSERT(store_->SyncPipelined() == Status::kOk);
+  }
+}
+
+Label DemuxProcess::recovered_stars() const {
+  Label stars = Label::Top();
+  for (const auto& [key, s] : sessions_) {
+    stars.Set(s.taint, Level::kStar);
+    stars.Set(s.grant, Level::kStar);
+  }
+  return stars;
+}
+
+DemuxProcess::Session* DemuxProcess::FindLiveSession(const std::string& key) {
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    return nullptr;
+  }
+  if (it->second.expires_at_cycles != 0 &&
+      it->second.expires_at_cycles <= GetCycleAccounting().now()) {
+    EraseDurableSession(key);
+    sessions_.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void DemuxProcess::PersistSession(const std::string& key, const Session& s) {
+  if (store_ == nullptr) {
+    return;
+  }
+  const Label secrecy({{s.taint, Level::kL3}}, Level::kStar);
+  const Label integrity({{s.grant, Level::kL0}}, Level::kL3);
+  ASB_ASSERT(store_->Put(key,
+                         EncodeSessionValue(s.taint, s.grant, s.expires_at_cycles, s.password),
+                         secrecy, integrity) == Status::kOk);
+}
+
+void DemuxProcess::EraseDurableSession(const std::string& key) {
+  if (store_ != nullptr) {
+    (void)store_->Erase(key);  // kNotFound is fine: never persisted
+  }
+}
+
 void DemuxProcess::Start(ProcessContext& ctx) {
   register_port_ = ctx.NewPort(Label::Top());
   ASB_ASSERT(ctx.SetPortLabel(register_port_, Label::Top()) == Status::kOk);
@@ -56,6 +184,17 @@ void DemuxProcess::Start(ProcessContext& ctx) {
   idd_login_ = Handle::FromValue(ctx.GetEnv("idd_login"));
   self_verify_ = ctx.GetEnv("self_verify");
   ASB_ASSERT(launcher_port_.valid() && netd_ctl_.valid() && idd_login_.valid());
+
+  // Recovered sessions: on the live path, idd's login reply raised our
+  // receive label for each uT (D_R); a recovered session skips idd, so we
+  // re-accept each taint ourselves. Requires uT ⋆, which the launcher
+  // re-granted at spawn from the recovered privilege set — a failure here
+  // means demux persistence was configured without idd's durable identity
+  // cache backing the same boot.
+  for (const auto& [key, s] : sessions_) {
+    ASB_ASSERT(ctx.SetReceiveLevel(s.taint, Level::kL3) == Status::kOk &&
+               "recovered demux sessions need the launcher's recovered-star grant");
+  }
 
   // Attach to the web port. The LISTEN both proves our identity to netd
   // (V with our verification handle, still intact pre-receive) and grants
@@ -121,10 +260,10 @@ void DemuxProcess::OnRequestParsed(ProcessContext& ctx, uint64_t cookie, ConnSta
     return;
   }
 
-  auto sit = sessions_.find(SessionKey(conn.username, conn.service));
-  if (sit != sessions_.end() && sit->second.password == conn.password) {
-    conn.taint = sit->second.taint;
-    conn.grant = sit->second.grant;
+  if (Session* session = FindLiveSession(SessionKey(conn.username, conn.service));
+      session != nullptr && session->password == conn.password) {
+    conn.taint = session->taint;
+    conn.grant = session->grant;
     ForwardToWorker(ctx, cookie, conn);
     return;
   }
@@ -177,11 +316,13 @@ void DemuxProcess::ForwardToWorker(ProcessContext& ctx, uint64_t cookie, ConnSta
   }
 
   // Step 6: forward uC. An existing session goes straight to the worker's
-  // event process port uW; a fresh one goes to the service port, forking a
-  // new event process.
-  auto sit = sessions_.find(SessionKey(conn.username, conn.service));
-  const bool resumed = sit != sessions_.end() && sit->second.password == conn.password;
-  const Handle target = resumed ? sit->second.uw : worker.service_port;
+  // event process port uW; a fresh one — or a session recovered from the
+  // durable store, whose uW died with the previous boot — goes to the
+  // service port, forking a new event process.
+  Session* session = FindLiveSession(SessionKey(conn.username, conn.service));
+  const bool resumed =
+      session != nullptr && session->password == conn.password && session->uw.valid();
+  const Handle target = resumed ? session->uw : worker.service_port;
 
   Message fwd;
   fwd.type = MessageType::kConnForUser;
@@ -321,11 +462,14 @@ void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
       }
       case MessageType::kSessionInvalidate: {
         // idd tells us the user's password changed: cached sessions keyed on
-        // the old credential die. (Senders need the session-port capability,
-        // so only idd and this user's own workers can do this.)
+        // the old credential die — durably, or a reboot would resurrect a
+        // session its password no longer opens. (Senders need the
+        // session-port capability, so only idd and this user's own workers
+        // can do this.)
         const std::string prefix = msg.data + "\x1f";
         for (auto it = sessions_.lower_bound(prefix);
              it != sessions_.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+          EraseDurableSession(it->first);
           it = sessions_.erase(it);
         }
         return;
@@ -345,7 +489,12 @@ void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         s.taint = conn.taint;
         s.grant = conn.grant;
         s.password = conn.password;
-        sessions_[SessionKey(conn.username, conn.service)] = s;
+        if (options_.session_ttl_cycles != 0) {
+          s.expires_at_cycles = GetCycleAccounting().now() + options_.session_ttl_cycles;
+        }
+        const std::string key = SessionKey(conn.username, conn.service);
+        PersistSession(key, s);
+        sessions_[key] = std::move(s);
         // §7.3: the session table holds one user-worker pair per entry;
         // paper Figure 9 attributes part of the label growth to these.
         ctx.ModelHeapBytes(128);

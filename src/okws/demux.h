@@ -11,28 +11,72 @@
 // The session table (§7.3) maps (user, service) to the event process port
 // uW registered by the worker; follow-up connections skip idd entirely and
 // go straight to the existing event process.
+//
+// Persistence (src/store): with a store directory configured, every session
+// (key → uT/uG + expiry + credential) is logged durably and recovered on
+// restart, so a reboot is invisible to logged-in browsers: a follow-up
+// connection authenticates against the recovered session and skips idd
+// entirely. What does NOT survive is the worker event process — uW dies
+// with the boot — so the first post-reboot connection of a session forks a
+// fresh event process at the service port (and re-registers its uW). The
+// privilege to speak for the recovered uT/uG comes down the trusted boot
+// chain exactly as idd's does: demux session persistence requires idd's
+// durable identity cache on the same boot, whose RecoveredStars the boot
+// loader folded into the launcher, and the launcher re-grants the session
+// handles' ⋆ to demux at spawn.
 #ifndef SRC_OKWS_DEMUX_H_
 #define SRC_OKWS_DEMUX_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/http/http.h"
 #include "src/kernel/kernel.h"
 #include "src/okws/protocol.h"
+#include "src/store/store.h"
 
 namespace asbestos {
 
+struct DemuxOptions {
+  std::string store_dir;  // empty = volatile session table, as in the seed
+  // Shard count for a store created at store_dir (existing stores keep the
+  // stamped count). Session registrations append without fsyncing and are
+  // group-committed by the end-of-pump OnIdle hook, pipelined.
+  uint32_t shards = 4;
+  // Sessions expire this many virtual cycles after registration; 0 = never.
+  // Expiry is evaluated lazily (at resume and at recovery) against the
+  // simulator's global cycle clock. The clock is process-local and not
+  // persisted, so TTL'd sessions survive in-simulation reboots (new world,
+  // same process, monotonic clock) but are conservatively dropped when
+  // recovery cannot place their timestamps in the current clock era (a
+  // genuine process restart): fail-closed — an expired session must never
+  // resurrect, even at the price of re-login after a real reboot. TTL 0
+  // (the default) has no timestamps to misread and survives both kinds.
+  uint64_t session_ttl_cycles = 0;
+};
+
 class DemuxProcess : public ProcessCode {
  public:
+  explicit DemuxProcess(DemuxOptions options = {});
+
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+  // Group commit of the session store (pipelined; see DurableStore).
+  void OnIdle(ProcessContext& ctx) override;
+  bool HasOnIdle() const override { return true; }
+
+  // {uT ⋆, uG ⋆} over every recovered session, default 3: the ⋆ set the
+  // launcher must hold (from idd's RecoveredStars) and re-grant at spawn for
+  // the recovered sessions to keep working.
+  Label recovered_stars() const;
 
   Handle register_port() const { return register_port_; }
   Handle session_port() const { return session_port_; }
   size_t session_count() const { return sessions_.size(); }
   uint64_t rejected_connections() const { return rejected_; }
+  const DurableStore* store() const { return store_.get(); }
 
  private:
   struct WorkerInfo {
@@ -43,10 +87,11 @@ class DemuxProcess : public ProcessCode {
   };
 
   struct Session {
-    Handle uw;        // the worker event process's port
+    Handle uw;        // the worker event process's port; invalid after reboot
     Handle taint;     // uT
     Handle grant;     // uG
     std::string password;  // credential the session was opened with
+    uint64_t expires_at_cycles = 0;  // absolute virtual time; 0 = never
   };
 
   struct ConnState {
@@ -69,6 +114,12 @@ class DemuxProcess : public ProcessCode {
   void RejectConnection(ProcessContext& ctx, ConnState& conn, int status,
                         const std::string& reason);
   void CheckAllWorkersRegistered(ProcessContext& ctx);
+  // The live session for `key`, lazily erasing it (memory + store) when it
+  // has expired. nullptr when absent or expired.
+  Session* FindLiveSession(const std::string& key);
+  void PersistSession(const std::string& key, const Session& s);
+  void EraseDurableSession(const std::string& key);
+  void RecoverSessions();
 
   Handle register_port_;  // public: worker registration
   Handle notify_port_;    // capability-held by netd: conn notifications + read replies
@@ -79,9 +130,11 @@ class DemuxProcess : public ProcessCode {
   Handle idd_login_;
   uint64_t self_verify_ = 0;
 
+  DemuxOptions options_;
   std::map<std::string, WorkerInfo> workers_;          // by service name
   std::map<uint64_t, ConnState> conns_;                // by cookie
   std::map<std::string, Session> sessions_;            // by user + "\x1f" + service
+  std::unique_ptr<DurableStore> store_;
   uint64_t next_cookie_ = 1;
   uint64_t rejected_ = 0;
   bool expectations_complete_ = false;

@@ -92,7 +92,9 @@ void IddProcess::RecoverCache() {
 void IddProcess::OnIdle(ProcessContext& ctx) {
   (void)ctx;
   if (store_ != nullptr) {
-    ASB_ASSERT(store_->Sync() == Status::kOk);
+    // Pipelined group commit: this pump's appends flush while the NEXT pump
+    // runs; the returned status acknowledges the previous round's flush.
+    ASB_ASSERT(store_->SyncPipelined() == Status::kOk);
   }
 }
 

@@ -51,9 +51,11 @@ class IddProcess : public ProcessCode {
 
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
-  // Group commit: fsyncs every store shard dirtied during this pump
-  // iteration, exactly once.
+  // Group commit, pipelined: hands every shard dirtied during this pump
+  // iteration to the background flusher (ack deferred one pump; see
+  // DurableStore::SyncPipelined for the two-batch crash window).
   void OnIdle(ProcessContext& ctx) override;
+  bool HasOnIdle() const override { return true; }
 
   // The ⋆ entries a recovered cache needs: {uT ⋆, uG ⋆, …} over every stored
   // identity, default 3. The boot loader folds this into the launcher's send

@@ -48,6 +48,13 @@ void LauncherProcess::Start(ProcessContext& ctx) {
                                           config_.idd_options);
   const Label idd_stars = idd->recovered_stars();
   spawn_child("idd", Component::kOkws, std::move(idd), {}, idd_stars);
+
+  // Construct (but do not yet spawn) demux: recovering its durable session
+  // table now tells us which uT/uG ⋆ it must be re-granted at spawn. Those
+  // handles are a subset of idd's recovered identities, whose ⋆ the boot
+  // loader already folded into our send label.
+  demux_code_ = std::make_unique<DemuxProcess>(config_.demux_options);
+  demux_stars_ = demux_code_->recovered_stars();
 }
 
 bool LauncherProcess::CheckRegistration(const Message& msg, const std::string& name) const {
@@ -84,12 +91,20 @@ void LauncherProcess::MaybeSpawnDemux(ProcessContext& ctx) {
   args.name = "demux";
   args.component = Component::kOkws;
   args.send_label = Label({{verify_.at("demux"), Level::kL0}}, Level::kL1);
+  // Re-grant the ⋆ set demux's recovered sessions need (§5.3: privilege is
+  // distributed by forking; empty unless session persistence is configured).
+  for (Label::EntryIter it = demux_stars_.IterateEntries(); !it.done(); it.Advance()) {
+    if (it.level() == Level::kStar) {
+      args.send_label.Set(it.handle(), Level::kStar);
+    }
+  }
   args.env = {{"launcher_port", port_.value()},
               {"self_verify", verify_.at("demux").value()},
               {"netd_ctl", netd_ctl_.value()},
               {"idd_login", idd_login_.value()},
               {"tcp_port", config_.tcp_port}};
-  auto result = ctx.Spawn(std::make_unique<DemuxProcess>(), std::move(args));
+  ASB_ASSERT(demux_code_ != nullptr);
+  auto result = ctx.Spawn(std::move(demux_code_), std::move(args));
   ASB_ASSERT(result.ok());
 }
 

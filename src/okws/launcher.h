@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/kernel/kernel.h"
+#include "src/okws/demux.h"
 #include "src/okws/idd.h"
 #include "src/okws/protocol.h"
 #include "src/okws/worker.h"
@@ -43,6 +44,10 @@ struct OkwsLauncherConfig {
   // folded IddProcess::RecoveredStars(idd_options) into this launcher's send
   // label, so it is entitled to re-grant the recovered uT/uG ⋆ set to idd.
   IddOptions idd_options;
+  // Durable session table for ok-demux. Requires idd_options.store_dir on
+  // the same boot: the ⋆ set demux needs for its recovered sessions comes
+  // out of idd's recovered identity bindings via the launcher.
+  DemuxOptions demux_options;
 };
 
 class LauncherProcess : public ProcessCode {
@@ -67,6 +72,10 @@ class LauncherProcess : public ProcessCode {
   OkwsLauncherConfig config_;
   Handle port_;
   std::map<std::string, Handle> verify_;  // component name → verification handle
+  // Demux is constructed at launcher start (so its recovered sessions' ⋆
+  // set is known) but spawned only once idd is ready and netd is wired.
+  std::unique_ptr<DemuxProcess> demux_code_;
+  Label demux_stars_ = Label::Top();
 
   // Discovered component ports.
   Handle dbproxy_query_;

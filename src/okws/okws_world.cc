@@ -13,6 +13,7 @@ OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
   launcher_config.users = std::move(config.users);
   launcher_config.extra_tables = std::move(config.extra_tables);
   launcher_config.idd_options = config.idd_options;
+  launcher_config.demux_options = config.demux_options;
   auto launcher_code = std::make_unique<LauncherProcess>(std::move(launcher_config));
   launcher_ = launcher_code.get();
   SpawnArgs largs;

@@ -25,6 +25,9 @@ struct OkwsWorldConfig {
   // Durable identity cache: rebooting a world with the same boot key and the
   // same store directory recovers every uT/uG binding idd had handed out.
   IddOptions idd_options;
+  // Durable demux session table: with both stores configured, a reboot is
+  // invisible to logged-in browsers (sessions resume without touching idd).
+  DemuxOptions demux_options;
 };
 
 class OkwsWorld {

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/base/hash.h"
 #include "src/base/panic.h"
 #include "src/store/label_codec.h"
 
@@ -28,17 +29,11 @@ uint64_t RecordBytes(const std::string& key, const StoreRecord& r) {
   return key.size() + r.value.size() + kStoreRecordOverheadBytes;
 }
 
-// FNV-1a. The key → shard mapping is part of the on-disk format (a record
-// must be found in the shard whose log holds it), so the hash must be stable
-// across runs and toolchains — std::hash guarantees neither.
-uint64_t StableHash(std::string_view s) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (char c : s) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+// The key → shard mapping is part of the on-disk format (a record must be
+// found in the shard whose log holds it), so the hash must be stable across
+// runs and toolchains — FNV-1a from src/base/hash.h, whose header carries
+// the format-stability warning.
+uint64_t StableHash(std::string_view s) { return Fnv1a(s); }
 
 // Shared body encoding for log Put records and snapshot entries.
 void AppendRecordBody(std::string_view key, std::string_view value, const Label& secrecy,
@@ -246,6 +241,15 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(StoreOptions opts) {
 }
 
 DurableStore::~DurableStore() {
+  // A background flush still references the shard WALs; finish it before
+  // they are torn down. This is also what makes "destroy the store, then
+  // reopen the directory" a correct reboot: everything pipelined is on disk
+  // once the destructor returns. A failure here has no later call to
+  // surface through — and it means appends the pipeline took responsibility
+  // for are NOT durable — so it is fatal, exactly like the ASB_ASSERT every
+  // OnIdle hook applies to the acknowledgements it does receive.
+  DrainInflight();
+  ASB_ASSERT(IsOk(deferred_flush_status_) && "final pipelined flush failed: batch lost");
   for (const auto& shard : shards_) {
     for (const auto& [key, record] : shard->records) {
       g_store_mem.live_bytes -= static_cast<int64_t>(RecordBytes(key, record));
@@ -447,6 +451,10 @@ Status DurableStore::CompactShard(Shard& shard) {
 }
 
 Status DurableStore::Compact() {
+  // Not required for correctness (truncating a log whose flush is in flight
+  // is well-defined, and the snapshot supersedes the log), but draining
+  // keeps the pipeline's error reporting in order.
+  DrainInflight();
   for (const auto& shard : shards_) {
     const Status s = CompactShard(*shard);
     if (!IsOk(s)) {
@@ -456,7 +464,60 @@ Status DurableStore::Compact() {
   return Status::kOk;
 }
 
+void DurableStore::DrainInflight() {
+  if (inflight_ == nullptr) {
+    return;
+  }
+  inflight_->thread.join();
+  if (!IsOk(inflight_->result) && IsOk(deferred_flush_status_)) {
+    deferred_flush_status_ = inflight_->result;
+  }
+  inflight_.reset();
+}
+
+Status DurableStore::SyncPipelined() {
+  // Wait for the previous round (a whole pump iteration usually ran while
+  // it flushed, so this join is almost always immediate) and pick up its
+  // outcome: the acknowledgement deferred by one call.
+  DrainInflight();
+  const Status acked = deferred_flush_status_;
+  deferred_flush_status_ = Status::kOk;
+
+  auto flush = std::make_unique<InflightFlush>();
+  for (const auto& shard : shards_) {
+    if (shard->wal.dirty()) {
+      // Clearing the mark here transfers responsibility for everything
+      // appended so far to this round's flusher; appends landing while it
+      // runs re-dirty the log and belong to the next round.
+      shard->wal.ClearDirty();
+      flush->wals.push_back(&shard->wal);
+    }
+  }
+  if (flush->wals.empty()) {
+    return acked;
+  }
+  InflightFlush* raw = flush.get();
+  flush->thread = std::thread([raw]() {
+    for (const Wal* wal : raw->wals) {
+      const Status s = wal->SyncDataOnly();
+      if (!IsOk(s) && IsOk(raw->result)) {
+        raw->result = s;
+      }
+    }
+  });
+  inflight_ = std::move(flush);
+  return acked;
+}
+
 Status DurableStore::Sync() {
+  // Everything-durable-on-return semantics require the pipeline drained; a
+  // pipelined-flush failure surfaces here rather than vanishing.
+  DrainInflight();
+  if (!IsOk(deferred_flush_status_)) {
+    const Status s = deferred_flush_status_;
+    deferred_flush_status_ = Status::kOk;
+    return s;
+  }
   // Group commit touches only shards with pending appends.
   std::vector<Shard*> dirty;
   for (const auto& shard : shards_) {

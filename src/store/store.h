@@ -52,6 +52,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/base/result.h"
@@ -129,8 +130,23 @@ class DurableStore {
   // the dirty marks. A no-op (and no syscalls) when nothing is dirty.
   // Multiple dirty shards flush concurrently when the observed per-shard
   // flush cost is high enough (device cache flush dominated) to repay the
-  // thread churn; cheap flushes stay on a serial loop.
+  // thread churn; cheap flushes stay on a serial loop. Drains any pipelined
+  // flush first, so on return EVERYTHING ever appended is durable.
   Status Sync();
+
+  // Pipelined group commit: hands the dirty shards to a background flusher
+  // and returns without waiting for the device, so the ~200µs flush round
+  // trip overlaps the next kernel pump iteration instead of blocking it
+  // (ProcessCode::OnIdle callers). The durability acknowledgement is
+  // deferred by one call: each invocation first waits for the PREVIOUS
+  // flush (usually already finished — a whole pump ran meanwhile) and
+  // reports its outcome. A crash can lose the last TWO batches (the
+  // in-flight one and the not-yet-started one) instead of one — recovery
+  // semantics are otherwise identical. Sync(), the destructor, and Compact()
+  // all drain the pipeline, so mixing modes is safe.
+  Status SyncPipelined();
+  // True while a background flush is running (test/observability hook).
+  bool flush_in_flight() const { return inflight_ != nullptr; }
 
   // --- Sharding / recovery / durability observability -----------------------
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
@@ -170,7 +186,21 @@ class DurableStore {
     uint64_t compactions = 0;
   };
 
+  // One round of pipelined flushing, owned by the main thread, executed by
+  // one background thread. The thread touches ONLY `wals` (via
+  // Wal::SyncDataOnly, which reads the immutable fd) and `result`; all Wal
+  // bookkeeping (dirty flags) was updated by the main thread before launch.
+  struct InflightFlush {
+    std::thread thread;
+    std::vector<const Wal*> wals;
+    Status result = Status::kOk;  // written by the thread, read after join
+  };
+
   explicit DurableStore(StoreOptions opts) : opts_(std::move(opts)) {}
+
+  // Joins the background flush, if any, and folds its outcome into
+  // deferred_flush_status_.
+  void DrainInflight();
 
   Status RecoverShard(Shard& shard);
   Status LoadSnapshot(Shard& shard);
@@ -187,6 +217,10 @@ class DurableStore {
   StoreOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t flush_cost_ns_ = 0;  // moving average per-shard; 0 = unmeasured
+  std::unique_ptr<InflightFlush> inflight_;
+  // Outcome of the newest completed pipelined flush, reported (and reset) by
+  // the next SyncPipelined()/Sync() — the one-call-deferred acknowledgement.
+  Status deferred_flush_status_ = Status::kOk;
 };
 
 }  // namespace asbestos

@@ -157,6 +157,15 @@ Status Wal::Append(std::string_view record) {
 }
 
 Status Wal::Sync() {
+  const Status s = SyncDataOnly();
+  if (!IsOk(s)) {
+    return s;
+  }
+  dirty_ = false;
+  return Status::kOk;
+}
+
+Status Wal::SyncDataOnly() const {
   if (fd_ < 0) {
     return Status::kBadState;
   }
@@ -164,11 +173,7 @@ Status Wal::Sync() {
   // needed to retrieve it (including the file size appends grow), skipping
   // only timestamps — which recovery never reads. On journaling filesystems
   // that regularly saves a journal commit per flush.
-  if (::fdatasync(fd_) != 0) {
-    return Status::kBadState;
-  }
-  dirty_ = false;
-  return Status::kOk;
+  return ::fdatasync(fd_) == 0 ? Status::kOk : Status::kBadState;
 }
 
 Status Wal::Reset() {

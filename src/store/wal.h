@@ -51,6 +51,20 @@ class Wal {
   // fsyncs the log file and clears the dirty flag.
   Status Sync();
 
+  // The device-flush half of Sync() alone: fdatasyncs the file WITHOUT
+  // touching the dirty flag or any other member. Safe to call from a
+  // background flusher thread while the owning thread keeps appending — the
+  // fd value is immutable while open and concurrent write/fdatasync on one
+  // fd is well-defined; the caller clears the dirty flag on its own thread
+  // (ClearDirty) before handing the flush off. See DurableStore's pipelined
+  // group commit.
+  Status SyncDataOnly() const;
+
+  // Clears the dirty flag without flushing: the pipelined committer clears
+  // it when it *takes responsibility* for the flush, so appends that land
+  // during the in-flight flush re-dirty the log for the next round.
+  void ClearDirty() { dirty_ = false; }
+
   // Truncates the log to empty (after a snapshot made its contents
   // redundant) and syncs.
   Status Reset();

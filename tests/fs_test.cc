@@ -356,12 +356,15 @@ TEST(FsPersistenceTest, RestartRecoversFilesAndLabels) {
       EXPECT_EQ(r.msg.words[1], 0u);
     }
     // Group commit ran at end-of-pump: the batch's appends spread across
-    // the store's shards and every dirty shard was fsynced by OnIdle.
+    // the store's shards and OnIdle handed every dirty shard to the
+    // pipelined flusher (durability itself completes in the background; the
+    // boot-2 recovery below is the actual durability check, since the store
+    // destructor drains the pipeline).
     const FileServerProcess* fs =
         dynamic_cast<FileServerProcess*>(kernel.FindProcessByName("fs")->code.get());
     EXPECT_EQ(fs->store()->shard_count(), 4u);
     EXPECT_EQ(fs->store()->dirty_shard_count(), 0u)
-        << "RunUntilIdle must leave no shard with unsynced appends";
+        << "RunUntilIdle must leave no shard outside the commit pipeline";
   }
 
   {  // --- boot 2: recover and exercise --------------------------------------

@@ -173,5 +173,155 @@ TEST_P(LabelChecksPropertyTest, AsymmetricAlgebraMatchesPointwise) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LabelChecksPropertyTest,
                          ::testing::Values(3ULL, 17ULL, 99ULL, 2024ULL, 31337ULL));
 
+// --- Flow-check verdict cache ------------------------------------------------
+
+// Restores cache state so these tests cannot leak config into each other.
+class LabelCheckCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetLabelCheckCache();
+    SetLabelCheckCacheEnabled(true);
+  }
+  void TearDown() override {
+    ResetLabelCheckCache();
+    SetLabelCheckCacheEnabled(true);
+  }
+};
+
+TEST_F(LabelCheckCacheTest, HitMissCountersAndVerdictStability) {
+  LabelBuilder eb(Level::kL1);
+  for (uint64_t h = 1; h <= 150; ++h) {
+    eb.Append(Handle::FromValue(h * 2), h % 3 == 0 ? Level::kL3 : Level::kL2);
+  }
+  const Label es = eb.Build();
+  LabelBuilder qb(Level::kL2);
+  for (uint64_t h = 1; h <= 150; ++h) {
+    qb.Append(Handle::FromValue(h * 2), Level::kL3);
+  }
+  const Label qr = qb.Build();
+  const Label dr = Label::Bottom();
+  const Label v = Label::Top();
+  const Label pr = Label::Top();
+
+  const LabelCheckCacheStats& stats = GetLabelCheckCacheStats();
+  uint64_t work_miss = 0;
+  const bool verdict = CheckDeliveryAllowed(es, qr, dr, v, pr, &work_miss);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  uint64_t work_hit = 0;
+  EXPECT_EQ(CheckDeliveryAllowed(es, qr, dr, v, pr, &work_hit), verdict);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(work_hit, work_miss) << "a hit must charge exactly the uncached work";
+  EXPECT_EQ(verdict, CheckDeliveryAllowedNaive(es, qr, dr, v, pr));
+
+  // Mutating a COPY re-keys it: the tuple with the mutated label is a miss,
+  // and the original tuple still hits (no invalidation, ever).
+  Label qr2 = qr;
+  qr2.Set(Handle::FromValue(2), Level::kL0);
+  uint64_t work2 = 0;
+  (void)CheckDeliveryAllowed(es, qr2, dr, v, pr, &work2);
+  EXPECT_EQ(stats.misses, 2u);
+  uint64_t work3 = 0;
+  EXPECT_EQ(CheckDeliveryAllowed(es, qr, dr, v, pr, &work3), verdict);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST_F(LabelCheckCacheTest, InPlaceMutationNeverServesStaleVerdicts) {
+  // The dangerous shape: the SAME Label object mutates between checks (the
+  // kernel's receive labels do exactly this). The id re-key must force a
+  // fresh evaluation.
+  Label es({{Handle::FromValue(7), Level::kL3}}, Level::kL1);
+  Label qs(Level::kL2);
+  uint64_t work = 0;
+  EXPECT_TRUE(NeedsContamination(es, qs, &work));
+  qs.Set(Handle::FromValue(7), Level::kL3);  // in place: already contaminated
+  EXPECT_FALSE(NeedsContamination(es, qs, &work));
+  qs.Set(Handle::FromValue(7), Level::kL2);  // in place again
+  EXPECT_TRUE(NeedsContamination(es, qs, &work));
+}
+
+TEST_F(LabelCheckCacheTest, ChargedWorkMatchesUncachedBaselineExactly) {
+  // Run a recurring-tuple workload twice — cached, then uncached — and
+  // require bit-identical LabelWorkStats deltas and per-call work: Figure-9
+  // cost curves must not be able to tell the cache exists.
+  Rng rng(20240731ULL);
+  std::vector<Label> es_pool;
+  std::vector<Label> qr_pool;
+  for (int i = 0; i < 6; ++i) {
+    LabelBuilder eb(Level::kL1);
+    LabelBuilder qb(Level::kL2);
+    uint64_t he = 0;
+    uint64_t hq = 0;
+    const uint64_t n = 40 + rng.NextBelow(200);
+    for (uint64_t k = 0; k < n; ++k) {
+      he += 1 + rng.NextBelow(4);
+      hq += 1 + rng.NextBelow(4);
+      eb.Append(Handle::FromValue(he), rng.NextBool() ? Level::kL2 : Level::kL3);
+      qb.Append(Handle::FromValue(hq), Level::kL3);
+    }
+    es_pool.push_back(eb.Build());
+    qr_pool.push_back(qb.Build());
+  }
+  const Label dr = Label::Bottom();
+  const Label v = Label::Top();
+  const Label pr = Label::Top();
+
+  const auto run_workload = [&]() {
+    std::vector<uint64_t> works;
+    std::vector<bool> verdicts;
+    for (int round = 0; round < 20; ++round) {
+      for (size_t i = 0; i < es_pool.size(); ++i) {
+        for (size_t j = 0; j < qr_pool.size(); ++j) {
+          uint64_t w = 0;
+          verdicts.push_back(
+              CheckDeliveryAllowed(es_pool[i], qr_pool[j], dr, v, pr, &w));
+          works.push_back(w);
+          w = 0;
+          verdicts.push_back(NeedsContamination(es_pool[i], qr_pool[j], &w));
+          works.push_back(w);
+        }
+      }
+    }
+    return std::make_pair(works, verdicts);
+  };
+
+  SetLabelCheckCacheEnabled(true);
+  ResetLabelWorkStats();
+  const auto cached = run_workload();
+  const LabelWorkStats cached_stats = GetLabelWorkStats();
+  EXPECT_GT(GetLabelCheckCacheStats().hits, 0u) << "the workload must actually hit";
+
+  SetLabelCheckCacheEnabled(false);
+  ResetLabelWorkStats();
+  const auto uncached = run_workload();
+  const LabelWorkStats uncached_stats = GetLabelWorkStats();
+
+  EXPECT_EQ(cached.first, uncached.first) << "per-call charged work must match";
+  EXPECT_EQ(cached.second, uncached.second);
+  EXPECT_EQ(cached_stats.entries_visited, uncached_stats.entries_visited);
+  EXPECT_EQ(cached_stats.fast_path_hits, uncached_stats.fast_path_hits);
+  EXPECT_EQ(cached_stats.ops, uncached_stats.ops);
+}
+
+TEST_F(LabelCheckCacheTest, CapacityEvictionOnly) {
+  // More distinct tuples than slots: entries leave by displacement, never by
+  // invalidation. (Direct-mapped: collisions guarantee evictions well before
+  // the slot count is exceeded, but exceeding it makes them certain.)
+  const Label qs(Level::kL2);
+  const LabelCheckCacheStats& stats = GetLabelCheckCacheStats();
+  for (uint64_t i = 0; i < kContaminationCacheSlots + 512; ++i) {
+    LabelBuilder b(Level::kL1);
+    b.Append(Handle::FromValue(1 + i), Level::kL3);
+    const Label es = b.Build();
+    uint64_t w = 0;
+    (void)NeedsContamination(es, qs, &w);
+  }
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.hits, 0u) << "all tuples were distinct";
+  EXPECT_EQ(stats.misses, kContaminationCacheSlots + 512);
+}
+
 }  // namespace
 }  // namespace asbestos

@@ -1,0 +1,227 @@
+// Hash-consed canonical labels (src/labels/intern.h): interned construction
+// must be semantically invisible — every operation agrees extensionally with
+// the reference pointwise semantics — while extensionally equal completed
+// constructions share one canonical rep with one stable id, and mutation can
+// never corrupt a canonical rep or resurrect a stale id.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/labels/intern.h"
+#include "src/labels/label.h"
+#include "src/store/label_codec.h"
+
+namespace asbestos {
+namespace {
+
+// Builds a label through the interned bulk path (sorted entries).
+Label BuildInterned(const std::vector<std::pair<uint64_t, Level>>& entries, Level def) {
+  LabelBuilder builder(def);
+  for (const auto& [h, l] : entries) {
+    if (l != def) {
+      builder.Append(Handle::FromValue(h), l);
+    }
+  }
+  return builder.Build();
+}
+
+class LabelInternPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override { rng_ = std::make_unique<Rng>(GetParam()); }
+
+  Level RandomLevel() { return static_cast<Level>(rng_->NextBelow(5)); }
+
+  // Random sorted entry list over a shared pool (overlaps are common).
+  std::vector<std::pair<uint64_t, Level>> RandomEntries(uint64_t max_entries) {
+    std::vector<std::pair<uint64_t, Level>> out;
+    const uint64_t n = rng_->NextBelow(max_entries + 1);
+    uint64_t h = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      h += rng_->NextInRange(1, 5);
+      out.emplace_back(h, RandomLevel());
+    }
+    return out;
+  }
+
+  // The same label built two ways: interned bulk path and mutable Set path.
+  std::pair<Label, Label> RandomLabelBothWays(uint64_t max_entries = 25) {
+    const Level def = RandomLevel();
+    const auto entries = RandomEntries(max_entries);
+    Label by_set(def);
+    for (const auto& [h, l] : entries) {
+      by_set.Set(Handle::FromValue(h), l);
+    }
+    return {BuildInterned(entries, def), by_set};
+  }
+
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(LabelInternPropertyTest, InternedConstructionMatchesMutableConstruction) {
+  for (int t = 0; t < 80; ++t) {
+    const auto [interned, by_set] = RandomLabelBothWays();
+    interned.CheckRep();
+    EXPECT_TRUE(interned.Equals(by_set));
+    EXPECT_TRUE(interned.rep_canonical());
+    for (uint64_t h = 1; h <= 130; ++h) {
+      EXPECT_EQ(interned.Get(Handle::FromValue(h)), by_set.Get(Handle::FromValue(h)));
+    }
+  }
+}
+
+TEST_P(LabelInternPropertyTest, EqualConstructionsShareOneCanonicalRep) {
+  for (int t = 0; t < 80; ++t) {
+    const Level def = RandomLevel();
+    const auto entries = RandomEntries(25);
+    const Label a = BuildInterned(entries, def);
+    const Label b = BuildInterned(entries, def);
+    EXPECT_EQ(a.rep_id(), b.rep_id()) << "twin builds must hash-cons to one rep";
+    EXPECT_TRUE(a.rep_canonical());
+    // And an unequal build must not share.
+    auto other = entries;
+    other.emplace_back((other.empty() ? 0 : other.back().first) + 1,
+                       def == Level::kL3 ? Level::kStar : Level::kL3);
+    const Label c = BuildInterned(other, def);
+    EXPECT_NE(a.rep_id(), c.rep_id());
+    EXPECT_FALSE(a.Equals(c));
+  }
+}
+
+TEST_P(LabelInternPropertyTest, InternedAlgebraMatchesNaivePointwise) {
+  // Lub/Glb/StarsOnly/Leq over interned operands: the interned results must
+  // be extensionally identical to the reference pointwise semantics, and
+  // repeating the operation must return the SAME canonical rep.
+  for (int t = 0; t < 60; ++t) {
+    const Label a = BuildInterned(RandomEntries(20), RandomLevel());
+    const Label b = BuildInterned(RandomEntries(20), RandomLevel());
+    const Label join = Label::Lub(a, b);
+    const Label meet = Label::Glb(a, b);
+    const Label stars = a.StarsOnly();
+    join.CheckRep();
+    meet.CheckRep();
+    stars.CheckRep();
+    bool leq_pointwise = true;
+    for (uint64_t h = 0; h <= 120; ++h) {
+      const Handle hh = Handle::FromValue(h == 0 ? 9999 : h);
+      EXPECT_EQ(join.Get(hh), LevelMax(a.Get(hh), b.Get(hh)));
+      EXPECT_EQ(meet.Get(hh), LevelMin(a.Get(hh), b.Get(hh)));
+      EXPECT_EQ(stars.Get(hh),
+                a.Get(hh) == Level::kStar ? Level::kStar : Level::kL3);
+      leq_pointwise = leq_pointwise && LevelLeq(a.Get(hh), b.Get(hh));
+    }
+    EXPECT_EQ(a.Leq(b), leq_pointwise && LevelLeq(a.default_level(), b.default_level()));
+    // Determinism of identity: same operands, same canonical result rep.
+    EXPECT_EQ(Label::Lub(a, b).rep_id(), join.rep_id());
+    EXPECT_EQ(Label::Glb(a, b).rep_id(), meet.rep_id());
+    EXPECT_EQ(a.StarsOnly().rep_id(), stars.rep_id());
+  }
+}
+
+TEST_P(LabelInternPropertyTest, MutationUnsharesAndRekeys) {
+  for (int t = 0; t < 60; ++t) {
+    const Level def = RandomLevel();
+    const auto entries = RandomEntries(20);
+    const Label canonical = BuildInterned(entries, def);
+    const uint64_t canonical_id = canonical.rep_id();
+    Label mutated = canonical;
+    const Level l = RandomLevel();
+    const Handle h = Handle::FromValue(rng_->NextInRange(1, 100));
+    mutated.Set(h, l);
+    // The canonical label is immutable: the copy diverged, it did not.
+    EXPECT_EQ(canonical.rep_id(), canonical_id);
+    EXPECT_EQ(canonical.Get(h), BuildInterned(entries, def).Get(h));
+    canonical.CheckRep();
+    mutated.CheckRep();
+    if (mutated.Get(h) != canonical.Get(h)) {
+      EXPECT_NE(mutated.rep_id(), canonical_id);
+      EXPECT_FALSE(mutated.rep_canonical());
+      // Every further in-place mutation retires the previous snapshot id.
+      const uint64_t before = mutated.rep_id();
+      mutated.Set(h, mutated.Get(h) == Level::kL3 ? Level::kStar : Level::kL3);
+      EXPECT_NE(mutated.rep_id(), before);
+    }
+  }
+}
+
+TEST_P(LabelInternPropertyTest, ParseAndUnpickleLandOnTheCanonicalRep) {
+  for (int t = 0; t < 40; ++t) {
+    const Label original = BuildInterned(RandomEntries(20), RandomLevel());
+    Label parsed;
+    ASSERT_TRUE(Label::Parse(original.ToString(), &parsed));
+    EXPECT_EQ(parsed.rep_id(), original.rep_id()) << original.ToString();
+
+    Label unpickled;
+    ASSERT_EQ(codec::UnpickleLabel(codec::PickleLabel(original), &unpickled), Status::kOk);
+    EXPECT_EQ(unpickled.rep_id(), original.rep_id());
+  }
+}
+
+TEST_P(LabelInternPropertyTest, EqualsFastPathsAgreeWithEntryWalk) {
+  // Shared-chunk and canonical-id shortcuts must never change the verdict.
+  for (int t = 0; t < 60; ++t) {
+    const auto [interned, by_set] = RandomLabelBothWays();
+    EXPECT_TRUE(interned.Equals(by_set));
+    EXPECT_TRUE(by_set.Equals(interned));
+    // COW copy diverged in (at most) one chunk: remaining chunks stay shared.
+    Label copy = by_set;
+    const Handle h = Handle::FromValue(rng_->NextInRange(1, 100));
+    const Level old = copy.Get(h);
+    const Level changed = old == Level::kL3 ? Level::kStar : Level::kL3;
+    copy.Set(h, changed);
+    EXPECT_FALSE(copy.Equals(by_set));
+    copy.Set(h, old);
+    EXPECT_TRUE(copy.Equals(by_set));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelInternPropertyTest,
+                         ::testing::Values(2ULL, 11ULL, 77ULL, 4096ULL, 123456789ULL));
+
+TEST(LabelInternTest, DedupCountersAndMemory) {
+  ResetLabelInternStats();
+  const LabelMemStats& mem = GetLabelMemStats();
+  const LabelInternStats& stats = GetLabelInternStats();
+  int64_t canonical_with_label = 0;
+
+  {
+    LabelBuilder builder(Level::kL1);
+    for (uint64_t i = 1; i <= 200; ++i) {
+      builder.Append(Handle::FromValue(i * 3), Level::kL3);
+    }
+    const Label first = builder.Build();
+    EXPECT_GE(stats.misses, 1u);
+    canonical_with_label = stats.live_canonical;
+    const uint64_t hits_before = stats.hits;
+    const int64_t live_before = mem.live_bytes;
+
+    // 50 more builds of the same label: zero new label heap, one hit each.
+    std::vector<Label> copies;
+    for (int i = 0; i < 50; ++i) {
+      LabelBuilder b(Level::kL1);
+      for (uint64_t h = 1; h <= 200; ++h) {
+        b.Append(Handle::FromValue(h * 3), Level::kL3);
+      }
+      copies.push_back(b.Build());
+      EXPECT_EQ(copies.back().rep_id(), first.rep_id());
+    }
+    EXPECT_EQ(stats.hits, hits_before + 50);
+    EXPECT_EQ(mem.live_bytes, live_before) << "deduped builds must not allocate";
+    EXPECT_EQ(stats.bytes_saved, 50 * first.heap_bytes());
+  }
+
+  // Dropping every owner unregisters the canonical rep: interning holds
+  // weak references and never pins dead labels.
+  EXPECT_EQ(stats.live_canonical, canonical_with_label - 1);
+}
+
+TEST(LabelInternTest, EmptyLabelsSharePerLevelSingletons) {
+  LabelBuilder builder(Level::kL2);
+  const Label built = builder.Build();
+  const Label direct(Level::kL2);
+  EXPECT_EQ(built.rep_id(), direct.rep_id());
+  EXPECT_TRUE(built.rep_canonical());
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -2,6 +2,7 @@
 // sessions (§7.3), database services (§7.5), and the password worker.
 #include <gtest/gtest.h>
 
+#include "src/okws/demux.h"
 #include "src/okws/idd.h"
 #include "src/okws/okws_world.h"
 #include "src/okws/services.h"
@@ -251,11 +252,13 @@ TEST(OkwsPersistenceTest, IddIdentityCacheSurvivesReboot) {
     ASSERT_TRUE(idd->LookupCachedIdentity("alice", &t, &g, &uid1));
     taint1 = t.value();
     grant1 = g.value();
-    // The binding's append was group-committed by the end-of-pump flush:
-    // nothing is left unsynced once the world is idle.
+    // The binding's append was handed to the pipelined group commit by the
+    // end-of-pump OnIdle: no shard is left outside the pipeline once the
+    // world is idle. (Durability completes in the background; boot 2 below
+    // is the real durability check — the store destructor drains.)
     EXPECT_EQ(idd->store()->shard_count(), 4u);
     EXPECT_EQ(idd->store()->dirty_shard_count(), 0u)
-        << "idd's OnIdle must fsync the login's shard before the pump returns";
+        << "idd's OnIdle must hand the login's shard to the group commit";
   }
 
   {  // --- boot 2: same boot key, same store — the binding is already there --
@@ -303,6 +306,81 @@ TEST(OkwsPersistenceTest, IddIdentityCacheSurvivesReboot) {
     ASSERT_NE(idd, nullptr);
     EXPECT_EQ(idd->cached_identities(), 2u);
     EXPECT_EQ(FetchFrom(world, "/echo", "bob", "pw-b").status, 200);
+  }
+}
+
+// --- Durable demux sessions: a reboot is invisible to logged-in browsers ----
+
+DemuxProcess* FindDemux(OkwsWorld& world) {
+  Process* p = world.kernel().FindProcessByName("demux");
+  return p == nullptr ? nullptr : dynamic_cast<DemuxProcess*>(p->code.get());
+}
+
+TEST(OkwsPersistenceTest, DemuxSessionsSurviveReboot) {
+  asbestos::testing::TempDir dir;
+  OkwsWorldConfig config = BasicConfig();
+  config.idd_options.store_dir = dir.path() + "/idd";
+  config.demux_options.store_dir = dir.path() + "/demux";
+
+  {  // --- boot 1: a login opens a session; the session table persists ------
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    EXPECT_EQ(FetchFrom(world, "/store?d=hello", "alice", "pw-a").status, 200);
+    DemuxProcess* demux = FindDemux(world);
+    ASSERT_NE(demux, nullptr);
+    EXPECT_EQ(demux->session_count(), 1u);
+    ASSERT_NE(demux->store(), nullptr);
+    EXPECT_EQ(demux->store()->dirty_shard_count(), 0u)
+        << "the registration must be handed to the group commit before idle";
+  }
+
+  {  // --- boot 2: the session is back before any traffic -------------------
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    DemuxProcess* demux = FindDemux(world);
+    ASSERT_NE(demux, nullptr);
+    EXPECT_EQ(demux->session_count(), 1u) << "sessions must recover before any request";
+
+    // The logged-in browser keeps working with its old credentials. The
+    // worker's event process died with the boot, so this first connection
+    // forks a fresh one (the recovered session re-registers its uW).
+    const uint64_t eps_before = world.kernel().stats().eps_created;
+    EXPECT_EQ(FetchFrom(world, "/store?d=again", "alice", "pw-a").status, 200);
+    EXPECT_EQ(world.kernel().stats().eps_created, eps_before + 1);
+
+    // And from then on, follow-ups resume that event process (§7.3).
+    EXPECT_EQ(FetchFrom(world, "/store", "alice", "pw-a").status, 200);
+    EXPECT_EQ(world.kernel().stats().eps_created, eps_before + 1);
+
+    // Wrong credentials still fail: recovery must not weaken the check.
+    EXPECT_EQ(FetchFrom(world, "/store", "alice", "wrong").status, 403);
+  }
+}
+
+TEST(OkwsPersistenceTest, ExpiredSessionsDieAcrossReboot) {
+  asbestos::testing::TempDir dir;
+  OkwsWorldConfig config = BasicConfig();
+  config.idd_options.store_dir = dir.path() + "/idd";
+  config.demux_options.store_dir = dir.path() + "/demux";
+  config.demux_options.session_ttl_cycles = 1;  // expires on the next tick
+
+  {
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+    DemuxProcess* demux = FindDemux(world);
+    ASSERT_NE(demux, nullptr);
+    EXPECT_EQ(demux->session_count(), 1u);
+  }
+
+  {  // The virtual clock moved past the expiry: recovery drops the session.
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    DemuxProcess* demux = FindDemux(world);
+    ASSERT_NE(demux, nullptr);
+    EXPECT_EQ(demux->session_count(), 0u) << "expired sessions must not recover";
+    // The user is not locked out — the next request just logs in again.
+    EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
   }
 }
 
