@@ -1,0 +1,291 @@
+// Replication benchmarks: WAL ship throughput (primary side), follower
+// apply lag (batch arrival → records live in the replica, labels interned),
+// snapshot catch-up, and the full two-machine simnet/netd path.
+//
+// Results are machine-readable: unless the caller passes its own
+// --benchmark_out, the run writes BENCH_replication.json (google-benchmark
+// JSON) into the working directory. `--smoke` shrinks every measurement to
+// a sanity-check run for CI.
+#include <benchmark/benchmark.h>
+#include <stdlib.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/fs/file_server.h"
+#include "src/replication/follower.h"
+#include "src/replication/link.h"
+#include "src/replication/replica.h"
+#include "src/replication/source.h"
+#include "src/store/store.h"
+
+namespace asbestos {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/asbestos_bench.XXXXXX";
+  ASB_ASSERT(::mkdtemp(tmpl) != nullptr);
+  return tmpl;
+}
+
+void RemoveTree(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  ASB_ASSERT(::system(cmd.c_str()) == 0);
+}
+
+// One labeled record, the file-server shape: per-record secrecy compartment
+// at 3, shared integrity bound.
+void PutRecord(DurableStore* store, uint64_t i, size_t value_bytes) {
+  const Label secrecy({{Handle::FromValue(1000 + (i % 64)), Level::kL3}}, Level::kStar);
+  const Label integrity({{Handle::FromValue(5), Level::kL0}}, Level::kL3);
+  ASB_ASSERT(store->Put("key" + std::to_string(i), std::string(value_bytes, 'x'), secrecy,
+                        integrity) == Status::kOk);
+}
+
+// Parses a frame stream and applies every frame to the replica, feeding
+// acks back into the source.
+void ApplyStream(std::string stream, ReplicaStore* replica, ReplicationSource* source) {
+  std::string acks;
+  replwire::WireMessage m;
+  while (replwire::ConsumeFrame(&stream, &m) == replwire::FrameParse::kFrame) {
+    ASB_ASSERT(replica->HandleFrame(m, &acks) == Status::kOk);
+  }
+  while (replwire::ConsumeFrame(&acks, &m) == replwire::FrameParse::kFrame) {
+    source->HandleAck(m);
+  }
+}
+
+struct Pair {
+  std::string dir;
+  std::unique_ptr<DurableStore> primary;
+  std::unique_ptr<ReplicationSource> source;
+  std::unique_ptr<ReplicaStore> replica;
+
+  explicit Pair(uint32_t shards) {
+    dir = MakeTempDir();
+    StoreOptions popts;
+    popts.dir = dir + "/primary";
+    popts.shards = shards;
+    auto p = DurableStore::Open(popts);
+    ASB_ASSERT(p.ok());
+    primary = p.take();
+    source = std::make_unique<ReplicationSource>(primary.get(), 0xBE7C);
+    StoreOptions ropts;
+    ropts.dir = dir + "/replica";
+    ropts.shards = shards;
+    auto r = ReplicaStore::Open(ropts);
+    ASB_ASSERT(r.ok());
+    replica = r.take();
+    // Hello/resume handshake, then drain the (empty) initial snapshots.
+    ApplyStream(source->SessionHello(), replica.get(), source.get());
+    std::string frames;
+    source->PollFrames(1 << 16, ~0ULL, &frames);
+    ApplyStream(std::move(frames), replica.get(), source.get());
+  }
+
+  ~Pair() {
+    replica.reset();
+    primary.reset();
+    RemoveTree(dir);
+  }
+};
+
+// Ship throughput: how fast the primary turns appended WAL bytes into wire
+// frames AND the follower applies them (labels unpickled + interned through
+// the canonical-rep table). Arg0: records per batch; Arg1: value bytes.
+void BM_ShipAndApply(benchmark::State& state) {
+  const uint64_t per_batch = static_cast<uint64_t>(state.range(0));
+  const size_t value_bytes = static_cast<size_t>(state.range(1));
+  Pair pair(4);
+  uint64_t i = 0;
+  uint64_t shipped_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // the primary's own writes are not replication cost
+    for (uint64_t k = 0; k < per_batch; ++k) {
+      PutRecord(pair.primary.get(), i++, value_bytes);
+    }
+    state.ResumeTiming();
+    std::string frames;
+    pair.source->PollFrames(1 << 16, ~0ULL, &frames);
+    shipped_bytes += frames.size();
+    ApplyStream(std::move(frames), pair.replica.get(), pair.source.get());
+  }
+  ASB_ASSERT(pair.source->FullySynced());
+  ASB_ASSERT(pair.replica->store()->size() == pair.primary->size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * per_batch));
+  state.SetBytesProcessed(static_cast<int64_t>(shipped_bytes));
+  state.counters["batches"] =
+      static_cast<double>(pair.source->stats().batches_shipped);
+  state.counters["records_applied"] =
+      static_cast<double>(pair.replica->stats().records_applied);
+}
+BENCHMARK(BM_ShipAndApply)->Args({16, 256})->Args({256, 256})->Args({256, 4096});
+
+// Follower apply lag: wall time from "batch bytes arrived" to "every record
+// live in the replica's map and logged in its WAL" — the window where a
+// promote would miss the newest writes. Reported per record.
+void BM_FollowerApplyLag(benchmark::State& state) {
+  const uint64_t per_batch = static_cast<uint64_t>(state.range(0));
+  Pair pair(4);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (uint64_t k = 0; k < per_batch; ++k) {
+      PutRecord(pair.primary.get(), i++, 256);
+    }
+    std::string frames;
+    pair.source->PollFrames(1 << 16, ~0ULL, &frames);
+    std::vector<replwire::WireMessage> batch;
+    replwire::WireMessage m;
+    while (replwire::ConsumeFrame(&frames, &m) == replwire::FrameParse::kFrame) {
+      batch.push_back(std::move(m));
+    }
+    state.ResumeTiming();
+    std::string acks;
+    for (const replwire::WireMessage& b : batch) {
+      ASB_ASSERT(pair.replica->HandleFrame(b, &acks) == Status::kOk);
+    }
+    state.PauseTiming();
+    while (replwire::ConsumeFrame(&acks, &m) == replwire::FrameParse::kFrame) {
+      pair.source->HandleAck(m);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * per_batch));
+  state.counters["apply_lag_ns_per_record"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * per_batch),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_FollowerApplyLag)->Arg(16)->Arg(256);
+
+// Snapshot catch-up: a fresh follower joining a primary whose WAL was
+// compacted away — the whole image ships and installs. Arg0: records.
+void BM_SnapshotCatchUp(benchmark::State& state) {
+  const uint64_t records = static_cast<uint64_t>(state.range(0));
+  const std::string dir = MakeTempDir();
+  StoreOptions popts;
+  popts.dir = dir + "/primary";
+  popts.shards = 4;
+  auto p = DurableStore::Open(popts);
+  ASB_ASSERT(p.ok());
+  std::unique_ptr<DurableStore> primary = p.take();
+  for (uint64_t i = 0; i < records; ++i) {
+    PutRecord(primary.get(), i, 256);
+  }
+  ASB_ASSERT(primary->Compact() == Status::kOk);
+  ReplicationSource source(primary.get(), 0xBE7C);
+  uint64_t joined = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string rdir = dir + "/replica" + std::to_string(joined++);
+    StoreOptions ropts;
+    ropts.dir = rdir;
+    ropts.shards = 4;
+    auto r = ReplicaStore::Open(ropts);
+    ASB_ASSERT(r.ok());
+    std::unique_ptr<ReplicaStore> replica = r.take();
+    state.ResumeTiming();
+    ApplyStream(source.SessionHello(), replica.get(), &source);
+    std::string frames;
+    source.PollFrames(1 << 16, ~0ULL, &frames);
+    ApplyStream(std::move(frames), replica.get(), &source);
+    ASB_ASSERT(replica->store()->size() == records);
+    state.PauseTiming();
+    replica.reset();
+    RemoveTree(rdir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * records));
+  primary.reset();
+  RemoveTree(dir);
+}
+BENCHMARK(BM_SnapshotCatchUp)->Arg(1000)->Arg(10000);
+
+// The full two-machine path: file-server writes on the primary world, NIC
+// pumps, netd labeled messages, the wire ferry, and the follower's group
+// commit. Items = records fully replicated per second, machine to machine.
+void BM_EndToEndSimnet(benchmark::State& state) {
+  const uint64_t per_round = static_cast<uint64_t>(state.range(0));
+  const std::string dir = MakeTempDir();
+  FileServerOptions fs_opts;
+  fs_opts.data_dir = dir + "/primary";
+  fs_opts.shards = 4;
+  fs_opts.replication.listen_tcp_port = 7000;
+  FsPrimaryWorld primary(0x0451, fs_opts);
+  primary.Pump();
+  StoreOptions ropts;
+  ropts.dir = dir + "/follower";
+  ropts.shards = 4;
+  FollowerWorld follower(0x0452, 7001, ropts);
+  follower.Pump();
+  ReplicationLink link(&primary.net(), 7000, &follower.net(), 7001);
+
+  uint64_t i = 0;
+  for (auto _ : state) {
+    // Append straight into the file server's store (the workload driver is
+    // not what this bench measures); the pump's OnIdle flushes AND ships.
+    for (uint64_t k = 0; k < per_round; ++k) {
+      PutRecord(const_cast<DurableStore*>(primary.fs()->store()), i++, 256);
+    }
+    int rounds = 0;
+    do {
+      link.Step();
+      primary.Pump();
+      follower.Pump();
+    } while (!primary.fs()->replication()->source()->FullySynced() && ++rounds < 10000);
+    ASB_ASSERT(primary.fs()->replication()->source()->FullySynced());
+  }
+  ASB_ASSERT(follower.follower()->replica()->store()->size() == primary.fs()->store()->size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * per_round));
+  state.counters["wire_bytes"] = static_cast<double>(link.bytes_to_follower());
+  RemoveTree(dir);
+}
+BENCHMARK(BM_EndToEndSimnet)->Arg(64);
+
+}  // namespace
+}  // namespace asbestos
+
+// Custom main (same pattern as bench_store / bench_label_cache): default
+// the run to writing BENCH_replication.json and translate `--smoke` into a
+// minimal-time run for the CI Release job.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 3);
+  bool has_out = false;
+  bool smoke = false;
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+    args.emplace_back(arg);
+  }
+  if (!has_out) {
+    args.emplace_back("--benchmark_out=BENCH_replication.json");
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  if (smoke) {
+    args.emplace_back("--benchmark_min_time=0.01");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) {
+    argv2.push_back(a.data());
+  }
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,12 @@
 #include "src/db/dbproxy.h"
 
+#include <algorithm>
+
+#include "src/base/panic.h"
 #include "src/base/strings.h"
 #include "src/kernel/bootstrap.h"
 #include "src/sim/costs.h"
+#include "src/store/label_codec.h"
 
 namespace asbestos {
 
@@ -12,6 +16,34 @@ namespace {
 
 constexpr char kUserIdColumn[] = "USER_ID";
 constexpr char kUserTable[] = "OKWS_USERS";
+
+// Store key prefixes. Schema keys embed a zero-padded ordinal so replay
+// order (sorted keys) is creation order.
+constexpr char kSchemaPrefix[] = "schema/";
+constexpr char kTablePrefix[] = "table/";
+constexpr char kBindPrefix[] = "bind/";
+
+// The hidden-column rewrite: every worker-accessible table silently gains
+// USER_ID. One helper so the live priv path and recovery replay are
+// guaranteed to produce the same schema.
+void AddHiddenUserIdColumn(CreateTableStmt* create) {
+  if (create->table == kUserTable) {
+    return;
+  }
+  SqlColumnDef uid;
+  uid.name = kUserIdColumn;
+  uid.type = SqlType::kInteger;
+  create->columns.push_back(std::move(uid));
+}
+
+std::string EncodeTableRows(const QueryResult& result) {
+  std::string out;
+  codec::AppendVarint(result.rows.size(), &out);
+  for (const auto& row : result.rows) {
+    codec::AppendString(EncodeDbRow(row), &out);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -73,6 +105,170 @@ bool DecodeDbRow(std::string_view data, std::vector<SqlValue>* out) {
   return true;
 }
 
+DbproxyProcess::DbproxyProcess(DbproxyOptions options) {
+  if (options.store_dir.empty()) {
+    return;
+  }
+  StoreOptions sopts;
+  sopts.dir = options.store_dir;
+  sopts.shards = options.shards;
+  auto store = DurableStore::Open(std::move(sopts));
+  ASB_ASSERT(store.ok() && "dbproxy store failed to open");
+  store_ = store.take();
+  RecoverState();
+}
+
+void DbproxyProcess::OnIdle(ProcessContext& ctx) {
+  (void)ctx;
+  if (store_ != nullptr) {
+    // Pipelined group commit, like the file server and idd: this pump's
+    // table/binding appends flush while the next pump runs.
+    ASB_ASSERT(store_->SyncPipelined() == Status::kOk);
+  }
+}
+
+void DbproxyProcess::PersistSchema(const std::string& sql) {
+  if (store_ == nullptr || recovering_) {
+    return;
+  }
+  ASB_ASSERT(store_->Put(StrFormat("%s%06llu", kSchemaPrefix,
+                                   static_cast<unsigned long long>(schema_seq_++)),
+                         sql, Label::Bottom(), Label::Top()) == Status::kOk);
+}
+
+void DbproxyProcess::PersistTable(const std::string& table) {
+  if (store_ == nullptr || recovering_) {
+    return;
+  }
+  SqlTable* t = db_.FindTable(table);
+  if (t == nullptr) {
+    return;
+  }
+  // Full-width engine-level read (no worker rewrite): the hidden USER_ID
+  // column is exactly what must survive the reboot.
+  SelectStmt sel;
+  sel.table = table;
+  sel.star = true;
+  auto result = db_.ExecuteStmt(SqlStatement(sel));
+  ASB_ASSERT(result.ok());
+  ASB_ASSERT(store_->Put(std::string(kTablePrefix) + table, EncodeTableRows(result.value()),
+                         Label::Bottom(), Label::Top()) == Status::kOk);
+}
+
+void DbproxyProcess::PersistBinding(const std::string& username, const Binding& b) {
+  if (store_ == nullptr || recovering_) {
+    return;
+  }
+  std::string value;
+  codec::AppendVarint(b.taint.value(), &value);
+  codec::AppendVarint(b.grant.value(), &value);
+  codec::AppendVarint(static_cast<uint64_t>(b.user_id), &value);
+  // The binding record carries the user's own labels: secrecy names uT (the
+  // binding exists to taint u's rows), integrity names uG (only u's grant
+  // compartment vouches for it) — the same shape idd persists.
+  const Label secrecy({{b.taint, Level::kL3}}, Level::kStar);
+  const Label integrity({{b.grant, Level::kL0}}, Level::kL3);
+  ASB_ASSERT(store_->Put(std::string(kBindPrefix) + username, value, secrecy, integrity) ==
+             Status::kOk);
+}
+
+void DbproxyProcess::PersistAfterExecute(const SqlStatement& stmt,
+                                         const std::string& original_sql) {
+  if (store_ == nullptr || recovering_) {
+    return;
+  }
+  if (std::holds_alternative<CreateTableStmt>(stmt) ||
+      std::holds_alternative<CreateIndexStmt>(stmt)) {
+    // Persist the ORIGINAL text: recovery re-applies the same hidden-column
+    // rewrite the live path did, so the replayed schema is identical.
+    PersistSchema(original_sql);
+    return;
+  }
+  if (const auto* ins = std::get_if<InsertStmt>(&stmt)) {
+    PersistTable(ins->table);
+  } else if (const auto* upd = std::get_if<UpdateStmt>(&stmt)) {
+    PersistTable(upd->table);
+  } else if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    PersistTable(del->table);
+  }
+}
+
+void DbproxyProcess::RecoverState() {
+  recovering_ = true;
+  std::vector<std::pair<std::string, std::string>> schema;  // key → sql
+  std::vector<std::pair<std::string, std::string>> tables;  // name → rows
+  store_->ForEach([&](const std::string& key, const StoreRecord& record) {
+    if (key.rfind(kSchemaPrefix, 0) == 0) {
+      schema.emplace_back(key, record.value);
+    } else if (key.rfind(kTablePrefix, 0) == 0) {
+      tables.emplace_back(key.substr(sizeof(kTablePrefix) - 1), record.value);
+    } else if (key.rfind(kBindPrefix, 0) == 0) {
+      Binding b;
+      size_t pos = 0;
+      uint64_t taint = 0;
+      uint64_t grant = 0;
+      uint64_t uid = 0;
+      if (!IsOk(codec::ReadVarint(record.value, &pos, &taint)) ||
+          !IsOk(codec::ReadVarint(record.value, &pos, &grant)) ||
+          !IsOk(codec::ReadVarint(record.value, &pos, &uid)) || pos != record.value.size()) {
+        return;  // skip records this build cannot parse; never refuse to boot
+      }
+      b.taint = Handle::FromValue(taint);
+      b.grant = Handle::FromValue(grant);
+      b.user_id = static_cast<int64_t>(uid);
+      const std::string username = key.substr(sizeof(kBindPrefix) - 1);
+      bindings_[username] = b;
+      bindings_by_id_[b.user_id] = b;
+    }
+  });
+  // Schema replays in creation order (keys embed the ordinal; ForEach walks
+  // shard by shard, so sort globally first).
+  std::sort(schema.begin(), schema.end());
+  for (const auto& [key, sql] : schema) {
+    auto parsed = ParseSql(sql);
+    if (!parsed.ok()) {
+      continue;
+    }
+    SqlStatement stmt = parsed.take();
+    if (auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+      AddHiddenUserIdColumn(create);
+    }
+    (void)db_.ExecuteStmt(stmt);
+  }
+  schema_seq_ = schema.size();
+  // Row images re-insert at full width (USER_ID included).
+  for (const auto& [table, blob] : tables) {
+    SqlTable* t = db_.FindTable(table);
+    if (t == nullptr) {
+      continue;  // row image for a table whose schema record was lost
+    }
+    InsertStmt ins;
+    ins.table = table;
+    for (const SqlColumnDef& c : t->columns()) {
+      ins.columns.push_back(c.name);
+    }
+    size_t pos = 0;
+    uint64_t count = 0;
+    if (!IsOk(codec::ReadVarint(blob, &pos, &count))) {
+      continue;
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string_view encoded;
+      if (!IsOk(codec::ReadString(blob, &pos, &encoded))) {
+        break;
+      }
+      std::vector<SqlValue> row;
+      if (DecodeDbRow(encoded, &row) && row.size() == ins.columns.size()) {
+        ins.rows.push_back(std::move(row));
+      }
+    }
+    if (!ins.rows.empty()) {
+      (void)db_.ExecuteStmt(SqlStatement(std::move(ins)));
+    }
+  }
+  recovering_ = false;
+}
+
 void DbproxyProcess::Start(ProcessContext& ctx) {
   query_port_ = ctx.NewPort(Label::Top());
   ASB_ASSERT(ctx.SetPortLabel(query_port_, Label::Top()) == Status::kOk);
@@ -127,6 +323,7 @@ void DbproxyProcess::HandleBind(ProcessContext& ctx, const Message& msg) {
   ctx.ModelHeapBytes(64);  // binding cache entry
   bindings_[msg.data] = b;
   bindings_by_id_[b.user_id] = b;
+  PersistBinding(msg.data, b);
   if (msg.reply_port.valid()) {
     Message r;
     r.type = MessageType::kBindR;
@@ -200,18 +397,14 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
     // idd's channel: execute verbatim, but still auto-add the hidden column
     // to newly created worker tables.
     if (auto* create = std::get_if<CreateTableStmt>(&stmt)) {
-      if (create->table != kUserTable) {
-        SqlColumnDef uid;
-        uid.name = kUserIdColumn;
-        uid.type = SqlType::kInteger;
-        create->columns.push_back(std::move(uid));
-      }
+      AddHiddenUserIdColumn(create);
     }
     auto result = db_.ExecuteStmt(stmt);
     if (!result.ok()) {
       ReplyDone(ctx, msg.reply_port, cookie, result.status(), 0);
       return;
     }
+    PersistAfterExecute(stmt, sql);
     ChargeQuery(ctx, result.value());
     for (const auto& row : result.value().rows) {
       Message r;
@@ -325,6 +518,7 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
     ReplyDone(ctx, msg.reply_port, cookie, result.status(), 0);
     return;
   }
+  PersistAfterExecute(stmt, sql);
   ChargeQuery(ctx, result.value());
 
   if (const auto* sel = std::get_if<SelectStmt>(&stmt)) {

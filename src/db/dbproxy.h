@@ -26,10 +26,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/db/sql_engine.h"
 #include "src/kernel/kernel.h"
+#include "src/store/store.h"
 
 namespace asbestos {
 
@@ -49,14 +51,37 @@ constexpr uint64_t kFlagDeclassify = 1;  // write rows as public (needs V(uT) = 
 std::string EncodeDbRow(const std::vector<SqlValue>& row);
 bool DecodeDbRow(std::string_view data, std::vector<SqlValue>* out);
 
+// Persistence (src/store): with a store directory configured, the proxy's
+// entire database state — schema statements in creation order, every
+// table's rows INCLUDING the hidden USER_ID column, and the per-user label
+// bindings (username → uT/uG/user_id, stored under each user's own taint
+// label) — is backed by a DurableStore and recovered on restart. Mutations
+// append without fsyncing; the end-of-pump OnIdle hook group-commits them
+// (pipelined), like the file server and idd. Binding records recover the
+// proxy's per-row taint stamping directly from its own trusted store, the
+// same pattern as idd trusting its recovered identity cache; a recovered
+// binding's uT ⋆ privilege itself still travels the live kBind path when
+// idd replays bindings at boot.
+struct DbproxyOptions {
+  std::string store_dir;  // empty = volatile, as in the seed
+  uint32_t shards = 4;
+};
+
 class DbproxyProcess : public ProcessCode {
  public:
+  explicit DbproxyProcess(DbproxyOptions options = {});
+
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+  // Group commit of the table store (pipelined; see DurableStore).
+  void OnIdle(ProcessContext& ctx) override;
+  bool HasOnIdle() const override { return true; }
 
   Handle query_port() const { return query_port_; }
   Handle priv_port() const { return priv_port_; }
   const SqlDatabase& database() const { return db_; }
+  const DurableStore* store() const { return store_.get(); }
+  size_t recovered_bindings() const { return bindings_.size(); }
 
  private:
   struct Binding {
@@ -73,12 +98,27 @@ class DbproxyProcess : public ProcessCode {
   void ChargeQuery(ProcessContext& ctx, const QueryResult& r);
   bool StatementTouchesUserId(const SqlStatement& stmt) const;
 
+  // --- Persistence ----------------------------------------------------------
+  // Schema statements replay in creation order; table records rewrite the
+  // affected table's full row image (bounded by auto-compaction); binding
+  // records carry the user's labels.
+  void PersistSchema(const std::string& sql);
+  void PersistTable(const std::string& table);
+  void PersistBinding(const std::string& username, const Binding& b);
+  // Statement executed + persisted (post-rewrite): the one funnel both the
+  // live path and recovery share.
+  void PersistAfterExecute(const SqlStatement& stmt, const std::string& original_sql);
+  void RecoverState();
+
   SqlDatabase db_;
   Handle query_port_;
   Handle priv_port_;
   std::map<std::string, Binding> bindings_;       // username → handles
   std::map<int64_t, Binding> bindings_by_id_;     // user id → handles
   int64_t modeled_db_bytes_ = 0;
+  std::unique_ptr<DurableStore> store_;
+  uint64_t schema_seq_ = 0;  // next schema record ordinal
+  bool recovering_ = false;  // recovery replays must not re-persist
 };
 
 }  // namespace asbestos

@@ -18,6 +18,9 @@ FileServerProcess::FileServerProcess(const FileServerOptions& options) {
   ASB_ASSERT(store.ok() && "file server store failed to open");
   store_ = store.take();
   RecoverFiles();
+  if (options.replication.enabled()) {
+    repl_ = std::make_unique<ReplicationEndpoint>(store_.get(), options.replication);
+  }
 }
 
 Label FileServerProcess::SecrecyLabelOf(const File& f) {
@@ -66,12 +69,15 @@ void FileServerProcess::RecoverFiles() {
 }
 
 void FileServerProcess::OnIdle(ProcessContext& ctx) {
-  (void)ctx;
   if (store_ != nullptr) {
     // The batch's appends are already ordered in each shard's log; the
     // pipelined commit flushes them while the next pump iteration runs
     // (ack deferred one pump; the destructor and Sync() drain).
     ASB_ASSERT(store_->SyncPipelined() == Status::kOk);
+  }
+  if (repl_ != nullptr) {
+    // The batch just handed to the flusher is the batch handed to the wire.
+    repl_->PumpShip(ctx);
   }
 }
 
@@ -100,6 +106,11 @@ SpawnArgs FileServerProcess::RecoverySpawnArgs(std::string name) const {
 void FileServerProcess::Start(ProcessContext& ctx) {
   port_ = ctx.NewPort(Label::Top());
   ASB_ASSERT(ctx.SetPortLabel(port_, Label::Top()) == Status::kOk);
+  if (repl_ != nullptr) {
+    const Handle netd_ctl = Handle::FromValue(ctx.GetEnv("netd_ctl"));
+    ASB_ASSERT(netd_ctl.valid() && "replication requires the netd control port in env");
+    repl_->Start(ctx, netd_ctl, ctx.GetEnv("self_verify"));
+  }
 }
 
 void FileServerProcess::Reply(ProcessContext& ctx, const Message& msg, uint64_t type,
@@ -126,6 +137,9 @@ bool FileServerProcess::WriteAllowed(const File& f, const Message& msg) const {
 }
 
 void FileServerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (repl_ != nullptr && repl_->HandleMessage(ctx, msg)) {
+    return;  // replication-plane traffic (listener replies, follower acks)
+  }
   ctx.ChargeCycles(costs::kNetdRequestCycles);  // generic service handling cost
   const uint64_t cookie = msg.words.empty() ? 0 : msg.words[0];
   switch (msg.type) {

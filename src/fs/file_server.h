@@ -37,6 +37,7 @@
 #include <string>
 
 #include "src/kernel/kernel.h"
+#include "src/replication/endpoint.h"
 #include "src/store/store.h"
 
 namespace asbestos {
@@ -59,6 +60,10 @@ struct FileServerOptions {
   // Shard count for a store created at data_dir; existing stores keep the
   // count stamped at creation (see StoreOptions::shards).
   uint32_t shards = 4;
+  // WAL shipping to a follower (src/replication): when enabled, the server
+  // attaches a netd listener on this port and ships every flushed batch
+  // from its OnIdle hook. Requires env "netd_ctl" at Start.
+  ReplicationOptions replication;
 };
 
 class FileServerProcess : public ProcessCode {
@@ -93,6 +98,7 @@ class FileServerProcess : public ProcessCode {
   size_t file_count() const { return files_.size(); }
   bool persistent() const { return store_ != nullptr; }
   const DurableStore* store() const { return store_.get(); }
+  const ReplicationEndpoint* replication() const { return repl_.get(); }
 
  private:
   struct File {
@@ -116,6 +122,7 @@ class FileServerProcess : public ProcessCode {
   Handle port_;
   std::map<std::string, File> files_;
   std::unique_ptr<DurableStore> store_;
+  std::unique_ptr<ReplicationEndpoint> repl_;
 };
 
 }  // namespace asbestos

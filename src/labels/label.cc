@@ -907,6 +907,11 @@ void Label::JoinInPlace(const Label& other) {
     return;  // accurate containment check avoids allocating a new rep
   }
   *this = Lub(*this, other);
+  // The merge ran: re-key the result to its canonical rep. Lub's builder
+  // path already interned; this covers the asymmetric Set-based path, whose
+  // private rep would otherwise take a fresh id on every contamination and
+  // starve the kernel's check cache (ROADMAP: live-path hit rate).
+  Canonicalize();
 }
 
 void Label::MeetInPlace(const Label& other) {
@@ -919,6 +924,42 @@ void Label::MeetInPlace(const Label& other) {
     return;
   }
   *this = Glb(*this, other);
+  Canonicalize();
+}
+
+void Label::Canonicalize() {
+  internal::LabelRep* rep = rep_.get();
+  if (rep->interned) {
+    return;  // already canonical (or a shared default singleton)
+  }
+  std::vector<uint64_t> entries;
+  entries.reserve(entry_count());
+  internal::Cursor c(rep);
+  while (!c.done()) {
+    entries.push_back(c.entry());
+    c.Advance();
+  }
+  if (entries.empty()) {
+    rep_ = internal::SharedDefaultRep(rep->default_level);
+    return;
+  }
+  const uint64_t hash = internal::InternHashEntries(
+      LevelOrdinal(rep->default_level), entries.data(), entries.size());
+  const internal::FlatMatchCtx ctx{rep->default_level, entries.data(), entries.size(),
+                                   rep->level_counts};
+  if (internal::LabelRep* canonical =
+          internal::InternLookup(hash, internal::MatchRepAgainstFlat, &ctx)) {
+    internal::InternNoteDedup(internal::RepHeapBytes(canonical));
+    ++canonical->refcount;
+    rep_ = internal::LabelRepRef(canonical);  // drops the private rep
+    return;
+  }
+  // No live twin: this very rep becomes the canonical one — no copy, just
+  // the immutability promise (future mutations clone, per MutableRep).
+  rep->struct_hash = hash;
+  rep->interned = true;
+  rep->in_table = true;
+  internal::InternInsert(hash, rep);
 }
 
 Label::EntryIter::EntryIter(const internal::LabelRep* rep) : rep_(rep) { SkipToValid(); }

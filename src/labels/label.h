@@ -149,8 +149,20 @@ class Label {
 
   // this ← this ⊔ other / this ⊓ other, sharing representation when one
   // side already dominates. These are the kernel's contamination hot path.
+  // When a merge actually runs (the fast no-op paths did not decide), the
+  // result is re-keyed through the intern table (Canonicalize below): the
+  // kernel's receive/send labels converge to canonical reps even though
+  // they mutate in place, so steady-state OKWS traffic re-presents the
+  // same rep ids and the flow-check verdict cache keeps hitting.
   void JoinInPlace(const Label& other);
   void MeetInPlace(const Label& other);
+
+  // Re-keys this label to the canonical (hash-consed) rep for its content:
+  // a live extensionally-equal canonical rep is shared, otherwise this
+  // label's own rep is registered as canonical. Afterwards rep_id() is the
+  // stable content id every other canonical construction of this content
+  // yields. O(entry count); invisible to LabelWorkStats like all interning.
+  void Canonicalize();
 
   friend bool operator==(const Label& a, const Label& b) { return a.Equals(b); }
   friend bool operator!=(const Label& a, const Label& b) { return !a.Equals(b); }

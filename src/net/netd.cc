@@ -13,6 +13,9 @@ void NetdProcess::Start(ProcessContext& ctx) {
   // The control port is a public service endpoint.
   ASB_ASSERT(ctx.SetPortLabel(control_port_, Label::Top()) == Status::kOk);
   expected_listener_verify_ = ctx.GetEnv("demux_verify");
+  // Optional second authorized listener (the boot loader names it when a
+  // replication endpoint other than demux attaches one, e.g. idd's).
+  repl_listener_verify_ = ctx.GetEnv("repl_verify");
 }
 
 void NetdProcess::PollNetwork(ProcessContext& ctx) {
@@ -73,9 +76,14 @@ void NetdProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
   ctx.ChargeCycles(costs::kNetdRequestCycles);
   if (msg.port == control_port_) {
     if (msg.type == MessageType::kListen && msg.words.size() == 1 && msg.reply_port.valid()) {
-      // Only the process the launcher vouched for may attach listeners.
-      if (expected_listener_verify_ != 0 &&
-          !LevelLeq(msg.verify.Get(Handle::FromValue(expected_listener_verify_)), Level::kL0)) {
+      // Only processes the launcher vouched for may attach listeners: demux
+      // always, plus the optional replication endpoint the boot loader named.
+      const auto proves = [&msg](uint64_t verify_value) {
+        return verify_value != 0 &&
+               LevelLeq(msg.verify.Get(Handle::FromValue(verify_value)), Level::kL0);
+      };
+      if (expected_listener_verify_ != 0 && !proves(expected_listener_verify_) &&
+          !proves(repl_listener_verify_)) {
         return;  // unauthorized: silently ignored
       }
       const auto tcp_port = static_cast<uint16_t>(msg.words[0]);

@@ -96,6 +96,7 @@ class NetdProcess : public ProcessCode {
   SimNet* net_;
   Handle control_port_;
   uint64_t expected_listener_verify_ = 0;  // env "demux_verify"; 0 disables the check
+  uint64_t repl_listener_verify_ = 0;      // env "repl_verify"; optional second listener
   std::map<uint16_t, Listener> listeners_;
   std::map<uint64_t, Conn> conns_;           // uC handle value → connection
   std::map<ConnId, uint64_t> port_by_conn_;  // SimNet id → uC handle value

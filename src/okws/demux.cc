@@ -91,6 +91,9 @@ DemuxProcess::DemuxProcess(DemuxOptions options) : options_(std::move(options)) 
   ASB_ASSERT(store.ok() && "demux session store failed to open");
   store_ = store.take();
   RecoverSessions();
+  if (options_.replication.enabled()) {
+    repl_ = std::make_unique<ReplicationEndpoint>(store_.get(), options_.replication);
+  }
 }
 
 void DemuxProcess::RecoverSessions() {
@@ -126,9 +129,11 @@ void DemuxProcess::RecoverSessions() {
 }
 
 void DemuxProcess::OnIdle(ProcessContext& ctx) {
-  (void)ctx;
   if (store_ != nullptr) {
     ASB_ASSERT(store_->SyncPipelined() == Status::kOk);
+  }
+  if (repl_ != nullptr) {
+    repl_->PumpShip(ctx);  // the flushed batch is also the shipped batch
   }
 }
 
@@ -218,6 +223,12 @@ void DemuxProcess::Start(ProcessContext& ctx) {
     args.verify = Label({{Handle::FromValue(self_verify_), Level::kL0}}, Level::kL3);
     args.decont_send = Label({{wire_port_, Level::kStar}}, Level::kL3);
     ctx.Send(launcher_port_, std::move(reg), args);
+  }
+
+  if (repl_ != nullptr) {
+    // Session-table replication: a second listener on the replication port,
+    // proven with the same verification handle as the web listener.
+    repl_->Start(ctx, netd_ctl_, self_verify_);
   }
 }
 
@@ -371,6 +382,9 @@ void DemuxProcess::CheckAllWorkersRegistered(ProcessContext& ctx) {
 }
 
 void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (repl_ != nullptr && repl_->HandleMessage(ctx, msg)) {
+    return;  // replication-plane traffic (listener replies, follower acks)
+  }
   if (msg.port == wire_port_) {
     if (msg.type == MessageType::kExpectWorker && msg.words.size() >= 2) {
       WorkerInfo info;

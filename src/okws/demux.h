@@ -35,6 +35,7 @@
 #include "src/http/http.h"
 #include "src/kernel/kernel.h"
 #include "src/okws/protocol.h"
+#include "src/replication/endpoint.h"
 #include "src/store/store.h"
 
 namespace asbestos {
@@ -55,6 +56,10 @@ struct DemuxOptions {
   // resurrect, even at the price of re-login after a real reboot. TTL 0
   // (the default) has no timestamps to misread and survives both kinds.
   uint64_t session_ttl_cycles = 0;
+  // WAL shipping of the session table to a follower (src/replication).
+  // Requires store_dir; the listener attaches with demux's own verification
+  // label, which netd already accepts.
+  ReplicationOptions replication;
 };
 
 class DemuxProcess : public ProcessCode {
@@ -77,6 +82,7 @@ class DemuxProcess : public ProcessCode {
   size_t session_count() const { return sessions_.size(); }
   uint64_t rejected_connections() const { return rejected_; }
   const DurableStore* store() const { return store_.get(); }
+  const ReplicationEndpoint* replication() const { return repl_.get(); }
 
  private:
   struct WorkerInfo {
@@ -135,6 +141,7 @@ class DemuxProcess : public ProcessCode {
   std::map<uint64_t, ConnState> conns_;                // by cookie
   std::map<std::string, Session> sessions_;            // by user + "\x1f" + service
   std::unique_ptr<DurableStore> store_;
+  std::unique_ptr<ReplicationEndpoint> repl_;
   uint64_t next_cookie_ = 1;
   uint64_t rejected_ = 0;
   bool expectations_complete_ = false;

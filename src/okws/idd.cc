@@ -75,6 +75,9 @@ IddProcess::IddProcess(std::vector<UserCred> users, std::vector<std::string> ext
   ASB_ASSERT(store.ok() && "idd store failed to open");
   store_ = store.take();
   RecoverCache();
+  if (options.replication.enabled()) {
+    repl_ = std::make_unique<ReplicationEndpoint>(store_.get(), options.replication);
+  }
 }
 
 void IddProcess::RecoverCache() {
@@ -90,11 +93,13 @@ void IddProcess::RecoverCache() {
 }
 
 void IddProcess::OnIdle(ProcessContext& ctx) {
-  (void)ctx;
   if (store_ != nullptr) {
     // Pipelined group commit: this pump's appends flush while the NEXT pump
     // runs; the returned status acknowledges the previous round's flush.
     ASB_ASSERT(store_->SyncPipelined() == Status::kOk);
+  }
+  if (repl_ != nullptr) {
+    repl_->PumpShip(ctx);  // the flushed batch is also the shipped batch
   }
 }
 
@@ -207,18 +212,34 @@ void IddProcess::BeginSeeding(ProcessContext& ctx) {
   // The password table deliberately has no index on USERNAME: first-time
   // logins pay a scan, reproducing the paper's growing OKDB cost
   // (Figure 9; see EXPERIMENTS.md).
-  SendPrivQuery(ctx, next_qid_++,
+  //
+  // Against a persistent dbproxy the table may already exist WITH its rows;
+  // once the CREATE resolves, a row probe decides whether to insert
+  // (ContinueSeeding). User ids are assigned deterministically from config
+  // order either way, so they agree with whatever a recovered table holds.
+  for (size_t i = 0; i < users_.size(); ++i) {
+    user_ids_[users_[i].username] = static_cast<int64_t>(i) + 1;
+  }
+  seed_create_qid_ = next_qid_++;
+  SendPrivQuery(ctx, seed_create_qid_,
                 "CREATE TABLE okws_users (username TEXT, password TEXT, userid INTEGER)");
   ++seed_outstanding_;
+}
+
+void IddProcess::ContinueSeeding(ProcessContext& ctx, bool fresh) {
   for (const std::string& sql : extra_tables_) {
+    // Harmless against a recovered schema: an existing table answers
+    // kAlreadyExists and the reply is counted like any other.
     SendPrivQuery(ctx, next_qid_++, sql);
     ++seed_outstanding_;
+  }
+  if (!fresh) {
+    return;  // recovered password table: the rows are already in it
   }
   std::string values;
   size_t batched = 0;
   for (size_t i = 0; i < users_.size(); ++i) {
     const int64_t uid = static_cast<int64_t>(i) + 1;
-    user_ids_[users_[i].username] = uid;
     if (!values.empty()) {
       values += ", ";
     }
@@ -371,6 +392,9 @@ void IddProcess::HandleChangePw(ProcessContext& ctx, const Message& msg) {
 }
 
 void IddProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (repl_ != nullptr && repl_->HandleMessage(ctx, msg)) {
+    return;  // replication-plane traffic (listener replies, follower acks)
+  }
   if (msg.port == wire_port_) {
     if (msg.type == boot_proto::kWire && msg.data == "dbpriv" && !msg.words.empty()) {
       dbpriv_port_ = Handle::FromValue(msg.words[0]);
@@ -380,6 +404,12 @@ void IddProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
       for (const auto& [username, id] : cache_) {
         SendBind(ctx, id, username);
       }
+    } else if (msg.type == boot_proto::kWire && msg.data == "netd" && !msg.words.empty() &&
+               repl_ != nullptr) {
+      // The launcher's late wire: netd is up, attach the replication
+      // listener (idd spawns before the boot loader creates netd, so this
+      // capability cannot ride the spawn env the way demux's does).
+      repl_->Start(ctx, Handle::FromValue(msg.words[0]), ctx.GetEnv("self_verify"));
     }
     return;
   }
@@ -395,6 +425,10 @@ void IddProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
       return;
     case dbproxy_proto::kRow: {
       const uint64_t qid = msg.words.empty() ? 0 : msg.words[0];
+      if (qid != 0 && qid == seed_probe_qid_) {
+        seed_probe_row_seen_ = true;  // the recovered table has rows
+        return;
+      }
       auto it = pending_.find(qid);
       if (it == pending_.end()) {
         return;
@@ -413,6 +447,18 @@ void IddProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
       if (it != pending_.end()) {
         FinishLogin(ctx, qid, it->second);
         return;
+      }
+      if (qid == seed_create_qid_ && !seed_probe_sent_) {
+        // Whatever the CREATE said, ask the table itself whether it holds
+        // rows — a crash can persist the schema without the first row
+        // batch, and then kAlreadyExists alone would skip reseeding forever.
+        seed_probe_sent_ = true;
+        seed_probe_qid_ = next_qid_++;
+        SendPrivQuery(ctx, seed_probe_qid_, "SELECT userid FROM okws_users LIMIT 1");
+        ++seed_outstanding_;
+      } else if (qid == seed_probe_qid_ && !seed_phase2_sent_) {
+        seed_phase2_sent_ = true;
+        ContinueSeeding(ctx, /*fresh=*/!seed_probe_row_seen_);
       }
       if (seed_outstanding_ > 0 && --seed_outstanding_ == 0 && !seeded_) {
         seeded_ = true;

@@ -30,6 +30,7 @@
 
 #include "src/kernel/kernel.h"
 #include "src/okws/protocol.h"
+#include "src/replication/endpoint.h"
 #include "src/store/store.h"
 
 namespace asbestos {
@@ -40,6 +41,11 @@ struct IddOptions {
   // count stamped at creation (see StoreOptions::shards). Bindings append
   // without fsyncing and are group-committed by the end-of-pump OnIdle hook.
   uint32_t shards = 4;
+  // WAL shipping of the identity cache to a follower (src/replication).
+  // Requires store_dir. The launcher wires netd's control port to idd (kWire
+  // "netd") once both are up, and the world must authorize idd's listener
+  // with netd via the "repl_verify" env.
+  ReplicationOptions replication;
 };
 
 class IddProcess : public ProcessCode {
@@ -73,6 +79,7 @@ class IddProcess : public ProcessCode {
   bool LookupCachedIdentity(const std::string& username, Handle* taint, Handle* grant,
                             int64_t* user_id) const;
   const DurableStore* store() const { return store_.get(); }
+  const ReplicationEndpoint* replication() const { return repl_.get(); }
 
  private:
   struct CachedId {
@@ -93,6 +100,14 @@ class IddProcess : public ProcessCode {
   };
 
   void BeginSeeding(ProcessContext& ctx);
+  // Phase 2 of seeding, once the password table's CREATE and the row probe
+  // both resolved: `fresh` means the probe saw an EMPTY table and the user
+  // rows must be inserted. A persistent dbproxy that recovered its rows
+  // already holds them (re-inserting would duplicate every row on every
+  // reboot); probing actual rows — rather than trusting the CREATE's
+  // kAlreadyExists — also reseeds a table whose schema record was flushed
+  // by a crash before its first row batch was.
+  void ContinueSeeding(ProcessContext& ctx, bool fresh);
   void HandleLogin(ProcessContext& ctx, const Message& msg);
   void HandleChangePw(ProcessContext& ctx, const Message& msg);
   void FinishLogin(ProcessContext& ctx, uint64_t qid, PendingLogin& p);
@@ -116,8 +131,14 @@ class IddProcess : public ProcessCode {
   std::map<std::string, int64_t> user_ids_;    // assigned at seeding time
   std::map<uint64_t, PendingLogin> pending_;   // by private query cookie
   std::unique_ptr<DurableStore> store_;
+  std::unique_ptr<ReplicationEndpoint> repl_;
   uint64_t next_qid_ = 1;
   uint64_t seed_outstanding_ = 0;
+  uint64_t seed_create_qid_ = 0;  // the password-table CREATE's query id
+  uint64_t seed_probe_qid_ = 0;   // the row-existence probe's query id
+  bool seed_probe_sent_ = false;
+  bool seed_probe_row_seen_ = false;
+  bool seed_phase2_sent_ = false;
   bool seeded_ = false;
 };
 

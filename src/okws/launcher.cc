@@ -43,7 +43,8 @@ void LauncherProcess::Start(ProcessContext& ctx) {
     ASB_ASSERT(result.ok());
   };
 
-  spawn_child("dbproxy", Component::kOkdb, std::make_unique<DbproxyProcess>(), {});
+  spawn_child("dbproxy", Component::kOkdb,
+              std::make_unique<DbproxyProcess>(config_.dbproxy_options), {});
   auto idd = std::make_unique<IddProcess>(config_.users, config_.extra_tables,
                                           config_.idd_options);
   const Label idd_stars = idd->recovered_stars();
@@ -144,7 +145,25 @@ void LauncherProcess::OnDemuxRegistered(ProcessContext& ctx) {
 
 void LauncherProcess::ProvideNetd(ProcessContext& ctx, uint64_t netd_ctl_value) {
   netd_ctl_ = Handle::FromValue(netd_ctl_value);
+  MaybeWireIddNetd(ctx);
   MaybeSpawnDemux(ctx);
+}
+
+void LauncherProcess::MaybeWireIddNetd(ProcessContext& ctx) {
+  // idd spawns before the boot loader creates netd, so its replication
+  // endpoint cannot learn the control port from its spawn env the way demux
+  // does; wire it as soon as both ends exist. Handle values confer no
+  // authority — netd's listener check is what gates the LISTEN itself.
+  if (idd_netd_wired_ || !netd_ctl_.valid() || !idd_wire_.valid() ||
+      !config_.idd_options.replication.enabled()) {
+    return;
+  }
+  idd_netd_wired_ = true;
+  Message wire;
+  wire.type = boot_proto::kWire;
+  wire.data = "netd";
+  wire.words = {netd_ctl_.value()};
+  ctx.Send(idd_wire_, std::move(wire));
 }
 
 void LauncherProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
@@ -160,6 +179,7 @@ void LauncherProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
       idd_login_ = Handle::FromValue(msg.words[0]);
       idd_wire_ = Handle::FromValue(msg.words[1]);
       MaybeWireIdd(ctx);
+      MaybeWireIddNetd(ctx);
     } else if (msg.data == "demux" && CheckRegistration(msg, "demux") &&
                msg.words.size() >= 3) {
       demux_register_ = Handle::FromValue(msg.words[0]);

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/db/dbproxy.h"
 #include "src/kernel/kernel.h"
 #include "src/okws/demux.h"
 #include "src/okws/idd.h"
@@ -48,6 +49,9 @@ struct OkwsLauncherConfig {
   // the same boot: the ⋆ set demux needs for its recovered sessions comes
   // out of idd's recovered identity bindings via the launcher.
   DemuxOptions demux_options;
+  // Durable SQL tables (hidden USER_ID column and per-user label bindings
+  // included) for ok-dbproxy.
+  DbproxyOptions dbproxy_options;
 };
 
 class LauncherProcess : public ProcessCode {
@@ -62,9 +66,16 @@ class LauncherProcess : public ProcessCode {
 
   bool ready() const { return ready_; }
   uint64_t demux_verify_value() const { return verify_.at("demux").value(); }
+  // Any child's verification-handle value (e.g. "idd" for the world to
+  // authorize idd's replication listener with netd); 0 when unknown.
+  uint64_t verify_value(const std::string& name) const {
+    auto it = verify_.find(name);
+    return it == verify_.end() ? 0 : it->second.value();
+  }
 
  private:
   void MaybeWireIdd(ProcessContext& ctx);
+  void MaybeWireIddNetd(ProcessContext& ctx);
   void MaybeSpawnDemux(ProcessContext& ctx);
   void OnDemuxRegistered(ProcessContext& ctx);
   bool CheckRegistration(const Message& msg, const std::string& name) const;
@@ -88,6 +99,7 @@ class LauncherProcess : public ProcessCode {
   Handle netd_ctl_;
 
   bool idd_wired_ = false;
+  bool idd_netd_wired_ = false;
   bool idd_ready_ = false;
   bool demux_spawned_ = false;
   bool workers_spawned_ = false;

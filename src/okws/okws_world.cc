@@ -14,6 +14,7 @@ OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
   launcher_config.extra_tables = std::move(config.extra_tables);
   launcher_config.idd_options = config.idd_options;
   launcher_config.demux_options = config.demux_options;
+  launcher_config.dbproxy_options = config.dbproxy_options;
   auto launcher_code = std::make_unique<LauncherProcess>(std::move(launcher_config));
   launcher_ = launcher_code.get();
   SpawnArgs largs;
@@ -45,6 +46,11 @@ OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
   nargs.name = "netd";
   nargs.component = Component::kNetwork;
   nargs.env = {{"demux_verify", launcher_->demux_verify_value()}};
+  if (config.idd_options.replication.enabled()) {
+    // idd's replication endpoint attaches its own listener; netd must
+    // recognize idd's verification handle alongside demux's.
+    nargs.env["repl_verify"] = launcher_->verify_value("idd");
+  }
   netd_pid_ = kernel_.CreateProcess(std::move(netd_code), std::move(nargs));
 
   // Tell the launcher where netd's control port is.

@@ -28,6 +28,9 @@ struct OkwsWorldConfig {
   // Durable demux session table: with both stores configured, a reboot is
   // invisible to logged-in browsers (sessions resume without touching idd).
   DemuxOptions demux_options;
+  // Durable ok-dbproxy tables: worker data (hidden USER_ID column included)
+  // and per-user label bindings survive reboots.
+  DbproxyOptions dbproxy_options;
 };
 
 class OkwsWorld {

@@ -1,0 +1,140 @@
+#include "src/replication/endpoint.h"
+
+#include "src/base/panic.h"
+#include "src/net/netd.h"
+
+namespace asbestos {
+
+ReplicationEndpoint::ReplicationEndpoint(const DurableStore* store,
+                                         ReplicationOptions options)
+    : store_(store), options_(options) {
+  ASB_ASSERT(options_.enabled());
+}
+
+void ReplicationEndpoint::Start(ProcessContext& ctx, Handle netd_ctl,
+                                uint64_t self_verify) {
+  // A fresh handle value is unique and unpredictable for this boot — the
+  // right shape for a source id naming this boot's WAL history.
+  source_ = std::make_unique<ReplicationSource>(store_, ctx.NewHandle().value(),
+                                                options_.auth_token);
+  notify_port_ = ctx.NewPort(Label::Top());  // closed; netd gets ⋆ below
+
+  Message listen;
+  listen.type = netd_proto::kListen;
+  listen.words = {options_.listen_tcp_port};
+  listen.reply_port = notify_port_;
+  SendArgs args;
+  if (self_verify != 0) {
+    args.verify = Label({{Handle::FromValue(self_verify), Level::kL0}}, Level::kL3);
+  }
+  args.decont_send = Label({{notify_port_, Level::kStar}}, Level::kL3);
+  ctx.Send(netd_ctl, std::move(listen), args);
+}
+
+void ReplicationEndpoint::IssueRead(ProcessContext& ctx) {
+  Message read;
+  read.type = netd_proto::kRead;
+  read.words = {0 /*cookie*/, 0 /*all*/, 0 /*no peek*/, 0};
+  read.reply_port = notify_port_;
+  ctx.Send(conn_, std::move(read));
+}
+
+void ReplicationEndpoint::DropSession(ProcessContext& ctx, bool close_conn) {
+  if (!conn_.valid()) {
+    return;
+  }
+  if (close_conn) {
+    Message close;
+    close.type = netd_proto::kControl;
+    close.words = {0, netd_proto::kControlOpClose};
+    ctx.Send(conn_, std::move(close));
+  }
+  // Release the per-connection capability, as demux does on handoff.
+  ASB_ASSERT(ctx.SetSendLevel(conn_, kDefaultSendLevel) == Status::kOk);
+  conn_ = Handle();
+  rx_.clear();
+}
+
+bool ReplicationEndpoint::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (!notify_port_.valid() || msg.port != notify_port_) {
+    return false;
+  }
+  switch (msg.type) {
+    case netd_proto::kListenR:
+      return true;
+    case netd_proto::kNotifyConn: {
+      if (msg.words.empty()) {
+        return true;
+      }
+      const Handle uc = Handle::FromValue(msg.words[0]);
+      if (conn_.valid()) {
+        // One follower at a time: refuse the newcomer outright.
+        Message close;
+        close.type = netd_proto::kControl;
+        close.words = {0, netd_proto::kControlOpClose};
+        ctx.Send(uc, std::move(close));
+        ASB_ASSERT(ctx.SetSendLevel(uc, kDefaultSendLevel) == Status::kOk);
+        return true;
+      }
+      conn_ = uc;
+      rx_.clear();
+      // Session opening move: hello first, then wait for resume acks.
+      Message hello;
+      hello.type = netd_proto::kWrite;
+      hello.words = {0};
+      hello.data = source_->SessionHello();
+      ctx.Send(conn_, std::move(hello));
+      IssueRead(ctx);
+      return true;
+    }
+    case netd_proto::kReadR: {
+      if (!conn_.valid()) {
+        return true;  // stale reply from a dropped session
+      }
+      const bool eof = msg.words.size() > 1 && msg.words[1] != 0;
+      rx_.append(msg.data);
+      replwire::WireMessage frame;
+      for (;;) {
+        const replwire::FrameParse p = replwire::ConsumeFrame(&rx_, &frame);
+        if (p == replwire::FrameParse::kNeedMore) {
+          break;
+        }
+        if (p == replwire::FrameParse::kCorrupt) {
+          DropSession(ctx, /*close_conn=*/true);
+          return true;
+        }
+        if (frame.type == replwire::kAck) {
+          source_->HandleAck(frame);
+        }
+      }
+      if (eof) {
+        DropSession(ctx, /*close_conn=*/true);
+      } else {
+        IssueRead(ctx);
+      }
+      return true;
+    }
+    case netd_proto::kWriteR:
+    case netd_proto::kControlR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void ReplicationEndpoint::PumpShip(ProcessContext& ctx) {
+  if (!conn_.valid() || source_ == nullptr) {
+    return;
+  }
+  std::string out;
+  if (source_->PollFrames(options_.max_batch_bytes, options_.max_write_bytes, &out) == 0) {
+    return;  // nothing new: the idle loop quiesces
+  }
+  Message write;
+  write.type = netd_proto::kWrite;
+  write.words = {0};
+  write.data = std::move(out);
+  ctx.Send(conn_, std::move(write));
+}
+
+}  // namespace asbestos

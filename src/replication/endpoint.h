@@ -1,0 +1,89 @@
+// ReplicationEndpoint: the primary-side shipping plane, embedded in any
+// store-owning process (file server, idd, ok-demux).
+//
+// The endpoint attaches a netd listener on its own TCP port — replication
+// rides the same user-level network server as every other byte leaving the
+// machine (paper §7.7), as labeled kernel messages: LISTEN proves the
+// owner's identity to netd via its verification label, connection grants
+// arrive as kNotifyConn with uC ⋆, batches leave as kWrite messages, and
+// follower acks come back through kRead replies.
+//
+// Shipping piggybacks on the group-commit pipeline: the owner calls
+// PumpShip from its OnIdle hook right after SyncPipelined, so the batch
+// whose flush was just handed to the device is the same batch handed to
+// the wire — one pump iteration, one flush, one ship. OnIdle sends are
+// self-limiting: a pump with no new appends polls zero frames and sends
+// nothing, so the kernel's idle loop quiesces.
+//
+// One follower session at a time: a second connection while one is live is
+// refused (closed immediately). A dropped follower reconnects and resumes
+// via the hello/ack handshake (see ReplicationSource).
+#ifndef SRC_REPLICATION_ENDPOINT_H_
+#define SRC_REPLICATION_ENDPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/replication/source.h"
+
+namespace asbestos {
+
+struct ReplicationOptions {
+  // TCP port the endpoint listens on for follower connections; 0 disables
+  // replication entirely (the owner never constructs an endpoint).
+  uint16_t listen_tcp_port = 0;
+  // Largest WAL span per kBatch frame (one oversized record still ships
+  // whole) and largest kWrite per pump (the rest ships next pump).
+  uint64_t max_batch_bytes = 64 * 1024;
+  uint64_t max_write_bytes = 256 * 1024;
+  // Session shared secret, configured identically on the follower. The
+  // source ships nothing to a peer whose acks carry a different token, and
+  // a follower refuses a hello with one — so a stray client that merely
+  // connects to either port gets no labeled data. 0 (default) means an
+  // unauthenticated closed testbed; the token travels in cleartext (the
+  // simulated wire models no cryptography), so it is a capability in the
+  // handle-value sense, not a defense against a wire eavesdropper.
+  uint64_t auth_token = 0;
+
+  bool enabled() const { return listen_tcp_port != 0; }
+};
+
+class ReplicationEndpoint {
+ public:
+  // The store must outlive the endpoint.
+  ReplicationEndpoint(const DurableStore* store, ReplicationOptions options);
+
+  // Attaches the netd listener. `self_verify` is the owner's verification
+  // handle value (0 when the world runs netd without listener checks); the
+  // source id is minted from a fresh kernel handle — per-boot unique, so a
+  // follower can never mistake one boot's WAL history for another's.
+  void Start(ProcessContext& ctx, Handle netd_ctl, uint64_t self_verify);
+
+  // Consumes messages addressed to the endpoint's ports. Owners call this
+  // first in HandleMessage; true means the message was replication-plane.
+  bool HandleMessage(ProcessContext& ctx, const Message& msg);
+
+  // Ships pending WAL spans/snapshots to the connected follower. Call from
+  // OnIdle after the store sync.
+  void PumpShip(ProcessContext& ctx);
+
+  bool follower_connected() const { return conn_.valid(); }
+  const ReplicationSource* source() const { return source_.get(); }
+
+ private:
+  void DropSession(ProcessContext& ctx, bool close_conn);
+  void IssueRead(ProcessContext& ctx);
+
+  const DurableStore* store_;
+  ReplicationOptions options_;
+  std::unique_ptr<ReplicationSource> source_;
+  Handle notify_port_;
+  Handle conn_;     // live follower connection's uC (invalid = none)
+  std::string rx_;  // buffered ack bytes awaiting a whole frame
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_REPLICATION_ENDPOINT_H_

@@ -1,0 +1,130 @@
+#include "src/replication/follower.h"
+
+#include "src/base/panic.h"
+#include "src/net/netd.h"
+
+namespace asbestos {
+
+FollowerProcess::FollowerProcess(StoreOptions store_opts, uint64_t auth_token) {
+  auto replica = ReplicaStore::Open(std::move(store_opts), auth_token);
+  ASB_ASSERT(replica.ok() && "follower replica store failed to open");
+  replica_ = replica.take();
+}
+
+void FollowerProcess::Start(ProcessContext& ctx) {
+  notify_port_ = ctx.NewPort(Label::Top());  // closed; netd gets ⋆ below
+  const Handle netd_ctl = Handle::FromValue(ctx.GetEnv("netd_ctl"));
+  ASB_ASSERT(netd_ctl.valid() && "follower needs the netd control port");
+
+  Message listen;
+  listen.type = netd_proto::kListen;
+  listen.words = {ctx.GetEnv("tcp_port")};
+  listen.reply_port = notify_port_;
+  SendArgs args;
+  if (ctx.HasEnv("self_verify")) {
+    args.verify =
+        Label({{Handle::FromValue(ctx.GetEnv("self_verify")), Level::kL0}}, Level::kL3);
+  }
+  args.decont_send = Label({{notify_port_, Level::kStar}}, Level::kL3);
+  ctx.Send(netd_ctl, std::move(listen), args);
+}
+
+void FollowerProcess::IssueRead(ProcessContext& ctx) {
+  Message read;
+  read.type = netd_proto::kRead;
+  read.words = {0 /*cookie*/, 0 /*all*/, 0 /*no peek*/, 0};
+  read.reply_port = notify_port_;
+  ctx.Send(conn_, std::move(read));
+}
+
+void FollowerProcess::EndSession(ProcessContext& ctx, bool close_conn) {
+  if (!conn_.valid()) {
+    return;
+  }
+  if (close_conn) {
+    Message close;
+    close.type = netd_proto::kControl;
+    close.words = {0, netd_proto::kControlOpClose};
+    ctx.Send(conn_, std::move(close));
+  }
+  ASB_ASSERT(ctx.SetSendLevel(conn_, kDefaultSendLevel) == Status::kOk);
+  conn_ = Handle();
+  rx_.clear();
+  // Session boundaries are quiet moments: pin the cursor so a restart
+  // resumes warm instead of re-shipping snapshots.
+  (void)replica_->Checkpoint();
+}
+
+void FollowerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (msg.port != notify_port_) {
+    return;
+  }
+  switch (msg.type) {
+    case netd_proto::kNotifyConn: {
+      if (msg.words.empty()) {
+        return;
+      }
+      const Handle uc = Handle::FromValue(msg.words[0]);
+      if (conn_.valid() || replica_->promoted()) {
+        Message close;
+        close.type = netd_proto::kControl;
+        close.words = {0, netd_proto::kControlOpClose};
+        ctx.Send(uc, std::move(close));
+        ASB_ASSERT(ctx.SetSendLevel(uc, kDefaultSendLevel) == Status::kOk);
+        return;
+      }
+      conn_ = uc;
+      rx_.clear();
+      ++sessions_accepted_;
+      IssueRead(ctx);
+      return;
+    }
+    case netd_proto::kReadR: {
+      if (!conn_.valid()) {
+        return;  // stale reply from an ended session
+      }
+      const bool eof = msg.words.size() > 1 && msg.words[1] != 0;
+      rx_.append(msg.data);
+      std::string acks;
+      replwire::WireMessage frame;
+      for (;;) {
+        const replwire::FrameParse p = replwire::ConsumeFrame(&rx_, &frame);
+        if (p == replwire::FrameParse::kNeedMore) {
+          break;  // torn frame: keep the prefix, await the rest
+        }
+        if (p == replwire::FrameParse::kCorrupt ||
+            !IsOk(replica_->HandleFrame(frame, &acks))) {
+          EndSession(ctx, /*close_conn=*/true);
+          return;
+        }
+      }
+      if (!acks.empty()) {
+        Message write;
+        write.type = netd_proto::kWrite;
+        write.words = {0};
+        write.data = std::move(acks);
+        ctx.Send(conn_, std::move(write));
+      }
+      if (eof) {
+        EndSession(ctx, /*close_conn=*/true);
+      } else {
+        IssueRead(ctx);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void FollowerProcess::OnIdle(ProcessContext& ctx) {
+  (void)ctx;
+  ASB_ASSERT(replica_->SyncPipelined() == Status::kOk);
+}
+
+Status FollowerProcess::Promote(ProcessContext& ctx) {
+  EndSession(ctx, /*close_conn=*/true);
+  return replica_->Promote();
+}
+
+}  // namespace asbestos

@@ -1,0 +1,66 @@
+// FollowerProcess: a hot-standby store fed over simnet/netd.
+//
+// The follower machine runs its own netd; this process attaches a listener
+// on the replication TCP port and waits for the wire (the cross-machine
+// ferry, ReplicationLink) to connect it to a primary's ReplicationEndpoint.
+// Every byte then travels as labeled kernel messages: batches arrive as
+// kRead replies, acks leave as kWrite messages, and the replica's group
+// commit rides the same OnIdle hook as any primary store — a follower is a
+// durable server whose only client is the primary's log.
+//
+// Promote() ends the follower role: the connection is closed, the replica
+// drains its pipeline, and the underlying store — bit-identical to what
+// single-node crash recovery of the shipped history would produce — can be
+// adopted by a primary process (e.g. FileServerProcess re-opened on the
+// same directory, with RecoverySpawnArgs re-granting privilege exactly as
+// after a local reboot).
+#ifndef SRC_REPLICATION_FOLLOWER_H_
+#define SRC_REPLICATION_FOLLOWER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/replication/replica.h"
+
+namespace asbestos {
+
+class FollowerProcess : public ProcessCode {
+ public:
+  // Opens the replica store immediately (panics if the directory is
+  // corrupt, like every durable server here: a follower must not limp on
+  // empty state it does not actually have). `auth_token` must match the
+  // primary's ReplicationOptions::auth_token.
+  explicit FollowerProcess(StoreOptions store_opts, uint64_t auth_token = 0);
+
+  // env: "netd_ctl" (required), "tcp_port" (required), "self_verify"
+  // (optional, for worlds whose netd checks listener identity).
+  void Start(ProcessContext& ctx) override;
+  void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+  // Group commit of everything applied this pump (pipelined).
+  void OnIdle(ProcessContext& ctx) override;
+  bool HasOnIdle() const override { return true; }
+
+  // Stops following (closes the live session, drains, checkpoints). The
+  // world driver invokes this via Kernel::WithProcessContext — promotion is
+  // a trusted operator action, like boot-time label assignment.
+  Status Promote(ProcessContext& ctx);
+
+  ReplicaStore* replica() { return replica_.get(); }
+  const ReplicaStore* replica() const { return replica_.get(); }
+  uint64_t sessions_accepted() const { return sessions_accepted_; }
+
+ private:
+  void IssueRead(ProcessContext& ctx);
+  void EndSession(ProcessContext& ctx, bool close_conn);
+
+  std::unique_ptr<ReplicaStore> replica_;
+  Handle notify_port_;
+  Handle conn_;     // live session's uC (invalid = none)
+  std::string rx_;  // buffered stream bytes awaiting a whole frame
+  uint64_t sessions_accepted_ = 0;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_REPLICATION_FOLLOWER_H_

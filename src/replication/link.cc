@@ -1,0 +1,130 @@
+#include "src/replication/link.h"
+
+#include <algorithm>
+
+namespace asbestos {
+
+ReplicationLink::ReplicationLink(SimNet* primary_net, uint16_t primary_port,
+                                 SimNet* follower_net, uint16_t follower_port)
+    : primary_net_(primary_net),
+      follower_net_(follower_net),
+      primary_port_(primary_port),
+      follower_port_(follower_port) {
+  TryConnect();
+}
+
+void ReplicationLink::TryConnect() {
+  if (p_conn_ == kNoConn) {
+    p_conn_ = primary_net_->ClientConnect(primary_port_);
+  }
+  if (f_conn_ == kNoConn) {
+    f_conn_ = follower_net_->ClientConnect(follower_port_);
+  }
+}
+
+void ReplicationLink::Disconnect() {
+  if (p_conn_ != kNoConn) {
+    primary_net_->ClientClose(p_conn_);
+    p_conn_ = kNoConn;
+  }
+  if (f_conn_ != kNoConn) {
+    follower_net_->ClientClose(f_conn_);
+    f_conn_ = kNoConn;
+  }
+  to_follower_.clear();
+  to_primary_.clear();
+}
+
+bool ReplicationLink::Reconnect() {
+  Disconnect();
+  TryConnect();
+  return connected();
+}
+
+uint64_t ReplicationLink::FerryChunk(std::string* buffer, SimNet* dst, ConnId dst_conn) {
+  if (buffer->empty() || dst_conn == kNoConn) {
+    return 0;
+  }
+  const uint64_t n =
+      max_chunk_ == 0 ? buffer->size() : std::min<uint64_t>(max_chunk_, buffer->size());
+  dst->ClientSend(dst_conn, std::string_view(*buffer).substr(0, n));
+  buffer->erase(0, n);
+  return n;
+}
+
+uint64_t ReplicationLink::Step() {
+  TryConnect();
+  if (p_conn_ != kNoConn) {
+    to_follower_ += primary_net_->ClientTakeReceived(p_conn_);
+  }
+  if (f_conn_ != kNoConn) {
+    to_primary_ += follower_net_->ClientTakeReceived(f_conn_);
+  }
+  uint64_t moved = 0;
+  const uint64_t pf = FerryChunk(&to_follower_, follower_net_, f_conn_);
+  const uint64_t fp = FerryChunk(&to_primary_, primary_net_, p_conn_);
+  bytes_to_follower_ += pf;
+  bytes_to_primary_ += fp;
+  moved = pf + fp;
+  return moved;
+}
+
+FsPrimaryWorld::FsPrimaryWorld(uint64_t boot_key, const FileServerOptions& fs_options,
+                               SpawnArgs fs_spawn_args)
+    : kernel_(boot_key) {
+  auto netd_code = std::make_unique<NetdProcess>(&net_);
+  netd_ = netd_code.get();
+  SpawnArgs nargs;
+  nargs.name = "netd";
+  nargs.component = Component::kNetwork;
+  netd_pid_ = kernel_.CreateProcess(std::move(netd_code), std::move(nargs));
+
+  auto fs_code = std::make_unique<FileServerProcess>(fs_options);
+  fs_ = fs_code.get();
+  if (fs_spawn_args.name.empty()) {
+    fs_spawn_args.name = "fs";
+  }
+  // The boot loader hands the file server netd's control port so its
+  // replication endpoint can attach a listener.
+  fs_spawn_args.env["netd_ctl"] = netd_->control_port().value();
+  fs_pid_ = kernel_.CreateProcess(std::move(fs_code), std::move(fs_spawn_args));
+}
+
+void FsPrimaryWorld::Pump() {
+  kernel_.WithProcessContext(netd_pid_, [&](ProcessContext& ctx) { netd_->PollNetwork(ctx); });
+  kernel_.RunUntilIdle();
+}
+
+FollowerWorld::FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
+                             uint64_t auth_token)
+    : kernel_(boot_key) {
+  auto netd_code = std::make_unique<NetdProcess>(&net_);
+  netd_ = netd_code.get();
+  SpawnArgs nargs;
+  nargs.name = "netd";
+  nargs.component = Component::kNetwork;
+  netd_pid_ = kernel_.CreateProcess(std::move(netd_code), std::move(nargs));
+
+  auto follower_code = std::make_unique<FollowerProcess>(std::move(store_opts), auth_token);
+  follower_ = follower_code.get();
+  SpawnArgs fargs;
+  fargs.name = "follower";
+  fargs.component = Component::kOther;
+  fargs.env = {{"netd_ctl", netd_->control_port().value()}, {"tcp_port", tcp_port}};
+  follower_pid_ = kernel_.CreateProcess(std::move(follower_code), std::move(fargs));
+}
+
+void FollowerWorld::Pump() {
+  kernel_.WithProcessContext(netd_pid_, [&](ProcessContext& ctx) { netd_->PollNetwork(ctx); });
+  kernel_.RunUntilIdle();
+}
+
+Status FollowerWorld::Promote() {
+  Status s = Status::kOk;
+  kernel_.WithProcessContext(follower_pid_,
+                             [&](ProcessContext& ctx) { s = follower_->Promote(ctx); });
+  Pump();  // drain the session-close traffic
+  return s;
+}
+
+}  // namespace asbestos

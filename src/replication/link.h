@@ -1,0 +1,129 @@
+// ReplicationLink and the two-machine replication testbed.
+//
+// Two Asbestos machines (kernel + netd + SimNet each) cannot share a wire:
+// each SimNet models one machine's LAN segment with its remote peers driven
+// from outside, exactly like HttpLoadClient drives the OKWS worlds. The
+// link IS that outside: it opens a client connection into each machine's
+// netd (the primary's replication listener and the follower's) and ferries
+// bytes between them every step — a stand-in for the switch between two
+// server racks. Tests use its knobs to fragment deliveries (torn batches at
+// the follower) and to sever one side (primary kill).
+//
+//   ┌────────────── primary ──────────────┐      ┌───────────── follower ────────────┐
+//   │ FileServer ──OnIdle──▶ Endpoint     │      │ FollowerProcess ──▶ ReplicaStore  │
+//   │      │ kWrite batches   ▲ kRead acks│      │   ▲ kRead batches   │ kWrite acks │
+//   │      ▼                  │           │      │   │                 ▼             │
+//   │            netd A                   │      │             netd B                │
+//   └────────────┬─────▲──────────────────┘      └───────────────┬─────▲─────────────┘
+//          SimNet A    │                                  SimNet B     │
+//                ▼     │            ReplicationLink             ▼      │
+//                └─────┴────────── (ferries bytes) ─────────────┴──────┘
+#ifndef SRC_REPLICATION_LINK_H_
+#define SRC_REPLICATION_LINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/fs/file_server.h"
+#include "src/kernel/kernel.h"
+#include "src/net/netd.h"
+#include "src/net/simnet.h"
+#include "src/replication/follower.h"
+
+namespace asbestos {
+
+class ReplicationLink {
+ public:
+  // Connects to both machines' listeners. Either connect may fail (port not
+  // listening yet); Step() keeps retrying until both sides are up.
+  ReplicationLink(SimNet* primary_net, uint16_t primary_port, SimNet* follower_net,
+                  uint16_t follower_port);
+
+  // Ferries pending bytes both ways. Returns the bytes moved this step.
+  uint64_t Step();
+
+  // Delivers at most this many bytes per ClientSend, fragmenting frames
+  // across steps — the torn-batch-at-the-follower scenario. 0 = unlimited.
+  void set_max_chunk(uint64_t n) { max_chunk_ = n; }
+
+  // Severs the wire (both directions); a later Reconnect() dials fresh
+  // connections, as a restarted link daemon would.
+  void Disconnect();
+  bool Reconnect();
+
+  bool connected() const { return p_conn_ != kNoConn && f_conn_ != kNoConn; }
+  uint64_t bytes_to_follower() const { return bytes_to_follower_; }
+  uint64_t bytes_to_primary() const { return bytes_to_primary_; }
+
+ private:
+  void TryConnect();
+  // Moves one direction, honoring max_chunk_; leftover stays buffered here.
+  uint64_t FerryChunk(std::string* buffer, SimNet* dst, ConnId dst_conn);
+
+  SimNet* primary_net_;
+  SimNet* follower_net_;
+  uint16_t primary_port_;
+  uint16_t follower_port_;
+  ConnId p_conn_ = kNoConn;
+  ConnId f_conn_ = kNoConn;
+  std::string to_follower_;  // taken from primary, not yet delivered
+  std::string to_primary_;
+  uint64_t max_chunk_ = 0;
+  uint64_t bytes_to_follower_ = 0;
+  uint64_t bytes_to_primary_ = 0;
+};
+
+// One primary machine: kernel, netd, and a persistent file server that
+// ships its WAL from the replication listener. The file-server workload
+// (CREATE/WRITE/UNLINK with secrecy/integrity compartments) is exactly the
+// labeled state the promote tests compare bit-for-bit.
+class FsPrimaryWorld {
+ public:
+  FsPrimaryWorld(uint64_t boot_key, const FileServerOptions& fs_options,
+                 SpawnArgs fs_spawn_args = {});
+
+  void Pump();
+
+  Kernel& kernel() { return kernel_; }
+  SimNet& net() { return net_; }
+  FileServerProcess* fs() { return fs_; }
+  ProcessId fs_pid() const { return fs_pid_; }
+
+ private:
+  SimNet net_;
+  Kernel kernel_;
+  NetdProcess* netd_ = nullptr;
+  FileServerProcess* fs_ = nullptr;
+  ProcessId netd_pid_ = kNoProcess;
+  ProcessId fs_pid_ = kNoProcess;
+};
+
+// One follower machine: kernel, netd, and a FollowerProcess listening for
+// the primary's stream.
+class FollowerWorld {
+ public:
+  FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
+                uint64_t auth_token = 0);
+
+  void Pump();
+  // Closes the session, drains, checkpoints; the store directory is now a
+  // primary-grade image.
+  Status Promote();
+
+  Kernel& kernel() { return kernel_; }
+  SimNet& net() { return net_; }
+  FollowerProcess* follower() { return follower_; }
+
+ private:
+  SimNet net_;
+  Kernel kernel_;
+  NetdProcess* netd_ = nullptr;
+  FollowerProcess* follower_ = nullptr;
+  ProcessId netd_pid_ = kNoProcess;
+  ProcessId follower_pid_ = kNoProcess;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_REPLICATION_LINK_H_

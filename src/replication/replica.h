@@ -1,0 +1,106 @@
+// ReplicaStore: a follower's durable store fed by a replication stream.
+//
+// The replica owns a DurableStore of its own and applies shipped WAL
+// records through DurableStore::ApplyReplicatedRecord — the exact apply
+// path local crash recovery replays — so records, secrecy labels, and
+// integrity labels land bit-identically to a primary that recovered the
+// same history, and Promote() is nothing more than draining the pipeline:
+// the store IS a primary store the moment batches stop.
+//
+// Apply is idempotent and in-order per shard:
+//   * a batch at exactly the expected (generation, offset) applies and
+//     advances the cursor;
+//   * a batch at or below the cursor is a duplicate: skipped, re-acked;
+//   * a gap or generation mismatch is ignored and the current position
+//     re-acked — the go-back-N source rewinds (or ships a snapshot).
+// Reordered and duplicated delivery therefore converge to the same state
+// as in-order delivery, which the edge-case tests exercise directly.
+//
+// Cursor durability: the per-shard primary cursor is checkpointed to
+// <dir>/replcursor only when everything it covers is durably applied
+// (after a full Sync) — a crashed follower whose cursor lags simply
+// re-receives records it already holds (idempotent), while a cursor that
+// ran AHEAD of durable state would silently lose the difference, so the
+// checkpoint never does. A follower with no usable cursor (fresh dir, or
+// following a primary with a different source_id) acks an unknown position
+// and is caught up by snapshot.
+#ifndef SRC_REPLICATION_REPLICA_H_
+#define SRC_REPLICATION_REPLICA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/replication/wire.h"
+#include "src/store/store.h"
+
+namespace asbestos {
+
+struct ReplicaStoreStats {
+  uint64_t batches_applied = 0;
+  uint64_t records_applied = 0;
+  uint64_t snapshots_installed = 0;
+  uint64_t duplicates_skipped = 0;  // batches at/below the cursor
+  uint64_t gaps_ignored = 0;        // batches past the cursor or wrong gen
+};
+
+class ReplicaStore {
+ public:
+  // Opens (or creates) the replica's own durable store and loads any
+  // checkpointed cursor. `auth_token` must match the primary's
+  // (ReplicationOptions::auth_token): a hello carrying a different token
+  // poisons the session before any state is accepted.
+  static Result<std::unique_ptr<ReplicaStore>> Open(StoreOptions opts,
+                                                    uint64_t auth_token = 0);
+
+  // Handles one parsed wire frame from the primary. Ack frames to send
+  // back (if any) are appended to `ack_out`. kInvalidArgs poisons the
+  // session (shard-count mismatch); kBadState after Promote().
+  Status HandleFrame(const replwire::WireMessage& msg, std::string* ack_out);
+
+  // Group commit of everything applied this pump (see DurableStore); a full
+  // checkpoint also persists the cursor.
+  Status SyncPipelined() { return store_->SyncPipelined(); }
+  Status Checkpoint();
+
+  // Ends the follower role: drains and checkpoints the store, then refuses
+  // every further frame. The store is now a primary store — reopening its
+  // directory recovers exactly what single-node crash recovery would.
+  Status Promote();
+  bool promoted() const { return promoted_; }
+
+  // Releases the underlying store to the promoted primary (the replica is
+  // an empty shell afterwards). Promote() first.
+  std::unique_ptr<DurableStore> TakeStore();
+
+  DurableStore* store() { return store_.get(); }
+  const DurableStore* store() const { return store_.get(); }
+  const ReplicaStoreStats& stats() const { return stats_; }
+  uint64_t session_source() const { return session_source_; }
+
+ private:
+  struct Cursor {
+    uint64_t source_id = 0;  // 0 = never synced to anyone
+    uint64_t generation = 0;
+    uint64_t offset = 0;
+  };
+
+  explicit ReplicaStore(std::string dir) : dir_(std::move(dir)) {}
+
+  void AppendAck(uint32_t shard, std::string* out) const;
+  void LoadCursorFile();
+
+  std::string dir_;
+  std::unique_ptr<DurableStore> store_;
+  std::vector<Cursor> cursors_;
+  uint64_t auth_token_ = 0;
+  uint64_t session_source_ = 0;  // from kHello; 0 = no session yet
+  bool promoted_ = false;
+  ReplicaStoreStats stats_;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_REPLICATION_REPLICA_H_

@@ -1,0 +1,160 @@
+#include "src/replication/source.h"
+
+#include "src/base/panic.h"
+
+namespace asbestos {
+
+using replwire::WireMessage;
+
+ReplicationSource::ReplicationSource(const DurableStore* store, uint64_t source_id,
+                                     uint64_t auth_token)
+    : store_(store), source_id_(source_id), auth_token_(auth_token) {
+  cursors_.resize(store_->shard_count());
+}
+
+std::string ReplicationSource::SessionHello() {
+  for (Cursor& c : cursors_) {
+    c = Cursor();
+  }
+  WireMessage hello;
+  hello.type = replwire::kHello;
+  hello.token = auth_token_;
+  hello.source_id = source_id_;
+  hello.shard_count = store_->shard_count();
+  std::string out;
+  replwire::AppendFrame(hello, &out);
+  return out;
+}
+
+void ReplicationSource::ShipSnapshot(uint32_t shard, std::string* out, size_t* frames) {
+  WireMessage m;
+  m.type = replwire::kSnapshot;
+  m.shard = shard;
+  ASB_ASSERT(IsOk(store_->ExportShardSnapshot(shard, &m.payload, &m.generation, &m.offset)));
+  Cursor& c = cursors_[shard];
+  c.force_snapshot = false;
+  c.shipped_gen = m.generation;
+  c.shipped_off = m.offset;
+  stats_.snapshots_shipped += 1;
+  stats_.bytes_shipped += m.payload.size();
+  replwire::AppendFrame(m, out);
+  *frames += 1;
+}
+
+size_t ReplicationSource::PollFrames(uint64_t max_batch_bytes, uint64_t max_total_bytes,
+                                     std::string* out) {
+  size_t frames = 0;
+  for (uint32_t shard = 0; shard < cursors_.size(); ++shard) {
+    if (out->size() >= max_total_bytes) {
+      break;  // budget spent; the remainder ships next pump
+    }
+    Cursor& c = cursors_[shard];
+    if (c.await_resume) {
+      continue;  // the follower has not told us where it is yet
+    }
+    // The follower's position is unusable (unknown history), or compaction
+    // moved the log out from under the cursor: catch up by image.
+    if (c.force_snapshot || c.shipped_gen != store_->shard_wal_generation(shard) ||
+        c.shipped_off > store_->shard_wal_offset(shard)) {
+      ShipSnapshot(shard, out, &frames);
+      continue;
+    }
+    while (c.shipped_off < store_->shard_wal_offset(shard) &&
+           out->size() < max_total_bytes) {
+      std::string span;
+      const Status s = store_->ReadShardWal(shard, c.shipped_gen, c.shipped_off,
+                                            max_batch_bytes, &span);
+      if (!IsOk(s)) {
+        ShipSnapshot(shard, out, &frames);  // raced a compaction
+        break;
+      }
+      // Ship whole WAL frames only; if one frame alone exceeds the batch
+      // limit it ships as an oversized SINGLETON — exactly that frame, not
+      // everything to the log tail — rather than fragmenting.
+      uint64_t take = replwire::WalFramePrefix(span, max_batch_bytes);
+      if (take == 0) {
+        // The first frame alone exceeds the batch limit: its header names
+        // its exact size, so re-read precisely that frame and ship it as an
+        // oversized singleton — never the whole remaining log.
+        const uint64_t need = replwire::FirstWalFrameBytes(span);
+        ASB_ASSERT(need > 0 && "batch limit smaller than a WAL frame header");
+        const Status big =
+            store_->ReadShardWal(shard, c.shipped_gen, c.shipped_off, need, &span);
+        if (!IsOk(big)) {
+          ShipSnapshot(shard, out, &frames);  // raced a compaction
+          break;
+        }
+        take = need;
+        ASB_ASSERT(take == span.size());
+      }
+      WireMessage m;
+      m.type = replwire::kBatch;
+      m.shard = shard;
+      m.generation = c.shipped_gen;
+      m.offset = c.shipped_off;
+      m.payload = span.substr(0, take);
+      c.shipped_off += take;
+      stats_.batches_shipped += 1;
+      stats_.bytes_shipped += take;
+      replwire::AppendFrame(m, out);
+      ++frames;
+    }
+  }
+  return frames;
+}
+
+void ReplicationSource::HandleAck(const WireMessage& ack) {
+  if (ack.token != auth_token_ || ack.shard >= cursors_.size()) {
+    return;  // unauthenticated or nonsense ack: the shard stays unshipped
+  }
+  Cursor& c = cursors_[ack.shard];
+  const uint32_t shard = static_cast<uint32_t>(ack.shard);
+  const bool ours = ack.source_id == source_id_ &&
+                    ack.generation == store_->shard_wal_generation(shard) &&
+                    ack.offset <= store_->shard_wal_offset(shard);
+  if (c.await_resume) {
+    c.await_resume = false;
+    if (ours) {
+      // Warm resume: the follower already mirrors our history up to here.
+      c.shipped_gen = c.acked_gen = ack.generation;
+      c.shipped_off = c.acked_off = ack.offset;
+    } else {
+      // Unknown position (fresh follower, other primary's history, or a
+      // span compaction discarded): image it on the next poll.
+      c.force_snapshot = true;
+    }
+    return;
+  }
+  if (!ours) {
+    // Mid-session the follower should only ever ack our own stream; a
+    // foreign ack means it fell behind a compaction between our polls.
+    c.force_snapshot = true;
+    return;
+  }
+  // A rewind is warranted only when the ack shows NO progress — the
+  // follower re-acked a position it had already reached, meaning it
+  // dropped what we sent after it (a gap, or duplicates it skipped). An
+  // in-order ack that merely trails `shipped` is the normal pipelined
+  // case (several batches in flight) and must NOT trigger retransmission.
+  const bool no_progress =
+      ack.generation == c.acked_gen && ack.offset <= c.acked_off;
+  c.acked_gen = ack.generation;
+  c.acked_off = ack.offset;
+  if (no_progress && c.shipped_gen == ack.generation && ack.offset < c.shipped_off) {
+    c.shipped_off = ack.offset;  // go back and retransmit from its position
+    stats_.rewinds += 1;
+  }
+}
+
+bool ReplicationSource::FullySynced() const {
+  for (uint32_t shard = 0; shard < cursors_.size(); ++shard) {
+    const Cursor& c = cursors_[shard];
+    if (c.await_resume || c.acked_gen != store_->shard_wal_generation(shard) ||
+        c.acked_off != store_->shard_wal_offset(shard)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace asbestos

@@ -1,0 +1,100 @@
+// ReplicationSource: tails a primary DurableStore's per-shard WALs and
+// emits wire frames for one follower session.
+//
+// The source keeps two cursors per shard into the primary's WAL history:
+//
+//   shipped  — everything at or below this (generation, offset) has been
+//              handed to the transport this session;
+//   acked    — everything at or below this has been applied (and logged)
+//              by the follower.
+//
+// Shipping is go-back-N over a reliable byte stream: batches are emitted in
+// order from `shipped`, and an ack that does not extend the shipped prefix
+// rewinds `shipped` to the follower's position (duplicates are cheap — the
+// follower skips batches below its cursor idempotently). When the span a
+// cursor needs has been compacted away (the WAL generation advanced), the
+// source ships a whole-shard snapshot instead and resumes streaming from
+// the position the snapshot covers — catch-up is compaction-safe by
+// construction.
+//
+// A session starts with kHello and then WAITS, per shard, for the
+// follower's resume ack: a follower that already mirrors this source
+// (matching source_id) resumes mid-stream; anything else (fresh follower,
+// follower of a dead primary, re-following old primary) acks a position the
+// source does not recognize and gets a snapshot. The source never trusts a
+// cursor it cannot prove is into its own history.
+#ifndef SRC_REPLICATION_SOURCE_H_
+#define SRC_REPLICATION_SOURCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/replication/wire.h"
+#include "src/store/store.h"
+
+namespace asbestos {
+
+struct ReplicationSourceStats {
+  uint64_t batches_shipped = 0;
+  uint64_t snapshots_shipped = 0;
+  uint64_t bytes_shipped = 0;  // payload bytes (batch spans + images)
+  uint64_t rewinds = 0;        // acks that moved `shipped` backwards
+};
+
+class ReplicationSource {
+ public:
+  // `source_id` names this primary's WAL history; a fresh nonce per store
+  // open (the owning process mints it from the kernel's RNG-backed handle
+  // space or any per-boot unique value). `auth_token` is the session shared
+  // secret: acks carrying a different token are ignored outright, so an
+  // unauthenticated peer never advances past await-resume and receives no
+  // data. The store must outlive the source.
+  ReplicationSource(const DurableStore* store, uint64_t source_id, uint64_t auth_token = 0);
+
+  uint64_t source_id() const { return source_id_; }
+
+  // Starts (or restarts) a follower session: resets every shard to
+  // await-resume and returns the kHello frame to send first.
+  std::string SessionHello();
+
+  // Appends to `out` the next frames to ship: at most `max_batch_bytes` of
+  // WAL span per batch frame (snapshots ship whole), stopping once `out`
+  // reaches `max_total_bytes` (the rest ships on a later poll). Returns the
+  // number of frames appended. Shards still awaiting their resume ack emit
+  // nothing.
+  size_t PollFrames(uint64_t max_batch_bytes, uint64_t max_total_bytes, std::string* out);
+
+  // Feeds a follower ack back into the cursors.
+  void HandleAck(const replwire::WireMessage& ack);
+
+  // True when every shard's acked cursor matches the primary's WAL tail —
+  // the follower mirrors everything appended so far.
+  bool FullySynced() const;
+
+  const ReplicationSourceStats& stats() const { return stats_; }
+
+ private:
+  struct Cursor {
+    bool await_resume = true;    // no ack seen this session yet
+    bool force_snapshot = false; // the follower's position is unusable
+    uint64_t shipped_gen = 0;
+    uint64_t shipped_off = 0;
+    uint64_t acked_gen = 0;
+    uint64_t acked_off = 0;
+  };
+
+  // Emits a snapshot frame for the shard and points `shipped` at the
+  // position the image covers.
+  void ShipSnapshot(uint32_t shard, std::string* out, size_t* frames);
+
+  const DurableStore* store_;
+  uint64_t source_id_;
+  uint64_t auth_token_;
+  std::vector<Cursor> cursors_;
+  ReplicationSourceStats stats_;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_REPLICATION_SOURCE_H_

@@ -1,0 +1,177 @@
+#include "src/replication/wire.h"
+
+#include <cstring>
+
+#include "src/store/label_codec.h"
+#include "src/store/wal.h"
+
+namespace asbestos {
+namespace replwire {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc (WAL framing)
+
+uint32_t ReadU32Le(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendU32Le(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+std::string EncodePayload(const WireMessage& msg) {
+  std::string p;
+  codec::AppendVarint(msg.type, &p);
+  switch (msg.type) {
+    case kHello:
+      codec::AppendVarint(msg.token, &p);
+      codec::AppendVarint(msg.source_id, &p);
+      codec::AppendVarint(msg.shard_count, &p);
+      break;
+    case kBatch:
+      codec::AppendVarint(msg.shard, &p);
+      codec::AppendVarint(msg.generation, &p);
+      codec::AppendVarint(msg.offset, &p);
+      codec::AppendString(msg.payload, &p);
+      break;
+    case kSnapshot:
+      codec::AppendVarint(msg.shard, &p);
+      codec::AppendVarint(msg.generation, &p);
+      codec::AppendVarint(msg.offset, &p);
+      codec::AppendString(msg.payload, &p);
+      break;
+    case kAck:
+      codec::AppendVarint(msg.token, &p);
+      codec::AppendVarint(msg.shard, &p);
+      codec::AppendVarint(msg.source_id, &p);
+      codec::AppendVarint(msg.generation, &p);
+      codec::AppendVarint(msg.offset, &p);
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+Status DecodePayload(std::string_view p, WireMessage* msg) {
+  *msg = WireMessage();
+  size_t pos = 0;
+  Status s = codec::ReadVarint(p, &pos, &msg->type);
+  if (!IsOk(s)) {
+    return s;
+  }
+  std::string_view bytes;
+  switch (msg->type) {
+    case kHello:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->token)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->source_id)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->shard_count))) {
+        return s;
+      }
+      break;
+    case kBatch:
+    case kSnapshot:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->generation)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->offset)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
+        return s;
+      }
+      msg->payload.assign(bytes);
+      break;
+    case kAck:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->token)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->source_id)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->generation)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->offset))) {
+        return s;
+      }
+      break;
+    default:
+      return Status::kInvalidArgs;  // unknown frame type: poison the session
+  }
+  return pos == p.size() ? Status::kOk : Status::kInvalidArgs;
+}
+
+}  // namespace
+
+void AppendFrame(const WireMessage& msg, std::string* out) {
+  const std::string payload = EncodePayload(msg);
+  AppendU32Le(static_cast<uint32_t>(payload.size()), out);
+  AppendU32Le(Crc32(payload), out);
+  out->append(payload);
+}
+
+FrameParse ConsumeFrame(std::string* buffer, WireMessage* msg) {
+  if (buffer->size() < kFrameHeaderBytes) {
+    return FrameParse::kNeedMore;
+  }
+  const uint32_t len = ReadU32Le(buffer->data());
+  const uint32_t crc = ReadU32Le(buffer->data() + 4);
+  if (buffer->size() - kFrameHeaderBytes < len) {
+    return FrameParse::kNeedMore;
+  }
+  const std::string_view payload(buffer->data() + kFrameHeaderBytes, len);
+  if (Crc32(payload) != crc) {
+    return FrameParse::kCorrupt;
+  }
+  if (!IsOk(DecodePayload(payload, msg))) {
+    return FrameParse::kCorrupt;
+  }
+  buffer->erase(0, kFrameHeaderBytes + len);
+  return FrameParse::kFrame;
+}
+
+uint64_t FirstWalFrameBytes(std::string_view span) {
+  if (span.size() < kFrameHeaderBytes) {
+    return 0;
+  }
+  return kFrameHeaderBytes + static_cast<uint64_t>(ReadU32Le(span.data()));
+}
+
+uint64_t WalFramePrefix(std::string_view span, uint64_t max_bytes) {
+  uint64_t end = 0;
+  while (span.size() - end >= kFrameHeaderBytes) {
+    const uint32_t len = ReadU32Le(span.data() + end);
+    const uint64_t frame = kFrameHeaderBytes + static_cast<uint64_t>(len);
+    if (span.size() - end < frame || end + frame > max_bytes) {
+      break;
+    }
+    end += frame;
+  }
+  return end;
+}
+
+Status ForEachWalRecord(std::string_view batch,
+                        const std::function<Status(std::string_view)>& fn) {
+  size_t pos = 0;
+  while (pos < batch.size()) {
+    if (batch.size() - pos < kFrameHeaderBytes) {
+      return Status::kInvalidArgs;
+    }
+    const uint32_t len = ReadU32Le(batch.data() + pos);
+    const uint32_t crc = ReadU32Le(batch.data() + pos + 4);
+    if (batch.size() - pos - kFrameHeaderBytes < len) {
+      return Status::kInvalidArgs;
+    }
+    const std::string_view payload(batch.data() + pos + kFrameHeaderBytes, len);
+    if (Crc32(payload) != crc) {
+      return Status::kInvalidArgs;
+    }
+    const Status s = fn(payload);
+    if (!IsOk(s)) {
+      return s;
+    }
+    pos += kFrameHeaderBytes + len;
+  }
+  return Status::kOk;
+}
+
+}  // namespace replwire
+}  // namespace asbestos

@@ -1,0 +1,109 @@
+// Replication wire format: label-preserving WAL shipping between stores.
+//
+// The durable store's WAL is already a self-delimiting, CRC-framed record
+// stream with labels pickled inside every Put record (src/store/wal.h,
+// src/store/label_codec.h), so replication ships those bytes verbatim: a
+// follower that replays a shipped span through the same apply path as crash
+// recovery reconstructs records, secrecy labels, and integrity labels
+// bit-exactly, interning labels through the canonical-rep table as it goes.
+//
+// The stream between a primary and a follower is a sequence of frames with
+// the same framing as the WAL itself:
+//
+//   ┌──────────────┬───────────────┬──────────────────────┐
+//   │ len: u32 LE  │ crc32: u32 LE │ payload (len bytes)  │
+//   └──────────────┴───────────────┴──────────────────────┘
+//
+// so a torn TCP read is detected exactly like a torn log tail: the parser
+// waits for the rest of the frame, and a CRC mismatch poisons the session
+// (the follower re-syncs on reconnect). Frame payloads are codec varints:
+//
+//   kHello    token, source_id, shard_count     primary → follower, once
+//   kBatch    shard, generation, start_offset,  primary → follower
+//             raw WAL bytes (whole frames)
+//   kSnapshot shard, generation, offset,        primary → follower, catch-up
+//             snapshot image (disk format)
+//   kAck      token, shard, source_id,          follower → primary
+//             generation, applied offset
+//
+// `token` is the session's shared secret (ReplicationOptions::auth_token):
+// the follower refuses a hello whose token differs from its own, and the
+// source ignores acks whose token differs — and since nothing ships until
+// a shard's resume ack arrives, an unauthenticated peer that connects to
+// either side receives no labeled data, only a hello header. Both sides
+// must be configured with the same value; 0 (the default) means an
+// unauthenticated closed testbed.
+//
+// Positions are per-shard (generation, offset) pairs into the PRIMARY's WAL
+// history: offsets advance within a generation, and compaction starts a new
+// generation whose offsets restart at 0 (old spans are gone — the source
+// ships a snapshot instead). Acks carry the source_id so a source never
+// mistakes a cursor into some other primary's history for its own.
+#ifndef SRC_REPLICATION_WIRE_H_
+#define SRC_REPLICATION_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace asbestos {
+namespace replwire {
+
+enum MessageType : uint64_t {
+  kHello = 1,
+  kBatch = 2,
+  kSnapshot = 3,
+  kAck = 4,
+};
+
+struct WireMessage {
+  uint64_t type = 0;
+  uint64_t token = 0;        // kHello, kAck: session shared secret
+  uint64_t source_id = 0;    // kHello, kAck
+  uint64_t shard_count = 0;  // kHello
+  uint64_t shard = 0;        // kBatch, kSnapshot, kAck
+  uint64_t generation = 0;   // kBatch, kSnapshot, kAck
+  uint64_t offset = 0;       // kBatch: span start; kSnapshot/kAck: position covered
+  std::string payload;       // kBatch: raw WAL frames; kSnapshot: image
+};
+
+// Serializes `msg` as one CRC-framed wire frame appended to `out`.
+void AppendFrame(const WireMessage& msg, std::string* out);
+
+// Incremental frame parser outcomes for a byte-stream transport.
+enum class FrameParse {
+  kFrame,     // one complete frame consumed; *msg is valid
+  kNeedMore,  // the buffer ends mid-frame: keep the bytes, wait for more
+  kCorrupt,   // CRC or payload decode failure: the session is poisoned
+};
+
+// Attempts to consume one frame from the front of `buffer`. On kFrame the
+// frame's bytes are erased from the buffer and *msg is filled; on kNeedMore
+// the buffer is untouched; on kCorrupt the buffer contents are undefined
+// (callers drop the session).
+FrameParse ConsumeFrame(std::string* buffer, WireMessage* msg);
+
+// Splits a raw WAL byte span (as read by DurableStore::ReadShardWal) at
+// whole-frame boundaries: returns the largest prefix length ≤ max_bytes that
+// ends on a frame boundary (0 when even the first frame exceeds max_bytes —
+// the caller ships that one frame alone; WAL frames are never re-fragmented).
+uint64_t WalFramePrefix(std::string_view span, uint64_t max_bytes);
+
+// Total byte length (header + payload) of the first WAL frame in `span`, as
+// named by its header — the frame itself may extend past the span. 0 when
+// the span is shorter than a frame header.
+uint64_t FirstWalFrameBytes(std::string_view span);
+
+// Walks the WAL frames inside a kBatch payload, invoking `fn(payload)` per
+// record. kInvalidArgs on any framing/CRC violation (a batch is shipped
+// whole, so unlike log recovery a torn interior is corruption, not a crash).
+Status ForEachWalRecord(std::string_view batch,
+                        const std::function<Status(std::string_view)>& fn);
+
+}  // namespace replwire
+}  // namespace asbestos
+
+#endif  // SRC_REPLICATION_WIRE_H_

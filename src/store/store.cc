@@ -68,6 +68,8 @@ Status ReadRecordBody(std::string_view data, size_t* pos, std::string* key, Stor
   return Status::kOk;
 }
 
+}  // namespace
+
 Status WriteFileAtomically(const std::string& dir, const std::string& name,
                            std::string_view contents) {
   const std::string tmp_path = dir + "/." + name + ".tmp";
@@ -108,6 +110,8 @@ Status WriteFileAtomically(const std::string& dir, const std::string& name,
   ::close(dir_fd);
   return dir_synced ? Status::kOk : Status::kBadState;
 }
+
+namespace {
 
 // kNotFound: no such file (a legal empty base image). kBadState: the file
 // exists but could not be read — callers must NOT treat that as absence, or
@@ -318,6 +322,10 @@ Status DurableStore::LoadSnapshot(Shard& shard) {
   if (!IsOk(read)) {
     return read;  // exists but unreadable: refuse to boot without it
   }
+  return LoadSnapshotImage(shard, contents);
+}
+
+Status DurableStore::LoadSnapshotImage(Shard& shard, std::string_view contents) {
   // Header: magic + u32 crc(body).
   if (contents.size() < sizeof(kSnapshotMagic) + 4 ||
       std::memcmp(contents.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
@@ -423,7 +431,7 @@ size_t DurableStore::size() const {
   return n;
 }
 
-Status DurableStore::CompactShard(Shard& shard) {
+std::string DurableStore::BuildShardSnapshotImage(const Shard& shard) const {
   std::string body;
   codec::AppendVarint(shard.records.size(), &body);
   for (const auto& [key, record] : shard.records) {
@@ -433,7 +441,11 @@ Status DurableStore::CompactShard(Shard& shard) {
   const uint32_t crc = Crc32(body);
   image.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
   image.append(body);
-  Status s = WriteFileAtomically(shard.dir, "snapshot", image);
+  return image;
+}
+
+Status DurableStore::CompactShard(Shard& shard) {
+  Status s = WriteFileAtomically(shard.dir, "snapshot", BuildShardSnapshotImage(shard));
   if (!IsOk(s)) {
     return s;
   }
@@ -642,6 +654,103 @@ DurableStore::ShardStats DurableStore::shard_stats(uint32_t shard_index) const {
   stats.torn_tail_bytes_dropped = shard.torn_tail_bytes_dropped;
   stats.compactions = shard.compactions;
   return stats;
+}
+
+uint64_t DurableStore::shard_wal_generation(uint32_t shard) const {
+  ASB_ASSERT(shard < shards_.size());
+  return shards_[shard]->wal.generation();
+}
+
+uint64_t DurableStore::shard_wal_offset(uint32_t shard) const {
+  ASB_ASSERT(shard < shards_.size());
+  return shards_[shard]->wal.size_bytes();
+}
+
+Status DurableStore::ReadShardWal(uint32_t shard, uint64_t generation, uint64_t offset,
+                                  uint64_t max_bytes, std::string* out) const {
+  out->clear();
+  if (shard >= shards_.size()) {
+    return Status::kInvalidArgs;
+  }
+  const Wal& wal = shards_[shard]->wal;
+  if (generation != wal.generation() || offset > wal.size_bytes()) {
+    // The span this cursor wants no longer exists (compacted away) or never
+    // existed here (a cursor from some other history): snapshot territory.
+    return Status::kNotFound;
+  }
+  return wal.ReadAt(offset, max_bytes, out);
+}
+
+Status DurableStore::ExportShardSnapshot(uint32_t shard, std::string* image,
+                                         uint64_t* generation, uint64_t* offset) const {
+  if (shard >= shards_.size()) {
+    return Status::kInvalidArgs;
+  }
+  const Shard& s = *shards_[shard];
+  // The in-memory map already reflects every appended record, so the image
+  // covers the log up to its current tail: a replica installing it resumes
+  // streaming from exactly (generation, tail).
+  *image = BuildShardSnapshotImage(s);
+  *generation = s.wal.generation();
+  *offset = s.wal.size_bytes();
+  return Status::kOk;
+}
+
+Status DurableStore::ApplyReplicatedRecord(uint32_t shard, std::string_view payload) {
+  if (shard >= shards_.size()) {
+    return Status::kInvalidArgs;
+  }
+  Shard& s = *shards_[shard];
+  const Status st = s.wal.Append(payload);
+  if (!IsOk(st)) {
+    return st;
+  }
+  // Same apply path as crash recovery: unknown or corrupt payloads are
+  // skipped, Put/Erase payloads reconstruct records and labels bit-exactly.
+  ApplyLogRecord(s, payload);
+  MaybeAutoCompact(s);
+  return Status::kOk;
+}
+
+void DurableStore::ClearShardRecords(Shard& shard) {
+  for (const auto& [key, record] : shard.records) {
+    g_store_mem.live_bytes -= static_cast<int64_t>(RecordBytes(key, record));
+    g_store_mem.live_records -= 1;
+  }
+  shard.records.clear();
+}
+
+Status DurableStore::InstallShardSnapshot(uint32_t shard, std::string_view image) {
+  if (shard >= shards_.size()) {
+    return Status::kInvalidArgs;
+  }
+  Shard& s = *shards_[shard];
+  // Parse into a scratch shard first: a corrupt image must not destroy the
+  // replica's current records.
+  Shard scratch;
+  const Status parsed = LoadSnapshotImage(scratch, image);
+  if (!IsOk(parsed)) {
+    ClearShardRecords(scratch);
+    return parsed;
+  }
+  // Persist the image before adopting it, mirroring CompactShard's ordering
+  // (snapshot durably in place, then the log may be dropped).
+  Status st = WriteFileAtomically(s.dir, "snapshot", image);
+  if (!IsOk(st)) {
+    ClearShardRecords(scratch);
+    return st;
+  }
+  st = s.wal.Reset();
+  if (!IsOk(st)) {
+    ClearShardRecords(scratch);
+    return st;
+  }
+  ClearShardRecords(s);
+  s.records = std::move(scratch.records);
+  scratch.records.clear();
+  s.snapshot_records_loaded = scratch.snapshot_records_loaded;
+  s.log_records_replayed = 0;
+  return Status::kOk;
 }
 
 void DurableStore::MaybeAutoCompact(Shard& shard) {

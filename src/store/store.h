@@ -71,6 +71,13 @@ struct StoreMemStats {
 
 const StoreMemStats& GetStoreMemStats();
 
+// Durably replaces <dir>/<name>: writes a temp file, fsyncs it, renames it
+// into place, and fsyncs the directory so the rename survives a power cut.
+// Shared by the store's snapshot writer and the replication cursor
+// checkpoint (src/replication/replica.cc).
+Status WriteFileAtomically(const std::string& dir, const std::string& name,
+                           std::string_view contents);
+
 // Modeled per-record index overhead (map node, pointers, sizes).
 constexpr uint64_t kStoreRecordOverheadBytes = 64;
 
@@ -148,6 +155,43 @@ class DurableStore {
   // True while a background flush is running (test/observability hook).
   bool flush_in_flight() const { return inflight_ != nullptr; }
 
+  // --- Replication hooks (src/replication) ----------------------------------
+  // The WAL is the replication stream: each shard's log is a self-delimiting
+  // sequence of CRC-framed mutation records, so a replica that replays a
+  // shipped span through the SAME apply path as crash recovery reconstructs
+  // records and labels bit-exactly. Positions are (generation, offset)
+  // pairs: the generation advances when compaction resets the log, at which
+  // point old offsets name discarded bytes and a snapshot must be shipped.
+
+  // Current tail position of a shard's log.
+  uint64_t shard_wal_generation(uint32_t shard) const;
+  uint64_t shard_wal_offset(uint32_t shard) const;
+
+  // Reads up to max_bytes of raw framed WAL bytes at (generation, offset).
+  // kNotFound when that generation was compacted away (ship a snapshot) or
+  // the offset is past the tail (a cursor from a lost future: resync).
+  Status ReadShardWal(uint32_t shard, uint64_t generation, uint64_t offset,
+                      uint64_t max_bytes, std::string* out) const;
+
+  // Serializes the shard's live records into a snapshot image (the on-disk
+  // snapshot format: magic, crc, body) and reports the WAL position the
+  // image covers — a replica that installs it resumes streaming from there.
+  Status ExportShardSnapshot(uint32_t shard, std::string* image, uint64_t* generation,
+                             uint64_t* offset) const;
+
+  // Replica apply: appends one raw WAL record payload (as shipped from the
+  // primary's log) to the shard's own log and applies it in memory — the
+  // exact code path crash recovery replays, so labels intern through the
+  // canonical-rep table identically. The shard index must come from the
+  // primary (both sides hash keys identically, so it already matches).
+  Status ApplyReplicatedRecord(uint32_t shard, std::string_view payload);
+
+  // Replica catch-up: validates `image` (magic + crc), replaces the shard's
+  // records with its contents, persists it as the shard's on-disk snapshot,
+  // and resets the shard's log. After this the shard is bit-identical to the
+  // primary shard the image was exported from.
+  Status InstallShardSnapshot(uint32_t shard, std::string_view image);
+
   // --- Sharding / recovery / durability observability -----------------------
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
   // The shard `key` routes to — stable across reboots (FNV-1a, not
@@ -204,6 +248,9 @@ class DurableStore {
 
   Status RecoverShard(Shard& shard);
   Status LoadSnapshot(Shard& shard);
+  std::string BuildShardSnapshotImage(const Shard& shard) const;
+  Status LoadSnapshotImage(Shard& shard, std::string_view contents);
+  void ClearShardRecords(Shard& shard);
   void ApplyLogRecord(Shard& shard, std::string_view payload);
   void InsertRecord(Shard& shard, std::string key, StoreRecord record);
   bool EraseRecord(Shard& shard, const std::string& key);

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -77,6 +78,7 @@ Status Wal::Open(const std::string& path,
   }
   path_ = path;
   dirty_ = false;
+  generation_ = 0;
   recovered_records_ = 0;
   dropped_tail_bytes_ = 0;
   appended_records_ = 0;
@@ -185,7 +187,37 @@ Status Wal::Reset() {
   }
   size_bytes_ = 0;
   appended_records_ = 0;
+  // Every (old generation, offset) pair now names discarded bytes; cursors
+  // held by replication sources must notice and fall back to a snapshot.
+  ++generation_;
   return Sync();
+}
+
+Status Wal::ReadAt(uint64_t offset, uint64_t max_bytes, std::string* out) const {
+  out->clear();
+  if (fd_ < 0) {
+    return Status::kBadState;
+  }
+  if (offset >= size_bytes_ || max_bytes == 0) {
+    return Status::kOk;  // at (or past) the tail: nothing to read
+  }
+  const uint64_t want = std::min(max_bytes, size_bytes_ - offset);
+  out->resize(want);
+  uint64_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::pread(fd_, out->data() + got, want - got,
+                              static_cast<off_t>(offset + got));
+    if (n < 0) {
+      out->clear();
+      return Status::kBadState;
+    }
+    if (n == 0) {
+      break;  // raced a truncate; return what is there
+    }
+    got += static_cast<uint64_t>(n);
+  }
+  out->resize(got);
+  return Status::kOk;
 }
 
 }  // namespace asbestos

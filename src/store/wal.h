@@ -66,8 +66,21 @@ class Wal {
   void ClearDirty() { dirty_ = false; }
 
   // Truncates the log to empty (after a snapshot made its contents
-  // redundant) and syncs.
+  // redundant), advances the generation, and syncs.
   Status Reset();
+
+  // Reads up to `max_bytes` raw framed bytes starting at byte `offset`
+  // (pread; never disturbs the append position). Returns the bytes actually
+  // present — fewer than max_bytes near the tail, empty at it. Offsets are
+  // only meaningful within one generation: Reset() discards the addressed
+  // bytes, so callers must pair every offset with generation().
+  Status ReadAt(uint64_t offset, uint64_t max_bytes, std::string* out) const;
+
+  // How many times this log has been reset (compacted) since open. A
+  // (generation, offset) pair names a stable position in the log's history:
+  // replication cursors use it to detect that the bytes they wanted were
+  // compacted away and a snapshot must be shipped instead.
+  uint64_t generation() const { return generation_; }
 
   void Close();
   bool is_open() const { return fd_ >= 0; }
@@ -86,6 +99,7 @@ class Wal {
   int fd_ = -1;
   std::string path_;
   bool dirty_ = false;
+  uint64_t generation_ = 0;
   uint64_t size_bytes_ = 0;
   uint64_t appended_records_ = 0;
   uint64_t recovered_records_ = 0;

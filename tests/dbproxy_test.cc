@@ -309,6 +309,220 @@ TEST_F(DbproxyTest, DeclassifyRequiresStarInVerify) {
   EXPECT_EQ(row[0].AsText(), "public-profile");
 }
 
+// --- Reboot: durable tables, hidden USER_ID column, label bindings -----------
+
+// A minimal one-boot world around a (possibly persistent) dbproxy: a
+// stand-in idd holding the priv-port capability, plus worker helpers. Each
+// instance is one boot; destroying it drains the proxy's store, and a new
+// instance over the same directory is the reboot.
+class ProxyBoot {
+ public:
+  ProxyBoot(const std::string& store_dir, uint64_t boot_key,
+            const std::vector<uint64_t>& recovered_stars = {})
+      : kernel_(boot_key) {
+    DbproxyOptions opts;
+    opts.store_dir = store_dir;
+    auto code = std::make_unique<DbproxyProcess>(opts);
+    proxy_ = code.get();
+    SpawnArgs args;
+    args.name = "dbproxy";
+    args.component = Component::kOkdb;
+    kernel_.CreateProcess(std::move(code), args);
+
+    // The stand-in idd. On a reboot the trusted boot path re-grants the ⋆
+    // set for every recovered compartment (exactly what the launcher does
+    // with IddProcess::RecoveredStars) and retires the handles from the
+    // generator.
+    SpawnArgs iargs;
+    iargs.name = "idd";
+    for (const uint64_t h : recovered_stars) {
+      iargs.send_label.Set(Handle::FromValue(h), Level::kStar);
+      kernel_.ReserveRecoveredHandle(Handle::FromValue(h));
+    }
+    idd_ = kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), iargs);
+    kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+      idd_port_ = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(idd_port_, Label::Top()), Status::kOk);
+    });
+    Process* proxy_proc = kernel_.FindProcessByName("dbproxy");
+    kernel_.WithProcessContext(proxy_proc->id, [&](ProcessContext& ctx) {
+      SendArgs gargs;
+      gargs.decont_send = Label({{proxy_->priv_port(), Level::kStar}}, Level::kL3);
+      Message m;
+      m.type = 999;
+      EXPECT_EQ(ctx.Send(idd_port_, std::move(m), gargs), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+    received_.clear();
+  }
+
+  void PrivExec(const std::string& sql) {
+    kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+      Message q;
+      q.type = MessageType::kQuery;
+      q.words = {1, 0};
+      q.data = "\n" + sql;
+      q.reply_port = idd_port_;
+      EXPECT_EQ(ctx.Send(proxy_->priv_port(), std::move(q)), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+    ASSERT_FALSE(received_.empty());
+    EXPECT_EQ(received_.back().msg.words[1], 0u) << sql;
+    received_.clear();
+  }
+
+  // Binds `username` to explicit handle values (fresh on boot 1, the
+  // recovered values on later boots — what idd's kBind replay sends).
+  void Bind(const std::string& username, uint64_t taint, uint64_t grant, int64_t uid) {
+    kernel_.WithProcessContext(idd_, [&](ProcessContext& ctx) {
+      Message bind;
+      bind.type = MessageType::kBind;
+      bind.data = username;
+      bind.words = {taint, grant, static_cast<uint64_t>(uid)};
+      SendArgs args;
+      args.decont_send = Label({{Handle::FromValue(taint), Level::kStar}}, Level::kL3);
+      args.decont_receive = Label({{Handle::FromValue(taint), Level::kL3}}, Level::kStar);
+      EXPECT_EQ(ctx.Send(proxy_->priv_port(), std::move(bind), args), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+    received_.clear();
+  }
+
+  // A reader process cleared for the given taints (boot-time clearance), so
+  // it can observe which taints recovered rows actually carry; `stars`
+  // grants speak-for privilege (uG ⋆) so the process can pass write bounds.
+  ProcessId MakeReader(const std::string& name, const std::vector<uint64_t>& cleared,
+                       const std::vector<uint64_t>& stars = {}) {
+    SpawnArgs args;
+    args.name = name;
+    for (const uint64_t t : cleared) {
+      args.recv_label.Set(Handle::FromValue(t), Level::kL3);
+    }
+    for (const uint64_t s : stars) {
+      args.send_label.Set(Handle::FromValue(s), Level::kStar);
+    }
+    const ProcessId pid =
+        kernel_.CreateProcess(std::make_unique<RecorderProcess>(&received_), args);
+    kernel_.WithProcessContext(pid, [&](ProcessContext& ctx) {
+      reader_port_ = ctx.NewPort(Label::Top());
+      EXPECT_EQ(ctx.SetPortLabel(reader_port_, Label::Top()), Status::kOk);
+    });
+    return pid;
+  }
+
+  void Query(ProcessId from, const std::string& username, const std::string& sql,
+             const SendArgs& args = SendArgs()) {
+    kernel_.WithProcessContext(from, [&](ProcessContext& ctx) {
+      Message q;
+      q.type = MessageType::kQuery;
+      q.words = {1, 0};
+      q.data = username + "\n" + sql;
+      q.reply_port = reader_port_;
+      EXPECT_EQ(ctx.Send(proxy_->query_port(), std::move(q), args), Status::kOk);
+    });
+    kernel_.RunUntilIdle();
+  }
+
+  Kernel kernel_;
+  DbproxyProcess* proxy_ = nullptr;
+  ProcessId idd_ = kNoProcess;
+  Handle idd_port_;
+  Handle reader_port_;
+  std::vector<RecorderProcess::Received> received_;
+};
+
+TEST(DbproxyRebootTest, TablesUserIdColumnAndBindingsSurviveReboot) {
+  asbestos::testing::TempDir dir;
+  const std::string store_dir = dir.path() + "/dbproxy";
+  uint64_t alice_t = 0;
+  uint64_t alice_g = 0;
+  uint64_t bob_t = 0;
+  uint64_t bob_g = 0;
+
+  {  // --- boot 1: schema, bindings, and worker writes ----------------------
+    ProxyBoot boot(store_dir, 0xb001);
+    boot.PrivExec("CREATE TABLE notes (text TEXT)");
+    boot.kernel_.WithProcessContext(boot.idd_, [&](ProcessContext& ctx) {
+      alice_t = ctx.NewHandle().value();
+      alice_g = ctx.NewHandle().value();
+      bob_t = ctx.NewHandle().value();
+      bob_g = ctx.NewHandle().value();
+    });
+    boot.Bind("alice", alice_t, alice_g, 1);
+    boot.Bind("bob", bob_t, bob_g, 2);
+    // Worker writes: the proxy stamps the hidden USER_ID column. The writer
+    // holds each grant at ⋆ so its verify label can prove uG at 0.
+    const ProcessId w = boot.MakeReader("writer", {alice_t, bob_t}, {alice_g, bob_g});
+    SendArgs alice_v;
+    alice_v.verify = Label({{Handle::FromValue(alice_t), Level::kL3},
+                            {Handle::FromValue(alice_g), Level::kL0}},
+                           Level::kL2);
+    boot.Query(w, "alice", "INSERT INTO notes (text) VALUES ('from-alice')", alice_v);
+    SendArgs bob_v;
+    bob_v.verify = Label({{Handle::FromValue(bob_t), Level::kL3},
+                          {Handle::FromValue(bob_g), Level::kL0}},
+                         Level::kL2);
+    boot.Query(w, "bob", "INSERT INTO notes (text) VALUES ('from-bob')", bob_v);
+    ASSERT_GE(boot.received_.size(), 2u);
+    EXPECT_EQ(boot.received_.back().msg.words[1], 0u);
+    // The store picked up schema, both rows' table image, and both
+    // bindings; the group-commit hook flushed them at end of pump.
+    ASSERT_NE(boot.proxy_->store(), nullptr);
+    EXPECT_GE(boot.proxy_->store()->size(), 4u);
+    EXPECT_EQ(boot.proxy_->store()->dirty_shard_count(), 0u);
+  }  // boot 1 dies; the store destructor drains the pipeline
+
+  {  // --- boot 2: everything is back, labels included ----------------------
+    ProxyBoot boot(store_dir, 0xb002, {alice_t, alice_g, bob_t, bob_g});
+    EXPECT_EQ(boot.proxy_->recovered_bindings(), 2u);
+
+    // The hidden column recovered as part of the schema: a worker still
+    // cannot name it.
+    const ProcessId probe = boot.MakeReader("probe", {alice_t});
+    boot.Bind("alice", alice_t, alice_g, 1);  // idd's kBind replay
+    boot.Query(probe, "alice", "SELECT USER_ID FROM notes");
+    ASSERT_FALSE(boot.received_.empty());
+    EXPECT_EQ(boot.received_.back().msg.type, MessageType::kDone);
+    EXPECT_NE(boot.received_.back().msg.words[1], 0u) << "USER_ID must stay hidden";
+    boot.received_.clear();
+
+    // A reader cleared for BOTH users' recovered taints sees both recovered
+    // rows, each tainted with the ORIGINAL owner's handle — the per-user
+    // label bindings came back from the proxy's own store (bob was never
+    // re-bound this boot).
+    const ProcessId reader = boot.MakeReader("reader", {alice_t, bob_t});
+    boot.Query(reader, "alice", "SELECT text FROM notes");
+    std::vector<std::string> rows;
+    bool saw_bob_taint = false;
+    for (const auto& r : boot.received_) {
+      if (r.msg.type == MessageType::kRow) {
+        std::vector<SqlValue> row;
+        ASSERT_TRUE(DecodeDbRow(r.msg.data, &row));
+        ASSERT_EQ(row.size(), 1u);
+        rows.push_back(row[0].AsText());
+        if (r.send_label_after.Get(Handle::FromValue(bob_t)) == Level::kL3) {
+          saw_bob_taint = true;
+        }
+      }
+    }
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], "from-alice");
+    EXPECT_EQ(rows[1], "from-bob");
+    EXPECT_TRUE(saw_bob_taint) << "bob's row must carry his recovered taint";
+    boot.received_.clear();
+
+    // Kernel isolation still filters: a reader cleared only for alice never
+    // receives bob's row and cannot tell it exists.
+    const ProcessId alice_only = boot.MakeReader("alice-only", {alice_t});
+    boot.Query(alice_only, "alice", "SELECT text FROM notes");
+    size_t row_count = 0;
+    for (const auto& r : boot.received_) {
+      row_count += r.msg.type == MessageType::kRow ? 1 : 0;
+    }
+    EXPECT_EQ(row_count, 1u);
+  }
+}
+
 TEST_F(DbproxyTest, RowCodecRoundTrip) {
   std::vector<SqlValue> row;
   row.emplace_back(SqlValue(int64_t{-42}));

@@ -323,5 +323,51 @@ TEST_F(LabelCheckCacheTest, CapacityEvictionOnly) {
   EXPECT_EQ(stats.misses, kContaminationCacheSlots + 512);
 }
 
+TEST_F(LabelCheckCacheTest, SteadyStateReceiveLabelUpdatesKeepHitting) {
+  // The live OKWS shape the ROADMAP called out: receive labels mutate in
+  // place (JoinInPlace per contamination/D_R), so before the merge paths
+  // canonicalized their results every entity's label carried a private rep
+  // with a fresh id and equal tuples never re-keyed to cache hits. Two LIVE
+  // entities (worker event processes, say) whose labels went through the
+  // same update history must now share one canonical rep — the second
+  // entity's checks are pure cache hits.
+  const auto grow_qr = [] {
+    LabelBuilder qb(Level::kL2);
+    for (uint64_t h = 1; h <= 200; ++h) {
+      qb.Append(Handle::FromValue(h * 4), Level::kL3);
+    }
+    Label qr = qb.Build();
+    // Per-request receive-label raises (D_R for three user taints).
+    for (uint64_t u = 1; u <= 3; ++u) {
+      qr.JoinInPlace(Label({{Handle::FromValue(u * 1000), Level::kL3}}, Level::kStar));
+    }
+    return qr;
+  };
+  const Label qr_worker1 = grow_qr();
+  const Label qr_worker2 = grow_qr();  // both alive, one canonical rep
+  ASSERT_EQ(qr_worker1.rep_id(), qr_worker2.rep_id());
+
+  LabelBuilder eb(Level::kL1);
+  for (uint64_t h = 1; h <= 200; ++h) {
+    eb.Append(Handle::FromValue(h * 4), h % 2 == 0 ? Level::kL2 : Level::kL3);
+  }
+  const Label es = eb.Build();
+
+  const LabelCheckCacheStats& stats = GetLabelCheckCacheStats();
+  uint64_t work_first = 0;
+  const bool verdict_first = CheckDeliveryAllowed(es, qr_worker1, Label::Bottom(),
+                                                  Label::Top(), Label::Top(), &work_first);
+  const uint64_t misses_after_first = stats.misses;
+  EXPECT_EQ(stats.hits, 0u);
+
+  uint64_t work_second = 0;
+  const bool verdict_second = CheckDeliveryAllowed(es, qr_worker2, Label::Bottom(),
+                                                   Label::Top(), Label::Top(), &work_second);
+  EXPECT_EQ(verdict_second, verdict_first);
+  EXPECT_EQ(stats.misses, misses_after_first) << "the second worker must not re-miss";
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(work_second, work_first) << "hits replay the exact charged work";
+}
+
 }  // namespace
 }  // namespace asbestos

@@ -223,5 +223,84 @@ TEST(LabelInternTest, EmptyLabelsSharePerLevelSingletons) {
   EXPECT_TRUE(built.rep_canonical());
 }
 
+// The kernel's receive/send labels mutate in place on every contamination;
+// routing the merged result through the intern table means equal label
+// HISTORIES converge to one rep id — the key the flow-check cache needs to
+// keep hitting on steady-state traffic (ROADMAP: live-path hit rate).
+TEST(LabelInternTest, JoinInPlaceCanonicalizesTheMergedResult) {
+  // Big ⋆-rich label (an OKWS server's send label shape) joined with a
+  // small contamination label: the asymmetric merge path runs, which used
+  // to leave a private rep with a fresh id per call.
+  const auto big_entries = [] {
+    std::vector<std::pair<uint64_t, Level>> out;
+    for (uint64_t i = 1; i <= 400; ++i) {
+      out.emplace_back(i * 7, Level::kStar);
+    }
+    return out;
+  }();
+  const Label contam({{Handle::FromValue(5), Level::kL3}}, Level::kStar);
+
+  Label a = BuildInterned(big_entries, Level::kL1);
+  a.JoinInPlace(contam);
+  EXPECT_TRUE(a.rep_canonical());
+
+  // An independently rebuilt history lands on the SAME canonical rep.
+  Label b = BuildInterned(big_entries, Level::kL1);
+  b.JoinInPlace(Label({{Handle::FromValue(5), Level::kL3}}, Level::kStar));
+  EXPECT_EQ(a.rep_id(), b.rep_id());
+
+  // And the semantics are the pointwise reference, unchanged.
+  EXPECT_EQ(a.Get(Handle::FromValue(5)), Level::kL3);
+  EXPECT_EQ(a.Get(Handle::FromValue(7)), Level::kStar);
+  EXPECT_EQ(a.Get(Handle::FromValue(9999991)), Level::kL1);
+  a.CheckRep();
+}
+
+TEST(LabelInternTest, MeetInPlaceCanonicalizesTheMergedResult) {
+  const auto entries = [] {
+    std::vector<std::pair<uint64_t, Level>> out;
+    for (uint64_t i = 1; i <= 300; ++i) {
+      out.emplace_back(i * 3, Level::kL3);
+    }
+    return out;
+  }();
+  const Label ds({{Handle::FromValue(6), Level::kL0}}, Level::kL3);
+  Label a = BuildInterned(entries, Level::kL2);
+  a.MeetInPlace(ds);
+  EXPECT_TRUE(a.rep_canonical());
+  Label b = BuildInterned(entries, Level::kL2);
+  b.MeetInPlace(Label({{Handle::FromValue(6), Level::kL0}}, Level::kL3));
+  EXPECT_EQ(a.rep_id(), b.rep_id());
+  EXPECT_EQ(a.Get(Handle::FromValue(6)), Level::kL0);
+}
+
+TEST(LabelInternTest, CanonicalizeRegistersAPrivateRepWithoutCopying) {
+  Label l(Level::kL1);
+  for (uint64_t i = 1; i <= 40; ++i) {
+    l.Set(Handle::FromValue(i * 11), Level::kL2);  // Set path: private rep
+  }
+  ASSERT_FALSE(l.rep_canonical());
+  const uint64_t heap_before = GetLabelMemStats().live_bytes;
+  l.Canonicalize();
+  EXPECT_TRUE(l.rep_canonical());
+  // No twin existed, so the rep itself was adopted: no new heap.
+  EXPECT_EQ(GetLabelMemStats().live_bytes, heap_before);
+  // A later equal construction now dedups onto it.
+  LabelBuilder builder(Level::kL1);
+  for (uint64_t i = 1; i <= 40; ++i) {
+    builder.Append(Handle::FromValue(i * 11), Level::kL2);
+  }
+  const Label twin = builder.Build();
+  EXPECT_EQ(twin.rep_id(), l.rep_id());
+  // Mutating the (now canonical) label clones first — the registered rep
+  // stays immutable and the mutated copy re-keys.
+  Label mutated = l;
+  mutated.Set(Handle::FromValue(1), Level::kL3);
+  EXPECT_NE(mutated.rep_id(), l.rep_id());
+  EXPECT_TRUE(l.rep_canonical());
+  l.CheckRep();
+  mutated.CheckRep();
+}
+
 }  // namespace
 }  // namespace asbestos

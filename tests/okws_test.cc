@@ -309,6 +309,77 @@ TEST(OkwsPersistenceTest, IddIdentityCacheSurvivesReboot) {
   }
 }
 
+// --- Durable dbproxy: worker tables and user rows survive reboots -----------
+
+TEST(OkwsPersistenceTest, DbproxyTablesSurviveRebootWithoutReseedingDuplicates) {
+  asbestos::testing::TempDir dir;
+  OkwsWorldConfig config = BasicConfig();
+  config.idd_options.store_dir = dir.path() + "/idd";
+  config.dbproxy_options.store_dir = dir.path() + "/dbproxy";
+
+  {  // --- boot 1: alice writes a note through the full OKWS stack ----------
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    EXPECT_EQ(FetchFrom(world, "/notes?op=add&text=rebooted-note", "alice", "pw-a").status,
+              200);
+    EXPECT_EQ(FetchFrom(world, "/notes?op=list", "alice", "pw-a").body, "rebooted-note\n");
+  }
+
+  {  // --- boot 2: the note, its hidden owner stamp, and the password table
+     //     all recovered; idd's seeding probe must NOT duplicate user rows.
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    EXPECT_EQ(FetchFrom(world, "/notes?op=list", "alice", "pw-a").body, "rebooted-note\n");
+    // Bob's first-time login scans the recovered (not re-seeded) table.
+    EXPECT_EQ(FetchFrom(world, "/notes?op=list", "bob", "pw-b").status, 200);
+    // The kernel still filters by owner: bob sees no notes.
+    EXPECT_EQ(FetchFrom(world, "/notes?op=list", "bob", "pw-b").body, "");
+
+    Process* p = world.kernel().FindProcessByName("dbproxy");
+    ASSERT_NE(p, nullptr);
+    auto* proxy = dynamic_cast<DbproxyProcess*>(p->code.get());
+    ASSERT_NE(proxy, nullptr);
+    const SqlDatabase& db = proxy->database();
+    auto* users = const_cast<SqlDatabase&>(db).FindTable("OKWS_USERS");
+    ASSERT_NE(users, nullptr);
+    EXPECT_EQ(users->row_count(), 3u) << "re-seeding must not duplicate users";
+    auto* notes = const_cast<SqlDatabase&>(db).FindTable("NOTES");
+    ASSERT_NE(notes, nullptr);
+    EXPECT_EQ(notes->row_count(), 1u);
+    EXPECT_GE(proxy->recovered_bindings(), 1u);  // alice's labels came back
+  }
+}
+
+TEST(OkwsPersistenceTest, EmptyRecoveredPasswordTableIsReseeded) {
+  // The crash window seeding must survive: a previous boot's group commit
+  // flushed the okws_users SCHEMA record but died before the user rows'
+  // first batch. On reboot the CREATE answers kAlreadyExists; trusting that
+  // alone would skip the inserts forever and lock every user out. idd's
+  // row probe must notice the table is empty and reseed it.
+  asbestos::testing::TempDir dir;
+  OkwsWorldConfig config = BasicConfig();
+  config.dbproxy_options.store_dir = dir.path() + "/dbproxy";
+  {
+    // Stage the torn boot directly in the store: the schema record alone,
+    // in dbproxy's persisted format (key "schema/<ordinal>" → original SQL).
+    StoreOptions sopts;
+    sopts.dir = config.dbproxy_options.store_dir;
+    sopts.shards = config.dbproxy_options.shards;
+    auto store = DurableStore::Open(sopts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_EQ(store.value()->Put(
+                  "schema/000000",
+                  "CREATE TABLE okws_users (username TEXT, password TEXT, userid INTEGER)",
+                  Label::Bottom(), Label::Top()),
+              Status::kOk);
+    ASSERT_EQ(store.value()->Sync(), Status::kOk);
+  }
+  OkwsWorld world(config);
+  world.PumpUntilReady();
+  EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200)
+      << "login must work after reseeding the empty recovered table";
+}
+
 // --- Durable demux sessions: a reboot is invisible to logged-in browsers ----
 
 DemuxProcess* FindDemux(OkwsWorld& world) {

@@ -1,0 +1,795 @@
+// Label-preserving WAL replication (src/replication): wire format, source
+// and replica cursor protocol (duplicates, gaps, snapshot catch-up), and
+// the full two-machine path over simnet/netd — primary kill, Promote(),
+// and bit-identical record/label/handle state versus single-node crash
+// recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/file_server.h"
+#include "src/net/client.h"
+#include "src/okws/idd.h"
+#include "src/okws/okws_world.h"
+#include "src/okws/services.h"
+#include "src/replication/follower.h"
+#include "src/replication/link.h"
+#include "src/replication/replica.h"
+#include "src/replication/source.h"
+#include "src/replication/wire.h"
+#include "src/store/store.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+using testing::RecorderProcess;
+using testing::TempDir;
+
+Handle H(uint64_t v) { return Handle::FromValue(v); }
+
+// --- Wire format -------------------------------------------------------------
+
+TEST(ReplWireTest, FrameRoundTrip) {
+  replwire::WireMessage batch;
+  batch.type = replwire::kBatch;
+  batch.shard = 3;
+  batch.generation = 7;
+  batch.offset = 4096;
+  batch.payload = std::string("framed wal bytes\x00\x01", 18);
+
+  std::string stream;
+  replwire::AppendFrame(batch, &stream);
+  replwire::WireMessage ack;
+  ack.type = replwire::kAck;
+  ack.shard = 3;
+  ack.source_id = 0xABCDEF;
+  ack.generation = 7;
+  ack.offset = 8192;
+  replwire::AppendFrame(ack, &stream);
+
+  replwire::WireMessage out;
+  ASSERT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kFrame);
+  EXPECT_EQ(out.type, replwire::kBatch);
+  EXPECT_EQ(out.shard, 3u);
+  EXPECT_EQ(out.generation, 7u);
+  EXPECT_EQ(out.offset, 4096u);
+  EXPECT_EQ(out.payload, batch.payload);
+  ASSERT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kFrame);
+  EXPECT_EQ(out.type, replwire::kAck);
+  EXPECT_EQ(out.source_id, 0xABCDEFu);
+  EXPECT_EQ(out.offset, 8192u);
+  EXPECT_TRUE(stream.empty());
+}
+
+TEST(ReplWireTest, TornFrameWaitsForMoreBytes) {
+  replwire::WireMessage hello;
+  hello.type = replwire::kHello;
+  hello.source_id = 42;
+  hello.shard_count = 4;
+  std::string whole;
+  replwire::AppendFrame(hello, &whole);
+
+  replwire::WireMessage out;
+  // Deliver the frame one byte at a time: every prefix parses as kNeedMore.
+  std::string buffer;
+  for (size_t i = 0; i + 1 < whole.size(); ++i) {
+    buffer.push_back(whole[i]);
+    ASSERT_EQ(replwire::ConsumeFrame(&buffer, &out), replwire::FrameParse::kNeedMore);
+  }
+  buffer.push_back(whole.back());
+  ASSERT_EQ(replwire::ConsumeFrame(&buffer, &out), replwire::FrameParse::kFrame);
+  EXPECT_EQ(out.source_id, 42u);
+  EXPECT_EQ(out.shard_count, 4u);
+}
+
+TEST(ReplWireTest, CorruptFramePoisons) {
+  replwire::WireMessage hello;
+  hello.type = replwire::kHello;
+  hello.source_id = 42;
+  hello.shard_count = 4;
+  std::string stream;
+  replwire::AppendFrame(hello, &stream);
+  stream[stream.size() - 1] ^= 0x55;  // flip payload bits: CRC must catch it
+  replwire::WireMessage out;
+  EXPECT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kCorrupt);
+}
+
+// --- Source ↔ replica protocol (no transport) --------------------------------
+
+class ReplProtocolTest : public ::testing::Test {
+ protected:
+  void OpenPrimary(uint32_t shards, uint64_t compact_min = 1024) {
+    StoreOptions opts;
+    opts.dir = dir_.path() + "/primary";
+    opts.shards = shards;
+    opts.compact_min_log_records = compact_min;
+    auto store = DurableStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    primary_ = store.take();
+    source_ = std::make_unique<ReplicationSource>(primary_.get(), /*source_id=*/0x5EED);
+  }
+
+  void OpenReplica(uint32_t shards) {
+    StoreOptions opts;
+    opts.dir = dir_.path() + "/replica";
+    opts.shards = shards;
+    auto replica = ReplicaStore::Open(opts);
+    ASSERT_TRUE(replica.ok());
+    replica_ = replica.take();
+  }
+
+  // Parses a byte stream into individual frames.
+  static std::vector<replwire::WireMessage> Parse(std::string stream) {
+    std::vector<replwire::WireMessage> out;
+    replwire::WireMessage m;
+    while (replwire::ConsumeFrame(&stream, &m) == replwire::FrameParse::kFrame) {
+      out.push_back(m);
+    }
+    EXPECT_TRUE(stream.empty());
+    return out;
+  }
+
+  // One full exchange: hello/resume handshake, then frames and acks until
+  // both sides go quiet.
+  void SyncOnce() {
+    std::string acks;
+    for (const replwire::WireMessage& m : Parse(source_->SessionHello())) {
+      ASSERT_EQ(replica_->HandleFrame(m, &acks), Status::kOk);
+    }
+    for (int round = 0; round < 100; ++round) {
+      for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+        source_->HandleAck(a);
+      }
+      acks.clear();
+      std::string frames;
+      if (source_->PollFrames(1 << 16, ~0ULL, &frames) == 0) {
+        break;
+      }
+      for (const replwire::WireMessage& m : Parse(std::move(frames))) {
+        ASSERT_EQ(replica_->HandleFrame(m, &acks), Status::kOk);
+      }
+    }
+    for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+      source_->HandleAck(a);
+    }
+  }
+
+  void ExpectReplicaMatchesPrimary() {
+    ASSERT_EQ(replica_->store()->size(), primary_->size());
+    primary_->ForEach([&](const std::string& key, const StoreRecord& want) {
+      const StoreRecord* got = replica_->store()->Get(key);
+      ASSERT_NE(got, nullptr) << key;
+      EXPECT_EQ(got->value, want.value) << key;
+      EXPECT_TRUE(got->secrecy.Equals(want.secrecy)) << key;
+      EXPECT_TRUE(got->integrity.Equals(want.integrity)) << key;
+    });
+  }
+
+  TempDir dir_;
+  std::unique_ptr<DurableStore> primary_;
+  std::unique_ptr<ReplicationSource> source_;
+  std::unique_ptr<ReplicaStore> replica_;
+};
+
+TEST_F(ReplProtocolTest, StreamsLabeledRecords) {
+  OpenPrimary(4);
+  OpenReplica(4);
+  const Label secrecy({{H(77), Level::kL3}}, Level::kStar);
+  const Label integrity({{H(88), Level::kL0}}, Level::kL3);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(primary_->Put("key" + std::to_string(i), "value" + std::to_string(i), secrecy,
+                            integrity),
+              Status::kOk);
+  }
+  ASSERT_EQ(primary_->Erase("key50"), Status::kOk);
+  SyncOnce();
+  EXPECT_TRUE(source_->FullySynced());
+  ExpectReplicaMatchesPrimary();
+  EXPECT_EQ(replica_->store()->Get("key50"), nullptr);
+  // Labels came through the pickled WAL records and the canonical-rep
+  // intern table: extensionally equal AND entry-for-entry identical.
+  const StoreRecord* got = replica_->store()->Get("key1");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->secrecy.Entries(), secrecy.Entries());
+  EXPECT_EQ(got->integrity.Entries(), integrity.Entries());
+}
+
+TEST_F(ReplProtocolTest, ShardCountMismatchPoisonsSession) {
+  OpenPrimary(4);
+  OpenReplica(2);
+  std::string acks;
+  const auto frames = Parse(source_->SessionHello());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(replica_->HandleFrame(frames[0], &acks), Status::kInvalidArgs);
+}
+
+TEST_F(ReplProtocolTest, DuplicateAndReorderedBatchesApplyIdempotently) {
+  OpenPrimary(1);
+  OpenReplica(1);
+  SyncOnce();  // establish the session at offset 0
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  // Pull the pending span as several small batches without acking.
+  std::string stream;
+  ASSERT_GT(source_->PollFrames(/*max_batch_bytes=*/32, ~0ULL, &stream), 1u);
+  std::vector<replwire::WireMessage> batches = Parse(std::move(stream));
+
+  std::string acks;
+  // Reordered: the second batch first — a gap, ignored but re-acked.
+  ASSERT_EQ(replica_->HandleFrame(batches[1], &acks), Status::kOk);
+  EXPECT_EQ(replica_->stats().gaps_ignored, 1u);
+  // In-order apply.
+  ASSERT_EQ(replica_->HandleFrame(batches[0], &acks), Status::kOk);
+  ASSERT_EQ(replica_->HandleFrame(batches[1], &acks), Status::kOk);
+  const uint64_t applied = replica_->stats().batches_applied;
+  // Duplicates: both batches again — skipped, state unchanged.
+  ASSERT_EQ(replica_->HandleFrame(batches[0], &acks), Status::kOk);
+  ASSERT_EQ(replica_->HandleFrame(batches[1], &acks), Status::kOk);
+  EXPECT_EQ(replica_->stats().batches_applied, applied);
+  EXPECT_EQ(replica_->stats().duplicates_skipped, 2u);
+  // Remaining batches in order; every ack (including re-acks) feeds back.
+  for (size_t i = 2; i < batches.size(); ++i) {
+    ASSERT_EQ(replica_->HandleFrame(batches[i], &acks), Status::kOk);
+  }
+  for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+    source_->HandleAck(a);
+  }
+  EXPECT_TRUE(source_->FullySynced());
+  ExpectReplicaMatchesPrimary();
+}
+
+TEST_F(ReplProtocolTest, GapRewindsViaGoBackN) {
+  OpenPrimary(1);
+  OpenReplica(1);
+  SyncOnce();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  std::string stream;
+  ASSERT_GT(source_->PollFrames(32, ~0ULL, &stream), 2u);
+  std::vector<replwire::WireMessage> batches = Parse(std::move(stream));
+  // Deliver only the LAST batch: the replica ignores the gap and re-acks
+  // its true position; the source rewinds and retransmits everything.
+  std::string acks;
+  ASSERT_EQ(replica_->HandleFrame(batches.back(), &acks), Status::kOk);
+  for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+    source_->HandleAck(a);
+  }
+  EXPECT_EQ(source_->stats().rewinds, 1u);
+  SyncOnce();
+  EXPECT_TRUE(source_->FullySynced());
+  ExpectReplicaMatchesPrimary();
+}
+
+TEST_F(ReplProtocolTest, CompactionForcesSnapshotCatchUp) {
+  OpenPrimary(2);
+  OpenReplica(2);
+  const Label secrecy({{H(9), Level::kL3}}, Level::kStar);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), std::string(100, 'x'), secrecy,
+                            Label::Top()),
+              Status::kOk);
+  }
+  // The WAL span a fresh follower would need is gone.
+  ASSERT_EQ(primary_->Compact(), Status::kOk);
+  EXPECT_EQ(primary_->wal_bytes(), 0u);
+  SyncOnce();
+  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_EQ(replica_->stats().snapshots_installed, 2u);
+  ExpectReplicaMatchesPrimary();
+
+  // Mid-session compaction: stream some, compact (generation bump), stream
+  // more — the source notices the cursor's span vanished and re-images.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(primary_->Put("post" + std::to_string(i), "y", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  ASSERT_EQ(primary_->Compact(), Status::kOk);
+  SyncOnce();
+  EXPECT_TRUE(source_->FullySynced());
+  ExpectReplicaMatchesPrimary();
+  EXPECT_GE(replica_->stats().snapshots_installed, 3u);
+}
+
+TEST_F(ReplProtocolTest, PromoteRefusesFurtherFrames) {
+  OpenPrimary(1);
+  OpenReplica(1);
+  SyncOnce();
+  ASSERT_EQ(primary_->Put("k", "v", Label::Bottom(), Label::Top()), Status::kOk);
+  std::string stream;
+  ASSERT_EQ(source_->PollFrames(1 << 16, ~0ULL, &stream), 1u);
+  const auto batches = Parse(std::move(stream));
+  ASSERT_EQ(replica_->Promote(), Status::kOk);
+  std::string acks;
+  EXPECT_EQ(replica_->HandleFrame(batches[0], &acks), Status::kBadState);
+  EXPECT_EQ(replica_->store()->Get("k"), nullptr);
+}
+
+TEST_F(ReplProtocolTest, WarmResumeAfterReplicaReboot) {
+  OpenPrimary(2);
+  OpenReplica(2);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  SyncOnce();
+  ASSERT_TRUE(source_->FullySynced());
+  ASSERT_EQ(replica_->Checkpoint(), Status::kOk);
+  const uint64_t snapshots_before = source_->stats().snapshots_shipped;
+
+  // Reboot the replica: the checkpointed cursor lets the session resume
+  // without re-imaging.
+  replica_.reset();
+  OpenReplica(2);
+  for (int i = 32; i < 48; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  SyncOnce();
+  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_EQ(source_->stats().snapshots_shipped, snapshots_before);
+  ExpectReplicaMatchesPrimary();
+}
+
+TEST_F(ReplProtocolTest, PipelinedInOrderAcksNeverRewind) {
+  OpenPrimary(1);
+  OpenReplica(1);
+  SyncOnce();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  // Several small batches in flight at once, acks fed back in order — the
+  // normal pipelined shape. None of these acks shows lost progress, so none
+  // may trigger a retransmission.
+  std::string stream;
+  ASSERT_GT(source_->PollFrames(32, ~0ULL, &stream), 2u);
+  std::string acks;
+  for (const replwire::WireMessage& b : Parse(std::move(stream))) {
+    ASSERT_EQ(replica_->HandleFrame(b, &acks), Status::kOk);
+  }
+  const uint64_t batches_before = source_->stats().batches_shipped;
+  for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+    source_->HandleAck(a);
+  }
+  EXPECT_EQ(source_->stats().rewinds, 0u);
+  std::string rest;
+  EXPECT_EQ(source_->PollFrames(32, ~0ULL, &rest), 0u) << "nothing left to re-ship";
+  EXPECT_EQ(source_->stats().batches_shipped, batches_before);
+  EXPECT_TRUE(source_->FullySynced());
+}
+
+TEST_F(ReplProtocolTest, OversizedRecordShipsAsSingletonBatch) {
+  OpenPrimary(1);
+  OpenReplica(1);
+  SyncOnce();
+  // One record far beyond the batch limit, then a small one. The big record
+  // must ship as exactly ONE oversized frame — not drag the rest of the log
+  // with it past the budget.
+  ASSERT_EQ(primary_->Put("big", std::string(8192, 'x'), Label::Bottom(), Label::Top()),
+            Status::kOk);
+  ASSERT_EQ(primary_->Put("small", "v", Label::Bottom(), Label::Top()), Status::kOk);
+  std::string stream;
+  ASSERT_EQ(source_->PollFrames(/*max_batch_bytes=*/256, /*max_total_bytes=*/512, &stream),
+            1u)
+      << "the total budget admits only the oversized singleton this poll";
+  auto frames = Parse(std::move(stream));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_GT(frames[0].payload.size(), 8192u);   // the big record, whole
+  EXPECT_LT(frames[0].payload.size(), 8192u + 256u)
+      << "the small record must NOT have ridden along";
+  std::string acks;
+  ASSERT_EQ(replica_->HandleFrame(frames[0], &acks), Status::kOk);
+  for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+    source_->HandleAck(a);
+  }
+  SyncOnce();
+  EXPECT_TRUE(source_->FullySynced());
+  ExpectReplicaMatchesPrimary();
+}
+
+TEST_F(ReplProtocolTest, CompactionDuringResumeWindowStillSnapshots) {
+  OpenPrimary(1);
+  OpenReplica(1);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  // Fresh replica acks an unknown position; BEFORE the source polls, a
+  // compaction advances the generation. The source must still image the
+  // shard (a generation-arithmetic sentinel would collide with the new
+  // generation and stream garbage offsets instead).
+  std::string acks;
+  for (const replwire::WireMessage& m : Parse(source_->SessionHello())) {
+    ASSERT_EQ(replica_->HandleFrame(m, &acks), Status::kOk);
+  }
+  for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+    source_->HandleAck(a);
+  }
+  ASSERT_EQ(primary_->Compact(), Status::kOk);  // generation 0 → 1
+  std::string stream;
+  ASSERT_EQ(source_->PollFrames(1 << 16, ~0ULL, &stream), 1u);
+  auto frames = Parse(std::move(stream));
+  ASSERT_EQ(frames[0].type, replwire::kSnapshot);
+  acks.clear();
+  ASSERT_EQ(replica_->HandleFrame(frames[0], &acks), Status::kOk);
+  for (const replwire::WireMessage& a : Parse(std::move(acks))) {
+    source_->HandleAck(a);
+  }
+  EXPECT_TRUE(source_->FullySynced());
+  ExpectReplicaMatchesPrimary();
+}
+
+TEST_F(ReplProtocolTest, MismatchedAuthTokenShipsNothing) {
+  OpenPrimary(4);
+  // The primary requires a token; this replica was configured with another.
+  source_ = std::make_unique<ReplicationSource>(primary_.get(), 0x5EED, /*auth_token=*/42);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "secret", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  StoreOptions opts;
+  opts.dir = dir_.path() + "/replica";
+  opts.shards = 4;
+  auto replica = ReplicaStore::Open(opts, /*auth_token=*/7);
+  ASSERT_TRUE(replica.ok());
+  replica_ = replica.take();
+  // The follower refuses the foreign hello outright...
+  std::string acks;
+  const auto hello = Parse(source_->SessionHello());
+  ASSERT_EQ(hello.size(), 1u);
+  EXPECT_EQ(replica_->HandleFrame(hello[0], &acks), Status::kAccessDenied);
+  EXPECT_TRUE(acks.empty());
+  // ...and even a forged ack with the wrong token moves nothing: every
+  // shard stays in await-resume and no labeled byte leaves the source.
+  replwire::WireMessage forged;
+  forged.type = replwire::kAck;
+  forged.token = 7;
+  forged.shard = 0;
+  source_->HandleAck(forged);
+  std::string stream;
+  EXPECT_EQ(source_->PollFrames(1 << 16, ~0ULL, &stream), 0u);
+  EXPECT_TRUE(stream.empty());
+  EXPECT_EQ(replica_->store()->size(), 0u);
+}
+
+TEST_F(ReplProtocolTest, MatchingAuthTokenSyncs) {
+  OpenPrimary(2);
+  source_ = std::make_unique<ReplicationSource>(primary_.get(), 0x5EED, /*auth_token=*/99);
+  ASSERT_EQ(primary_->Put("k", "v", Label::Bottom(), Label::Top()), Status::kOk);
+  StoreOptions opts;
+  opts.dir = dir_.path() + "/replica";
+  opts.shards = 2;
+  auto replica = ReplicaStore::Open(opts, /*auth_token=*/99);
+  ASSERT_TRUE(replica.ok());
+  replica_ = replica.take();
+  SyncOnce();
+  EXPECT_TRUE(source_->FullySynced());
+  ExpectReplicaMatchesPrimary();
+}
+
+// --- End to end over simnet/netd ---------------------------------------------
+
+class ReplEndToEndTest : public ::testing::Test {
+ protected:
+  static constexpr uint16_t kReplPort = 7000;
+  static constexpr uint16_t kFollowerPort = 7001;
+  // Every end-to-end test runs authenticated: both ends share this token.
+  static constexpr uint64_t kAuthToken = 0x7E57AC75;
+
+  void BootPrimary(const std::string& dir, uint64_t boot_key = 0x0451) {
+    FileServerOptions opts;
+    opts.data_dir = dir;
+    opts.shards = 4;
+    opts.replication.listen_tcp_port = kReplPort;
+    opts.replication.auth_token = kAuthToken;
+    primary_ = std::make_unique<FsPrimaryWorld>(boot_key, opts);
+    primary_->Pump();  // attach the listener
+  }
+
+  void BootFollower(const std::string& dir, uint64_t boot_key = 0x0452) {
+    StoreOptions opts;
+    opts.dir = dir;
+    opts.shards = 4;
+    follower_ = std::make_unique<FollowerWorld>(boot_key, kFollowerPort, opts, kAuthToken);
+    follower_->Pump();
+    link_ = std::make_unique<ReplicationLink>(&primary_->net(), kReplPort, &follower_->net(),
+                                              kFollowerPort);
+  }
+
+  // Drives both machines and the wire until the stream quiesces.
+  void PumpUntilSynced(int max_iters = 2000) {
+    for (int i = 0; i < max_iters; ++i) {
+      link_->Step();
+      primary_->Pump();
+      follower_->Pump();
+      if (link_->connected() && primary_->fs()->replication() != nullptr &&
+          primary_->fs()->replication()->source() != nullptr &&
+          primary_->fs()->replication()->source()->FullySynced()) {
+        return;
+      }
+    }
+    FAIL() << "replication never quiesced";
+  }
+
+  // A client in the primary's kernel exercising the labeled fs protocol.
+  void RunFsWorkload() {
+    SpawnArgs cargs;
+    cargs.name = "client";
+    client_ = primary_->kernel().CreateProcess(std::make_unique<RecorderProcess>(&received_),
+                                               cargs);
+    primary_->kernel().WithProcessContext(client_, [&](ProcessContext& ctx) {
+      client_port_ = ctx.NewPort(Label::Top());
+      ASSERT_EQ(ctx.SetPortLabel(client_port_, Label::Top()), Status::kOk);
+    });
+    // Public files.
+    for (int i = 0; i < 6; ++i) {
+      FsRequest(fs_proto::kCreate, "pub" + std::to_string(i), {1, 0, 0, 0, 0});
+      FsWrite("pub" + std::to_string(i), "public contents " + std::to_string(i));
+    }
+    // Private files in fresh compartments, with integrity requirements.
+    for (int i = 0; i < 6; ++i) {
+      primary_->kernel().WithProcessContext(client_, [&](ProcessContext& ctx) {
+        const Handle taint = ctx.NewHandle();
+        const Handle grant = ctx.NewHandle();
+        taints_.push_back(taint);
+        grants_.push_back(grant);
+        Message m;
+        m.type = fs_proto::kCreate;
+        m.data = "priv" + std::to_string(i);
+        m.words = {1, taint.value(), LevelOrdinal(Level::kL3), grant.value(),
+                   LevelOrdinal(Level::kL0)};
+        m.reply_port = client_port_;
+        SendArgs args;
+        args.decont_send = Label({{taint, Level::kStar}}, Level::kL3);
+        args.decont_receive = Label({{taint, Level::kL3}}, Level::kStar);
+        ASSERT_EQ(ctx.Send(primary_->fs()->service_port(), std::move(m), args), Status::kOk);
+      });
+      primary_->Pump();
+      // Integrity-protected write: V must prove the grant compartment.
+      SendArgs wargs;
+      wargs.verify = Label({{grants_.back(), Level::kL0}}, Level::kL3);
+      FsRequest(fs_proto::kWrite,
+                "priv" + std::to_string(i) + "\nsecret " + std::to_string(i), {1}, wargs);
+    }
+    FsRequest(fs_proto::kUnlink, "pub3", {1});
+  }
+
+  void FsRequest(uint64_t type, const std::string& path, std::vector<uint64_t> words,
+                 const SendArgs& args = SendArgs()) {
+    primary_->kernel().WithProcessContext(client_, [&](ProcessContext& ctx) {
+      Message m;
+      m.type = type;
+      m.data = path;
+      m.words = std::move(words);
+      m.reply_port = client_port_;
+      ASSERT_EQ(ctx.Send(primary_->fs()->service_port(), std::move(m), args), Status::kOk);
+    });
+    primary_->Pump();
+  }
+
+  void FsWrite(const std::string& path, const std::string& contents) {
+    FsRequest(fs_proto::kWrite, path + "\n" + contents, {1});
+  }
+
+  static void ExpectStoresIdentical(const DurableStore& a, const DurableStore& b) {
+    ASSERT_EQ(a.size(), b.size());
+    a.ForEach([&](const std::string& key, const StoreRecord& want) {
+      const StoreRecord* got = b.Get(key);
+      ASSERT_NE(got, nullptr) << key;
+      EXPECT_EQ(got->value, want.value) << key;
+      EXPECT_TRUE(got->secrecy.Equals(want.secrecy)) << key;
+      EXPECT_TRUE(got->integrity.Equals(want.integrity)) << key;
+      // Handle state, bit for bit: same handles at the same levels.
+      EXPECT_EQ(got->secrecy.Entries(), want.secrecy.Entries()) << key;
+      EXPECT_EQ(got->integrity.Entries(), want.integrity.Entries()) << key;
+    });
+  }
+
+  TempDir dir_;
+  std::unique_ptr<FsPrimaryWorld> primary_;
+  std::unique_ptr<FollowerWorld> follower_;
+  std::unique_ptr<ReplicationLink> link_;
+  ProcessId client_ = kNoProcess;
+  Handle client_port_;
+  std::vector<Handle> taints_;
+  std::vector<Handle> grants_;
+  std::vector<RecorderProcess::Received> received_;
+};
+
+TEST_F(ReplEndToEndTest, PrimaryKillPromoteMatchesCrashRecovery) {
+  const std::string primary_dir = dir_.path() + "/primary";
+  const std::string follower_dir = dir_.path() + "/follower";
+  BootPrimary(primary_dir);
+  BootFollower(follower_dir);
+  RunFsWorkload();
+  PumpUntilSynced();
+
+  // Kill the primary machine mid-stream (the session is live) and promote.
+  link_.reset();  // the wire goes with the machine
+  primary_.reset();
+  ASSERT_EQ(follower_->Promote(), Status::kOk);
+  EXPECT_TRUE(follower_->follower()->replica()->promoted());
+  EXPECT_GE(follower_->follower()->sessions_accepted(), 1u);
+
+  // Single-node crash recovery of the dead primary's disk...
+  StoreOptions recover;
+  recover.dir = primary_dir;
+  recover.shards = 4;
+  auto recovered = DurableStore::Open(recover);
+  ASSERT_TRUE(recovered.ok());
+  // ...must match the promoted follower's store bit for bit.
+  ExpectStoresIdentical(*recovered.value(), *follower_->follower()->replica()->store());
+
+  // And the promoted image boots a real file server: reopen the follower
+  // directory as a primary file server and serve a private file with its
+  // original contamination.
+  follower_.reset();
+  FileServerOptions fs_opts;
+  fs_opts.data_dir = follower_dir;
+  fs_opts.shards = 4;
+  auto fs_code = std::make_unique<FileServerProcess>(fs_opts);
+  FileServerProcess* fs = fs_code.get();
+  EXPECT_EQ(fs->file_count(), 11u);  // 12 created, 1 unlinked
+  Kernel kernel(0x0999);
+  fs->ReserveRecoveredHandles(kernel);
+  kernel.CreateProcess(std::move(fs_code), fs->RecoverySpawnArgs("fs"));
+
+  std::vector<RecorderProcess::Received> received;
+  SpawnArgs cargs;
+  cargs.name = "reader";
+  cargs.recv_label = Label({{taints_[2], Level::kL3}}, Level::kL2);
+  const ProcessId reader =
+      kernel.CreateProcess(std::make_unique<RecorderProcess>(&received), cargs);
+  Handle reader_port;
+  kernel.WithProcessContext(reader, [&](ProcessContext& ctx) {
+    reader_port = ctx.NewPort(Label::Top());
+    ASSERT_EQ(ctx.SetPortLabel(reader_port, Label::Top()), Status::kOk);
+    Message m;
+    m.type = fs_proto::kRead;
+    m.data = "priv2";
+    m.words = {1};
+    m.reply_port = reader_port;
+    ASSERT_EQ(ctx.Send(fs->service_port(), std::move(m), SendArgs()), Status::kOk);
+  });
+  kernel.RunUntilIdle();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].msg.data, "secret 2");
+  // The reply contaminated the reader with the ORIGINAL taint handle — the
+  // compartment survived primary death, shipping, and promotion.
+  EXPECT_EQ(received[0].send_label_after.Get(taints_[2]), Level::kL3);
+}
+
+TEST_F(ReplEndToEndTest, TornBatchesAtTheFollowerReassemble) {
+  BootPrimary(dir_.path() + "/primary");
+  BootFollower(dir_.path() + "/follower");
+  link_->set_max_chunk(7);  // fragment every frame across many deliveries
+  RunFsWorkload();
+  PumpUntilSynced(20000);
+  ExpectStoresIdentical(*primary_->fs()->store(),
+                        *follower_->follower()->replica()->store());
+}
+
+TEST_F(ReplEndToEndTest, PromoteThenReFollowOldPrimary) {
+  const std::string primary_dir = dir_.path() + "/primary";
+  const std::string follower_dir = dir_.path() + "/follower";
+  BootPrimary(primary_dir);
+  BootFollower(follower_dir);
+  RunFsWorkload();
+  PumpUntilSynced();
+
+  // Fail over: the follower's directory becomes the NEW primary...
+  link_.reset();
+  primary_.reset();
+  ASSERT_EQ(follower_->Promote(), Status::kOk);
+  follower_.reset();
+  BootPrimary(follower_dir, /*boot_key=*/0x0777);
+
+  // ...and the OLD primary's directory re-follows it. Its cursor names the
+  // dead primary's history, so catch-up arrives as snapshots.
+  BootFollower(primary_dir, /*boot_key=*/0x0778);
+  RunFsWorkload();  // fresh writes on the new primary
+  PumpUntilSynced(20000);
+  EXPECT_GE(follower_->follower()->replica()->stats().snapshots_installed, 1u);
+  ExpectStoresIdentical(*primary_->fs()->store(),
+                        *follower_->follower()->replica()->store());
+}
+
+// --- OKWS integration: idd and ok-demux ship their durable stores ------------
+
+TEST(ReplOkwsTest, IddAndDemuxStoresReplicateFromTheFullWorld) {
+  TempDir dir;
+  OkwsWorldConfig config;
+  config.users = {{"alice", "pw-a"}, {"bob", "pw-b"}};
+  config.services.push_back(
+      {"echo", [] { return std::make_unique<EchoService>(); }, false, {}});
+  config.idd_options.store_dir = dir.path() + "/idd";
+  config.idd_options.replication.listen_tcp_port = 7100;
+  config.demux_options.store_dir = dir.path() + "/demux";
+  config.demux_options.replication.listen_tcp_port = 7101;
+  OkwsWorld world(config);
+  world.PumpUntilReady();
+
+  FollowerWorld idd_follower(0x1111, 7200,
+                             StoreOptions{dir.path() + "/idd-replica", 4, 1024, 4});
+  FollowerWorld demux_follower(0x2222, 7201,
+                               StoreOptions{dir.path() + "/demux-replica", 4, 1024, 4});
+  ReplicationLink idd_link(&world.net(), 7100, &idd_follower.net(), 7200);
+  ReplicationLink demux_link(&world.net(), 7101, &demux_follower.net(), 7201);
+
+  // Real logins: idd persists identity bindings, demux persists sessions.
+  HttpLoadClient client(&world.net(), 80, 4);
+  client.Enqueue(OkwsWorld::MakeRequest("/echo", "alice", "pw-a"), 1);
+  client.Enqueue(OkwsWorld::MakeRequest("/echo", "bob", "pw-b"), 2);
+  for (int i = 0; i < 4000 && !client.idle(); ++i) {
+    client.Step();
+    idd_link.Step();
+    demux_link.Step();
+    world.Pump();
+    idd_follower.Pump();
+    demux_follower.Pump();
+  }
+  ASSERT_EQ(client.results().size(), 2u);
+
+  IddProcess* idd = nullptr;
+  {
+    Process* p = world.kernel().FindProcessByName("idd");
+    ASSERT_NE(p, nullptr);
+    idd = dynamic_cast<IddProcess*>(p->code.get());
+    ASSERT_NE(idd, nullptr);
+  }
+  DemuxProcess* demux = nullptr;
+  {
+    Process* p = world.kernel().FindProcessByName("demux");
+    ASSERT_NE(p, nullptr);
+    demux = dynamic_cast<DemuxProcess*>(p->code.get());
+    ASSERT_NE(demux, nullptr);
+  }
+  ASSERT_NE(idd->replication(), nullptr);
+  ASSERT_NE(demux->replication(), nullptr);
+
+  // Let the streams quiesce.
+  for (int i = 0; i < 2000; ++i) {
+    idd_link.Step();
+    demux_link.Step();
+    world.Pump();
+    idd_follower.Pump();
+    demux_follower.Pump();
+    if (idd->replication()->source()->FullySynced() &&
+        demux->replication()->source()->FullySynced()) {
+      break;
+    }
+  }
+  ASSERT_TRUE(idd->replication()->source()->FullySynced());
+  ASSERT_TRUE(demux->replication()->source()->FullySynced());
+
+  // The identity bindings — per-user taint/grant labels included — and the
+  // session table now live on the follower machines, bit for bit.
+  const DurableStore* idd_replica = idd_follower.follower()->replica()->store();
+  ASSERT_EQ(idd_replica->size(), idd->store()->size());
+  EXPECT_EQ(idd_replica->size(), 2u);  // alice and bob
+  idd->store()->ForEach([&](const std::string& key, const StoreRecord& want) {
+    const StoreRecord* got = idd_replica->Get(key);
+    ASSERT_NE(got, nullptr) << key;
+    EXPECT_EQ(got->value, want.value);
+    EXPECT_EQ(got->secrecy.Entries(), want.secrecy.Entries());
+    EXPECT_EQ(got->integrity.Entries(), want.integrity.Entries());
+  });
+  const DurableStore* demux_replica = demux_follower.follower()->replica()->store();
+  ASSERT_EQ(demux_replica->size(), demux->store()->size());
+  EXPECT_EQ(demux_replica->size(), 2u);  // one session per user
+  demux->store()->ForEach([&](const std::string& key, const StoreRecord& want) {
+    const StoreRecord* got = demux_replica->Get(key);
+    ASSERT_NE(got, nullptr) << key;
+    EXPECT_EQ(got->value, want.value);
+  });
+}
+
+}  // namespace
+}  // namespace asbestos
