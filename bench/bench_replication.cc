@@ -1,6 +1,8 @@
-// Replication benchmarks: WAL ship throughput (primary side), follower
-// apply lag (batch arrival → records live in the replica, labels interned),
-// snapshot catch-up, and the full two-machine simnet/netd path.
+// Replication benchmarks: WAL ship throughput (primary side), K-follower
+// fan-out through the shared frame cache (ship throughput and per-follower
+// apply lag vs K, cache hit rate), follower apply lag (batch arrival →
+// records live in the replica, labels interned), snapshot catch-up, and the
+// full multi-machine simnet/netd path.
 //
 // Results are machine-readable: unless the caller passes its own
 // --benchmark_out, the run writes BENCH_replication.json (google-benchmark
@@ -46,25 +48,27 @@ void PutRecord(DurableStore* store, uint64_t i, size_t value_bytes) {
 }
 
 // Parses a frame stream and applies every frame to the replica, feeding
-// acks back into the source.
-void ApplyStream(std::string stream, ReplicaStore* replica, ReplicationSource* source) {
+// acks back into the session.
+void ApplyStream(std::string stream, ReplicaStore* replica, FollowerSession* session) {
   std::string acks;
   replwire::WireMessage m;
   while (replwire::ConsumeFrame(&stream, &m) == replwire::FrameParse::kFrame) {
     ASB_ASSERT(replica->HandleFrame(m, &acks) == Status::kOk);
   }
   while (replwire::ConsumeFrame(&acks, &m) == replwire::FrameParse::kFrame) {
-    source->HandleAck(m);
+    session->HandleAck(m);
   }
 }
 
-struct Pair {
+// A primary store + hub fanning out to K replicas, sessions established.
+struct FanOut {
   std::string dir;
   std::unique_ptr<DurableStore> primary;
-  std::unique_ptr<ReplicationSource> source;
-  std::unique_ptr<ReplicaStore> replica;
+  std::unique_ptr<ReplicationHub> hub;
+  std::vector<std::unique_ptr<ReplicaStore>> replicas;
+  std::vector<FollowerSession*> sessions;  // owned by the hub
 
-  explicit Pair(uint32_t shards) {
+  FanOut(uint32_t shards, size_t followers) {
     dir = MakeTempDir();
     StoreOptions popts;
     popts.dir = dir + "/primary";
@@ -72,22 +76,27 @@ struct Pair {
     auto p = DurableStore::Open(popts);
     ASB_ASSERT(p.ok());
     primary = p.take();
-    source = std::make_unique<ReplicationSource>(primary.get(), 0xBE7C);
-    StoreOptions ropts;
-    ropts.dir = dir + "/replica";
-    ropts.shards = shards;
-    auto r = ReplicaStore::Open(ropts);
-    ASB_ASSERT(r.ok());
-    replica = r.take();
-    // Hello/resume handshake, then drain the (empty) initial snapshots.
-    ApplyStream(source->SessionHello(), replica.get(), source.get());
-    std::string frames;
-    source->PollFrames(1 << 16, ~0ULL, &frames);
-    ApplyStream(std::move(frames), replica.get(), source.get());
+    hub = std::make_unique<ReplicationHub>(primary.get(), 0xBE7C);
+    for (size_t k = 0; k < followers; ++k) {
+      StoreOptions ropts;
+      ropts.dir = dir + "/replica" + std::to_string(k);
+      ropts.shards = shards;
+      ReplicaOptions opts;
+      opts.follower_id = k + 1;
+      auto r = ReplicaStore::Open(ropts, opts);
+      ASB_ASSERT(r.ok());
+      replicas.push_back(r.take());
+      sessions.push_back(hub->OpenSession());
+      // Hello/resume handshake, then drain the (empty) initial snapshots.
+      ApplyStream(sessions[k]->SessionHello(), replicas[k].get(), sessions[k]);
+      std::string frames;
+      sessions[k]->PollFrames(1 << 16, ~0ULL, &frames);
+      ApplyStream(std::move(frames), replicas[k].get(), sessions[k]);
+    }
   }
 
-  ~Pair() {
-    replica.reset();
+  ~FanOut() {
+    replicas.clear();
     primary.reset();
     RemoveTree(dir);
   }
@@ -99,7 +108,7 @@ struct Pair {
 void BM_ShipAndApply(benchmark::State& state) {
   const uint64_t per_batch = static_cast<uint64_t>(state.range(0));
   const size_t value_bytes = static_cast<size_t>(state.range(1));
-  Pair pair(4);
+  FanOut pair(4, 1);
   uint64_t i = 0;
   uint64_t shipped_bytes = 0;
   for (auto _ : state) {
@@ -109,27 +118,67 @@ void BM_ShipAndApply(benchmark::State& state) {
     }
     state.ResumeTiming();
     std::string frames;
-    pair.source->PollFrames(1 << 16, ~0ULL, &frames);
+    pair.sessions[0]->PollFrames(1 << 16, ~0ULL, &frames);
     shipped_bytes += frames.size();
-    ApplyStream(std::move(frames), pair.replica.get(), pair.source.get());
+    ApplyStream(std::move(frames), pair.replicas[0].get(), pair.sessions[0]);
   }
-  ASB_ASSERT(pair.source->FullySynced());
-  ASB_ASSERT(pair.replica->store()->size() == pair.primary->size());
+  ASB_ASSERT(pair.sessions[0]->FullySynced());
+  ASB_ASSERT(pair.replicas[0]->store()->size() == pair.primary->size());
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * per_batch));
   state.SetBytesProcessed(static_cast<int64_t>(shipped_bytes));
   state.counters["batches"] =
-      static_cast<double>(pair.source->stats().batches_shipped);
+      static_cast<double>(pair.sessions[0]->stats().batches_shipped);
   state.counters["records_applied"] =
-      static_cast<double>(pair.replica->stats().records_applied);
+      static_cast<double>(pair.replicas[0]->stats().records_applied);
 }
 BENCHMARK(BM_ShipAndApply)->Args({16, 256})->Args({256, 256})->Args({256, 4096});
+
+// K-follower fan-out: one primary feeding Arg0 followers in lockstep
+// through the hub's shared frame cache. Items = records × K (each record
+// must land on every follower); the cache hit rate and the WAL reads that
+// actually hit the log show what the sharing saves as K grows.
+void BM_FanOutShipAndApply(benchmark::State& state) {
+  const size_t followers = static_cast<size_t>(state.range(0));
+  const uint64_t per_batch = 256;
+  FanOut fan(4, followers);
+  uint64_t i = 0;
+  uint64_t shipped_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (uint64_t k = 0; k < per_batch; ++k) {
+      PutRecord(fan.primary.get(), i++, 256);
+    }
+    state.ResumeTiming();
+    for (size_t k = 0; k < followers; ++k) {
+      std::string frames;
+      fan.sessions[k]->PollFrames(1 << 16, ~0ULL, &frames);
+      shipped_bytes += frames.size();
+      ApplyStream(std::move(frames), fan.replicas[k].get(), fan.sessions[k]);
+    }
+  }
+  for (size_t k = 0; k < followers; ++k) {
+    ASB_ASSERT(fan.sessions[k]->FullySynced());
+    ASB_ASSERT(fan.replicas[k]->store()->size() == fan.primary->size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * per_batch * followers));
+  state.SetBytesProcessed(static_cast<int64_t>(shipped_bytes));
+  const FrameCacheStats& cache = fan.hub->cache_stats();
+  const double lookups = static_cast<double>(cache.hits + cache.misses);
+  state.counters["cache_hit_rate"] =
+      lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups;
+  state.counters["wal_reads"] = static_cast<double>(fan.primary->wal_read_calls());
+  state.counters["records_applied_per_follower"] =
+      static_cast<double>(fan.replicas[0]->stats().records_applied);
+}
+BENCHMARK(BM_FanOutShipAndApply)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // Follower apply lag: wall time from "batch bytes arrived" to "every record
 // live in the replica's map and logged in its WAL" — the window where a
 // promote would miss the newest writes. Reported per record.
 void BM_FollowerApplyLag(benchmark::State& state) {
   const uint64_t per_batch = static_cast<uint64_t>(state.range(0));
-  Pair pair(4);
+  FanOut pair(4, 1);
   uint64_t i = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -137,7 +186,7 @@ void BM_FollowerApplyLag(benchmark::State& state) {
       PutRecord(pair.primary.get(), i++, 256);
     }
     std::string frames;
-    pair.source->PollFrames(1 << 16, ~0ULL, &frames);
+    pair.sessions[0]->PollFrames(1 << 16, ~0ULL, &frames);
     std::vector<replwire::WireMessage> batch;
     replwire::WireMessage m;
     while (replwire::ConsumeFrame(&frames, &m) == replwire::FrameParse::kFrame) {
@@ -146,11 +195,11 @@ void BM_FollowerApplyLag(benchmark::State& state) {
     state.ResumeTiming();
     std::string acks;
     for (const replwire::WireMessage& b : batch) {
-      ASB_ASSERT(pair.replica->HandleFrame(b, &acks) == Status::kOk);
+      ASB_ASSERT(pair.replicas[0]->HandleFrame(b, &acks) == Status::kOk);
     }
     state.PauseTiming();
     while (replwire::ConsumeFrame(&acks, &m) == replwire::FrameParse::kFrame) {
-      pair.source->HandleAck(m);
+      pair.sessions[0]->HandleAck(m);
     }
     state.ResumeTiming();
   }
@@ -176,7 +225,8 @@ void BM_SnapshotCatchUp(benchmark::State& state) {
     PutRecord(primary.get(), i, 256);
   }
   ASB_ASSERT(primary->Compact() == Status::kOk);
-  ReplicationSource source(primary.get(), 0xBE7C);
+  ReplicationHub hub(primary.get(), 0xBE7C);
+  FollowerSession* session = hub.OpenSession();
   uint64_t joined = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -188,10 +238,10 @@ void BM_SnapshotCatchUp(benchmark::State& state) {
     ASB_ASSERT(r.ok());
     std::unique_ptr<ReplicaStore> replica = r.take();
     state.ResumeTiming();
-    ApplyStream(source.SessionHello(), replica.get(), &source);
+    ApplyStream(session->SessionHello(), replica.get(), session);
     std::string frames;
-    source.PollFrames(1 << 16, ~0ULL, &frames);
-    ApplyStream(std::move(frames), replica.get(), &source);
+    session->PollFrames(1 << 16, ~0ULL, &frames);
+    ApplyStream(std::move(frames), replica.get(), session);
     ASB_ASSERT(replica->store()->size() == records);
     state.PauseTiming();
     replica.reset();
@@ -204,46 +254,55 @@ void BM_SnapshotCatchUp(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotCatchUp)->Arg(1000)->Arg(10000);
 
-// The full two-machine path: file-server writes on the primary world, NIC
-// pumps, netd labeled messages, the wire ferry, and the follower's group
-// commit. Items = records fully replicated per second, machine to machine.
+// The full multi-machine path: file-server writes on the primary world, NIC
+// pumps, netd labeled messages, one wire ferry per follower, and each
+// follower's group commit. Arg0: follower machine count. Items = records
+// fully replicated to EVERY follower per second, machine to machine.
 void BM_EndToEndSimnet(benchmark::State& state) {
-  const uint64_t per_round = static_cast<uint64_t>(state.range(0));
+  const size_t followers = static_cast<size_t>(state.range(0));
+  const uint64_t per_round = 64;
   const std::string dir = MakeTempDir();
   FileServerOptions fs_opts;
   fs_opts.data_dir = dir + "/primary";
   fs_opts.shards = 4;
   fs_opts.replication.listen_tcp_port = 7000;
-  FsPrimaryWorld primary(0x0451, fs_opts);
-  primary.Pump();
-  StoreOptions ropts;
-  ropts.dir = dir + "/follower";
-  ropts.shards = 4;
-  FollowerWorld follower(0x0452, 7001, ropts);
-  follower.Pump();
-  ReplicationLink link(&primary.net(), 7000, &follower.net(), 7001);
+  fs_opts.replication.max_followers = static_cast<uint32_t>(followers);
+  ReplicationFleet fleet(0x0451, fs_opts);
+  for (size_t k = 0; k < followers; ++k) {
+    StoreOptions ropts;
+    ropts.dir = dir + "/follower" + std::to_string(k);
+    ropts.shards = 4;
+    FollowerOptions fopts;
+    fopts.follower_id = k + 1;
+    fleet.AddFollower(0x0452 + k, static_cast<uint16_t>(7001 + k), ropts, fopts);
+  }
+  ASB_ASSERT(fleet.PumpUntilSynced(10000));
 
   uint64_t i = 0;
   for (auto _ : state) {
     // Append straight into the file server's store (the workload driver is
     // not what this bench measures); the pump's OnIdle flushes AND ships.
     for (uint64_t k = 0; k < per_round; ++k) {
-      PutRecord(const_cast<DurableStore*>(primary.fs()->store()), i++, 256);
+      PutRecord(const_cast<DurableStore*>(fleet.primary()->fs()->store()), i++, 256);
     }
-    int rounds = 0;
-    do {
-      link.Step();
-      primary.Pump();
-      follower.Pump();
-    } while (!primary.fs()->replication()->source()->FullySynced() && ++rounds < 10000);
-    ASB_ASSERT(primary.fs()->replication()->source()->FullySynced());
+    ASB_ASSERT(fleet.PumpUntilSynced(10000));
   }
-  ASB_ASSERT(follower.follower()->replica()->store()->size() == primary.fs()->store()->size());
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * per_round));
-  state.counters["wire_bytes"] = static_cast<double>(link.bytes_to_follower());
+  uint64_t wire_bytes = 0;
+  for (size_t k = 0; k < followers; ++k) {
+    ASB_ASSERT(fleet.follower(k)->follower()->replica()->store()->size() ==
+               fleet.primary()->fs()->store()->size());
+    wire_bytes += fleet.link(k)->bytes_to_follower();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * per_round * followers));
+  state.counters["wire_bytes"] = static_cast<double>(wire_bytes);
+  const FrameCacheStats& cache = fleet.primary()->fs()->replication()->hub()->cache_stats();
+  const double lookups = static_cast<double>(cache.hits + cache.misses);
+  state.counters["cache_hit_rate"] =
+      lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups;
   RemoveTree(dir);
 }
-BENCHMARK(BM_EndToEndSimnet)->Arg(64);
+BENCHMARK(BM_EndToEndSimnet)->Arg(1)->Arg(3);
 
 }  // namespace
 }  // namespace asbestos

@@ -107,6 +107,7 @@ bool DecodeDbRow(std::string_view data, std::vector<SqlValue>* out) {
 
 DbproxyProcess::DbproxyProcess(DbproxyOptions options) {
   if (options.store_dir.empty()) {
+    ASB_ASSERT(!options.replication.enabled() && "dbproxy replication needs a store");
     return;
   }
   StoreOptions sopts;
@@ -116,14 +117,19 @@ DbproxyProcess::DbproxyProcess(DbproxyOptions options) {
   ASB_ASSERT(store.ok() && "dbproxy store failed to open");
   store_ = store.take();
   RecoverState();
+  if (options.replication.enabled()) {
+    repl_ = std::make_unique<ReplicationEndpoint>(store_.get(), options.replication);
+  }
 }
 
 void DbproxyProcess::OnIdle(ProcessContext& ctx) {
-  (void)ctx;
   if (store_ != nullptr) {
     // Pipelined group commit, like the file server and idd: this pump's
     // table/binding appends flush while the next pump runs.
     ASB_ASSERT(store_->SyncPipelined() == Status::kOk);
+  }
+  if (repl_ != nullptr) {
+    repl_->PumpShip(ctx);  // the flushed batch is also the shipped batch
   }
 }
 
@@ -275,18 +281,22 @@ void DbproxyProcess::Start(ProcessContext& ctx) {
   // The privileged port stays closed: new_port left it at {priv 0, 3}, so
   // only ⋆-holders (idd, via the launcher's capability grant) can reach it.
   priv_port_ = ctx.NewPort(Label::Top());
+  wire_port_ = ctx.NewPort(Label::Top());  // stays closed: launcher only
 
   // When a launcher started us, identify ourselves once (§7.1) and grant it
-  // the privileged-port capability to pass on to idd.
+  // the privileged-port capability to pass on to idd, plus our wire port
+  // for late capabilities (netd's control port, once the boot loader has
+  // created netd — the proxy spawns first, like idd).
   if (ctx.HasEnv("launcher_port")) {
     Message reg;
     reg.type = boot_proto::kRegister;
     reg.data = "dbproxy";
-    reg.words = {query_port_.value(), priv_port_.value()};
+    reg.words = {query_port_.value(), priv_port_.value(), wire_port_.value()};
     SendArgs args;
     args.verify =
         Label({{Handle::FromValue(ctx.GetEnv("self_verify")), Level::kL0}}, Level::kL3);
-    args.decont_send = Label({{priv_port_, Level::kStar}}, Level::kL3);
+    args.decont_send = Label({{priv_port_, Level::kStar}, {wire_port_, Level::kStar}},
+                             Level::kL3);
     ctx.Send(Handle::FromValue(ctx.GetEnv("launcher_port")), std::move(reg), args);
   }
 }
@@ -552,6 +562,19 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
 }
 
 void DbproxyProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (repl_ != nullptr && repl_->HandleMessage(ctx, msg)) {
+    return;  // replication-plane traffic (listener replies, follower acks)
+  }
+  if (msg.port == wire_port_) {
+    if (msg.type == boot_proto::kWire && msg.data == "netd" && !msg.words.empty() &&
+        repl_ != nullptr) {
+      // The launcher's late wire: netd is up, attach the replication
+      // listener (the proxy spawns before the boot loader creates netd, so
+      // this capability cannot ride the spawn env the way demux's does).
+      repl_->Start(ctx, Handle::FromValue(msg.words[0]), ctx.GetEnv("self_verify"));
+    }
+    return;
+  }
   if (msg.port == priv_port_) {
     if (msg.type == MessageType::kBind) {
       HandleBind(ctx, msg);

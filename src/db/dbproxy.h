@@ -31,6 +31,7 @@
 
 #include "src/db/sql_engine.h"
 #include "src/kernel/kernel.h"
+#include "src/replication/endpoint.h"
 #include "src/store/store.h"
 
 namespace asbestos {
@@ -65,6 +66,12 @@ bool DecodeDbRow(std::string_view data, std::vector<SqlValue>* out);
 struct DbproxyOptions {
   std::string store_dir;  // empty = volatile, as in the seed
   uint32_t shards = 4;
+  // WAL shipping of the table store to followers (src/replication).
+  // Requires store_dir. The launcher wires netd's control port to the proxy
+  // (kWire "netd" on its wire port) once both are up — the same late wire
+  // idd uses — and the world must authorize the proxy's listener with netd
+  // via one of the "repl_verify*" envs.
+  ReplicationOptions replication;
 };
 
 class DbproxyProcess : public ProcessCode {
@@ -81,6 +88,7 @@ class DbproxyProcess : public ProcessCode {
   Handle priv_port() const { return priv_port_; }
   const SqlDatabase& database() const { return db_; }
   const DurableStore* store() const { return store_.get(); }
+  const ReplicationEndpoint* replication() const { return repl_.get(); }
   size_t recovered_bindings() const { return bindings_.size(); }
 
  private:
@@ -113,10 +121,12 @@ class DbproxyProcess : public ProcessCode {
   SqlDatabase db_;
   Handle query_port_;
   Handle priv_port_;
+  Handle wire_port_;  // launcher kWire target (late netd capability)
   std::map<std::string, Binding> bindings_;       // username → handles
   std::map<int64_t, Binding> bindings_by_id_;     // user id → handles
   int64_t modeled_db_bytes_ = 0;
   std::unique_ptr<DurableStore> store_;
+  std::unique_ptr<ReplicationEndpoint> repl_;
   uint64_t schema_seq_ = 0;  // next schema record ordinal
   bool recovering_ = false;  // recovery replays must not re-persist
 };

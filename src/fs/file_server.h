@@ -60,9 +60,10 @@ struct FileServerOptions {
   // Shard count for a store created at data_dir; existing stores keep the
   // count stamped at creation (see StoreOptions::shards).
   uint32_t shards = 4;
-  // WAL shipping to a follower (src/replication): when enabled, the server
-  // attaches a netd listener on this port and ships every flushed batch
-  // from its OnIdle hook. Requires env "netd_ctl" at Start.
+  // WAL shipping to up to max_followers followers (src/replication): when
+  // enabled, the server attaches a netd listener on this port and ships
+  // every flushed batch from its OnIdle hook. Requires env "netd_ctl" at
+  // Start.
   ReplicationOptions replication;
 };
 

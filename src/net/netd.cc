@@ -13,9 +13,15 @@ void NetdProcess::Start(ProcessContext& ctx) {
   // The control port is a public service endpoint.
   ASB_ASSERT(ctx.SetPortLabel(control_port_, Label::Top()) == Status::kOk);
   expected_listener_verify_ = ctx.GetEnv("demux_verify");
-  // Optional second authorized listener (the boot loader names it when a
-  // replication endpoint other than demux attaches one, e.g. idd's).
-  repl_listener_verify_ = ctx.GetEnv("repl_verify");
+  // Optional additional authorized listeners (the boot loader names one per
+  // replication endpoint other than demux's — idd, ok-dbproxy, ...): the
+  // first rides the legacy "repl_verify" key, the rest "repl_verify<k>".
+  if (ctx.HasEnv("repl_verify")) {
+    repl_listener_verifies_.push_back(ctx.GetEnv("repl_verify"));
+  }
+  for (int k = 2; ctx.HasEnv("repl_verify" + std::to_string(k)); ++k) {
+    repl_listener_verifies_.push_back(ctx.GetEnv("repl_verify" + std::to_string(k)));
+  }
 }
 
 void NetdProcess::PollNetwork(ProcessContext& ctx) {
@@ -82,8 +88,16 @@ void NetdProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         return verify_value != 0 &&
                LevelLeq(msg.verify.Get(Handle::FromValue(verify_value)), Level::kL0);
       };
+      const auto proves_any_repl = [&] {
+        for (const uint64_t v : repl_listener_verifies_) {
+          if (proves(v)) {
+            return true;
+          }
+        }
+        return false;
+      };
       if (expected_listener_verify_ != 0 && !proves(expected_listener_verify_) &&
-          !proves(repl_listener_verify_)) {
+          !proves_any_repl()) {
         return;  // unauthorized: silently ignored
       }
       const auto tcp_port = static_cast<uint16_t>(msg.words[0]);

@@ -24,6 +24,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/kernel/kernel.h"
 #include "src/net/simnet.h"
@@ -96,7 +97,10 @@ class NetdProcess : public ProcessCode {
   SimNet* net_;
   Handle control_port_;
   uint64_t expected_listener_verify_ = 0;  // env "demux_verify"; 0 disables the check
-  uint64_t repl_listener_verify_ = 0;      // env "repl_verify"; optional second listener
+  // Additional authorized listeners named by the boot loader: env keys
+  // "repl_verify", "repl_verify2", "repl_verify3", ... — one per replication
+  // endpoint besides demux's own (idd, ok-dbproxy, a standalone file server).
+  std::vector<uint64_t> repl_listener_verifies_;
   std::map<uint16_t, Listener> listeners_;
   std::map<uint64_t, Conn> conns_;           // uC handle value → connection
   std::map<ConnId, uint64_t> port_by_conn_;  // SimNet id → uC handle value

@@ -56,7 +56,7 @@ struct DemuxOptions {
   // resurrect, even at the price of re-login after a real reboot. TTL 0
   // (the default) has no timestamps to misread and survives both kinds.
   uint64_t session_ttl_cycles = 0;
-  // WAL shipping of the session table to a follower (src/replication).
+  // WAL shipping of the session table to followers (src/replication).
   // Requires store_dir; the listener attaches with demux's own verification
   // label, which netd already accepts.
   ReplicationOptions replication;

@@ -41,10 +41,10 @@ struct IddOptions {
   // count stamped at creation (see StoreOptions::shards). Bindings append
   // without fsyncing and are group-committed by the end-of-pump OnIdle hook.
   uint32_t shards = 4;
-  // WAL shipping of the identity cache to a follower (src/replication).
+  // WAL shipping of the identity cache to followers (src/replication).
   // Requires store_dir. The launcher wires netd's control port to idd (kWire
   // "netd") once both are up, and the world must authorize idd's listener
-  // with netd via the "repl_verify" env.
+  // with netd via one of the "repl_verify*" envs.
   ReplicationOptions replication;
 };
 

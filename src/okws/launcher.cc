@@ -146,6 +146,7 @@ void LauncherProcess::OnDemuxRegistered(ProcessContext& ctx) {
 void LauncherProcess::ProvideNetd(ProcessContext& ctx, uint64_t netd_ctl_value) {
   netd_ctl_ = Handle::FromValue(netd_ctl_value);
   MaybeWireIddNetd(ctx);
+  MaybeWireDbproxyNetd(ctx);
   MaybeSpawnDemux(ctx);
 }
 
@@ -166,6 +167,21 @@ void LauncherProcess::MaybeWireIddNetd(ProcessContext& ctx) {
   ctx.Send(idd_wire_, std::move(wire));
 }
 
+void LauncherProcess::MaybeWireDbproxyNetd(ProcessContext& ctx) {
+  // Same late wire for ok-dbproxy: its durable tables replicate like idd's
+  // identity cache, and it too spawns before netd exists.
+  if (dbproxy_netd_wired_ || !netd_ctl_.valid() || !dbproxy_wire_.valid() ||
+      !config_.dbproxy_options.replication.enabled()) {
+    return;
+  }
+  dbproxy_netd_wired_ = true;
+  Message wire;
+  wire.type = boot_proto::kWire;
+  wire.data = "netd";
+  wire.words = {netd_ctl_.value()};
+  ctx.Send(dbproxy_wire_, std::move(wire));
+}
+
 void LauncherProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
   if (msg.port != port_) {
     return;
@@ -174,7 +190,11 @@ void LauncherProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
     if (msg.data == "dbproxy" && CheckRegistration(msg, "dbproxy") && msg.words.size() >= 2) {
       dbproxy_query_ = Handle::FromValue(msg.words[0]);
       dbproxy_priv_ = Handle::FromValue(msg.words[1]);
+      if (msg.words.size() >= 3) {
+        dbproxy_wire_ = Handle::FromValue(msg.words[2]);
+      }
       MaybeWireIdd(ctx);
+      MaybeWireDbproxyNetd(ctx);
     } else if (msg.data == "idd" && CheckRegistration(msg, "idd") && msg.words.size() >= 2) {
       idd_login_ = Handle::FromValue(msg.words[0]);
       idd_wire_ = Handle::FromValue(msg.words[1]);

@@ -76,6 +76,7 @@ class LauncherProcess : public ProcessCode {
  private:
   void MaybeWireIdd(ProcessContext& ctx);
   void MaybeWireIddNetd(ProcessContext& ctx);
+  void MaybeWireDbproxyNetd(ProcessContext& ctx);
   void MaybeSpawnDemux(ProcessContext& ctx);
   void OnDemuxRegistered(ProcessContext& ctx);
   bool CheckRegistration(const Message& msg, const std::string& name) const;
@@ -91,6 +92,7 @@ class LauncherProcess : public ProcessCode {
   // Discovered component ports.
   Handle dbproxy_query_;
   Handle dbproxy_priv_;
+  Handle dbproxy_wire_;
   Handle idd_login_;
   Handle idd_wire_;
   Handle demux_register_;
@@ -100,6 +102,7 @@ class LauncherProcess : public ProcessCode {
 
   bool idd_wired_ = false;
   bool idd_netd_wired_ = false;
+  bool dbproxy_netd_wired_ = false;
   bool idd_ready_ = false;
   bool demux_spawned_ = false;
   bool workers_spawned_ = false;

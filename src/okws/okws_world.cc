@@ -51,6 +51,11 @@ OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
     // recognize idd's verification handle alongside demux's.
     nargs.env["repl_verify"] = launcher_->verify_value("idd");
   }
+  if (config.dbproxy_options.replication.enabled()) {
+    // Likewise for ok-dbproxy's table-store endpoint (second slot — netd
+    // collects every "repl_verify*" key).
+    nargs.env["repl_verify2"] = launcher_->verify_value("dbproxy");
+  }
   netd_pid_ = kernel_.CreateProcess(std::move(netd_code), std::move(nargs));
 
   // Tell the launcher where netd's control port is.

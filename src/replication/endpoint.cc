@@ -2,6 +2,7 @@
 
 #include "src/base/panic.h"
 #include "src/net/netd.h"
+#include "src/sim/cycles.h"
 
 namespace asbestos {
 
@@ -9,14 +10,19 @@ ReplicationEndpoint::ReplicationEndpoint(const DurableStore* store,
                                          ReplicationOptions options)
     : store_(store), options_(options) {
   ASB_ASSERT(options_.enabled());
+  ASB_ASSERT(options_.max_followers > 0);
 }
 
 void ReplicationEndpoint::Start(ProcessContext& ctx, Handle netd_ctl,
                                 uint64_t self_verify) {
   // A fresh handle value is unique and unpredictable for this boot — the
   // right shape for a source id naming this boot's WAL history.
-  source_ = std::make_unique<ReplicationSource>(store_, ctx.NewHandle().value(),
-                                                options_.auth_token);
+  ReplicationHub::Tuning tuning;
+  tuning.auth_token = options_.auth_token;
+  tuning.frame_cache_bytes = options_.frame_cache_bytes;
+  tuning.lease_interval_cycles = options_.lease_interval_cycles;
+  tuning.heartbeat_interval_cycles = options_.heartbeat_interval_cycles;
+  hub_ = std::make_unique<ReplicationHub>(store_, ctx.NewHandle().value(), tuning);
   notify_port_ = ctx.NewPort(Label::Top());  // closed; netd gets ⋆ below
 
   Message listen;
@@ -31,28 +37,52 @@ void ReplicationEndpoint::Start(ProcessContext& ctx, Handle netd_ctl,
   ctx.Send(netd_ctl, std::move(listen), args);
 }
 
-void ReplicationEndpoint::IssueRead(ProcessContext& ctx) {
+void ReplicationEndpoint::IssueRead(ProcessContext& ctx, const Conn& conn) {
   Message read;
+  // The cookie names the connection: every session's read replies land on
+  // the one notify port, and the cookie is how they demux back to a session.
   read.type = netd_proto::kRead;
-  read.words = {0 /*cookie*/, 0 /*all*/, 0 /*no peek*/, 0};
+  read.words = {conn.uc.value() /*cookie*/, 0 /*all*/, 0 /*no peek*/, 0};
   read.reply_port = notify_port_;
-  ctx.Send(conn_, std::move(read));
+  ctx.Send(conn.uc, std::move(read));
 }
 
-void ReplicationEndpoint::DropSession(ProcessContext& ctx, bool close_conn) {
-  if (!conn_.valid()) {
+void ReplicationEndpoint::RefuseBusy(ProcessContext& ctx, Handle uc) {
+  // Explicit refusal: one kBusy frame with a back-off hint, THEN the close.
+  // A silently dropped follower cannot tell "at capacity" from "crashed"
+  // and would hot-reconnect into the same refusal.
+  replwire::WireMessage busy;
+  busy.type = replwire::kBusy;
+  busy.retry_after = options_.busy_retry_cycles;
+  Message write;
+  write.type = netd_proto::kWrite;
+  write.words = {0};
+  replwire::AppendFrame(busy, &write.data);
+  ctx.Send(uc, std::move(write));
+  Message close;
+  close.type = netd_proto::kControl;
+  close.words = {0, netd_proto::kControlOpClose};
+  ctx.Send(uc, std::move(close));
+  ASB_ASSERT(ctx.SetSendLevel(uc, kDefaultSendLevel) == Status::kOk);
+  busy_refusals_ += 1;
+}
+
+void ReplicationEndpoint::DropSession(ProcessContext& ctx, uint64_t uc_value,
+                                      bool close_conn) {
+  auto it = conns_.find(uc_value);
+  if (it == conns_.end()) {
     return;
   }
   if (close_conn) {
     Message close;
     close.type = netd_proto::kControl;
     close.words = {0, netd_proto::kControlOpClose};
-    ctx.Send(conn_, std::move(close));
+    ctx.Send(it->second.uc, std::move(close));
   }
   // Release the per-connection capability, as demux does on handoff.
-  ASB_ASSERT(ctx.SetSendLevel(conn_, kDefaultSendLevel) == Status::kOk);
-  conn_ = Handle();
-  rx_.clear();
+  ASB_ASSERT(ctx.SetSendLevel(it->second.uc, kDefaultSendLevel) == Status::kOk);
+  hub_->CloseSession(it->second.session);
+  conns_.erase(it);
 }
 
 bool ReplicationEndpoint::HandleMessage(ProcessContext& ctx, const Message& msg) {
@@ -67,50 +97,50 @@ bool ReplicationEndpoint::HandleMessage(ProcessContext& ctx, const Message& msg)
         return true;
       }
       const Handle uc = Handle::FromValue(msg.words[0]);
-      if (conn_.valid()) {
-        // One follower at a time: refuse the newcomer outright.
-        Message close;
-        close.type = netd_proto::kControl;
-        close.words = {0, netd_proto::kControlOpClose};
-        ctx.Send(uc, std::move(close));
-        ASB_ASSERT(ctx.SetSendLevel(uc, kDefaultSendLevel) == Status::kOk);
+      if (conns_.size() >= options_.max_followers) {
+        RefuseBusy(ctx, uc);
         return true;
       }
-      conn_ = uc;
-      rx_.clear();
+      Conn conn;
+      conn.uc = uc;
+      conn.session = hub_->OpenSession();
       // Session opening move: hello first, then wait for resume acks.
       Message hello;
       hello.type = netd_proto::kWrite;
       hello.words = {0};
-      hello.data = source_->SessionHello();
-      ctx.Send(conn_, std::move(hello));
-      IssueRead(ctx);
+      hello.data = conn.session->SessionHello();
+      ctx.Send(uc, std::move(hello));
+      IssueRead(ctx, conn);
+      conns_.emplace(uc.value(), std::move(conn));
       return true;
     }
     case netd_proto::kReadR: {
-      if (!conn_.valid()) {
+      const uint64_t cookie = msg.words.empty() ? 0 : msg.words[0];
+      auto it = conns_.find(cookie);
+      if (it == conns_.end()) {
         return true;  // stale reply from a dropped session
       }
+      Conn& conn = it->second;
       const bool eof = msg.words.size() > 1 && msg.words[1] != 0;
-      rx_.append(msg.data);
+      conn.rx.append(msg.data);
       replwire::WireMessage frame;
       for (;;) {
-        const replwire::FrameParse p = replwire::ConsumeFrame(&rx_, &frame);
+        const replwire::FrameParse p = replwire::ConsumeFrame(&conn.rx, &frame);
         if (p == replwire::FrameParse::kNeedMore) {
           break;
         }
         if (p == replwire::FrameParse::kCorrupt) {
-          DropSession(ctx, /*close_conn=*/true);
+          DropSession(ctx, cookie, /*close_conn=*/true);
           return true;
         }
         if (frame.type == replwire::kAck) {
-          source_->HandleAck(frame);
+          conn.session->HandleAck(frame);
         }
       }
       if (eof) {
-        DropSession(ctx, /*close_conn=*/true);
+        DropSession(ctx, cookie, /*close_conn=*/true);
       } else {
-        IssueRead(ctx);
+        IssueRead(ctx, conn);
       }
       return true;
     }
@@ -123,18 +153,30 @@ bool ReplicationEndpoint::HandleMessage(ProcessContext& ctx, const Message& msg)
 }
 
 void ReplicationEndpoint::PumpShip(ProcessContext& ctx) {
-  if (!conn_.valid() || source_ == nullptr) {
+  if (hub_ == nullptr) {
     return;
   }
-  std::string out;
-  if (source_->PollFrames(options_.max_batch_bytes, options_.max_write_bytes, &out) == 0) {
-    return;  // nothing new: the idle loop quiesces
+  const uint64_t now = GetCycleAccounting().now();
+  const uint64_t hb_interval = hub_->heartbeat_interval_cycles();
+  for (auto& [uc_value, conn] : conns_) {
+    std::string out;
+    const size_t frames =
+        conn.session->PollFrames(options_.max_batch_bytes, options_.max_write_bytes, &out);
+    if (frames == 0 && hub_->lease_enabled() &&
+        now - conn.session->last_send_cycles() >= hb_interval) {
+      // Idle session, lease running down: refresh it. Gated on the clock,
+      // so a world with no traffic at all still quiesces.
+      conn.session->AppendHeartbeat(&out);
+    }
+    if (out.empty()) {
+      continue;  // nothing new: the idle loop quiesces
+    }
+    Message write;
+    write.type = netd_proto::kWrite;
+    write.words = {0};
+    write.data = std::move(out);
+    ctx.Send(conn.uc, std::move(write));
   }
-  Message write;
-  write.type = netd_proto::kWrite;
-  write.words = {0};
-  write.data = std::move(out);
-  ctx.Send(conn_, std::move(write));
 }
 
 }  // namespace asbestos

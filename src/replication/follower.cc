@@ -2,11 +2,17 @@
 
 #include "src/base/panic.h"
 #include "src/net/netd.h"
+#include "src/sim/costs.h"
+#include "src/sim/cycles.h"
 
 namespace asbestos {
 
-FollowerProcess::FollowerProcess(StoreOptions store_opts, uint64_t auth_token) {
-  auto replica = ReplicaStore::Open(std::move(store_opts), auth_token);
+FollowerProcess::FollowerProcess(StoreOptions store_opts, FollowerOptions options)
+    : options_(options) {
+  ReplicaOptions ropts;
+  ropts.auth_token = options.auth_token;
+  ropts.follower_id = options.follower_id;
+  auto replica = ReplicaStore::Open(std::move(store_opts), ropts);
   ASB_ASSERT(replica.ok() && "follower replica store failed to open");
   replica_ = replica.take();
 }
@@ -65,7 +71,8 @@ void FollowerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         return;
       }
       const Handle uc = Handle::FromValue(msg.words[0]);
-      if (conn_.valid() || replica_->promoted()) {
+      const bool backing_off = GetCycleAccounting().now() < backoff_until_cycles_;
+      if (conn_.valid() || replica_->promoted() || backing_off) {
         Message close;
         close.type = netd_proto::kControl;
         close.words = {0, netd_proto::kControlOpClose};
@@ -92,8 +99,22 @@ void FollowerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         if (p == replwire::FrameParse::kNeedMore) {
           break;  // torn frame: keep the prefix, await the rest
         }
-        if (p == replwire::FrameParse::kCorrupt ||
-            !IsOk(replica_->HandleFrame(frame, &acks))) {
+        if (p == replwire::FrameParse::kCorrupt) {
+          EndSession(ctx, /*close_conn=*/true);
+          return;
+        }
+        const Status s = replica_->HandleFrame(frame, &acks);
+        if (s == Status::kWouldBlock) {
+          // Explicit kBusy refusal: back off instead of hot-reconnecting.
+          ++busy_signals_;
+          const uint64_t wait = replica_->busy_retry_after() != 0
+                                    ? replica_->busy_retry_after()
+                                    : options_.busy_backoff_cycles;
+          backoff_until_cycles_ = GetCycleAccounting().now() + wait;
+          EndSession(ctx, /*close_conn=*/true);
+          return;
+        }
+        if (!IsOk(s)) {
           EndSession(ctx, /*close_conn=*/true);
           return;
         }
@@ -117,9 +138,34 @@ void FollowerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
   }
 }
 
+void FollowerProcess::CheckLease(ProcessContext& ctx) {
+  if (replica_->promoted() || replica_->lease_until() == 0) {
+    return;
+  }
+  // The local failover timer tick: while a lease is being tracked, the
+  // clock must keep moving toward the deadline even after the primary (and
+  // all the traffic that used to advance it) is gone.
+  ctx.ChargeCycles(costs::kLeaseCheckCycles);
+  const uint64_t now = GetCycleAccounting().now();
+  if (!replica_->LeaseExpired(now)) {
+    return;
+  }
+  lease_expired_ = true;
+  if (!options_.auto_promote || options_.follower_id == 0 ||
+      replica_->successor_id() != options_.follower_id) {
+    return;  // not the designated successor: stand by
+  }
+  // The primary's own last designation names us: take over. Exactly one
+  // replica passes this test — the designation was computed once, by the
+  // primary, and distributed to everyone before it died.
+  EndSession(ctx, /*close_conn=*/true);
+  ASB_ASSERT(replica_->Promote() == Status::kOk);
+  auto_promoted_ = true;
+}
+
 void FollowerProcess::OnIdle(ProcessContext& ctx) {
-  (void)ctx;
   ASB_ASSERT(replica_->SyncPipelined() == Status::kOk);
+  CheckLease(ctx);
 }
 
 Status FollowerProcess::Promote(ProcessContext& ctx) {

@@ -8,12 +8,29 @@
 // commit rides the same OnIdle hook as any primary store — a follower is a
 // durable server whose only client is the primary's log.
 //
-// Promote() ends the follower role: the connection is closed, the replica
-// drains its pipeline, and the underlying store — bit-identical to what
-// single-node crash recovery of the shipped history would produce — can be
-// adopted by a primary process (e.g. FileServerProcess re-opened on the
-// same directory, with RecoverySpawnArgs re-granting privilege exactly as
-// after a local reboot).
+// Automatic failover: a follower configured with a nonzero follower_id
+// carries that id in its acks and tracks the primary's lease (the deadline
+// stamped on every batch/heartbeat). Each OnIdle it charges one lease-check
+// tick — the local failover timer — and when the lease runs out:
+//   * if the PRIMARY'S OWN last designation named this follower (lowest id
+//     among caught-up replicas), it promotes itself;
+//   * otherwise it stands by for the designated successor's endpoint (or an
+//     operator) — exactly one replica acts, with no follower-to-follower
+//     traffic, because the designation was distributed by the primary while
+//     it was still alive.
+//
+// Manual Promote() still exists and ends the follower role the same way:
+// the connection is closed, the replica drains its pipeline, and the
+// underlying store — bit-identical to what single-node crash recovery of
+// the shipped history would produce — can be adopted by a primary process
+// (e.g. FileServerProcess re-opened on the same directory, with
+// RecoverySpawnArgs re-granting privilege exactly as after a local reboot).
+//
+// Busy back-off: a kBusy refusal from an at-capacity primary ends the
+// session quietly and starts a back-off window (the refusal's retry hint,
+// falling back to FollowerOptions::busy_backoff_cycles); connections
+// arriving inside the window are closed unaccepted instead of burning a
+// hello/resume round trip on the same refusal.
 #ifndef SRC_REPLICATION_FOLLOWER_H_
 #define SRC_REPLICATION_FOLLOWER_H_
 
@@ -25,19 +42,32 @@
 
 namespace asbestos {
 
+struct FollowerOptions {
+  // Session shared secret; must match the primary's
+  // ReplicationOptions::auth_token.
+  uint64_t auth_token = 0;
+  // Failover identity carried in acks; 0 = mirror only, never auto-promote.
+  uint64_t follower_id = 0;
+  // Act on lease expiry when designated successor. Off only for worlds that
+  // want lease observability without the promotion (operator drills).
+  bool auto_promote = true;
+  // Back-off window after a kBusy refusal that carried no hint.
+  uint64_t busy_backoff_cycles = 2'000'000;
+};
+
 class FollowerProcess : public ProcessCode {
  public:
   // Opens the replica store immediately (panics if the directory is
   // corrupt, like every durable server here: a follower must not limp on
-  // empty state it does not actually have). `auth_token` must match the
-  // primary's ReplicationOptions::auth_token.
-  explicit FollowerProcess(StoreOptions store_opts, uint64_t auth_token = 0);
+  // empty state it does not actually have).
+  explicit FollowerProcess(StoreOptions store_opts, FollowerOptions options = FollowerOptions());
 
   // env: "netd_ctl" (required), "tcp_port" (required), "self_verify"
   // (optional, for worlds whose netd checks listener identity).
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
-  // Group commit of everything applied this pump (pipelined).
+  // Group commit of everything applied this pump (pipelined), then the
+  // lease-expiry check (see the header comment).
   void OnIdle(ProcessContext& ctx) override;
   bool HasOnIdle() const override { return true; }
 
@@ -49,16 +79,28 @@ class FollowerProcess : public ProcessCode {
   ReplicaStore* replica() { return replica_.get(); }
   const ReplicaStore* replica() const { return replica_.get(); }
   uint64_t sessions_accepted() const { return sessions_accepted_; }
+  // True once a lease this follower tracked expired unrefreshed.
+  bool lease_expired() const { return lease_expired_; }
+  // True when the lease protocol promoted this follower (vs operator call).
+  bool auto_promoted() const { return auto_promoted_; }
+  uint64_t busy_signals() const { return busy_signals_; }
+  uint64_t backoff_until_cycles() const { return backoff_until_cycles_; }
 
  private:
   void IssueRead(ProcessContext& ctx);
   void EndSession(ProcessContext& ctx, bool close_conn);
+  void CheckLease(ProcessContext& ctx);
 
   std::unique_ptr<ReplicaStore> replica_;
+  FollowerOptions options_;
   Handle notify_port_;
   Handle conn_;     // live session's uC (invalid = none)
   std::string rx_;  // buffered stream bytes awaiting a whole frame
   uint64_t sessions_accepted_ = 0;
+  uint64_t busy_signals_ = 0;
+  uint64_t backoff_until_cycles_ = 0;
+  bool lease_expired_ = false;
+  bool auto_promoted_ = false;
 };
 
 }  // namespace asbestos

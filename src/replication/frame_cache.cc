@@ -1,0 +1,60 @@
+#include "src/replication/frame_cache.h"
+
+namespace asbestos {
+
+bool FrameCache::Lookup(uint32_t shard, uint64_t generation, uint64_t offset,
+                        uint64_t want_bytes, uint64_t tail_off, std::string* span) {
+  const Key key{shard, generation, offset};
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    stats_.misses += 1;
+    return false;
+  }
+  Entry& e = *it->second;
+  const bool covers_request = e.span.size() >= want_bytes;
+  const bool covers_tail = offset + e.span.size() == tail_off;
+  if (!covers_request && !covers_tail) {
+    // The log grew past this entry since it was cached; serving it would
+    // shrink every follower's batches to the stalest reader's view.
+    stats_.misses += 1;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  stats_.hits += 1;
+  stats_.hit_bytes += e.span.size();
+  *span = e.span;
+  return true;
+}
+
+void FrameCache::Insert(uint32_t shard, uint64_t generation, uint64_t offset,
+                        const std::string& span) {
+  if (max_bytes_ == 0 || span.size() > max_bytes_) {
+    return;  // cache disabled, or a span no budget could hold
+  }
+  const Key key{shard, generation, offset};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (it->second->span.size() >= span.size()) {
+      return;  // the resident entry is at least as long; keep it
+    }
+    stats_.bytes -= it->second->span.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, span});
+  index_[key] = lru_.begin();
+  stats_.bytes += span.size();
+  EvictToBudget();
+}
+
+void FrameCache::EvictToBudget() {
+  while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.span.size();
+    stats_.evictions += 1;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace asbestos

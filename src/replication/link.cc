@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/base/panic.h"
+
 namespace asbestos {
 
 ReplicationLink::ReplicationLink(SimNet* primary_net, uint16_t primary_port,
@@ -54,11 +56,22 @@ uint64_t ReplicationLink::FerryChunk(std::string* buffer, SimNet* dst, ConnId ds
 
 uint64_t ReplicationLink::Step() {
   TryConnect();
+  // Drain first, then notice server-side FINs: a closed connection (an
+  // endpoint's busy refusal, a follower ending its session) is redialed on
+  // the next step, as a link daemon watching its sockets would.
   if (p_conn_ != kNoConn) {
     to_follower_ += primary_net_->ClientTakeReceived(p_conn_);
+    if (primary_net_->ClientSeesClosed(p_conn_)) {
+      primary_net_->ClientClose(p_conn_);
+      p_conn_ = kNoConn;
+    }
   }
   if (f_conn_ != kNoConn) {
     to_primary_ += follower_net_->ClientTakeReceived(f_conn_);
+    if (follower_net_->ClientSeesClosed(f_conn_)) {
+      follower_net_->ClientClose(f_conn_);
+      f_conn_ = kNoConn;
+    }
   }
   uint64_t moved = 0;
   const uint64_t pf = FerryChunk(&to_follower_, follower_net_, f_conn_);
@@ -96,7 +109,7 @@ void FsPrimaryWorld::Pump() {
 }
 
 FollowerWorld::FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
-                             uint64_t auth_token)
+                             FollowerOptions options)
     : kernel_(boot_key) {
   auto netd_code = std::make_unique<NetdProcess>(&net_);
   netd_ = netd_code.get();
@@ -105,7 +118,7 @@ FollowerWorld::FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions 
   nargs.component = Component::kNetwork;
   netd_pid_ = kernel_.CreateProcess(std::move(netd_code), std::move(nargs));
 
-  auto follower_code = std::make_unique<FollowerProcess>(std::move(store_opts), auth_token);
+  auto follower_code = std::make_unique<FollowerProcess>(std::move(store_opts), options);
   follower_ = follower_code.get();
   SpawnArgs fargs;
   fargs.name = "follower";
@@ -125,6 +138,75 @@ Status FollowerWorld::Promote() {
                              [&](ProcessContext& ctx) { s = follower_->Promote(ctx); });
   Pump();  // drain the session-close traffic
   return s;
+}
+
+ReplicationFleet::ReplicationFleet(uint64_t boot_key, const FileServerOptions& fs_options)
+    : primary_port_(fs_options.replication.listen_tcp_port) {
+  ASB_ASSERT(fs_options.replication.enabled());
+  primary_ = std::make_unique<FsPrimaryWorld>(boot_key, fs_options);
+  primary_->Pump();  // attach the listener before any follower dials
+}
+
+size_t ReplicationFleet::AddFollower(uint64_t boot_key, uint16_t tcp_port,
+                                     StoreOptions store_opts, FollowerOptions options) {
+  followers_.push_back(
+      std::make_unique<FollowerWorld>(boot_key, tcp_port, std::move(store_opts), options));
+  followers_.back()->Pump();
+  ASB_ASSERT(primary_ != nullptr && "followers join a live primary");
+  links_.push_back(std::make_unique<ReplicationLink>(&primary_->net(), primary_port_,
+                                                     &followers_.back()->net(), tcp_port));
+  return followers_.size() - 1;
+}
+
+void ReplicationFleet::Pump() {
+  for (auto& link : links_) {
+    link->Step();
+  }
+  if (primary_ != nullptr) {
+    primary_->Pump();
+  }
+  for (auto& follower : followers_) {
+    follower->Pump();
+  }
+}
+
+bool ReplicationFleet::PumpUntilSynced(int max_iters) {
+  for (int i = 0; i < max_iters; ++i) {
+    Pump();
+    if (primary_ == nullptr || primary_->fs()->replication() == nullptr) {
+      return false;
+    }
+    const ReplicationHub* hub = primary_->fs()->replication()->hub();
+    if (hub != nullptr && hub->session_count() == followers_.size() &&
+        hub->AllFullySynced()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReplicationFleet::KillPrimary() {
+  links_.clear();  // the wire dies with the rack
+  primary_.reset();
+}
+
+int ReplicationFleet::auto_promoted_count() const {
+  int n = 0;
+  for (const auto& follower : followers_) {
+    if (follower->follower()->auto_promoted()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int ReplicationFleet::auto_promoted_index() const {
+  for (size_t i = 0; i < followers_.size(); ++i) {
+    if (followers_[i]->follower()->auto_promoted()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
 }
 
 }  // namespace asbestos

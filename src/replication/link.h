@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/fs/file_server.h"
 #include "src/kernel/kernel.h"
@@ -104,7 +105,7 @@ class FsPrimaryWorld {
 class FollowerWorld {
  public:
   FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
-                uint64_t auth_token = 0);
+                FollowerOptions options = FollowerOptions());
 
   void Pump();
   // Closes the session, drains, checkpoints; the store directory is now a
@@ -122,6 +123,48 @@ class FollowerWorld {
   FollowerProcess* follower_ = nullptr;
   ProcessId netd_pid_ = kNoProcess;
   ProcessId follower_pid_ = kNoProcess;
+};
+
+// A K-replica topology under one driver: a primary FsPrimaryWorld fanning
+// out to K FollowerWorlds, one ReplicationLink per follower (the per-rack
+// wire). This is the acceptance-test and bench harness for the hub: add
+// followers, pump everything, kill the primary, and watch the lease
+// protocol pick exactly one successor.
+class ReplicationFleet {
+ public:
+  // Boots the primary machine; fs_options.replication must be enabled.
+  ReplicationFleet(uint64_t boot_key, const FileServerOptions& fs_options);
+
+  // Boots one follower machine and dials its link. Returns its index.
+  size_t AddFollower(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
+                     FollowerOptions options = FollowerOptions());
+
+  // One driver step: ferry every link, pump the primary (if alive) and
+  // every follower.
+  void Pump();
+  // Pumps until every follower session is fully synced (and every follower
+  // is connected). False when max_iters ran out first.
+  bool PumpUntilSynced(int max_iters = 5000);
+
+  // Kills the primary machine mid-stream: links torn down with it (the
+  // wire dies with the rack), follower worlds keep running.
+  void KillPrimary();
+
+  // Lease-failover observability: how many followers auto-promoted, and
+  // the index of the first one (-1 when none).
+  int auto_promoted_count() const;
+  int auto_promoted_index() const;
+
+  FsPrimaryWorld* primary() { return primary_.get(); }
+  FollowerWorld* follower(size_t i) { return followers_[i].get(); }
+  size_t follower_count() const { return followers_.size(); }
+  ReplicationLink* link(size_t i) { return links_[i].get(); }
+
+ private:
+  uint16_t primary_port_;
+  std::unique_ptr<FsPrimaryWorld> primary_;
+  std::vector<std::unique_ptr<FollowerWorld>> followers_;
+  std::vector<std::unique_ptr<ReplicationLink>> links_;
 };
 
 }  // namespace asbestos

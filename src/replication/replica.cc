@@ -16,13 +16,13 @@ constexpr char kCursorFileName[] = "replcursor";
 }  // namespace
 
 Result<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(StoreOptions opts,
-                                                         uint64_t auth_token) {
+                                                         ReplicaOptions options) {
   auto store = DurableStore::Open(opts);
   if (!store.ok()) {
     return store.status();
   }
   std::unique_ptr<ReplicaStore> replica(new ReplicaStore(opts.dir));
-  replica->auth_token_ = auth_token;
+  replica->options_ = options;
   replica->store_ = store.take();
   replica->cursors_.resize(replica->store_->shard_count());
   replica->LoadCursorFile();
@@ -54,6 +54,9 @@ void ReplicaStore::LoadCursorFile() {
 }
 
 Status ReplicaStore::Checkpoint() {
+  if (store_ == nullptr) {
+    return Status::kOk;  // promoted and taken; nothing left to pin
+  }
   // Order matters: the cursor may only ever name durably-applied history.
   const Status s = store_->Sync();
   if (!IsOk(s)) {
@@ -75,12 +78,24 @@ void ReplicaStore::AppendAck(uint32_t shard, std::string* out) const {
   const Cursor& c = cursors_[shard];
   WireMessage ack;
   ack.type = replwire::kAck;
-  ack.token = auth_token_;
+  ack.token = options_.auth_token;
   ack.shard = shard;
   ack.source_id = c.source_id;
   ack.generation = c.generation;
   ack.offset = c.offset;
+  ack.follower_id = options_.follower_id;
   replwire::AppendFrame(ack, out);
+}
+
+void ReplicaStore::TrackLease(const WireMessage& msg) {
+  // Leases only move forward: a reordered frame carrying an older deadline
+  // must not shorten a lease a newer frame already extended.
+  if (msg.lease_until > lease_until_) {
+    lease_until_ = msg.lease_until;
+  }
+  if (msg.type != replwire::kHello && msg.successor_id != successor_id_) {
+    successor_id_ = msg.successor_id;
+  }
 }
 
 Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
@@ -89,13 +104,17 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
   }
   switch (msg.type) {
     case replwire::kHello: {
-      if (msg.token != auth_token_) {
+      if (msg.token != options_.auth_token) {
         return Status::kAccessDenied;  // not our primary; poison session
       }
       if (msg.shard_count != store_->shard_count()) {
         return Status::kInvalidArgs;  // layouts must match; poison session
       }
       session_source_ = msg.source_id;
+      // A fresh session supersedes the dead one's lease bookkeeping.
+      lease_until_ = 0;
+      successor_id_ = 0;
+      TrackLease(msg);
       // Resume handshake: tell the source where this replica stands. A
       // cursor into some other primary's history acks as-is; the source
       // will not recognize it and ships a snapshot.
@@ -108,6 +127,7 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       if (msg.shard >= cursors_.size() || session_source_ == 0) {
         return Status::kOk;  // no session / nonsense shard: drop
       }
+      TrackLease(msg);
       Cursor& c = cursors_[static_cast<uint32_t>(msg.shard)];
       const bool in_sequence = c.source_id == session_source_ &&
                                c.generation == msg.generation && c.offset == msg.offset;
@@ -141,6 +161,9 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       if (msg.shard >= cursors_.size() || session_source_ == 0) {
         return Status::kOk;
       }
+      // Images refresh the lease like batches: a long catch-up must not
+      // starve the designee's lease under a live primary.
+      TrackLease(msg);
       const Status s =
           store_->InstallShardSnapshot(static_cast<uint32_t>(msg.shard), msg.payload);
       if (!IsOk(s)) {
@@ -153,6 +176,27 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       stats_.snapshots_installed += 1;
       AppendAck(static_cast<uint32_t>(msg.shard), ack_out);
       return Status::kOk;
+    }
+    case replwire::kHeartbeat: {
+      if (session_source_ == 0) {
+        return Status::kOk;  // no session: a stray heartbeat grants nothing
+      }
+      TrackLease(msg);
+      stats_.heartbeats_seen += 1;
+      return Status::kOk;
+    }
+    case replwire::kBusy: {
+      // The primary is at capacity: record the back-off hint and tell the
+      // caller to end the session quietly (it reconnects later instead of
+      // hammering the refusal). A busy frame also PROVES a live primary —
+      // any designation this replica still holds from an earlier session is
+      // stale (the hub has re-designated around us), so drop the lease
+      // bookkeeping rather than promote on it later.
+      busy_retry_after_ = msg.retry_after;
+      lease_until_ = 0;
+      successor_id_ = 0;
+      stats_.busy_signals += 1;
+      return Status::kWouldBlock;
     }
     default:
       return Status::kOk;  // acks and future types are ignored by replicas

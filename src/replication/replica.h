@@ -24,6 +24,13 @@
 // checkpoint never does. A follower with no usable cursor (fresh dir, or
 // following a primary with a different source_id) acks an unknown position
 // and is caught up by snapshot.
+//
+// Lease bookkeeping: the replica records the newest lease deadline and
+// successor designation stamped on incoming kHello/kBatch/kHeartbeat
+// frames, and carries its configured follower id in every ack. It never
+// ACTS on expiry itself — the owning FollowerProcess polls LeaseExpired()
+// from its OnIdle hook and decides whether this replica is the designated
+// successor (src/replication/follower.h).
 #ifndef SRC_REPLICATION_REPLICA_H_
 #define SRC_REPLICATION_REPLICA_H_
 
@@ -44,25 +51,38 @@ struct ReplicaStoreStats {
   uint64_t snapshots_installed = 0;
   uint64_t duplicates_skipped = 0;  // batches at/below the cursor
   uint64_t gaps_ignored = 0;        // batches past the cursor or wrong gen
+  uint64_t heartbeats_seen = 0;     // kHeartbeat frames (lease refreshes)
+  uint64_t busy_signals = 0;        // kBusy refusals from an at-capacity primary
+};
+
+struct ReplicaOptions {
+  // Must match the primary's ReplicationOptions::auth_token: a hello
+  // carrying a different token poisons the session before any state is
+  // accepted.
+  uint64_t auth_token = 0;
+  // This replica's failover identity, carried in every ack so the primary
+  // can designate a successor (lowest caught-up id wins). 0 = bystander:
+  // the replica mirrors but never participates in automatic failover.
+  uint64_t follower_id = 0;
 };
 
 class ReplicaStore {
  public:
   // Opens (or creates) the replica's own durable store and loads any
-  // checkpointed cursor. `auth_token` must match the primary's
-  // (ReplicationOptions::auth_token): a hello carrying a different token
-  // poisons the session before any state is accepted.
+  // checkpointed cursor.
   static Result<std::unique_ptr<ReplicaStore>> Open(StoreOptions opts,
-                                                    uint64_t auth_token = 0);
+                                                    ReplicaOptions options = ReplicaOptions());
 
   // Handles one parsed wire frame from the primary. Ack frames to send
   // back (if any) are appended to `ack_out`. kInvalidArgs poisons the
-  // session (shard-count mismatch); kBadState after Promote().
+  // session (shard-count mismatch); kBadState after Promote();
+  // kWouldBlock on a kBusy refusal (end the session and back off).
   Status HandleFrame(const replwire::WireMessage& msg, std::string* ack_out);
 
   // Group commit of everything applied this pump (see DurableStore); a full
-  // checkpoint also persists the cursor.
-  Status SyncPipelined() { return store_->SyncPipelined(); }
+  // checkpoint also persists the cursor. A no-op after TakeStore() — the
+  // promoted owner syncs for itself, but the shell may still be pumped.
+  Status SyncPipelined() { return store_ == nullptr ? Status::kOk : store_->SyncPipelined(); }
   Status Checkpoint();
 
   // Ends the follower role: drains and checkpoints the store, then refuses
@@ -79,6 +99,21 @@ class ReplicaStore {
   const DurableStore* store() const { return store_.get(); }
   const ReplicaStoreStats& stats() const { return stats_; }
   uint64_t session_source() const { return session_source_; }
+  uint64_t follower_id() const { return options_.follower_id; }
+
+  // --- Lease state (automatic failover; see src/replication/follower.h) ------
+  // The newest lease deadline heard from the primary (kHello/kBatch/
+  // kHeartbeat); 0 = no lease in effect.
+  uint64_t lease_until() const { return lease_until_; }
+  // The successor the primary last designated; 0 = none.
+  uint64_t successor_id() const { return successor_id_; }
+  // True when a tracked lease has run out: the primary has not spoken by
+  // its own deadline.
+  bool LeaseExpired(uint64_t now_cycles) const {
+    return lease_until_ != 0 && now_cycles > lease_until_;
+  }
+  // The back-off hint from the last kBusy refusal (0 = never refused).
+  uint64_t busy_retry_after() const { return busy_retry_after_; }
 
  private:
   struct Cursor {
@@ -91,12 +126,16 @@ class ReplicaStore {
 
   void AppendAck(uint32_t shard, std::string* out) const;
   void LoadCursorFile();
+  void TrackLease(const replwire::WireMessage& msg);
 
   std::string dir_;
   std::unique_ptr<DurableStore> store_;
   std::vector<Cursor> cursors_;
-  uint64_t auth_token_ = 0;
+  ReplicaOptions options_;
   uint64_t session_source_ = 0;  // from kHello; 0 = no session yet
+  uint64_t lease_until_ = 0;
+  uint64_t successor_id_ = 0;
+  uint64_t busy_retry_after_ = 0;
   bool promoted_ = false;
   ReplicaStoreStats stats_;
 };

@@ -1,36 +1,51 @@
 #include "src/replication/source.h"
 
+#include <algorithm>
+
 #include "src/base/panic.h"
+#include "src/sim/cycles.h"
 
 namespace asbestos {
 
 using replwire::WireMessage;
 
-ReplicationSource::ReplicationSource(const DurableStore* store, uint64_t source_id,
-                                     uint64_t auth_token)
-    : store_(store), source_id_(source_id), auth_token_(auth_token) {
-  cursors_.resize(store_->shard_count());
+// --- FollowerSession ---------------------------------------------------------
+
+FollowerSession::FollowerSession(ReplicationHub* hub, uint64_t session_id)
+    : hub_(hub), session_id_(session_id) {
+  cursors_.resize(hub_->store()->shard_count());
 }
 
-std::string ReplicationSource::SessionHello() {
+std::string FollowerSession::SessionHello() {
   for (Cursor& c : cursors_) {
     c = Cursor();
   }
+  follower_id_ = 0;
   WireMessage hello;
   hello.type = replwire::kHello;
-  hello.token = auth_token_;
-  hello.source_id = source_id_;
-  hello.shard_count = store_->shard_count();
+  hello.token = hub_->auth_token();
+  hello.source_id = hub_->source_id();
+  hello.shard_count = hub_->store()->shard_count();
+  hello.lease_until = hub_->LeaseDeadline();
   std::string out;
   replwire::AppendFrame(hello, &out);
+  last_send_cycles_ = GetCycleAccounting().now();
+  last_lease_stamped_ = hello.lease_until;
   return out;
 }
 
-void ReplicationSource::ShipSnapshot(uint32_t shard, std::string* out, size_t* frames) {
+void FollowerSession::ShipSnapshot(uint32_t shard, uint64_t lease_until,
+                                   uint64_t successor_id, std::string* out, size_t* frames) {
   WireMessage m;
   m.type = replwire::kSnapshot;
   m.shard = shard;
-  ASB_ASSERT(IsOk(store_->ExportShardSnapshot(shard, &m.payload, &m.generation, &m.offset)));
+  // Snapshots refresh the lease like batches do: a designated successor
+  // crawling through a long catch-up must not see its lease starve under a
+  // live primary (images can outlast a whole lease interval on the wire).
+  m.lease_until = lease_until;
+  m.successor_id = successor_id;
+  ASB_ASSERT(IsOk(hub_->store()->ExportShardSnapshot(shard, &m.payload, &m.generation,
+                                                     &m.offset)));
   Cursor& c = cursors_[shard];
   c.force_snapshot = false;
   c.shipped_gen = m.generation;
@@ -41,8 +56,13 @@ void ReplicationSource::ShipSnapshot(uint32_t shard, std::string* out, size_t* f
   *frames += 1;
 }
 
-size_t ReplicationSource::PollFrames(uint64_t max_batch_bytes, uint64_t max_total_bytes,
-                                     std::string* out) {
+size_t FollowerSession::PollFrames(uint64_t max_batch_bytes, uint64_t max_total_bytes,
+                                   std::string* out) {
+  const DurableStore* store = hub_->store();
+  // One stamp per poll: these cannot change mid-call (single-threaded, no
+  // acks processed here), and SuccessorId walks every session's cursors.
+  const uint64_t lease_until = hub_->LeaseDeadline();
+  const uint64_t successor_id = hub_->SuccessorId();
   size_t frames = 0;
   for (uint32_t shard = 0; shard < cursors_.size(); ++shard) {
     if (out->size() >= max_total_bytes) {
@@ -54,18 +74,18 @@ size_t ReplicationSource::PollFrames(uint64_t max_batch_bytes, uint64_t max_tota
     }
     // The follower's position is unusable (unknown history), or compaction
     // moved the log out from under the cursor: catch up by image.
-    if (c.force_snapshot || c.shipped_gen != store_->shard_wal_generation(shard) ||
-        c.shipped_off > store_->shard_wal_offset(shard)) {
-      ShipSnapshot(shard, out, &frames);
+    if (c.force_snapshot || c.shipped_gen != store->shard_wal_generation(shard) ||
+        c.shipped_off > store->shard_wal_offset(shard)) {
+      ShipSnapshot(shard, lease_until, successor_id, out, &frames);
       continue;
     }
-    while (c.shipped_off < store_->shard_wal_offset(shard) &&
+    while (c.shipped_off < store->shard_wal_offset(shard) &&
            out->size() < max_total_bytes) {
       std::string span;
-      const Status s = store_->ReadShardWal(shard, c.shipped_gen, c.shipped_off,
-                                            max_batch_bytes, &span);
+      const Status s =
+          hub_->ReadSpan(shard, c.shipped_gen, c.shipped_off, max_batch_bytes, &span);
       if (!IsOk(s)) {
-        ShipSnapshot(shard, out, &frames);  // raced a compaction
+        ShipSnapshot(shard, lease_until, successor_id, out, &frames);  // raced a compaction
         break;
       }
       // Ship whole WAL frames only; if one frame alone exceeds the batch
@@ -78,20 +98,21 @@ size_t ReplicationSource::PollFrames(uint64_t max_batch_bytes, uint64_t max_tota
         // oversized singleton — never the whole remaining log.
         const uint64_t need = replwire::FirstWalFrameBytes(span);
         ASB_ASSERT(need > 0 && "batch limit smaller than a WAL frame header");
-        const Status big =
-            store_->ReadShardWal(shard, c.shipped_gen, c.shipped_off, need, &span);
+        const Status big = hub_->ReadSpan(shard, c.shipped_gen, c.shipped_off, need, &span);
         if (!IsOk(big)) {
-          ShipSnapshot(shard, out, &frames);  // raced a compaction
+          ShipSnapshot(shard, lease_until, successor_id, out, &frames);  // raced a compaction
           break;
         }
         take = need;
-        ASB_ASSERT(take == span.size());
+        ASB_ASSERT(span.size() >= take);
       }
       WireMessage m;
       m.type = replwire::kBatch;
       m.shard = shard;
       m.generation = c.shipped_gen;
       m.offset = c.shipped_off;
+      m.lease_until = lease_until;
+      m.successor_id = successor_id;
       m.payload = span.substr(0, take);
       c.shipped_off += take;
       stats_.batches_shipped += 1;
@@ -100,18 +121,37 @@ size_t ReplicationSource::PollFrames(uint64_t max_batch_bytes, uint64_t max_tota
       ++frames;
     }
   }
+  if (frames > 0) {
+    last_send_cycles_ = GetCycleAccounting().now();
+    last_lease_stamped_ = lease_until;
+  }
   return frames;
 }
 
-void ReplicationSource::HandleAck(const WireMessage& ack) {
-  if (ack.token != auth_token_ || ack.shard >= cursors_.size()) {
+void FollowerSession::AppendHeartbeat(std::string* out) {
+  WireMessage hb;
+  hb.type = replwire::kHeartbeat;
+  hb.lease_until = hub_->LeaseDeadline();
+  hb.successor_id = hub_->SuccessorId();
+  replwire::AppendFrame(hb, out);
+  stats_.heartbeats_sent += 1;
+  last_send_cycles_ = GetCycleAccounting().now();
+  last_lease_stamped_ = hb.lease_until;
+}
+
+void FollowerSession::HandleAck(const WireMessage& ack) {
+  if (ack.token != hub_->auth_token() || ack.shard >= cursors_.size()) {
     return;  // unauthenticated or nonsense ack: the shard stays unshipped
   }
+  if (ack.follower_id != 0) {
+    follower_id_ = ack.follower_id;
+  }
+  const DurableStore* store = hub_->store();
   Cursor& c = cursors_[ack.shard];
   const uint32_t shard = static_cast<uint32_t>(ack.shard);
-  const bool ours = ack.source_id == source_id_ &&
-                    ack.generation == store_->shard_wal_generation(shard) &&
-                    ack.offset <= store_->shard_wal_offset(shard);
+  const bool ours = ack.source_id == hub_->source_id() &&
+                    ack.generation == store->shard_wal_generation(shard) &&
+                    ack.offset <= store->shard_wal_offset(shard);
   if (c.await_resume) {
     c.await_resume = false;
     if (ours) {
@@ -146,15 +186,131 @@ void ReplicationSource::HandleAck(const WireMessage& ack) {
   }
 }
 
-bool ReplicationSource::FullySynced() const {
+bool FollowerSession::FullySynced() const {
+  const DurableStore* store = hub_->store();
   for (uint32_t shard = 0; shard < cursors_.size(); ++shard) {
     const Cursor& c = cursors_[shard];
-    if (c.await_resume || c.acked_gen != store_->shard_wal_generation(shard) ||
-        c.acked_off != store_->shard_wal_offset(shard)) {
+    if (c.await_resume || c.acked_gen != store->shard_wal_generation(shard) ||
+        c.acked_off != store->shard_wal_offset(shard)) {
       return false;
     }
   }
   return true;
+}
+
+bool FollowerSession::CaughtUp() const {
+  const DurableStore* store = hub_->store();
+  for (uint32_t shard = 0; shard < cursors_.size(); ++shard) {
+    const Cursor& c = cursors_[shard];
+    if (c.await_resume || c.force_snapshot ||
+        c.acked_gen != store->shard_wal_generation(shard)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- ReplicationHub ----------------------------------------------------------
+
+ReplicationHub::ReplicationHub(const DurableStore* store, uint64_t source_id, Tuning tuning)
+    : store_(store),
+      source_id_(source_id),
+      tuning_(tuning),
+      cache_(tuning.frame_cache_bytes) {}
+
+ReplicationHub::ReplicationHub(const DurableStore* store, uint64_t source_id)
+    : ReplicationHub(store, source_id, Tuning()) {}
+
+FollowerSession* ReplicationHub::OpenSession() {
+  sessions_.emplace_back(new FollowerSession(this, next_session_id_++));
+  return sessions_.back().get();
+}
+
+void ReplicationHub::CloseSession(FollowerSession* session) {
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == session) {
+      // Lease fencing: a departed follower may still be holding a
+      // designation that names it, valid until the last lease we stamped
+      // for it runs out. Until then the designation must NOT move — a
+      // re-designation racing the departed designee's own expiry check
+      // would let two followers promote. Remember the id and its deadline;
+      // SuccessorId() keeps honoring it until the deadline passes.
+      if (session->follower_id() != 0 && session->last_lease_stamped() != 0) {
+        retired_designees_.push_back(
+            RetiredDesignee{session->follower_id(), session->last_lease_stamped()});
+      }
+      sessions_.erase(it);
+      return;
+    }
+  }
+}
+
+bool ReplicationHub::AllFullySynced() const {
+  if (sessions_.empty()) {
+    return false;
+  }
+  for (const auto& s : sessions_) {
+    if (!s->FullySynced()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t ReplicationHub::LeaseDeadline() const {
+  if (tuning_.lease_interval_cycles == 0) {
+    return 0;
+  }
+  return GetCycleAccounting().now() + tuning_.lease_interval_cycles;
+}
+
+uint64_t ReplicationHub::heartbeat_interval_cycles() const {
+  if (tuning_.heartbeat_interval_cycles != 0) {
+    return tuning_.heartbeat_interval_cycles;
+  }
+  return tuning_.lease_interval_cycles / 4;
+}
+
+uint64_t ReplicationHub::SuccessorId() const {
+  const uint64_t now = GetCycleAccounting().now();
+  uint64_t best = 0;
+  for (const auto& s : sessions_) {
+    if (s->follower_id() == 0 || !s->CaughtUp()) {
+      continue;
+    }
+    if (best == 0 || s->follower_id() < best) {
+      best = s->follower_id();
+    }
+  }
+  // Departed followers stay in the computation until their last stamped
+  // lease has provably expired (see CloseSession) — a live session with the
+  // same id (reconnect) simply coincides with its own retirement entry.
+  for (auto it = retired_designees_.begin(); it != retired_designees_.end();) {
+    if (now > it->lease_until) {
+      it = retired_designees_.erase(it);  // its lease is over; it cannot act
+      continue;
+    }
+    if (best == 0 || it->id < best) {
+      best = it->id;
+    }
+    ++it;
+  }
+  return best;
+}
+
+Status ReplicationHub::ReadSpan(uint32_t shard, uint64_t generation, uint64_t offset,
+                                uint64_t max_bytes, std::string* span) {
+  // Cursor-generation mismatches snapshot before reaching here, so this read
+  // is always into the live generation and the tail bound below is valid.
+  const uint64_t tail = store_->shard_wal_offset(shard);
+  if (cache_.Lookup(shard, generation, offset, max_bytes, tail, span)) {
+    return Status::kOk;
+  }
+  const Status s = store_->ReadShardWal(shard, generation, offset, max_bytes, span);
+  if (IsOk(s)) {
+    cache_.Insert(shard, generation, offset, *span);
+  }
+  return s;
 }
 
 }  // namespace asbestos

@@ -32,17 +32,22 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.token, &p);
       codec::AppendVarint(msg.source_id, &p);
       codec::AppendVarint(msg.shard_count, &p);
+      codec::AppendVarint(msg.lease_until, &p);
       break;
     case kBatch:
       codec::AppendVarint(msg.shard, &p);
       codec::AppendVarint(msg.generation, &p);
       codec::AppendVarint(msg.offset, &p);
+      codec::AppendVarint(msg.lease_until, &p);
+      codec::AppendVarint(msg.successor_id, &p);
       codec::AppendString(msg.payload, &p);
       break;
     case kSnapshot:
       codec::AppendVarint(msg.shard, &p);
       codec::AppendVarint(msg.generation, &p);
       codec::AppendVarint(msg.offset, &p);
+      codec::AppendVarint(msg.lease_until, &p);
+      codec::AppendVarint(msg.successor_id, &p);
       codec::AppendString(msg.payload, &p);
       break;
     case kAck:
@@ -51,6 +56,14 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.source_id, &p);
       codec::AppendVarint(msg.generation, &p);
       codec::AppendVarint(msg.offset, &p);
+      codec::AppendVarint(msg.follower_id, &p);
+      break;
+    case kHeartbeat:
+      codec::AppendVarint(msg.lease_until, &p);
+      codec::AppendVarint(msg.successor_id, &p);
+      break;
+    case kBusy:
+      codec::AppendVarint(msg.retry_after, &p);
       break;
     default:
       break;
@@ -70,15 +83,28 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
     case kHello:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->token)) ||
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->source_id)) ||
-          !IsOk(s = codec::ReadVarint(p, &pos, &msg->shard_count))) {
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->shard_count)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until))) {
         return s;
       }
       break;
     case kBatch:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->generation)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->offset)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->successor_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
+        return s;
+      }
+      msg->payload.assign(bytes);
+      break;
     case kSnapshot:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->generation)) ||
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->offset)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->successor_id)) ||
           !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
@@ -89,7 +115,19 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->source_id)) ||
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->generation)) ||
-          !IsOk(s = codec::ReadVarint(p, &pos, &msg->offset))) {
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->offset)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->follower_id))) {
+        return s;
+      }
+      break;
+    case kHeartbeat:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->successor_id))) {
+        return s;
+      }
+      break;
+    case kBusy:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->retry_after))) {
         return s;
       }
       break;

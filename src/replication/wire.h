@@ -18,13 +18,34 @@
 // waits for the rest of the frame, and a CRC mismatch poisons the session
 // (the follower re-syncs on reconnect). Frame payloads are codec varints:
 //
-//   kHello    token, source_id, shard_count     primary → follower, once
-//   kBatch    shard, generation, start_offset,  primary → follower
-//             raw WAL bytes (whole frames)
-//   kSnapshot shard, generation, offset,        primary → follower, catch-up
-//             snapshot image (disk format)
-//   kAck      token, shard, source_id,          follower → primary
-//             generation, applied offset
+//   kHello     token, source_id, shard_count,   primary → follower, once
+//              lease_until
+//   kBatch     shard, generation, start_offset, primary → follower
+//              lease_until, successor_id,
+//              raw WAL bytes (whole frames)
+//   kSnapshot  shard, generation, offset,       primary → follower, catch-up
+//              lease_until, successor_id,
+//              snapshot image (disk format)
+//   kAck       token, shard, source_id,         follower → primary
+//              generation, applied offset,
+//              follower_id
+//   kHeartbeat lease_until, successor_id        primary → follower, when idle
+//   kBusy      retry_after_cycles               primary → follower, then close
+//
+// Lease stamping (automatic failover): every kHello/kBatch/kSnapshot/
+// kHeartbeat from a live primary carries `lease_until`, a virtual-clock
+// deadline by which the primary promises to have spoken again, and
+// kBatch/kSnapshot/kHeartbeat also carry
+// `successor_id` — the follower id the primary currently designates to take
+// over (deterministically: the LOWEST follower id among caught-up replicas).
+// A follower whose lease expires without refresh and whose own id matches
+// the last designation promotes itself; every other follower waits. Acks
+// carry the follower's configured id so the primary can designate.
+//
+// kBusy is the explicit over-capacity refusal: an endpoint already serving
+// its configured maximum of followers writes one kBusy frame (with a
+// back-off hint in virtual cycles) before closing, so the refused follower
+// pauses instead of hot-reconnecting into the same refusal.
 //
 // `token` is the session's shared secret (ReplicationOptions::auth_token):
 // the follower refuses a hello whose token differs from its own, and the
@@ -57,6 +78,8 @@ enum MessageType : uint64_t {
   kBatch = 2,
   kSnapshot = 3,
   kAck = 4,
+  kHeartbeat = 5,
+  kBusy = 6,
 };
 
 struct WireMessage {
@@ -67,6 +90,10 @@ struct WireMessage {
   uint64_t shard = 0;        // kBatch, kSnapshot, kAck
   uint64_t generation = 0;   // kBatch, kSnapshot, kAck
   uint64_t offset = 0;       // kBatch: span start; kSnapshot/kAck: position covered
+  uint64_t lease_until = 0;  // kHello/kBatch/kHeartbeat: virtual-clock lease deadline
+  uint64_t successor_id = 0; // kBatch/kHeartbeat: designated failover follower id
+  uint64_t follower_id = 0;  // kAck: the follower's configured id (0 = bystander)
+  uint64_t retry_after = 0;  // kBusy: suggested back-off in virtual cycles
   std::string payload;       // kBatch: raw WAL frames; kSnapshot: image
 };
 

@@ -65,6 +65,14 @@ constexpr uint64_t kDbProxyMessageCycles = 25000;  // label checks + rewriting
 
 // --- Other ---------------------------------------------------------------
 constexpr uint64_t kSchedulerTickCycles = 600;
+// A follower's per-pump lease-expiry check (src/replication): the local
+// failover timer tick. Charged only while a lease is being tracked, so the
+// virtual clock keeps advancing toward the deadline even when the primary —
+// and with it all message traffic — is gone. Sized as a coarse timer poll
+// (~10µs at simulated clock rates): small next to real traffic (a loaded
+// pump burns ~1.5M cycles in netd alone), but large enough that a dead
+// primary's lease expires within a few thousand quiet pumps.
+constexpr uint64_t kLeaseCheckCycles = 25'000;
 
 // --- Unix baseline (Apache / Mod-Apache on Linux) -----------------------------
 // Calibrated against the paper's own measurements: Mod-Apache ≈ 2,800

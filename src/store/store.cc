@@ -678,6 +678,7 @@ Status DurableStore::ReadShardWal(uint32_t shard, uint64_t generation, uint64_t 
     // existed here (a cursor from some other history): snapshot territory.
     return Status::kNotFound;
   }
+  wal_read_calls_ += 1;
   return wal.ReadAt(offset, max_bytes, out);
 }
 

@@ -170,8 +170,15 @@ class DurableStore {
   // Reads up to max_bytes of raw framed WAL bytes at (generation, offset).
   // kNotFound when that generation was compacted away (ship a snapshot) or
   // the offset is past the tail (a cursor from a lost future: resync).
+  // This is the replication hub's shared read path: the hub's frame cache
+  // fronts it so K followers at nearby offsets cost one pread, not K —
+  // wal_read_calls() counts the reads that actually reached the log.
   Status ReadShardWal(uint32_t shard, uint64_t generation, uint64_t offset,
                       uint64_t max_bytes, std::string* out) const;
+
+  // Number of ReadShardWal calls that hit the log (observability for the
+  // replication frame cache: hub read requests minus this = reads saved).
+  uint64_t wal_read_calls() const { return wal_read_calls_; }
 
   // Serializes the shard's live records into a snapshot image (the on-disk
   // snapshot format: magic, crc, body) and reports the WAL position the
@@ -263,6 +270,7 @@ class DurableStore {
 
   StoreOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  mutable uint64_t wal_read_calls_ = 0;  // ReadShardWal invocations (see accessor)
   uint64_t flush_cost_ns_ = 0;  // moving average per-shard; 0 = unmeasured
   std::unique_ptr<InflightFlush> inflight_;
   // Outcome of the newest completed pipelined flush, reported (and reset) by

@@ -1,7 +1,9 @@
-// Label-preserving WAL replication (src/replication): wire format, source
-// and replica cursor protocol (duplicates, gaps, snapshot catch-up), and
-// the full two-machine path over simnet/netd — primary kill, Promote(),
-// and bit-identical record/label/handle state versus single-node crash
+// Label-preserving WAL replication (src/replication): wire format, hub ↔
+// replica cursor protocol (duplicates, gaps, snapshot catch-up, multi-
+// follower fan-out through the shared frame cache), lease/heartbeat
+// automatic failover, and the full K-machine path over simnet/netd —
+// primary kill, lease-driven promotion of exactly one successor, and
+// bit-identical record/label/handle state versus single-node crash
 // recovery.
 #include <gtest/gtest.h>
 
@@ -19,6 +21,7 @@
 #include "src/replication/replica.h"
 #include "src/replication/source.h"
 #include "src/replication/wire.h"
+#include "src/sim/cycles.h"
 #include "src/store/store.h"
 #include "tests/test_util.h"
 
@@ -38,6 +41,8 @@ TEST(ReplWireTest, FrameRoundTrip) {
   batch.shard = 3;
   batch.generation = 7;
   batch.offset = 4096;
+  batch.lease_until = 123456;
+  batch.successor_id = 9;
   batch.payload = std::string("framed wal bytes\x00\x01", 18);
 
   std::string stream;
@@ -48,7 +53,17 @@ TEST(ReplWireTest, FrameRoundTrip) {
   ack.source_id = 0xABCDEF;
   ack.generation = 7;
   ack.offset = 8192;
+  ack.follower_id = 42;
   replwire::AppendFrame(ack, &stream);
+  replwire::WireMessage hb;
+  hb.type = replwire::kHeartbeat;
+  hb.lease_until = 999;
+  hb.successor_id = 42;
+  replwire::AppendFrame(hb, &stream);
+  replwire::WireMessage busy;
+  busy.type = replwire::kBusy;
+  busy.retry_after = 777;
+  replwire::AppendFrame(busy, &stream);
 
   replwire::WireMessage out;
   ASSERT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kFrame);
@@ -56,11 +71,21 @@ TEST(ReplWireTest, FrameRoundTrip) {
   EXPECT_EQ(out.shard, 3u);
   EXPECT_EQ(out.generation, 7u);
   EXPECT_EQ(out.offset, 4096u);
+  EXPECT_EQ(out.lease_until, 123456u);
+  EXPECT_EQ(out.successor_id, 9u);
   EXPECT_EQ(out.payload, batch.payload);
   ASSERT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kFrame);
   EXPECT_EQ(out.type, replwire::kAck);
   EXPECT_EQ(out.source_id, 0xABCDEFu);
   EXPECT_EQ(out.offset, 8192u);
+  EXPECT_EQ(out.follower_id, 42u);
+  ASSERT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kFrame);
+  EXPECT_EQ(out.type, replwire::kHeartbeat);
+  EXPECT_EQ(out.lease_until, 999u);
+  EXPECT_EQ(out.successor_id, 42u);
+  ASSERT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kFrame);
+  EXPECT_EQ(out.type, replwire::kBusy);
+  EXPECT_EQ(out.retry_after, 777u);
   EXPECT_TRUE(stream.empty());
 }
 
@@ -97,7 +122,7 @@ TEST(ReplWireTest, CorruptFramePoisons) {
   EXPECT_EQ(replwire::ConsumeFrame(&stream, &out), replwire::FrameParse::kCorrupt);
 }
 
-// --- Source ↔ replica protocol (no transport) --------------------------------
+// --- Hub ↔ replica protocol (no transport) -----------------------------------
 
 class ReplProtocolTest : public ::testing::Test {
  protected:
@@ -109,14 +134,17 @@ class ReplProtocolTest : public ::testing::Test {
     auto store = DurableStore::Open(opts);
     ASSERT_TRUE(store.ok());
     primary_ = store.take();
-    source_ = std::make_unique<ReplicationSource>(primary_.get(), /*source_id=*/0x5EED);
+    hub_ = std::make_unique<ReplicationHub>(primary_.get(), /*source_id=*/0x5EED);
+    session_ = hub_->OpenSession();
   }
 
-  void OpenReplica(uint32_t shards) {
+  void OpenReplica(uint32_t shards, uint64_t follower_id = 0) {
     StoreOptions opts;
     opts.dir = dir_.path() + "/replica";
     opts.shards = shards;
-    auto replica = ReplicaStore::Open(opts);
+    ReplicaOptions ropts;
+    ropts.follower_id = follower_id;
+    auto replica = ReplicaStore::Open(opts, ropts);
     ASSERT_TRUE(replica.ok());
     replica_ = replica.take();
   }
@@ -132,45 +160,52 @@ class ReplProtocolTest : public ::testing::Test {
     return out;
   }
 
-  // One full exchange: hello/resume handshake, then frames and acks until
-  // both sides go quiet.
-  void SyncOnce() {
+  // One full exchange between a session and a replica: hello/resume
+  // handshake, then frames and acks until both sides go quiet.
+  static void SyncPair(FollowerSession* session, ReplicaStore* replica) {
     std::string acks;
-    for (const replwire::WireMessage& m : Parse(source_->SessionHello())) {
-      ASSERT_EQ(replica_->HandleFrame(m, &acks), Status::kOk);
+    for (const replwire::WireMessage& m : Parse(session->SessionHello())) {
+      ASSERT_EQ(replica->HandleFrame(m, &acks), Status::kOk);
     }
     for (int round = 0; round < 100; ++round) {
       for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-        source_->HandleAck(a);
+        session->HandleAck(a);
       }
       acks.clear();
       std::string frames;
-      if (source_->PollFrames(1 << 16, ~0ULL, &frames) == 0) {
+      if (session->PollFrames(1 << 16, ~0ULL, &frames) == 0) {
         break;
       }
       for (const replwire::WireMessage& m : Parse(std::move(frames))) {
-        ASSERT_EQ(replica_->HandleFrame(m, &acks), Status::kOk);
+        ASSERT_EQ(replica->HandleFrame(m, &acks), Status::kOk);
       }
     }
     for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-      source_->HandleAck(a);
+      session->HandleAck(a);
     }
   }
 
-  void ExpectReplicaMatchesPrimary() {
-    ASSERT_EQ(replica_->store()->size(), primary_->size());
-    primary_->ForEach([&](const std::string& key, const StoreRecord& want) {
-      const StoreRecord* got = replica_->store()->Get(key);
+  void SyncOnce() { SyncPair(session_, replica_.get()); }
+
+  static void ExpectStoreMatches(const DurableStore* got_store, const DurableStore* want) {
+    ASSERT_EQ(got_store->size(), want->size());
+    want->ForEach([&](const std::string& key, const StoreRecord& w) {
+      const StoreRecord* got = got_store->Get(key);
       ASSERT_NE(got, nullptr) << key;
-      EXPECT_EQ(got->value, want.value) << key;
-      EXPECT_TRUE(got->secrecy.Equals(want.secrecy)) << key;
-      EXPECT_TRUE(got->integrity.Equals(want.integrity)) << key;
+      EXPECT_EQ(got->value, w.value) << key;
+      EXPECT_TRUE(got->secrecy.Equals(w.secrecy)) << key;
+      EXPECT_TRUE(got->integrity.Equals(w.integrity)) << key;
     });
+  }
+
+  void ExpectReplicaMatchesPrimary() {
+    ExpectStoreMatches(replica_->store(), primary_.get());
   }
 
   TempDir dir_;
   std::unique_ptr<DurableStore> primary_;
-  std::unique_ptr<ReplicationSource> source_;
+  std::unique_ptr<ReplicationHub> hub_;
+  FollowerSession* session_ = nullptr;  // owned by hub_
   std::unique_ptr<ReplicaStore> replica_;
 };
 
@@ -186,7 +221,7 @@ TEST_F(ReplProtocolTest, StreamsLabeledRecords) {
   }
   ASSERT_EQ(primary_->Erase("key50"), Status::kOk);
   SyncOnce();
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   ExpectReplicaMatchesPrimary();
   EXPECT_EQ(replica_->store()->Get("key50"), nullptr);
   // Labels came through the pickled WAL records and the canonical-rep
@@ -201,7 +236,7 @@ TEST_F(ReplProtocolTest, ShardCountMismatchPoisonsSession) {
   OpenPrimary(4);
   OpenReplica(2);
   std::string acks;
-  const auto frames = Parse(source_->SessionHello());
+  const auto frames = Parse(session_->SessionHello());
   ASSERT_EQ(frames.size(), 1u);
   EXPECT_EQ(replica_->HandleFrame(frames[0], &acks), Status::kInvalidArgs);
 }
@@ -216,7 +251,7 @@ TEST_F(ReplProtocolTest, DuplicateAndReorderedBatchesApplyIdempotently) {
   }
   // Pull the pending span as several small batches without acking.
   std::string stream;
-  ASSERT_GT(source_->PollFrames(/*max_batch_bytes=*/32, ~0ULL, &stream), 1u);
+  ASSERT_GT(session_->PollFrames(/*max_batch_bytes=*/32, ~0ULL, &stream), 1u);
   std::vector<replwire::WireMessage> batches = Parse(std::move(stream));
 
   std::string acks;
@@ -237,9 +272,9 @@ TEST_F(ReplProtocolTest, DuplicateAndReorderedBatchesApplyIdempotently) {
     ASSERT_EQ(replica_->HandleFrame(batches[i], &acks), Status::kOk);
   }
   for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-    source_->HandleAck(a);
+    session_->HandleAck(a);
   }
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   ExpectReplicaMatchesPrimary();
 }
 
@@ -252,18 +287,18 @@ TEST_F(ReplProtocolTest, GapRewindsViaGoBackN) {
               Status::kOk);
   }
   std::string stream;
-  ASSERT_GT(source_->PollFrames(32, ~0ULL, &stream), 2u);
+  ASSERT_GT(session_->PollFrames(32, ~0ULL, &stream), 2u);
   std::vector<replwire::WireMessage> batches = Parse(std::move(stream));
   // Deliver only the LAST batch: the replica ignores the gap and re-acks
-  // its true position; the source rewinds and retransmits everything.
+  // its true position; the session rewinds and retransmits everything.
   std::string acks;
   ASSERT_EQ(replica_->HandleFrame(batches.back(), &acks), Status::kOk);
   for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-    source_->HandleAck(a);
+    session_->HandleAck(a);
   }
-  EXPECT_EQ(source_->stats().rewinds, 1u);
+  EXPECT_EQ(session_->stats().rewinds, 1u);
   SyncOnce();
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   ExpectReplicaMatchesPrimary();
 }
 
@@ -280,19 +315,19 @@ TEST_F(ReplProtocolTest, CompactionForcesSnapshotCatchUp) {
   ASSERT_EQ(primary_->Compact(), Status::kOk);
   EXPECT_EQ(primary_->wal_bytes(), 0u);
   SyncOnce();
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   EXPECT_EQ(replica_->stats().snapshots_installed, 2u);
   ExpectReplicaMatchesPrimary();
 
   // Mid-session compaction: stream some, compact (generation bump), stream
-  // more — the source notices the cursor's span vanished and re-images.
+  // more — the session notices the cursor's span vanished and re-images.
   for (int i = 0; i < 16; ++i) {
     ASSERT_EQ(primary_->Put("post" + std::to_string(i), "y", Label::Bottom(), Label::Top()),
               Status::kOk);
   }
   ASSERT_EQ(primary_->Compact(), Status::kOk);
   SyncOnce();
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   ExpectReplicaMatchesPrimary();
   EXPECT_GE(replica_->stats().snapshots_installed, 3u);
 }
@@ -303,7 +338,7 @@ TEST_F(ReplProtocolTest, PromoteRefusesFurtherFrames) {
   SyncOnce();
   ASSERT_EQ(primary_->Put("k", "v", Label::Bottom(), Label::Top()), Status::kOk);
   std::string stream;
-  ASSERT_EQ(source_->PollFrames(1 << 16, ~0ULL, &stream), 1u);
+  ASSERT_EQ(session_->PollFrames(1 << 16, ~0ULL, &stream), 1u);
   const auto batches = Parse(std::move(stream));
   ASSERT_EQ(replica_->Promote(), Status::kOk);
   std::string acks;
@@ -319,9 +354,9 @@ TEST_F(ReplProtocolTest, WarmResumeAfterReplicaReboot) {
               Status::kOk);
   }
   SyncOnce();
-  ASSERT_TRUE(source_->FullySynced());
+  ASSERT_TRUE(session_->FullySynced());
   ASSERT_EQ(replica_->Checkpoint(), Status::kOk);
-  const uint64_t snapshots_before = source_->stats().snapshots_shipped;
+  const uint64_t snapshots_before = session_->stats().snapshots_shipped;
 
   // Reboot the replica: the checkpointed cursor lets the session resume
   // without re-imaging.
@@ -332,8 +367,8 @@ TEST_F(ReplProtocolTest, WarmResumeAfterReplicaReboot) {
               Status::kOk);
   }
   SyncOnce();
-  EXPECT_TRUE(source_->FullySynced());
-  EXPECT_EQ(source_->stats().snapshots_shipped, snapshots_before);
+  EXPECT_TRUE(session_->FullySynced());
+  EXPECT_EQ(session_->stats().snapshots_shipped, snapshots_before);
   ExpectReplicaMatchesPrimary();
 }
 
@@ -349,20 +384,20 @@ TEST_F(ReplProtocolTest, PipelinedInOrderAcksNeverRewind) {
   // normal pipelined shape. None of these acks shows lost progress, so none
   // may trigger a retransmission.
   std::string stream;
-  ASSERT_GT(source_->PollFrames(32, ~0ULL, &stream), 2u);
+  ASSERT_GT(session_->PollFrames(32, ~0ULL, &stream), 2u);
   std::string acks;
   for (const replwire::WireMessage& b : Parse(std::move(stream))) {
     ASSERT_EQ(replica_->HandleFrame(b, &acks), Status::kOk);
   }
-  const uint64_t batches_before = source_->stats().batches_shipped;
+  const uint64_t batches_before = session_->stats().batches_shipped;
   for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-    source_->HandleAck(a);
+    session_->HandleAck(a);
   }
-  EXPECT_EQ(source_->stats().rewinds, 0u);
+  EXPECT_EQ(session_->stats().rewinds, 0u);
   std::string rest;
-  EXPECT_EQ(source_->PollFrames(32, ~0ULL, &rest), 0u) << "nothing left to re-ship";
-  EXPECT_EQ(source_->stats().batches_shipped, batches_before);
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_EQ(session_->PollFrames(32, ~0ULL, &rest), 0u) << "nothing left to re-ship";
+  EXPECT_EQ(session_->stats().batches_shipped, batches_before);
+  EXPECT_TRUE(session_->FullySynced());
 }
 
 TEST_F(ReplProtocolTest, OversizedRecordShipsAsSingletonBatch) {
@@ -376,7 +411,7 @@ TEST_F(ReplProtocolTest, OversizedRecordShipsAsSingletonBatch) {
             Status::kOk);
   ASSERT_EQ(primary_->Put("small", "v", Label::Bottom(), Label::Top()), Status::kOk);
   std::string stream;
-  ASSERT_EQ(source_->PollFrames(/*max_batch_bytes=*/256, /*max_total_bytes=*/512, &stream),
+  ASSERT_EQ(session_->PollFrames(/*max_batch_bytes=*/256, /*max_total_bytes=*/512, &stream),
             1u)
       << "the total budget admits only the oversized singleton this poll";
   auto frames = Parse(std::move(stream));
@@ -387,10 +422,10 @@ TEST_F(ReplProtocolTest, OversizedRecordShipsAsSingletonBatch) {
   std::string acks;
   ASSERT_EQ(replica_->HandleFrame(frames[0], &acks), Status::kOk);
   for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-    source_->HandleAck(a);
+    session_->HandleAck(a);
   }
   SyncOnce();
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   ExpectReplicaMatchesPrimary();
 }
 
@@ -401,35 +436,38 @@ TEST_F(ReplProtocolTest, CompactionDuringResumeWindowStillSnapshots) {
     ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
               Status::kOk);
   }
-  // Fresh replica acks an unknown position; BEFORE the source polls, a
-  // compaction advances the generation. The source must still image the
+  // Fresh replica acks an unknown position; BEFORE the session polls, a
+  // compaction advances the generation. The session must still image the
   // shard (a generation-arithmetic sentinel would collide with the new
   // generation and stream garbage offsets instead).
   std::string acks;
-  for (const replwire::WireMessage& m : Parse(source_->SessionHello())) {
+  for (const replwire::WireMessage& m : Parse(session_->SessionHello())) {
     ASSERT_EQ(replica_->HandleFrame(m, &acks), Status::kOk);
   }
   for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-    source_->HandleAck(a);
+    session_->HandleAck(a);
   }
   ASSERT_EQ(primary_->Compact(), Status::kOk);  // generation 0 → 1
   std::string stream;
-  ASSERT_EQ(source_->PollFrames(1 << 16, ~0ULL, &stream), 1u);
+  ASSERT_EQ(session_->PollFrames(1 << 16, ~0ULL, &stream), 1u);
   auto frames = Parse(std::move(stream));
   ASSERT_EQ(frames[0].type, replwire::kSnapshot);
   acks.clear();
   ASSERT_EQ(replica_->HandleFrame(frames[0], &acks), Status::kOk);
   for (const replwire::WireMessage& a : Parse(std::move(acks))) {
-    source_->HandleAck(a);
+    session_->HandleAck(a);
   }
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   ExpectReplicaMatchesPrimary();
 }
 
 TEST_F(ReplProtocolTest, MismatchedAuthTokenShipsNothing) {
   OpenPrimary(4);
   // The primary requires a token; this replica was configured with another.
-  source_ = std::make_unique<ReplicationSource>(primary_.get(), 0x5EED, /*auth_token=*/42);
+  ReplicationHub::Tuning tuning;
+  tuning.auth_token = 42;
+  hub_ = std::make_unique<ReplicationHub>(primary_.get(), 0x5EED, tuning);
+  session_ = hub_->OpenSession();
   for (int i = 0; i < 10; ++i) {
     ASSERT_EQ(primary_->Put("k" + std::to_string(i), "secret", Label::Bottom(), Label::Top()),
               Status::kOk);
@@ -437,41 +475,201 @@ TEST_F(ReplProtocolTest, MismatchedAuthTokenShipsNothing) {
   StoreOptions opts;
   opts.dir = dir_.path() + "/replica";
   opts.shards = 4;
-  auto replica = ReplicaStore::Open(opts, /*auth_token=*/7);
+  ReplicaOptions ropts;
+  ropts.auth_token = 7;
+  auto replica = ReplicaStore::Open(opts, ropts);
   ASSERT_TRUE(replica.ok());
   replica_ = replica.take();
   // The follower refuses the foreign hello outright...
   std::string acks;
-  const auto hello = Parse(source_->SessionHello());
+  const auto hello = Parse(session_->SessionHello());
   ASSERT_EQ(hello.size(), 1u);
   EXPECT_EQ(replica_->HandleFrame(hello[0], &acks), Status::kAccessDenied);
   EXPECT_TRUE(acks.empty());
   // ...and even a forged ack with the wrong token moves nothing: every
-  // shard stays in await-resume and no labeled byte leaves the source.
+  // shard stays in await-resume and no labeled byte leaves the session.
   replwire::WireMessage forged;
   forged.type = replwire::kAck;
   forged.token = 7;
   forged.shard = 0;
-  source_->HandleAck(forged);
+  session_->HandleAck(forged);
   std::string stream;
-  EXPECT_EQ(source_->PollFrames(1 << 16, ~0ULL, &stream), 0u);
+  EXPECT_EQ(session_->PollFrames(1 << 16, ~0ULL, &stream), 0u);
   EXPECT_TRUE(stream.empty());
   EXPECT_EQ(replica_->store()->size(), 0u);
 }
 
 TEST_F(ReplProtocolTest, MatchingAuthTokenSyncs) {
   OpenPrimary(2);
-  source_ = std::make_unique<ReplicationSource>(primary_.get(), 0x5EED, /*auth_token=*/99);
+  ReplicationHub::Tuning tuning;
+  tuning.auth_token = 99;
+  hub_ = std::make_unique<ReplicationHub>(primary_.get(), 0x5EED, tuning);
+  session_ = hub_->OpenSession();
   ASSERT_EQ(primary_->Put("k", "v", Label::Bottom(), Label::Top()), Status::kOk);
   StoreOptions opts;
   opts.dir = dir_.path() + "/replica";
   opts.shards = 2;
-  auto replica = ReplicaStore::Open(opts, /*auth_token=*/99);
+  ReplicaOptions ropts;
+  ropts.auth_token = 99;
+  auto replica = ReplicaStore::Open(opts, ropts);
   ASSERT_TRUE(replica.ok());
   replica_ = replica.take();
   SyncOnce();
-  EXPECT_TRUE(source_->FullySynced());
+  EXPECT_TRUE(session_->FullySynced());
   ExpectReplicaMatchesPrimary();
+}
+
+// --- Multi-follower fan-out through the hub ----------------------------------
+
+// One replica + its hub session, for fan-out tests.
+struct Mirror {
+  std::unique_ptr<ReplicaStore> replica;
+  FollowerSession* session = nullptr;  // owned by the hub
+
+  static Mirror Open(ReplicationHub* hub, const std::string& dir, uint32_t shards,
+                     uint64_t follower_id) {
+    Mirror m;
+    StoreOptions opts;
+    opts.dir = dir;
+    opts.shards = shards;
+    ReplicaOptions ropts;
+    ropts.follower_id = follower_id;
+    auto replica = ReplicaStore::Open(opts, ropts);
+    EXPECT_TRUE(replica.ok());
+    m.replica = replica.take();
+    m.session = hub->OpenSession();
+    return m;
+  }
+};
+
+TEST_F(ReplProtocolTest, ThreeFollowersShareOneWalReadThroughTheFrameCache) {
+  OpenPrimary(4);
+  std::vector<Mirror> mirrors;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    mirrors.push_back(
+        Mirror::Open(hub_.get(), dir_.path() + "/m" + std::to_string(id), 4, id));
+  }
+  // Establish every session first (fresh replicas are imaged, not
+  // streamed); the cache-sharing claim is about steady-state BATCHES.
+  for (Mirror& m : mirrors) {
+    SyncPair(m.session, m.replica.get());
+  }
+  const Label secrecy({{H(5), Level::kL3}}, Level::kStar);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(primary_->Put("key" + std::to_string(i), std::string(64, 'x'), secrecy,
+                            Label::Top()),
+              Status::kOk);
+  }
+  const uint64_t wal_reads_before = primary_->wal_read_calls();
+  for (Mirror& m : mirrors) {
+    SyncPair(m.session, m.replica.get());
+  }
+  for (Mirror& m : mirrors) {
+    EXPECT_TRUE(m.session->FullySynced());
+    ExpectStoreMatches(m.replica->store(), primary_.get());
+  }
+  // The whole point of the hub: three followers at the same offsets were fed
+  // from ONE set of WAL reads. The first session misses and populates; the
+  // other two hit.
+  const FrameCacheStats& cache = hub_->cache_stats();
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_GE(cache.hits, cache.misses) << "two of three sessions should be served from cache";
+  const uint64_t wal_reads = primary_->wal_read_calls() - wal_reads_before;
+  EXPECT_LE(wal_reads, cache.misses + 1) << "only cache misses may touch the log";
+}
+
+TEST_F(ReplProtocolTest, StragglerSnapshotsWhileSiblingsStream) {
+  OpenPrimary(2);
+  std::vector<Mirror> mirrors;
+  mirrors.push_back(Mirror::Open(hub_.get(), dir_.path() + "/fast1", 2, 1));
+  mirrors.push_back(Mirror::Open(hub_.get(), dir_.path() + "/fast2", 2, 2));
+  for (Mirror& m : mirrors) {
+    SyncPair(m.session, m.replica.get());
+    EXPECT_EQ(m.replica->stats().snapshots_installed, 2u) << "initial images only";
+  }
+  // The established pair streams a backlog through batches...
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  for (Mirror& m : mirrors) {
+    SyncPair(m.session, m.replica.get());
+  }
+  const uint64_t fast_batches_before = mirrors[0].session->stats().batches_shipped;
+  ASSERT_GT(fast_batches_before, 0u);
+  // ...then a straggler joins at an offset the hub cannot recognize (fresh
+  // directory): it is forced through whole-shard snapshot catch-up, while
+  // the fast pair keeps streaming the NEW appends as batches, unaffected.
+  mirrors.push_back(Mirror::Open(hub_.get(), dir_.path() + "/straggler", 2, 3));
+  for (int i = 32; i < 48; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), "v", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  for (Mirror& m : mirrors) {
+    SyncPair(m.session, m.replica.get());
+    EXPECT_TRUE(m.session->FullySynced());
+    ExpectStoreMatches(m.replica->store(), primary_.get());
+  }
+  EXPECT_GE(mirrors[2].replica->stats().snapshots_installed, 2u) << "straggler imaged";
+  EXPECT_GT(mirrors[0].session->stats().batches_shipped, fast_batches_before)
+      << "fast follower streamed batches while the straggler was imaged";
+  EXPECT_EQ(mirrors[0].replica->stats().snapshots_installed, 2u)
+      << "fast follower was never re-imaged";
+  // Snapshot frames are lease-stamped like batches: even a catch-up that
+  // never saw a kBatch leaves the straggler holding a live lease.
+  EXPECT_GT(mirrors[2].replica->lease_until(), 0u);
+}
+
+TEST_F(ReplProtocolTest, SuccessorIsTheLowestCaughtUpFollowerId) {
+  OpenPrimary(1);
+  std::vector<Mirror> mirrors;
+  mirrors.push_back(Mirror::Open(hub_.get(), dir_.path() + "/m7", 1, 7));
+  mirrors.push_back(Mirror::Open(hub_.get(), dir_.path() + "/m3", 1, 3));
+  mirrors.push_back(Mirror::Open(hub_.get(), dir_.path() + "/m9", 1, 9));
+  EXPECT_EQ(hub_->SuccessorId(), 0u) << "nobody resumed yet";
+  for (Mirror& m : mirrors) {
+    SyncPair(m.session, m.replica.get());
+  }
+  EXPECT_EQ(hub_->SuccessorId(), 3u) << "lowest caught-up follower id";
+  // The designation reached every follower on the shipped batches.
+  ASSERT_EQ(primary_->Put("k", "v", Label::Bottom(), Label::Top()), Status::kOk);
+  for (Mirror& m : mirrors) {
+    SyncPair(m.session, m.replica.get());
+    EXPECT_EQ(m.replica->successor_id(), 3u);
+    EXPECT_GT(m.replica->lease_until(), 0u) << "lease stamped on batches";
+  }
+  // Close follower 3's session (its machine died — or just its wire). The
+  // designation must NOT move yet: follower 3 may still act on the
+  // designation it heard, until the last lease stamped for it runs out.
+  // Moving early would let a re-designation race the departed designee's
+  // own expiry check into TWO promotes.
+  hub_->CloseSession(mirrors[1].session);
+  EXPECT_EQ(hub_->SuccessorId(), 3u) << "fenced until the departed lease expires";
+  // Once follower 3's lease horizon has provably passed, it can no longer
+  // act, and the designation moves to the next-lowest caught-up id.
+  GetCycleAccounting().Charge(Component::kOther, 60'000'000);  // > lease interval
+  EXPECT_EQ(hub_->SuccessorId(), 7u);
+}
+
+TEST_F(ReplProtocolTest, HeartbeatRefreshesLeaseWithoutData) {
+  OpenPrimary(1);
+  OpenReplica(1, /*follower_id=*/4);
+  SyncOnce();
+  const uint64_t lease_after_sync = replica_->lease_until();
+  // No new appends: polling ships nothing, but an explicit heartbeat renews
+  // the lease and carries the successor designation.
+  std::string out;
+  EXPECT_EQ(session_->PollFrames(1 << 16, ~0ULL, &out), 0u);
+  GetCycleAccounting().Charge(Component::kOther, 1000);  // the clock moves on
+  session_->AppendHeartbeat(&out);
+  std::string acks;
+  for (const replwire::WireMessage& m : Parse(std::move(out))) {
+    ASSERT_EQ(replica_->HandleFrame(m, &acks), Status::kOk);
+  }
+  EXPECT_EQ(replica_->stats().heartbeats_seen, 1u);
+  EXPECT_GT(replica_->lease_until(), lease_after_sync);
+  EXPECT_EQ(replica_->successor_id(), 4u);
+  EXPECT_EQ(session_->stats().heartbeats_sent, 1u);
 }
 
 // --- End to end over simnet/netd ---------------------------------------------
@@ -479,52 +677,42 @@ TEST_F(ReplProtocolTest, MatchingAuthTokenSyncs) {
 class ReplEndToEndTest : public ::testing::Test {
  protected:
   static constexpr uint16_t kReplPort = 7000;
-  static constexpr uint16_t kFollowerPort = 7001;
+  static constexpr uint16_t kFollowerPortBase = 7100;
   // Every end-to-end test runs authenticated: both ends share this token.
   static constexpr uint64_t kAuthToken = 0x7E57AC75;
 
-  void BootPrimary(const std::string& dir, uint64_t boot_key = 0x0451) {
+  void BootPrimary(const std::string& dir, uint64_t boot_key = 0x0451,
+                   uint32_t max_followers = 4) {
     FileServerOptions opts;
     opts.data_dir = dir;
     opts.shards = 4;
     opts.replication.listen_tcp_port = kReplPort;
     opts.replication.auth_token = kAuthToken;
-    primary_ = std::make_unique<FsPrimaryWorld>(boot_key, opts);
-    primary_->Pump();  // attach the listener
+    opts.replication.max_followers = max_followers;
+    fleet_ = std::make_unique<ReplicationFleet>(boot_key, opts);
   }
 
-  void BootFollower(const std::string& dir, uint64_t boot_key = 0x0452) {
+  size_t AddFollower(const std::string& dir, uint64_t boot_key, uint64_t follower_id = 0) {
     StoreOptions opts;
     opts.dir = dir;
     opts.shards = 4;
-    follower_ = std::make_unique<FollowerWorld>(boot_key, kFollowerPort, opts, kAuthToken);
-    follower_->Pump();
-    link_ = std::make_unique<ReplicationLink>(&primary_->net(), kReplPort, &follower_->net(),
-                                              kFollowerPort);
+    FollowerOptions fopts;
+    fopts.auth_token = kAuthToken;
+    fopts.follower_id = follower_id;
+    return fleet_->AddFollower(boot_key, next_follower_port_++, opts, fopts);
   }
 
-  // Drives both machines and the wire until the stream quiesces.
-  void PumpUntilSynced(int max_iters = 2000) {
-    for (int i = 0; i < max_iters; ++i) {
-      link_->Step();
-      primary_->Pump();
-      follower_->Pump();
-      if (link_->connected() && primary_->fs()->replication() != nullptr &&
-          primary_->fs()->replication()->source() != nullptr &&
-          primary_->fs()->replication()->source()->FullySynced()) {
-        return;
-      }
-    }
-    FAIL() << "replication never quiesced";
+  void PumpUntilSynced(int max_iters = 5000) {
+    ASSERT_TRUE(fleet_->PumpUntilSynced(max_iters)) << "replication never quiesced";
   }
 
   // A client in the primary's kernel exercising the labeled fs protocol.
   void RunFsWorkload() {
+    Kernel& kernel = fleet_->primary()->kernel();
     SpawnArgs cargs;
     cargs.name = "client";
-    client_ = primary_->kernel().CreateProcess(std::make_unique<RecorderProcess>(&received_),
-                                               cargs);
-    primary_->kernel().WithProcessContext(client_, [&](ProcessContext& ctx) {
+    client_ = kernel.CreateProcess(std::make_unique<RecorderProcess>(&received_), cargs);
+    kernel.WithProcessContext(client_, [&](ProcessContext& ctx) {
       client_port_ = ctx.NewPort(Label::Top());
       ASSERT_EQ(ctx.SetPortLabel(client_port_, Label::Top()), Status::kOk);
     });
@@ -535,7 +723,7 @@ class ReplEndToEndTest : public ::testing::Test {
     }
     // Private files in fresh compartments, with integrity requirements.
     for (int i = 0; i < 6; ++i) {
-      primary_->kernel().WithProcessContext(client_, [&](ProcessContext& ctx) {
+      kernel.WithProcessContext(client_, [&](ProcessContext& ctx) {
         const Handle taint = ctx.NewHandle();
         const Handle grant = ctx.NewHandle();
         taints_.push_back(taint);
@@ -549,9 +737,10 @@ class ReplEndToEndTest : public ::testing::Test {
         SendArgs args;
         args.decont_send = Label({{taint, Level::kStar}}, Level::kL3);
         args.decont_receive = Label({{taint, Level::kL3}}, Level::kStar);
-        ASSERT_EQ(ctx.Send(primary_->fs()->service_port(), std::move(m), args), Status::kOk);
+        ASSERT_EQ(ctx.Send(fleet_->primary()->fs()->service_port(), std::move(m), args),
+                  Status::kOk);
       });
-      primary_->Pump();
+      fleet_->Pump();
       // Integrity-protected write: V must prove the grant compartment.
       SendArgs wargs;
       wargs.verify = Label({{grants_.back(), Level::kL0}}, Level::kL3);
@@ -563,15 +752,16 @@ class ReplEndToEndTest : public ::testing::Test {
 
   void FsRequest(uint64_t type, const std::string& path, std::vector<uint64_t> words,
                  const SendArgs& args = SendArgs()) {
-    primary_->kernel().WithProcessContext(client_, [&](ProcessContext& ctx) {
+    fleet_->primary()->kernel().WithProcessContext(client_, [&](ProcessContext& ctx) {
       Message m;
       m.type = type;
       m.data = path;
       m.words = std::move(words);
       m.reply_port = client_port_;
-      ASSERT_EQ(ctx.Send(primary_->fs()->service_port(), std::move(m), args), Status::kOk);
+      ASSERT_EQ(ctx.Send(fleet_->primary()->fs()->service_port(), std::move(m), args),
+                Status::kOk);
     });
-    primary_->Pump();
+    fleet_->Pump();
   }
 
   void FsWrite(const std::string& path, const std::string& contents) {
@@ -593,9 +783,8 @@ class ReplEndToEndTest : public ::testing::Test {
   }
 
   TempDir dir_;
-  std::unique_ptr<FsPrimaryWorld> primary_;
-  std::unique_ptr<FollowerWorld> follower_;
-  std::unique_ptr<ReplicationLink> link_;
+  std::unique_ptr<ReplicationFleet> fleet_;
+  uint16_t next_follower_port_ = kFollowerPortBase;
   ProcessId client_ = kNoProcess;
   Handle client_port_;
   std::vector<Handle> taints_;
@@ -607,16 +796,16 @@ TEST_F(ReplEndToEndTest, PrimaryKillPromoteMatchesCrashRecovery) {
   const std::string primary_dir = dir_.path() + "/primary";
   const std::string follower_dir = dir_.path() + "/follower";
   BootPrimary(primary_dir);
-  BootFollower(follower_dir);
+  AddFollower(follower_dir, 0x0452);
   RunFsWorkload();
   PumpUntilSynced();
 
   // Kill the primary machine mid-stream (the session is live) and promote.
-  link_.reset();  // the wire goes with the machine
-  primary_.reset();
-  ASSERT_EQ(follower_->Promote(), Status::kOk);
-  EXPECT_TRUE(follower_->follower()->replica()->promoted());
-  EXPECT_GE(follower_->follower()->sessions_accepted(), 1u);
+  FollowerWorld* follower = fleet_->follower(0);
+  EXPECT_GE(follower->follower()->sessions_accepted(), 1u);
+  fleet_->KillPrimary();
+  ASSERT_EQ(follower->Promote(), Status::kOk);
+  EXPECT_TRUE(follower->follower()->replica()->promoted());
 
   // Single-node crash recovery of the dead primary's disk...
   StoreOptions recover;
@@ -625,12 +814,12 @@ TEST_F(ReplEndToEndTest, PrimaryKillPromoteMatchesCrashRecovery) {
   auto recovered = DurableStore::Open(recover);
   ASSERT_TRUE(recovered.ok());
   // ...must match the promoted follower's store bit for bit.
-  ExpectStoresIdentical(*recovered.value(), *follower_->follower()->replica()->store());
+  ExpectStoresIdentical(*recovered.value(), *follower->follower()->replica()->store());
 
   // And the promoted image boots a real file server: reopen the follower
   // directory as a primary file server and serve a private file with its
   // original contamination.
-  follower_.reset();
+  fleet_.reset();
   FileServerOptions fs_opts;
   fs_opts.data_dir = follower_dir;
   fs_opts.shards = 4;
@@ -668,42 +857,148 @@ TEST_F(ReplEndToEndTest, PrimaryKillPromoteMatchesCrashRecovery) {
 
 TEST_F(ReplEndToEndTest, TornBatchesAtTheFollowerReassemble) {
   BootPrimary(dir_.path() + "/primary");
-  BootFollower(dir_.path() + "/follower");
-  link_->set_max_chunk(7);  // fragment every frame across many deliveries
+  AddFollower(dir_.path() + "/follower", 0x0452);
+  fleet_->link(0)->set_max_chunk(7);  // fragment every frame across many deliveries
   RunFsWorkload();
   PumpUntilSynced(20000);
-  ExpectStoresIdentical(*primary_->fs()->store(),
-                        *follower_->follower()->replica()->store());
+  ExpectStoresIdentical(*fleet_->primary()->fs()->store(),
+                        *fleet_->follower(0)->follower()->replica()->store());
 }
 
-TEST_F(ReplEndToEndTest, PromoteThenReFollowOldPrimary) {
-  const std::string primary_dir = dir_.path() + "/primary";
-  const std::string follower_dir = dir_.path() + "/follower";
-  BootPrimary(primary_dir);
-  BootFollower(follower_dir);
+TEST_F(ReplEndToEndTest, ThreeFollowersFanOutFromOnePrimary) {
+  BootPrimary(dir_.path() + "/primary");
+  AddFollower(dir_.path() + "/f1", 0x1001, /*follower_id=*/1);
+  AddFollower(dir_.path() + "/f2", 0x1002, /*follower_id=*/2);
+  AddFollower(dir_.path() + "/f3", 0x1003, /*follower_id=*/3);
   RunFsWorkload();
   PumpUntilSynced();
 
-  // Fail over: the follower's directory becomes the NEW primary...
-  link_.reset();
-  primary_.reset();
-  ASSERT_EQ(follower_->Promote(), Status::kOk);
-  follower_.reset();
-  BootPrimary(follower_dir, /*boot_key=*/0x0777);
-
-  // ...and the OLD primary's directory re-follows it. Its cursor names the
-  // dead primary's history, so catch-up arrives as snapshots.
-  BootFollower(primary_dir, /*boot_key=*/0x0778);
-  RunFsWorkload();  // fresh writes on the new primary
-  PumpUntilSynced(20000);
-  EXPECT_GE(follower_->follower()->replica()->stats().snapshots_installed, 1u);
-  ExpectStoresIdentical(*primary_->fs()->store(),
-                        *follower_->follower()->replica()->store());
+  const ReplicationEndpoint* endpoint = fleet_->primary()->fs()->replication();
+  ASSERT_NE(endpoint, nullptr);
+  EXPECT_EQ(endpoint->follower_count(), 3u);
+  EXPECT_EQ(endpoint->busy_refusals(), 0u);
+  ASSERT_NE(endpoint->hub(), nullptr);
+  EXPECT_EQ(endpoint->hub()->session_count(), 3u);
+  // Every follower holds the full labeled state, each via its own cursors.
+  for (size_t i = 0; i < 3; ++i) {
+    ExpectStoresIdentical(*fleet_->primary()->fs()->store(),
+                          *fleet_->follower(i)->follower()->replica()->store());
+  }
+  // Fan-out was fed through the shared frame cache, not three log reads.
+  EXPECT_GT(endpoint->hub()->cache_stats().hits, 0u);
+  // Lease stamps reached every replica, designating the lowest id.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(fleet_->follower(i)->follower()->replica()->lease_until(), 0u);
+  }
 }
 
-// --- OKWS integration: idd and ok-demux ship their durable stores ------------
+TEST_F(ReplEndToEndTest, LeaseExpiryPromotesExactlyTheDesignatedSuccessor) {
+  BootPrimary(dir_.path() + "/primary");
+  // Deliberately out-of-order ids: the successor rule must pick id 3 (the
+  // lowest), which lives at follower INDEX 1.
+  AddFollower(dir_.path() + "/f-seven", 0x2001, /*follower_id=*/7);
+  AddFollower(dir_.path() + "/f-three", 0x2002, /*follower_id=*/3);
+  RunFsWorkload();
+  PumpUntilSynced();
+  // Let fresh heartbeats distribute the final designation to everyone, then
+  // verify both followers agree on the one successor BEFORE the crash —
+  // that agreement is what makes the promote race safe.
+  for (int i = 0; i < 200; ++i) {
+    fleet_->Pump();
+  }
+  ASSERT_EQ(fleet_->follower(0)->follower()->replica()->successor_id(), 3u);
+  ASSERT_EQ(fleet_->follower(1)->follower()->replica()->successor_id(), 3u);
 
-TEST(ReplOkwsTest, IddAndDemuxStoresReplicateFromTheFullWorld) {
+  fleet_->KillPrimary();
+  // Nobody refreshes the lease now; the followers' own lease-check ticks
+  // advance the virtual clock until it expires.
+  for (int i = 0; i < 5000 && fleet_->auto_promoted_count() == 0; ++i) {
+    fleet_->Pump();
+  }
+  EXPECT_EQ(fleet_->auto_promoted_count(), 1) << "exactly one follower may take over";
+  EXPECT_EQ(fleet_->auto_promoted_index(), 1) << "the designated id-3 follower";
+  EXPECT_TRUE(fleet_->follower(1)->follower()->replica()->promoted());
+  EXPECT_FALSE(fleet_->follower(0)->follower()->replica()->promoted());
+
+  // Keep pumping: the bystander sees its own lease run out too, and must
+  // keep standing by — never promote late.
+  for (int i = 0; i < 500; ++i) {
+    fleet_->Pump();
+  }
+  EXPECT_EQ(fleet_->auto_promoted_count(), 1);
+  EXPECT_TRUE(fleet_->follower(0)->follower()->lease_expired());
+  EXPECT_FALSE(fleet_->follower(0)->follower()->replica()->promoted());
+
+  // The auto-promoted state is bit-identical to single-node crash recovery
+  // of the dead primary's disk — same acceptance bar as operator promote.
+  StoreOptions recover;
+  recover.dir = dir_.path() + "/primary";
+  recover.shards = 4;
+  auto recovered = DurableStore::Open(recover);
+  ASSERT_TRUE(recovered.ok());
+  ExpectStoresIdentical(*recovered.value(),
+                        *fleet_->follower(1)->follower()->replica()->store());
+}
+
+TEST_F(ReplEndToEndTest, AutoPromotedImageServesAndOldPrimaryReFollows) {
+  const std::string primary_dir = dir_.path() + "/primary";
+  const std::string follower_dir = dir_.path() + "/follower";
+  BootPrimary(primary_dir);
+  AddFollower(follower_dir, 0x3001, /*follower_id=*/1);
+  RunFsWorkload();
+  PumpUntilSynced();
+  for (int i = 0; i < 200; ++i) {
+    fleet_->Pump();
+  }
+  ASSERT_EQ(fleet_->follower(0)->follower()->replica()->successor_id(), 1u);
+
+  fleet_->KillPrimary();
+  for (int i = 0; i < 5000 && fleet_->auto_promoted_count() == 0; ++i) {
+    fleet_->Pump();
+  }
+  ASSERT_EQ(fleet_->auto_promoted_count(), 1);
+
+  // Close the loop: the promoted directory boots as the NEW primary, and
+  // the dead primary's directory re-follows it. Its cursor names the dead
+  // primary's history, so catch-up arrives as snapshots.
+  fleet_.reset();
+  BootPrimary(follower_dir, /*boot_key=*/0x0777);
+  AddFollower(primary_dir, 0x0778, /*follower_id=*/2);
+  RunFsWorkload();  // fresh writes on the new primary
+  PumpUntilSynced(20000);
+  EXPECT_GE(fleet_->follower(0)->follower()->replica()->stats().snapshots_installed, 1u);
+  ExpectStoresIdentical(*fleet_->primary()->fs()->store(),
+                        *fleet_->follower(0)->follower()->replica()->store());
+}
+
+TEST_F(ReplEndToEndTest, OverCapacityFollowerGetsBusyFrameAndBacksOff) {
+  BootPrimary(dir_.path() + "/primary", 0x0451, /*max_followers=*/1);
+  AddFollower(dir_.path() + "/f1", 0x4001, /*follower_id=*/1);
+  PumpUntilSynced();  // follower 1 owns the only slot
+  AddFollower(dir_.path() + "/f2", 0x4002, /*follower_id=*/2);
+
+  const int kPumps = 300;
+  for (int i = 0; i < kPumps; ++i) {
+    fleet_->Pump();
+  }
+  const ReplicationEndpoint* endpoint = fleet_->primary()->fs()->replication();
+  const FollowerProcess* refused = fleet_->follower(1)->follower();
+  // The refusal was explicit — a kBusy frame, not a silent close — and the
+  // follower honored its back-off hint instead of hot-reconnecting: session
+  // churn stays far below one per pump.
+  EXPECT_GE(endpoint->busy_refusals(), 1u);
+  EXPECT_GE(refused->busy_signals(), 1u);
+  EXPECT_GT(refused->backoff_until_cycles(), 0u);
+  EXPECT_LT(refused->sessions_accepted(), static_cast<uint64_t>(kPumps) / 2);
+  EXPECT_EQ(refused->replica()->store()->size(), 0u) << "no data crossed the refusal";
+  // The in-capacity follower was never disturbed.
+  EXPECT_EQ(endpoint->follower_count(), 1u);
+  EXPECT_TRUE(endpoint->hub()->AllFullySynced());
+}
+
+// --- OKWS integration: idd, ok-demux, and ok-dbproxy ship their stores -------
+
+TEST(ReplOkwsTest, IddDemuxAndDbproxyStoresReplicateFromTheFullWorld) {
   TempDir dir;
   OkwsWorldConfig config;
   config.users = {{"alice", "pw-a"}, {"bob", "pw-b"}};
@@ -713,6 +1008,8 @@ TEST(ReplOkwsTest, IddAndDemuxStoresReplicateFromTheFullWorld) {
   config.idd_options.replication.listen_tcp_port = 7100;
   config.demux_options.store_dir = dir.path() + "/demux";
   config.demux_options.replication.listen_tcp_port = 7101;
+  config.dbproxy_options.store_dir = dir.path() + "/dbproxy";
+  config.dbproxy_options.replication.listen_tcp_port = 7102;
   OkwsWorld world(config);
   world.PumpUntilReady();
 
@@ -720,20 +1017,29 @@ TEST(ReplOkwsTest, IddAndDemuxStoresReplicateFromTheFullWorld) {
                              StoreOptions{dir.path() + "/idd-replica", 4, 1024, 4});
   FollowerWorld demux_follower(0x2222, 7201,
                                StoreOptions{dir.path() + "/demux-replica", 4, 1024, 4});
+  FollowerWorld dbproxy_follower(0x3333, 7202,
+                                 StoreOptions{dir.path() + "/dbproxy-replica", 4, 1024, 4});
   ReplicationLink idd_link(&world.net(), 7100, &idd_follower.net(), 7200);
   ReplicationLink demux_link(&world.net(), 7101, &demux_follower.net(), 7201);
+  ReplicationLink dbproxy_link(&world.net(), 7102, &dbproxy_follower.net(), 7202);
+  const auto step_all = [&] {
+    idd_link.Step();
+    demux_link.Step();
+    dbproxy_link.Step();
+    world.Pump();
+    idd_follower.Pump();
+    demux_follower.Pump();
+    dbproxy_follower.Pump();
+  };
 
-  // Real logins: idd persists identity bindings, demux persists sessions.
+  // Real logins: idd persists identity bindings, demux persists sessions,
+  // and ok-dbproxy's durable tables (password rows, binding records) churn.
   HttpLoadClient client(&world.net(), 80, 4);
   client.Enqueue(OkwsWorld::MakeRequest("/echo", "alice", "pw-a"), 1);
   client.Enqueue(OkwsWorld::MakeRequest("/echo", "bob", "pw-b"), 2);
   for (int i = 0; i < 4000 && !client.idle(); ++i) {
     client.Step();
-    idd_link.Step();
-    demux_link.Step();
-    world.Pump();
-    idd_follower.Pump();
-    demux_follower.Pump();
+    step_all();
   }
   ASSERT_EQ(client.results().size(), 2u);
 
@@ -751,26 +1057,33 @@ TEST(ReplOkwsTest, IddAndDemuxStoresReplicateFromTheFullWorld) {
     demux = dynamic_cast<DemuxProcess*>(p->code.get());
     ASSERT_NE(demux, nullptr);
   }
+  DbproxyProcess* dbproxy = nullptr;
+  {
+    Process* p = world.kernel().FindProcessByName("dbproxy");
+    ASSERT_NE(p, nullptr);
+    dbproxy = dynamic_cast<DbproxyProcess*>(p->code.get());
+    ASSERT_NE(dbproxy, nullptr);
+  }
   ASSERT_NE(idd->replication(), nullptr);
   ASSERT_NE(demux->replication(), nullptr);
+  ASSERT_NE(dbproxy->replication(), nullptr);
 
   // Let the streams quiesce.
   for (int i = 0; i < 2000; ++i) {
-    idd_link.Step();
-    demux_link.Step();
-    world.Pump();
-    idd_follower.Pump();
-    demux_follower.Pump();
-    if (idd->replication()->source()->FullySynced() &&
-        demux->replication()->source()->FullySynced()) {
+    step_all();
+    if (idd->replication()->hub()->AllFullySynced() &&
+        demux->replication()->hub()->AllFullySynced() &&
+        dbproxy->replication()->hub()->AllFullySynced()) {
       break;
     }
   }
-  ASSERT_TRUE(idd->replication()->source()->FullySynced());
-  ASSERT_TRUE(demux->replication()->source()->FullySynced());
+  ASSERT_TRUE(idd->replication()->hub()->AllFullySynced());
+  ASSERT_TRUE(demux->replication()->hub()->AllFullySynced());
+  ASSERT_TRUE(dbproxy->replication()->hub()->AllFullySynced());
 
-  // The identity bindings — per-user taint/grant labels included — and the
-  // session table now live on the follower machines, bit for bit.
+  // The identity bindings — per-user taint/grant labels included — the
+  // session table, and the SQL table store now live on the follower
+  // machines, bit for bit.
   const DurableStore* idd_replica = idd_follower.follower()->replica()->store();
   ASSERT_EQ(idd_replica->size(), idd->store()->size());
   EXPECT_EQ(idd_replica->size(), 2u);  // alice and bob
@@ -788,6 +1101,16 @@ TEST(ReplOkwsTest, IddAndDemuxStoresReplicateFromTheFullWorld) {
     const StoreRecord* got = demux_replica->Get(key);
     ASSERT_NE(got, nullptr) << key;
     EXPECT_EQ(got->value, want.value);
+  });
+  const DurableStore* dbproxy_replica = dbproxy_follower.follower()->replica()->store();
+  ASSERT_EQ(dbproxy_replica->size(), dbproxy->store()->size());
+  EXPECT_GT(dbproxy_replica->size(), 0u);  // schema + password rows + bindings
+  dbproxy->store()->ForEach([&](const std::string& key, const StoreRecord& want) {
+    const StoreRecord* got = dbproxy_replica->Get(key);
+    ASSERT_NE(got, nullptr) << key;
+    EXPECT_EQ(got->value, want.value);
+    EXPECT_EQ(got->secrecy.Entries(), want.secrecy.Entries());
+    EXPECT_EQ(got->integrity.Entries(), want.integrity.Entries());
   });
 }
 
