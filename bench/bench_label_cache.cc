@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
 #include "src/kernel/label_checks.h"
 #include "src/labels/intern.h"
 #include "src/labels/label.h"
@@ -246,5 +247,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The unified metrics snapshot rides alongside the google-benchmark JSON
+  // (same basename, .metrics.json suffix); see README "Observability".
+  asbestos::obs::Registry::Get().WriteSnapshotFile("BENCH_labels.metrics.json");
   return 0;
 }

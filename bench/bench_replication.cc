@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
 #include "src/fs/file_server.h"
 #include "src/replication/follower.h"
 #include "src/replication/link.h"
@@ -346,5 +347,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The unified metrics snapshot rides alongside the google-benchmark JSON
+  // (same basename, .metrics.json suffix); see README "Observability".
+  asbestos::obs::Registry::Get().WriteSnapshotFile("BENCH_replication.metrics.json");
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
 #include "src/labels/label.h"
 #include "src/store/label_codec.h"
 #include "src/store/store.h"
@@ -348,5 +349,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The unified metrics snapshot rides alongside the google-benchmark JSON
+  // (same basename, .metrics.json suffix); see README "Observability".
+  asbestos::obs::Registry::Get().WriteSnapshotFile("BENCH_store.metrics.json");
   return 0;
 }

@@ -4,8 +4,11 @@
 // service, and show that users are isolated even though they share worker
 // processes and one database.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/okws/okws_world.h"
 #include "src/okws/services.h"
 
@@ -31,7 +34,23 @@ void Show(const char* what, const HttpLoadClient::Result& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool trace = false;
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--dump-metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace] [--dump-metrics]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (trace) {
+    asbestos::obs::TraceRing::SetEnabled(true);
+  }
+
   std::printf("== OKWS on Asbestos: end-to-end demo ==\n\n");
 
   OkwsWorldConfig config;
@@ -87,5 +106,27 @@ int main() {
               (unsigned long long)stats.eps_created);
   std::printf("every cross-user denial above was kernel label enforcement, not "
               "application politeness.\n");
+
+  if (trace) {
+    // Run one more request against a cleared ring so its span chain prints
+    // alone: netd.accept -> demux.dispatch -> worker.request ->
+    // dbproxy.stmt -> worker.respond -> netd.reply.
+    obs::TraceRing::Get().Clear();
+    std::printf("\nspan timeline for one traced request (--trace):\n");
+    Show("GET /notes?op=list (alice)",
+         Fetch(world, "/notes?op=list", "alice", "looking-glass"));
+    obs::TraceReader reader(Label::Top());
+    for (const obs::SpanEvent& ev : reader.Visible()) {
+      std::printf("  trace=%llu @%-8llu %-8s %-16s %-32s label=%s\n",
+                  (unsigned long long)ev.trace_id, (unsigned long long)ev.at_cycles,
+                  ev.component.c_str(), ev.name.c_str(), ev.detail.c_str(),
+                  ev.label.ToString().c_str());
+    }
+  }
+
+  if (dump_metrics) {
+    std::printf("\nmetrics snapshot (--dump-metrics):\n%s\n",
+                obs::Registry::Get().SnapshotJson().c_str());
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "src/base/panic.h"
 #include "src/base/strings.h"
 #include "src/kernel/bootstrap.h"
+#include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/store/label_codec.h"
 
@@ -395,6 +396,15 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
   }
   const std::string username = msg.data.substr(0, nl);
   const std::string sql = msg.data.substr(nl + 1);
+
+  if (obs::TraceRing::enabled() && msg.trace_id != 0) {
+    // Statement text stays out of the ring (it may embed user data); the
+    // span carries the verb and the requesting user only.
+    const size_t sp = sql.find(' ');
+    obs::TraceRing::Get().Emit(msg.trace_id, "dbproxy", "dbproxy.stmt",
+                               sql.substr(0, sp) + " user=" + username,
+                               ctx.send_label());
+  }
 
   auto parsed = ParseSql(sql);
   if (!parsed.ok()) {

@@ -7,6 +7,8 @@
 
 #include "src/base/panic.h"
 #include "src/labels/intern.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/store/store.h"
 
@@ -319,9 +321,41 @@ void ProcessContext::ModelHeapBytes(int64_t delta) {
 
 void ProcessContext::ChargeCycles(uint64_t cycles) { ChargeTo(proc_->component, cycles); }
 
+uint64_t ProcessContext::current_trace_id() const { return kernel_->current_trace_id_; }
+
 // --- Kernel ---------------------------------------------------------------------
 
-Kernel::Kernel(uint64_t boot_key) : handles_(boot_key) {}
+Kernel::Kernel(uint64_t boot_key) : handles_(boot_key) {
+  obs_gauge_group_ = obs::Registry::Get().RegisterGauges([this](obs::GaugeSink& sink) {
+    sink.Set("kernel.stats.sends", stats_.sends);
+    sink.Set("kernel.stats.deliveries", stats_.deliveries);
+    sink.Set("kernel.stats.drops_no_port", stats_.drops_no_port);
+    sink.Set("kernel.stats.drops_privilege", stats_.drops_privilege);
+    sink.Set("kernel.stats.drops_dr_port", stats_.drops_dr_port);
+    sink.Set("kernel.stats.drops_label_check", stats_.drops_label_check);
+    sink.Set("kernel.stats.eps_created", stats_.eps_created);
+    sink.Set("kernel.stats.eps_destroyed", stats_.eps_destroyed);
+    sink.Set("kernel.stats.processes_created", stats_.processes_created);
+    sink.Set("kernel.stats.cow_pages_copied", stats_.cow_pages_copied);
+    sink.Set("kernel.stats.shared_regions_created", stats_.shared_regions_created);
+    sink.Set("kernel.stats.shared_writes_dropped", stats_.shared_writes_dropped);
+    const KernelMemReport mem = MemReport();
+    sink.Set("kernel.mem.vnode_bytes", mem.vnode_bytes);
+    sink.Set("kernel.mem.process_bytes", mem.process_bytes);
+    sink.Set("kernel.mem.ep_bytes", mem.ep_bytes);
+    sink.Set("kernel.mem.label_bytes", mem.label_bytes);
+    sink.Set("kernel.mem.label_intern_index_bytes", mem.label_intern_index_bytes);
+    sink.Set("kernel.mem.label_dedup_saved_bytes", mem.label_dedup_saved_bytes);
+    sink.Set("kernel.mem.page_bytes", mem.page_bytes);
+    sink.Set("kernel.mem.overlay_slot_bytes", mem.overlay_slot_bytes);
+    sink.Set("kernel.mem.queue_bytes", mem.queue_bytes);
+    sink.Set("kernel.mem.queue_arena_bytes", mem.queue_arena_bytes);
+    sink.Set("kernel.mem.modeled_heap_bytes", mem.modeled_heap_bytes);
+    sink.Set("kernel.mem.store_bytes", mem.store_bytes);
+    sink.Set("kernel.mem.total_bytes", mem.total_bytes());
+    sink.Set("kernel.mem.peak_total_bytes", peak_total_bytes_);
+  });
+}
 
 void Kernel::ReserveRecoveredHandle(Handle h) {
   if (h.valid()) {
@@ -329,7 +363,16 @@ void Kernel::ReserveRecoveredHandle(Handle h) {
   }
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // The live kernel.mem.* gauge group dies with this kernel; keep the
+  // high-water mark (max across every kernel this process ran) so
+  // post-teardown snapshots still carry a memstats family.
+  obs::Gauge& peak = obs::Registry::Get().gauge("kernel.mem.peak_total_bytes");
+  if (static_cast<double>(peak_total_bytes_) > peak.value()) {
+    peak.Set(static_cast<double>(peak_total_bytes_));
+  }
+  obs::Registry::Get().UnregisterGauges(obs_gauge_group_);
+}
 
 uint64_t Kernel::now_cycles() const { return GetCycleAccounting().now(); }
 
@@ -505,6 +548,11 @@ Status Kernel::SysSend(Process& proc, EventProcess* ep, Handle port, Message msg
   qm.msg = std::move(msg);
   qm.msg.port = port;
   qm.msg.verify = args.verify;
+  if (qm.msg.trace_id == 0) {
+    // Propagate the flow trace: an unset id inherits the trace of the
+    // message whose handler issued this send.
+    qm.msg.trace_id = current_trace_id_;
+  }
   // ES = PS ⊔ CS, snapshotted now: later sender label changes must not
   // retroactively change what this message carries.
   qm.effective_send = Label::Lub(ps, args.contaminate);
@@ -839,7 +887,14 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     {
       ScopedComponent scope(proc->component);
       ProcessContext ctx(this, proc, ep, created_ep);
+      const uint64_t prev_trace = current_trace_id_;
+      current_trace_id_ = qm.msg.trace_id;
+      if (obs::TraceRing::enabled() && qm.msg.trace_id != 0) {
+        obs::TraceRing::Get().Emit(qm.msg.trace_id, "kernel", "kernel.deliver",
+                                   proc->name, qm.effective_send);
+      }
       proc->code->HandleMessage(ctx, qm.msg);
+      current_trace_id_ = prev_trace;
     }
 
     // Post-handler lifecycle.

@@ -185,6 +185,14 @@ class ProcessContext {
   // --- Accounting ------------------------------------------------------------------
   void ChargeCycles(uint64_t cycles);  // to the process's component
 
+  // --- Tracing ----------------------------------------------------------------------
+  // Flow-trace id of the message currently being handled (0 when running
+  // outside a delivery, e.g. OnIdle or WithProcessContext). Sends with an
+  // unset trace id inherit it automatically; processes only read it to
+  // stamp state that must outlive the handler (connection tables, in-flight
+  // request records).
+  uint64_t current_trace_id() const;
+
  private:
   friend class Kernel;
   ProcessContext(Kernel* kernel, Process* proc, EventProcess* ep, bool new_ep)
@@ -314,6 +322,13 @@ class Kernel {
   KernelStats stats_;
   KernelMemCounters mem_;
   uint64_t peak_total_bytes_ = 0;
+  // Trace id of the delivery being handled right now (see
+  // ProcessContext::current_trace_id). Saved/restored around nested
+  // deliveries so re-entrant pumps don't bleed ids across requests.
+  uint64_t current_trace_id_ = 0;
+  // Metrics gauge group exposing stats_ and MemReport() while this kernel
+  // is alive (unregistered in the destructor).
+  uint64_t obs_gauge_group_ = 0;
 };
 
 }  // namespace asbestos

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "src/base/hash.h"
+#include "src/obs/metrics.h"
 
 namespace asbestos {
 
@@ -187,6 +188,18 @@ bool NeedsContaminationUncached(const Label& es, const Label& qs, uint64_t* work
 }  // namespace
 
 const LabelCheckCacheStats& GetLabelCheckCacheStats() { return g_cache_stats; }
+
+namespace {
+// Metrics-plane window onto the live cache stats. The struct remains the
+// storage of record — tests bind references to it across operations — and
+// the registry reads it only at snapshot time.
+[[maybe_unused]] const uint64_t g_cache_stats_gauges =
+    obs::Registry::Get().RegisterGauges([](obs::GaugeSink& sink) {
+      sink.Set("kernel.label_cache.hits", g_cache_stats.hits);
+      sink.Set("kernel.label_cache.misses", g_cache_stats.misses);
+      sink.Set("kernel.label_cache.evictions", g_cache_stats.evictions);
+    });
+}  // namespace
 
 void ResetLabelCheckCache() {
   g_delivery_cache.Clear();

@@ -41,6 +41,12 @@ struct Message {
   std::string data;             // payload bytes
   Handle reply_port;            // conventional reply destination (0 if none)
   Label verify = Label::Top();  // the sender's V label, delivered for analysis
+  // Flow-trace id (src/obs/trace.h). 0 = untraced. Minted at the system
+  // edge (netd accept, replication hello); the kernel stamps unset ids from
+  // the trace of the message being handled, so the id propagates through
+  // reply chains without per-process plumbing. Carries no authority and no
+  // information a receiver couldn't already derive from delivery itself.
+  uint64_t trace_id = 0;
 };
 
 inline uint64_t MessagePayloadBytes(const Message& m) {

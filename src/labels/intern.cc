@@ -5,6 +5,7 @@
 
 #include "src/base/hash.h"
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
 
 namespace asbestos {
 
@@ -24,6 +25,19 @@ InternTable& Table() {
 }  // namespace
 
 const LabelInternStats& GetLabelInternStats() { return g_intern; }
+
+namespace {
+// Metrics-plane window onto the live intern stats (the struct stays the
+// storage of record; see src/obs/metrics.h).
+[[maybe_unused]] const uint64_t g_intern_gauges =
+    obs::Registry::Get().RegisterGauges([](obs::GaugeSink& sink) {
+      sink.Set("labels.intern.probes", g_intern.probes);
+      sink.Set("labels.intern.hits", g_intern.hits);
+      sink.Set("labels.intern.misses", g_intern.misses);
+      sink.Set("labels.intern.bytes_saved", g_intern.bytes_saved);
+      sink.Set("labels.intern.live_canonical", g_intern.live_canonical);
+    });
+}  // namespace
 
 void ResetLabelInternStats() {
   const int64_t live = g_intern.live_canonical;

@@ -1,5 +1,6 @@
 #include "src/net/client.h"
 
+#include "src/obs/metrics.h"
 #include "src/sim/cycles.h"
 
 namespace asbestos {
@@ -35,6 +36,11 @@ bool HttpLoadClient::Step() {
       r.body = a.reader.body();
       r.start_cycles = a.start_cycles;
       r.end_cycles = GetCycleAccounting().now();
+      // Per-request latency distribution on the virtual clock (the paper's
+      // Figure-7 measurement, as a histogram instead of a scatter).
+      static obs::CycleHistogram& lat =
+          obs::Registry::Get().histogram("okws.request_cycles");
+      lat.Record(r.end_cycles - r.start_cycles);
       results_.push_back(std::move(r));
       net_->ClientClose(a.conn);
       active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/costs.h"
 
 namespace asbestos {
@@ -35,18 +37,30 @@ void NetdProcess::PollNetwork(ProcessContext& ctx) {
         ctx.ChargeCycles(costs::kNetdConnSetupCycles);
         net_->ServerAccept(ev.conn);
         ++connections_accepted_;
+        static obs::Counter& accepted =
+            obs::Registry::Get().counter("netd.connections_accepted");
+        accepted.Add();
         // Wrap the connection in a port. {2} + the kernel's implicit uC → 0
         // yields the paper's {uC 0, 2}: closed until netd grants uC ⋆.
         const Handle uc = ctx.NewPort(Label(Level::kL2));
         Conn conn;
         conn.net_conn = ev.conn;
         conn.port = uc;
+        // The system edge: a request's flow trace begins here.
+        conn.trace_id = obs::TraceRing::Get().MintTraceId();
+        if (obs::TraceRing::enabled()) {
+          obs::TraceRing::Get().Emit(conn.trace_id, "netd", "netd.accept",
+                                     "tcp_port=" + std::to_string(ev.listen_port),
+                                     Label::Bottom());
+        }
+        const uint64_t conn_trace = conn.trace_id;
         conns_.emplace(uc.value(), std::move(conn));
         port_by_conn_[ev.conn] = uc.value();
         // Notify the listener, granting it uC ⋆ (paper Fig. 5, step 2).
         Message m;
         m.type = MessageType::kNotifyConn;
         m.words = {uc.value()};
+        m.trace_id = conn_trace;
         SendArgs args;
         args.decont_send = Label({{uc, Level::kStar}}, Level::kL3);
         ctx.Send(lit->second.notify_port, std::move(m), args);
@@ -117,6 +131,22 @@ void NetdProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
   HandleConnMessage(ctx, it->second, msg);
 }
 
+void NetdProcess::EmitReadSpan(const Conn& conn, uint64_t bytes) {
+  static obs::Counter& reads = obs::Registry::Get().counter("netd.reads");
+  reads.Add();
+  if (obs::TraceRing::enabled() && conn.trace_id != 0) {
+    obs::TraceRing::Get().Emit(conn.trace_id, "netd", "netd.read",
+                               "bytes=" + std::to_string(bytes), ConnSpanLabel(conn));
+  }
+}
+
+Label NetdProcess::ConnSpanLabel(const Conn& conn) const {
+  if (conn.taint.valid()) {
+    return Label({{conn.taint, Level::kL3}}, Level::kStar);
+  }
+  return Label::Bottom();
+}
+
 SendArgs NetdProcess::TaintedReply(const Conn& conn) const {
   SendArgs args;
   if (conn.taint.valid()) {
@@ -148,6 +178,15 @@ void NetdProcess::HandleConnMessage(ProcessContext& ctx, Conn& conn, const Messa
       ctx.ChargeCycles(SegmentsForBytes(msg.data.size()) * costs::kNetdSegmentCycles +
                        msg.data.size() * costs::kNetdByteCycles);
       net_->ServerSend(conn.net_conn, msg.data);
+      static obs::Counter& writes = obs::Registry::Get().counter("netd.writes");
+      static obs::Counter& write_bytes = obs::Registry::Get().counter("netd.write_bytes");
+      writes.Add();
+      write_bytes.Add(msg.data.size());
+      if (obs::TraceRing::enabled() && conn.trace_id != 0) {
+        obs::TraceRing::Get().Emit(conn.trace_id, "netd", "netd.reply",
+                                   "bytes=" + std::to_string(msg.data.size()),
+                                   ConnSpanLabel(conn));
+      }
       if (msg.reply_port.valid()) {
         Message r;
         r.type = MessageType::kWriteR;
@@ -223,6 +262,10 @@ bool NetdProcess::TryReadReply(ProcessContext& ctx, Conn& conn, const PendingRea
     const bool eof = conn.client_closed && chunk.empty();
     m.words = {r.cookie, eof ? 1ULL : 0ULL};
     m.data = std::string(chunk.substr(0, std::min<uint64_t>(chunk.size(), r.max_bytes)));
+    // Explicit stamp: reads satisfied from PollNetwork run outside any
+    // delivery, so the kernel has no trace to inherit from.
+    m.trace_id = conn.trace_id;
+    EmitReadSpan(conn, m.data.size());
     ctx.Send(r.reply_port, std::move(m), TaintedReply(conn));
     return true;
   }
@@ -236,6 +279,8 @@ bool NetdProcess::TryReadReply(ProcessContext& ctx, Conn& conn, const PendingRea
   m.words = {r.cookie, eof ? 1ULL : 0ULL};
   m.data = conn.rx.substr(0, n);
   conn.rx.erase(0, n);
+  m.trace_id = conn.trace_id;
+  EmitReadSpan(conn, m.data.size());
   ctx.Send(r.reply_port, std::move(m), TaintedReply(conn));
   return true;
 }

@@ -80,6 +80,10 @@ class NetdProcess : public ProcessCode {
     std::string rx;
     bool client_closed = false;
     std::deque<PendingRead> pending_reads;
+    // Flow-trace id minted at accept. Stored here (not only in the message
+    // envelope) because reads are satisfied from PollNetwork, which runs
+    // outside any delivery and so has no kernel trace to inherit.
+    uint64_t trace_id = 0;
   };
 
   struct Listener {
@@ -93,6 +97,11 @@ class NetdProcess : public ProcessCode {
   bool TryReadReply(ProcessContext& ctx, Conn& conn, const PendingRead& r);
   void CloseConn(ProcessContext& ctx, Conn& conn);
   SendArgs TaintedReply(const Conn& conn) const;
+  // Bumps the read counter and emits a "netd.read" span for this conn.
+  void EmitReadSpan(const Conn& conn, uint64_t bytes);
+  // Contamination a message on this connection carries: {uT 3, ⋆} once
+  // tainted, ⊥ before — the label stamped on this connection's span events.
+  Label ConnSpanLabel(const Conn& conn) const;
 
   SimNet* net_;
   Handle control_port_;

@@ -1,0 +1,155 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/kernel/label_checks.h"
+#include "src/obs/metrics.h"
+#include "src/sim/cycles.h"
+
+namespace asbestos {
+namespace obs {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool TraceRing::enabled_ = false;
+
+TraceRing& TraceRing::Get() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+void TraceRing::Emit(uint64_t trace_id, const std::string& component,
+                     const std::string& name, const std::string& detail,
+                     const Label& label) {
+  if (!enabled_) {
+    return;
+  }
+  SpanEvent ev;
+  ev.trace_id = trace_id;
+  ev.seq = next_seq_++;
+  ev.at_cycles = GetCycleAccounting().now();
+  ev.component = component;
+  ev.name = name;
+  ev.detail = detail;
+  ev.label = label;
+  auto it = cumulative_.find(trace_id);
+  if (it == cumulative_.end()) {
+    cumulative_.emplace(trace_id, label);
+  } else {
+    it->second = Label::Lub(it->second, label);
+  }
+  events_.push_back(std::move(ev));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+  static Counter& emitted = Registry::Get().counter("trace.events_emitted");
+  emitted.Add();
+}
+
+Label TraceRing::CumulativeLabel(uint64_t trace_id) const {
+  auto it = cumulative_.find(trace_id);
+  return it == cumulative_.end() ? Label::Bottom() : it->second;
+}
+
+void TraceRing::SetCapacity(size_t cap) {
+  capacity_ = cap == 0 ? 1 : cap;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+void TraceRing::Clear() {
+  events_.clear();
+  cumulative_.clear();
+}
+
+bool TraceReader::CanObserve(uint64_t trace_id) const {
+  // The delivery rule of Eq. (5) with only the receive label in play:
+  // ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR with QR = clearance, DR = ⊥, V = pR = ⊤
+  // reduces to  cumulative ⊑ clearance — reading a trace is delivering its
+  // history to the reader.
+  uint64_t work = 0;
+  return CheckDeliveryAllowed(TraceRing::Get().CumulativeLabel(trace_id),
+                              clearance_, Label::Bottom(), Label::Top(),
+                              Label::Top(), &work);
+}
+
+std::vector<SpanEvent> TraceReader::Visible() const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& ev : TraceRing::Get().events()) {
+    if (CanObserve(ev.trace_id)) {
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
+size_t TraceReader::VisibleCount() const {
+  size_t n = 0;
+  for (const SpanEvent& ev : TraceRing::Get().events()) {
+    if (CanObserve(ev.trace_id)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string TraceReader::VisibleJson() const {
+  std::string out = "[";
+  bool first = true;
+  char buf[64];
+  for (const SpanEvent& ev : Visible()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n  {";
+    std::snprintf(buf, sizeof(buf), "\"trace_id\": %llu, ",
+                  static_cast<unsigned long long>(ev.trace_id));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"seq\": %llu, ",
+                  static_cast<unsigned long long>(ev.seq));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"at_cycles\": %llu, ",
+                  static_cast<unsigned long long>(ev.at_cycles));
+    out += buf;
+    out += "\"component\": \"" + EscapeJson(ev.component) + "\", ";
+    out += "\"name\": \"" + EscapeJson(ev.name) + "\", ";
+    out += "\"detail\": \"" + EscapeJson(ev.detail) + "\", ";
+    out += "\"label\": \"" + EscapeJson(ev.label.ToString()) + "\"}";
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace asbestos

@@ -1,0 +1,113 @@
+// Flow-aware request tracing.
+//
+// A trace id is minted where a request enters the system (netd accept, or a
+// replication session hello) and rides the kernel Message envelope through
+// every hop — demux dispatch, worker handling, dbproxy statements,
+// replication frames — so one labeled request can be followed end to end.
+// Each hop emits a SpanEvent stamped with the virtual-clock cycle and the
+// *contamination label* of the message that produced it.
+//
+// In an IFC system the trace ring is itself state that can leak (the
+// covert-channel analysis in tests/covert_channel_test.cc applies to
+// history just as much as to ports): a reader at clearance C must not be
+// able to observe — or even COUNT — events above C. TraceReader therefore
+// filters through the same CheckDeliveryAllowed machinery the kernel uses
+// for message delivery, and filtering is by the trace's CUMULATIVE label
+// (the lub of every event the trace has emitted so far, kept even after
+// ring eviction): a trace is as secret as its most secret event, so a low
+// reader cannot count secret requests by their early untainted accept
+// events.
+//
+// Tracing is DISABLED by default and every emit site guards on a single
+// global bool, so the instrumented hot paths cost one branch when off (the
+// ≤5% bench_fig7 criterion). Emission never charges virtual cycles:
+// observing the system must not perturb the Figure-9 attribution.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/labels/label.h"
+
+namespace asbestos {
+namespace obs {
+
+struct SpanEvent {
+  uint64_t trace_id = 0;
+  uint64_t seq = 0;        // global emission order (monotone)
+  uint64_t at_cycles = 0;  // virtual clock at emission
+  std::string component;   // emitting module, e.g. "netd", "worker"
+  std::string name;        // span name, e.g. "netd.accept"
+  std::string detail;      // free-form context (service, frame type, ...)
+  Label label = Label::Bottom();  // contamination of the producing message
+};
+
+class TraceRing {
+ public:
+  static TraceRing& Get();
+
+  // Global on/off switch. Off by default; when off, Emit is a no-op and
+  // call sites skip building labels/details entirely.
+  static bool enabled() { return enabled_; }
+  static void SetEnabled(bool on) { enabled_ = on; }
+
+  // Mints a fresh nonzero trace id. Always works (even when disabled) so
+  // ids stay deterministic across enable/disable toggles.
+  uint64_t MintTraceId() { return next_trace_id_++; }
+
+  void Emit(uint64_t trace_id, const std::string& component,
+            const std::string& name, const std::string& detail,
+            const Label& label);
+
+  // Cumulative secrecy of a trace: lub of the labels of every event it has
+  // ever emitted (survives ring eviction). Bottom for unknown ids.
+  Label CumulativeLabel(uint64_t trace_id) const;
+
+  const std::deque<SpanEvent>& events() const { return events_; }
+  uint64_t total_emitted() const { return next_seq_; }
+  size_t capacity() const { return capacity_; }
+  void SetCapacity(size_t cap);
+
+  // Drops all events and cumulative-label history.
+  void Clear();
+
+ private:
+  TraceRing() = default;
+
+  static bool enabled_;
+
+  std::deque<SpanEvent> events_;
+  std::map<uint64_t, Label> cumulative_;  // trace id → lub of its labels
+  size_t capacity_ = 8192;
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_seq_ = 0;
+};
+
+// Clearance-gated view of the ring. The reader sees exactly the events of
+// traces whose cumulative label flows to its clearance (L ⊑ clearance,
+// evaluated via CheckDeliveryAllowed so the verdict cache is exercised and
+// the semantics match kernel delivery bit for bit).
+class TraceReader {
+ public:
+  explicit TraceReader(const Label& clearance) : clearance_(clearance) {}
+
+  bool CanObserve(uint64_t trace_id) const;
+  std::vector<SpanEvent> Visible() const;
+  // The number of visible events — gated the same way, so counting is not
+  // a side channel around Visible().
+  size_t VisibleCount() const;
+  // Visible events as a JSON array (one object per event, ring order).
+  std::string VisibleJson() const;
+
+ private:
+  Label clearance_;
+};
+
+}  // namespace obs
+}  // namespace asbestos
+
+#endif  // SRC_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include "src/base/strings.h"
 #include "src/net/netd.h"
+#include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/sim/cycles.h"
 #include "src/store/label_codec.h"
@@ -314,6 +315,14 @@ void DemuxProcess::OnLoginResult(ProcessContext& ctx, uint64_t cookie, const Mes
 void DemuxProcess::ForwardToWorker(ProcessContext& ctx, uint64_t cookie, ConnState& conn) {
   ctx.ChargeCycles(costs::kDemuxConnCycles);
   const WorkerInfo& worker = workers_.at(conn.service);
+
+  if (obs::TraceRing::enabled() && ctx.current_trace_id() != 0) {
+    // The dispatch decision: this connection's trace now belongs to the
+    // service. Spans from user-space carry the emitter's own send label.
+    obs::TraceRing::Get().Emit(ctx.current_trace_id(), "demux", "demux.dispatch",
+                               "service=" + conn.service + " user=" + conn.username,
+                               ctx.send_label());
+  }
 
   // Step 5: grant netd uT ⋆ for this connection; netd raises its receive
   // label and the connection port's label so u-tainted data can flow out.

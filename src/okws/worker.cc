@@ -5,6 +5,7 @@
 #include "src/base/strings.h"
 #include "src/db/dbproxy.h"
 #include "src/net/netd.h"
+#include "src/obs/trace.h"
 #include "src/sim/costs.h"
 
 namespace asbestos {
@@ -96,6 +97,7 @@ void WorkerProcess::SendRead(ProcessContext& ctx, InFlight& rq) {
   read.type = netd_proto::kRead;
   read.words = {rq.demux_cookie, 0 /*all*/, 0 /*consume*/, 0};
   read.reply_port = rq.uw;
+  read.trace_id = rq.trace_id;
   SendArgs args;
   // Grant netd the reply capability (paper Fig. 5 step 8: "makes a new port
   // uW and grants it to netd at level ⋆").
@@ -119,9 +121,15 @@ void WorkerProcess::OnConnForUser(ProcessContext& ctx, const Message& msg) {
   rq.taint = Handle::FromValue(msg.words[2]);
   rq.grant = Handle::FromValue(msg.words[3]);
   rq.username = msg.data;
+  rq.trace_id = msg.trace_id;
   // Declassifiers hold the user's taint at ⋆ instead of carrying it at 3
   // (§7.6); the label state itself tells us which we are.
   rq.declassifier = ctx.send_label().Get(rq.taint) == Level::kStar;
+  if (obs::TraceRing::enabled() && rq.trace_id != 0) {
+    obs::TraceRing::Get().Emit(rq.trace_id, "worker", "worker.request",
+                               service_name_ + " user=" + rq.username,
+                               ctx.send_label());
+  }
 
   Handle state_uw;
   std::string state_user;
@@ -137,6 +145,7 @@ void WorkerProcess::OnConnForUser(ProcessContext& ctx, const Message& msg) {
     Message reg;
     reg.type = MessageType::kSessionReg;
     reg.words = {rq.demux_cookie, rq.uw.value()};
+    reg.trace_id = rq.trace_id;
     SendArgs args;
     args.decont_send = Label({{rq.uw, Level::kStar}}, Level::kL3);
     ctx.Send(session_port_, std::move(reg), args);
@@ -202,14 +211,20 @@ void WorkerProcess::FinishRequest(ProcessContext& ctx, InFlight& rq, int status,
   ++served;
   ctx.WriteMem(stats_addr_, &served, sizeof(served));
 
+  if (obs::TraceRing::enabled() && rq.trace_id != 0) {
+    obs::TraceRing::Get().Emit(rq.trace_id, "worker", "worker.respond",
+                               "status=" + std::to_string(status), ctx.send_label());
+  }
   Message write;
   write.type = netd_proto::kWrite;
   write.words = {rq.demux_cookie};
   write.data = response;
+  write.trace_id = rq.trace_id;
   ctx.Send(rq.uc, std::move(write));
   Message close;
   close.type = netd_proto::kControl;
   close.words = {rq.demux_cookie, netd_proto::kControlOpClose};
+  close.trace_id = rq.trace_id;
   ctx.Send(rq.uc, std::move(close));
   // Release the connection capability (§9.3): the event process's labels
   // must not grow with every connection its session ever served.
@@ -317,6 +332,7 @@ uint64_t ServiceContext::DbQuery(const std::string& sql, uint64_t flags) {
   q.words = {qid, flags};
   q.data = rq.username + "\n" + sql;
   q.reply_port = rq.uw;
+  q.trace_id = rq.trace_id;
   SendArgs args;
   // §7.5: prove both facts dbproxy checks — tainted by nothing but our own
   // user (uT is the only level-3 entry in V) and speaking for the user
@@ -335,6 +351,7 @@ void ServiceContext::ChangePassword(const std::string& old_pw, const std::string
   m.words = {rq.demux_cookie};
   m.data = rq.username + "\n" + old_pw + "\n" + new_pw;
   m.reply_port = rq.uw;
+  m.trace_id = rq.trace_id;
   SendArgs args;
   args.verify = Label({{rq.grant, Level::kL0}}, Level::kL3);  // prove we speak for the user
   args.decont_send = Label({{rq.uw, Level::kStar}}, Level::kL3);

@@ -125,6 +125,11 @@ class WorkerProcess : public ProcessCode {
     uint64_t next_qid = 1;
     bool responded = false;
     bool declassifier = false;
+    // Flow-trace id of this request, captured from the kConnForUser
+    // envelope. Stored because a queued connection is re-dispatched from
+    // FinishRequest, where the kernel's current trace is the FINISHING
+    // request's — inheriting it would fuse two requests into one trace.
+    uint64_t trace_id = 0;
   };
 
   void OnConnForUser(ProcessContext& ctx, const Message& msg);

@@ -1,5 +1,32 @@
 #include "src/replication/frame_cache.h"
 
+#include "src/obs/metrics.h"
+
+namespace {
+// Process-wide mirrors of the per-instance stats, so a metrics snapshot
+// taken after every hub is gone still carries the frame-cache family.
+asbestos::obs::Counter& HitCounter() {
+  static asbestos::obs::Counter& c =
+      asbestos::obs::Registry::Get().counter("repl.frame_cache.hits");
+  return c;
+}
+asbestos::obs::Counter& MissCounter() {
+  static asbestos::obs::Counter& c =
+      asbestos::obs::Registry::Get().counter("repl.frame_cache.misses");
+  return c;
+}
+asbestos::obs::Counter& EvictionCounter() {
+  static asbestos::obs::Counter& c =
+      asbestos::obs::Registry::Get().counter("repl.frame_cache.evictions");
+  return c;
+}
+asbestos::obs::Counter& HitBytesCounter() {
+  static asbestos::obs::Counter& c =
+      asbestos::obs::Registry::Get().counter("repl.frame_cache.hit_bytes");
+  return c;
+}
+}  // namespace
+
 namespace asbestos {
 
 bool FrameCache::Lookup(uint32_t shard, uint64_t generation, uint64_t offset,
@@ -8,6 +35,7 @@ bool FrameCache::Lookup(uint32_t shard, uint64_t generation, uint64_t offset,
   auto it = index_.find(key);
   if (it == index_.end()) {
     stats_.misses += 1;
+    MissCounter().Add();
     return false;
   }
   Entry& e = *it->second;
@@ -17,11 +45,14 @@ bool FrameCache::Lookup(uint32_t shard, uint64_t generation, uint64_t offset,
     // The log grew past this entry since it was cached; serving it would
     // shrink every follower's batches to the stalest reader's view.
     stats_.misses += 1;
+    MissCounter().Add();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   stats_.hits += 1;
   stats_.hit_bytes += e.span.size();
+  HitCounter().Add();
+  HitBytesCounter().Add(e.span.size());
   *span = e.span;
   return true;
 }
@@ -52,6 +83,7 @@ void FrameCache::EvictToBudget() {
     const Entry& victim = lru_.back();
     stats_.bytes -= victim.span.size();
     stats_.evictions += 1;
+    EvictionCounter().Add();
     index_.erase(victim.key);
     lru_.pop_back();
   }

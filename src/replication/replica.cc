@@ -4,6 +4,7 @@
 
 #include "src/base/panic.h"
 #include "src/base/strings.h"
+#include "src/obs/trace.h"
 
 namespace asbestos {
 
@@ -111,6 +112,7 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
         return Status::kInvalidArgs;  // layouts must match; poison session
       }
       session_source_ = msg.source_id;
+      session_trace_id_ = msg.trace_id;
       // A fresh session supersedes the dead one's lease bookkeeping.
       lease_until_ = 0;
       successor_id_ = 0;
@@ -154,6 +156,13 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       }
       c.offset += msg.payload.size();
       stats_.batches_applied += 1;
+      if (obs::TraceRing::enabled() && msg.trace_id != 0) {
+        obs::TraceRing::Get().Emit(
+            msg.trace_id, "replica", "repl.apply",
+            "batch shard=" + std::to_string(msg.shard) + " off=" +
+                std::to_string(c.offset),
+            Label::Bottom());
+      }
       AppendAck(static_cast<uint32_t>(msg.shard), ack_out);
       return Status::kOk;
     }
@@ -174,6 +183,13 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       c.generation = msg.generation;
       c.offset = msg.offset;
       stats_.snapshots_installed += 1;
+      if (obs::TraceRing::enabled() && msg.trace_id != 0) {
+        obs::TraceRing::Get().Emit(
+            msg.trace_id, "replica", "repl.apply",
+            "snapshot shard=" + std::to_string(msg.shard) + " gen=" +
+                std::to_string(msg.generation),
+            Label::Bottom());
+      }
       AppendAck(static_cast<uint32_t>(msg.shard), ack_out);
       return Status::kOk;
     }

@@ -100,6 +100,9 @@ class ReplicaStore {
   const ReplicaStoreStats& stats() const { return stats_; }
   uint64_t session_source() const { return session_source_; }
   uint64_t follower_id() const { return options_.follower_id; }
+  // Flow-trace id the current session's kHello carried (0 = no session, or
+  // an untraced primary). Frames the replica applies are spanned under it.
+  uint64_t session_trace_id() const { return session_trace_id_; }
 
   // --- Lease state (automatic failover; see src/replication/follower.h) ------
   // The newest lease deadline heard from the primary (kHello/kBatch/
@@ -133,6 +136,7 @@ class ReplicaStore {
   std::vector<Cursor> cursors_;
   ReplicaOptions options_;
   uint64_t session_source_ = 0;  // from kHello; 0 = no session yet
+  uint64_t session_trace_id_ = 0;  // from kHello; the session's flow trace
   uint64_t lease_until_ = 0;
   uint64_t successor_id_ = 0;
   uint64_t busy_retry_after_ = 0;

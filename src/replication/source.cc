@@ -3,11 +3,41 @@
 #include <algorithm>
 
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/cycles.h"
 
 namespace asbestos {
 
 using replwire::WireMessage;
+
+namespace {
+
+// Hub/session ship-plane counters live in the process-wide registry (not
+// only in per-instance stats) so a bench snapshot taken after the world is
+// torn down still carries the repl.* family.
+obs::Counter& BatchCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("repl.batches_shipped");
+  return c;
+}
+obs::Counter& SnapshotCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("repl.snapshots_shipped");
+  return c;
+}
+obs::Counter& HeartbeatCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("repl.heartbeats_sent");
+  return c;
+}
+obs::Counter& ShippedBytesCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("repl.bytes_shipped");
+  return c;
+}
+obs::Counter& RewindCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("repl.rewinds");
+  return c;
+}
+
+}  // namespace
 
 // --- FollowerSession ---------------------------------------------------------
 
@@ -21,15 +51,27 @@ std::string FollowerSession::SessionHello() {
     c = Cursor();
   }
   follower_id_ = 0;
+  // The replication analogue of netd accept: a session's flow trace starts
+  // at hello, and every frame it ever ships carries this id.
+  trace_id_ = obs::TraceRing::Get().MintTraceId();
+  if (obs::TraceRing::enabled()) {
+    // Control-plane span: the stream carries only WAL bytes the follower is
+    // entitled to replay, so the session trace itself is public (⊥).
+    obs::TraceRing::Get().Emit(trace_id_, "repl", "repl.hello",
+                               "session=" + std::to_string(session_id_),
+                               Label::Bottom());
+  }
   WireMessage hello;
   hello.type = replwire::kHello;
   hello.token = hub_->auth_token();
   hello.source_id = hub_->source_id();
   hello.shard_count = hub_->store()->shard_count();
   hello.lease_until = hub_->LeaseDeadline();
+  hello.trace_id = trace_id_;
   std::string out;
   replwire::AppendFrame(hello, &out);
   last_send_cycles_ = GetCycleAccounting().now();
+  hello_cycles_ = last_send_cycles_;
   last_lease_stamped_ = hello.lease_until;
   return out;
 }
@@ -44,6 +86,7 @@ void FollowerSession::ShipSnapshot(uint32_t shard, uint64_t lease_until,
   // live primary (images can outlast a whole lease interval on the wire).
   m.lease_until = lease_until;
   m.successor_id = successor_id;
+  m.trace_id = trace_id_;
   ASB_ASSERT(IsOk(hub_->store()->ExportShardSnapshot(shard, &m.payload, &m.generation,
                                                      &m.offset)));
   Cursor& c = cursors_[shard];
@@ -52,6 +95,13 @@ void FollowerSession::ShipSnapshot(uint32_t shard, uint64_t lease_until,
   c.shipped_off = m.offset;
   stats_.snapshots_shipped += 1;
   stats_.bytes_shipped += m.payload.size();
+  SnapshotCounter().Add();
+  ShippedBytesCounter().Add(m.payload.size());
+  if (obs::TraceRing::enabled() && trace_id_ != 0) {
+    obs::TraceRing::Get().Emit(trace_id_, "repl", "repl.ship",
+                               "snapshot shard=" + std::to_string(shard),
+                               Label::Bottom());
+  }
   replwire::AppendFrame(m, out);
   *frames += 1;
 }
@@ -113,10 +163,19 @@ size_t FollowerSession::PollFrames(uint64_t max_batch_bytes, uint64_t max_total_
       m.offset = c.shipped_off;
       m.lease_until = lease_until;
       m.successor_id = successor_id;
+      m.trace_id = trace_id_;
       m.payload = span.substr(0, take);
       c.shipped_off += take;
       stats_.batches_shipped += 1;
       stats_.bytes_shipped += take;
+      BatchCounter().Add();
+      ShippedBytesCounter().Add(take);
+      if (obs::TraceRing::enabled() && trace_id_ != 0) {
+        obs::TraceRing::Get().Emit(
+            trace_id_, "repl", "repl.ship",
+            "batch shard=" + std::to_string(shard) + " off=" + std::to_string(m.offset),
+            Label::Bottom());
+      }
       replwire::AppendFrame(m, out);
       ++frames;
     }
@@ -133,8 +192,10 @@ void FollowerSession::AppendHeartbeat(std::string* out) {
   hb.type = replwire::kHeartbeat;
   hb.lease_until = hub_->LeaseDeadline();
   hb.successor_id = hub_->SuccessorId();
+  hb.trace_id = trace_id_;
   replwire::AppendFrame(hb, out);
   stats_.heartbeats_sent += 1;
+  HeartbeatCounter().Add();
   last_send_cycles_ = GetCycleAccounting().now();
   last_lease_stamped_ = hb.lease_until;
 }
@@ -146,6 +207,9 @@ void FollowerSession::HandleAck(const WireMessage& ack) {
   if (ack.follower_id != 0) {
     follower_id_ = ack.follower_id;
   }
+  last_ack_cycles_ = GetCycleAccounting().now();
+  static obs::Gauge& lag_gauge = obs::Registry::Get().gauge("repl.apply_lag_cycles");
+  lag_gauge.Set(static_cast<double>(ApplyLagCycles()));
   const DurableStore* store = hub_->store();
   Cursor& c = cursors_[ack.shard];
   const uint32_t shard = static_cast<uint32_t>(ack.shard);
@@ -183,6 +247,7 @@ void FollowerSession::HandleAck(const WireMessage& ack) {
   if (no_progress && c.shipped_gen == ack.generation && ack.offset < c.shipped_off) {
     c.shipped_off = ack.offset;  // go back and retransmit from its position
     stats_.rewinds += 1;
+    RewindCounter().Add();
   }
 }
 
@@ -196,6 +261,20 @@ bool FollowerSession::FullySynced() const {
     }
   }
   return true;
+}
+
+uint64_t FollowerSession::ApplyLagCycles() const {
+  if (FullySynced()) {
+    return 0;
+  }
+  const uint64_t now = GetCycleAccounting().now();
+  const uint64_t since = last_ack_cycles_ != 0 ? last_ack_cycles_ : hello_cycles_;
+  return now >= since ? now - since : 0;
+}
+
+uint64_t FollowerSession::LeaseRemainingCycles() const {
+  const uint64_t now = GetCycleAccounting().now();
+  return last_lease_stamped_ > now ? last_lease_stamped_ - now : 0;
 }
 
 bool FollowerSession::CaughtUp() const {
@@ -216,10 +295,54 @@ ReplicationHub::ReplicationHub(const DurableStore* store, uint64_t source_id, Tu
     : store_(store),
       source_id_(source_id),
       tuning_(tuning),
-      cache_(tuning.frame_cache_bytes) {}
+      cache_(tuning.frame_cache_bytes) {
+  // Per-process hub ordinal, so two hubs in one simulation (e.g. a promoted
+  // follower re-publishing) get distinct gauge namespaces.
+  static uint64_t hub_ordinal = 0;
+  const std::string prefix = "repl.hub" + std::to_string(hub_ordinal++) + ".";
+  obs_gauge_group_ =
+      obs::Registry::Get().RegisterGauges([this, prefix](obs::GaugeSink& sink) {
+        const HubDebugStatus st = DebugStatus();
+        sink.Set(prefix + "sessions", static_cast<uint64_t>(st.sessions.size()));
+        sink.Set(prefix + "successor_id", st.successor_id);
+        sink.Set(prefix + "frame_cache.hits", st.cache.hits);
+        sink.Set(prefix + "frame_cache.misses", st.cache.misses);
+        sink.Set(prefix + "frame_cache.evictions", st.cache.evictions);
+        sink.Set(prefix + "frame_cache.bytes", st.cache.bytes);
+        sink.Set(prefix + "frame_cache.hit_bytes", st.cache.hit_bytes);
+        uint64_t max_lag = 0;
+        uint64_t min_lease = 0;
+        bool have_lease = false;
+        for (const HubDebugStatus::Session& s : st.sessions) {
+          const std::string sp = prefix + "session" + std::to_string(s.session_id) + ".";
+          sink.Set(sp + "follower_id", s.follower_id);
+          sink.Set(sp + "apply_lag_cycles", s.apply_lag_cycles);
+          sink.Set(sp + "lease_remaining_cycles", s.lease_remaining_cycles);
+          sink.Set(sp + "caught_up", static_cast<uint64_t>(s.caught_up ? 1 : 0));
+          sink.Set(sp + "fully_synced", static_cast<uint64_t>(s.fully_synced ? 1 : 0));
+          sink.Set(sp + "batches_shipped", s.stats.batches_shipped);
+          sink.Set(sp + "snapshots_shipped", s.stats.snapshots_shipped);
+          max_lag = std::max(max_lag, s.apply_lag_cycles);
+          if (!have_lease || s.lease_remaining_cycles < min_lease) {
+            min_lease = s.lease_remaining_cycles;
+            have_lease = true;
+          }
+        }
+        sink.Set(prefix + "max_apply_lag_cycles", max_lag);
+        sink.Set(prefix + "min_lease_remaining_cycles", min_lease);
+      });
+}
 
 ReplicationHub::ReplicationHub(const DurableStore* store, uint64_t source_id)
     : ReplicationHub(store, source_id, Tuning()) {}
+
+ReplicationHub::~ReplicationHub() {
+  // Only drop the gauge group. Recomputing lag here would walk the store's
+  // WAL tails, and callers may tear the store down before the hub (the
+  // bench fixtures do); the persistent repl.apply_lag_cycles gauge already
+  // holds the value from the last ack.
+  obs::Registry::Get().UnregisterGauges(obs_gauge_group_);
+}
 
 FollowerSession* ReplicationHub::OpenSession() {
   sessions_.emplace_back(new FollowerSession(this, next_session_id_++));
@@ -269,6 +392,36 @@ uint64_t ReplicationHub::heartbeat_interval_cycles() const {
     return tuning_.heartbeat_interval_cycles;
   }
   return tuning_.lease_interval_cycles / 4;
+}
+
+HubDebugStatus ReplicationHub::DebugStatus() const {
+  HubDebugStatus st;
+  st.source_id = source_id_;
+  st.successor_id = SuccessorId();
+  st.cache = cache_.stats();
+  for (const auto& s : sessions_) {
+    HubDebugStatus::Session out;
+    out.session_id = s->session_id();
+    out.follower_id = s->follower_id();
+    out.trace_id = s->trace_id();
+    out.caught_up = s->CaughtUp();
+    out.fully_synced = s->FullySynced();
+    out.apply_lag_cycles = s->ApplyLagCycles();
+    out.lease_remaining_cycles = s->LeaseRemainingCycles();
+    out.stats = s->stats();
+    for (const FollowerSession::Cursor& c : s->cursors_) {
+      HubDebugStatus::ShardCursor sc;
+      sc.await_resume = c.await_resume;
+      sc.force_snapshot = c.force_snapshot;
+      sc.shipped_gen = c.shipped_gen;
+      sc.shipped_off = c.shipped_off;
+      sc.acked_gen = c.acked_gen;
+      sc.acked_off = c.acked_off;
+      out.shards.push_back(sc);
+    }
+    st.sessions.push_back(std::move(out));
+  }
+  return st;
 }
 
 uint64_t ReplicationHub::SuccessorId() const {

@@ -102,6 +102,19 @@ class FollowerSession {
   bool CaughtUp() const;
 
   uint64_t session_id() const { return session_id_; }
+  // Flow-trace id of this session, minted at SessionHello and stamped on
+  // every frame the session ships (see src/obs/trace.h).
+  uint64_t trace_id() const { return trace_id_; }
+  // Virtual-clock stamp of the last authenticated ack from this follower
+  // (0 before the first ack).
+  uint64_t last_ack_cycles() const { return last_ack_cycles_; }
+  // Cycles the follower's applied state trails the primary: 0 when fully
+  // synced, otherwise now minus the last authenticated ack (now minus the
+  // hello send when no ack has arrived yet).
+  uint64_t ApplyLagCycles() const;
+  // Virtual cycles until the newest lease stamped for this follower runs
+  // out (0 when lease stamping is off or the lease already expired).
+  uint64_t LeaseRemainingCycles() const;
   // The follower's self-declared failover id, learned from its acks
   // (0 until an authenticated ack carries one).
   uint64_t follower_id() const { return follower_id_; }
@@ -138,7 +151,39 @@ class FollowerSession {
   std::vector<Cursor> cursors_;
   uint64_t last_send_cycles_ = 0;
   uint64_t last_lease_stamped_ = 0;
+  uint64_t last_ack_cycles_ = 0;
+  uint64_t hello_cycles_ = 0;
+  uint64_t trace_id_ = 0;
   FollowerSessionStats stats_;
+};
+
+// Point-in-time replication health, one entry per live session. Everything
+// a failover post-mortem needs: where each follower is per shard, how far
+// behind it is on the virtual clock, and how long its lease has left.
+struct HubDebugStatus {
+  struct ShardCursor {
+    bool await_resume = false;
+    bool force_snapshot = false;
+    uint64_t shipped_gen = 0;
+    uint64_t shipped_off = 0;
+    uint64_t acked_gen = 0;
+    uint64_t acked_off = 0;
+  };
+  struct Session {
+    uint64_t session_id = 0;
+    uint64_t follower_id = 0;
+    uint64_t trace_id = 0;
+    bool caught_up = false;
+    bool fully_synced = false;
+    uint64_t apply_lag_cycles = 0;
+    uint64_t lease_remaining_cycles = 0;
+    FollowerSessionStats stats;
+    std::vector<ShardCursor> shards;
+  };
+  uint64_t source_id = 0;
+  uint64_t successor_id = 0;
+  FrameCacheStats cache;
+  std::vector<Session> sessions;
 };
 
 class ReplicationHub {
@@ -164,6 +209,10 @@ class ReplicationHub {
   // The two-arg form runs with default tuning.
   ReplicationHub(const DurableStore* store, uint64_t source_id, Tuning tuning);
   ReplicationHub(const DurableStore* store, uint64_t source_id);
+  ~ReplicationHub();
+
+  ReplicationHub(const ReplicationHub&) = delete;
+  ReplicationHub& operator=(const ReplicationHub&) = delete;
 
   // Mints a session for one newly connected follower. The hub owns it; the
   // pointer stays valid until CloseSession. Capacity limits are the
@@ -202,6 +251,11 @@ class ReplicationHub {
   const DurableStore* store() const { return store_; }
   const FrameCacheStats& cache_stats() const { return cache_.stats(); }
 
+  // Replication/lease health surface: cursors, lag, and lease state for
+  // every live session. Also exported as gauges (repl.hub<k>.*) while the
+  // hub is alive.
+  HubDebugStatus DebugStatus() const;
+
  private:
   // A follower whose session closed while it might still act on a
   // designation naming it (its last stamped lease has not yet expired).
@@ -219,6 +273,9 @@ class ReplicationHub {
   std::vector<std::unique_ptr<FollowerSession>> sessions_;
   mutable std::vector<RetiredDesignee> retired_designees_;  // pruned in SuccessorId
   uint64_t next_session_id_ = 1;
+  // Metrics gauge group publishing DebugStatus() under repl.hub<k>.* while
+  // this hub lives (k = per-process hub instance number).
+  uint64_t obs_gauge_group_ = 0;
 };
 
 }  // namespace asbestos

@@ -33,6 +33,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.source_id, &p);
       codec::AppendVarint(msg.shard_count, &p);
       codec::AppendVarint(msg.lease_until, &p);
+      codec::AppendVarint(msg.trace_id, &p);
       break;
     case kBatch:
       codec::AppendVarint(msg.shard, &p);
@@ -41,6 +42,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.lease_until, &p);
       codec::AppendVarint(msg.successor_id, &p);
       codec::AppendString(msg.payload, &p);
+      codec::AppendVarint(msg.trace_id, &p);
       break;
     case kSnapshot:
       codec::AppendVarint(msg.shard, &p);
@@ -49,6 +51,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.lease_until, &p);
       codec::AppendVarint(msg.successor_id, &p);
       codec::AppendString(msg.payload, &p);
+      codec::AppendVarint(msg.trace_id, &p);
       break;
     case kAck:
       codec::AppendVarint(msg.token, &p);
@@ -57,13 +60,16 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.generation, &p);
       codec::AppendVarint(msg.offset, &p);
       codec::AppendVarint(msg.follower_id, &p);
+      codec::AppendVarint(msg.trace_id, &p);
       break;
     case kHeartbeat:
       codec::AppendVarint(msg.lease_until, &p);
       codec::AppendVarint(msg.successor_id, &p);
+      codec::AppendVarint(msg.trace_id, &p);
       break;
     case kBusy:
       codec::AppendVarint(msg.retry_after, &p);
+      codec::AppendVarint(msg.trace_id, &p);
       break;
     default:
       break;
@@ -87,6 +93,9 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until))) {
         return s;
       }
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
       break;
     case kBatch:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
@@ -98,6 +107,9 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
         return s;
       }
       msg->payload.assign(bytes);
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
       break;
     case kSnapshot:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
@@ -109,6 +121,9 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
         return s;
       }
       msg->payload.assign(bytes);
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
       break;
     case kAck:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->token)) ||
@@ -119,15 +134,24 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->follower_id))) {
         return s;
       }
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
       break;
     case kHeartbeat:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until)) ||
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->successor_id))) {
         return s;
       }
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
       break;
     case kBusy:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->retry_after))) {
+        return s;
+      }
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
         return s;
       }
       break;

@@ -94,6 +94,11 @@ struct WireMessage {
   uint64_t successor_id = 0; // kBatch/kHeartbeat: designated failover follower id
   uint64_t follower_id = 0;  // kAck: the follower's configured id (0 = bystander)
   uint64_t retry_after = 0;  // kBusy: suggested back-off in virtual cycles
+  // Flow-trace id of the session (src/obs/trace.h), minted at hello and
+  // stamped on every subsequent frame so replication traffic can be
+  // followed end to end like an OKWS request. Carried by every frame type;
+  // 0 means untraced. Purely observational: no protocol decision reads it.
+  uint64_t trace_id = 0;
   std::string payload;       // kBatch: raw WAL frames; kSnapshot: image
 };
 

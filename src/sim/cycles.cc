@@ -1,10 +1,24 @@
 #include "src/sim/cycles.h"
 
+#include "src/obs/metrics.h"
+
 namespace asbestos {
 namespace {
 
 CycleAccounting g_accounting;
 Component g_current = Component::kOther;
+
+// Metrics-plane window onto the Figure-9 accumulator: per-component cycle
+// totals plus the virtual clock, read live at snapshot time.
+[[maybe_unused]] const uint64_t g_cycles_gauges =
+    obs::Registry::Get().RegisterGauges([](obs::GaugeSink& sink) {
+      sink.Set("cycles.now", g_accounting.now());
+      sink.Set("cycles.component.okws", g_accounting.total(Component::kOkws));
+      sink.Set("cycles.component.network", g_accounting.total(Component::kNetwork));
+      sink.Set("cycles.component.kernel_ipc", g_accounting.total(Component::kKernelIpc));
+      sink.Set("cycles.component.okdb", g_accounting.total(Component::kOkdb));
+      sink.Set("cycles.component.other", g_accounting.total(Component::kOther));
+    });
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 
 #include "src/base/hash.h"
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
 #include "src/store/label_codec.h"
 
 namespace asbestos {
@@ -18,6 +19,15 @@ namespace asbestos {
 namespace {
 
 StoreMemStats g_store_mem;
+
+// The struct stays the live storage of record (GetStoreMemStats hands out a
+// reference tests hold across operations); the registry reads it at
+// snapshot time. Registered once at static init, never unregistered.
+[[maybe_unused]] const uint64_t g_store_mem_gauges =
+    obs::Registry::Get().RegisterGauges([](obs::GaugeSink& sink) {
+      sink.Set("store.mem.live_bytes", g_store_mem.live_bytes);
+      sink.Set("store.mem.live_records", g_store_mem.live_records);
+    });
 
 constexpr char kSnapshotMagic[8] = {'A', 'S', 'B', 'S', 'T', 'O', 'R', '1'};
 constexpr char kLogPut = 'P';
@@ -508,6 +518,10 @@ Status DurableStore::SyncPipelined() {
   if (flush->wals.empty()) {
     return acked;
   }
+  static obs::Counter& syncs = obs::Registry::Get().counter("store.sync_pipelined_calls");
+  static obs::Counter& wal_syncs = obs::Registry::Get().counter("store.wal_syncs");
+  syncs.Add();
+  wal_syncs.Add(flush->wals.size());
   InflightFlush* raw = flush.get();
   flush->thread = std::thread([raw]() {
     for (const Wal* wal : raw->wals) {
@@ -540,6 +554,10 @@ Status DurableStore::Sync() {
   if (dirty.empty()) {
     return Status::kOk;
   }
+  static obs::Counter& syncs = obs::Registry::Get().counter("store.sync_calls");
+  static obs::Counter& wal_syncs = obs::Registry::Get().counter("store.wal_syncs");
+  syncs.Add();
+  wal_syncs.Add(dirty.size());
   Status result = Status::kOk;
   const auto start = std::chrono::steady_clock::now();
   const bool concurrent =
@@ -679,6 +697,8 @@ Status DurableStore::ReadShardWal(uint32_t shard, uint64_t generation, uint64_t 
     return Status::kNotFound;
   }
   wal_read_calls_ += 1;
+  static obs::Counter& reads = obs::Registry::Get().counter("store.wal_read_calls");
+  reads.Add();
   return wal.ReadAt(offset, max_bytes, out);
 }
 
