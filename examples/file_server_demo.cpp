@@ -22,7 +22,7 @@ class Shell : public ProcessCode {
     (void)ctx;
     if (msg.type == fs_proto::kReadR) {
       std::printf("  [%s] read reply (status %lld): \"%s\"\n", who_,
-                  -static_cast<long long>(msg.words[1]), msg.data.c_str());
+                  -static_cast<long long>(msg.words[1]), msg.data.str().c_str());
     } else {
       std::printf("  [%s] reply type %llu status %lld\n", who_,
                   (unsigned long long)msg.type, -static_cast<long long>(msg.words[1]));

@@ -19,7 +19,7 @@ class Actor : public ProcessCode {
   explicit Actor(const char* who) : who_(who) {}
   void HandleMessage(ProcessContext& ctx, const Message& msg) override {
     (void)ctx;
-    std::printf("  [%s] got: \"%s\"\n", who_, msg.data.c_str());
+    std::printf("  [%s] got: \"%s\"\n", who_, msg.data.str().c_str());
   }
 
  private:

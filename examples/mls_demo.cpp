@@ -22,7 +22,7 @@ class Analyst : public ProcessCode {
   explicit Analyst(const char* who) : who_(who) {}
   void HandleMessage(ProcessContext& ctx, const Message& msg) override {
     (void)ctx;
-    std::printf("  [%s] received: \"%s\"\n", who_, msg.data.c_str());
+    std::printf("  [%s] received: \"%s\"\n", who_, msg.data.str().c_str());
   }
 
  private:

@@ -22,7 +22,7 @@ class Printer : public ProcessCode {
   explicit Printer(const char* who) : who_(who) {}
   void HandleMessage(ProcessContext& ctx, const Message& msg) override {
     std::printf("  [%s] received: \"%s\"  (my send label is now %s)\n", who_,
-                msg.data.c_str(), ctx.send_label().ToString().c_str());
+                msg.data.str().c_str(), ctx.send_label().ToString().c_str());
   }
 
  private:

@@ -33,6 +33,7 @@ REQUIRED_COUNTERS = {
     "BENCH_labels.json": ["charged_work_per_check", "cache_hit_rate"],
     "BENCH_store.json": ["pickled_bytes", "bytes_per_second"],
     "BENCH_replication.json": ["cache_hit_rate", "records_applied"],
+    "BENCH_ipc.json": ["virtual_cycles_per_msg", "bytes_shared_saved_per_msg"],
 }
 
 # Metrics-registry snapshots written next to the benchmark JSON (see
@@ -45,6 +46,7 @@ REQUIRED_METRIC_FAMILIES = {
     "BENCH_labels.metrics.json": ["kernel.label_cache.", "labels.intern."],
     "BENCH_store.metrics.json": ["store.", "labels.intern."],
     "BENCH_replication.metrics.json": ["repl.", "store.", "cycles.", "kernel.mem."],
+    "BENCH_ipc.metrics.json": ["kernel.sys.", "pump.", "payload."],
 }
 
 

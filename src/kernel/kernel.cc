@@ -65,14 +65,25 @@ const Label& ProcessContext::recv_label() const {
   return ep_ != nullptr ? ep_->recv_label : proc_->recv_label;
 }
 
-Handle ProcessContext::NewHandle() { return kernel_->SysNewHandle(*proc_, ep_); }
+Handle ProcessContext::NewHandle() {
+  Kernel::SyscallFrame f;
+  kernel_->Dispatch(Kernel::Sys::kNewHandle, *proc_, ep_, f);
+  return f.out_handle;
+}
 
 Handle ProcessContext::NewPort(const Label& port_label) {
-  return kernel_->SysNewPort(*proc_, ep_, port_label);
+  Kernel::SyscallFrame f;
+  f.label = &port_label;
+  kernel_->Dispatch(Kernel::Sys::kNewPort, *proc_, ep_, f);
+  return f.out_handle;
 }
 
 Status ProcessContext::SetPortLabel(Handle port, const Label& label) {
-  return kernel_->SysSetPortLabel(*proc_, ep_, port, label);
+  Kernel::SyscallFrame f;
+  f.handle = port;
+  f.label = &label;
+  kernel_->Dispatch(Kernel::Sys::kSetPortLabel, *proc_, ep_, f);
+  return f.status;
 }
 
 Result<Label> ProcessContext::GetPortLabel(Handle port) const {
@@ -115,15 +126,28 @@ Status ProcessContext::ClosePort(Handle port) {
 }
 
 Status ProcessContext::Send(Handle port, Message msg, const SendArgs& args) {
-  return kernel_->SysSend(*proc_, ep_, port, std::move(msg), args);
+  Kernel::SyscallFrame f;
+  f.handle = port;
+  f.msg = &msg;  // moved from by the body
+  f.send_args = &args;
+  kernel_->Dispatch(Kernel::Sys::kSend, *proc_, ep_, f);
+  return f.status;
 }
 
 Status ProcessContext::SetSendLevel(Handle h, Level level) {
-  return kernel_->SysSetSendLevel(*proc_, ep_, h, level);
+  Kernel::SyscallFrame f;
+  f.handle = h;
+  f.level = level;
+  kernel_->Dispatch(Kernel::Sys::kSetSendLevel, *proc_, ep_, f);
+  return f.status;
 }
 
 Status ProcessContext::SetReceiveLevel(Handle h, Level level) {
-  return kernel_->SysSetReceiveLevel(*proc_, ep_, h, level);
+  Kernel::SyscallFrame f;
+  f.handle = h;
+  f.level = level;
+  kernel_->Dispatch(Kernel::Sys::kSetReceiveLevel, *proc_, ep_, f);
+  return f.status;
 }
 
 void ProcessContext::SelfContaminate(const Label& add) {
@@ -137,7 +161,14 @@ void ProcessContext::SelfContaminate(const Label& add) {
 }
 
 Result<ProcessId> ProcessContext::Spawn(std::unique_ptr<ProcessCode> code, SpawnArgs args) {
-  return kernel_->SysSpawn(*proc_, ep_, std::move(code), std::move(args));
+  Kernel::SyscallFrame f;
+  f.code = &code;
+  f.spawn_args = &args;
+  kernel_->Dispatch(Kernel::Sys::kSpawn, *proc_, ep_, f);
+  if (f.status != Status::kOk) {
+    return f.status;
+  }
+  return f.out_pid;
 }
 
 void ProcessContext::Exit() { proc_->exited = true; }
@@ -241,7 +272,9 @@ Result<Handle> ProcessContext::ShareRegion(uint64_t addr, uint64_t n_pages,
   if (!allowed) {
     return Status::kAccessDenied;
   }
-  const Handle h = kernel_->SysNewHandle(*proc_, ep_);
+  Kernel::SyscallFrame nf;
+  kernel_->Dispatch(Kernel::Sys::kNewHandle, *proc_, ep_, nf);
+  const Handle h = nf.out_handle;
   SharedRegion region;
   region.handle = h;
   region.label = region_label;
@@ -412,8 +445,45 @@ bool Kernel::ContextOwnsPort(const Process& proc, const EventProcess* ep,
   return v.owner == proc.id && v.owner_ep == (ep != nullptr ? ep->id : kBaseContext);
 }
 
-Handle Kernel::SysNewHandle(Process& proc, EventProcess* ep) {
-  ChargeTo(Component::kKernelIpc, costs::kVnodeLookupCycles);
+// The dispatch table (ctOS-style syscall_dispatch): each entry carries the
+// syscall's fixed base cost, charged by Dispatch in one place. Cycle parity
+// with the pre-table kernel: the base figures below are exactly the fixed
+// ChargeTo calls the bodies used to open with (send pays base + the vnode
+// lookup; the *_level and spawn calls had no fixed cost); variable costs —
+// per-payload-byte, per-label-entry — remain in the bodies.
+const std::array<Kernel::SyscallEntry, Kernel::kNumSyscalls>& Kernel::SyscallTable() {
+  static const std::array<SyscallEntry, kNumSyscalls> kTable = {{
+      {"new_handle", costs::kVnodeLookupCycles, &Kernel::SysNewHandle},
+      {"new_port", costs::kVnodeLookupCycles, &Kernel::SysNewPort},
+      {"set_port_label", costs::kVnodeLookupCycles, &Kernel::SysSetPortLabel},
+      {"send", costs::kSendBaseCycles + costs::kVnodeLookupCycles, &Kernel::SysSend},
+      {"set_send_level", 0, &Kernel::SysSetSendLevel},
+      {"set_receive_level", 0, &Kernel::SysSetReceiveLevel},
+      {"spawn", 0, &Kernel::SysSpawn},
+  }};
+  return kTable;
+}
+
+void Kernel::Dispatch(Sys sys, Process& proc, EventProcess* ep, SyscallFrame& frame) {
+  const size_t idx = static_cast<size_t>(sys);
+  ASB_ASSERT(idx < kNumSyscalls);
+  const SyscallEntry& entry = SyscallTable()[idx];
+  if (entry.base_cycles != 0) {
+    ChargeTo(Component::kKernelIpc, entry.base_cycles);
+  }
+  static std::array<obs::Counter*, kNumSyscalls> counters = [] {
+    std::array<obs::Counter*, kNumSyscalls> c{};
+    for (size_t i = 0; i < kNumSyscalls; ++i) {
+      c[i] = &obs::Registry::Get().counter(std::string("kernel.sys.") +
+                                           SyscallTable()[i].name);
+    }
+    return c;
+  }();
+  counters[idx]->Add();
+  (this->*entry.fn)(proc, ep, frame);
+}
+
+void Kernel::SysNewHandle(Process& proc, EventProcess* ep, SyscallFrame& f) {
   const Handle h = Handle::FromValue(handles_.Next());
   Vnode v;
   v.handle = h;
@@ -423,11 +493,11 @@ Handle Kernel::SysNewHandle(Process& proc, EventProcess* ep) {
   ContextSendLabel(proc, ep).Set(h, Level::kStar);
   ChargeLabelWorkSince(baseline);
   UpdatePeak();
-  return h;
+  f.out_handle = h;
 }
 
-Handle Kernel::SysNewPort(Process& proc, EventProcess* ep, const Label& port_label) {
-  ChargeTo(Component::kKernelIpc, costs::kVnodeLookupCycles);
+void Kernel::SysNewPort(Process& proc, EventProcess* ep, SyscallFrame& f) {
+  const Label& port_label = *f.label;
   const Handle p = Handle::FromValue(handles_.Next());
   Vnode v;
   v.handle = p;
@@ -447,64 +517,67 @@ Handle Kernel::SysNewPort(Process& proc, EventProcess* ep, const Label& port_lab
   ContextSendLabel(proc, ep).Set(p, Level::kStar);
   ChargeLabelWorkSince(baseline);
   UpdatePeak();
-  return p;
+  f.out_handle = p;
 }
 
-Status Kernel::SysSetPortLabel(Process& proc, EventProcess* ep, Handle port,
-                               const Label& label) {
-  ChargeTo(Component::kKernelIpc, costs::kVnodeLookupCycles);
-  Vnode* v = FindLivePort(port);
+void Kernel::SysSetPortLabel(Process& proc, EventProcess* ep, SyscallFrame& f) {
+  Vnode* v = FindLivePort(f.handle);
   if (v == nullptr || !ContextOwnsPort(proc, ep, *v)) {
-    return Status::kNotFound;
+    f.status = Status::kNotFound;
+    return;
   }
   // set_port_label applies the label verbatim: no implicit pR(p) ← 0, which
   // is how an owner opens a port to the world (paper §5.5).
-  v->port_label = label;
-  return Status::kOk;
+  v->port_label = *f.label;
+  f.status = Status::kOk;
 }
 
-Status Kernel::SysSetSendLevel(Process& proc, EventProcess* ep, Handle h, Level level) {
+void Kernel::SysSetSendLevel(Process& proc, EventProcess* ep, SyscallFrame& f) {
   Label& qs = ContextSendLabel(proc, ep);
-  const Level current = qs.Get(h);
-  if (!LevelLeq(current, level) && current != Level::kStar) {
+  const Level current = qs.Get(f.handle);
+  if (!LevelLeq(current, f.level) && current != Level::kStar) {
     // Lowering without holding ⋆ would be self-declassification.
-    return Status::kAccessDenied;
+    f.status = Status::kAccessDenied;
+    return;
   }
   const LabelWorkStats baseline = GetLabelWorkStats();
-  qs.Set(h, level);
+  qs.Set(f.handle, f.level);
   ChargeLabelWorkSince(baseline);
-  return Status::kOk;
+  f.status = Status::kOk;
 }
 
-Status Kernel::SysSetReceiveLevel(Process& proc, EventProcess* ep, Handle h, Level level) {
+void Kernel::SysSetReceiveLevel(Process& proc, EventProcess* ep, SyscallFrame& f) {
   Label& qr = ContextRecvLabel(proc, ep);
-  const Level current = qr.Get(h);
-  if (!LevelLeq(level, current)) {
+  const Level current = qr.Get(f.handle);
+  if (!LevelLeq(f.level, current)) {
     // Raising a receive level makes the process contaminable: requires ⋆.
-    if (ContextSendLabel(proc, ep).Get(h) != Level::kStar) {
-      return Status::kAccessDenied;
+    if (ContextSendLabel(proc, ep).Get(f.handle) != Level::kStar) {
+      f.status = Status::kAccessDenied;
+      return;
     }
   }
   const LabelWorkStats baseline = GetLabelWorkStats();
-  qr.Set(h, level);
+  qr.Set(f.handle, f.level);
   ChargeLabelWorkSince(baseline);
-  return Status::kOk;
+  f.status = Status::kOk;
 }
 
-Status Kernel::SysSend(Process& proc, EventProcess* ep, Handle port, Message msg,
-                       const SendArgs& args) {
+void Kernel::SysSend(Process& proc, EventProcess* ep, SyscallFrame& f) {
+  Message msg = std::move(*f.msg);
+  const SendArgs& args = *f.send_args;
+  const Handle port = f.handle;
+  f.status = Status::kOk;  // unreliable: every outcome below reports success
+
   stats_.sends += 1;
   const uint64_t payload = MessagePayloadBytes(msg);
-  ChargeTo(Component::kKernelIpc,
-           costs::kSendBaseCycles + payload * costs::kMessageByteCycles +
-               costs::kVnodeLookupCycles);
+  ChargeTo(Component::kKernelIpc, payload * costs::kMessageByteCycles);
 
   Vnode* v = FindLivePort(port);
   if (v == nullptr) {
     // Unreliable messaging: the sender cannot distinguish a dead port from a
     // label failure; both report success.
     stats_.drops_no_port += 1;
-    return Status::kOk;
+    return;
   }
 
   const Label& ps = ContextSendLabel(proc, ep);
@@ -541,7 +614,7 @@ Status Kernel::SysSend(Process& proc, EventProcess* ep, Handle port, Message msg
   if (!privileged) {
     ChargeLabelWorkSince(baseline);
     stats_.drops_privilege += 1;
-    return Status::kOk;  // silently dropped
+    return;  // silently dropped
   }
 
   QueuedMessage qm;
@@ -561,17 +634,16 @@ Status Kernel::SysSend(Process& proc, EventProcess* ep, Handle port, Message msg
   qm.payload_bytes = payload;
   ChargeLabelWorkSince(baseline);
 
-  mem_.queued_message_bytes += payload + kQueuedMessageOverheadBytes;
+  AddQueueAccounting(qm);
   v->queue.push_back(std::move(qm));
   Process* owner = FindProcess(v->owner);
   ASB_ASSERT(owner != nullptr);
   EnqueuePendingPort(*owner, port);
   UpdatePeak();
-  return Status::kOk;
 }
 
-Result<ProcessId> Kernel::SysSpawn(Process& parent, EventProcess* ep,
-                                   std::unique_ptr<ProcessCode> code, SpawnArgs args) {
+void Kernel::SysSpawn(Process& parent, EventProcess* ep, SyscallFrame& f) {
+  SpawnArgs& args = *f.spawn_args;
   // Spawning transmits the parent's entire state to the child, so the
   // child's send label may sit below the parent's only where the parent
   // holds ⋆ (this is how privilege is distributed by forking, §5.3), and the
@@ -619,9 +691,11 @@ Result<ProcessId> Kernel::SysSpawn(Process& parent, EventProcess* ep,
   }
   ChargeLabelWorkSince(baseline);
   if (!allowed) {
-    return Status::kAccessDenied;
+    f.status = Status::kAccessDenied;
+    return;
   }
-  return CreateProcess(std::move(code), std::move(args));
+  f.out_pid = CreateProcess(std::move(*f.code), std::move(args));
+  f.status = Status::kOk;
 }
 
 ProcessId Kernel::CreateProcess(std::unique_ptr<ProcessCode> code, SpawnArgs args) {
@@ -757,13 +831,21 @@ void Kernel::RunUntilIdle() {
 }
 
 bool Kernel::DeliverFromPort(Vnode& port) {
-  Process* proc = FindProcess(port.owner);
+  const Handle port_handle = port.handle;
+  const ProcessId owner_pid = port.owner;
+  Process* proc = FindProcess(owner_pid);
   ASB_ASSERT(proc != nullptr);
 
-  while (!port.queue.empty()) {
-    QueuedMessage qm = std::move(port.queue.front());
-    port.queue.pop_front();
-    mem_.queued_message_bytes -= qm.payload_bytes + kQueuedMessageOverheadBytes;
+  // `pv` is re-found by handle after every handler run: a handler may close
+  // the port (erasing the vnode) or transfer it, and the batch-continuation
+  // gate below needs the live vnode, not a stale reference.
+  Vnode* pv = &port;
+  uint64_t delivered_in_batch = 0;
+
+  while (!pv->queue.empty()) {
+    QueuedMessage qm = std::move(pv->queue.front());
+    pv->queue.pop_front();
+    SubQueueAccounting(qm);
 
     // Identify the receiving context. A message on an event-process-owned
     // port resumes that event process; a message on a base-owned port of a
@@ -771,8 +853,8 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     // after the checks pass, so a dropped message costs nothing.
     EventProcess* ep = nullptr;
     bool would_create_ep = false;
-    if (port.owner_ep != kBaseContext) {
-      auto it = proc->eps.find(port.owner_ep);
+    if (pv->owner_ep != kBaseContext) {
+      auto it = proc->eps.find(pv->owner_ep);
       ASB_ASSERT(it != proc->eps.end());
       ep = it->second.get();
     } else if (proc->in_event_realm) {
@@ -788,7 +870,7 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     uint64_t fused_work = 0;
 
     // Requirement (4): DR ⊑ pR — the port label bounds decontamination.
-    bool ok = IsBottomLabel(qm.decont_receive) || qm.decont_receive.Leq(port.port_label);
+    bool ok = IsBottomLabel(qm.decont_receive) || qm.decont_receive.Leq(pv->port_label);
     if (!ok) {
       ChargeLabelWorkSince(baseline);
       stats_.drops_dr_port += 1;
@@ -797,7 +879,7 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     // Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR, with labels as they are at
     // this instant (delivery time), not as they were at send time.
     ok = CheckDeliveryAllowed(qm.effective_send, qr, qm.decont_receive, qm.msg.verify,
-                              port.port_label, &fused_work);
+                              pv->port_label, &fused_work);
     ChargeTo(Component::kKernelIpc, fused_work * costs::kLabelEntryCycles +
                                         costs::kLabelOpBaseCycles);
     if (!ok) {
@@ -897,10 +979,12 @@ bool Kernel::DeliverFromPort(Vnode& port) {
       current_trace_id_ = prev_trace;
     }
 
+    delivered_in_batch += 1;
+
     // Post-handler lifecycle.
     if (proc->exited) {
-      DestroyProcess(*proc);
-      return true;
+      DestroyProcess(*proc);  // `proc` dangling; the batch necessarily ends
+      break;
     }
     if (ep != nullptr) {
       if (ep->exited) {
@@ -910,9 +994,84 @@ bool Kernel::DeliverFromPort(Vnode& port) {
       }
     }
     UpdatePeak();
+
+    // --- Batch continuation gate ------------------------------------------
+    // Keep draining this port only when the unbatched scheduler's next
+    // action would provably be this exact port, and mirror precisely the
+    // state transitions and charges it would have made getting here. Two
+    // such situations exist after a delivery:
+    //
+    //  (a) Nothing else is runnable and this port was not re-sent to: the
+    //      unbatched Step would re-enqueue the port (net-zero set/queue
+    //      churn), return, be called again, pop this process (one scheduler
+    //      tick), pop this port, and deliver. Net state change: none.
+    //  (b) The handler sent to this very port and nothing else: the run
+    //      queue holds exactly this process and its pending list exactly
+    //      this port. The unbatched Step would pop both (one tick) and
+    //      deliver. Mirror the pops.
+    //
+    // Anything else — another runnable process, another pending port — and
+    // the unbatched pump would go elsewhere first, so the batch ends.
+    if (delivered_in_batch >= pump_batch_limit_) {
+      break;
+    }
+    Vnode* next = FindLivePort(port_handle);
+    if (next == nullptr || next->owner != owner_pid || next->queue.empty()) {
+      break;
+    }
+    if (run_queue_.empty() && proc->pending_ports.empty()) {
+      // (a) — no state to mirror.
+    } else if (run_queue_.size() == 1 && run_queue_.front() == owner_pid &&
+               proc->pending_ports.size() == 1 &&
+               proc->pending_ports.front() == port_handle) {
+      // (b) — mirror Step's pops.
+      run_queue_.pop_front();
+      proc->in_run_queue = false;
+      proc->pending_ports.pop_front();
+      proc->pending_port_set.erase(port_handle.value());
+    } else {
+      break;
+    }
+    ChargeTo(Component::kOther, costs::kSchedulerTickCycles);
+    pv = next;
+  }
+
+  if (delivered_in_batch > 0) {
+    static obs::Counter& batches = obs::Registry::Get().counter("pump.batches");
+    static obs::CycleHistogram& per_batch =
+        obs::Registry::Get().histogram("pump.msgs_per_batch");
+    batches.Add();
+    per_batch.Record(delivered_in_batch);
     return true;
   }
   return false;
+}
+
+void Kernel::AddQueueAccounting(const QueuedMessage& qm) {
+  mem_.queued_message_bytes +=
+      qm.msg.words.size() * sizeof(uint64_t) + kQueuedMessageOverheadBytes;
+  const void* id = qm.msg.data.buffer_id();
+  if (id != nullptr) {
+    auto& entry = queued_buf_refs_[id];
+    if (entry.first++ == 0) {
+      entry.second = qm.msg.data.buffer_bytes();
+      mem_.queued_message_bytes += entry.second;
+    }
+  }
+}
+
+void Kernel::SubQueueAccounting(const QueuedMessage& qm) {
+  mem_.queued_message_bytes -=
+      qm.msg.words.size() * sizeof(uint64_t) + kQueuedMessageOverheadBytes;
+  const void* id = qm.msg.data.buffer_id();
+  if (id != nullptr) {
+    auto it = queued_buf_refs_.find(id);
+    ASB_ASSERT(it != queued_buf_refs_.end() && it->second.first > 0);
+    if (--it->second.first == 0) {
+      mem_.queued_message_bytes -= it->second.second;
+      queued_buf_refs_.erase(it);
+    }
+  }
 }
 
 void Kernel::ReleaseQueueArenaIfIdle(Process& proc, EventProcess& ep) {
@@ -940,7 +1099,7 @@ void Kernel::ReleaseQueueArenaIfIdle(Process& proc, EventProcess& ep) {
 void Kernel::DissociatePort(Vnode& v) {
   ASB_ASSERT(v.is_port);
   for (const QueuedMessage& qm : v.queue) {
-    mem_.queued_message_bytes -= qm.payload_bytes + kQueuedMessageOverheadBytes;
+    SubQueueAccounting(qm);
     stats_.drops_no_port += 1;
   }
   v.queue.clear();

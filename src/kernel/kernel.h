@@ -20,6 +20,7 @@
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -27,6 +28,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
@@ -84,7 +86,11 @@ struct KernelMemReport {
   uint64_t label_dedup_saved_bytes = 0;
   uint64_t page_bytes = 0;         // real live simulated pages
   uint64_t overlay_slot_bytes = 0;
-  uint64_t queue_bytes = 0;        // queued message payloads + envelopes
+  // Queued message envelopes + inline words + payload buffers. Payload
+  // buffers are refcounted (src/kernel/payload.h): a buffer queued on K
+  // ports at once contributes its bytes exactly once, so fan-out of one
+  // body no longer multiplies queue memory.
+  uint64_t queue_bytes = 0;
   uint64_t queue_arena_bytes = 0;  // per-active-EP message queue arenas
   uint64_t modeled_heap_bytes = 0;
   // Durable-store in-memory index (src/store): keys, values, per-record
@@ -216,9 +222,21 @@ class Kernel {
   // immediately. The moral equivalent of the boot loader.
   ProcessId CreateProcess(std::unique_ptr<ProcessCode> code, SpawnArgs args);
 
-  // Delivers at most one message. Returns false when the system is idle.
+  // Runs one scheduler tick: picks the next runnable process and pumps one
+  // batch (up to the batch limit) of deliverable messages from its next
+  // pending port. Returns false when the system is idle.
   bool Step();
   void RunUntilIdle();
+
+  // Batch size B for the delivery pump: after a successful delivery, the
+  // pump keeps draining the same port — up to B messages per pass — but
+  // only when the unbatched scheduler's next action would provably be that
+  // same port, charging the same per-delivery scheduler tick it would have.
+  // So the knob changes locality (and wall-clock speed), never the modeled
+  // figures: delivery order, charged cycles, and OnIdle cadence are
+  // bit-identical for every value of B. B = 1 disables batching outright.
+  void SetPumpBatchLimit(uint32_t limit) { pump_batch_limit_ = limit == 0 ? 1 : limit; }
+  uint32_t pump_batch_limit() const { return pump_batch_limit_; }
 
   // Runs fn with a context bound to the given process's *base* identity, in
   // its component scope. Used by external drivers (e.g. the simulated NIC
@@ -272,16 +290,58 @@ class Kernel {
     std::deque<QueuedMessage> queue;
   };
 
-  // --- Syscall implementations (bound contexts call these) -------------------
-  Handle SysNewHandle(Process& proc, EventProcess* ep);
-  Handle SysNewPort(Process& proc, EventProcess* ep, const Label& port_label);
-  Status SysSetPortLabel(Process& proc, EventProcess* ep, Handle port, const Label& label);
-  Status SysSend(Process& proc, EventProcess* ep, Handle port, Message msg,
-                 const SendArgs& args);
-  Status SysSetSendLevel(Process& proc, EventProcess* ep, Handle h, Level level);
-  Status SysSetReceiveLevel(Process& proc, EventProcess* ep, Handle h, Level level);
-  Result<ProcessId> SysSpawn(Process& parent, EventProcess* ep,
-                             std::unique_ptr<ProcessCode> code, SpawnArgs args);
+  // --- Syscall dispatch table ------------------------------------------------
+  // Every system call a bound context issues is routed through one table
+  // (ctOS-style syscall_dispatch): the dispatcher charges the entry's fixed
+  // base cycles in one place and bumps a per-syscall counter, then jumps to
+  // the body. Variable costs (per-byte, per-label-entry) stay in the bodies.
+  enum class Sys : uint8_t {
+    kNewHandle = 0,
+    kNewPort,
+    kSetPortLabel,
+    kSend,
+    kSetSendLevel,
+    kSetReceiveLevel,
+    kSpawn,
+    kCount,
+  };
+  static constexpr size_t kNumSyscalls = static_cast<size_t>(Sys::kCount);
+
+  // Uniform argument/result frame. Only the fields a given syscall reads
+  // are populated; outs default to the failure-neutral values.
+  struct SyscallFrame {
+    Handle handle;                               // port / compartment handle
+    Level level = Level::kL1;                    // set_*_level
+    const Label* label = nullptr;                // port label / set_port_label
+    Message* msg = nullptr;                      // send (moved from)
+    const SendArgs* send_args = nullptr;         // send
+    std::unique_ptr<ProcessCode>* code = nullptr;  // spawn (moved from)
+    SpawnArgs* spawn_args = nullptr;             // spawn (moved from)
+    // Outs.
+    Status status = Status::kOk;
+    Handle out_handle;
+    ProcessId out_pid = kNoProcess;
+  };
+
+  using SyscallFn = void (Kernel::*)(Process&, EventProcess*, SyscallFrame&);
+  struct SyscallEntry {
+    const char* name;      // metrics suffix: kernel.sys.<name>
+    uint64_t base_cycles;  // fixed cost charged to kKernelIpc by Dispatch
+    SyscallFn fn;
+  };
+  static const std::array<SyscallEntry, kNumSyscalls>& SyscallTable();
+
+  // The single entry point: charges base cycles, counts, dispatches.
+  void Dispatch(Sys sys, Process& proc, EventProcess* ep, SyscallFrame& frame);
+
+  // --- Syscall bodies (reached only through Dispatch) ------------------------
+  void SysNewHandle(Process& proc, EventProcess* ep, SyscallFrame& f);
+  void SysNewPort(Process& proc, EventProcess* ep, SyscallFrame& f);
+  void SysSetPortLabel(Process& proc, EventProcess* ep, SyscallFrame& f);
+  void SysSend(Process& proc, EventProcess* ep, SyscallFrame& f);
+  void SysSetSendLevel(Process& proc, EventProcess* ep, SyscallFrame& f);
+  void SysSetReceiveLevel(Process& proc, EventProcess* ep, SyscallFrame& f);
+  void SysSpawn(Process& parent, EventProcess* ep, SyscallFrame& f);
 
   Label& ContextSendLabel(Process& proc, EventProcess* ep);
   Label& ContextRecvLabel(Process& proc, EventProcess* ep);
@@ -297,9 +357,17 @@ class Kernel {
 
   void EnqueuePendingPort(Process& owner, Handle port);
   void ScheduleProcess(Process& proc);
-  // Attempts to deliver the head message of `port` to its owner. Returns
-  // true if a handler ran.
+  // Pumps one batch of deliveries from `port`: delivers the head message,
+  // then keeps draining the same port (up to pump_batch_limit_) while the
+  // unbatched scheduler's next action would provably be this port again —
+  // mirroring its state transitions and scheduler-tick charges exactly.
+  // Returns true if at least one handler ran.
   bool DeliverFromPort(Vnode& port);
+  // Queue accounting for an enqueued/dequeued message: envelope + inline
+  // words always; the payload buffer once per unique buffer (a K-way
+  // fan-out of one Payload adds its bytes to queue_bytes exactly once).
+  void AddQueueAccounting(const QueuedMessage& qm);
+  void SubQueueAccounting(const QueuedMessage& qm);
   void DestroyEventProcess(Process& proc, EpId ep_id);
   void DestroyProcess(Process& proc);
   void DissociatePort(Vnode& v);
@@ -321,6 +389,11 @@ class Kernel {
 
   KernelStats stats_;
   KernelMemCounters mem_;
+  // Refcounts of payload buffers currently sitting in message queues:
+  // buffer id → (queued references, buffer bytes). queue_bytes charges a
+  // buffer's bytes while the count is nonzero — shared fan-out counts once.
+  std::unordered_map<const void*, std::pair<uint64_t, uint64_t>> queued_buf_refs_;
+  uint32_t pump_batch_limit_ = 16;
   uint64_t peak_total_bytes_ = 0;
   // Trace id of the delivery being handled right now (see
   // ProcessContext::current_trace_id). Saved/restored around nested

@@ -31,7 +31,10 @@ struct KernelMemCounters {
   uint64_t vnodes = 0;
   uint64_t processes = 0;
   uint64_t event_processes = 0;
-  uint64_t queued_message_bytes = 0;   // payload + envelope for queued messages
+  // Envelope + inline words per queued message, plus each payload buffer's
+  // bytes counted once per unique buffer (refcounted payloads queued on K
+  // ports contribute once; see Kernel::AddQueueAccounting).
+  uint64_t queued_message_bytes = 0;
   uint64_t overlay_page_slots = 0;     // EP modified-page list entries
   uint64_t ep_queue_arena_bytes = 0;   // per-active-EP message queue arenas
   uint64_t modeled_user_heap_bytes = 0;  // user heaps declared via ModelHeapBytes()

@@ -14,10 +14,10 @@
 #define SRC_KERNEL_MESSAGE_H_
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "src/kernel/ids.h"
+#include "src/kernel/payload.h"
 #include "src/labels/handle.h"
 #include "src/labels/label.h"
 
@@ -38,7 +38,10 @@ struct Message {
   Handle port;                  // port the message was delivered on
   uint64_t type = 0;            // protocol-defined discriminator
   std::vector<uint64_t> words;  // small scalars: handle values, counts, ids
-  std::string data;             // payload bytes
+  // Payload bytes: a refcounted immutable buffer view (src/kernel/payload.h).
+  // Send → enqueue → deliver → reply-forward moves a refcount, not bytes;
+  // receivers that edit call data.Mutable() (copy-on-write) or data.str().
+  Payload data;
   Handle reply_port;            // conventional reply destination (0 if none)
   Label verify = Label::Top();  // the sender's V label, delivered for analysis
   // Flow-trace id (src/obs/trace.h). 0 = untraced. Minted at the system

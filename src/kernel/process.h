@@ -124,7 +124,11 @@ struct Process {
   std::map<uint64_t, SharedRegion> shared_regions;  // by region handle value
   int64_t modeled_heap_bytes = 0;   // user heap declared via ModelHeapBytes
 
-  // Scheduling: ports with queued messages, in arrival order.
+  // Scheduling: ports with queued messages, in arrival order. The batched
+  // delivery pump (Kernel::DeliverFromPort) reads AND mirrors the
+  // scheduler's pops on these fields mid-batch, so they must describe the
+  // schedule exactly at every handler boundary — never defer maintenance
+  // to the end of a Step.
   std::deque<Handle> pending_ports;
   std::unordered_set<uint64_t> pending_port_set;
   bool in_run_queue = false;

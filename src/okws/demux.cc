@@ -489,7 +489,7 @@ void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         // session its password no longer opens. (Senders need the
         // session-port capability, so only idd and this user's own workers
         // can do this.)
-        const std::string prefix = msg.data + "\x1f";
+        const std::string prefix = msg.data.str() + "\x1f";
         for (auto it = sessions_.lower_bound(prefix);
              it != sessions_.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
           EraseDurableSession(it->first);

@@ -194,7 +194,7 @@ void WorkerProcess::OnReadReply(ProcessContext& ctx, const Message& msg) {
 void WorkerProcess::FinishRequest(ProcessContext& ctx, InFlight& rq, int status,
                                   std::string_view body) {
   rq.responded = true;
-  const std::string response =
+  std::string response =
       BuildHttpResponse(status, status == 200 ? "OK" : "Error", {{"Server", "okws-asbestos"}},
                         body);
   ctx.ChargeCycles(response.size() * costs::kWorkerByteCycles);
@@ -218,7 +218,7 @@ void WorkerProcess::FinishRequest(ProcessContext& ctx, InFlight& rq, int status,
   Message write;
   write.type = netd_proto::kWrite;
   write.words = {rq.demux_cookie};
-  write.data = response;
+  write.data = std::move(response);  // adopt: last use of the buffer
   write.trace_id = rq.trace_id;
   ctx.Send(rq.uc, std::move(write));
   Message close;

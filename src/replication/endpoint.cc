@@ -57,7 +57,9 @@ void ReplicationEndpoint::RefuseBusy(ProcessContext& ctx, Handle uc) {
   Message write;
   write.type = netd_proto::kWrite;
   write.words = {0};
-  replwire::AppendFrame(busy, &write.data);
+  std::string busy_frame;
+  replwire::AppendFrame(busy, &busy_frame);
+  write.data = std::move(busy_frame);
   ctx.Send(uc, std::move(write));
   Message close;
   close.type = netd_proto::kControl;

@@ -30,7 +30,7 @@ asbestos::obs::Counter& HitBytesCounter() {
 namespace asbestos {
 
 bool FrameCache::Lookup(uint32_t shard, uint64_t generation, uint64_t offset,
-                        uint64_t want_bytes, uint64_t tail_off, std::string* span) {
+                        uint64_t want_bytes, uint64_t tail_off, Payload* span) {
   const Key key{shard, generation, offset};
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -53,12 +53,12 @@ bool FrameCache::Lookup(uint32_t shard, uint64_t generation, uint64_t offset,
   stats_.hit_bytes += e.span.size();
   HitCounter().Add();
   HitBytesCounter().Add(e.span.size());
-  *span = e.span;
+  *span = e.span;  // refcount bump: caller and cache share one buffer
   return true;
 }
 
 void FrameCache::Insert(uint32_t shard, uint64_t generation, uint64_t offset,
-                        const std::string& span) {
+                        const Payload& span) {
   if (max_bytes_ == 0 || span.size() > max_bytes_) {
     return;  // cache disabled, or a span no budget could hold
   }

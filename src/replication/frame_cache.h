@@ -18,7 +18,8 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <string>
+
+#include "src/kernel/payload.h"
 
 namespace asbestos {
 
@@ -34,19 +35,21 @@ class FrameCache {
  public:
   explicit FrameCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
 
-  // Copies the cached span for (shard, generation, offset) into *span and
+  // Hands out a refcounted view of the cached span for (shard, generation,
+  // offset) — no byte copy, the caller shares the resident buffer — and
   // returns true when the entry can satisfy a read of up to `want_bytes`:
   // either it holds at least that much, or it already extends to `tail_off`
   // (the shard's current log tail — there is nothing more to read anyway).
   // A shorter entry is a miss: the log grew past what was cached, and the
   // caller should re-read and Insert the longer span.
   bool Lookup(uint32_t shard, uint64_t generation, uint64_t offset, uint64_t want_bytes,
-              uint64_t tail_off, std::string* span);
+              uint64_t tail_off, Payload* span);
 
-  // Caches `span` as the bytes at (shard, generation, offset), replacing any
-  // shorter entry at the same position, then evicts LRU entries until the
-  // byte budget holds. A zero-capacity cache stores nothing.
-  void Insert(uint32_t shard, uint64_t generation, uint64_t offset, const std::string& span);
+  // Caches `span` (sharing its buffer, no copy) as the bytes at (shard,
+  // generation, offset), replacing any shorter entry at the same position,
+  // then evicts LRU entries until the byte budget holds. A zero-capacity
+  // cache stores nothing.
+  void Insert(uint32_t shard, uint64_t generation, uint64_t offset, const Payload& span);
 
   const FrameCacheStats& stats() const { return stats_; }
 
@@ -63,7 +66,7 @@ class FrameCache {
   };
   struct Entry {
     Key key;
-    std::string span;
+    Payload span;
   };
 
   void EvictToBudget();

@@ -87,8 +87,10 @@ void FollowerSession::ShipSnapshot(uint32_t shard, uint64_t lease_until,
   m.lease_until = lease_until;
   m.successor_id = successor_id;
   m.trace_id = trace_id_;
-  ASB_ASSERT(IsOk(hub_->store()->ExportShardSnapshot(shard, &m.payload, &m.generation,
+  std::string image;
+  ASB_ASSERT(IsOk(hub_->store()->ExportShardSnapshot(shard, &image, &m.generation,
                                                      &m.offset)));
+  m.payload = std::move(image);  // adopt the image's storage, no copy
   Cursor& c = cursors_[shard];
   c.force_snapshot = false;
   c.shipped_gen = m.generation;
@@ -131,7 +133,7 @@ size_t FollowerSession::PollFrames(uint64_t max_batch_bytes, uint64_t max_total_
     }
     while (c.shipped_off < store->shard_wal_offset(shard) &&
            out->size() < max_total_bytes) {
-      std::string span;
+      Payload span;
       const Status s =
           hub_->ReadSpan(shard, c.shipped_gen, c.shipped_off, max_batch_bytes, &span);
       if (!IsOk(s)) {
@@ -452,15 +454,17 @@ uint64_t ReplicationHub::SuccessorId() const {
 }
 
 Status ReplicationHub::ReadSpan(uint32_t shard, uint64_t generation, uint64_t offset,
-                                uint64_t max_bytes, std::string* span) {
+                                uint64_t max_bytes, Payload* span) {
   // Cursor-generation mismatches snapshot before reaching here, so this read
   // is always into the live generation and the tail bound below is valid.
   const uint64_t tail = store_->shard_wal_offset(shard);
   if (cache_.Lookup(shard, generation, offset, max_bytes, tail, span)) {
     return Status::kOk;
   }
-  const Status s = store_->ReadShardWal(shard, generation, offset, max_bytes, span);
+  std::string bytes;
+  const Status s = store_->ReadShardWal(shard, generation, offset, max_bytes, &bytes);
   if (IsOk(s)) {
+    *span = Payload(std::move(bytes));  // adopt the read's storage, no copy
     cache_.Insert(shard, generation, offset, *span);
   }
   return s;

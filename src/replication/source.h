@@ -242,9 +242,11 @@ class ReplicationHub {
   // caching the result. `generation` must be the shard's CURRENT generation
   // (cursor-vs-generation divergence is handled by the caller shipping a
   // snapshot instead). The returned span may exceed max_bytes on a cache
-  // hit; callers slice at WAL frame boundaries anyway.
+  // hit; callers slice at WAL frame boundaries anyway. The out-param is a
+  // refcounted view sharing the cache's buffer — K follower sessions
+  // streaming the same span hold one allocation between them.
   Status ReadSpan(uint32_t shard, uint64_t generation, uint64_t offset, uint64_t max_bytes,
-                  std::string* span);
+                  Payload* span);
 
   uint64_t source_id() const { return source_id_; }
   uint64_t auth_token() const { return tuning_.auth_token; }

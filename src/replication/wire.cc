@@ -106,7 +106,7 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
-      msg->payload.assign(bytes);
+      msg->payload = Payload(bytes);  // one copy out of the rx buffer, then shared
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
         return s;
       }
@@ -120,7 +120,7 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
-      msg->payload.assign(bytes);
+      msg->payload = Payload(bytes);  // one copy out of the rx buffer, then shared
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
         return s;
       }

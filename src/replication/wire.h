@@ -69,6 +69,7 @@
 #include <string_view>
 
 #include "src/base/status.h"
+#include "src/kernel/payload.h"
 
 namespace asbestos {
 namespace replwire {
@@ -99,7 +100,11 @@ struct WireMessage {
   // followed end to end like an OKWS request. Carried by every frame type;
   // 0 means untraced. Purely observational: no protocol decision reads it.
   uint64_t trace_id = 0;
-  std::string payload;       // kBatch: raw WAL frames; kSnapshot: image
+  // kBatch: raw WAL frames; kSnapshot: image. A refcounted buffer view
+  // (src/kernel/payload.h): the hub's frame cache, each follower session's
+  // outgoing batch, and the kernel queue entry all share one buffer, so a
+  // K-follower fan-out of a WAL span is one allocation end to end.
+  Payload payload;
 };
 
 // Serializes `msg` as one CRC-framed wire frame appended to `out`.

@@ -112,6 +112,46 @@ TEST(MemStatsTest, QueueBytesTrackPendingMessages) {
   EXPECT_EQ(kernel.MemReport().queue_bytes, before) << "delivery drains the queue bytes";
 }
 
+TEST(MemStatsTest, QueueBytesCountFanOutPayloadBufferOnce) {
+  // A 1→K fan-out of one Payload sits in K queues but is one buffer in
+  // memory; queue_bytes charges the per-message envelope K times and the
+  // payload buffer exactly once (see Kernel::AddQueueAccounting).
+  constexpr size_t kFanOut = 4;
+  constexpr size_t kBodyBytes = 4096;
+  Kernel kernel(14);
+  std::vector<testing::RecorderProcess::Received> got;
+  SpawnArgs rargs;
+  rargs.name = "rx";
+  const ProcessId rx = kernel.CreateProcess(
+      std::make_unique<testing::RecorderProcess>(&got), rargs);
+  std::vector<Handle> ports;
+  kernel.WithProcessContext(rx, [&](ProcessContext& ctx) {
+    for (size_t k = 0; k < kFanOut; ++k) {
+      const Handle p = ctx.NewPort(Label::Top());
+      ASSERT_EQ(ctx.SetPortLabel(p, Label::Top()), Status::kOk);
+      ports.push_back(p);
+    }
+  });
+  SpawnArgs sargs;
+  sargs.name = "tx";
+  const ProcessId tx = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  const uint64_t before = kernel.MemReport().queue_bytes;
+  const Payload body(std::string(kBodyBytes, 'x'));
+  kernel.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    for (const Handle p : ports) {
+      Message m;
+      m.data = body;  // refcount share: K queue entries, one buffer
+      ASSERT_EQ(ctx.Send(p, std::move(m)), Status::kOk);
+    }
+  });
+  const uint64_t queued = kernel.MemReport().queue_bytes - before;
+  EXPECT_EQ(queued, kFanOut * kQueuedMessageOverheadBytes + kBodyBytes)
+      << "K envelopes, ONE payload buffer";
+  kernel.RunUntilIdle();
+  EXPECT_EQ(got.size(), kFanOut);
+  EXPECT_EQ(kernel.MemReport().queue_bytes, before) << "delivery drains every entry";
+}
+
 TEST(MemStatsTest, PeakTracksHighWaterMark) {
   Kernel kernel(14);
   SpawnArgs args;

@@ -1,0 +1,158 @@
+// Payload: refcounted immutable message bodies (src/kernel/payload.h) —
+// sharing, zero-copy substr, copy-on-write isolation, and the stats that
+// the bench fan-out acceptance check keys on.
+#include "src/kernel/payload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "src/kernel/kernel.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+using testing::RecorderProcess;
+using testing::ScriptedProcess;
+
+TEST(PayloadTest, CopyIsRefcountShareNotByteCopy) {
+  const PayloadStats before = GetPayloadStats();
+  Payload a(std::string(1024, 'a'));
+  EXPECT_EQ(GetPayloadStats().buffers_created, before.buffers_created + 1);
+
+  Payload b = a;
+  EXPECT_EQ(b.buffer_id(), a.buffer_id()) << "copy aliases the same buffer";
+  EXPECT_EQ(a.use_count(), 2);
+  const PayloadStats after = GetPayloadStats();
+  EXPECT_EQ(after.buffers_created, before.buffers_created + 1) << "no second buffer";
+  EXPECT_EQ(after.shared_copies, before.shared_copies + 1);
+  EXPECT_EQ(after.bytes_shared_saved, before.bytes_shared_saved + 1024);
+}
+
+TEST(PayloadTest, MoveTransfersWithoutSharing) {
+  const PayloadStats before = GetPayloadStats();
+  Payload a(std::string(512, 'm'));
+  const void* id = a.buffer_id();
+  Payload b = std::move(a);
+  EXPECT_EQ(b.buffer_id(), id);
+  EXPECT_EQ(b.use_count(), 1);
+  EXPECT_EQ(GetPayloadStats().shared_copies, before.shared_copies)
+      << "a move is not a share";
+}
+
+TEST(PayloadTest, SubstrIsZeroCopyView) {
+  Payload a("hello, payload world");
+  Payload slice = a.substr(7, 7);
+  EXPECT_EQ(slice, "payload");
+  EXPECT_EQ(slice.buffer_id(), a.buffer_id()) << "substr shares the buffer";
+  EXPECT_EQ(slice.buffer_bytes(), a.size()) << "the whole buffer stays pinned";
+}
+
+TEST(PayloadTest, MutableExclusiveFullViewEditsInPlace) {
+  const PayloadStats before = GetPayloadStats();
+  Payload a(std::string("edit me"));
+  const void* id = a.buffer_id();
+  std::string* s = a.Mutable();
+  s->append(" in place");
+  EXPECT_EQ(a, "edit me in place");
+  EXPECT_EQ(a.buffer_id(), id) << "sole owner of a full view: no reallocation";
+  EXPECT_EQ(GetPayloadStats().cow_copies, before.cow_copies);
+}
+
+TEST(PayloadTest, MutableUnsharesAndNeverTouchesSiblings) {
+  const PayloadStats before = GetPayloadStats();
+  Payload a(std::string(64, 'x'));
+  Payload b = a;
+
+  std::string* s = b.Mutable();
+  (*s)[0] = 'Y';
+  EXPECT_NE(b.buffer_id(), a.buffer_id()) << "COW gave b its own buffer";
+  EXPECT_EQ(a[0], 'x') << "the sibling still sees the original bytes";
+  EXPECT_EQ(b[0], 'Y');
+  const PayloadStats after = GetPayloadStats();
+  EXPECT_EQ(after.cow_copies, before.cow_copies + 1);
+  EXPECT_EQ(after.cow_bytes_copied, before.cow_bytes_copied + 64);
+}
+
+TEST(PayloadTest, MutableOnSubViewCopiesOnlyTheViewedBytes) {
+  const PayloadStats before = GetPayloadStats();
+  Payload a(std::string(1000, 'z'));
+  Payload slice = a.substr(100, 10);
+  std::string* s = slice.Mutable();
+  EXPECT_EQ(s->size(), 10u) << "only the view materializes, not the buffer";
+  EXPECT_EQ(GetPayloadStats().cow_bytes_copied, before.cow_bytes_copied + 10);
+  EXPECT_NE(slice.buffer_id(), a.buffer_id());
+}
+
+TEST(PayloadTest, ComparisonAndStringInterop) {
+  Payload p("abc");
+  EXPECT_EQ(p, "abc");
+  EXPECT_EQ(p, std::string("abc"));
+  EXPECT_EQ(p, std::string_view("abc"));
+  EXPECT_NE(p, "abd");
+  EXPECT_EQ(p.find('b'), 1u);
+  EXPECT_EQ(p.find("bc"), 1u);
+  const std::string materialized = p;  // implicit copy at the consumer boundary
+  EXPECT_EQ(materialized, "abc");
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p, Payload());
+}
+
+// The kernel-level COW guarantee: a receiver that edits its delivered copy
+// can never alter what the sender kept or what a sibling queue entry holds.
+TEST(PayloadTest, ReceiverMutationNeverAltersSenderOrSiblingDelivery) {
+  Kernel kernel(0x5eedULL);
+  std::vector<RecorderProcess::Received> intact;
+
+  // Receiver 1 mutates its delivery in place; receiver 2 records its copy.
+  SpawnArgs margs;
+  margs.name = "mutator";
+  std::string mutator_saw;
+  const ProcessId mut = kernel.CreateProcess(
+      std::make_unique<ScriptedProcess>(nullptr,
+                                        [&](ProcessContext&, const Message& msg) {
+                                          Payload mine = msg.data;  // share, then edit
+                                          (*mine.Mutable())[0] = '!';
+                                          mutator_saw = mine.str();
+                                        }),
+      margs);
+  SpawnArgs rargs;
+  rargs.name = "recorder";
+  const ProcessId rec = kernel.CreateProcess(std::make_unique<RecorderProcess>(&intact), rargs);
+
+  Handle mport, rport;
+  kernel.WithProcessContext(mut, [&](ProcessContext& ctx) {
+    mport = ctx.NewPort(Label::Top());
+    ASSERT_EQ(ctx.SetPortLabel(mport, Label::Top()), Status::kOk);
+  });
+  kernel.WithProcessContext(rec, [&](ProcessContext& ctx) {
+    rport = ctx.NewPort(Label::Top());
+    ASSERT_EQ(ctx.SetPortLabel(rport, Label::Top()), Status::kOk);
+  });
+
+  SpawnArgs sargs;
+  sargs.name = "sender";
+  const ProcessId tx = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), sargs);
+  Payload body("shared body bytes");
+  kernel.WithProcessContext(tx, [&](ProcessContext& ctx) {
+    Message m1;
+    m1.data = body;  // share
+    ASSERT_EQ(ctx.Send(mport, std::move(m1)), Status::kOk);
+    Message m2;
+    m2.data = body;  // share again: three holders of one buffer
+    ASSERT_EQ(ctx.Send(rport, std::move(m2)), Status::kOk);
+  });
+  kernel.RunUntilIdle();
+
+  EXPECT_EQ(mutator_saw, "!hared body bytes");
+  ASSERT_EQ(intact.size(), 1u);
+  EXPECT_EQ(intact[0].msg.data, "shared body bytes")
+      << "sibling delivery is isolated from the mutator's COW edit";
+  EXPECT_EQ(body, "shared body bytes") << "the sender's copy is untouched";
+}
+
+}  // namespace
+}  // namespace asbestos
