@@ -32,7 +32,12 @@ REQUIRED_PER_BENCHMARK = ["name", "real_time", "cpu_time", "iterations", "time_u
 REQUIRED_COUNTERS = {
     "BENCH_labels.json": ["charged_work_per_check", "cache_hit_rate"],
     "BENCH_store.json": ["pickled_bytes", "bytes_per_second"],
-    "BENCH_replication.json": ["cache_hit_rate", "records_applied"],
+    "BENCH_replication.json": [
+        "cache_hit_rate",
+        "records_applied",
+        "reads_per_sec_aggregate",
+        "refusal_rate",
+    ],
     "BENCH_ipc.json": ["virtual_cycles_per_msg", "bytes_shared_saved_per_msg"],
 }
 

@@ -5,6 +5,7 @@
 #include "src/base/panic.h"
 #include "src/base/strings.h"
 #include "src/kernel/bootstrap.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/store/label_codec.h"
@@ -470,8 +471,18 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
     return;
   }
 
-  const bool is_write = !std::holds_alternative<SelectStmt>(stmt);
+  const bool is_write = !IsReadOnlySql(stmt);
   const bool declassify = (flags & dbproxy_proto::kFlagDeclassify) != 0;
+  if ((flags & dbproxy_proto::kFlagReadOnly) != 0 && is_write) {
+    // The read-only tag lied: the parsed statement mutates. Refuse rather
+    // than quietly run it — the tag is what routed this query, and a
+    // mutation must never ride the read plane.
+    static obs::Counter& violations =
+        obs::Registry::Get().counter("db.readonly_tag_violations");
+    violations.Add();
+    ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
+    return;
+  }
   if (is_write) {
     // §7.5: the verify label must be bounded by {uT 3, uG 0, 2} — the sender
     // is tainted by nothing except its own user's data and speaks for the

@@ -296,4 +296,13 @@ Result<SqlStatement> ParseSql(std::string_view sql) {
   return Parser(tokens.take()).Parse();
 }
 
+bool IsReadOnlySql(const SqlStatement& stmt) {
+  return std::holds_alternative<SelectStmt>(stmt);
+}
+
+bool ClassifyReadOnlySql(std::string_view sql) {
+  auto stmt = ParseSql(sql);
+  return stmt.ok() && IsReadOnlySql(stmt.value());
+}
+
 }  // namespace asbestos

@@ -78,6 +78,17 @@ using SqlStatement =
 
 Result<SqlStatement> ParseSql(std::string_view sql);
 
+// True when the statement cannot mutate — exactly SELECT in this dialect.
+// This is the read/write split the follower-read plane routes on: OKWS tags
+// read-only db traffic (dbproxy_proto::kFlagReadOnly) and dbproxy rejects a
+// tag that lies.
+bool IsReadOnlySql(const SqlStatement& stmt);
+
+// String-level classification for callers that don't keep the AST: parses
+// and reports IsReadOnlySql. Unparsable SQL classifies as a WRITE — fail
+// toward the primary, never toward a follower.
+bool ClassifyReadOnlySql(std::string_view sql);
+
 }  // namespace asbestos
 
 #endif  // SRC_DB_SQL_PARSER_H_

@@ -3,9 +3,9 @@
 #include "src/base/strings.h"
 #include "src/net/netd.h"
 #include "src/obs/trace.h"
+#include "src/okws/session_codec.h"
 #include "src/sim/costs.h"
 #include "src/sim/cycles.h"
-#include "src/store/label_codec.h"
 
 namespace asbestos {
 
@@ -13,42 +13,12 @@ using okws_proto::MessageType;
 
 namespace {
 
+// Session-table key and durable value codec live in session_codec.h so
+// read-serving followers share them byte-for-byte (labels mirror idd's
+// identity records: the session is the user's private state ({uT 3, ⋆})
+// rewritable only by a uG-speaker ({uG 0, 3})).
 std::string SessionKey(const std::string& user, const std::string& service) {
-  return user + "\x1f" + service;
-}
-
-// Durable session record value: varint uT, varint uG, varint expiry,
-// length-prefixed password. uW is deliberately NOT stored — the worker event
-// process it names dies with the boot, and a recovered session's first
-// connection forks a fresh one. Labels mirror idd's identity records: the
-// session is the user's private state ({uT 3, ⋆}) rewritable only by a
-// uG-speaker ({uG 0, 3}).
-std::string EncodeSessionValue(Handle taint, Handle grant, uint64_t expires_at,
-                               const std::string& password) {
-  std::string out;
-  codec::AppendVarint(taint.value(), &out);
-  codec::AppendVarint(grant.value(), &out);
-  codec::AppendVarint(expires_at, &out);
-  codec::AppendString(password, &out);
-  return out;
-}
-
-bool DecodeSessionValue(std::string_view value, Handle* taint, Handle* grant,
-                        uint64_t* expires_at, std::string* password) {
-  size_t pos = 0;
-  uint64_t t = 0;
-  uint64_t g = 0;
-  std::string_view pw;
-  if (!IsOk(codec::ReadVarint(value, &pos, &t)) || !IsOk(codec::ReadVarint(value, &pos, &g)) ||
-      !IsOk(codec::ReadVarint(value, &pos, expires_at)) ||
-      !IsOk(codec::ReadString(value, &pos, &pw)) || pos != value.size() ||
-      t == 0 || t > Handle::kMaxValue || g == 0 || g > Handle::kMaxValue) {
-    return false;
-  }
-  *taint = Handle::FromValue(t);
-  *grant = Handle::FromValue(g);
-  password->assign(pw);
-  return true;
+  return okws_session::Key(user, service);
 }
 
 // Pulls "user:pass" out of the Authorization header (or user=/pass= query
@@ -103,8 +73,8 @@ void DemuxProcess::RecoverSessions() {
   std::vector<std::string> expired;
   store_->ForEach([this, now, ttl, &expired](const std::string& key, const StoreRecord& record) {
     Session s;
-    if (!DecodeSessionValue(record.value, &s.taint, &s.grant, &s.expires_at_cycles,
-                            &s.password)) {
+    if (!okws_session::DecodeValue(record.value, &s.taint, &s.grant, &s.expires_at_cycles,
+                                   &s.password)) {
       return;  // skip records this build cannot parse; never refuse to boot
     }
     // Expiry timestamps are absolute virtual time, and the virtual clock is
@@ -114,8 +84,8 @@ void DemuxProcess::RecoverSessions() {
     // a live session's expiry can never sit more than one TTL ahead of now
     // (registration stamped now+ttl with registration ≤ now), so anything
     // past that bound is a previous clock era and is equally expired.
-    if (s.expires_at_cycles != 0 &&
-        (s.expires_at_cycles <= now || (ttl != 0 && s.expires_at_cycles > now + ttl))) {
+    if (okws_session::ExpiredAt(s.expires_at_cycles, now) ||
+        (s.expires_at_cycles != 0 && ttl != 0 && s.expires_at_cycles > now + ttl)) {
       expired.push_back(key);  // died while the machine was down
       return;
     }
@@ -152,8 +122,10 @@ DemuxProcess::Session* DemuxProcess::FindLiveSession(const std::string& key) {
   if (it == sessions_.end()) {
     return nullptr;
   }
-  if (it->second.expires_at_cycles != 0 &&
-      it->second.expires_at_cycles <= GetCycleAccounting().now()) {
+  // The SAME comparison a read-serving follower applies through
+  // okws_session::LivenessFilter() — see session_codec.h for why the two
+  // sides must share it verbatim.
+  if (okws_session::ExpiredAt(it->second.expires_at_cycles, GetCycleAccounting().now())) {
     EraseDurableSession(key);
     sessions_.erase(it);
     return nullptr;
@@ -168,8 +140,24 @@ void DemuxProcess::PersistSession(const std::string& key, const Session& s) {
   const Label secrecy({{s.taint, Level::kL3}}, Level::kStar);
   const Label integrity({{s.grant, Level::kL0}}, Level::kL3);
   ASB_ASSERT(store_->Put(key,
-                         EncodeSessionValue(s.taint, s.grant, s.expires_at_cycles, s.password),
+                         okws_session::EncodeValue(s.taint, s.grant, s.expires_at_cycles,
+                                                   s.password),
                          secrecy, integrity) == Status::kOk);
+}
+
+replwire::ReadCursorToken DemuxProcess::session_cursor(const std::string& user,
+                                                       const std::string& service) const {
+  const auto it = sessions_.find(SessionKey(user, service));
+  return it == sessions_.end() ? replwire::ReadCursorToken{} : it->second.cursor;
+}
+
+FollowerSession* DemuxProcess::RouteSessionRead(const std::string& user,
+                                                const std::string& service) const {
+  if (repl_ == nullptr || repl_->hub() == nullptr) {
+    return nullptr;
+  }
+  return repl_->hub()->RouteRead(SessionKey(user, service),
+                                 session_cursor(user, service));
 }
 
 void DemuxProcess::EraseDurableSession(const std::string& key) {
@@ -517,6 +505,18 @@ void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         }
         const std::string key = SessionKey(conn.username, conn.service);
         PersistSession(key, s);
+        // Read-your-writes token: the shard's WAL position right after this
+        // registration's append — the cursor a follower must have applied
+        // before it may answer reads for this session. In-memory only: the
+        // durable value format (and thus fig-level byte identity) is
+        // untouched, and a reboot re-stamps at the next write.
+        if (repl_ != nullptr && repl_->hub() != nullptr && store_ != nullptr) {
+          const uint32_t shard = store_->ShardIndexOf(key);
+          s.cursor.source_id = repl_->hub()->source_id();
+          s.cursor.shard = shard;
+          s.cursor.generation = store_->shard_wal_generation(shard);
+          s.cursor.offset = store_->shard_wal_offset(shard);
+        }
         sessions_[key] = std::move(s);
         // §7.3: the session table holds one user-worker pair per entry;
         // paper Figure 9 attributes part of the label growth to these.

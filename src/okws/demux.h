@@ -84,6 +84,20 @@ class DemuxProcess : public ProcessCode {
   const DurableStore* store() const { return store_.get(); }
   const ReplicationEndpoint* replication() const { return repl_.get(); }
 
+  // The session's read-your-writes token (empty when the session never
+  // wrote, is unknown, or replication is off). Read routing attaches this
+  // to every follower read so the gate can hold the contract.
+  replwire::ReadCursorToken session_cursor(const std::string& user,
+                                           const std::string& service) const;
+
+  // Advisory read routing: the hub's rendezvous choice among followers
+  // fresh enough for this session's token (sticky per user, so one
+  // follower's flow-check verdict cache stays hot for the session).
+  // nullptr = no eligible follower, read at the primary. Advisory only —
+  // the chosen follower's own gate re-decides with the same rule.
+  FollowerSession* RouteSessionRead(const std::string& user,
+                                    const std::string& service) const;
+
  private:
   struct WorkerInfo {
     std::string service;
@@ -98,6 +112,10 @@ class DemuxProcess : public ProcessCode {
     Handle grant;     // uG
     std::string password;  // credential the session was opened with
     uint64_t expires_at_cycles = 0;  // absolute virtual time; 0 = never
+    // Read-your-writes position: the session shard's WAL cursor at this
+    // session's last durable write. In-memory only — NOT part of the
+    // persisted value — so the on-disk session format is unchanged.
+    replwire::ReadCursorToken cursor;
   };
 
   struct ConnState {

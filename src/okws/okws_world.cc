@@ -64,6 +64,11 @@ OkwsWorld::OkwsWorld(OkwsWorldConfig config) : kernel_(config.boot_key) {
   });
 }
 
+DemuxProcess* OkwsWorld::demux() {
+  Process* p = kernel_.FindProcessByName("demux");
+  return p == nullptr ? nullptr : dynamic_cast<DemuxProcess*>(p->code.get());
+}
+
 void OkwsWorld::Pump() {
   kernel_.WithProcessContext(netd_pid_, [&](ProcessContext& ctx) { netd_->PollNetwork(ctx); });
   kernel_.RunUntilIdle();

@@ -42,6 +42,9 @@ class OkwsWorld {
   NetdProcess* netd() { return netd_; }
   ProcessId netd_pid() const { return netd_pid_; }
   LauncherProcess* launcher() { return launcher_; }
+  // The demux the launcher spawned (nullptr before PumpUntilReady). Read
+  // routing hangs off it: session cursors and the hub's follower choice.
+  DemuxProcess* demux();
 
   // One machine iteration: NIC interrupt into netd, then run to idle.
   void Pump();

@@ -15,6 +15,7 @@ FollowerProcess::FollowerProcess(StoreOptions store_opts, FollowerOptions option
   auto replica = ReplicaStore::Open(std::move(store_opts), ropts);
   ASB_ASSERT(replica.ok() && "follower replica store failed to open");
   replica_ = replica.take();
+  read_gate_ = std::make_unique<ReadGate>(replica_.get());
 }
 
 void FollowerProcess::Start(ProcessContext& ctx) {
@@ -33,6 +34,21 @@ void FollowerProcess::Start(ProcessContext& ctx) {
   }
   args.decont_send = Label({{notify_port_, Level::kStar}}, Level::kL3);
   ctx.Send(netd_ctl, std::move(listen), args);
+
+  if (ctx.HasEnv("read_tcp_port")) {
+    read_notify_port_ = ctx.NewPort(Label::Top());
+    Message rlisten;
+    rlisten.type = netd_proto::kListen;
+    rlisten.words = {ctx.GetEnv("read_tcp_port")};
+    rlisten.reply_port = read_notify_port_;
+    SendArgs rargs;
+    if (ctx.HasEnv("self_verify")) {
+      rargs.verify =
+          Label({{Handle::FromValue(ctx.GetEnv("self_verify")), Level::kL0}}, Level::kL3);
+    }
+    rargs.decont_send = Label({{read_notify_port_, Level::kStar}}, Level::kL3);
+    ctx.Send(netd_ctl, std::move(rlisten), rargs);
+  }
 }
 
 void FollowerProcess::IssueRead(ProcessContext& ctx) {
@@ -61,7 +77,122 @@ void FollowerProcess::EndSession(ProcessContext& ctx, bool close_conn) {
   (void)replica_->Checkpoint();
 }
 
+void FollowerProcess::IssueReadConnRead(ProcessContext& ctx, uint64_t cookie) {
+  const auto it = read_conns_.find(cookie);
+  if (it == read_conns_.end()) {
+    return;
+  }
+  Message read;
+  read.type = netd_proto::kRead;
+  read.words = {cookie, 0 /*all*/, 0 /*no peek*/, 0};
+  read.reply_port = read_notify_port_;
+  ctx.Send(it->second.uc, std::move(read));
+}
+
+void FollowerProcess::CloseReadConn(ProcessContext& ctx, uint64_t cookie) {
+  const auto it = read_conns_.find(cookie);
+  if (it == read_conns_.end()) {
+    return;
+  }
+  Message close;
+  close.type = netd_proto::kControl;
+  close.words = {cookie, netd_proto::kControlOpClose};
+  ctx.Send(it->second.uc, std::move(close));
+  ASB_ASSERT(ctx.SetSendLevel(it->second.uc, kDefaultSendLevel) == Status::kOk);
+  read_conns_.erase(it);
+}
+
+void FollowerProcess::CloseAllReadConns(ProcessContext& ctx) {
+  while (!read_conns_.empty()) {
+    CloseReadConn(ctx, read_conns_.begin()->first);
+  }
+}
+
+void FollowerProcess::HandleReadPlane(ProcessContext& ctx, const Message& msg) {
+  switch (msg.type) {
+    case netd_proto::kNotifyConn: {
+      if (msg.words.empty()) {
+        return;
+      }
+      const Handle uc = Handle::FromValue(msg.words[0]);
+      if (replica_->promoted()) {
+        // Promotion ended the follower role; the read plane ends with it
+        // (the adopting primary serves its own reads).
+        Message close;
+        close.type = netd_proto::kControl;
+        close.words = {0, netd_proto::kControlOpClose};
+        ctx.Send(uc, std::move(close));
+        ASB_ASSERT(ctx.SetSendLevel(uc, kDefaultSendLevel) == Status::kOk);
+        return;
+      }
+      const uint64_t cookie = next_read_cookie_++;
+      read_conns_[cookie] = ReadConn{uc, std::string()};
+      ++read_sessions_accepted_;
+      IssueReadConnRead(ctx, cookie);
+      return;
+    }
+    case netd_proto::kReadR: {
+      if (msg.words.empty()) {
+        return;
+      }
+      const uint64_t cookie = msg.words[0];
+      const auto it = read_conns_.find(cookie);
+      if (it == read_conns_.end()) {
+        return;  // stale reply from a closed read connection
+      }
+      const bool eof = msg.words.size() > 1 && msg.words[1] != 0;
+      it->second.rx.append(msg.data);
+      std::string tx;
+      replwire::WireMessage frame;
+      for (;;) {
+        const replwire::FrameParse p = replwire::ConsumeFrame(&it->second.rx, &frame);
+        if (p == replwire::FrameParse::kNeedMore) {
+          break;
+        }
+        // A read connection speaks exactly one frame type, authenticated
+        // with the replication session secret; anything else poisons it.
+        if (p == replwire::FrameParse::kCorrupt ||
+            frame.type != replwire::kReadReq ||
+            frame.token != options_.auth_token) {
+          CloseReadConn(ctx, cookie);
+          return;
+        }
+        const ReadResult res = read_gate_->Serve(frame.key, frame.label, frame.cursor);
+        replwire::WireMessage resp;
+        resp.type = replwire::kReadResp;
+        resp.cookie = frame.cookie;
+        resp.read_status = static_cast<uint64_t>(res.status);
+        resp.staleness = res.staleness_cycles;
+        resp.cursor = res.applied;
+        resp.label = res.secrecy;
+        resp.payload = Payload(res.value);
+        resp.trace_id = frame.trace_id;
+        replwire::AppendFrame(resp, &tx);
+      }
+      if (!tx.empty()) {
+        Message write;
+        write.type = netd_proto::kWrite;
+        write.words = {cookie};
+        write.data = std::move(tx);
+        ctx.Send(it->second.uc, std::move(write));
+      }
+      if (eof) {
+        CloseReadConn(ctx, cookie);
+      } else {
+        IssueReadConnRead(ctx, cookie);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
 void FollowerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
+  if (read_notify_port_.valid() && msg.port == read_notify_port_) {
+    HandleReadPlane(ctx, msg);
+    return;
+  }
   if (msg.port != notify_port_) {
     return;
   }
@@ -159,6 +290,7 @@ void FollowerProcess::CheckLease(ProcessContext& ctx) {
   // replica passes this test — the designation was computed once, by the
   // primary, and distributed to everyone before it died.
   EndSession(ctx, /*close_conn=*/true);
+  CloseAllReadConns(ctx);
   ASB_ASSERT(replica_->Promote() == Status::kOk);
   auto_promoted_ = true;
 }
@@ -170,6 +302,7 @@ void FollowerProcess::OnIdle(ProcessContext& ctx) {
 
 Status FollowerProcess::Promote(ProcessContext& ctx) {
   EndSession(ctx, /*close_conn=*/true);
+  CloseAllReadConns(ctx);
   return replica_->Promote();
 }
 

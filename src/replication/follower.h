@@ -31,13 +31,25 @@
 // falling back to FollowerOptions::busy_backoff_cycles); connections
 // arriving inside the window are closed unaccepted instead of burning a
 // hello/resume round trip on the same refusal.
+//
+// Read plane: when the environment names a "read_tcp_port", the follower
+// opens a SECOND listener and serves labeled reads (kReadReq → kReadResp)
+// through a ReadGate over its replica — lease freshness bounds staleness,
+// the request's cursor token gates read-your-writes, and the record's
+// secrecy label is checked against the reader's clearance with the kernel's
+// own delivery check (bit-identical cycles to a primary-side read). Read
+// connections are independent of the replication session: they survive a
+// primary outage and keep answering — with refusals — until the lease
+// actually expires, which is exactly the contract.
 #ifndef SRC_REPLICATION_FOLLOWER_H_
 #define SRC_REPLICATION_FOLLOWER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 
 #include "src/kernel/kernel.h"
+#include "src/replication/read_gate.h"
 #include "src/replication/replica.h"
 
 namespace asbestos {
@@ -63,7 +75,8 @@ class FollowerProcess : public ProcessCode {
   explicit FollowerProcess(StoreOptions store_opts, FollowerOptions options = FollowerOptions());
 
   // env: "netd_ctl" (required), "tcp_port" (required), "self_verify"
-  // (optional, for worlds whose netd checks listener identity).
+  // (optional, for worlds whose netd checks listener identity),
+  // "read_tcp_port" (optional: opens the follower-read listener).
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
   // Group commit of everything applied this pump (pipelined), then the
@@ -85,17 +98,41 @@ class FollowerProcess : public ProcessCode {
   bool auto_promoted() const { return auto_promoted_; }
   uint64_t busy_signals() const { return busy_signals_; }
   uint64_t backoff_until_cycles() const { return backoff_until_cycles_; }
+  uint64_t read_sessions_accepted() const { return read_sessions_accepted_; }
+
+  // Extra per-record admission applied to follower-served reads, on top of
+  // the label check — e.g. the demux session-expiry rule, so a follower
+  // refuses a stale session by the same comparison the primary uses.
+  void set_read_liveness_filter(ReadLivenessFilter filter) {
+    read_gate_->set_liveness_filter(std::move(filter));
+  }
 
  private:
+  // One accepted read connection; keyed by the netd cookie we issue reads
+  // with, so concurrent readers demux on the kReadR reply's cookie word.
+  struct ReadConn {
+    Handle uc;
+    std::string rx;
+  };
+
   void IssueRead(ProcessContext& ctx);
   void EndSession(ProcessContext& ctx, bool close_conn);
   void CheckLease(ProcessContext& ctx);
+  void HandleReadPlane(ProcessContext& ctx, const Message& msg);
+  void IssueReadConnRead(ProcessContext& ctx, uint64_t cookie);
+  void CloseReadConn(ProcessContext& ctx, uint64_t cookie);
+  void CloseAllReadConns(ProcessContext& ctx);
 
   std::unique_ptr<ReplicaStore> replica_;
+  std::unique_ptr<ReadGate> read_gate_;
   FollowerOptions options_;
   Handle notify_port_;
   Handle conn_;     // live session's uC (invalid = none)
   std::string rx_;  // buffered stream bytes awaiting a whole frame
+  Handle read_notify_port_;  // read-plane listener (invalid = plane off)
+  std::map<uint64_t, ReadConn> read_conns_;
+  uint64_t next_read_cookie_ = 1;
+  uint64_t read_sessions_accepted_ = 0;
   uint64_t sessions_accepted_ = 0;
   uint64_t busy_signals_ = 0;
   uint64_t backoff_until_cycles_ = 0;

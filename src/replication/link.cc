@@ -55,6 +55,9 @@ uint64_t ReplicationLink::FerryChunk(std::string* buffer, SimNet* dst, ConnId ds
 }
 
 uint64_t ReplicationLink::Step() {
+  if (paused_) {
+    return 0;  // the wire stalls in place; nothing drained, nothing delivered
+  }
   TryConnect();
   // Drain first, then notice server-side FINs: a closed connection (an
   // endpoint's busy refusal, a follower ending its session) is redialed on
@@ -109,7 +112,7 @@ void FsPrimaryWorld::Pump() {
 }
 
 FollowerWorld::FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
-                             FollowerOptions options)
+                             FollowerOptions options, uint16_t read_tcp_port)
     : kernel_(boot_key) {
   auto netd_code = std::make_unique<NetdProcess>(&net_);
   netd_ = netd_code.get();
@@ -124,6 +127,9 @@ FollowerWorld::FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions 
   fargs.name = "follower";
   fargs.component = Component::kOther;
   fargs.env = {{"netd_ctl", netd_->control_port().value()}, {"tcp_port", tcp_port}};
+  if (read_tcp_port != 0) {
+    fargs.env["read_tcp_port"] = read_tcp_port;
+  }
   follower_pid_ = kernel_.CreateProcess(std::move(follower_code), std::move(fargs));
 }
 
@@ -148,9 +154,11 @@ ReplicationFleet::ReplicationFleet(uint64_t boot_key, const FileServerOptions& f
 }
 
 size_t ReplicationFleet::AddFollower(uint64_t boot_key, uint16_t tcp_port,
-                                     StoreOptions store_opts, FollowerOptions options) {
-  followers_.push_back(
-      std::make_unique<FollowerWorld>(boot_key, tcp_port, std::move(store_opts), options));
+                                     StoreOptions store_opts, FollowerOptions options,
+                                     uint16_t read_tcp_port) {
+  followers_.push_back(std::make_unique<FollowerWorld>(boot_key, tcp_port,
+                                                       std::move(store_opts), options,
+                                                       read_tcp_port));
   followers_.back()->Pump();
   ASB_ASSERT(primary_ != nullptr && "followers join a live primary");
   links_.push_back(std::make_unique<ReplicationLink>(&primary_->net(), primary_port_,
@@ -198,6 +206,70 @@ int ReplicationFleet::auto_promoted_count() const {
     }
   }
   return n;
+}
+
+ReadClient::ReadClient(SimNet* net, uint16_t read_port, uint64_t auth_token)
+    : net_(net), port_(read_port), auth_token_(auth_token) {
+  TryConnect();
+}
+
+void ReadClient::TryConnect() {
+  if (conn_ == kNoConn) {
+    conn_ = net_->ClientConnect(port_);
+    rx_.clear();
+  }
+}
+
+bool ReadClient::Read(const std::string& key, const Label& clearance,
+                      const replwire::ReadCursorToken& token,
+                      const std::function<void()>& pump, ReadResult* out,
+                      int max_iters) {
+  TryConnect();
+  if (conn_ == kNoConn) {
+    return false;
+  }
+  const uint64_t cookie = next_cookie_++;
+  replwire::WireMessage req;
+  req.type = replwire::kReadReq;
+  req.token = auth_token_;
+  req.cookie = cookie;
+  req.key = key;
+  req.cursor = token;
+  req.label = clearance;
+  std::string wire;
+  replwire::AppendFrame(req, &wire);
+  net_->ClientSend(conn_, wire);
+  replwire::WireMessage resp;
+  for (int i = 0; i < max_iters; ++i) {
+    pump();
+    rx_ += net_->ClientTakeReceived(conn_);
+    for (;;) {
+      const replwire::FrameParse p = replwire::ConsumeFrame(&rx_, &resp);
+      if (p == replwire::FrameParse::kNeedMore) {
+        break;
+      }
+      if (p == replwire::FrameParse::kCorrupt || resp.type != replwire::kReadResp) {
+        net_->ClientClose(conn_);
+        conn_ = kNoConn;
+        return false;
+      }
+      if (resp.cookie != cookie) {
+        continue;  // an answer to an abandoned earlier read
+      }
+      out->status = static_cast<ReadStatus>(resp.read_status);
+      out->value = resp.payload.str();
+      out->secrecy = resp.label;
+      out->staleness_cycles = resp.staleness;
+      out->applied = resp.cursor;
+      return true;
+    }
+    if (net_->ClientSeesClosed(conn_)) {
+      net_->ClientClose(conn_);
+      conn_ = kNoConn;
+      return false;
+    }
+  }
+  return false;
 }
 
 int ReplicationFleet::auto_promoted_index() const {

@@ -22,6 +22,7 @@
 #define SRC_REPLICATION_LINK_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "src/net/netd.h"
 #include "src/net/simnet.h"
 #include "src/replication/follower.h"
+#include "src/replication/read_gate.h"
 
 namespace asbestos {
 
@@ -47,6 +49,13 @@ class ReplicationLink {
   // Delivers at most this many bytes per ClientSend, fragmenting frames
   // across steps — the torn-batch-at-the-follower scenario. 0 = unlimited.
   void set_max_chunk(uint64_t n) { max_chunk_ = n; }
+
+  // Stalls the wire without tearing it: while paused, Step() moves nothing
+  // and buffers nothing, so the follower silently falls behind — the lag
+  // injection the read-your-writes tests need (softer than Disconnect, which
+  // ends the session and forces a resume on redial).
+  void set_paused(bool paused) { paused_ = paused; }
+  bool paused() const { return paused_; }
 
   // Severs the wire (both directions); a later Reconnect() dials fresh
   // connections, as a restarted link daemon would.
@@ -71,6 +80,7 @@ class ReplicationLink {
   std::string to_follower_;  // taken from primary, not yet delivered
   std::string to_primary_;
   uint64_t max_chunk_ = 0;
+  bool paused_ = false;
   uint64_t bytes_to_follower_ = 0;
   uint64_t bytes_to_primary_ = 0;
 };
@@ -101,11 +111,12 @@ class FsPrimaryWorld {
 };
 
 // One follower machine: kernel, netd, and a FollowerProcess listening for
-// the primary's stream.
+// the primary's stream. A nonzero read_tcp_port opens the follower-read
+// listener alongside (served through the replica's ReadGate).
 class FollowerWorld {
  public:
   FollowerWorld(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
-                FollowerOptions options = FollowerOptions());
+                FollowerOptions options = FollowerOptions(), uint16_t read_tcp_port = 0);
 
   void Pump();
   // Closes the session, drains, checkpoints; the store directory is now a
@@ -135,9 +146,11 @@ class ReplicationFleet {
   // Boots the primary machine; fs_options.replication must be enabled.
   ReplicationFleet(uint64_t boot_key, const FileServerOptions& fs_options);
 
-  // Boots one follower machine and dials its link. Returns its index.
+  // Boots one follower machine and dials its link. Returns its index. A
+  // nonzero read_tcp_port additionally opens that follower's read listener.
   size_t AddFollower(uint64_t boot_key, uint16_t tcp_port, StoreOptions store_opts,
-                     FollowerOptions options = FollowerOptions());
+                     FollowerOptions options = FollowerOptions(),
+                     uint16_t read_tcp_port = 0);
 
   // One driver step: ferry every link, pump the primary (if alive) and
   // every follower.
@@ -165,6 +178,35 @@ class ReplicationFleet {
   std::unique_ptr<FsPrimaryWorld> primary_;
   std::vector<std::unique_ptr<FollowerWorld>> followers_;
   std::vector<std::unique_ptr<ReplicationLink>> links_;
+};
+
+// Drives a follower's read listener from outside the machine, the way the
+// link drives replication and HttpLoadClient drives OKWS: one client
+// connection into the follower netd's read port, speaking kReadReq →
+// kReadResp. Tests and benches use it to exercise the staleness contract
+// end to end over real frames.
+class ReadClient {
+ public:
+  ReadClient(SimNet* net, uint16_t read_port, uint64_t auth_token);
+
+  // Sends one read and calls `pump` (the caller's world-pumping step) until
+  // the matching response lands. False when the connection closed or
+  // max_iters pumps passed without an answer; *out is untouched then.
+  bool Read(const std::string& key, const Label& clearance,
+            const replwire::ReadCursorToken& token, const std::function<void()>& pump,
+            ReadResult* out, int max_iters = 2000);
+
+  bool connected() const { return conn_ != kNoConn; }
+
+ private:
+  void TryConnect();
+
+  SimNet* net_;
+  uint16_t port_;
+  uint64_t auth_token_;
+  uint64_t next_cookie_ = 1;
+  ConnId conn_ = kNoConn;
+  std::string rx_;
 };
 
 }  // namespace asbestos

@@ -5,6 +5,7 @@
 #include "src/base/panic.h"
 #include "src/base/strings.h"
 #include "src/obs/trace.h"
+#include "src/sim/cycles.h"
 
 namespace asbestos {
 
@@ -97,6 +98,12 @@ void ReplicaStore::TrackLease(const WireMessage& msg) {
   if (msg.type != replwire::kHello && msg.successor_id != successor_id_) {
     successor_id_ = msg.successor_id;
   }
+  last_heard_cycles_ = GetCycleAccounting().now();
+}
+
+const StoreRecord* ReplicaStore::ReadView::Get(const std::string& key) const {
+  ASB_ASSERT(owner_->read_epoch_ == epoch_ && "read view outlived an apply");
+  return owner_->store_ == nullptr ? nullptr : owner_->store_->Get(key);
 }
 
 Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
@@ -156,6 +163,7 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       }
       c.offset += msg.payload.size();
       stats_.batches_applied += 1;
+      read_epoch_ += 1;  // invalidate outstanding read views
       if (obs::TraceRing::enabled() && msg.trace_id != 0) {
         obs::TraceRing::Get().Emit(
             msg.trace_id, "replica", "repl.apply",
@@ -183,6 +191,7 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       c.generation = msg.generation;
       c.offset = msg.offset;
       stats_.snapshots_installed += 1;
+      read_epoch_ += 1;  // invalidate outstanding read views
       if (obs::TraceRing::enabled() && msg.trace_id != 0) {
         obs::TraceRing::Get().Emit(
             msg.trace_id, "replica", "repl.apply",
@@ -199,6 +208,31 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       }
       TrackLease(msg);
       stats_.heartbeats_seen += 1;
+      return Status::kOk;
+    }
+    case replwire::kGenMark: {
+      // Compaction hand-off (see wire.h): the primary retained the old
+      // generation's tail, this follower applied ALL of it, and the mark
+      // names exactly that end position. Advancing to (generation+1, 0) is
+      // pure bookkeeping — the records are already applied — so a synced
+      // follower rides through the compaction without a snapshot re-image.
+      // Wal::Reset() advances generations by exactly one, which is why the
+      // mark needs no explicit target. Anywhere else, re-ack the true
+      // position and let the source fall back to a snapshot.
+      if (msg.shard >= cursors_.size() || session_source_ == 0) {
+        return Status::kOk;
+      }
+      TrackLease(msg);
+      Cursor& c = cursors_[static_cast<uint32_t>(msg.shard)];
+      if (c.source_id == session_source_ && c.generation == msg.generation &&
+          c.offset == msg.offset) {
+        c.generation += 1;
+        c.offset = 0;
+        stats_.gen_marks_applied += 1;
+      } else {
+        stats_.gaps_ignored += 1;
+      }
+      AppendAck(static_cast<uint32_t>(msg.shard), ack_out);
       return Status::kOk;
     }
     case replwire::kBusy: {

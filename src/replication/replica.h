@@ -53,6 +53,7 @@ struct ReplicaStoreStats {
   uint64_t gaps_ignored = 0;        // batches past the cursor or wrong gen
   uint64_t heartbeats_seen = 0;     // kHeartbeat frames (lease refreshes)
   uint64_t busy_signals = 0;        // kBusy refusals from an at-capacity primary
+  uint64_t gen_marks_applied = 0;   // compaction hand-offs ridden through
 };
 
 struct ReplicaOptions {
@@ -118,6 +119,42 @@ class ReplicaStore {
   // The back-off hint from the last kBusy refusal (0 = never refused).
   uint64_t busy_retry_after() const { return busy_retry_after_; }
 
+  // --- Follower reads (src/replication/read_gate.h) --------------------------
+  // The applied position for one shard, in cursor-token form: what the read
+  // gate compares a session's token against, and what acks already carry to
+  // the primary for routing.
+  replwire::ReadCursorToken applied_cursor(uint32_t shard) const {
+    replwire::ReadCursorToken t;
+    const Cursor& c = cursors_[shard];
+    t.source_id = c.source_id;
+    t.shard = shard;
+    t.generation = c.generation;
+    t.offset = c.offset;
+    return t;
+  }
+  // Virtual-clock instant of the newest frame heard from the primary
+  // (0 = never): `now - last_heard` is the realized staleness a served
+  // read reports.
+  uint64_t last_heard_cycles() const { return last_heard_cycles_; }
+
+  // An epoch-pinned window onto the replica's records: Get() asserts no
+  // apply landed since the view was taken, so a serve can never interleave
+  // with ApplyReplicatedRecord half-applying a batch. Views are meant to be
+  // taken per request and dropped before control returns to the pump.
+  class ReadView {
+   public:
+    const StoreRecord* Get(const std::string& key) const;
+
+   private:
+    friend class ReplicaStore;
+    ReadView(const ReplicaStore* owner, uint64_t epoch)
+        : owner_(owner), epoch_(epoch) {}
+    const ReplicaStore* owner_;
+    uint64_t epoch_;
+  };
+  ReadView read_view() const { return ReadView(this, read_epoch_); }
+  uint64_t read_epoch() const { return read_epoch_; }
+
  private:
   struct Cursor {
     uint64_t source_id = 0;  // 0 = never synced to anyone
@@ -140,6 +177,8 @@ class ReplicaStore {
   uint64_t lease_until_ = 0;
   uint64_t successor_id_ = 0;
   uint64_t busy_retry_after_ = 0;
+  uint64_t last_heard_cycles_ = 0;
+  uint64_t read_epoch_ = 0;  // bumped per mutating apply; pins ReadViews
   bool promoted_ = false;
   ReplicaStoreStats stats_;
 };

@@ -5,6 +5,7 @@
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/replication/read_gate.h"
 #include "src/sim/cycles.h"
 
 namespace asbestos {
@@ -108,6 +109,60 @@ void FollowerSession::ShipSnapshot(uint32_t shard, uint64_t lease_until,
   *frames += 1;
 }
 
+bool FollowerSession::ShipBatchSpan(uint32_t shard, uint64_t gen, uint64_t end_off,
+                                    uint64_t max_batch_bytes, uint64_t max_total_bytes,
+                                    uint64_t lease_until, uint64_t successor_id,
+                                    std::string* out, size_t* frames) {
+  Cursor& c = cursors_[shard];
+  while (c.shipped_off < end_off && out->size() < max_total_bytes) {
+    Payload span;
+    const Status s = hub_->ReadSpan(shard, gen, c.shipped_off, max_batch_bytes, &span);
+    if (!IsOk(s)) {
+      return false;  // the span vanished under us (raced a compaction)
+    }
+    // Ship whole WAL frames only; if one frame alone exceeds the batch
+    // limit it ships as an oversized SINGLETON — exactly that frame, not
+    // everything to the log tail — rather than fragmenting.
+    uint64_t take = replwire::WalFramePrefix(span, max_batch_bytes);
+    if (take == 0) {
+      // The first frame alone exceeds the batch limit: its header names
+      // its exact size, so re-read precisely that frame and ship it as an
+      // oversized singleton — never the whole remaining log.
+      const uint64_t need = replwire::FirstWalFrameBytes(span);
+      ASB_ASSERT(need > 0 && "batch limit smaller than a WAL frame header");
+      const Status big = hub_->ReadSpan(shard, gen, c.shipped_off, need, &span);
+      if (!IsOk(big)) {
+        return false;  // raced a compaction
+      }
+      take = need;
+      ASB_ASSERT(span.size() >= take);
+    }
+    WireMessage m;
+    m.type = replwire::kBatch;
+    m.shard = shard;
+    m.generation = gen;
+    m.offset = c.shipped_off;
+    m.lease_until = lease_until;
+    m.successor_id = successor_id;
+    m.trace_id = trace_id_;
+    m.payload = span.substr(0, take);
+    c.shipped_off += take;
+    stats_.batches_shipped += 1;
+    stats_.bytes_shipped += take;
+    BatchCounter().Add();
+    ShippedBytesCounter().Add(take);
+    if (obs::TraceRing::enabled() && trace_id_ != 0) {
+      obs::TraceRing::Get().Emit(
+          trace_id_, "repl", "repl.ship",
+          "batch shard=" + std::to_string(shard) + " off=" + std::to_string(m.offset),
+          Label::Bottom());
+    }
+    replwire::AppendFrame(m, out);
+    *frames += 1;
+  }
+  return true;
+}
+
 size_t FollowerSession::PollFrames(uint64_t max_batch_bytes, uint64_t max_total_bytes,
                                    std::string* out) {
   const DurableStore* store = hub_->store();
@@ -125,61 +180,58 @@ size_t FollowerSession::PollFrames(uint64_t max_batch_bytes, uint64_t max_total_
       continue;  // the follower has not told us where it is yet
     }
     // The follower's position is unusable (unknown history), or compaction
-    // moved the log out from under the cursor: catch up by image.
+    // moved the log out from under the cursor: catch up by image — UNLESS
+    // the store retained the compacted generation's tail and the cursor sits
+    // inside it, in which case the session streams the retained span to its
+    // end and hands the follower across the generation switch with one
+    // kGenMark. A fully-synced follower rides through a compaction without
+    // ever seeing a snapshot.
     if (c.force_snapshot || c.shipped_gen != store->shard_wal_generation(shard) ||
         c.shipped_off > store->shard_wal_offset(shard)) {
-      ShipSnapshot(shard, lease_until, successor_id, out, &frames);
-      continue;
-    }
-    while (c.shipped_off < store->shard_wal_offset(shard) &&
-           out->size() < max_total_bytes) {
-      Payload span;
-      const Status s =
-          hub_->ReadSpan(shard, c.shipped_gen, c.shipped_off, max_batch_bytes, &span);
-      if (!IsOk(s)) {
-        ShipSnapshot(shard, lease_until, successor_id, out, &frames);  // raced a compaction
-        break;
+      uint64_t rgen = 0;
+      uint64_t rstart = 0;
+      uint64_t rend = 0;
+      const bool retained =
+          !c.force_snapshot && store->ShardRetainedSpan(shard, &rgen, &rstart, &rend) &&
+          c.shipped_gen == rgen && rgen + 1 == store->shard_wal_generation(shard) &&
+          c.shipped_off >= rstart && c.shipped_off <= rend;
+      if (!retained) {
+        ShipSnapshot(shard, lease_until, successor_id, out, &frames);
+        continue;
       }
-      // Ship whole WAL frames only; if one frame alone exceeds the batch
-      // limit it ships as an oversized SINGLETON — exactly that frame, not
-      // everything to the log tail — rather than fragmenting.
-      uint64_t take = replwire::WalFramePrefix(span, max_batch_bytes);
-      if (take == 0) {
-        // The first frame alone exceeds the batch limit: its header names
-        // its exact size, so re-read precisely that frame and ship it as an
-        // oversized singleton — never the whole remaining log.
-        const uint64_t need = replwire::FirstWalFrameBytes(span);
-        ASB_ASSERT(need > 0 && "batch limit smaller than a WAL frame header");
-        const Status big = hub_->ReadSpan(shard, c.shipped_gen, c.shipped_off, need, &span);
-        if (!IsOk(big)) {
-          ShipSnapshot(shard, lease_until, successor_id, out, &frames);  // raced a compaction
-          break;
-        }
-        take = need;
-        ASB_ASSERT(span.size() >= take);
+      if (!ShipBatchSpan(shard, rgen, rend, max_batch_bytes, max_total_bytes,
+                         lease_until, successor_id, out, &frames)) {
+        ShipSnapshot(shard, lease_until, successor_id, out, &frames);
+        continue;
       }
-      WireMessage m;
-      m.type = replwire::kBatch;
-      m.shard = shard;
-      m.generation = c.shipped_gen;
-      m.offset = c.shipped_off;
-      m.lease_until = lease_until;
-      m.successor_id = successor_id;
-      m.trace_id = trace_id_;
-      m.payload = span.substr(0, take);
-      c.shipped_off += take;
-      stats_.batches_shipped += 1;
-      stats_.bytes_shipped += take;
-      BatchCounter().Add();
-      ShippedBytesCounter().Add(take);
+      if (c.shipped_off < rend || out->size() >= max_total_bytes) {
+        continue;  // budget spent mid-span; the rest (and the mark) ship later
+      }
+      WireMessage mark;
+      mark.type = replwire::kGenMark;
+      mark.shard = shard;
+      mark.generation = rgen;
+      mark.offset = rend;
+      mark.lease_until = lease_until;
+      mark.successor_id = successor_id;
+      mark.trace_id = trace_id_;
+      replwire::AppendFrame(mark, out);
+      ++frames;
+      stats_.gen_marks_sent += 1;
       if (obs::TraceRing::enabled() && trace_id_ != 0) {
         obs::TraceRing::Get().Emit(
             trace_id_, "repl", "repl.ship",
-            "batch shard=" + std::to_string(shard) + " off=" + std::to_string(m.offset),
+            "genmark shard=" + std::to_string(shard) + " gen=" + std::to_string(rgen),
             Label::Bottom());
       }
-      replwire::AppendFrame(m, out);
-      ++frames;
+      c.shipped_gen = rgen + 1;
+      c.shipped_off = 0;
+      // Fall through: the new generation's bytes (if any) ship below.
+    }
+    if (!ShipBatchSpan(shard, c.shipped_gen, store->shard_wal_offset(shard),
+                       max_batch_bytes, max_total_bytes, lease_until, successor_id, out,
+                       &frames)) {
+      ShipSnapshot(shard, lease_until, successor_id, out, &frames);  // raced a compaction
     }
   }
   if (frames > 0) {
@@ -215,9 +267,19 @@ void FollowerSession::HandleAck(const WireMessage& ack) {
   const DurableStore* store = hub_->store();
   Cursor& c = cursors_[ack.shard];
   const uint32_t shard = static_cast<uint32_t>(ack.shard);
+  // An ack names a servable position in our history when it sits in the
+  // live generation — or inside the retained previous-generation tail,
+  // which PollFrames can still stream (compaction-aware hand-off).
+  uint64_t rgen = 0;
+  uint64_t rstart = 0;
+  uint64_t rend = 0;
+  const bool in_retained = store->ShardRetainedSpan(shard, &rgen, &rstart, &rend) &&
+                           ack.generation == rgen && ack.offset >= rstart &&
+                           ack.offset <= rend;
   const bool ours = ack.source_id == hub_->source_id() &&
-                    ack.generation == store->shard_wal_generation(shard) &&
-                    ack.offset <= store->shard_wal_offset(shard);
+                    ((ack.generation == store->shard_wal_generation(shard) &&
+                      ack.offset <= store->shard_wal_offset(shard)) ||
+                     in_retained);
   if (c.await_resume) {
     c.await_resume = false;
     if (ours) {
@@ -332,6 +394,10 @@ ReplicationHub::ReplicationHub(const DurableStore* store, uint64_t source_id, Tu
         }
         sink.Set(prefix + "max_apply_lag_cycles", max_lag);
         sink.Set(prefix + "min_lease_remaining_cycles", min_lease);
+        sink.Set(prefix + "reads_served", st.reads_served);
+        sink.Set(prefix + "reads_refused_stale_lease", st.reads_refused_stale_lease);
+        sink.Set(prefix + "reads_refused_cursor_lag", st.reads_refused_cursor_lag);
+        sink.Set(prefix + "read_staleness_p99_cycles", st.read_staleness_p99_cycles);
       });
 }
 
@@ -401,6 +467,14 @@ HubDebugStatus ReplicationHub::DebugStatus() const {
   st.source_id = source_id_;
   st.successor_id = SuccessorId();
   st.cache = cache_.stats();
+  // Fold the process-global read-plane scoreboard in (the counters live in
+  // read_gate.cc so they survive any one gate; this is the one-stop view).
+  obs::Registry& reg = obs::Registry::Get();
+  st.reads_served = reg.counter("repl.reads_served").value();
+  st.reads_refused_stale_lease = reg.counter("repl.reads_refused_stale_lease").value();
+  st.reads_refused_cursor_lag = reg.counter("repl.reads_refused_cursor_lag").value();
+  st.read_staleness_p99_cycles =
+      reg.histogram("repl.read_staleness_cycles").ApproxQuantile(0.99);
   for (const auto& s : sessions_) {
     HubDebugStatus::Session out;
     out.session_id = s->session_id();
@@ -453,11 +527,61 @@ uint64_t ReplicationHub::SuccessorId() const {
   return best;
 }
 
+FollowerSession* ReplicationHub::RouteRead(const std::string& routing_key,
+                                           const replwire::ReadCursorToken& token) const {
+  FollowerSession* best = nullptr;
+  uint64_t best_score = 0;
+  for (const auto& s : sessions_) {
+    if (s->follower_id() == 0 || s->LeaseRemainingCycles() == 0) {
+      continue;  // anonymous mirror, or its lease stamp already ran out
+    }
+    if (!token.empty()) {
+      if (token.shard >= s->cursors_.size()) {
+        continue;
+      }
+      const FollowerSession::Cursor& c = s->cursors_[token.shard];
+      replwire::ReadCursorToken acked;
+      acked.source_id = c.await_resume ? 0 : source_id_;
+      acked.shard = token.shard;
+      acked.generation = c.acked_gen;
+      acked.offset = c.acked_off;
+      if (!ReadGate::CursorCovers(acked, token)) {
+        continue;  // this follower would refuse with cursor-lag anyway
+      }
+    }
+    // Rendezvous (highest-random-weight) hash: FNV-1a over the routing key,
+    // folded with the follower id. Deterministic, no shared table, and a
+    // membership change only remaps the keys that scored highest on the
+    // changed node.
+    uint64_t h = 1469598103934665603ULL;
+    for (const char ch : routing_key) {
+      h = (h ^ static_cast<uint8_t>(ch)) * 1099511628211ULL;
+    }
+    h = (h ^ s->follower_id()) * 1099511628211ULL;
+    if (best == nullptr || h > best_score) {
+      best = s.get();
+      best_score = h;
+    }
+  }
+  return best;
+}
+
 Status ReplicationHub::ReadSpan(uint32_t shard, uint64_t generation, uint64_t offset,
                                 uint64_t max_bytes, Payload* span) {
-  // Cursor-generation mismatches snapshot before reaching here, so this read
-  // is always into the live generation and the tail bound below is valid.
-  const uint64_t tail = store_->shard_wal_offset(shard);
+  // Reads target the live generation — or the retained previous-generation
+  // tail during a compaction hand-off, whose fixed end is its "tail". Spans
+  // cached before the compaction stay valid for retained-gen reads (same
+  // generation, same immutable bytes), so a ride-through usually never
+  // touches the store at all.
+  uint64_t tail = store_->shard_wal_offset(shard);
+  if (generation != store_->shard_wal_generation(shard)) {
+    uint64_t rgen = 0;
+    uint64_t rstart = 0;
+    uint64_t rend = 0;
+    if (store_->ShardRetainedSpan(shard, &rgen, &rstart, &rend) && generation == rgen) {
+      tail = rend;
+    }
+  }
   if (cache_.Lookup(shard, generation, offset, max_bytes, tail, span)) {
     return Status::kOk;
   }

@@ -66,6 +66,7 @@ struct FollowerSessionStats {
   uint64_t heartbeats_sent = 0;
   uint64_t bytes_shipped = 0;  // payload bytes (batch spans + images)
   uint64_t rewinds = 0;        // acks that moved `shipped` backwards
+  uint64_t gen_marks_sent = 0; // compaction hand-offs (no snapshot needed)
 };
 
 class FollowerSession {
@@ -145,6 +146,15 @@ class FollowerSession {
   void ShipSnapshot(uint32_t shard, uint64_t lease_until, uint64_t successor_id,
                     std::string* out, size_t* frames);
 
+  // Streams whole-frame batches of generation `gen` from `shipped` toward
+  // `end_off` (the live tail, or a retained span's end), honoring the batch
+  // and total byte budgets. False when a read failed (the span vanished
+  // under us — the caller ships a snapshot instead).
+  bool ShipBatchSpan(uint32_t shard, uint64_t gen, uint64_t end_off,
+                     uint64_t max_batch_bytes, uint64_t max_total_bytes,
+                     uint64_t lease_until, uint64_t successor_id, std::string* out,
+                     size_t* frames);
+
   ReplicationHub* hub_;
   uint64_t session_id_;
   uint64_t follower_id_ = 0;
@@ -184,6 +194,12 @@ struct HubDebugStatus {
   uint64_t successor_id = 0;
   FrameCacheStats cache;
   std::vector<Session> sessions;
+  // Fleet-wide read-plane scoreboard (process-global counters from
+  // src/replication/read_gate.cc, snapshotted here for one-stop health).
+  uint64_t reads_served = 0;
+  uint64_t reads_refused_stale_lease = 0;
+  uint64_t reads_refused_cursor_lag = 0;
+  uint64_t read_staleness_p99_cycles = 0;
 };
 
 class ReplicationHub {
@@ -236,6 +252,18 @@ class ReplicationHub {
   // Deterministic successor designation: the lowest nonzero follower id
   // among caught-up sessions; 0 when no session qualifies.
   uint64_t SuccessorId() const;
+
+  // Advisory read routing: the session whose follower should serve a read
+  // for `routing_key` under `token`'s read-your-writes bound, or nullptr
+  // when no follower qualifies (serve at the primary). Eligible sessions
+  // hold an unexpired lease stamp and an acked cursor covering the token;
+  // among them the pick is rendezvous-hashed on (routing_key, follower_id),
+  // so one user's session reads stick to one follower (its flow-check
+  // verdict cache stays hot) while users spread across the fleet, and a
+  // follower joining or leaving only moves the keys that hashed to it.
+  // Advisory only: the follower's own ReadGate re-decides authoritatively.
+  FollowerSession* RouteRead(const std::string& routing_key,
+                             const replwire::ReadCursorToken& token) const;
 
   // Shared WAL read path: serves (shard, generation, offset, ≤max_bytes)
   // from the frame cache, falling back to DurableStore::ReadShardWal and

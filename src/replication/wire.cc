@@ -71,6 +71,37 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.retry_after, &p);
       codec::AppendVarint(msg.trace_id, &p);
       break;
+    case kGenMark:
+      codec::AppendVarint(msg.shard, &p);
+      codec::AppendVarint(msg.generation, &p);
+      codec::AppendVarint(msg.offset, &p);
+      codec::AppendVarint(msg.lease_until, &p);
+      codec::AppendVarint(msg.successor_id, &p);
+      codec::AppendVarint(msg.trace_id, &p);
+      break;
+    case kReadReq:
+      codec::AppendVarint(msg.token, &p);
+      codec::AppendVarint(msg.cookie, &p);
+      codec::AppendString(msg.key, &p);
+      codec::AppendVarint(msg.cursor.source_id, &p);
+      codec::AppendVarint(msg.cursor.shard, &p);
+      codec::AppendVarint(msg.cursor.generation, &p);
+      codec::AppendVarint(msg.cursor.offset, &p);
+      codec::AppendLabel(msg.label, &p);
+      codec::AppendVarint(msg.trace_id, &p);
+      break;
+    case kReadResp:
+      codec::AppendVarint(msg.cookie, &p);
+      codec::AppendVarint(msg.read_status, &p);
+      codec::AppendVarint(msg.staleness, &p);
+      codec::AppendVarint(msg.cursor.source_id, &p);
+      codec::AppendVarint(msg.cursor.shard, &p);
+      codec::AppendVarint(msg.cursor.generation, &p);
+      codec::AppendVarint(msg.cursor.offset, &p);
+      codec::AppendLabel(msg.label, &p);
+      codec::AppendString(msg.payload, &p);
+      codec::AppendVarint(msg.trace_id, &p);
+      break;
     default:
       break;
   }
@@ -151,6 +182,53 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->retry_after))) {
         return s;
       }
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
+      break;
+    case kGenMark:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->generation)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->offset)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->successor_id))) {
+        return s;
+      }
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
+      break;
+    case kReadReq:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->token)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cookie)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
+        return s;
+      }
+      msg->key.assign(bytes);
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.source_id)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.shard)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.generation)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.offset)) ||
+          !IsOk(s = codec::ReadLabel(p, &pos, &msg->label))) {
+        return s;
+      }
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+        return s;
+      }
+      break;
+    case kReadResp:
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->cookie)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->read_status)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->staleness)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.source_id)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.shard)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.generation)) ||
+          !IsOk(s = codec::ReadVarint(p, &pos, &msg->cursor.offset)) ||
+          !IsOk(s = codec::ReadLabel(p, &pos, &msg->label)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
+        return s;
+      }
+      msg->payload = Payload(bytes);  // one copy out of the rx buffer, then shared
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
         return s;
       }

@@ -31,6 +31,29 @@
 //              follower_id
 //   kHeartbeat lease_until, successor_id        primary → follower, when idle
 //   kBusy      retry_after_cycles               primary → follower, then close
+//   kGenMark   shard, from-generation,          primary → follower, at compaction
+//              from-offset, lease_until,
+//              successor_id
+//   kReadReq   token, cookie, key,              reader → follower
+//              cursor token, clearance label
+//   kReadResp  cookie, read status, staleness,  follower → reader
+//              applied cursor, secrecy label,
+//              value bytes
+//
+// kGenMark is the compaction hand-off for fully-synced followers: when the
+// primary compacts a shard but retains the old generation's WAL tail
+// (StoreOptions::retain_wal_tail_bytes), a follower that has applied the
+// retained span to its end receives one kGenMark naming that end position
+// and atomically advances its cursor to (generation+1, 0) — no snapshot
+// re-image. A follower anywhere else re-acks its true cursor and the source
+// falls back to a snapshot as before.
+//
+// kReadReq/kReadResp are the follower-read plane (see src/replication/
+// read_gate.h): a labeled read carries the session's cursor token — the
+// (source, shard, generation, offset) ack position stamped at its last
+// write — and the reader's clearance label. The follower answers only when
+// its lease is fresh AND its applied cursor covers the token; refusals name
+// the reason so the client retries at the primary.
 //
 // Lease stamping (automatic failover): every kHello/kBatch/kSnapshot/
 // kHeartbeat from a live primary carries `lease_until`, a virtual-clock
@@ -70,6 +93,7 @@
 
 #include "src/base/status.h"
 #include "src/kernel/payload.h"
+#include "src/labels/label.h"
 
 namespace asbestos {
 namespace replwire {
@@ -81,6 +105,25 @@ enum MessageType : uint64_t {
   kAck = 4,
   kHeartbeat = 5,
   kBusy = 6,
+  kGenMark = 7,
+  kReadReq = 8,
+  kReadResp = 9,
+};
+
+// A session's read-your-writes position: the primary's per-shard WAL cursor
+// at the session's last acknowledged write. A follower may answer a read
+// carrying this token only when its applied cursor for the shard covers it —
+// same source, and either a later generation (compaction only ever advances
+// a fully-applied cursor) or the same generation at `offset` or beyond.
+// source_id == 0 is the empty token: the session never wrote, any fresh
+// follower may answer.
+struct ReadCursorToken {
+  uint64_t source_id = 0;
+  uint64_t shard = 0;
+  uint64_t generation = 0;
+  uint64_t offset = 0;
+
+  bool empty() const { return source_id == 0; }
 };
 
 struct WireMessage {
@@ -88,13 +131,19 @@ struct WireMessage {
   uint64_t token = 0;        // kHello, kAck: session shared secret
   uint64_t source_id = 0;    // kHello, kAck
   uint64_t shard_count = 0;  // kHello
-  uint64_t shard = 0;        // kBatch, kSnapshot, kAck
-  uint64_t generation = 0;   // kBatch, kSnapshot, kAck
+  uint64_t shard = 0;        // kBatch, kSnapshot, kAck, kGenMark
+  uint64_t generation = 0;   // kBatch, kSnapshot, kAck, kGenMark
   uint64_t offset = 0;       // kBatch: span start; kSnapshot/kAck: position covered
-  uint64_t lease_until = 0;  // kHello/kBatch/kHeartbeat: virtual-clock lease deadline
-  uint64_t successor_id = 0; // kBatch/kHeartbeat: designated failover follower id
+  uint64_t lease_until = 0;  // kHello/kBatch/kHeartbeat/kGenMark: lease deadline
+  uint64_t successor_id = 0; // kBatch/kHeartbeat/kGenMark: designated failover id
   uint64_t follower_id = 0;  // kAck: the follower's configured id (0 = bystander)
   uint64_t retry_after = 0;  // kBusy: suggested back-off in virtual cycles
+  uint64_t cookie = 0;       // kReadReq/kReadResp: request id, echoed verbatim
+  uint64_t read_status = 0;  // kReadResp: ReadStatus (src/replication/read_gate.h)
+  uint64_t staleness = 0;    // kReadResp: cycles since the follower last heard
+  ReadCursorToken cursor;    // kReadReq: the session token; kReadResp: applied
+  Label label = Label::Bottom();  // kReadReq: clearance; kReadResp: value secrecy
+  std::string key;           // kReadReq: the store key to read
   // Flow-trace id of the session (src/obs/trace.h), minted at hello and
   // stamped on every subsequent frame so replication traffic can be
   // followed end to end like an OKWS request. Carried by every frame type;

@@ -73,6 +73,13 @@ constexpr uint64_t kSchedulerTickCycles = 600;
 // pump burns ~1.5M cycles in netd alone), but large enough that a dead
 // primary's lease expires within a few thousand quiet pumps.
 constexpr uint64_t kLeaseCheckCycles = 25'000;
+// One follower-served read: admission (lease + cursor compare), the store
+// map probe, and response assembly — everything EXCEPT the label flow check,
+// which is charged separately with the kernel's exact per-entry formula so
+// follower label costs stay bit-identical to the primary's (see
+// src/replication/read_gate.cc). Roughly a demux conn's table work without
+// the connection setup.
+constexpr uint64_t kReadServeCycles = 20'000;
 
 // --- Unix baseline (Apache / Mod-Apache on Linux) -----------------------------
 // Calibrated against the paper's own measurements: Mod-Apache ≈ 2,800

@@ -6,6 +6,8 @@
 #include "src/okws/idd.h"
 #include "src/okws/okws_world.h"
 #include "src/okws/services.h"
+#include "src/okws/session_codec.h"
+#include "src/replication/link.h"
 #include "tests/test_util.h"
 
 namespace asbestos {
@@ -453,6 +455,99 @@ TEST(OkwsPersistenceTest, ExpiredSessionsDieAcrossReboot) {
     // The user is not locked out — the next request just logs in again.
     EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
   }
+}
+
+// --- Follower reads of the replicated session table --------------------------
+
+TEST(OkwsFollowerReadTest, ExpiredSessionRefusedIdenticallyOnFollower) {
+  asbestos::testing::TempDir dir;
+  OkwsWorldConfig config = BasicConfig();
+  config.idd_options.store_dir = dir.path() + "/idd";
+  config.demux_options.store_dir = dir.path() + "/demux";
+  // TTL sized so the session expires when the test says so, comfortably
+  // inside a lease long enough that the refusal below is unambiguously the
+  // session-expiry rule, not lease staleness.
+  config.demux_options.session_ttl_cycles = 200'000'000;
+  config.demux_options.replication.listen_tcp_port = 7101;
+  config.demux_options.replication.lease_interval_cycles = 2'000'000'000;
+  OkwsWorld world(config);
+  world.PumpUntilReady();
+
+  StoreOptions replica_opts;
+  replica_opts.dir = dir.path() + "/demux-replica";
+  replica_opts.shards = 4;
+  FollowerOptions fopts;
+  fopts.follower_id = 1;
+  fopts.auto_promote = false;
+  FollowerWorld follower(0x2222, 7201, replica_opts, fopts, /*read_tcp_port=*/7300);
+  // The demux session liveness rule, applied follower-side: the SAME
+  // comparison FindLiveSession uses on the primary (session_codec.h).
+  follower.follower()->set_read_liveness_filter(okws_session::LivenessFilter());
+  ReplicationLink link(&world.net(), 7101, &follower.net(), 7201);
+  const auto step = [&] {
+    link.Step();
+    world.Pump();
+    follower.Pump();
+  };
+
+  // A login registers (and persists) alice's session, stamping its
+  // read-your-writes token from the session shard's WAL tail.
+  EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+  DemuxProcess* demux = FindDemux(world);
+  ASSERT_NE(demux, nullptr);
+  ASSERT_EQ(demux->session_count(), 1u);
+  const replwire::ReadCursorToken token = demux->session_cursor("alice", "echo");
+  ASSERT_FALSE(token.empty());
+
+  for (int i = 0; i < 3000; ++i) {
+    step();
+    if (demux->replication()->hub()->session_count() == 1 &&
+        demux->replication()->hub()->AllFullySynced()) {
+      break;
+    }
+  }
+  ASSERT_TRUE(demux->replication()->hub()->AllFullySynced());
+
+  // The follower serves the live session record — honoring the token, so
+  // this read observes alice's own registration.
+  const std::string key = okws_session::Key("alice", "echo");
+  ReadClient reader(&follower.net(), 7300, /*auth_token=*/0);
+  ReadResult r;
+  ASSERT_TRUE(reader.Read(key, Label::Top(), token, step, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_FALSE(r.value.empty());
+
+  // The demux routes this session's reads somewhere (one eligible
+  // follower), and its advisory choice is that follower's session.
+  EXPECT_NE(demux->RouteSessionRead("alice", "echo"), nullptr);
+
+  // Time passes the TTL. The primary never touched the record (expiry is
+  // lazy), so the REPLICATED record still exists on the follower — and the
+  // follower must refuse it by the same rule the primary would.
+  GetCycleAccounting().Charge(Component::kOther, 250'000'000);
+  ASSERT_TRUE(reader.Read(key, Label::Top(), token, step, &r));
+  EXPECT_EQ(r.status, ReadStatus::kRefusedExpired);
+  EXPECT_TRUE(r.value.empty());
+
+  // The primary agrees: the next request re-logs-in (the expired session is
+  // lazily erased and a fresh one registered, with a NEW, later token).
+  EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+  ASSERT_EQ(demux->session_count(), 1u);
+  const replwire::ReadCursorToken token2 = demux->session_cursor("alice", "echo");
+  ASSERT_FALSE(token2.empty());
+  EXPECT_TRUE(token2.generation > token.generation ||
+              (token2.generation == token.generation && token2.offset > token.offset));
+
+  // Once the erase+re-registration ships, the follower serves the fresh
+  // session again — read-your-writes across the whole cycle.
+  for (int i = 0; i < 3000; ++i) {
+    step();
+    if (demux->replication()->hub()->AllFullySynced()) {
+      break;
+    }
+  }
+  ASSERT_TRUE(reader.Read(key, Label::Top(), token2, step, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
 }
 
 TEST_F(OkwsTest, PipelineDeliversExactlyOneIddLoginPerUser) {

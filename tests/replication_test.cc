@@ -18,6 +18,7 @@
 #include "src/okws/services.h"
 #include "src/replication/follower.h"
 #include "src/replication/link.h"
+#include "src/replication/read_gate.h"
 #include "src/replication/replica.h"
 #include "src/replication/source.h"
 #include "src/replication/wire.h"
@@ -126,11 +127,13 @@ TEST(ReplWireTest, CorruptFramePoisons) {
 
 class ReplProtocolTest : public ::testing::Test {
  protected:
-  void OpenPrimary(uint32_t shards, uint64_t compact_min = 1024) {
+  void OpenPrimary(uint32_t shards, uint64_t compact_min = 1024,
+                   uint64_t retain_tail_bytes = 0) {
     StoreOptions opts;
     opts.dir = dir_.path() + "/primary";
     opts.shards = shards;
     opts.compact_min_log_records = compact_min;
+    opts.retain_wal_tail_bytes = retain_tail_bytes;
     auto store = DurableStore::Open(opts);
     ASSERT_TRUE(store.ok());
     primary_ = store.take();
@@ -147,6 +150,19 @@ class ReplProtocolTest : public ::testing::Test {
     auto replica = ReplicaStore::Open(opts, ropts);
     ASSERT_TRUE(replica.ok());
     replica_ = replica.take();
+  }
+
+  // A replica in its own directory, for multi-follower routing tests.
+  std::unique_ptr<ReplicaStore> OpenNamedReplica(const std::string& name, uint32_t shards,
+                                                 uint64_t follower_id) {
+    StoreOptions opts;
+    opts.dir = dir_.path() + "/" + name;
+    opts.shards = shards;
+    ReplicaOptions ropts;
+    ropts.follower_id = follower_id;
+    auto replica = ReplicaStore::Open(opts, ropts);
+    EXPECT_TRUE(replica.ok());
+    return replica.take();
   }
 
   // Parses a byte stream into individual frames.
@@ -672,6 +688,178 @@ TEST_F(ReplProtocolTest, HeartbeatRefreshesLeaseWithoutData) {
   EXPECT_EQ(session_->stats().heartbeats_sent, 1u);
 }
 
+// --- Compaction ride-through (retained WAL tail + kGenMark) ------------------
+
+TEST_F(ReplProtocolTest, SyncedFollowerRidesThroughCompactionViaRetainedTail) {
+  OpenPrimary(2, /*compact_min=*/1024, /*retain_tail_bytes=*/256 * 1024);
+  OpenReplica(2, /*follower_id=*/1);
+  const Label secrecy({{H(9), Level::kL3}}, Level::kStar);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), std::string(100, 'x'), secrecy,
+                            Label::Top()),
+              Status::kOk);
+  }
+  SyncOnce();
+  ASSERT_TRUE(session_->FullySynced());
+  // A fresh follower is imaged once per shard — that is the normal adoption
+  // path. Ride-through means the count never grows PAST this baseline.
+  const uint64_t initial_images = session_->stats().snapshots_shipped;
+  ASSERT_EQ(initial_images, 2u);
+
+  // Compaction with a retained tail: the synced follower rides through on
+  // kGenMark hand-offs — the whole point of satellite retention — and the
+  // session never re-images a store the follower already has.
+  ASSERT_EQ(primary_->Compact(), Status::kOk);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(primary_->Put("post" + std::to_string(i), "y", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  SyncOnce();
+  EXPECT_TRUE(session_->FullySynced());
+  EXPECT_EQ(session_->stats().snapshots_shipped, initial_images)
+      << "ride-through must not re-image";
+  EXPECT_EQ(replica_->stats().snapshots_installed, initial_images);
+  EXPECT_EQ(session_->stats().gen_marks_sent, 2u);  // one hand-off per shard
+  EXPECT_EQ(replica_->stats().gen_marks_applied, 2u);
+  ExpectReplicaMatchesPrimary();
+
+  // A second compaction cycle hands off again: retention is refreshed each
+  // time, not a one-shot.
+  ASSERT_EQ(primary_->Compact(), Status::kOk);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(primary_->Put("again" + std::to_string(i), "z", Label::Bottom(), Label::Top()),
+              Status::kOk);
+  }
+  SyncOnce();
+  EXPECT_TRUE(session_->FullySynced());
+  EXPECT_EQ(session_->stats().snapshots_shipped, initial_images);
+  EXPECT_EQ(session_->stats().gen_marks_sent, 4u);
+  ExpectReplicaMatchesPrimary();
+}
+
+TEST_F(ReplProtocolTest, LaggingFollowerStillSnapshotsAcrossCompaction) {
+  OpenPrimary(1, /*compact_min=*/1024, /*retain_tail_bytes=*/64);  // tiny tail
+  OpenReplica(1);
+  SyncOnce();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(primary_->Put("k" + std::to_string(i), std::string(100, 'x'), Label::Bottom(),
+                            Label::Top()),
+              Status::kOk);
+  }
+  // The follower never applied this span, and the retained tail (64 bytes)
+  // does not reach back to its cursor: compaction must re-image as before.
+  ASSERT_EQ(primary_->Compact(), Status::kOk);
+  SyncOnce();
+  EXPECT_TRUE(session_->FullySynced());
+  EXPECT_GE(session_->stats().snapshots_shipped, 1u);
+  EXPECT_EQ(session_->stats().gen_marks_sent, 0u);
+  ExpectReplicaMatchesPrimary();
+}
+
+// --- The read gate: lease, cursor token, labels ------------------------------
+
+TEST_F(ReplProtocolTest, ReadGateEnforcesLeaseCursorAndLabels) {
+  OpenPrimary(1);
+  OpenReplica(1, /*follower_id=*/1);
+  const Label secrecy({{H(7), Level::kL3}}, Level::kStar);
+  ASSERT_EQ(primary_->Put("doc", "classified", secrecy, Label::Top()), Status::kOk);
+
+  ReadGate gate(replica_.get());
+  const replwire::ReadCursorToken no_token;
+
+  // Before any traffic there is no lease at all: unbounded staleness, so
+  // even a token-less read refuses.
+  EXPECT_EQ(gate.Serve("doc", Label::Top(), no_token).status,
+            ReadStatus::kRefusedStaleLease);
+
+  SyncOnce();  // stamps the lease and applies the record
+
+  // Fresh lease + sufficient clearance: served, with the record's bytes.
+  ReadResult r = gate.Serve("doc", Label::Top(), no_token);
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_EQ(r.value, "classified");
+  EXPECT_TRUE(r.secrecy.Equals(secrecy));
+
+  // Insufficient clearance (no H(7) grant): the delivery check refuses —
+  // same verdict a primary-side read would produce, same charged formula.
+  EXPECT_EQ(gate.Serve("doc", Label(Level::kL0), no_token).status,
+            ReadStatus::kAccessDenied);
+  EXPECT_EQ(gate.Serve("missing", Label::Top(), no_token).status,
+            ReadStatus::kNotFound);
+
+  // Read-your-writes: a token at the primary's tail after an unreplicated
+  // write refuses with cursor lag until the span ships.
+  ASSERT_EQ(primary_->Put("doc2", "newer", Label::Bottom(), Label::Top()), Status::kOk);
+  replwire::ReadCursorToken token;
+  token.source_id = 0x5EED;  // OpenPrimary's hub source id
+  token.shard = 0;
+  token.generation = primary_->shard_wal_generation(0);
+  token.offset = primary_->shard_wal_offset(0);
+  EXPECT_EQ(gate.Serve("doc2", Label::Top(), token).status,
+            ReadStatus::kRefusedCursorLag);
+  SyncOnce();
+  EXPECT_EQ(gate.Serve("doc2", Label::Top(), token).status, ReadStatus::kOk);
+
+  // A token from some other primary's history never matches.
+  replwire::ReadCursorToken foreign = token;
+  foreign.source_id = 0xDEAD;
+  EXPECT_EQ(gate.Serve("doc2", Label::Top(), foreign).status,
+            ReadStatus::kRefusedCursorLag);
+
+  // Primary-mode gate (the K=1 baseline): always admits its own tokens,
+  // staleness identically zero.
+  ReadGate pgate(primary_.get(), /*source_id=*/0x5EED);
+  r = pgate.Serve("doc2", Label::Top(), token);
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_EQ(r.staleness_cycles, 0u);
+  EXPECT_EQ(pgate.Serve("doc", Label(Level::kL0), no_token).status,
+            ReadStatus::kAccessDenied);
+}
+
+TEST_F(ReplProtocolTest, RouteReadPrefersCoveredFollowersAndSticksPerKey) {
+  OpenPrimary(1);
+  // Two identified followers, one anonymous mirror (never routable).
+  FollowerSession* a = session_;
+  FollowerSession* b = hub_->OpenSession();
+  FollowerSession* mirror = hub_->OpenSession();
+  auto replica_a = OpenNamedReplica("ra", 1, 1);
+  auto replica_b = OpenNamedReplica("rb", 1, 2);
+  auto replica_m = OpenNamedReplica("rm", 1, 0);
+  ASSERT_EQ(primary_->Put("k", "v", Label::Bottom(), Label::Top()), Status::kOk);
+  SyncPair(a, replica_a.get());
+  SyncPair(b, replica_b.get());
+  SyncPair(mirror, replica_m.get());
+
+  const replwire::ReadCursorToken no_token;
+  // Sticky: the same key routes to the same follower every time.
+  FollowerSession* first = hub_->RouteRead("user-alpha", no_token);
+  ASSERT_NE(first, nullptr);
+  EXPECT_NE(first, mirror) << "anonymous mirrors are not read targets";
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(hub_->RouteRead("user-alpha", no_token), first);
+  }
+  // Spread: across many keys, both identified followers get traffic.
+  bool saw_a = false;
+  bool saw_b = false;
+  for (int i = 0; i < 64; ++i) {
+    FollowerSession* s = hub_->RouteRead("user" + std::to_string(i), no_token);
+    saw_a |= s == a;
+    saw_b |= s == b;
+  }
+  EXPECT_TRUE(saw_a && saw_b);
+
+  // A token only one follower covers steers routing to that follower.
+  ASSERT_EQ(primary_->Put("k2", "v2", Label::Bottom(), Label::Top()), Status::kOk);
+  SyncPair(a, replica_a.get());  // a catches up; b stays behind
+  replwire::ReadCursorToken token;
+  token.source_id = 0x5EED;
+  token.generation = primary_->shard_wal_generation(0);
+  token.offset = primary_->shard_wal_offset(0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(hub_->RouteRead("user" + std::to_string(i), token), a);
+  }
+}
+
 // --- End to end over simnet/netd ---------------------------------------------
 
 class ReplEndToEndTest : public ::testing::Test {
@@ -692,14 +880,15 @@ class ReplEndToEndTest : public ::testing::Test {
     fleet_ = std::make_unique<ReplicationFleet>(boot_key, opts);
   }
 
-  size_t AddFollower(const std::string& dir, uint64_t boot_key, uint64_t follower_id = 0) {
+  size_t AddFollower(const std::string& dir, uint64_t boot_key, uint64_t follower_id = 0,
+                     uint16_t read_tcp_port = 0) {
     StoreOptions opts;
     opts.dir = dir;
     opts.shards = 4;
     FollowerOptions fopts;
     fopts.auth_token = kAuthToken;
     fopts.follower_id = follower_id;
-    return fleet_->AddFollower(boot_key, next_follower_port_++, opts, fopts);
+    return fleet_->AddFollower(boot_key, next_follower_port_++, opts, fopts, read_tcp_port);
   }
 
   void PumpUntilSynced(int max_iters = 5000) {
@@ -994,6 +1183,116 @@ TEST_F(ReplEndToEndTest, OverCapacityFollowerGetsBusyFrameAndBacksOff) {
   // The in-capacity follower was never disturbed.
   EXPECT_EQ(endpoint->follower_count(), 1u);
   EXPECT_TRUE(endpoint->hub()->AllFullySynced());
+}
+
+// --- Follower reads over the wire --------------------------------------------
+
+TEST_F(ReplEndToEndTest, ReadYourWritesRefusesLaggingFollower) {
+  BootPrimary(dir_.path() + "/primary");
+  AddFollower(dir_.path() + "/follower", 0x0452, /*follower_id=*/1,
+              /*read_tcp_port=*/7500);
+  RunFsWorkload();
+  PumpUntilSynced();
+
+  const DurableStore* pstore = fleet_->primary()->fs()->store();
+  const ReplicationHub* hub = fleet_->primary()->fs()->replication()->hub();
+  ASSERT_NE(hub, nullptr);
+  ReadClient reader(&fleet_->follower(0)->net(), 7500, kAuthToken);
+  const auto pump = [&] { fleet_->Pump(); };
+
+  // Synced follower, fresh lease, no token: the public file is served with
+  // its replicated bytes.
+  ReadResult r;
+  ASSERT_TRUE(reader.Read("pub0", Label::Top(), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  const StoreRecord* want = pstore->Get("pub0");
+  ASSERT_NE(want, nullptr);
+  EXPECT_EQ(r.value, want->value);
+
+  // Pause the wire and write at the primary: the follower now lags the
+  // session's token, and the gate must refuse rather than serve the old
+  // bytes — never a read below the token.
+  fleet_->link(0)->set_paused(true);
+  FsRequest(fs_proto::kCreate, "late", {1, 0, 0, 0, 0});
+  FsWrite("late", "written after the pause");
+  replwire::ReadCursorToken token;
+  token.source_id = hub->source_id();
+  token.shard = pstore->ShardIndexOf("late");
+  token.generation = pstore->shard_wal_generation(static_cast<uint32_t>(token.shard));
+  token.offset = pstore->shard_wal_offset(static_cast<uint32_t>(token.shard));
+  ASSERT_TRUE(reader.Read("late", Label::Top(), token, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kRefusedCursorLag);
+  EXPECT_TRUE(r.value.empty());
+  // The hub's router agrees: no follower covers this token, read at the
+  // primary instead.
+  EXPECT_EQ(hub->RouteRead("late", token), nullptr);
+  // A token-less read of OLD data is still fine: staleness is bounded by
+  // the lease, and this reader never wrote.
+  ASSERT_TRUE(reader.Read("pub1", Label::Top(), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+
+  // Unpause and let the span ship: the same token is now covered and the
+  // read returns the new bytes.
+  fleet_->link(0)->set_paused(false);
+  PumpUntilSynced();
+  ASSERT_TRUE(reader.Read("late", Label::Top(), token, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_EQ(r.value, "written after the pause");
+  EXPECT_EQ(hub->RouteRead("late", token), hub->sessions()[0].get());
+
+  // Label enforcement crossed the wire too: the private files refuse a
+  // clearance-less reader and serve a cleared one, exactly like the
+  // primary's own delivery check.
+  ASSERT_TRUE(reader.Read("priv0", Label(Level::kL0), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kAccessDenied);
+  ASSERT_TRUE(reader.Read("priv0", Label::Top(), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  const StoreRecord* priv = pstore->Get("priv0");
+  ASSERT_NE(priv, nullptr);
+  EXPECT_TRUE(r.secrecy.Equals(priv->secrecy));
+}
+
+TEST_F(ReplEndToEndTest, StaleLeaseFollowerRefusesAllReads) {
+  // A short lease so the test expires it in a few hundred pumps.
+  FileServerOptions opts;
+  opts.data_dir = dir_.path() + "/primary";
+  opts.shards = 4;
+  opts.replication.listen_tcp_port = kReplPort;
+  opts.replication.auth_token = kAuthToken;
+  opts.replication.lease_interval_cycles = 2'000'000;
+  fleet_ = std::make_unique<ReplicationFleet>(0x0451, opts);
+  StoreOptions fopts_store;
+  fopts_store.dir = dir_.path() + "/follower";
+  fopts_store.shards = 4;
+  FollowerOptions fopts;
+  fopts.auth_token = kAuthToken;
+  fopts.follower_id = 1;
+  fopts.auto_promote = false;  // observe the expiry, don't fail over
+  fleet_->AddFollower(0x0452, kFollowerPortBase, fopts_store, fopts,
+                      /*read_tcp_port=*/7500);
+  RunFsWorkload();
+  PumpUntilSynced();
+
+  ReadClient reader(&fleet_->follower(0)->net(), 7500, kAuthToken);
+  const auto pump = [&] { fleet_->Pump(); };
+  ReadResult r;
+  ASSERT_TRUE(reader.Read("pub0", Label::Top(), {}, pump, &r));
+  ASSERT_EQ(r.status, ReadStatus::kOk);
+
+  // Kill the primary. The follower keeps running; every OnIdle charges a
+  // lease-check tick, so virtual time marches toward the deadline.
+  fleet_->KillPrimary();
+  const auto follower_pump = [&] { fleet_->follower(0)->Pump(); };
+  for (int i = 0; i < 500 && !fleet_->follower(0)->follower()->lease_expired(); ++i) {
+    follower_pump();
+  }
+  ASSERT_TRUE(fleet_->follower(0)->follower()->lease_expired());
+
+  // Unbounded staleness: even token-less reads of data the follower holds
+  // refuse until a live primary re-stamps the lease.
+  ASSERT_TRUE(reader.Read("pub0", Label::Top(), {}, follower_pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kRefusedStaleLease);
+  EXPECT_GT(r.staleness_cycles, 0u);
 }
 
 // --- OKWS integration: idd, ok-demux, and ok-dbproxy ship their stores -------
