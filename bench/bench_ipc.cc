@@ -18,6 +18,7 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/payload.h"
 #include "src/obs/metrics.h"
+#include "src/obs/reset.h"
 #include "src/sim/cycles.h"
 
 namespace asbestos {
@@ -59,6 +60,7 @@ struct PingPongWorld {
 };
 
 void BM_SendDeliverPlain(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   PingPongWorld world(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     world.kernel.WithProcessContext(world.tx, [&](ProcessContext& ctx) {
@@ -75,6 +77,7 @@ void BM_SendDeliverPlain(benchmark::State& state) {
 BENCHMARK(BM_SendDeliverPlain)->Range(1, 1 << 13);
 
 void BM_SendDeliverContaminating(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   // Contaminating sends force a real ES materialization and a merge against
   // the receiver's wide label — the slow path netd/idd exercise per message.
   PingPongWorld world(static_cast<size_t>(state.range(0)));
@@ -94,6 +97,7 @@ BENCHMARK(BM_SendDeliverContaminating)->Range(1, 1 << 13);
 // Words-only messages (handle values, counts): the small-message floor the
 // payload plane must not tax. Arg = word count.
 void BM_SendDeliverSmallWords(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   PingPongWorld world(0);
   const std::vector<uint64_t> words(static_cast<size_t>(state.range(0)), 0x51u);
   for (auto _ : state) {
@@ -110,6 +114,7 @@ void BM_SendDeliverSmallWords(benchmark::State& state) {
 BENCHMARK(BM_SendDeliverSmallWords)->Arg(1)->Arg(8);
 
 void BM_SendDeliverWithPayload(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   PingPongWorld world(0);
   const Payload payload(std::string(static_cast<size_t>(state.range(0)), 'x'));
   for (auto _ : state) {
@@ -130,6 +135,7 @@ BENCHMARK(BM_SendDeliverWithPayload)->Range(16, 1 << 16);
 // The payload.* counter deltas are the proof — bytes_shared_saved grows by
 // (K-1)·size per iteration while cow_copies stays flat.
 void BM_FanOutSharedPayload(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const size_t fanout = static_cast<size_t>(state.range(0));
   const size_t bytes = 64 * 1024;
   PingPongWorld world(0);
@@ -172,6 +178,7 @@ BENCHMARK(BM_FanOutSharedPayload)->Arg(4)->Arg(16);
 // kernel did implicitly. The wall-clock and bytes_shared_saved gap against
 // BM_FanOutSharedPayload is the K× copy reduction.
 void BM_FanOutPrivatePayload(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const size_t fanout = static_cast<size_t>(state.range(0));
   const size_t bytes = 64 * 1024;
   PingPongWorld world(0);

@@ -22,6 +22,7 @@
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/reset.h"
 #include "src/kernel/label_checks.h"
 #include "src/labels/intern.h"
 #include "src/labels/label.h"
@@ -70,6 +71,7 @@ DeliveryTuple MakeTuple(uint64_t salt, size_t entries) {
 // Arg0: distinct recurring tuples (1 = one hot session, 64 = a working set);
 // Arg1: entries per label.
 void RunDeliveryCheck(benchmark::State& state, bool cached) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const size_t tuples = static_cast<size_t>(state.range(0));
   const size_t entries = static_cast<size_t>(state.range(1));
   std::vector<DeliveryTuple> pool;
@@ -120,6 +122,7 @@ BENCHMARK(BM_DeliveryCheckWarm)
     ->Args({64, 32});
 
 void RunContaminationCheck(benchmark::State& state, bool cached) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const size_t tuples = static_cast<size_t>(state.range(0));
   std::vector<DeliveryTuple> pool;
   for (size_t i = 0; i < tuples; ++i) {
@@ -157,6 +160,7 @@ BENCHMARK(BM_ContaminationCheckWarm)->Arg(64);
 // label_bytes_recovered + label_bytes_saved_by_dedup, the "after" is
 // label_bytes_recovered alone.
 void BM_RecoveryLabelDedup(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const uint64_t n = static_cast<uint64_t>(state.range(0));
   const uint64_t distinct = 32;
   const std::string dir = MakeTempDir();

@@ -19,6 +19,7 @@
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/reset.h"
 #include "src/fs/file_server.h"
 #include "src/replication/follower.h"
 #include "src/replication/link.h"
@@ -111,6 +112,7 @@ struct FanOut {
 // frames AND the follower applies them (labels unpickled + interned through
 // the canonical-rep table). Arg0: records per batch; Arg1: value bytes.
 void BM_ShipAndApply(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const uint64_t per_batch = static_cast<uint64_t>(state.range(0));
   const size_t value_bytes = static_cast<size_t>(state.range(1));
   FanOut pair(4, 1);
@@ -143,6 +145,7 @@ BENCHMARK(BM_ShipAndApply)->Args({16, 256})->Args({256, 256})->Args({256, 4096})
 // must land on every follower); the cache hit rate and the WAL reads that
 // actually hit the log show what the sharing saves as K grows.
 void BM_FanOutShipAndApply(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const size_t followers = static_cast<size_t>(state.range(0));
   const uint64_t per_batch = 256;
   FanOut fan(4, followers);
@@ -182,6 +185,7 @@ BENCHMARK(BM_FanOutShipAndApply)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 // live in the replica's map and logged in its WAL" — the window where a
 // promote would miss the newest writes. Reported per record.
 void BM_FollowerApplyLag(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const uint64_t per_batch = static_cast<uint64_t>(state.range(0));
   FanOut pair(4, 1);
   uint64_t i = 0;
@@ -218,6 +222,7 @@ BENCHMARK(BM_FollowerApplyLag)->Arg(16)->Arg(256);
 // Snapshot catch-up: a fresh follower joining a primary whose WAL was
 // compacted away — the whole image ships and installs. Arg0: records.
 void BM_SnapshotCatchUp(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const uint64_t records = static_cast<uint64_t>(state.range(0));
   const std::string dir = MakeTempDir();
   StoreOptions popts;
@@ -270,6 +275,7 @@ BENCHMARK(BM_SnapshotCatchUp)->Arg(1000)->Arg(10000);
 // state pays kLabelOpBaseCycles-free cache hits, matching a server that has
 // been up for more than one request per compartment.
 void BM_ReadFanOut(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const size_t followers = static_cast<size_t>(state.range(0));
   const uint64_t records = 512;
   const uint64_t reads_per_round = 32;  // per replica; lease renewed each round
@@ -340,6 +346,7 @@ BENCHMARK(BM_ReadFanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 // follower's group commit. Arg0: follower machine count. Items = records
 // fully replicated to EVERY follower per second, machine to machine.
 void BM_EndToEndSimnet(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const size_t followers = static_cast<size_t>(state.range(0));
   const uint64_t per_round = 64;
   const std::string dir = MakeTempDir();

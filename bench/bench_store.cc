@@ -20,6 +20,7 @@
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/reset.h"
 #include "src/labels/label.h"
 #include "src/store/label_codec.h"
 #include "src/store/store.h"
@@ -68,6 +69,7 @@ Label MakeLabel(size_t entries, Level level, Level def) {
 // --- Label codec -----------------------------------------------------------
 
 void BM_PickleLabel(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const Label l = MakeLabel(static_cast<size_t>(state.range(0)), Level::kStar, Level::kL3);
   uint64_t bytes = 0;
   for (auto _ : state) {
@@ -83,6 +85,7 @@ void BM_PickleLabel(benchmark::State& state) {
 BENCHMARK(BM_PickleLabel)->Arg(0)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_UnpickleLabel(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const Label l = MakeLabel(static_cast<size_t>(state.range(0)), Level::kStar, Level::kL3);
   const std::string pickled = codec::PickleLabel(l);
   for (auto _ : state) {
@@ -97,6 +100,7 @@ BENCHMARK(BM_UnpickleLabel)->Arg(0)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
 // --- WAL append rate -------------------------------------------------------
 
 void BM_WalAppend(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const std::string dir = MakeTempDir();
   Wal wal;
   ASB_ASSERT(wal.Open(dir + "/wal", [](std::string_view) {}) == Status::kOk);
@@ -113,6 +117,7 @@ BENCHMARK(BM_WalAppend)->Arg(64)->Arg(1024)->Arg(16384);
 // --- Store mutation (log + apply, no fsync) --------------------------------
 
 void BM_StorePut(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const std::string dir = MakeTempDir();
   StoreOptions opts;
   opts.dir = dir + "/store";
@@ -135,6 +140,7 @@ BENCHMARK(BM_StorePut);
 // Non-durable puts across N shards: the routing + per-shard map cost as the
 // log count grows. Arg = shard count.
 void RunStorePutSharded(benchmark::State& state, const std::string& dir) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   StoreOptions opts;
   opts.dir = dir + "/store";
   opts.shards = static_cast<uint32_t>(state.range(0));
@@ -157,6 +163,7 @@ void BM_StorePutSharded(benchmark::State& state) { RunStorePutSharded(state, Mak
 BENCHMARK(BM_StorePutSharded)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
 
 void BM_StorePutShardedRam(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const std::string dir = MakeRamDir();
   if (dir.empty()) {
     state.SkipWithError("no writable tmpfs");
@@ -176,6 +183,7 @@ BENCHMARK(BM_StorePutShardedRam)->Arg(4)->UseRealTime();
 // floor (~200µs on virtualized disks, ~3µs/put at batch 64), which bounds
 // the disk ratio at ~2.5× no matter the software.
 void RunStorePutGroupCommit(benchmark::State& state, const std::string& dir) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   StoreOptions opts;
   opts.dir = dir + "/store";
   opts.shards = 4;
@@ -200,11 +208,13 @@ void RunStorePutGroupCommit(benchmark::State& state, const std::string& dir) {
 }
 
 void BM_StorePutGroupCommit(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   RunStorePutGroupCommit(state, MakeTempDir());
 }
 BENCHMARK(BM_StorePutGroupCommit)->Arg(1)->Arg(8)->Arg(64)->UseRealTime();
 
 void BM_StorePutGroupCommitRam(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const std::string dir = MakeRamDir();
   if (dir.empty()) {
     state.SkipWithError("no writable tmpfs");
@@ -217,6 +227,7 @@ BENCHMARK(BM_StorePutGroupCommitRam)->Arg(1)->Arg(64)->UseRealTime();
 // --- Recovery time versus record count -------------------------------------
 
 void BM_Recovery(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const uint64_t n = static_cast<uint64_t>(state.range(0));
   const std::string dir = MakeTempDir();
   {
@@ -246,6 +257,7 @@ BENCHMARK(BM_Recovery)->Arg(100)->Arg(1000)->Arg(10000)->Complexity(benchmark::o
 
 // Recovery from a snapshot instead of a raw log (post-compaction shape).
 void BM_RecoveryFromSnapshot(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const uint64_t n = static_cast<uint64_t>(state.range(0));
   const std::string dir = MakeTempDir();
   {
@@ -276,6 +288,7 @@ BENCHMARK(BM_RecoveryFromSnapshot)->Arg(100)->Arg(1000)->Arg(10000)->Complexity(
 // Sharded recovery: 10k records spread over N shard logs, replayed shard by
 // shard on open. Arg = shard count (1 is the flat baseline above).
 void BM_RecoverySharded(benchmark::State& state) {
+  obs::ResetAll();  // fresh obs state per benchmark: no cross-run bleed
   const uint64_t n = 10000;
   const std::string dir = MakeTempDir();
   {

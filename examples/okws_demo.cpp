@@ -8,6 +8,8 @@
 #include <memory>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/okws/okws_world.h"
 #include "src/okws/services.h"
@@ -37,18 +39,36 @@ void Show(const char* what, const HttpLoadClient::Result& r) {
 int main(int argc, char** argv) {
   bool trace = false;
   bool dump_metrics = false;
+  bool provenance = false;
+  bool profile = false;
+  const char* metrics_file = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
     } else if (std::strcmp(argv[i], "--dump-metrics") == 0) {
       dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--provenance") == 0) {
+      provenance = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--metrics-file") == 0 && i + 1 < argc) {
+      metrics_file = argv[++i];  // snapshot written here at exit (CI smoke)
     } else {
-      std::fprintf(stderr, "usage: %s [--trace] [--dump-metrics]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace] [--dump-metrics] [--provenance] "
+                   "[--profile] [--metrics-file PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
   if (trace) {
     asbestos::obs::TraceRing::SetEnabled(true);
+  }
+  if (provenance) {
+    asbestos::obs::ProvenanceLedger::SetEnabled(true);
+  }
+  if (profile) {
+    asbestos::obs::CycleProfiler::SetEnabled(true);
   }
 
   std::printf("== OKWS on Asbestos: end-to-end demo ==\n\n");
@@ -124,9 +144,57 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (provenance) {
+    // Answer "why is this process tainted?" for the newest contamination the
+    // ledger saw: walk its taint back hop by hop to the origin, then list
+    // every refusal the run produced — both through a full-clearance reader
+    // (a low-clearance reader would see, and count, nothing high).
+    std::printf("\ntaint provenance (--provenance):\n");
+    const obs::ProvenanceLedger& ledger = obs::ProvenanceLedger::Get();
+    obs::ProvenanceReader reader(Label::Top());
+    const obs::TaintEdge* newest = nullptr;
+    for (const obs::TaintEdge& e : ledger.edges()) {
+      if (e.kind == obs::EdgeKind::kContaminate) {
+        newest = &e;
+      }
+    }
+    if (newest != nullptr) {
+      uint64_t handle = 0;
+      for (const auto& [h, level] : newest->cause.Entries()) {
+        if (LevelLeq(Level::kL2, level)) {
+          handle = h.value();
+          break;
+        }
+      }
+      std::printf("  WhyTainted(%s, handle %llu):\n", newest->subject.c_str(),
+                  (unsigned long long)handle);
+      for (const obs::TaintHop& hop : reader.WhyTainted(newest->subject, handle)) {
+        std::printf("    #%-4llu @%-8llu %s\n", (unsigned long long)hop.edge.id,
+                    (unsigned long long)hop.edge.at_cycles, hop.via.c_str());
+      }
+    }
+    std::printf("  refusals (%llu total, %zu retained):\n",
+                (unsigned long long)ledger.total_refusals(),
+                reader.VisibleRefusals().size());
+    for (const obs::RefusalRecord& r : reader.VisibleRefusals()) {
+      std::printf("    #%-4llu %-24s %-10s %s\n", (unsigned long long)r.id,
+                  r.site.c_str(), r.subject.c_str(), r.detail.c_str());
+    }
+  }
+
+  if (profile) {
+    std::printf("\ncollapsed-stack flamegraph (--profile):\n%s",
+                obs::CycleProfiler::Get().CollapsedStacks().c_str());
+  }
+
   if (dump_metrics) {
     std::printf("\nmetrics snapshot (--dump-metrics):\n%s\n",
                 obs::Registry::Get().SnapshotJson().c_str());
+  }
+  if (metrics_file != nullptr &&
+      !obs::Registry::Get().WriteSnapshotFile(metrics_file)) {
+    std::fprintf(stderr, "failed to write %s\n", metrics_file);
+    return 1;
   }
   return 0;
 }

@@ -52,6 +52,15 @@ REQUIRED_METRIC_FAMILIES = {
     "BENCH_store.metrics.json": ["store.", "labels.intern."],
     "BENCH_replication.metrics.json": ["repl.", "store.", "cycles.", "kernel.mem."],
     "BENCH_ipc.metrics.json": ["kernel.sys.", "pump.", "payload."],
+    # The release-job demo smoke runs the full OKWS suite with the cycle
+    # profiler and provenance ledger ON, so its snapshot must carry the
+    # observability-plane families on top of the kernel/okws ones.
+    "DEMO_okws.metrics.json": [
+        "kernel.stats.",
+        "okws.",
+        "obs.prof.sys.",
+        "obs.ledger.",
+    ],
 }
 
 
@@ -105,6 +114,11 @@ def check_metrics_file(path, errors):
     if not isinstance(data, dict) or not data:
         errors.append(f"{base}: expected a non-empty flat JSON object")
         return
+    # The registry snapshot is strictly flat name -> number; anything else
+    # means a producer leaked structure into the plane.
+    for key, value in data.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{base}: metric '{key}' is not a number: {value!r}")
     for prefix in REQUIRED_METRIC_FAMILIES.get(base, []):
         if not any(key.startswith(prefix) for key in data):
             errors.append(f"{base}: no metric under required family '{prefix}'")

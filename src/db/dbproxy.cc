@@ -5,7 +5,9 @@
 #include "src/base/panic.h"
 #include "src/base/strings.h"
 #include "src/kernel/bootstrap.h"
+#include "src/kernel/label_checks.h"
 #include "src/obs/metrics.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/store/label_codec.h"
@@ -480,6 +482,12 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
     static obs::Counter& violations =
         obs::Registry::Get().counter("db.readonly_tag_violations");
     violations.Add();
+    if (obs::ProvenanceLedger::enabled()) {
+      obs::ProvenanceLedger::Get().RecordRefusal(
+          "dbproxy.readonly_tag", "dbproxy",
+          "read-only tagged query parses as a write", 0, Level::kStar,
+          Level::kStar, Label::Bottom(), Label::Bottom(), msg.trace_id);
+    }
     ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
     return;
   }
@@ -489,6 +497,15 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
     // user. The kernel already guaranteed ES ⊑ V.
     const Label bound({{binding.taint, Level::kL3}, {binding.grant, Level::kL0}}, Level::kL2);
     if (!msg.verify.Leq(bound) || !LevelLeq(msg.verify.Get(binding.grant), Level::kL0)) {
+      if (obs::ProvenanceLedger::enabled()) {
+        const DeliveryRefusal why = ExplainDeliveryRefusal(
+            msg.verify, bound, Label::Bottom(), Label::Top(), Label::Top());
+        obs::ProvenanceLedger::Get().RecordRefusal(
+            "dbproxy.verify_bound", "dbproxy",
+            "write verify label exceeds the user's {uT 3, uG 0, 2} bound (§7.5)",
+            why.handle, why.es_level, why.bound_level, msg.verify, bound,
+            msg.trace_id);
+      }
       ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
       return;
     }
@@ -497,6 +514,14 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
     // §7.6: declassified writes require declassification privilege, proven
     // by a verify label holding uT at ⋆.
     if (msg.verify.Get(binding.taint) != Level::kStar) {
+      if (obs::ProvenanceLedger::enabled()) {
+        obs::ProvenanceLedger::Get().RecordRefusal(
+            "dbproxy.declassify", "dbproxy",
+            "declassified write without uT ⋆ in verify (§7.6)",
+            binding.taint.value(), msg.verify.Get(binding.taint), Level::kStar,
+            msg.verify, Label({{binding.taint, Level::kStar}}, Level::kL3),
+            msg.trace_id);
+      }
       ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
       return;
     }

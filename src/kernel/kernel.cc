@@ -8,6 +8,8 @@
 #include "src/base/panic.h"
 #include "src/labels/intern.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/store/store.h"
@@ -152,12 +154,18 @@ Status ProcessContext::SetReceiveLevel(Handle h, Level level) {
 
 void ProcessContext::SelfContaminate(const Label& add) {
   Label& qs = kernel_->ContextSendLabel(*proc_, ep_);
+  const uint64_t pre_rep = obs::ProvenanceLedger::enabled() ? qs.rep_id() : 0;
   const LabelWorkStats baseline = GetLabelWorkStats();
   // QS ← QS ⊔ (add ⊓ QS⋆): contamination cannot strip the caller's ⋆ levels;
   // those are dropped only through SetSendLevel.
   Label capped = Label::Glb(add, qs.StarsOnly());
   qs.JoinInPlace(capped);
   kernel_->ChargeLabelWorkSince(baseline);
+  if (obs::ProvenanceLedger::enabled()) {
+    obs::ProvenanceLedger::Get().RecordEdge(
+        obs::EdgeKind::kOrigin, proc_->name, "", pre_rep, qs.rep_id(), add,
+        kernel_->current_trace_id_);
+  }
 }
 
 Result<ProcessId> ProcessContext::Spawn(std::unique_ptr<ProcessCode> code, SpawnArgs args) {
@@ -360,33 +368,36 @@ uint64_t ProcessContext::current_trace_id() const { return kernel_->current_trac
 
 Kernel::Kernel(uint64_t boot_key) : handles_(boot_key) {
   obs_gauge_group_ = obs::Registry::Get().RegisterGauges([this](obs::GaugeSink& sink) {
-    sink.Set("kernel.stats.sends", stats_.sends);
-    sink.Set("kernel.stats.deliveries", stats_.deliveries);
-    sink.Set("kernel.stats.drops_no_port", stats_.drops_no_port);
-    sink.Set("kernel.stats.drops_privilege", stats_.drops_privilege);
-    sink.Set("kernel.stats.drops_dr_port", stats_.drops_dr_port);
-    sink.Set("kernel.stats.drops_label_check", stats_.drops_label_check);
-    sink.Set("kernel.stats.eps_created", stats_.eps_created);
-    sink.Set("kernel.stats.eps_destroyed", stats_.eps_destroyed);
-    sink.Set("kernel.stats.processes_created", stats_.processes_created);
-    sink.Set("kernel.stats.cow_pages_copied", stats_.cow_pages_copied);
-    sink.Set("kernel.stats.shared_regions_created", stats_.shared_regions_created);
-    sink.Set("kernel.stats.shared_writes_dropped", stats_.shared_writes_dropped);
+    // Names are built at snapshot time so SetMetricsPrefix calls after
+    // construction still take effect (fleets set prefixes post-boot).
+    const std::string& p = metrics_prefix_;
+    sink.Set(p + "kernel.stats.sends", stats_.sends);
+    sink.Set(p + "kernel.stats.deliveries", stats_.deliveries);
+    sink.Set(p + "kernel.stats.drops_no_port", stats_.drops_no_port);
+    sink.Set(p + "kernel.stats.drops_privilege", stats_.drops_privilege);
+    sink.Set(p + "kernel.stats.drops_dr_port", stats_.drops_dr_port);
+    sink.Set(p + "kernel.stats.drops_label_check", stats_.drops_label_check);
+    sink.Set(p + "kernel.stats.eps_created", stats_.eps_created);
+    sink.Set(p + "kernel.stats.eps_destroyed", stats_.eps_destroyed);
+    sink.Set(p + "kernel.stats.processes_created", stats_.processes_created);
+    sink.Set(p + "kernel.stats.cow_pages_copied", stats_.cow_pages_copied);
+    sink.Set(p + "kernel.stats.shared_regions_created", stats_.shared_regions_created);
+    sink.Set(p + "kernel.stats.shared_writes_dropped", stats_.shared_writes_dropped);
     const KernelMemReport mem = MemReport();
-    sink.Set("kernel.mem.vnode_bytes", mem.vnode_bytes);
-    sink.Set("kernel.mem.process_bytes", mem.process_bytes);
-    sink.Set("kernel.mem.ep_bytes", mem.ep_bytes);
-    sink.Set("kernel.mem.label_bytes", mem.label_bytes);
-    sink.Set("kernel.mem.label_intern_index_bytes", mem.label_intern_index_bytes);
-    sink.Set("kernel.mem.label_dedup_saved_bytes", mem.label_dedup_saved_bytes);
-    sink.Set("kernel.mem.page_bytes", mem.page_bytes);
-    sink.Set("kernel.mem.overlay_slot_bytes", mem.overlay_slot_bytes);
-    sink.Set("kernel.mem.queue_bytes", mem.queue_bytes);
-    sink.Set("kernel.mem.queue_arena_bytes", mem.queue_arena_bytes);
-    sink.Set("kernel.mem.modeled_heap_bytes", mem.modeled_heap_bytes);
-    sink.Set("kernel.mem.store_bytes", mem.store_bytes);
-    sink.Set("kernel.mem.total_bytes", mem.total_bytes());
-    sink.Set("kernel.mem.peak_total_bytes", peak_total_bytes_);
+    sink.Set(p + "kernel.mem.vnode_bytes", mem.vnode_bytes);
+    sink.Set(p + "kernel.mem.process_bytes", mem.process_bytes);
+    sink.Set(p + "kernel.mem.ep_bytes", mem.ep_bytes);
+    sink.Set(p + "kernel.mem.label_bytes", mem.label_bytes);
+    sink.Set(p + "kernel.mem.label_intern_index_bytes", mem.label_intern_index_bytes);
+    sink.Set(p + "kernel.mem.label_dedup_saved_bytes", mem.label_dedup_saved_bytes);
+    sink.Set(p + "kernel.mem.page_bytes", mem.page_bytes);
+    sink.Set(p + "kernel.mem.overlay_slot_bytes", mem.overlay_slot_bytes);
+    sink.Set(p + "kernel.mem.queue_bytes", mem.queue_bytes);
+    sink.Set(p + "kernel.mem.queue_arena_bytes", mem.queue_arena_bytes);
+    sink.Set(p + "kernel.mem.modeled_heap_bytes", mem.modeled_heap_bytes);
+    sink.Set(p + "kernel.mem.store_bytes", mem.store_bytes);
+    sink.Set(p + "kernel.mem.total_bytes", mem.total_bytes());
+    sink.Set(p + "kernel.mem.peak_total_bytes", peak_total_bytes_);
   });
 }
 
@@ -400,7 +411,8 @@ Kernel::~Kernel() {
   // The live kernel.mem.* gauge group dies with this kernel; keep the
   // high-water mark (max across every kernel this process ran) so
   // post-teardown snapshots still carry a memstats family.
-  obs::Gauge& peak = obs::Registry::Get().gauge("kernel.mem.peak_total_bytes");
+  obs::Gauge& peak =
+      obs::Registry::Get().gauge(metrics_prefix_ + "kernel.mem.peak_total_bytes");
   if (static_cast<double>(peak_total_bytes_) > peak.value()) {
     peak.Set(static_cast<double>(peak_total_bytes_));
   }
@@ -480,6 +492,18 @@ void Kernel::Dispatch(Sys sys, Process& proc, EventProcess* ep, SyscallFrame& fr
     return c;
   }();
   counters[idx]->Add();
+  if (obs::CycleProfiler::enabled()) {
+    obs::ProfSpan span;
+    span.Begin(std::string("sys.") + entry.name);
+    // Attribute the whole dispatch — base cost charged above plus whatever
+    // the body charges — to (process, syscall). Reads the clock, never
+    // charges it.
+    const uint64_t start = GetCycleAccounting().now() - entry.base_cycles;
+    (this->*entry.fn)(proc, ep, frame);
+    obs::CycleProfiler::Get().AttributeSyscall(proc.name, entry.name,
+                                               GetCycleAccounting().now() - start);
+    return;
+  }
   (this->*entry.fn)(proc, ep, frame);
 }
 
@@ -489,9 +513,16 @@ void Kernel::SysNewHandle(Process& proc, EventProcess* ep, SyscallFrame& f) {
   v.handle = h;
   vnodes_.emplace(h.value(), std::move(v));
   mem_.vnodes += 1;
+  Label& qs = ContextSendLabel(proc, ep);
+  const uint64_t pre_rep = obs::ProvenanceLedger::enabled() ? qs.rep_id() : 0;
   const LabelWorkStats baseline = GetLabelWorkStats();
-  ContextSendLabel(proc, ep).Set(h, Level::kStar);
+  qs.Set(h, Level::kStar);
   ChargeLabelWorkSince(baseline);
+  if (obs::ProvenanceLedger::enabled()) {
+    obs::ProvenanceLedger::Get().RecordEdge(
+        obs::EdgeKind::kOrigin, proc.name, "", pre_rep, qs.rep_id(),
+        Label({{h, Level::kStar}}, Level::kL3), current_trace_id_);
+  }
   UpdatePeak();
   f.out_handle = h;
 }
@@ -540,9 +571,18 @@ void Kernel::SysSetSendLevel(Process& proc, EventProcess* ep, SyscallFrame& f) {
     f.status = Status::kAccessDenied;
     return;
   }
+  const uint64_t pre_rep = obs::ProvenanceLedger::enabled() ? qs.rep_id() : 0;
   const LabelWorkStats baseline = GetLabelWorkStats();
   qs.Set(f.handle, f.level);
   ChargeLabelWorkSince(baseline);
+  if (obs::ProvenanceLedger::enabled() && !LevelLeq(f.level, current) &&
+      LevelLeq(Level::kL2, f.level)) {
+    // A raise into taint territory is voluntary self-contamination: taint
+    // with no inbound message, so it gets an origin edge.
+    obs::ProvenanceLedger::Get().RecordEdge(
+        obs::EdgeKind::kOrigin, proc.name, "", pre_rep, qs.rep_id(),
+        Label({{f.handle, f.level}}, Level::kL1), current_trace_id_);
+  }
   f.status = Status::kOk;
 }
 
@@ -614,6 +654,40 @@ void Kernel::SysSend(Process& proc, EventProcess* ep, SyscallFrame& f) {
   if (!privileged) {
     ChargeLabelWorkSince(baseline);
     stats_.drops_privilege += 1;
+    if (obs::ProvenanceLedger::enabled()) {
+      // Cold path: re-find the first handle whose decontamination needs a ⋆
+      // the sender does not hold (requirements 2 and 3). The label reads
+      // and the Lub below are forensics, not kernel work — shield the
+      // counters.
+      const LabelWorkStats forensics_baseline = GetLabelWorkStats();
+      uint64_t failed = 0;
+      Level had = ps.default_level();
+      for (Label::EntryIter it = args.decont_send.IterateEntries(); !it.done();
+           it.Advance()) {
+        if (it.level() != Level::kL3 && ps.Get(it.handle()) != Level::kStar) {
+          failed = it.handle().value();
+          had = ps.Get(it.handle());
+          break;
+        }
+      }
+      if (failed == 0) {
+        for (Label::EntryIter it = args.decont_receive.IterateEntries();
+             !it.done(); it.Advance()) {
+          if (it.level() != Level::kStar && ps.Get(it.handle()) != Level::kStar) {
+            failed = it.handle().value();
+            had = ps.Get(it.handle());
+            break;
+          }
+        }
+      }
+      obs::ProvenanceLedger::Get().RecordRefusal(
+          "kernel.send_privilege", proc.name,
+          "decontamination requires \xe2\x8b\x86 the sender lacks (reqs 2-3)",
+          failed, had, Level::kStar,
+          Label::Lub(args.decont_send, args.decont_receive), ps,
+          current_trace_id_);
+      GetLabelWorkStats() = forensics_baseline;
+    }
     return;  // silently dropped
   }
 
@@ -632,6 +706,9 @@ void Kernel::SysSend(Process& proc, EventProcess* ep, SyscallFrame& f) {
   qm.decont_send = args.decont_send;
   qm.decont_receive = args.decont_receive;
   qm.payload_bytes = payload;
+  if (obs::ProvenanceLedger::enabled()) {
+    qm.sender = proc.name;
+  }
   ChargeLabelWorkSince(baseline);
 
   AddQueueAccounting(qm);
@@ -821,6 +898,10 @@ void Kernel::RunUntilIdle() {
         if (proc == nullptr || proc->exited) {
           continue;
         }
+        obs::ProfSpan idle_span;
+        if (obs::CycleProfiler::enabled()) {
+          idle_span.Begin("idle." + proc->name);
+        }
         RunInBaseContext(*proc, [proc](ProcessContext& ctx) { proc->code->OnIdle(ctx); });
       }
     }
@@ -874,6 +955,18 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     if (!ok) {
       ChargeLabelWorkSince(baseline);
       stats_.drops_dr_port += 1;
+      if (obs::ProvenanceLedger::enabled()) {
+        // D_R ⊑ pR is ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR with ES = D_R, QR = pR and
+        // the rest neutral, so the delivery explainer pinpoints the handle.
+        const DeliveryRefusal why =
+            ExplainDeliveryRefusal(qm.decont_receive, pv->port_label,
+                                   Label::Bottom(), Label::Top(), Label::Top());
+        obs::ProvenanceLedger::Get().RecordRefusal(
+            "kernel.dr_port", proc->name,
+            "D_R exceeds the port label (req 4)", why.handle, why.es_level,
+            why.bound_level, qm.decont_receive, pv->port_label,
+            qm.msg.trace_id);
+      }
       continue;
     }
     // Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR, with labels as they are at
@@ -885,6 +978,21 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     if (!ok) {
       ChargeLabelWorkSince(baseline);
       stats_.drops_label_check += 1;
+      if (obs::ProvenanceLedger::enabled()) {
+        const DeliveryRefusal why =
+            ExplainDeliveryRefusal(qm.effective_send, qr, qm.decont_receive,
+                                   qm.msg.verify, pv->port_label);
+        std::string detail = "ES(";
+        detail += why.handle == 0 ? "default" : std::to_string(why.handle);
+        detail += ") = ";
+        detail += LevelName(why.es_level);
+        detail += " exceeds bound ";
+        detail += LevelName(why.bound_level);
+        detail += " (req 1)";
+        obs::ProvenanceLedger::Get().RecordRefusal(
+            "kernel.delivery", proc->name, detail, why.handle, why.es_level,
+            why.bound_level, qm.effective_send, why.bound, qm.msg.trace_id);
+      }
       continue;
     }
 
@@ -918,6 +1026,9 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     // of the contamination, as the paper's equation does.
     Label& qs = ep != nullptr ? ep->send_label : qs_ref;
     Label& qr_mut = ep != nullptr ? ep->recv_label : proc->recv_label;
+    const bool prov = obs::ProvenanceLedger::enabled();
+    const uint64_t pre_qs_rep = prov ? qs.rep_id() : 0;
+    const uint64_t pre_qr_rep = prov ? qr_mut.rep_id() : 0;
     const LabelWorkStats fx_baseline = GetLabelWorkStats();
     uint64_t contam_work = 0;
     bool contaminates = NeedsContamination(qm.effective_send, qs, &contam_work);
@@ -963,10 +1074,42 @@ bool Kernel::DeliverFromPort(Vnode& port) {
     }
     ChargeLabelWorkSince(fx_baseline);
 
+    if (prov) {
+      // The receive-side label effects, as provenance edges. Recorded after
+      // the mutations so post reps are the labels the handler will run with.
+      obs::ProvenanceLedger& ledger = obs::ProvenanceLedger::Get();
+      if (contaminates) {
+        ledger.RecordEdge(obs::EdgeKind::kContaminate, proc->name, qm.sender,
+                          pre_qs_rep, qs.rep_id(), qm.effective_send,
+                          qm.msg.trace_id);
+      }
+      if (!IsTopLabel(qm.decont_send)) {
+        ledger.RecordEdge(obs::EdgeKind::kGrant, proc->name, qm.sender,
+                          pre_qs_rep, qs.rep_id(), qm.decont_send,
+                          qm.msg.trace_id);
+      }
+      if (!IsBottomLabel(qm.decont_receive)) {
+        ledger.RecordEdge(obs::EdgeKind::kGrant, proc->name, qm.sender,
+                          pre_qr_rep, qr_mut.rep_id(), qm.decont_receive,
+                          qm.msg.trace_id);
+      }
+      if (!IsTopLabel(qm.msg.verify)) {
+        // The verify label lowered the delivery bound: a declassification
+        // the verify-port holder vouched for.
+        ledger.RecordEdge(obs::EdgeKind::kDeclassify, proc->name, qm.sender,
+                          pre_qs_rep, qs.rep_id(), qm.msg.verify,
+                          qm.msg.trace_id);
+      }
+    }
+
     stats_.deliveries += 1;
     UpdatePeak();
 
     {
+      obs::ProfSpan deliver_span;
+      if (obs::CycleProfiler::enabled()) {
+        deliver_span.Begin("deliver." + proc->name);
+      }
       ScopedComponent scope(proc->component);
       ProcessContext ctx(this, proc, ep, created_ep);
       const uint64_t prev_trace = current_trace_id_;

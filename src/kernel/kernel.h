@@ -250,6 +250,14 @@ class Kernel {
   // place is right after reading a store, before creating processes.
   void ReserveRecoveredHandle(Handle h);
 
+  // Prefix for this kernel's registry gauge names (kernel.stats.*,
+  // kernel.mem.*). Default empty — the usual one-kernel worlds keep the
+  // documented names. Multi-kernel worlds (a ReplicationFleet's followers)
+  // set distinct prefixes like "replica1." so K snapshots don't clobber
+  // each other (the metrics.h "later registration wins" wart).
+  void SetMetricsPrefix(const std::string& prefix) { metrics_prefix_ = prefix; }
+  const std::string& metrics_prefix() const { return metrics_prefix_; }
+
   // --- Introspection (tests and benches) ------------------------------------
   const KernelStats& stats() const { return stats_; }
   KernelMemReport MemReport() const;
@@ -275,6 +283,10 @@ class Kernel {
     Label decont_send;       // D_S
     Label decont_receive;    // D_R
     uint64_t payload_bytes = 0;
+    // Sender process name, filled only while the provenance ledger is
+    // enabled (the paper's kernel does not tell receivers who sent; this
+    // exists solely so taint edges can point at their source).
+    std::string sender;
   };
 
   // Vnode: one per active handle. Ports keep their label, receive-rights
@@ -402,6 +414,8 @@ class Kernel {
   // Metrics gauge group exposing stats_ and MemReport() while this kernel
   // is alive (unregistered in the destructor).
   uint64_t obs_gauge_group_ = 0;
+  // See SetMetricsPrefix. Read at snapshot time by the gauge group.
+  std::string metrics_prefix_;
 };
 
 }  // namespace asbestos

@@ -416,4 +416,58 @@ bool NeedsContaminationNaive(const Label& es, const Label& qs) {
   return !after.Equals(qs);
 }
 
+DeliveryRefusal ExplainDeliveryRefusal(const Label& es, const Label& qr,
+                                       const Label& dr, const Label& v,
+                                       const Label& pr) {
+  // Explanation is observability, not delivery: shield the linear work
+  // counters so the refusal's charged cost is identical with and without
+  // the provenance ledger watching.
+  LabelWorkStats saved = GetLabelWorkStats();
+  DeliveryRefusal out;
+  out.bound = Label::Glb(Label::Glb(Label::Lub(qr, dr), v), pr);
+
+  // First violating handle in increasing handle order: merge-scan the
+  // explicit entries of ES and the bound, each side falling back to the
+  // other's default where it has no entry.
+  std::vector<std::pair<Handle, Level>> es_e = es.Entries();
+  std::vector<std::pair<Handle, Level>> b_e = out.bound.Entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < es_e.size() || j < b_e.size()) {
+    Handle h;
+    Level le;
+    Level lb;
+    if (j >= b_e.size() || (i < es_e.size() && es_e[i].first < b_e[j].first)) {
+      h = es_e[i].first;
+      le = es_e[i].second;
+      lb = out.bound.default_level();
+      ++i;
+    } else if (i >= es_e.size() || b_e[j].first < es_e[i].first) {
+      h = b_e[j].first;
+      le = es.default_level();
+      lb = b_e[j].second;
+      ++j;
+    } else {
+      h = es_e[i].first;
+      le = es_e[i].second;
+      lb = b_e[j].second;
+      ++i;
+      ++j;
+    }
+    if (!LevelLeq(le, lb)) {
+      out.handle = h.value();
+      out.es_level = le;
+      out.bound_level = lb;
+      GetLabelWorkStats() = saved;
+      return out;
+    }
+  }
+  // No explicit entry violates: the defaults themselves must.
+  out.handle = 0;
+  out.es_level = es.default_level();
+  out.bound_level = out.bound.default_level();
+  GetLabelWorkStats() = saved;
+  return out;
+}
+
 }  // namespace asbestos

@@ -44,6 +44,22 @@ bool CheckDeliveryAllowedNaive(const Label& es, const Label& qr, const Label& dr
 bool NeedsContamination(const Label& es, const Label& qs, uint64_t* work);
 bool NeedsContaminationNaive(const Label& es, const Label& qs);
 
+// Forensics for a FAILED delivery check: the first (lowest-handle) violating
+// comparison and the materialized bound it exceeded. Only meaningful when
+// CheckDeliveryAllowed returned false on the same labels. This is the slow,
+// explanatory path — it materializes (QR ⊔ DR) ⊓ V ⊓ pR — and is invisible
+// to LabelWorkStats/the verdict cache: explaining a refusal for the
+// provenance ledger must not change the charged cost of refusing.
+struct DeliveryRefusal {
+  uint64_t handle = 0;  // first failing handle; 0 = the defaults already fail
+  Level es_level = Level::kStar;     // ES at that handle (or ES default)
+  Level bound_level = Level::kStar;  // bound at that handle (or its default)
+  Label bound = Label::Top();        // (QR ⊔ DR) ⊓ V ⊓ pR
+};
+DeliveryRefusal ExplainDeliveryRefusal(const Label& es, const Label& qr,
+                                       const Label& dr, const Label& v,
+                                       const Label& pr);
+
 // --- Flow-check verdict cache ------------------------------------------------
 
 // Cumulative counters across both caches (delivery and contamination).

@@ -139,6 +139,21 @@ void Registry::UnregisterGauges(uint64_t id) {
   }
 }
 
+void Registry::ResetValues() {
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c.Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g.Set(0);
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h.Reset();
+  }
+}
+
 std::map<std::string, double> Registry::Snapshot() const {
   std::map<std::string, double> out;
   for (const auto& [name, c] : counters_) {

@@ -128,6 +128,13 @@ class Registry {
   uint64_t RegisterGauges(GaugeGroupFn fn);
   void UnregisterGauges(uint64_t id);
 
+  // Zeroes every registered counter, gauge, and histogram VALUE in place
+  // (names and cached references stay valid; gauge groups are untouched —
+  // they read live module state). This is obs::ResetAll()'s registry half,
+  // used between bench repetitions so one case's numbers don't bleed into
+  // the next BENCH_*.metrics.json.
+  void ResetValues();
+
   // Flattens counters, gauges, histograms (as <name>.count/.sum/.max/.avg/
   // .p50/.p99) and every gauge group into one sorted name → value map.
   // Groups are evaluated in registration order, so on a name collision the

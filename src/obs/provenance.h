@@ -1,0 +1,187 @@
+// Taint-provenance ledger and refusal forensics.
+//
+// The trace ring (src/obs/trace.h) records that hops happened; this ledger
+// records *why labels are what they are*. Every taint-propagating event —
+// the receive-side Lub in the kernel pump, a ⋆ privilege exercise or grant,
+// a verify-port declassification, a replicated record adopting its secrecy
+// label on apply — appends a compact TaintEdge keyed by interned rep ids
+// (src/labels/intern.h), so the edges form a DAG over label *contents* and
+// WhyTainted(process, handle) can walk a process's contamination back to the
+// handle's origin, hop by hop. Dually, every refusal site (the Figure-4
+// delivery check, ReadGate's kRefused* verdicts, dbproxy's read-only tag
+// and verify-bound checks) appends a RefusalRecord carrying the exact
+// failing comparison: which handle, the level the sender presented, and the
+// bound it exceeded.
+//
+// Provenance is itself a covert-channel surface — "who got tainted with u"
+// is at least as secret as u — so reads go through ProvenanceReader, which
+// gates every record by the SAME cumulative-label discipline TraceReader
+// enforces: a record is visible iff the lub of its own gate label and the
+// cumulative gate of its trace flows to the reader's clearance, evaluated
+// through CheckDeliveryAllowed so the semantics match kernel delivery bit
+// for bit. Cumulative gates survive ring eviction, and VisibleEdgeCount /
+// VisibleRefusalCount apply the same filter, so a low reader can neither
+// read nor *count* high history (tests/covert_channel_test.cc).
+//
+// Gate labels: for contamination and adoption edges the gate is the cause
+// label itself (the taint is the secret). For privilege edges (⋆ grants,
+// declassification) the cause label is ⋆/0-shaped and would gate *nothing*
+// if used directly — knowing that u's declassifier acted reveals u-secret
+// control flow — so the gate maps every explicitly-mentioned handle to
+// level 3 (GateFromPrivilege).
+//
+// Like tracing, the ledger is DISABLED by default behind one global bool,
+// emit sites skip all label/string work when off, and recording never
+// charges virtual cycles nor perturbs LabelWorkStats (the label algebra the
+// ledger itself performs is snapshot/restored around each operation), so
+// Figure 6-9 outputs are byte-identical with the ledger compiled in.
+#ifndef SRC_OBS_PROVENANCE_H_
+#define SRC_OBS_PROVENANCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/labels/label.h"
+
+namespace asbestos {
+namespace obs {
+
+// How taint (or the privilege to shed it) moved.
+enum class EdgeKind : uint8_t {
+  kOrigin = 0,       // a handle was minted / a process self-contaminated
+  kContaminate = 1,  // receive-side Lub: QS ← QS ⊔ (ES ⊓ QS⋆)
+  kGrant = 2,        // ⋆ privilege exercised via D_S / D_R
+  kDeclassify = 3,   // verify-port label V lowered the delivery bound
+  kAdopt = 4,        // replicated record's secrecy label adopted on apply
+};
+
+const char* EdgeKindName(EdgeKind k);
+
+struct TaintEdge {
+  uint64_t id = 0;        // global emission order (monotone)
+  EdgeKind kind = EdgeKind::kOrigin;
+  uint64_t at_cycles = 0;
+  uint64_t trace_id = 0;  // flow id of the producing message (0 = none)
+  std::string subject;    // entity whose label changed / gained privilege
+  std::string source;     // where it came from ("" for origins)
+  uint64_t pre_rep = 0;   // subject label rep id before the event
+  uint64_t post_rep = 0;  // ... after (pre == post: privilege, no Lub ran)
+  uint64_t cause_rep = 0;  // rep id of `cause`
+  Label cause = Label::Bottom();  // the label that moved (ES, D_S, D_R, V, ...)
+  Label gate = Label::Bottom();   // secrecy of knowing this edge exists
+};
+
+struct RefusalRecord {
+  uint64_t id = 0;
+  uint64_t at_cycles = 0;
+  uint64_t trace_id = 0;
+  std::string site;     // "kernel.delivery", "read_gate.cursor_lag", ...
+  std::string subject;  // the entity that was refused (or refused delivery)
+  std::string detail;   // human-readable failing comparison
+  uint64_t handle = 0;  // first failing handle (0: the defaults already fail)
+  Level observed = Level::kStar;  // level the sender presented at `handle`
+  Level bound = Level::kStar;     // bound it had to flow below
+  uint64_t es_rep = 0;            // rep id of the presented label
+  uint64_t bound_rep = 0;         // rep id of the effective bound label
+  Label gate = Label::Bottom();   // secrecy of knowing the refusal happened
+};
+
+// Maps a privilege-shaped label (⋆/0 entries) to the gate for edges that
+// exercised it: every explicit entry goes to level 3, default level 1.
+Label GateFromPrivilege(const Label& privilege);
+
+class ProvenanceLedger {
+ public:
+  static ProvenanceLedger& Get();
+
+  // Global on/off switch, one branch on the hot paths. Off by default.
+  static bool enabled() { return enabled_; }
+  static void SetEnabled(bool on) { enabled_ = on; }
+
+  // Appends an edge. `gate` defaults per EdgeKind (see file comment);
+  // explicit gates are for sites whose secrecy is not derivable from the
+  // cause label alone. No-ops when disabled.
+  void RecordEdge(EdgeKind kind, const std::string& subject,
+                  const std::string& source, uint64_t pre_rep,
+                  uint64_t post_rep, const Label& cause, uint64_t trace_id,
+                  const Label* gate = nullptr);
+
+  // Appends a refusal-forensics record. The gate is Lub(es-shaped taint,
+  // bound-derived secrecy): a refusal reveals both what was presented and
+  // that a bound exists.
+  void RecordRefusal(const std::string& site, const std::string& subject,
+                     const std::string& detail, uint64_t handle,
+                     Level observed, Level bound, const Label& es,
+                     const Label& bound_label, uint64_t trace_id);
+
+  const std::deque<TaintEdge>& edges() const { return edges_; }
+  const std::deque<RefusalRecord>& refusals() const { return refusals_; }
+  uint64_t total_edges() const { return next_edge_id_; }
+  uint64_t total_refusals() const { return next_refusal_id_; }
+
+  // Cumulative gate of a trace: lub of the gate labels of every ledger
+  // record it has ever produced (survives eviction). Bottom for unknown.
+  Label CumulativeGate(uint64_t trace_id) const;
+
+  size_t capacity() const { return capacity_; }
+  void SetCapacity(size_t cap);
+
+  // Drops all edges, refusals, and cumulative-gate history.
+  void Clear();
+
+ private:
+  ProvenanceLedger() = default;
+
+  void NoteGate(uint64_t trace_id, const Label& gate);
+
+  static bool enabled_;
+
+  std::deque<TaintEdge> edges_;
+  std::deque<RefusalRecord> refusals_;
+  std::map<uint64_t, Label> cumulative_;  // trace id → lub of record gates
+  size_t capacity_ = 8192;
+  uint64_t next_edge_id_ = 0;
+  uint64_t next_refusal_id_ = 0;
+};
+
+// One hop of a WhyTainted answer, newest first.
+struct TaintHop {
+  TaintEdge edge;
+  std::string via;  // rendered "subject ← source [kind]" summary
+};
+
+// Clearance-gated view of the ledger. Same discipline as TraceReader: a
+// record is visible iff Lub(record.gate, cumulative gate of its trace) ⊑
+// clearance via CheckDeliveryAllowed.
+class ProvenanceReader {
+ public:
+  explicit ProvenanceReader(const Label& clearance) : clearance_(clearance) {}
+
+  bool CanObserveEdge(const TaintEdge& e) const;
+  bool CanObserveRefusal(const RefusalRecord& r) const;
+
+  std::vector<TaintEdge> VisibleEdges() const;
+  std::vector<RefusalRecord> VisibleRefusals() const;
+  // Counting is gated identically, so it is not a side channel around the
+  // Visible* calls.
+  size_t VisibleEdgeCount() const;
+  size_t VisibleRefusalCount() const;
+
+  // Walks the DAG from `subject`'s most recent edge mentioning `handle`
+  // back to the taint's origin, hopping subject → source. Returns the hop
+  // chain newest-first, or an EMPTY chain if any hop on the path is above
+  // the reader's clearance — a partial answer would itself leak.
+  std::vector<TaintHop> WhyTainted(const std::string& subject,
+                                   uint64_t handle) const;
+
+ private:
+  Label clearance_;
+};
+
+}  // namespace obs
+}  // namespace asbestos
+
+#endif  // SRC_OBS_PROVENANCE_H_

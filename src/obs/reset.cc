@@ -1,0 +1,19 @@
+#include "src/obs/reset.h"
+
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/provenance.h"
+#include "src/obs/trace.h"
+
+namespace asbestos {
+namespace obs {
+
+void ResetAll() {
+  Registry::Get().ResetValues();
+  TraceRing::Get().Clear();
+  ProvenanceLedger::Get().Clear();
+  CycleProfiler::Get().Clear();
+}
+
+}  // namespace obs
+}  // namespace asbestos

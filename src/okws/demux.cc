@@ -2,6 +2,7 @@
 
 #include "src/base/strings.h"
 #include "src/net/netd.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/okws/session_codec.h"
 #include "src/sim/costs.h"
@@ -407,6 +408,14 @@ void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
     // §7.1: the worker proves it is the process the launcher started by
     // presenting its verification handle at level 0.
     if (!LevelLeq(msg.verify.Get(Handle::FromValue(it->second.verify_value)), Level::kL0)) {
+      if (obs::ProvenanceLedger::enabled()) {
+        const Handle wv = Handle::FromValue(it->second.verify_value);
+        obs::ProvenanceLedger::Get().RecordRefusal(
+            "demux.register", "demux",
+            "worker for '" + it->first + "' lacks its verification handle at 0 (§7.1)",
+            wv.value(), msg.verify.Get(wv), Level::kL0, msg.verify,
+            Label({{wv, Level::kL0}}, Level::kL3), msg.trace_id);
+      }
       return;
     }
     it->second.service_port = Handle::FromValue(msg.words[0]);

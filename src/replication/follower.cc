@@ -157,7 +157,8 @@ void FollowerProcess::HandleReadPlane(ProcessContext& ctx, const Message& msg) {
           CloseReadConn(ctx, cookie);
           return;
         }
-        const ReadResult res = read_gate_->Serve(frame.key, frame.label, frame.cursor);
+        const ReadResult res =
+            read_gate_->Serve(frame.key, frame.label, frame.cursor, frame.trace_id);
         replwire::WireMessage resp;
         resp.type = replwire::kReadResp;
         resp.cookie = frame.cookie;

@@ -159,6 +159,13 @@ size_t ReplicationFleet::AddFollower(uint64_t boot_key, uint16_t tcp_port,
   followers_.push_back(std::make_unique<FollowerWorld>(boot_key, tcp_port,
                                                        std::move(store_opts), options,
                                                        read_tcp_port));
+  // Each follower machine is its own kernel publishing the same
+  // kernel.stats.* / kernel.mem.* gauge names; prefix them by fleet index so
+  // a fleet metrics snapshot carries every machine instead of whichever
+  // world's gauge group happened to run last. The primary keeps the bare
+  // names (it is "the" machine in single-world benches).
+  followers_.back()->kernel().SetMetricsPrefix(
+      "replica" + std::to_string(followers_.size()) + ".");
   followers_.back()->Pump();
   ASB_ASSERT(primary_ != nullptr && "followers join a live primary");
   links_.push_back(std::make_unique<ReplicationLink>(&primary_->net(), primary_port_,

@@ -2,6 +2,7 @@
 
 #include "src/kernel/label_checks.h"
 #include "src/obs/metrics.h"
+#include "src/obs/provenance.h"
 #include "src/sim/costs.h"
 #include "src/sim/cycles.h"
 
@@ -30,6 +31,15 @@ obs::CycleHistogram& StalenessHistogram() {
   static obs::CycleHistogram& h =
       obs::Registry::Get().histogram("repl.read_staleness_cycles");
   return h;
+}
+
+// Per-follower breakout of the same scoreboard (satellite: DebugStatus
+// forensics without grepping traces). Keyed by the follower's configured
+// id; the primary's gate does not contribute (its refusal modes cannot
+// fire). Cold enough that the registry's map lookup per bump is fine.
+obs::Counter& FollowerCounter(uint64_t follower_id, const char* field) {
+  return obs::Registry::Get().counter("repl.follower" +
+                                      std::to_string(follower_id) + "." + field);
 }
 
 }  // namespace
@@ -67,7 +77,14 @@ bool ReadGate::CursorCovers(const replwire::ReadCursorToken& applied,
          (applied.generation == token.generation && applied.offset >= token.offset);
 }
 
-ReadResult ReadGate::Admit(const replwire::ReadCursorToken& token) const {
+std::string ReadGate::GateName() const {
+  return replica_ != nullptr
+             ? "follower" + std::to_string(replica_->follower_id())
+             : std::string("primary");
+}
+
+ReadResult ReadGate::Admit(const replwire::ReadCursorToken& token,
+                           uint64_t trace_id) const {
   ReadResult r;
   if (replica_ != nullptr) {
     const uint64_t now = GetCycleAccounting().now();
@@ -83,11 +100,33 @@ ReadResult ReadGate::Admit(const replwire::ReadCursorToken& token) const {
     if (replica_->lease_until() == 0 || replica_->LeaseExpired(now)) {
       r.status = ReadStatus::kRefusedStaleLease;
       RefusedStaleLease().Add();
+      FollowerCounter(replica_->follower_id(), "reads_refused_stale_lease")
+          .Add();
+      if (obs::ProvenanceLedger::enabled()) {
+        obs::ProvenanceLedger::Get().RecordRefusal(
+            "read_gate.stale_lease", GateName(),
+            "lease expired: staleness " + std::to_string(r.staleness_cycles) +
+                " cycles, retry at primary",
+            0, Level::kStar, Level::kStar, Label::Bottom(), Label::Bottom(),
+            trace_id);
+      }
       return r;
     }
     if (!CursorCovers(r.applied, token)) {
       r.status = ReadStatus::kRefusedCursorLag;
       RefusedCursorLag().Add();
+      FollowerCounter(replica_->follower_id(), "reads_refused_cursor_lag")
+          .Add();
+      if (obs::ProvenanceLedger::enabled()) {
+        obs::ProvenanceLedger::Get().RecordRefusal(
+            "read_gate.cursor_lag", GateName(),
+            "applied cursor gen " + std::to_string(r.applied.generation) +
+                " off " + std::to_string(r.applied.offset) +
+                " trails token gen " + std::to_string(token.generation) +
+                " off " + std::to_string(token.offset),
+            0, Level::kStar, Level::kStar, Label::Bottom(), Label::Bottom(),
+            trace_id);
+      }
       return r;
     }
   } else {
@@ -108,9 +147,10 @@ ReadResult ReadGate::Admit(const replwire::ReadCursorToken& token) const {
 }
 
 ReadResult ReadGate::Serve(const std::string& key, const Label& clearance,
-                           const replwire::ReadCursorToken& token) const {
+                           const replwire::ReadCursorToken& token,
+                           uint64_t trace_id) const {
   Charge(costs::kReadServeCycles);
-  ReadResult r = Admit(token);
+  ReadResult r = Admit(token, trace_id);
   if (r.status != ReadStatus::kOk) {
     return r;
   }
@@ -131,6 +171,14 @@ ReadResult ReadGate::Serve(const std::string& key, const Label& clearance,
   }
   if (liveness_ && !liveness_(key, *rec)) {
     r.status = ReadStatus::kRefusedExpired;
+    if (obs::ProvenanceLedger::enabled()) {
+      // Gated by the record's secrecy: that the key EXISTS (expired or not)
+      // is as secret as its contents.
+      obs::ProvenanceLedger::Get().RecordRefusal(
+          "read_gate.expired", GateName(),
+          "record expired by the liveness filter", 0, Level::kStar,
+          Level::kStar, rec->secrecy, clearance, trace_id);
+    }
     StalenessHistogram().Record(r.staleness_cycles);
     return r;
   }
@@ -149,6 +197,20 @@ ReadResult ReadGate::Serve(const std::string& key, const Label& clearance,
            fused_work * costs::kLabelEntryCycles + costs::kLabelOpBaseCycles);
   if (!ok) {
     r.status = ReadStatus::kAccessDenied;
+    if (replica_ != nullptr) {
+      FollowerCounter(replica_->follower_id(), "reads_access_denied").Add();
+    }
+    if (obs::ProvenanceLedger::enabled()) {
+      const DeliveryRefusal why =
+          ExplainDeliveryRefusal(rec->secrecy, clearance, Label::Bottom(),
+                                 Label::Top(), Label::Top());
+      obs::ProvenanceLedger::Get().RecordRefusal(
+          "read_gate.access_denied", GateName(),
+          std::string("record secrecy ") + LevelName(why.es_level) +
+              " exceeds reader clearance " + LevelName(why.bound_level),
+          why.handle, why.es_level, why.bound_level, rec->secrecy, clearance,
+          trace_id);
+    }
     StalenessHistogram().Record(r.staleness_cycles);
     return r;
   }
@@ -156,6 +218,9 @@ ReadResult ReadGate::Serve(const std::string& key, const Label& clearance,
   r.value = rec->value;
   r.secrecy = rec->secrecy;
   ReadsServed().Add();
+  if (replica_ != nullptr) {
+    FollowerCounter(replica_->follower_id(), "reads_served").Add();
+  }
   StalenessHistogram().Record(r.staleness_cycles);
   return r;
 }

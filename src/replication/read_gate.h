@@ -96,8 +96,11 @@ class ReadGate {
 
   // Decides and (when admitted) serves one labeled read. Charges the label
   // check exactly as the kernel IPC path would, plus the base serve cost.
+  // `trace_id` is the request's flow id, stamped onto refusal-forensics
+  // records (src/obs/provenance.h); 0 means untraced.
   ReadResult Serve(const std::string& key, const Label& clearance,
-                   const replwire::ReadCursorToken& token) const;
+                   const replwire::ReadCursorToken& token,
+                   uint64_t trace_id = 0) const;
 
   // Admission alone (no lookup, no label check, no cycle charges): the
   // demux router uses this shape against ack-reported cursors to pick a
@@ -107,7 +110,10 @@ class ReadGate {
                            const replwire::ReadCursorToken& token);
 
  private:
-  ReadResult Admit(const replwire::ReadCursorToken& token) const;
+  ReadResult Admit(const replwire::ReadCursorToken& token,
+                   uint64_t trace_id) const;
+  // "follower<id>" or "primary": the provenance subject and counter scope.
+  std::string GateName() const;
 
   const ReplicaStore* replica_ = nullptr;  // follower mode
   const DurableStore* primary_ = nullptr;  // primary mode

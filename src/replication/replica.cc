@@ -4,6 +4,7 @@
 
 #include "src/base/panic.h"
 #include "src/base/strings.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/sim/cycles.h"
 
@@ -149,10 +150,17 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
         AppendAck(static_cast<uint32_t>(msg.shard), ack_out);
         return Status::kOk;
       }
+      // The apply span adopts the primary's ship stack as its parent (the
+      // frame carries it in prof_ctx), so one merged flamegraph nests this
+      // follower's apply work under the primary's pump/ship frames.
+      obs::ProfSpan apply_span;
+      if (obs::CycleProfiler::enabled()) {
+        apply_span.BeginWithParent(msg.prof_ctx, "repl.apply.batch");
+      }
       const Status s = replwire::ForEachWalRecord(
           msg.payload, [this, &msg](std::string_view record) {
             const Status applied = store_->ApplyReplicatedRecord(
-                static_cast<uint32_t>(msg.shard), record);
+                static_cast<uint32_t>(msg.shard), record, msg.trace_id);
             if (IsOk(applied)) {
               stats_.records_applied += 1;
             }
@@ -181,6 +189,10 @@ Status ReplicaStore::HandleFrame(const WireMessage& msg, std::string* ack_out) {
       // Images refresh the lease like batches: a long catch-up must not
       // starve the designee's lease under a live primary.
       TrackLease(msg);
+      obs::ProfSpan apply_span;
+      if (obs::CycleProfiler::enabled()) {
+        apply_span.BeginWithParent(msg.prof_ctx, "repl.apply.snapshot");
+      }
       const Status s =
           store_->InstallShardSnapshot(static_cast<uint32_t>(msg.shard), msg.payload);
       if (!IsOk(s)) {

@@ -4,6 +4,7 @@
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/replication/read_gate.h"
 #include "src/sim/cycles.h"
@@ -79,6 +80,12 @@ std::string FollowerSession::SessionHello() {
 
 void FollowerSession::ShipSnapshot(uint32_t shard, uint64_t lease_until,
                                    uint64_t successor_id, std::string* out, size_t* frames) {
+  // The ship span's stack rides the frame (prof_ctx) so the follower's
+  // apply span nests under it in the merged flamegraph.
+  obs::ProfSpan ship_span;
+  if (obs::CycleProfiler::enabled()) {
+    ship_span.Begin("repl.ship.snapshot");
+  }
   WireMessage m;
   m.type = replwire::kSnapshot;
   m.shard = shard;
@@ -88,6 +95,9 @@ void FollowerSession::ShipSnapshot(uint32_t shard, uint64_t lease_until,
   m.lease_until = lease_until;
   m.successor_id = successor_id;
   m.trace_id = trace_id_;
+  if (obs::CycleProfiler::enabled()) {
+    m.prof_ctx = obs::CycleProfiler::Get().current_stack();
+  }
   std::string image;
   ASB_ASSERT(IsOk(hub_->store()->ExportShardSnapshot(shard, &image, &m.generation,
                                                      &m.offset)));
@@ -114,6 +124,10 @@ bool FollowerSession::ShipBatchSpan(uint32_t shard, uint64_t gen, uint64_t end_o
                                     uint64_t lease_until, uint64_t successor_id,
                                     std::string* out, size_t* frames) {
   Cursor& c = cursors_[shard];
+  obs::ProfSpan ship_span;
+  if (obs::CycleProfiler::enabled()) {
+    ship_span.Begin("repl.ship.batch");
+  }
   while (c.shipped_off < end_off && out->size() < max_total_bytes) {
     Payload span;
     const Status s = hub_->ReadSpan(shard, gen, c.shipped_off, max_batch_bytes, &span);
@@ -145,6 +159,9 @@ bool FollowerSession::ShipBatchSpan(uint32_t shard, uint64_t gen, uint64_t end_o
     m.lease_until = lease_until;
     m.successor_id = successor_id;
     m.trace_id = trace_id_;
+    if (obs::CycleProfiler::enabled()) {
+      m.prof_ctx = obs::CycleProfiler::Get().current_stack();
+    }
     m.payload = span.substr(0, take);
     c.shipped_off += take;
     stats_.batches_shipped += 1;
@@ -386,6 +403,10 @@ ReplicationHub::ReplicationHub(const DurableStore* store, uint64_t source_id, Tu
           sink.Set(sp + "fully_synced", static_cast<uint64_t>(s.fully_synced ? 1 : 0));
           sink.Set(sp + "batches_shipped", s.stats.batches_shipped);
           sink.Set(sp + "snapshots_shipped", s.stats.snapshots_shipped);
+          sink.Set(sp + "reads_served", s.reads_served);
+          sink.Set(sp + "reads_refused_stale_lease", s.reads_refused_stale_lease);
+          sink.Set(sp + "reads_refused_cursor_lag", s.reads_refused_cursor_lag);
+          sink.Set(sp + "reads_access_denied", s.reads_access_denied);
           max_lag = std::max(max_lag, s.apply_lag_cycles);
           if (!have_lease || s.lease_remaining_cycles < min_lease) {
             min_lease = s.lease_remaining_cycles;
@@ -485,6 +506,15 @@ HubDebugStatus ReplicationHub::DebugStatus() const {
     out.apply_lag_cycles = s->ApplyLagCycles();
     out.lease_remaining_cycles = s->LeaseRemainingCycles();
     out.stats = s->stats();
+    if (out.follower_id != 0) {
+      const std::string fp = "repl.follower" + std::to_string(out.follower_id) + ".";
+      out.reads_served = reg.counter(fp + "reads_served").value();
+      out.reads_refused_stale_lease =
+          reg.counter(fp + "reads_refused_stale_lease").value();
+      out.reads_refused_cursor_lag =
+          reg.counter(fp + "reads_refused_cursor_lag").value();
+      out.reads_access_denied = reg.counter(fp + "reads_access_denied").value();
+    }
     for (const FollowerSession::Cursor& c : s->cursors_) {
       HubDebugStatus::ShardCursor sc;
       sc.await_resume = c.await_resume;

@@ -189,6 +189,14 @@ struct HubDebugStatus {
     uint64_t lease_remaining_cycles = 0;
     FollowerSessionStats stats;
     std::vector<ShardCursor> shards;
+    // Per-follower read-plane scoreboard, keyed by follower_id (the
+    // repl.follower<id>.* counters from src/replication/read_gate.cc): how
+    // many reads THIS follower answered, and how many it bounced for each
+    // refusal reason. Zero for anonymous sessions (follower_id == 0).
+    uint64_t reads_served = 0;
+    uint64_t reads_refused_stale_lease = 0;
+    uint64_t reads_refused_cursor_lag = 0;
+    uint64_t reads_access_denied = 0;
   };
   uint64_t source_id = 0;
   uint64_t successor_id = 0;

@@ -34,6 +34,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.shard_count, &p);
       codec::AppendVarint(msg.lease_until, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kBatch:
       codec::AppendVarint(msg.shard, &p);
@@ -43,6 +44,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.successor_id, &p);
       codec::AppendString(msg.payload, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kSnapshot:
       codec::AppendVarint(msg.shard, &p);
@@ -52,6 +54,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.successor_id, &p);
       codec::AppendString(msg.payload, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kAck:
       codec::AppendVarint(msg.token, &p);
@@ -61,15 +64,18 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.offset, &p);
       codec::AppendVarint(msg.follower_id, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kHeartbeat:
       codec::AppendVarint(msg.lease_until, &p);
       codec::AppendVarint(msg.successor_id, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kBusy:
       codec::AppendVarint(msg.retry_after, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kGenMark:
       codec::AppendVarint(msg.shard, &p);
@@ -78,6 +84,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.lease_until, &p);
       codec::AppendVarint(msg.successor_id, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kReadReq:
       codec::AppendVarint(msg.token, &p);
@@ -89,6 +96,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendVarint(msg.cursor.offset, &p);
       codec::AppendLabel(msg.label, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     case kReadResp:
       codec::AppendVarint(msg.cookie, &p);
@@ -101,6 +109,7 @@ std::string EncodePayload(const WireMessage& msg) {
       codec::AppendLabel(msg.label, &p);
       codec::AppendString(msg.payload, &p);
       codec::AppendVarint(msg.trace_id, &p);
+      codec::AppendString(msg.prof_ctx, &p);
       break;
     default:
       break;
@@ -124,9 +133,11 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until))) {
         return s;
       }
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kBatch:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
@@ -138,9 +149,11 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
         return s;
       }
       msg->payload = Payload(bytes);  // one copy out of the rx buffer, then shared
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kSnapshot:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
@@ -152,9 +165,11 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
         return s;
       }
       msg->payload = Payload(bytes);  // one copy out of the rx buffer, then shared
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kAck:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->token)) ||
@@ -165,26 +180,32 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->follower_id))) {
         return s;
       }
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kHeartbeat:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->lease_until)) ||
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->successor_id))) {
         return s;
       }
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kBusy:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->retry_after))) {
         return s;
       }
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kGenMark:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->shard)) ||
@@ -194,9 +215,11 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadVarint(p, &pos, &msg->successor_id))) {
         return s;
       }
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kReadReq:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->token)) ||
@@ -212,9 +235,11 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
           !IsOk(s = codec::ReadLabel(p, &pos, &msg->label))) {
         return s;
       }
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     case kReadResp:
       if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->cookie)) ||
@@ -229,9 +254,11 @@ Status DecodePayload(std::string_view p, WireMessage* msg) {
         return s;
       }
       msg->payload = Payload(bytes);  // one copy out of the rx buffer, then shared
-      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id))) {
+      if (!IsOk(s = codec::ReadVarint(p, &pos, &msg->trace_id)) ||
+          !IsOk(s = codec::ReadString(p, &pos, &bytes))) {
         return s;
       }
+      msg->prof_ctx.assign(bytes);
       break;
     default:
       return Status::kInvalidArgs;  // unknown frame type: poison the session

@@ -149,6 +149,13 @@ struct WireMessage {
   // followed end to end like an OKWS request. Carried by every frame type;
   // 0 means untraced. Purely observational: no protocol decision reads it.
   uint64_t trace_id = 0;
+  // Sender's cycle-profiler span stack at frame build time (src/obs/
+  // profiler.h), empty when profiling is off. The receiver opens its apply
+  // span WITH this parent context so one merged flamegraph nests follower
+  // work under the primary's ship stack. Carried by every frame type after
+  // trace_id (one length byte when empty); like trace_id it is purely
+  // observational.
+  std::string prof_ctx;
   // kBatch: raw WAL frames; kSnapshot: image. A refcounted buffer view
   // (src/kernel/payload.h): the hub's frame cache, each follower session's
   // outgoing batch, and the kernel queue entry all share one buffer, so a

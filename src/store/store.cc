@@ -12,6 +12,7 @@
 #include "src/base/hash.h"
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/provenance.h"
 #include "src/store/label_codec.h"
 
 namespace asbestos {
@@ -749,7 +750,8 @@ Status DurableStore::ExportShardSnapshot(uint32_t shard, std::string* image,
   return Status::kOk;
 }
 
-Status DurableStore::ApplyReplicatedRecord(uint32_t shard, std::string_view payload) {
+Status DurableStore::ApplyReplicatedRecord(uint32_t shard, std::string_view payload,
+                                           uint64_t trace_id) {
   if (shard >= shards_.size()) {
     return Status::kInvalidArgs;
   }
@@ -761,6 +763,24 @@ Status DurableStore::ApplyReplicatedRecord(uint32_t shard, std::string_view payl
   // Same apply path as crash recovery: unknown or corrupt payloads are
   // skipped, Put/Erase payloads reconstruct records and labels bit-exactly.
   ApplyLogRecord(s, payload);
+  if (obs::ProvenanceLedger::enabled() && !payload.empty() &&
+      payload[0] == kLogPut) {
+    // Journal the label adoption: the replica's shard takes on the record's
+    // secrecy exactly as shipped. The re-parse only runs when the ledger is
+    // on, and the work stats are pinned so the forensics decode never skews
+    // the Figure-9 label-work counters.
+    const LabelWorkStats baseline = GetLabelWorkStats();
+    size_t pos = 1;
+    std::string key;
+    StoreRecord record;
+    if (IsOk(ReadRecordBody(payload, &pos, &key, &record)) &&
+        pos == payload.size()) {
+      obs::ProvenanceLedger::Get().RecordEdge(
+          obs::EdgeKind::kAdopt, "store.shard" + std::to_string(shard),
+          "primary", 0, record.secrecy.rep_id(), record.secrecy, trace_id);
+    }
+    GetLabelWorkStats() = baseline;
+  }
   MaybeAutoCompact(s);
   return Status::kOk;
 }

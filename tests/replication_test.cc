@@ -14,6 +14,8 @@
 #include "src/fs/file_server.h"
 #include "src/net/client.h"
 #include "src/okws/idd.h"
+#include "src/obs/metrics.h"
+#include "src/obs/provenance.h"
 #include "src/okws/okws_world.h"
 #include "src/okws/services.h"
 #include "src/replication/follower.h"
@@ -1293,6 +1295,87 @@ TEST_F(ReplEndToEndTest, StaleLeaseFollowerRefusesAllReads) {
   ASSERT_TRUE(reader.Read("pub0", Label::Top(), {}, follower_pump, &r));
   EXPECT_EQ(r.status, ReadStatus::kRefusedStaleLease);
   EXPECT_GT(r.staleness_cycles, 0u);
+}
+
+TEST_F(ReplEndToEndTest, FleetMetricsArePerReplicaAndPerFollowerReadCounters) {
+  // Two follower machines are two kernels publishing the same gauge names;
+  // the fleet prefixes each by its index so one snapshot carries every
+  // machine instead of whichever gauge group registered last. Adoption of
+  // replicated labels also lands in the provenance ledger as kAdopt edges.
+  obs::ProvenanceLedger::SetEnabled(true);
+  obs::ProvenanceLedger::Get().Clear();
+  BootPrimary(dir_.path() + "/primary");
+  AddFollower(dir_.path() + "/f1", 0x0452, /*follower_id=*/1, /*read_tcp_port=*/7500);
+  AddFollower(dir_.path() + "/f2", 0x0453, /*follower_id=*/2, /*read_tcp_port=*/7501);
+  RunFsWorkload();
+  PumpUntilSynced();
+
+  const auto snap = obs::Registry::Get().Snapshot();
+  // Distinct, simultaneously-present names: the primary keeps the bare
+  // names; followers are replica1. / replica2. by join order.
+  ASSERT_EQ(snap.count("kernel.stats.deliveries"), 1u);
+  ASSERT_EQ(snap.count("replica1.kernel.stats.deliveries"), 1u);
+  ASSERT_EQ(snap.count("replica2.kernel.stats.deliveries"), 1u);
+  EXPECT_GT(snap.at("kernel.stats.deliveries"), 0.0);
+  EXPECT_GT(snap.at("replica1.kernel.stats.deliveries"), 0.0);
+  EXPECT_GT(snap.at("replica2.kernel.stats.deliveries"), 0.0);
+  EXPECT_EQ(snap.count("replica1.kernel.mem.total_bytes"), 1u);
+  EXPECT_EQ(snap.count("replica2.kernel.mem.total_bytes"), 1u);
+
+  // Applying replicated records journals label adoption: every shard apply
+  // of a Put is an [adopt] edge, so a replica's labels are explainable too.
+  bool saw_adopt = false;
+  for (const auto& e : obs::ProvenanceLedger::Get().edges()) {
+    if (e.kind == obs::EdgeKind::kAdopt) {
+      EXPECT_EQ(e.subject.rfind("store.shard", 0), 0u) << e.subject;
+      EXPECT_EQ(e.source, "primary");
+      saw_adopt = true;
+    }
+  }
+  EXPECT_TRUE(saw_adopt);
+  obs::ProvenanceLedger::Get().Clear();
+  obs::ProvenanceLedger::SetEnabled(false);
+
+  // The read plane scores per follower. Counters are process-global and
+  // cumulative, so assert deltas, then check the hub's DebugStatus joins
+  // them onto the right session by follower_id.
+  obs::Registry& reg = obs::Registry::Get();
+  const uint64_t f1_served = reg.counter("repl.follower1.reads_served").value();
+  const uint64_t f1_denied = reg.counter("repl.follower1.reads_access_denied").value();
+  const uint64_t f2_served = reg.counter("repl.follower2.reads_served").value();
+  const uint64_t f2_denied = reg.counter("repl.follower2.reads_access_denied").value();
+
+  ReadClient r1(&fleet_->follower(0)->net(), 7500, kAuthToken);
+  ReadClient r2(&fleet_->follower(1)->net(), 7501, kAuthToken);
+  const auto pump = [&] { fleet_->Pump(); };
+  ReadResult r;
+  ASSERT_TRUE(r1.Read("pub0", Label::Top(), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  ASSERT_TRUE(r1.Read("priv0", Label(Level::kL0), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kAccessDenied);
+  ASSERT_TRUE(r2.Read("pub1", Label::Top(), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  ASSERT_TRUE(r2.Read("pub2", Label::Top(), {}, pump, &r));
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+
+  EXPECT_EQ(reg.counter("repl.follower1.reads_served").value(), f1_served + 1);
+  EXPECT_EQ(reg.counter("repl.follower1.reads_access_denied").value(), f1_denied + 1);
+  EXPECT_EQ(reg.counter("repl.follower2.reads_served").value(), f2_served + 2);
+
+  const ReplicationHub* hub = fleet_->primary()->fs()->replication()->hub();
+  ASSERT_NE(hub, nullptr);
+  const HubDebugStatus status = hub->DebugStatus();
+  ASSERT_EQ(status.sessions.size(), 2u);
+  for (const auto& session : status.sessions) {
+    if (session.follower_id == 1) {
+      EXPECT_EQ(session.reads_served, f1_served + 1);
+      EXPECT_EQ(session.reads_access_denied, f1_denied + 1);
+    } else {
+      ASSERT_EQ(session.follower_id, 2u);
+      EXPECT_EQ(session.reads_served, f2_served + 2);
+      EXPECT_EQ(session.reads_access_denied, f2_denied);
+    }
+  }
 }
 
 // --- OKWS integration: idd, ok-demux, and ok-dbproxy ship their stores -------

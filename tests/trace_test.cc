@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/okws/okws_world.h"
 #include "src/okws/services.h"
@@ -168,6 +170,48 @@ TEST_F(TraceRingTest, LowReaderSeesNeitherEventsNorCounts) {
   EXPECT_EQ(low.VisibleJson().find("worker.request"), std::string::npos);
 }
 
+TEST_F(TraceRingTest, WraparoundNeverLeaksSecretHistoryIntoLowCounts) {
+  // Force eviction with a tiny ring and interleave secret and public
+  // traffic. At every point — before, during, and after wraparound — the
+  // low reader's count must equal the number of PUBLIC events still
+  // retained, never reflecting how many secret events passed through.
+  obs::TraceRing::Get().SetCapacity(4);
+  const Label high({{H(7), Level::kL3}}, Level::kStar);
+  obs::TraceReader low(Label::DefaultReceive());
+
+  const uint64_t secret = obs::TraceRing::Get().MintTraceId();
+  obs::TraceRing::Get().Emit(secret, "netd", "netd.accept", "", Label::Bottom());
+  obs::TraceRing::Get().Emit(secret, "worker", "worker.request", "", high);
+  EXPECT_EQ(low.VisibleCount(), 0u);
+
+  // Burn through several ring generations of secret events under public
+  // cover traffic; the secret trace's early events evict, but its
+  // cumulative label keeps every retained event of it invisible.
+  std::vector<uint64_t> pub_tids;
+  for (int round = 0; round < 3; ++round) {
+    const uint64_t pub = obs::TraceRing::Get().MintTraceId();
+    pub_tids.push_back(pub);
+    obs::TraceRing::Get().Emit(pub, "netd", "netd.accept", "", Label::Bottom());
+    obs::TraceRing::Get().Emit(secret, "worker", "worker.respond", "", Label::Bottom());
+    ASSERT_EQ(obs::TraceRing::Get().events().size(),
+              std::min<size_t>(4, 2 * (round + 2)));
+    // Exactly the public events still in the ring are visible (capacity 4,
+    // alternating emission: at most the 2 newest public events survive).
+    const size_t retained_pub = std::min<size_t>(pub_tids.size(), 2);
+    EXPECT_EQ(low.VisibleCount(), retained_pub) << "round " << round;
+    for (const obs::SpanEvent& ev : low.Visible()) {
+      EXPECT_EQ(ev.label.Get(H(7)), Level::kStar) << "no secret event leaks";
+    }
+  }
+  // The secret trace stays as secret as its most secret event ever, even
+  // though that event was evicted rounds ago.
+  EXPECT_TRUE(high.Leq(obs::TraceRing::Get().CumulativeLabel(secret)));
+  EXPECT_FALSE(low.CanObserve(secret));
+  obs::TraceReader top(Label::Top());
+  EXPECT_EQ(top.VisibleCount(), 4u);
+  obs::TraceRing::Get().SetCapacity(8192);
+}
+
 // --- End-to-end: OKWS span chain --------------------------------------------
 
 class OkwsTraceTest : public ::testing::Test {
@@ -277,6 +321,80 @@ TEST_F(OkwsTraceTest, LowClearanceReaderObservesNothingOfATaintedRequest) {
   obs::TraceReader top(Label::Top());
   EXPECT_TRUE(top.CanObserve(tid));
   EXPECT_EQ(top.VisibleCount(), obs::TraceRing::Get().events().size());
+}
+
+TEST_F(OkwsTraceTest, WhyTaintedExplainsARequestAcrossTheProcessSuite) {
+  // The ISSUE acceptance path: run real requests through the OKWS suite,
+  // then ask the ledger why a contaminated process carries a user's taint.
+  // The answer must be a multi-hop chain across distinct processes ending
+  // at the taint's origin, while a below-clearance reader can neither read
+  // the chain nor count its edges.
+  obs::ProvenanceLedger::SetEnabled(true);
+  obs::ProvenanceLedger::Get().Clear();
+  ASSERT_EQ(Fetch("/notes?op=add&text=buy+tarts", "alice", "pw-a").status, 200);
+  ASSERT_EQ(Fetch("/notes?op=list", "alice", "pw-a").status, 200);
+
+  // The newest contamination edge is the freshest "this process is now
+  // tainted" fact the run produced; its cause carries the user taint (some
+  // handle at level >= 2) that WhyTainted will chase.
+  const obs::ProvenanceLedger& ledger = obs::ProvenanceLedger::Get();
+  const obs::TaintEdge* newest = nullptr;
+  for (const obs::TaintEdge& e : ledger.edges()) {
+    if (e.kind == obs::EdgeKind::kContaminate) {
+      newest = &e;
+    }
+  }
+  ASSERT_NE(newest, nullptr) << "a tainted notes request contaminates someone";
+  uint64_t taint = 0;
+  for (const auto& [h, level] : newest->cause.Entries()) {
+    if (LevelLeq(Level::kL2, level)) {
+      taint = h.value();
+      break;
+    }
+  }
+  ASSERT_NE(taint, 0u);
+
+  obs::ProvenanceReader top(Label::Top());
+  const std::vector<obs::TaintHop> chain = top.WhyTainted(newest->subject, taint);
+  ASSERT_GE(chain.size(), 2u) << "the taint crossed at least one process";
+  EXPECT_EQ(chain.front().edge.subject, newest->subject);
+  // The walk terminates at the taint's origin, not at an arbitrary edge.
+  EXPECT_EQ(chain.back().edge.kind, obs::EdgeKind::kOrigin);
+  EXPECT_TRUE(chain.back().edge.source.empty());
+  // Hops link subject <- source: each hop's source is the next hop's
+  // subject, so the chain really is a connected path through the suite.
+  std::set<std::string> processes;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    processes.insert(chain[i].edge.subject);
+    if (i + 1 < chain.size()) {
+      EXPECT_EQ(chain[i].edge.source, chain[i + 1].edge.subject) << chain[i].via;
+    }
+  }
+  EXPECT_GE(processes.size(), 2u) << "chain spans distinct OKWS processes";
+
+  // "Who got tainted with u" is as secret as u: the below-clearance reader
+  // gets an empty chain (never a truncated one), cannot observe ANY edge
+  // or refusal that mentions the taint, and its counts agree with its
+  // visible sets — counting is not a side channel around reading.
+  obs::ProvenanceReader low(Label::DefaultReceive());
+  EXPECT_TRUE(low.WhyTainted(newest->subject, taint).empty());
+  const Handle th = Handle::FromValue(taint);
+  for (const obs::TaintEdge& e : ledger.edges()) {
+    if (LevelLeq(Level::kL2, e.gate.Get(th))) {
+      EXPECT_FALSE(low.CanObserveEdge(e)) << e.subject;
+    }
+  }
+  for (const obs::RefusalRecord& r : ledger.refusals()) {
+    if (LevelLeq(Level::kL2, r.gate.Get(th))) {
+      EXPECT_FALSE(low.CanObserveRefusal(r)) << r.site;
+    }
+  }
+  EXPECT_EQ(low.VisibleEdgeCount(), low.VisibleEdges().size());
+  EXPECT_EQ(low.VisibleRefusalCount(), low.VisibleRefusals().size());
+  EXPECT_LT(low.VisibleEdgeCount(), top.VisibleEdgeCount());
+
+  obs::ProvenanceLedger::Get().Clear();
+  obs::ProvenanceLedger::SetEnabled(false);
 }
 
 TEST_F(OkwsTraceTest, TracingDisabledLeavesNoResidue) {
