@@ -20,6 +20,12 @@ struct OkwsRunConfig {
   int concurrency = 16;             // paper: 16 maximizes OKWS/LWIP throughput
   std::string service = "echo";     // "echo" (Fig. 7-9) or "store" (Fig. 6)
   bool active_memory_mode = false;  // workers skip ep_clean (Fig. 6 "active")
+  // Million-compartment scale (bench_scale): park idle event processes down
+  // to compact records, and account per-user state at its dense size
+  // (handle-table entries, interned binding table). Both default off — the
+  // figure benches must stay byte-identical to the paper calibration.
+  bool park_idle_sessions = false;
+  bool scale_accounting = false;
 };
 
 struct OkwsRunResult {
@@ -57,12 +63,52 @@ struct OkwsRunResult {
   double PagesPerSession() const;
   double PeakPagesPerSession() const;
 
+  // Scale accounting (bench_scale): the compacted per-user planes out of
+  // KernelMemReport, plus the park/resume traffic this run generated.
+  uint64_t session_bytes = 0;       // compact park records
+  uint64_t binding_bytes = 0;       // interned idd + dbproxy binding tables
+  uint64_t handle_table_bytes = 0;  // dense plain-handle entries
+  uint64_t session_parks = 0;
+  uint64_t session_resumes = 0;
+  // The tentpole metric: total post-run kernel bytes over distinct users.
+  double BytesPerUser() const;
+
   // Label-work telemetry (for calibration notes in EXPERIMENTS.md).
   uint64_t label_entries_visited = 0;
 };
 
-// Boots, primes nothing, runs the workload, reports. Deterministic.
+// Boots, primes nothing, runs the workload, reports. Deterministic. After
+// the world is torn down, asserts (fail-fast) that every global byte ledger
+// — labels, simulated pages, stores, park records, binding tables — returned
+// to within a fixed epsilon of its pre-boot value, so leaks cannot hide
+// behind a fresh world in the next benchmark iteration.
 OkwsRunResult RunOkwsWorkload(const OkwsRunConfig& config);
+
+// --- Scenario matrix (bench_scale) -------------------------------------------
+// The examples/ demos folded in as measured, asserting scenarios: each boots
+// a small dedicated kernel, drives the paper's flows, and reports counts the
+// benchmark publishes. `ok` is the full expected outcome; runners abort the
+// process on violation rather than report garbage timings.
+
+// Paper §5.5: mail reader vs. untrusted attachment. The tainted attachment's
+// sends must bounce off the inbox port label and the reader's receive label.
+struct MailReaderScenarioResult {
+  uint64_t delivered = 0;  // untainted progress + filesystem messages
+  uint64_t blocked = 0;    // label-check drops of the compromised attachment
+  bool ok = false;
+};
+MailReaderScenarioResult RunMailReaderScenario();
+
+// Paper §5.2: MLS clearance hierarchy over two compartments. Checks the
+// 3×3 flow matrix both statically (Leq) and with live sends.
+struct MlsScenarioResult {
+  uint64_t flows_allowed = 0;  // static matrix entries that flow
+  uint64_t flows_blocked = 0;
+  uint64_t delivered = 0;      // live cross-clearance sends that arrived
+  uint64_t blocked_drops = 0;  // live sends the kernel dropped
+  bool ok = false;
+};
+MlsScenarioResult RunMlsScenario();
 
 }  // namespace asbestos::bench
 

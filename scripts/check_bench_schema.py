@@ -39,6 +39,15 @@ REQUIRED_COUNTERS = {
         "refusal_rate",
     ],
     "BENCH_ipc.json": ["virtual_cycles_per_msg", "bytes_shared_saved_per_msg"],
+    "BENCH_scale.json": [
+        "bytes_per_user",
+        "users",
+        "session_bytes",
+        "binding_bytes",
+        "handle_table_bytes",
+        "session_parks",
+        "session_resumes",
+    ],
 }
 
 # Metrics-registry snapshots written next to the benchmark JSON (see
@@ -52,6 +61,13 @@ REQUIRED_METRIC_FAMILIES = {
     "BENCH_store.metrics.json": ["store.", "labels.intern."],
     "BENCH_replication.metrics.json": ["repl.", "store.", "cycles.", "kernel.mem."],
     "BENCH_ipc.metrics.json": ["kernel.sys.", "pump.", "payload."],
+    "BENCH_scale.metrics.json": [
+        "kernel.mem.",
+        "okws.request_cycles.",
+        "netd.",
+        "labels.intern.",
+        "store.",
+    ],
     # The release-job demo smoke runs the full OKWS suite with the cycle
     # profiler and provenance ledger ON, so its snapshot must carry the
     # observability-plane families on top of the kernel/okws ones.
@@ -101,6 +117,34 @@ def check_bench_file(path, errors):
     for counter in REQUIRED_COUNTERS.get(base, []):
         if counter not in seen:
             errors.append(f"{base}: no benchmark exposes required counter '{counter}'")
+
+    if base == "BENCH_scale.json":
+        check_scale_rows(base, benchmarks, errors)
+
+
+def check_scale_rows(base, benchmarks, errors):
+    """The flat-memory claim is read straight off the BM_ScaleUsers rows,
+    so *every* row in that family (not just one) must carry a positive
+    numeric bytes_per_user and users — a row that drops them would make
+    the per-decade ratio silently unverifiable."""
+    rows = 0
+    for bench in benchmarks:
+        if not bench.get("name", "").startswith("BM_ScaleUsers"):
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue
+        rows += 1
+        name = bench.get("name", "<unnamed>")
+        for counter in ("bytes_per_user", "users"):
+            value = bench.get(counter)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(
+                    f"{base}: '{name}' counter '{counter}' is not numeric: {value!r}")
+            elif value <= 0:
+                errors.append(
+                    f"{base}: '{name}' counter '{counter}' must be > 0, got {value}")
+    if rows == 0:
+        errors.append(f"{base}: no BM_ScaleUsers rows found")
 
 
 def check_metrics_file(path, errors):

@@ -1,0 +1,189 @@
+#include "src/db/binding_table.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/kernel/memstats.h"
+
+namespace asbestos {
+
+namespace {
+
+// Tail merge threshold: big enough that merges are rare, small enough that
+// the binary-searched tail stays cache-resident.
+size_t TailLimit(size_t base_size) { return std::max<size_t>(64, base_size / 8); }
+
+// Merges the sorted `tail` into the sorted `base` (both hold values sorted
+// by `less`), in place, then clears the tail.
+template <typename Less>
+void MergeTail(std::vector<uint32_t>* base, std::vector<uint32_t>* tail, Less less) {
+  if (tail->empty()) {
+    return;
+  }
+  const size_t old = base->size();
+  base->insert(base->end(), tail->begin(), tail->end());
+  std::inplace_merge(base->begin(), base->begin() + static_cast<ptrdiff_t>(old),
+                     base->end(), less);
+  tail->clear();
+  tail->shrink_to_fit();
+}
+
+}  // namespace
+
+BindingTable::BindingTable() = default;
+
+BindingTable::~BindingTable() {
+  BindingMemStats& g = MutableBindingMemStats();
+  g.live_bytes -= static_cast<int64_t>(accounted_bytes_);
+  g.live_entries -= accounted_entries_;
+}
+
+uint64_t BindingTable::table_bytes() const {
+  return arena_.size() + recs_.size() * sizeof(Rec) +
+         (by_name_.size() + name_tail_.size() + by_id_.size() + id_tail_.size()) *
+             sizeof(uint32_t);
+}
+
+void BindingTable::SyncAccounting() {
+  BindingMemStats& g = MutableBindingMemStats();
+  const uint64_t bytes = table_bytes();
+  const auto entries = static_cast<int64_t>(recs_.size());
+  g.live_bytes += static_cast<int64_t>(bytes) - static_cast<int64_t>(accounted_bytes_);
+  g.live_entries += entries - accounted_entries_;
+  accounted_bytes_ = bytes;
+  accounted_entries_ = entries;
+}
+
+uint32_t BindingTable::InternString(std::string_view s) {
+  const auto off = static_cast<uint32_t>(arena_.size());
+  arena_.append(s);
+  return off;
+}
+
+size_t BindingTable::FindRec(std::string_view name) const {
+  const auto less = [this](uint32_t rec, std::string_view key) {
+    return NameOf(rec) < key;
+  };
+  for (const std::vector<uint32_t>* index : {&name_tail_, &by_name_}) {
+    auto it = std::lower_bound(index->begin(), index->end(), name, less);
+    if (it != index->end() && NameOf(*it) == name) {
+      return *it;
+    }
+  }
+  return SIZE_MAX;
+}
+
+size_t BindingTable::FindRecById(int64_t user_id) const {
+  const auto less = [this](uint32_t rec, int64_t key) {
+    return recs_[rec].entry.user_id < key;
+  };
+  for (const std::vector<uint32_t>* index : {&id_tail_, &by_id_}) {
+    auto it = std::lower_bound(index->begin(), index->end(), user_id, less);
+    if (it != index->end() && recs_[*it].entry.user_id == user_id) {
+      return *it;
+    }
+  }
+  return SIZE_MAX;
+}
+
+void BindingTable::InsertSortedByName(uint32_t rec) {
+  const auto less = [this](uint32_t a, uint32_t b) { return NameOf(a) < NameOf(b); };
+  name_tail_.insert(
+      std::lower_bound(name_tail_.begin(), name_tail_.end(), rec, less), rec);
+  if (name_tail_.size() > TailLimit(by_name_.size())) {
+    MergeTail(&by_name_, &name_tail_, less);
+  }
+}
+
+void BindingTable::InsertSortedById(uint32_t rec) {
+  const auto less = [this](uint32_t a, uint32_t b) {
+    return recs_[a].entry.user_id < recs_[b].entry.user_id;
+  };
+  id_tail_.insert(std::lower_bound(id_tail_.begin(), id_tail_.end(), rec, less), rec);
+  if (id_tail_.size() > TailLimit(by_id_.size())) {
+    MergeTail(&by_id_, &id_tail_, less);
+  }
+}
+
+void BindingTable::RebuildIdIndex() {
+  by_id_.clear();
+  by_id_.reserve(recs_.size());
+  for (uint32_t i = 0; i < recs_.size(); ++i) {
+    by_id_.push_back(i);
+  }
+  std::sort(by_id_.begin(), by_id_.end(), [this](uint32_t a, uint32_t b) {
+    return recs_[a].entry.user_id < recs_[b].entry.user_id;
+  });
+  id_tail_.clear();
+  id_tail_.shrink_to_fit();
+  id_index_dirty_ = false;
+}
+
+void BindingTable::Put(std::string_view name, const Entry& entry, std::string_view aux) {
+  const size_t existing = FindRec(name);
+  if (existing != SIZE_MAX) {
+    Rec& r = recs_[existing];
+    if (r.entry.user_id != entry.user_id) {
+      id_index_dirty_ = true;  // positions in the id indexes are now stale
+    }
+    r.entry = entry;
+    if (aux != StringAt(r.aux_off, r.aux_len)) {
+      r.aux_off = InternString(aux);
+      r.aux_len = static_cast<uint32_t>(aux.size());
+    }
+    SyncAccounting();
+    return;
+  }
+  Rec r;
+  r.name_off = InternString(name);
+  r.name_len = static_cast<uint32_t>(name.size());
+  r.aux_off = InternString(aux);
+  r.aux_len = static_cast<uint32_t>(aux.size());
+  r.entry = entry;
+  const auto rec = static_cast<uint32_t>(recs_.size());
+  recs_.push_back(r);
+  InsertSortedByName(rec);
+  if (id_index_dirty_) {
+    RebuildIdIndex();
+  } else {
+    InsertSortedById(rec);
+  }
+  SyncAccounting();
+}
+
+const BindingTable::Entry* BindingTable::Find(std::string_view name) const {
+  const size_t rec = FindRec(name);
+  return rec == SIZE_MAX ? nullptr : &recs_[rec].entry;
+}
+
+const BindingTable::Entry* BindingTable::FindById(int64_t user_id) const {
+  if (id_index_dirty_) {
+    const_cast<BindingTable*>(this)->RebuildIdIndex();
+  }
+  const size_t rec = FindRecById(user_id);
+  return rec == SIZE_MAX ? nullptr : &recs_[rec].entry;
+}
+
+std::string_view BindingTable::AuxOf(std::string_view name) const {
+  const size_t rec = FindRec(name);
+  if (rec == SIZE_MAX) {
+    return {};
+  }
+  return StringAt(recs_[rec].aux_off, recs_[rec].aux_len);
+}
+
+bool BindingTable::SetAux(std::string_view name, std::string_view aux) {
+  const size_t rec = FindRec(name);
+  if (rec == SIZE_MAX) {
+    return false;
+  }
+  Rec& r = recs_[rec];
+  if (aux != StringAt(r.aux_off, r.aux_len)) {
+    r.aux_off = InternString(aux);
+    r.aux_len = static_cast<uint32_t>(aux.size());
+  }
+  SyncAccounting();
+  return true;
+}
+
+}  // namespace asbestos

@@ -1,0 +1,114 @@
+// Flat interned per-user binding table (million-compartment scale).
+//
+// idd and ok-dbproxy each keep one record per user forever ("never cleans
+// its cache", §7.4-7.5). The original std::map<std::string, ...> pair costs
+// three red-black nodes and two or three heap strings per user; at 10^5-10^6
+// users that dominates the per-user footprint the paper says should be flat.
+// This table applies the same discipline PR 3 applied to labels: intern the
+// variable-length data once in an append-only arena, keep fixed-width
+// records densely, and index with sorted vectors of record ids.
+//
+// Layout:
+//   arena_  — every username/aux string, appended once (interned)
+//   recs_   — append-only fixed-width records; a record id is stable forever
+//   by_name_/name_tail_, by_id_/id_tail_ — LSM-ish two-level sorted indexes:
+//     inserts binary-search the small tail; when the tail outgrows
+//     max(64, base/8) it merges into the base. Sorted arrival order (the
+//     benches' user%06d) degenerates to pure appends.
+//
+// Byte accounting is global (GetBindingMemStats) and surfaces as
+// KernelMemReport::binding_bytes when scale accounting is enabled.
+#ifndef SRC_DB_BINDING_TABLE_H_
+#define SRC_DB_BINDING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/labels/handle.h"
+
+namespace asbestos {
+
+class BindingTable {
+ public:
+  struct Entry {
+    Handle taint;   // uT
+    Handle grant;   // uG
+    int64_t user_id = 0;
+  };
+
+  BindingTable();
+  ~BindingTable();
+  BindingTable(const BindingTable&) = delete;
+  BindingTable& operator=(const BindingTable&) = delete;
+
+  // Inserts or updates the binding for `name`. `aux` is an optional second
+  // interned payload (idd stores the verified password there). An update
+  // reuses the interned name; a changed aux re-interns only the aux.
+  void Put(std::string_view name, const Entry& entry, std::string_view aux = {});
+
+  // nullptr when absent. The pointer is invalidated by the next Put.
+  const Entry* Find(std::string_view name) const;
+  const Entry* FindById(int64_t user_id) const;
+
+  // The aux payload stored with `name` ("" when absent). Invalidated by Put.
+  std::string_view AuxOf(std::string_view name) const;
+  // Updates only the aux payload; false when `name` is absent.
+  bool SetAux(std::string_view name, std::string_view aux);
+
+  size_t size() const { return recs_.size(); }
+  // Real bytes this table holds: arena + records + index vectors.
+  uint64_t table_bytes() const;
+
+  // Iterates every binding in insertion order: fn(name, entry, aux).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Rec& r : recs_) {
+      fn(StringAt(r.name_off, r.name_len), r.entry,
+         StringAt(r.aux_off, r.aux_len));
+    }
+  }
+
+ private:
+  struct Rec {
+    uint32_t name_off = 0;
+    uint32_t name_len = 0;
+    uint32_t aux_off = 0;
+    uint32_t aux_len = 0;
+    Entry entry;
+  };
+
+  std::string_view StringAt(uint32_t off, uint32_t len) const {
+    return std::string_view(arena_).substr(off, len);
+  }
+  std::string_view NameOf(uint32_t rec) const {
+    return StringAt(recs_[rec].name_off, recs_[rec].name_len);
+  }
+
+  // Index of the record with `name`, or SIZE_MAX. Probes tail then base.
+  size_t FindRec(std::string_view name) const;
+  size_t FindRecById(int64_t user_id) const;
+  uint32_t InternString(std::string_view s);
+  void InsertSortedByName(uint32_t rec);
+  void InsertSortedById(uint32_t rec);
+  void RebuildIdIndex();
+  // Publishes current table_bytes()/size() into the global BindingMemStats.
+  void SyncAccounting();
+
+  std::string arena_;
+  std::vector<Rec> recs_;
+  std::vector<uint32_t> by_name_;    // record ids, sorted by name
+  std::vector<uint32_t> name_tail_;  // recent inserts, sorted, small
+  std::vector<uint32_t> by_id_;      // record ids, sorted by entry.user_id
+  std::vector<uint32_t> id_tail_;
+  // Set when a Put rewrote an existing record's user_id in place; the id
+  // indexes are rebuilt lazily on the next FindById.
+  bool id_index_dirty_ = false;
+  uint64_t accounted_bytes_ = 0;
+  int64_t accounted_entries_ = 0;
+};
+
+}  // namespace asbestos
+
+#endif  // SRC_DB_BINDING_TABLE_H_

@@ -226,9 +226,7 @@ void DbproxyProcess::RecoverState() {
       b.taint = Handle::FromValue(taint);
       b.grant = Handle::FromValue(grant);
       b.user_id = static_cast<int64_t>(uid);
-      const std::string username = key.substr(sizeof(kBindPrefix) - 1);
-      bindings_[username] = b;
-      bindings_by_id_[b.user_id] = b;
+      bindings_.Put(key.substr(sizeof(kBindPrefix) - 1), b);
     }
   });
   // Schema replays in creation order (keys embed the ordinal; ForEach walks
@@ -334,9 +332,12 @@ void DbproxyProcess::HandleBind(ProcessContext& ctx, const Message& msg) {
   if (ctx.send_label().Get(b.taint) != Level::kStar) {
     return;
   }
-  ctx.ModelHeapBytes(64);  // binding cache entry
-  bindings_[msg.data] = b;
-  bindings_by_id_[b.user_id] = b;
+  if (!ScaleAccountingEnabled()) {
+    // Paper-calibrated mode models the old map entry; scale mode charges
+    // the flat table's real bytes as KernelMemReport::binding_bytes instead.
+    ctx.ModelHeapBytes(64);
+  }
+  bindings_.Put(msg.data.str(), b);
   PersistBinding(msg.data, b);
   if (msg.reply_port.valid()) {
     Message r;
@@ -441,12 +442,12 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
   }
 
   // --- Worker path ------------------------------------------------------------
-  auto bit = bindings_.find(username);
-  if (bit == bindings_.end()) {
+  const Binding* bound = bindings_.Find(username);
+  if (bound == nullptr) {
     ReplyDone(ctx, msg.reply_port, cookie, Status::kAccessDenied, 0);
     return;
   }
-  const Binding& binding = bit->second;
+  const Binding& binding = *bound;
 
   // Workers may neither name nor see the hidden column, nor touch the
   // password table, nor define schema.
@@ -584,13 +585,13 @@ void DbproxyProcess::HandleQuery(ProcessContext& ctx, const Message& msg, bool p
       row.pop_back();  // strip the hidden column
       SendArgs args;
       if (owner != 0) {
-        auto oit = bindings_by_id_.find(owner);
-        if (oit == bindings_by_id_.end()) {
+        const Binding* owner_binding = bindings_.FindById(owner);
+        if (owner_binding == nullptr) {
           continue;  // unknown owner: fail closed
         }
         // Each row is a separate message with the owner's taint (§7.5);
         // the kernel drops rows the receiver may not see.
-        args.contaminate = Label({{oit->second.taint, Level::kL3}}, Level::kStar);
+        args.contaminate = Label({{owner_binding->taint, Level::kL3}}, Level::kStar);
       }
       Message r;
       r.type = MessageType::kRow;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "src/db/binding_table.h"
 #include "src/db/sql_engine.h"
 #include "src/kernel/kernel.h"
 #include "src/replication/endpoint.h"
@@ -98,11 +99,10 @@ class DbproxyProcess : public ProcessCode {
   size_t recovered_bindings() const { return bindings_.size(); }
 
  private:
-  struct Binding {
-    Handle taint;   // uT
-    Handle grant;   // uG
-    int64_t user_id = 0;
-  };
+  // username → (uT, uG, user_id), plus the user-id lookup the row-taint
+  // path needs — one interned flat table instead of the former
+  // std::map<std::string, Binding> / std::map<int64_t, Binding> pair.
+  using Binding = BindingTable::Entry;
 
   void HandleBind(ProcessContext& ctx, const Message& msg);
   void HandleQuery(ProcessContext& ctx, const Message& msg, bool privileged);
@@ -128,8 +128,7 @@ class DbproxyProcess : public ProcessCode {
   Handle query_port_;
   Handle priv_port_;
   Handle wire_port_;  // launcher kWire target (late netd capability)
-  std::map<std::string, Binding> bindings_;       // username → handles
-  std::map<int64_t, Binding> bindings_by_id_;     // user id → handles
+  BindingTable bindings_;
   int64_t modeled_db_bytes_ = 0;
   std::unique_ptr<DurableStore> store_;
   std::unique_ptr<ReplicationEndpoint> repl_;

@@ -396,8 +396,16 @@ Kernel::Kernel(uint64_t boot_key) : handles_(boot_key) {
     sink.Set(p + "kernel.mem.queue_arena_bytes", mem.queue_arena_bytes);
     sink.Set(p + "kernel.mem.modeled_heap_bytes", mem.modeled_heap_bytes);
     sink.Set(p + "kernel.mem.store_bytes", mem.store_bytes);
+    sink.Set(p + "kernel.mem.session_bytes", mem.session_bytes);
+    sink.Set(p + "kernel.mem.binding_bytes", mem.binding_bytes);
+    sink.Set(p + "kernel.mem.handle_table_bytes", mem.handle_table_bytes);
     sink.Set(p + "kernel.mem.total_bytes", mem.total_bytes());
     sink.Set(p + "kernel.mem.peak_total_bytes", peak_total_bytes_);
+    if (scale_user_count_ > 0) {
+      sink.Set(p + "kernel.mem.bytes_per_user",
+               static_cast<double>(mem.total_bytes()) /
+                   static_cast<double>(scale_user_count_));
+    }
   });
 }
 
@@ -509,10 +517,12 @@ void Kernel::Dispatch(Sys sys, Process& proc, EventProcess* ep, SyscallFrame& fr
 
 void Kernel::SysNewHandle(Process& proc, EventProcess* ep, SyscallFrame& f) {
   const Handle h = Handle::FromValue(handles_.Next());
-  Vnode v;
-  v.handle = h;
-  vnodes_.emplace(h.value(), std::move(v));
+  // Plain handles go to the dense table, not the vnode map (see kernel.h).
+  // Lookups still behave identically: a plain handle was never a live port,
+  // so FindLivePort/PortAlive answered null/false for it before too.
+  plain_handles_.push_back(h.value());
   mem_.vnodes += 1;
+  mem_.plain_handles += 1;
   Label& qs = ContextSendLabel(proc, ep);
   const uint64_t pre_rep = obs::ProvenanceLedger::enabled() ? qs.rep_id() : 0;
   const LabelWorkStats baseline = GetLabelWorkStats();
@@ -1351,7 +1361,20 @@ size_t Kernel::QueuedMessageCount(Handle port) const {
 
 KernelMemReport Kernel::MemReport() const {
   KernelMemReport r;
-  r.vnode_bytes = mem_.vnodes * kVnodeBytes;
+  if (ScaleAccountingEnabled()) {
+    // Scale mode: plain handles are charged as what they are now — dense
+    // 16-byte table slots — instead of the paper's 64-byte vnode figure;
+    // per-user bindings are the flat tables' real bytes instead of the
+    // modeled std::map heap (the tables skip ModelHeapBytes in this mode).
+    r.vnode_bytes = (mem_.vnodes - mem_.plain_handles) * kVnodeBytes;
+    r.handle_table_bytes = mem_.plain_handles * kHandleTableEntryBytes;
+    r.binding_bytes = static_cast<uint64_t>(GetBindingMemStats().live_bytes);
+  } else {
+    r.vnode_bytes = mem_.vnodes * kVnodeBytes;
+  }
+  // Parked-session records exist only when parking is on; counting them
+  // unconditionally keeps total_bytes() honest in either accounting mode.
+  r.session_bytes = static_cast<uint64_t>(GetSessionParkStats().live_bytes);
   r.process_bytes = mem_.processes * kProcessKernelBytes;
   r.ep_bytes = mem_.event_processes * kEpKernelBytes;
   r.label_bytes = static_cast<uint64_t>(GetLabelMemStats().live_bytes);

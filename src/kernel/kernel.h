@@ -99,11 +99,24 @@ struct KernelMemReport {
   // exact for the usual one-kernel-at-a-time simulations, attributed to
   // every live kernel if several coexist in one process.
   uint64_t store_bytes = 0;
+  // --- Million-compartment scale fields --------------------------------------
+  // Compact parked-session records held by workers in place of full event
+  // processes (src/okws/worker.h). Zero unless session parking is on.
+  uint64_t session_bytes = 0;
+  // With scale accounting on (SetScaleAccountingEnabled): the interned flat
+  // per-user binding tables of idd/dbproxy (src/db/binding_table.h), real
+  // bytes; and plain non-port handles charged as dense handle-table slots
+  // (kHandleTableEntryBytes each) carved OUT of vnode_bytes. Both zero in
+  // the default paper-calibrated mode, where plain handles stay charged at
+  // the paper's 64-byte vnode figure and bindings ride modeled_heap_bytes.
+  uint64_t binding_bytes = 0;
+  uint64_t handle_table_bytes = 0;
 
   uint64_t total_bytes() const {
     return vnode_bytes + process_bytes + ep_bytes + label_bytes + label_intern_index_bytes +
            page_bytes + overlay_slot_bytes + queue_bytes + queue_arena_bytes +
-           modeled_heap_bytes + store_bytes;
+           modeled_heap_bytes + store_bytes + session_bytes + binding_bytes +
+           handle_table_bytes;
   }
   double total_pages() const { return static_cast<double>(total_bytes()) / kPageSize; }
 };
@@ -258,6 +271,12 @@ class Kernel {
   void SetMetricsPrefix(const std::string& prefix) { metrics_prefix_ = prefix; }
   const std::string& metrics_prefix() const { return metrics_prefix_; }
 
+  // Declares how many distinct users the current workload holds, feeding
+  // the kernel.mem.bytes_per_user gauge (total_bytes / users; 0 when unset).
+  // Purely observational — scale harnesses set it, tests may ignore it.
+  void SetScaleUserCount(uint64_t users) { scale_user_count_ = users; }
+  uint64_t scale_user_count() const { return scale_user_count_; }
+
   // --- Introspection (tests and benches) ------------------------------------
   const KernelStats& stats() const { return stats_; }
   KernelMemReport MemReport() const;
@@ -272,7 +291,7 @@ class Kernel {
   const Label& RecvLabelOf(ProcessId pid, EpId ep = kBaseContext);
   bool PortAlive(Handle port) const;
   size_t QueuedMessageCount(Handle port) const;
-  uint64_t live_vnode_count() const { return vnodes_.size(); }
+  uint64_t live_vnode_count() const { return vnodes_.size() + plain_handles_.size(); }
 
  private:
   friend class ProcessContext;
@@ -390,7 +409,14 @@ class Kernel {
   void ChargeLabelWorkSince(const LabelWorkStats& baseline);
 
   HandleSequence handles_;
+  // Ports and other stateful handles get a full Vnode; plain compartment
+  // handles (NewHandle) carry no queue, owner, or port label, so they live
+  // in a dense append-only value table instead — at a million users the
+  // 2-3 plain handles per user would otherwise each pay a hash-map node.
+  // Plain handles are never destroyed (matching the map's old behavior:
+  // nothing ever erased them), so the table needs no free list.
   std::unordered_map<uint64_t, Vnode> vnodes_;
+  std::vector<uint64_t> plain_handles_;
   std::map<ProcessId, std::unique_ptr<Process>> processes_;
   ProcessId next_pid_ = 1;
   std::deque<ProcessId> run_queue_;
@@ -407,6 +433,7 @@ class Kernel {
   std::unordered_map<const void*, std::pair<uint64_t, uint64_t>> queued_buf_refs_;
   uint32_t pump_batch_limit_ = 16;
   uint64_t peak_total_bytes_ = 0;
+  uint64_t scale_user_count_ = 0;  // see SetScaleUserCount
   // Trace id of the delivery being handled right now (see
   // ProcessContext::current_trace_id). Saved/restored around nested
   // deliveries so re-entrant pumps don't bleed ids across requests.

@@ -1,0 +1,20 @@
+#include "src/kernel/memstats.h"
+
+namespace asbestos {
+
+namespace {
+bool g_scale_accounting = false;
+SessionParkStats g_park_stats;
+BindingMemStats g_binding_stats;
+}  // namespace
+
+void SetScaleAccountingEnabled(bool enabled) { g_scale_accounting = enabled; }
+bool ScaleAccountingEnabled() { return g_scale_accounting; }
+
+SessionParkStats& MutableSessionParkStats() { return g_park_stats; }
+const SessionParkStats& GetSessionParkStats() { return g_park_stats; }
+
+BindingMemStats& MutableBindingMemStats() { return g_binding_stats; }
+const BindingMemStats& GetBindingMemStats() { return g_binding_stats; }
+
+}  // namespace asbestos

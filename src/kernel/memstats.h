@@ -26,9 +26,48 @@ constexpr uint64_t kOverlayPageSlotBytes = 16;  // EP modified-page list entry
 // hash-bucket node, chain slot, and the canonical rep's back-pointer fields.
 // The reps themselves are real label heap, counted by LabelMemStats.
 constexpr uint64_t kLabelInternEntryBytes = 48;
+// Dense handle-table slot for a plain (non-port) handle: the 8-byte handle
+// value plus a rep-id slot for any per-handle label state (deduped — the rep
+// itself lives in the label heap and is counted there).
+constexpr uint64_t kHandleTableEntryBytes = 16;
+// Fixed header of a parked-session record (see src/okws/worker.h): the map
+// node, the stashed uW value, and the two length fields. Username and
+// session-blob bytes are charged on top at their real sizes.
+constexpr uint64_t kParkedSessionOverheadBytes = 48;
+
+// Scale-accounting mode: when enabled, KernelMemReport switches from the
+// paper's fixed per-object figures to the compacted representations this
+// repo actually uses at scale — plain handles are charged as dense
+// handle-table slots instead of full vnodes (handle_table_bytes), and
+// idd/dbproxy per-user bindings are charged as the interned flat table's
+// real bytes (binding_bytes) instead of the modeled std::map heap. Off by
+// default so the Figure 6-9 reproductions keep their historical,
+// paper-calibrated byte accounting bit-for-bit.
+void SetScaleAccountingEnabled(bool enabled);
+bool ScaleAccountingEnabled();
+
+// Parked-session accounting (src/okws/worker.cc). Process-global, like the
+// label/page/store stats: exact for one-kernel worlds.
+struct SessionParkStats {
+  uint64_t parks = 0;         // sessions parked (cumulative)
+  uint64_t resumes = 0;       // parked sessions resumed (cumulative)
+  int64_t live_records = 0;   // compact records currently held by workers
+  int64_t live_bytes = 0;     // their bytes (header + username + blob)
+};
+SessionParkStats& MutableSessionParkStats();
+const SessionParkStats& GetSessionParkStats();
+
+// Flat per-user binding tables (src/db/binding_table.h). Process-global.
+struct BindingMemStats {
+  int64_t live_entries = 0;  // entries across all live tables
+  int64_t live_bytes = 0;    // arena + record + index bytes
+};
+BindingMemStats& MutableBindingMemStats();
+const BindingMemStats& GetBindingMemStats();
 
 struct KernelMemCounters {
-  uint64_t vnodes = 0;
+  uint64_t vnodes = 0;         // every active handle (ports + plain)
+  uint64_t plain_handles = 0;  // the non-port subset, stored densely
   uint64_t processes = 0;
   uint64_t event_processes = 0;
   // Envelope + inline words per queued message, plus each payload buffer's

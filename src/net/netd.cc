@@ -163,6 +163,7 @@ void NetdProcess::HandleConnMessage(ProcessContext& ctx, Conn& conn, const Messa
       if (msg.words.size() < 4 || !msg.reply_port.valid()) {
         return;
       }
+      conn.reply_cap = msg.reply_port;
       PendingRead r;
       r.reply_port = msg.reply_port;
       r.cookie = cookie;
@@ -302,6 +303,22 @@ void NetdProcess::CloseConn(ProcessContext& ctx, Conn& conn) {
   // capability when the connection is ... closed"); without this, netd's
   // send label would grow with every connection ever made.
   ASB_ASSERT(ctx.SetSendLevel(conn.port, kDefaultSendLevel) == Status::kOk);
+  if (release_reply_caps_ && conn.reply_cap.valid()) {
+    // Same §9.3 discipline for the worker's uW: under session parking every
+    // resume mints a fresh uW, so the ⋆ granted per kRead must not outlive
+    // the connection — unless another live connection of the same session
+    // still replies through it.
+    bool shared = false;
+    for (const auto& [value, other] : conns_) {
+      if (value != conn.port.value() && other.reply_cap.value() == conn.reply_cap.value()) {
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) {
+      (void)ctx.SetSendLevel(conn.reply_cap, kDefaultSendLevel);
+    }
+  }
   port_by_conn_.erase(conn.net_conn);
   conns_.erase(conn.port.value());  // `conn` is dangling after this line
 }

@@ -64,6 +64,16 @@ class NetdProcess : public ProcessCode {
   Handle control_port() const { return control_port_; }
   uint64_t connections_accepted() const { return connections_accepted_; }
 
+  // Shed a connection's read-reply capability (the worker's uW, granted ⋆
+  // per kRead) when the connection closes. Off by default: with long-lived
+  // sessions the same uW is re-granted every read, so the label never grows
+  // and the paper-calibrated figure benches stay bit-identical. Session
+  // parking turns this on — each park/resume generation mints a fresh uW,
+  // and without the release netd's send label (and so every send's label
+  // work) would grow with every resume ever performed (§9.3 discipline,
+  // same as the uC release in CloseConn).
+  void set_release_reply_caps(bool on) { release_reply_caps_ = on; }
+
  private:
   struct PendingRead {
     Handle reply_port;
@@ -77,6 +87,7 @@ class NetdProcess : public ProcessCode {
     ConnId net_conn = kNoConn;
     Handle port;   // uC
     Handle taint;  // invalid until ADD_TAINT
+    Handle reply_cap;  // last kRead reply port (uW); shed at close when enabled
     std::string rx;
     bool client_closed = false;
     std::deque<PendingRead> pending_reads;
@@ -114,6 +125,7 @@ class NetdProcess : public ProcessCode {
   std::map<uint64_t, Conn> conns_;           // uC handle value → connection
   std::map<ConnId, uint64_t> port_by_conn_;  // SimNet id → uC handle value
   uint64_t connections_accepted_ = 0;
+  bool release_reply_caps_ = false;
 };
 
 }  // namespace asbestos

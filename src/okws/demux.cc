@@ -494,6 +494,44 @@ void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
         }
         return;
       }
+      case MessageType::kSessionPark: {
+        // A worker's idle event process asks to be parked: invalidate the
+        // session's uW so the next connection forks a fresh event process at
+        // the service port — exactly what a reboot does to uW — and ack so
+        // the worker may free the EP. Senders need the session-port
+        // capability, like kSessionReg.
+        if (msg.words.empty()) {
+          return;
+        }
+        const std::string& payload = msg.data.str();
+        const size_t nl = payload.find('\n');
+        if (nl == std::string::npos) {
+          return;
+        }
+        auto sit = sessions_.find(
+            SessionKey(payload.substr(0, nl), payload.substr(nl + 1)));
+        if (sit == sessions_.end()) {
+          return;  // invalidated meanwhile: no ack, the EP simply stays
+        }
+        const Handle old_uw = Handle::FromValue(msg.words[0]);
+        if (sit->second.uw.value() == old_uw.value()) {
+          sit->second.uw = Handle::Invalid();
+        }
+        // Always ack a live session's park, even when uW no longer matches
+        // (a re-park after an aborted one): the worker frees the EP only on
+        // the ack, and a swallowed ack would leak the EP forever. The
+        // durable record is untouched — uW was never part of it.
+        Message ack;
+        ack.type = MessageType::kSessionParkR;
+        ack.trace_id = msg.trace_id;
+        ctx.Send(old_uw, std::move(ack));
+        // Release the retired uW's capability (§9.3, like uC above): the
+        // resume mints a fresh uW whose kSessionReg re-grants ⋆, so a kept
+        // entry would only grow demux's send label with every park ever
+        // acked. The ack's effective label was snapshotted at the Send.
+        (void)ctx.SetSendLevel(old_uw, kDefaultSendLevel);
+        return;
+      }
       case MessageType::kSessionReg: {
         if (msg.words.size() < 2) {
           return;
@@ -526,10 +564,14 @@ void DemuxProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
           s.cursor.generation = store_->shard_wal_generation(shard);
           s.cursor.offset = store_->shard_wal_offset(shard);
         }
-        sessions_[key] = std::move(s);
         // §7.3: the session table holds one user-worker pair per entry;
-        // paper Figure 9 attributes part of the label growth to these.
-        ctx.ModelHeapBytes(128);
+        // paper Figure 9 attributes part of the label growth to these. A
+        // re-registration (park/resume cycle, post-reboot recovery) reuses
+        // the existing entry and must not charge it twice.
+        if (sessions_.find(key) == sessions_.end()) {
+          ctx.ModelHeapBytes(128);
+        }
+        sessions_[key] = std::move(s);
         conns_.erase(it);
         return;
       }

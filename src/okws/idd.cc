@@ -87,8 +87,7 @@ void IddProcess::RecoverCache() {
     if (!DecodeIdentityValue(record.value, &id.taint, &id.grant, &id.user_id, &password)) {
       return;  // skip records this build cannot parse; never refuse to boot
     }
-    cache_.emplace(username, id);
-    passwords_[username] = password;
+    cache_.Put(username, id, password);
   });
 }
 
@@ -116,10 +115,10 @@ void IddProcess::PersistIdentity(const std::string& username, const CachedId& id
 
 Label IddProcess::recovered_stars() const {
   Label stars = Label::Top();
-  for (const auto& [username, id] : cache_) {
+  cache_.ForEach([&stars](std::string_view, const CachedId& id, std::string_view) {
     stars.Set(id.taint, Level::kStar);
     stars.Set(id.grant, Level::kStar);
-  }
+  });
   return stars;
 }
 
@@ -148,13 +147,13 @@ Label IddProcess::RecoveredStars(const IddOptions& options) {
 
 bool IddProcess::LookupCachedIdentity(const std::string& username, Handle* taint, Handle* grant,
                                       int64_t* user_id) const {
-  auto it = cache_.find(username);
-  if (it == cache_.end()) {
+  const CachedId* id = cache_.Find(username);
+  if (id == nullptr) {
     return false;
   }
-  *taint = it->second.taint;
-  *grant = it->second.grant;
-  *user_id = it->second.user_id;
+  *taint = id->taint;
+  *grant = id->grant;
+  *user_id = id->user_id;
   return true;
 }
 
@@ -194,9 +193,9 @@ void IddProcess::Start(ProcessContext& ctx) {
   // Recovered identities: re-accept each user's taint, as the original
   // FinishLogin did. Requires ⋆ on uT, which the launcher re-granted at
   // spawn from the store's recovered privilege set.
-  for (const auto& [username, id] : cache_) {
+  cache_.ForEach([&ctx](std::string_view, const CachedId& id, std::string_view) {
     ASB_ASSERT(ctx.SetReceiveLevel(id.taint, Level::kL3) == Status::kOk);
-  }
+  });
 }
 
 void IddProcess::SendPrivQuery(ProcessContext& ctx, uint64_t qid, const std::string& sql) {
@@ -217,9 +216,6 @@ void IddProcess::BeginSeeding(ProcessContext& ctx) {
   // once the CREATE resolves, a row probe decides whether to insert
   // (ContinueSeeding). User ids are assigned deterministically from config
   // order either way, so they agree with whatever a recovered table holds.
-  for (size_t i = 0; i < users_.size(); ++i) {
-    user_ids_[users_[i].username] = static_cast<int64_t>(i) + 1;
-  }
   seed_create_qid_ = next_qid_++;
   SendPrivQuery(ctx, seed_create_qid_,
                 "CREATE TABLE okws_users (username TEXT, password TEXT, userid INTEGER)");
@@ -294,14 +290,12 @@ void IddProcess::HandleLogin(ProcessContext& ctx, const Message& msg) {
   const std::string username = msg.data.substr(0, nl);
   const std::string password = msg.data.substr(nl + 1);
 
-  auto cit = cache_.find(username);
-  if (cit != cache_.end()) {
+  if (const CachedId* cached = cache_.Find(username); cached != nullptr) {
     // Handles are cached, but the password must still match. idd verified
     // this user against the database at first login and tracks password
     // changes itself, so the check is local.
-    auto pit = passwords_.find(username);
-    if (pit != passwords_.end() && pit->second == password) {
-      GrantIdentity(ctx, cit->second, msg.reply_port, cookie);
+    if (cache_.AuxOf(username) == std::string_view(password)) {
+      GrantIdentity(ctx, *cached, msg.reply_port, cookie);
     } else {
       ReplyLoginFailed(ctx, msg.reply_port, cookie);
     }
@@ -328,9 +322,8 @@ void IddProcess::FinishLogin(ProcessContext& ctx, uint64_t qid, PendingLogin& p)
   }
   // A concurrent login for the same user may have populated the cache while
   // our database query was in flight; reuse its handles.
-  auto existing = cache_.find(p.username);
-  if (existing != cache_.end()) {
-    GrantIdentity(ctx, existing->second, p.reply, p.caller_cookie);
+  if (const CachedId* existing = cache_.Find(p.username); existing != nullptr) {
+    GrantIdentity(ctx, *existing, p.reply, p.caller_cookie);
     pending_.erase(qid);
     return;
   }
@@ -338,10 +331,14 @@ void IddProcess::FinishLogin(ProcessContext& ctx, uint64_t qid, PendingLogin& p)
   id.taint = ctx.NewHandle();
   id.grant = ctx.NewHandle();
   id.user_id = p.db_user_id;
-  cache_.emplace(p.username, id);
-  passwords_[p.username] = p.password;
+  cache_.Put(p.username, id, p.password);
   PersistIdentity(p.username, id, p.password);
-  ctx.ModelHeapBytes(96);  // cache entry (paper: idd never cleans its cache)
+  if (!ScaleAccountingEnabled()) {
+    // Paper-calibrated mode models the old map entry (paper: idd never
+    // cleans its cache); scale mode charges the flat table's real bytes as
+    // KernelMemReport::binding_bytes instead.
+    ctx.ModelHeapBytes(96);
+  }
   // idd must remain reachable from uT-tainted processes (e.g. the password
   // worker proves uG over a tainted channel), so accept this user's taint.
   // It cannot stick: we hold uT at ⋆.
@@ -364,14 +361,13 @@ void IddProcess::HandleChangePw(ProcessContext& ctx, const Message& msg) {
     const std::string& username = parts[0];
     const std::string& old_pw = parts[1];
     const std::string& new_pw = parts[2];
-    auto cit = cache_.find(username);
-    auto pit = passwords_.find(username);
+    const CachedId* cached = cache_.Find(username);
     // The caller must prove it speaks for the user: V(uG) ≤ 0 (§5.4). The
     // kernel already verified ES ⊑ V.
-    if (cit != cache_.end() && pit != passwords_.end() && pit->second == old_pw &&
-        LevelLeq(msg.verify.Get(cit->second.grant), Level::kL0)) {
-      pit->second = new_pw;
-      PersistIdentity(username, cit->second, new_pw);
+    if (cached != nullptr && cache_.AuxOf(username) == std::string_view(old_pw) &&
+        LevelLeq(msg.verify.Get(cached->grant), Level::kL0)) {
+      ASB_ASSERT(cache_.SetAux(username, new_pw));
+      PersistIdentity(username, *cached, new_pw);
       SendPrivQuery(ctx, next_qid_++,
                     "UPDATE okws_users SET password = " + SqlQuote(new_pw) +
                         " WHERE username = " + SqlQuote(username));
@@ -401,9 +397,10 @@ void IddProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
       BeginSeeding(ctx);
       // Replay recovered bindings so ok-dbproxy regains uT ⋆ and the
       // USER_ID associations it held before the reboot.
-      for (const auto& [username, id] : cache_) {
-        SendBind(ctx, id, username);
-      }
+      cache_.ForEach([this, &ctx](std::string_view username, const CachedId& id,
+                                  std::string_view) {
+        SendBind(ctx, id, std::string(username));
+      });
     } else if (msg.type == boot_proto::kWire && msg.data == "netd" && !msg.words.empty() &&
                repl_ != nullptr) {
       // The launcher's late wire: netd is up, attach the replication

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/db/binding_table.h"
 #include "src/kernel/kernel.h"
 #include "src/okws/protocol.h"
 #include "src/replication/endpoint.h"
@@ -82,11 +83,8 @@ class IddProcess : public ProcessCode {
   const ReplicationEndpoint* replication() const { return repl_.get(); }
 
  private:
-  struct CachedId {
-    Handle taint;
-    Handle grant;
-    int64_t user_id = 0;
-  };
+  // (uT, uG, user_id); the verified password rides the table's aux slot.
+  using CachedId = BindingTable::Entry;
 
   struct PendingLogin {
     std::string username;
@@ -126,9 +124,10 @@ class IddProcess : public ProcessCode {
   Handle launcher_port_;
   Handle dbpriv_port_;
   Handle demux_session_port_;  // learned from login replies; for invalidations
-  std::map<std::string, CachedId> cache_;
-  std::map<std::string, std::string> passwords_;  // verified copies, kept current
-  std::map<std::string, int64_t> user_ids_;    // assigned at seeding time
+  // username → handles + user id, password interned alongside: one flat
+  // table in place of the former cache_/passwords_/user_ids_ map trio
+  // (user_ids_ was write-only and is simply gone).
+  BindingTable cache_;
   std::map<uint64_t, PendingLogin> pending_;   // by private query cookie
   std::unique_ptr<DurableStore> store_;
   std::unique_ptr<ReplicationEndpoint> repl_;

@@ -45,6 +45,16 @@ enum MessageType : uint64_t {
                           // D_S grants uW ⋆  (paper §7.3)
   kSessionInvalidate = 123,  // idd → demux session port; data: username; drops
                              // every cached session of that user (password change)
+  kSessionPark = 124,   // worker EP → demux session port; data: "user\nservice";
+                        // words: [uW]. The idle event process asks to be parked:
+                        // demux invalidates the session's uW (the next connection
+                        // forks a fresh EP at the service port) and acks. Sent
+                        // over the same session-port capability as kSessionReg.
+  kSessionParkR = 125,  // demux → the parking uW. On receipt the worker frees
+                        // the event process if no request is in flight — the
+                        // per-port FIFO guarantees any connection demux forwarded
+                        // to uW before processing the park arrives first, in
+                        // which case the worker aborts and re-parks later.
 };
 }  // namespace okws_proto
 

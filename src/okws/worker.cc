@@ -5,6 +5,7 @@
 #include "src/base/strings.h"
 #include "src/db/dbproxy.h"
 #include "src/db/sql_parser.h"
+#include "src/kernel/memstats.h"
 #include "src/net/netd.h"
 #include "src/obs/trace.h"
 #include "src/sim/costs.h"
@@ -27,6 +28,48 @@ WorkerProcess::WorkerProcess(std::string service_name, std::unique_ptr<Service> 
     : service_name_(std::move(service_name)),
       service_(std::move(service)),
       options_(options) {}
+
+WorkerProcess::~WorkerProcess() {
+  SessionParkStats& g = MutableSessionParkStats();
+  g.live_bytes -= park_accounted_bytes_;
+  g.live_records -= static_cast<int64_t>(parked_.size());
+}
+
+void WorkerProcess::StageParkRecord(const std::string& username, const std::string& blob) {
+  SessionParkStats& g = MutableSessionParkStats();
+  const auto bytes = static_cast<int64_t>(kParkedSessionOverheadBytes + username.size() +
+                                          blob.size());
+  auto [it, inserted] = parked_.emplace(username, blob);
+  if (inserted) {
+    g.live_records += 1;
+    g.live_bytes += bytes;
+    park_accounted_bytes_ += bytes;
+  } else {
+    const auto old = static_cast<int64_t>(kParkedSessionOverheadBytes + username.size() +
+                                          it->second.size());
+    it->second = blob;
+    g.live_bytes += bytes - old;
+    park_accounted_bytes_ += bytes - old;
+  }
+  g.parks += 1;
+}
+
+bool WorkerProcess::TakeParkRecord(const std::string& username, std::string* blob) {
+  auto it = parked_.find(username);
+  if (it == parked_.end()) {
+    return false;
+  }
+  SessionParkStats& g = MutableSessionParkStats();
+  const auto bytes = static_cast<int64_t>(kParkedSessionOverheadBytes + username.size() +
+                                          it->second.size());
+  g.live_records -= 1;
+  g.live_bytes -= bytes;
+  g.resumes += 1;
+  park_accounted_bytes_ -= bytes;
+  *blob = std::move(it->second);
+  parked_.erase(it);
+  return true;
+}
 
 void WorkerProcess::Start(ProcessContext& ctx) {
   state_addr_ = ctx.AllocPages(1);
@@ -138,8 +181,18 @@ void WorkerProcess::OnConnForUser(ProcessContext& ctx, const Message& msg) {
   if (LoadStatePage(ctx, &state_uw, &state_user, &blob)) {
     rq.uw = state_uw;
     rq.session_blob = std::move(blob);
+    // A park may be outstanding for this session (request sent, connection
+    // raced to the old uW first). The EP is live again: consume the staged
+    // record — the state page is authoritative — and re-park after this
+    // request; the pending ack finds a request in flight and aborts.
+    std::string stale;
+    (void)TakeParkRecord(rq.username, &stale);
   } else {
-    // Fresh event process: allocate the session's port and register it with
+    // Fresh event process: a parked session resumes from its compact record
+    // — the same fork-at-the-service-port path a durably recovered session
+    // takes — before the session's port is re-registered below.
+    (void)TakeParkRecord(rq.username, &rq.session_blob);
+    // Allocate the session's port and register it with
     // ok-demux so follow-up connections come straight to us (§7.3).
     rq.uw = ctx.NewPort(Label::Top());
     SaveStatePage(ctx, rq);
@@ -237,6 +290,17 @@ void WorkerProcess::FinishRequest(ProcessContext& ctx, InFlight& rq, int status,
     ASB_ASSERT(ctx.EpClean(scratch_addr_, kScratchPages * kPageSize) == Status::kOk);
     ASB_ASSERT(ctx.EpClean(stats_addr_, kPageSize) == Status::kOk);
   }
+  const bool consider_park = options_.park_idle_sessions;
+  Handle park_uw;
+  std::string park_user;
+  std::string park_blob;
+  uint64_t park_trace = 0;
+  if (consider_park) {
+    park_uw = rq.uw;
+    park_user = rq.username;
+    park_blob = rq.session_blob;
+    park_trace = rq.trace_id;
+  }
   in_flight_.erase(ctx.ep_id());  // `rq` is dangling after this line
 
   // Serve a connection that queued up behind this request, if any.
@@ -248,7 +312,35 @@ void WorkerProcess::FinishRequest(ProcessContext& ctx, InFlight& rq, int status,
       pending_conns_.erase(pit);
     }
     OnConnForUser(ctx, next);
+    return;
   }
+
+  if (consider_park) {
+    // The session is idle: stage the compact record NOW (a connection that
+    // races past the park resumes from it) and ask demux to retire uW. The
+    // event process itself is freed only on the ack (OnParkAck), so any
+    // connection already queued at uW is served first.
+    StageParkRecord(park_user, park_blob);
+    Message park;
+    park.type = MessageType::kSessionPark;
+    park.words = {park_uw.value()};
+    park.data = park_user + "\n" + service_name_;
+    park.trace_id = park_trace;
+    ctx.Send(session_port_, std::move(park));
+  }
+}
+
+void WorkerProcess::OnParkAck(ProcessContext& ctx) {
+  if (Current(ctx.ep_id()) != nullptr) {
+    return;  // a connection raced the park; FinishRequest will re-park
+  }
+  auto pit = pending_conns_.find(ctx.ep_id());
+  if (pit != pending_conns_.end() && !pit->second.empty()) {
+    return;  // queued work still bound to this event process
+  }
+  // demux invalidated uW; the staged record holds the session state. Free the
+  // event process: its ports (uW) dissociate and its private pages drop.
+  ctx.EpExit();
 }
 
 void WorkerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
@@ -291,6 +383,9 @@ void WorkerProcess::HandleMessage(ProcessContext& ctx, const Message& msg) {
                                   static_cast<Status>(-static_cast<int>(msg.words[1])));
       return;
     }
+    case MessageType::kSessionParkR:
+      OnParkAck(ctx);
+      return;
     case netd_proto::kWriteR:
     case netd_proto::kControlR:
       return;

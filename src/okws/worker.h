@@ -98,15 +98,25 @@ class Service {
 
 struct WorkerOptions {
   bool clean_after_request = true;  // false reproduces Fig. 6 "active sessions"
+  // Million-compartment scale: after a response with no queued connection the
+  // worker asks demux to park the session (kSessionPark) and frees the event
+  // process on the ack, keeping only a compact {username → session blob}
+  // record. The next connection of the session forks a fresh event process at
+  // the service port — exactly the path a durably recovered session takes —
+  // and resumes from the record, so an idle user costs bytes, not an EP.
+  bool park_idle_sessions = false;
 };
 
 class WorkerProcess : public ProcessCode {
  public:
   WorkerProcess(std::string service_name, std::unique_ptr<Service> service,
                 WorkerOptions options = WorkerOptions());
+  ~WorkerProcess() override;
 
   void Start(ProcessContext& ctx) override;
   void HandleMessage(ProcessContext& ctx, const Message& msg) override;
+
+  size_t parked_session_count() const { return parked_.size(); }
 
  private:
   friend class ServiceContext;
@@ -134,6 +144,12 @@ class WorkerProcess : public ProcessCode {
 
   void OnConnForUser(ProcessContext& ctx, const Message& msg);
   void OnReadReply(ProcessContext& ctx, const Message& msg);
+  void OnParkAck(ProcessContext& ctx);
+  // Creates (or refreshes) the compact park record and keeps the global
+  // SessionParkStats byte accounting in step.
+  void StageParkRecord(const std::string& username, const std::string& blob);
+  // Consumes the record for `username` into `blob`; false when absent.
+  bool TakeParkRecord(const std::string& username, std::string* blob);
   void SendRead(ProcessContext& ctx, InFlight& rq);
   void FinishRequest(ProcessContext& ctx, InFlight& rq, int status, std::string_view body);
   void SaveStatePage(ProcessContext& ctx, const InFlight& rq);
@@ -158,6 +174,12 @@ class WorkerProcess : public ProcessCode {
   std::map<EpId, InFlight> in_flight_;
   // Connections that arrived for a session while it was mid-request.
   std::map<EpId, std::deque<Message>> pending_conns_;
+  // Parked sessions: username → session blob. Staged when the park request
+  // is SENT (not when acked), so a connection racing past the park — demux
+  // already invalidated uW, the ack not yet processed — still resumes with
+  // the right state in its fresh event process.
+  std::map<std::string, std::string> parked_;
+  int64_t park_accounted_bytes_ = 0;  // our share of SessionParkStats.live_bytes
 };
 
 }  // namespace asbestos

@@ -1,0 +1,145 @@
+// Flat interned per-user binding table (src/db/binding_table.h): lookup
+// correctness across the two-level sorted indexes, update-in-place
+// semantics, lazy id-index rebuilds, and global byte accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/binding_table.h"
+#include "src/kernel/memstats.h"
+
+namespace asbestos {
+namespace {
+
+BindingTable::Entry MakeEntry(uint64_t taint, uint64_t grant, int64_t uid) {
+  BindingTable::Entry e;
+  e.taint = Handle::FromValue(taint);
+  e.grant = Handle::FromValue(grant);
+  e.user_id = uid;
+  return e;
+}
+
+TEST(BindingTableTest, PutFindRoundTrip) {
+  BindingTable table;
+  table.Put("alice", MakeEntry(0x100, 0x101, 7));
+  table.Put("bob", MakeEntry(0x200, 0x201, 8));
+
+  const BindingTable::Entry* a = table.Find("alice");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->taint.value(), 0x100u);
+  EXPECT_EQ(a->grant.value(), 0x101u);
+  EXPECT_EQ(a->user_id, 7);
+
+  const BindingTable::Entry* b = table.Find("bob");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->taint.value(), 0x200u);
+
+  EXPECT_EQ(table.Find("carol"), nullptr);
+  EXPECT_EQ(table.Find(""), nullptr);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(BindingTableTest, AuxPayloadStoredAndUpdated) {
+  BindingTable table;
+  table.Put("alice", MakeEntry(1, 2, 3), "pw-a");
+  EXPECT_EQ(table.AuxOf("alice"), "pw-a");
+  EXPECT_EQ(table.AuxOf("missing"), "");
+
+  EXPECT_TRUE(table.SetAux("alice", "pw-new"));
+  EXPECT_EQ(table.AuxOf("alice"), "pw-new");
+  EXPECT_FALSE(table.SetAux("missing", "x"));
+
+  // The entry itself is untouched by an aux update.
+  const BindingTable::Entry* a = table.Find("alice");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->user_id, 3);
+}
+
+TEST(BindingTableTest, PutSameNameUpdatesInPlace) {
+  BindingTable table;
+  table.Put("alice", MakeEntry(1, 2, 3), "old");
+  table.Put("alice", MakeEntry(9, 10, 11), "new");
+  EXPECT_EQ(table.size(), 1u) << "an update must not grow the table";
+
+  const BindingTable::Entry* a = table.Find("alice");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->taint.value(), 9u);
+  EXPECT_EQ(a->grant.value(), 10u);
+  EXPECT_EQ(a->user_id, 11);
+  EXPECT_EQ(table.AuxOf("alice"), "new");
+}
+
+TEST(BindingTableTest, FindByIdFollowsInPlaceRewrites) {
+  BindingTable table;
+  table.Put("alice", MakeEntry(1, 2, 100));
+  table.Put("bob", MakeEntry(3, 4, 200));
+  ASSERT_NE(table.FindById(100), nullptr);
+  EXPECT_EQ(table.FindById(100)->taint.value(), 1u);
+
+  // Rewriting alice's user_id dirties the id index; the next FindById must
+  // see the new id and forget the old one (lazy rebuild).
+  table.Put("alice", MakeEntry(1, 2, 300));
+  EXPECT_EQ(table.FindById(100), nullptr);
+  const BindingTable::Entry* a = table.FindById(300);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->taint.value(), 1u);
+  ASSERT_NE(table.FindById(200), nullptr) << "bob is undisturbed";
+}
+
+TEST(BindingTableTest, ScalesPastTailMergesInInsertionOrder) {
+  // Enough entries to force several tail→base merges (tail cap starts at
+  // 64), inserted in an order that is neither sorted nor reverse-sorted.
+  constexpr int kUsers = 500;
+  BindingTable table;
+  std::vector<std::string> names;
+  names.reserve(kUsers);
+  for (int i = 0; i < kUsers; ++i) {
+    const int scrambled = (i * 7919) % kUsers;  // prime stride permutation
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "user%06d", scrambled);
+    names.emplace_back(buf);
+    table.Put(names.back(), MakeEntry(0x1000 + scrambled, 0x2000 + scrambled, scrambled + 1));
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kUsers));
+
+  for (int i = 0; i < kUsers; ++i) {
+    const BindingTable::Entry* e = table.Find(names[i]);
+    ASSERT_NE(e, nullptr) << names[i];
+    const int scrambled = (i * 7919) % kUsers;
+    EXPECT_EQ(e->user_id, scrambled + 1);
+    ASSERT_NE(table.FindById(scrambled + 1), nullptr);
+  }
+
+  // ForEach walks insertion order, not index order.
+  size_t seen = 0;
+  table.ForEach([&](std::string_view name, const BindingTable::Entry& e, std::string_view aux) {
+    ASSERT_LT(seen, names.size());
+    EXPECT_EQ(name, names[seen]);
+    EXPECT_EQ(e.taint.value(), 0x1000u + (seen * 7919) % kUsers);
+    EXPECT_EQ(aux, "");
+    ++seen;
+  });
+  EXPECT_EQ(seen, static_cast<size_t>(kUsers));
+}
+
+TEST(BindingTableTest, GlobalAccountingBalancesAcrossLifetime) {
+  const BindingMemStats before = GetBindingMemStats();
+  {
+    BindingTable table;
+    table.Put("alice", MakeEntry(1, 2, 3), "pw-a");
+    table.Put("bob", MakeEntry(4, 5, 6), "pw-b");
+    const BindingMemStats mid = GetBindingMemStats();
+    EXPECT_EQ(mid.live_entries, before.live_entries + 2);
+    EXPECT_GT(mid.live_bytes, before.live_bytes);
+    EXPECT_EQ(static_cast<uint64_t>(mid.live_bytes - before.live_bytes), table.table_bytes());
+  }
+  // Destructor restitution: the ledger returns exactly to its prior state.
+  const BindingMemStats after = GetBindingMemStats();
+  EXPECT_EQ(after.live_entries, before.live_entries);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+}  // namespace
+}  // namespace asbestos

@@ -191,5 +191,87 @@ TEST(MemStatsTest, LabelBytesAreLive) {
   EXPECT_LT(kernel.MemReport().label_bytes, before + 400);
 }
 
+// --- Million-compartment scale: accounting invariants ----------------------
+
+// total_bytes() must be exactly the sum of every constituent field (and
+// nothing else) in BOTH accounting modes — a new field that forgets to join
+// the sum, or a field double-counted across modes, breaks the Figure-6 and
+// bench_scale numbers silently.
+TEST(MemStatsTest, TotalBytesIsExactlyTheSumOfItsFields) {
+  for (const bool scale : {false, true}) {
+    SetScaleAccountingEnabled(scale);
+    Kernel kernel(scale ? 31 : 30);
+    SpawnArgs args;
+    args.name = "holder";
+    const ProcessId pid = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+    kernel.WithProcessContext(pid, [&](ProcessContext& ctx) {
+      ctx.NewHandle();  // plain handles: dense slot (scale) vs full vnode
+      ctx.NewHandle();
+      const Handle port = ctx.NewPort(Label::Top());
+      ASB_ASSERT(ctx.SetPortLabel(port, Label::Top()) == Status::kOk);
+      ctx.AllocPages(1);
+      ctx.ModelHeapBytes(512);
+    });
+
+    const KernelMemReport r = kernel.MemReport();
+    const uint64_t sum = r.vnode_bytes + r.process_bytes + r.ep_bytes + r.label_bytes +
+                         r.label_intern_index_bytes + r.page_bytes + r.overlay_slot_bytes +
+                         r.queue_bytes + r.queue_arena_bytes + r.modeled_heap_bytes +
+                         r.store_bytes + r.session_bytes + r.binding_bytes +
+                         r.handle_table_bytes;
+    EXPECT_EQ(r.total_bytes(), sum)
+        << (scale ? "scale" : "paper") << " accounting mode";
+    if (scale) {
+      EXPECT_EQ(r.handle_table_bytes, 2 * kHandleTableEntryBytes)
+          << "plain handles must be charged as dense slots";
+    } else {
+      EXPECT_EQ(r.handle_table_bytes, 0u);
+      EXPECT_EQ(r.binding_bytes, 0u);
+    }
+    SetScaleAccountingEnabled(false);
+  }
+}
+
+// Dedup savings are informational (bytes never allocated): cumulative,
+// monotone, and excluded from total_bytes().
+TEST(MemStatsTest, DedupSavedBytesAreMonotoneAndOutsideTheTotal) {
+  Kernel kernel(32);
+  SpawnArgs args;
+  args.name = "deduper";
+  const ProcessId pid = kernel.CreateProcess(std::make_unique<ScriptedProcess>(), args);
+  const uint64_t saved0 = kernel.MemReport().label_dedup_saved_bytes;
+  kernel.WithProcessContext(pid, [&](ProcessContext& ctx) {
+    // Two independently built, extensionally equal labels: canonicalizing
+    // the second must be a dedup hit against the first's live rep (sharing
+    // one Label object would be a mere refcount bump, not a dedup).
+    const Handle tag = ctx.NewHandle();
+    Label first = Label::Top();
+    first.Set(tag, Level::kL1);
+    first.Canonicalize();
+    Label second = Label::Top();
+    second.Set(tag, Level::kL1);
+    second.Canonicalize();
+    ASB_ASSERT(first.rep_id() == second.rep_id());
+    const Handle p1 = ctx.NewPort(first);
+    (void)p1;
+  });
+  const KernelMemReport r1 = kernel.MemReport();
+  EXPECT_GT(r1.label_dedup_saved_bytes, saved0) << "identical labels must dedup";
+
+  // Saved bytes never shrink, even as live labels are torn down.
+  kernel.WithProcessContext(pid, [&](ProcessContext& ctx) { ctx.Exit(); });
+  const KernelMemReport r2 = kernel.MemReport();
+  EXPECT_GE(r2.label_dedup_saved_bytes, r1.label_dedup_saved_bytes);
+
+  // And they are not part of the live total: the sum of constituents (which
+  // omits the saved counter) still reproduces total_bytes() exactly.
+  const uint64_t sum = r2.vnode_bytes + r2.process_bytes + r2.ep_bytes + r2.label_bytes +
+                       r2.label_intern_index_bytes + r2.page_bytes + r2.overlay_slot_bytes +
+                       r2.queue_bytes + r2.queue_arena_bytes + r2.modeled_heap_bytes +
+                       r2.store_bytes + r2.session_bytes + r2.binding_bytes +
+                       r2.handle_table_bytes;
+  EXPECT_EQ(r2.total_bytes(), sum);
+}
+
 }  // namespace
 }  // namespace asbestos

@@ -1,0 +1,288 @@
+// Session parking (million-compartment scale): an idle worker session
+// collapses to a compact record and its event process exits; the user's next
+// request resumes transparently — same response, same labels/privileges,
+// and, in steady state, bit-identical charged label work and cycles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "src/kernel/memstats.h"
+#include "src/labels/label.h"
+#include "src/okws/demux.h"
+#include "src/okws/idd.h"
+#include "src/okws/okws_world.h"
+#include "src/okws/services.h"
+#include "src/okws/worker.h"
+#include "src/sim/cycles.h"
+#include "tests/test_util.h"
+
+namespace asbestos {
+namespace {
+
+OkwsWorldConfig ParkConfig() {
+  OkwsWorldConfig config;
+  config.users = {{"alice", "pw-a"}, {"bob", "pw-b"}};
+  WorkerOptions park;
+  park.park_idle_sessions = true;
+  config.services.push_back(
+      {"echo", [] { return std::make_unique<EchoService>(); }, false, park});
+  config.services.push_back(
+      {"store", [] { return std::make_unique<StorageService>(); }, false, park});
+  config.services.push_back(
+      {"notes", [] { return std::make_unique<NotesService>(); }, false, park});
+  config.extra_tables = {NotesService::kTableSql};
+  return config;
+}
+
+WorkerProcess* FindWorker(OkwsWorld& world, const std::string& process_name) {
+  Process* p = world.kernel().FindProcessByName(process_name);
+  return p == nullptr ? nullptr : dynamic_cast<WorkerProcess*>(p->code.get());
+}
+
+IddProcess* FindIdd(OkwsWorld& world) {
+  Process* p = world.kernel().FindProcessByName("idd");
+  return p == nullptr ? nullptr : dynamic_cast<IddProcess*>(p->code.get());
+}
+
+HttpLoadClient::Result FetchFrom(OkwsWorld& world, const std::string& target,
+                                 const std::string& user, const std::string& pass) {
+  HttpLoadClient client(&world.net(), 80, 4);
+  client.Enqueue(OkwsWorld::MakeRequest(target, user, pass), 0);
+  world.RunClient(&client);
+  EXPECT_EQ(client.results().size(), 1u) << target << " produced no response";
+  return client.results().empty() ? HttpLoadClient::Result{} : client.results()[0];
+}
+
+// The park handshake (worker → demux → worker → EpExit) completes after the
+// HTTP response is already on the wire; run the machine to idle so tests
+// observe the settled state.
+void Settle(OkwsWorld& world) {
+  world.Pump();
+  world.Pump();
+}
+
+TEST(SessionParkTest, IdleSessionParksAndItsEventProcessExits) {
+  const SessionParkStats base = GetSessionParkStats();
+  OkwsWorld world(ParkConfig());
+  world.PumpUntilReady();
+
+  EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+  Settle(world);
+
+  WorkerProcess* worker = FindWorker(world, "worker-echo");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->parked_session_count(), 1u);
+  Process* proc = world.kernel().FindProcessByName("worker-echo");
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->eps.size(), 0u) << "the parked session's EP must be gone";
+
+  const SessionParkStats mid = GetSessionParkStats();
+  EXPECT_EQ(mid.parks, base.parks + 1);
+  EXPECT_EQ(mid.resumes, base.resumes);
+  EXPECT_EQ(mid.live_records, base.live_records + 1);
+  EXPECT_GT(mid.live_bytes, base.live_bytes);
+  // The kernel report surfaces the same ledger as session_bytes.
+  EXPECT_EQ(world.kernel().MemReport().session_bytes,
+            static_cast<uint64_t>(mid.live_bytes));
+
+  // The next request resumes the parked session, then parks again at idle.
+  EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+  Settle(world);
+  const SessionParkStats resumed = GetSessionParkStats();
+  EXPECT_EQ(resumed.resumes, base.resumes + 1);
+  EXPECT_EQ(resumed.parks, base.parks + 2);
+  EXPECT_EQ(worker->parked_session_count(), 1u);
+}
+
+TEST(SessionParkTest, ResumeRestoresSessionState) {
+  OkwsWorld world(ParkConfig());
+  world.PumpUntilReady();
+
+  // StorageService echoes the PREVIOUS request's session payload: the value
+  // stored before the park must come back after the resume.
+  EXPECT_EQ(FetchFrom(world, "/store?d=before-park", "alice", "pw-a").status, 200);
+  Settle(world);
+  WorkerProcess* worker = FindWorker(world, "worker-store");
+  ASSERT_NE(worker, nullptr);
+  ASSERT_EQ(worker->parked_session_count(), 1u);
+
+  const auto r = FetchFrom(world, "/store", "alice", "pw-a");
+  EXPECT_EQ(r.status, 200);
+  ASSERT_GE(r.body.size(), std::string("before-park").size());
+  EXPECT_EQ(r.body.substr(0, 11), "before-park")
+      << "session payload lost across park/resume";
+}
+
+TEST(SessionParkTest, SteadyStateResumeChargesIdenticalWork) {
+  OkwsWorld world(ParkConfig());
+  world.PumpUntilReady();
+  IddProcess* idd = FindIdd(world);
+  ASSERT_NE(idd, nullptr);
+
+  // Warm up: first login mints uT/uG, first park establishes steady state.
+  EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+  Settle(world);
+  EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+  Settle(world);
+
+  Handle taint_before;
+  Handle grant_before;
+  int64_t uid_before = 0;
+  ASSERT_TRUE(idd->LookupCachedIdentity("alice", &taint_before, &grant_before, &uid_before));
+
+  // Every subsequent park→resume generation must charge the same work: the
+  // resumed session is the same compartment, not an approximation of it.
+  // Label-op and fast-path counts are bit-compared. Entries-visited and raw
+  // cycles get a tight spread bound instead: each generation's fresh uW has
+  // a different (random) handle value, so sorted-label scans stop at a
+  // different position — a few entries of value-position noise that
+  // never-parked requests exhibit too. The bound is far below the creep a
+  // leaked per-generation label entry causes (before demux/netd learned to
+  // shed retired uW capabilities, cycles grew ~117 per generation — five
+  // generations would blow this bound several times over).
+  struct GenCost {
+    LabelWorkStats labels;
+    uint64_t cycles = 0;
+  };
+  GenCost generations[5];
+  for (GenCost& gen : generations) {
+    const LabelWorkStats w0 = GetLabelWorkStats();
+    const uint64_t c0 = GetCycleAccounting().grand_total();
+    const auto r = FetchFrom(world, "/echo", "alice", "pw-a");
+    Settle(world);
+    EXPECT_EQ(r.status, 200);
+    const LabelWorkStats w1 = GetLabelWorkStats();
+    gen.labels.ops = w1.ops - w0.ops;
+    gen.labels.entries_visited = w1.entries_visited - w0.entries_visited;
+    gen.labels.fast_path_hits = w1.fast_path_hits - w0.fast_path_hits;
+    gen.cycles = GetCycleAccounting().grand_total() - c0;
+  }
+  uint64_t min_entries = ~0ULL, max_entries = 0, min_cycles = ~0ULL, max_cycles = 0;
+  for (const GenCost& gen : generations) {
+    EXPECT_EQ(gen.labels.ops, generations[0].labels.ops)
+        << "label-op count must be bit-identical across generations";
+    EXPECT_EQ(gen.labels.fast_path_hits, generations[0].labels.fast_path_hits)
+        << "fast-path count must be bit-identical across generations";
+    min_entries = std::min(min_entries, gen.labels.entries_visited);
+    max_entries = std::max(max_entries, gen.labels.entries_visited);
+    min_cycles = std::min(min_cycles, gen.cycles);
+    max_cycles = std::max(max_cycles, gen.cycles);
+  }
+  EXPECT_LE(max_entries - min_entries, 16u)
+      << "entries-visited spread " << min_entries << ".." << max_entries
+      << " — a retired uW capability is leaking into a label";
+  EXPECT_LE(max_cycles - min_cycles, 100u)
+      << "cycle spread " << min_cycles << ".." << max_cycles
+      << " — per-generation work is growing";
+
+  // The resumed compartment is literally the same: uT/uG/uid unchanged.
+  Handle taint_after;
+  Handle grant_after;
+  int64_t uid_after = 0;
+  ASSERT_TRUE(idd->LookupCachedIdentity("alice", &taint_after, &grant_after, &uid_after));
+  EXPECT_EQ(taint_after.value(), taint_before.value());
+  EXPECT_EQ(grant_after.value(), grant_before.value());
+  EXPECT_EQ(uid_after, uid_before);
+}
+
+TEST(SessionParkTest, ParkedUsersStayIsolated) {
+  OkwsWorld world(ParkConfig());
+  world.PumpUntilReady();
+
+  EXPECT_EQ(FetchFrom(world, "/notes?op=add&text=alices-secret", "alice", "pw-a").status, 200);
+  EXPECT_EQ(FetchFrom(world, "/notes?op=add&text=bobs-note", "bob", "pw-b").status, 200);
+  Settle(world);
+  WorkerProcess* worker = FindWorker(world, "worker-notes");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->parked_session_count(), 2u);
+
+  // Both resumes see exactly their own labeled rows.
+  EXPECT_EQ(FetchFrom(world, "/notes?op=list", "alice", "pw-a").body, "alices-secret\n");
+  EXPECT_EQ(FetchFrom(world, "/notes?op=list", "bob", "pw-b").body, "bobs-note\n");
+}
+
+TEST(SessionParkTest, DurableSessionResumesAfterReboot) {
+  asbestos::testing::TempDir dir;
+  OkwsWorldConfig config = ParkConfig();
+  config.idd_options.store_dir = dir.path() + "/idd";
+  config.demux_options.store_dir = dir.path() + "/demux";
+  config.dbproxy_options.store_dir = dir.path() + "/db";
+
+  uint64_t taint1 = 0;
+  uint64_t grant1 = 0;
+
+  {  // --- boot 1: log in, write user-private state, park -------------------
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    EXPECT_EQ(FetchFrom(world, "/notes?op=add&text=durable", "alice", "pw-a").status, 200);
+    Settle(world);
+    WorkerProcess* worker = FindWorker(world, "worker-notes");
+    ASSERT_NE(worker, nullptr);
+    EXPECT_EQ(worker->parked_session_count(), 1u);
+    IddProcess* idd = FindIdd(world);
+    ASSERT_NE(idd, nullptr);
+    Handle t;
+    Handle g;
+    int64_t uid = 0;
+    ASSERT_TRUE(idd->LookupCachedIdentity("alice", &t, &g, &uid));
+    taint1 = t.value();
+    grant1 = g.value();
+  }
+
+  {  // --- boot 2: recovered compartments, parking still live ----------------
+    OkwsWorld world(config);
+    world.PumpUntilReady();
+    const SessionParkStats base = GetSessionParkStats();
+
+    // The recovered session serves the durable, labeled row under the
+    // recovered uT — identical privileges to the pre-reboot compartment.
+    const auto r = FetchFrom(world, "/notes?op=list", "alice", "pw-a");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "durable\n");
+    IddProcess* idd = FindIdd(world);
+    ASSERT_NE(idd, nullptr);
+    Handle t;
+    Handle g;
+    int64_t uid = 0;
+    ASSERT_TRUE(idd->LookupCachedIdentity("alice", &t, &g, &uid));
+    EXPECT_EQ(t.value(), taint1) << "uT must be boot-stable under parking";
+    EXPECT_EQ(g.value(), grant1) << "uG must be boot-stable under parking";
+
+    // Parking keeps cycling after recovery: park, resume, park again.
+    Settle(world);
+    WorkerProcess* worker = FindWorker(world, "worker-notes");
+    ASSERT_NE(worker, nullptr);
+    EXPECT_EQ(worker->parked_session_count(), 1u);
+    EXPECT_EQ(FetchFrom(world, "/notes?op=list", "alice", "pw-a").body, "durable\n");
+    Settle(world);
+    const SessionParkStats end = GetSessionParkStats();
+    EXPECT_GE(end.parks, base.parks + 2);
+    EXPECT_GE(end.resumes, base.resumes + 1);
+  }
+}
+
+TEST(SessionParkTest, ParkLedgerBalancesAtTeardown) {
+  const SessionParkStats before = GetSessionParkStats();
+  {
+    OkwsWorld world(ParkConfig());
+    world.PumpUntilReady();
+    EXPECT_EQ(FetchFrom(world, "/echo", "alice", "pw-a").status, 200);
+    EXPECT_EQ(FetchFrom(world, "/echo", "bob", "pw-b").status, 200);
+    Settle(world);
+    const SessionParkStats mid = GetSessionParkStats();
+    EXPECT_EQ(mid.live_records, before.live_records + 2);
+    EXPECT_GT(mid.live_bytes, before.live_bytes);
+  }
+  // Worker destructors return every record to the global ledger; the
+  // cumulative park/resume counters never move backwards.
+  const SessionParkStats after = GetSessionParkStats();
+  EXPECT_EQ(after.live_records, before.live_records);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_GE(after.parks, before.parks + 2);
+  EXPECT_GE(after.resumes, before.resumes);
+}
+
+}  // namespace
+}  // namespace asbestos
